@@ -1,0 +1,158 @@
+//! Grouped negotiation (the §5.1 scope-of-optimization ablation).
+//!
+//! The paper: *"We also experimented with breaking down the set of flows
+//! into several groups and negotiating within each group separately. We
+//! find that this does not provide as much benefit as negotiating over the
+//! entire set."* Each group is a fresh negotiation session — cumulative
+//! gains do not carry across groups, so large gains in one group cannot
+//! pay for small losses in another, shrinking the space of mutual
+//! compromises.
+
+use nexit_core::{negotiate, NegotiationOutcome, NexitConfig, Party, SessionInput};
+use nexit_routing::Assignment;
+
+/// Negotiate `input`'s flows in `num_groups` separate sessions
+/// (round-robin partition by position, preserving determinism) and return
+/// the stitched assignment plus each group's outcome.
+pub fn negotiate_in_groups<'b>(
+    input: &SessionInput,
+    default_assignment: &Assignment,
+    party_a: &mut Party<'b>,
+    party_b: &mut Party<'b>,
+    config: &NexitConfig,
+    num_groups: usize,
+) -> (Assignment, Vec<NegotiationOutcome>) {
+    assert!(num_groups > 0, "need at least one group");
+    let mut assignment = default_assignment.clone();
+    let mut outcomes = Vec::with_capacity(num_groups);
+    for g in 0..num_groups {
+        let idx: Vec<usize> = (0..input.len())
+            .filter(|i| i % num_groups == g)
+            .collect();
+        if idx.is_empty() {
+            continue;
+        }
+        let sub = SessionInput {
+            flow_ids: idx.iter().map(|&i| input.flow_ids[i]).collect(),
+            defaults: idx.iter().map(|&i| input.defaults[i]).collect(),
+            volumes: idx.iter().map(|&i| input.volumes[i]).collect(),
+            num_alternatives: input.num_alternatives,
+        };
+        // Later groups see earlier groups' accepted moves through the
+        // evolving assignment (mappers read the expected network state).
+        let outcome = negotiate(&sub, &assignment, party_a, party_b, config);
+        assignment = outcome.assignment.clone();
+        outcomes.push(outcome);
+    }
+    (assignment, outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexit_core::{PreferenceMapper, StopPolicy};
+    use nexit_routing::FlowId;
+    use nexit_topology::IcxId;
+
+    struct FixedMapper {
+        gains: Vec<Vec<f64>>,
+    }
+
+    impl PreferenceMapper for FixedMapper {
+        fn gains(&mut self, input: &SessionInput, _c: &Assignment) -> Vec<Vec<f64>> {
+            // Project the global gain table onto the session's flows.
+            input
+                .flow_ids
+                .iter()
+                .map(|f| self.gains[f.index()].clone())
+                .collect()
+        }
+    }
+
+    fn input(n: usize, k: usize) -> SessionInput {
+        SessionInput {
+            flow_ids: (0..n).map(FlowId::new).collect(),
+            defaults: vec![IcxId(0); n],
+            volumes: vec![1.0; n],
+            num_alternatives: k,
+        }
+    }
+
+    #[test]
+    fn one_group_equals_whole_set() {
+        let ga = vec![vec![0.0, 10.0], vec![0.0, -2.0], vec![0.0, 6.0]];
+        let gb = vec![vec![0.0, -2.0], vec![0.0, 10.0], vec![0.0, 6.0]];
+        let inp = input(3, 2);
+        let default = Assignment::uniform(3, IcxId(0));
+        let config = NexitConfig::default();
+
+        let mut a1 = Party::honest("A", FixedMapper { gains: ga.clone() });
+        let mut b1 = Party::honest("B", FixedMapper { gains: gb.clone() });
+        let whole = negotiate(&inp, &default, &mut a1, &mut b1, &config);
+
+        let mut a2 = Party::honest("A", FixedMapper { gains: ga });
+        let mut b2 = Party::honest("B", FixedMapper { gains: gb });
+        let (grouped, outcomes) =
+            negotiate_in_groups(&inp, &default, &mut a2, &mut b2, &config, 1);
+        assert_eq!(grouped.choices(), whole.assignment.choices());
+        assert_eq!(outcomes.len(), 1);
+    }
+
+    #[test]
+    fn splitting_reduces_total_gain_and_can_break_win_win() {
+        // Flows 0 and 1 form a trade (A wins big on 0, B wins big on 1,
+        // each at a small cost to the other). Negotiating the whole set
+        // completes the trade: both sides gain. Split into two
+        // single-flow groups, the cross-group compensation disappears —
+        // the paper's core claim about the scope of optimization.
+        let ga = vec![vec![0.0, 10.0], vec![0.0, -4.0]];
+        let gb = vec![vec![0.0, -4.0], vec![0.0, 10.0]];
+        let inp = input(2, 2);
+        let default = Assignment::uniform(2, IcxId(0));
+        let config = NexitConfig {
+            stop: StopPolicy::NegotiateAll,
+            ..NexitConfig::default()
+        };
+
+        // Raw-gain evaluation of an assignment against the tables above.
+        let raw = |asg: &Assignment, table: &[Vec<f64>]| -> f64 {
+            (0..2)
+                .map(|f| table[f][asg.choice(FlowId::new(f)).index()])
+                .sum()
+        };
+
+        let mut a1 = Party::honest("A", FixedMapper { gains: ga.clone() });
+        let mut b1 = Party::honest("B", FixedMapper { gains: gb.clone() });
+        let whole = negotiate(&inp, &default, &mut a1, &mut b1, &config);
+        assert_eq!(whole.assignment.choice(FlowId(0)), IcxId(1));
+        assert_eq!(whole.assignment.choice(FlowId(1)), IcxId(1));
+        let whole_a = raw(&whole.assignment, &ga);
+        let whole_b = raw(&whole.assignment, &gb);
+        assert!(whole_a > 0.0 && whole_b > 0.0, "whole set is win-win");
+
+        let mut a2 = Party::honest("A", FixedMapper { gains: ga.clone() });
+        let mut b2 = Party::honest("B", FixedMapper { gains: gb.clone() });
+        let (grouped, _) =
+            negotiate_in_groups(&inp, &default, &mut a2, &mut b2, &config, 2);
+        let grouped_total = raw(&grouped, &ga) + raw(&grouped, &gb);
+        assert!(
+            grouped_total < whole_a + whole_b,
+            "grouped total {grouped_total} must trail whole-set {}",
+            whole_a + whole_b
+        );
+    }
+
+    #[test]
+    fn more_groups_than_flows_is_fine() {
+        let ga = vec![vec![0.0, 5.0]];
+        let gb = vec![vec![0.0, 5.0]];
+        let inp = input(1, 2);
+        let default = Assignment::uniform(1, IcxId(0));
+        let mut a = Party::honest("A", FixedMapper { gains: ga });
+        let mut b = Party::honest("B", FixedMapper { gains: gb });
+        let (asg, outcomes) =
+            negotiate_in_groups(&inp, &default, &mut a, &mut b, &NexitConfig::default(), 5);
+        assert_eq!(asg.choice(FlowId(0)), IcxId(1));
+        assert_eq!(outcomes.len(), 1, "empty groups are skipped");
+    }
+}

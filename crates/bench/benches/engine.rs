@@ -1,0 +1,87 @@
+//! Negotiation-engine benchmarks: session cost versus flow count and
+//! alternatives, with and without reassignment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nexit_core::{negotiate, NexitConfig, Party, PreferenceMapper, SessionInput};
+use nexit_routing::{Assignment, FlowId};
+use nexit_topology::IcxId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct RandomMapper {
+    gains: Vec<Vec<f64>>,
+}
+
+impl RandomMapper {
+    fn new(n: usize, k: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gains = (0..n)
+            .map(|_| {
+                let mut row: Vec<f64> = (0..k).map(|_| rng.gen_range(-100.0..100.0)).collect();
+                row[0] = 0.0;
+                row
+            })
+            .collect();
+        Self { gains }
+    }
+}
+
+impl PreferenceMapper for RandomMapper {
+    fn gains(&mut self, _i: &SessionInput, _c: &Assignment) -> Vec<Vec<f64>> {
+        self.gains.clone()
+    }
+}
+
+fn input(n: usize, k: usize) -> SessionInput {
+    SessionInput {
+        flow_ids: (0..n).map(FlowId::new).collect(),
+        defaults: vec![IcxId(0); n],
+        volumes: vec![1.0; n],
+        num_alternatives: k,
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("negotiate");
+    group.sample_size(20);
+    for &n in &[50usize, 200, 800] {
+        group.bench_with_input(BenchmarkId::new("flows", n), &n, |bencher, &n| {
+            let inp = input(n, 4);
+            let default = Assignment::uniform(n, IcxId(0));
+            bencher.iter(|| {
+                let mut a = Party::honest("A", RandomMapper::new(n, 4, 1));
+                let mut b = Party::honest("B", RandomMapper::new(n, 4, 2));
+                negotiate(&inp, &default, &mut a, &mut b, &NexitConfig::win_win())
+            });
+        });
+    }
+    for &k in &[2usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("alternatives", k), &k, |bencher, &k| {
+            let inp = input(200, k);
+            let default = Assignment::uniform(200, IcxId(0));
+            bencher.iter(|| {
+                let mut a = Party::honest("A", RandomMapper::new(200, k, 1));
+                let mut b = Party::honest("B", RandomMapper::new(200, k, 2));
+                negotiate(&inp, &default, &mut a, &mut b, &NexitConfig::win_win())
+            });
+        });
+    }
+    group.bench_function("reassignment_5pct", |bencher| {
+        let n = 200;
+        let inp = input(n, 4);
+        let default = Assignment::uniform(n, IcxId(0));
+        let config = NexitConfig {
+            reassign_interval_frac: Some(0.05),
+            ..NexitConfig::win_win()
+        };
+        bencher.iter(|| {
+            let mut a = Party::honest("A", RandomMapper::new(n, 4, 1));
+            let mut b = Party::honest("B", RandomMapper::new(n, 4, 2));
+            negotiate(&inp, &default, &mut a, &mut b, &config)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

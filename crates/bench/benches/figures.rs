@@ -1,0 +1,53 @@
+//! Per-figure regeneration benchmarks: each paper figure's pipeline on a
+//! smoke-scale universe, so regressions in any experiment path surface in
+//! CI. The full-scale regeneration lives in the `experiments` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nexit_sim::experiments::{ablation, bandwidth, cheating, distance, diverse, filters};
+use nexit_sim::ExpConfig;
+use nexit_topology::{GeneratorConfig, TopologyGenerator, Universe};
+
+fn smoke_universe() -> Universe {
+    TopologyGenerator::new(GeneratorConfig {
+        num_isps: 14,
+        num_mesh_isps: 2,
+        ..GeneratorConfig::default()
+    })
+    .generate()
+}
+
+fn cfg() -> ExpConfig {
+    ExpConfig {
+        max_pairs: Some(4),
+        max_failures_per_pair: 2,
+        ..ExpConfig::smoke()
+    }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let u = smoke_universe();
+    let cfg = cfg();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig4_fig6_distance", |b| {
+        b.iter(|| distance::run(&u, &cfg))
+    });
+    group.bench_function("fig5_filters", |b| b.iter(|| filters::run(&u, &cfg)));
+    group.bench_function("fig7_fig8_bandwidth", |b| {
+        b.iter(|| bandwidth::run(&u, &cfg))
+    });
+    group.bench_function("fig9_diverse", |b| b.iter(|| diverse::run(&u, &cfg)));
+    group.bench_function("fig10_cheat_distance", |b| {
+        b.iter(|| cheating::run_distance(&u, &cfg))
+    });
+    group.bench_function("fig11_cheat_bandwidth", |b| {
+        b.iter(|| cheating::run_bandwidth(&u, &cfg))
+    });
+    group.bench_function("prange_sweep", |b| {
+        b.iter(|| ablation::preference_range_sweep(&u, &cfg, &[1, 10]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

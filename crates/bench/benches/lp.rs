@@ -1,0 +1,57 @@
+//! Simplex solver benchmarks on min-max-ratio programs shaped like the
+//! bandwidth optimum.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nexit_lp::{solve, ConstraintOp, LpProblem};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Build a min-max load-ratio LP: `flows` flows split over `k` choices,
+/// `links` capacity rows with random coefficients.
+fn min_max_problem(flows: usize, k: usize, links: usize, seed: u64) -> LpProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p = LpProblem::new();
+    let t = p.add_variable(1.0);
+    let x = |f: usize, i: usize| 1 + f * k + i;
+    for _ in 0..flows * k {
+        p.add_variable(0.0);
+    }
+    for f in 0..flows {
+        p.add_constraint((0..k).map(|i| (x(f, i), 1.0)).collect(), ConstraintOp::Eq, 1.0);
+    }
+    for _ in 0..links {
+        let mut row: Vec<(usize, f64)> = Vec::new();
+        for f in 0..flows {
+            for i in 0..k {
+                if rng.gen_bool(0.3) {
+                    row.push((x(f, i), rng.gen_range(0.1..2.0)));
+                }
+            }
+        }
+        if row.is_empty() {
+            continue;
+        }
+        row.push((t, -rng.gen_range(1.0..10.0)));
+        p.add_constraint(row, ConstraintOp::Le, 0.0);
+    }
+    p
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex");
+    group.sample_size(10);
+    for &(flows, links) in &[(20usize, 20usize), (60, 40), (120, 80)] {
+        group.bench_with_input(
+            BenchmarkId::new("min_max", format!("{flows}f_{links}l")),
+            &(flows, links),
+            |bencher, &(flows, links)| {
+                let p = min_max_problem(flows, 3, links, 7);
+                bencher.iter(|| solve(&p));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp);
+criterion_main!(benches);

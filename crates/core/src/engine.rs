@@ -1,0 +1,916 @@
+//! The round-based negotiation engine.
+//!
+//! Faithful implementation of the paper's protocol loop (§4, step 2):
+//!
+//! ```text
+//! loop {
+//!     decide turn            (TurnPolicy)
+//!     propose an alternative (ProposalRule, over disclosed preferences)
+//!     accept alternative?    (AcceptRule)
+//!     reassign preferences?  (after each reassign_interval_frac of volume)
+//!     stop?                  (StopPolicy)
+//! }
+//! ```
+//!
+//! Each ISP is a [`Party`]: a preference mapper (its private objective), a
+//! disclosure policy (truthful, or one of the §5.4 cheating strategies),
+//! and bookkeeping. The engine keeps *true* and *disclosed* preference
+//! tables separate: proposals are selected on disclosed values (that is
+//! all a real ISP would see), while each ISP's stop decision and gain
+//! accounting use its own true values.
+
+use crate::cheating::DisclosurePolicy;
+use crate::mapping::PreferenceMapper;
+use crate::outcome::{NegotiationOutcome, RoundRecord, Side, Termination};
+use crate::policies::{AcceptRule, NexitConfig, StopPolicy};
+use crate::prefs::{quantize, PrefTable};
+use crate::selection::{self, TableState};
+use nexit_routing::{Assignment, FlowId};
+use nexit_topology::IcxId;
+
+/// The negotiated flow set: which flows are on the table, their defaults
+/// and volumes, and how many alternatives each has.
+#[derive(Debug, Clone)]
+pub struct SessionInput {
+    /// Global ids of the flows under negotiation (a subset of the pair's
+    /// flows — e.g. only the failure-impacted flows in §5.2).
+    pub flow_ids: Vec<FlowId>,
+    /// Default alternative of each negotiated flow (parallel to
+    /// `flow_ids`). Class 0 by definition.
+    pub defaults: Vec<IcxId>,
+    /// Traffic volume of each negotiated flow (parallel); used to pace
+    /// preference reassignment.
+    pub volumes: Vec<f64>,
+    /// Number of alternatives (interconnections) per flow.
+    pub num_alternatives: usize,
+}
+
+impl SessionInput {
+    /// Number of flows on the table.
+    pub fn len(&self) -> usize {
+        self.flow_ids.len()
+    }
+
+    /// True when nothing is on the table.
+    pub fn is_empty(&self) -> bool {
+        self.flow_ids.is_empty()
+    }
+
+    /// Total negotiated-set volume.
+    pub fn total_volume(&self) -> f64 {
+        self.volumes.iter().sum()
+    }
+
+    fn validate(&self) {
+        assert_eq!(self.flow_ids.len(), self.defaults.len());
+        assert_eq!(self.flow_ids.len(), self.volumes.len());
+        assert!(self.num_alternatives > 0, "need at least one alternative");
+        for d in &self.defaults {
+            assert!(d.index() < self.num_alternatives, "default out of range");
+        }
+    }
+}
+
+/// One negotiating ISP: a private objective plus a disclosure policy.
+pub struct Party<'a> {
+    /// Display name (used in transcripts and the wire protocol).
+    pub name: String,
+    /// The ISP's private objective.
+    pub mapper: Box<dyn PreferenceMapper + 'a>,
+    /// Truthful, or a cheating strategy.
+    pub disclosure: DisclosurePolicy,
+}
+
+impl<'a> Party<'a> {
+    /// An honest party.
+    pub fn honest(name: impl Into<String>, mapper: impl PreferenceMapper + 'a) -> Self {
+        Self {
+            name: name.into(),
+            mapper: Box::new(mapper),
+            disclosure: DisclosurePolicy::Truthful,
+        }
+    }
+
+    /// A party using a cheating disclosure policy.
+    pub fn cheating(
+        name: impl Into<String>,
+        mapper: impl PreferenceMapper + 'a,
+        disclosure: DisclosurePolicy,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            mapper: Box::new(mapper),
+            disclosure,
+        }
+    }
+}
+
+/// Live state of a negotiation session. Public so the wire-protocol crate
+/// can drive a session message by message; library users normally call
+/// [`negotiate`].
+pub struct NegotiationSession<'a, 'b> {
+    input: &'a SessionInput,
+    config: NexitConfig,
+    party_a: &'a mut Party<'b>,
+    party_b: &'a mut Party<'b>,
+    /// Remaining flows and vetoed alternatives.
+    state: TableState,
+    /// The evolving full assignment.
+    assignment: Assignment,
+    true_a: PrefTable,
+    true_b: PrefTable,
+    disclosed_a: PrefTable,
+    disclosed_b: PrefTable,
+    gain_a: i64,
+    gain_b: i64,
+    disclosed_gain_a: i64,
+    disclosed_gain_b: i64,
+    transcript: Vec<RoundRecord>,
+    reassignments: usize,
+    volume_since_reassign: f64,
+    round: usize,
+    num_remaining: usize,
+}
+
+/// Run a complete negotiation and return the outcome.
+///
+/// `default_assignment` must cover *all* flows of the pair (the engine
+/// mutates only the negotiated subset); `input` names the subset on the
+/// table.
+pub fn negotiate<'b>(
+    input: &SessionInput,
+    default_assignment: &Assignment,
+    party_a: &mut Party<'b>,
+    party_b: &mut Party<'b>,
+    config: &NexitConfig,
+) -> NegotiationOutcome {
+    let mut session = NegotiationSession::start(input, default_assignment, party_a, party_b, config);
+    session.run_to_completion()
+}
+
+impl<'a, 'b> NegotiationSession<'a, 'b> {
+    /// Initialize a session: both parties map preferences and disclose.
+    pub fn start(
+        input: &'a SessionInput,
+        default_assignment: &Assignment,
+        party_a: &'a mut Party<'b>,
+        party_b: &'a mut Party<'b>,
+        config: &NexitConfig,
+    ) -> Self {
+        input.validate();
+        assert!(config.pref_range > 0);
+        let n = input.len();
+        let mut session = Self {
+            input,
+            config: *config,
+            party_a,
+            party_b,
+            state: TableState::new(n, input.num_alternatives),
+            assignment: default_assignment.clone(),
+            true_a: PrefTable::zero(n, input.num_alternatives),
+            true_b: PrefTable::zero(n, input.num_alternatives),
+            disclosed_a: PrefTable::zero(n, input.num_alternatives),
+            disclosed_b: PrefTable::zero(n, input.num_alternatives),
+            gain_a: 0,
+            gain_b: 0,
+            disclosed_gain_a: 0,
+            disclosed_gain_b: 0,
+            transcript: Vec::new(),
+            reassignments: 0,
+            volume_since_reassign: 0.0,
+            round: 0,
+            num_remaining: n,
+        };
+        session.map_and_disclose();
+        session
+    }
+
+    /// Recompute preference tables (initial mapping and reassignment).
+    fn map_and_disclose(&mut self) {
+        let p = self.config.pref_range;
+        let gains_a = self.party_a.mapper.gains(self.input, &self.assignment);
+        let gains_b = self.party_b.mapper.gains(self.input, &self.assignment);
+        self.true_a = quantize(&gains_a, p);
+        self.true_b = quantize(&gains_b, p);
+        // Honest parties disclose first so a cheater can exploit perfect
+        // knowledge of the other list (§5.4's strongest-cheater model).
+        // Two cheaters each see the other's *true* table (documented
+        // approximation; the paper evaluates a single cheater).
+        self.disclosed_a = self.party_a.disclosure.disclose(
+            &self.true_a,
+            &self.true_b,
+            p,
+            &self.input.defaults,
+        );
+        self.disclosed_b = self.party_b.disclosure.disclose(
+            &self.true_b,
+            &self.true_a,
+            p,
+            &self.input.defaults,
+        );
+    }
+
+    /// Early-termination projection (see [`selection::projected_gain`]).
+    fn projected_gain(&self, side: Side) -> i64 {
+        let (own_true, d_own, d_other) = match side {
+            Side::A => (&self.true_a, &self.disclosed_a, &self.disclosed_b),
+            Side::B => (&self.true_b, &self.disclosed_b, &self.disclosed_a),
+        };
+        selection::projected_gain(
+            own_true,
+            d_own,
+            d_other,
+            &self.state,
+            self.input.num_alternatives,
+            &self.input.defaults,
+        )
+    }
+
+    /// Whose turn it is this round (see [`selection::decide_turn`]).
+    fn decide_turn(&self) -> Side {
+        selection::decide_turn(
+            self.config.turn,
+            self.round,
+            self.disclosed_gain_a,
+            self.disclosed_gain_b,
+        )
+    }
+
+    /// The proposer's choice (see [`selection::select_proposal`]).
+    fn propose(&self, proposer: Side) -> Option<(usize, IcxId)> {
+        let (d_own, d_other, own_true, own_cum) = match proposer {
+            Side::A => (&self.disclosed_a, &self.disclosed_b, &self.true_a, self.gain_a),
+            Side::B => (&self.disclosed_b, &self.disclosed_a, &self.true_b, self.gain_b),
+        };
+        let self_guard = match self.config.accept {
+            AcceptRule::Always => None,
+            AcceptRule::VetoNegativeCumulative => Some((own_true, own_cum)),
+            AcceptRule::CreditVeto { credit } => Some((own_true, own_cum + credit)),
+        };
+        selection::select_proposal(
+            d_own,
+            d_other,
+            &self.state,
+            self.input.num_alternatives,
+            self.config.proposal,
+            self_guard,
+            &self.input.defaults,
+        )
+    }
+
+    /// Whether the non-proposing side accepts.
+    fn accepts(&self, acceptor: Side, local: usize, alt: IcxId) -> bool {
+        let floor = match self.config.accept {
+            AcceptRule::Always => return true,
+            AcceptRule::VetoNegativeCumulative => 0,
+            AcceptRule::CreditVeto { credit } => -credit,
+        };
+        let (table, cum) = match acceptor {
+            Side::A => (&self.true_a, self.gain_a),
+            Side::B => (&self.true_b, self.gain_b),
+        };
+        cum + i64::from(table.get(local, alt)) >= floor
+    }
+
+    /// Pre-round stop check (early termination only); returns the stopper.
+    fn stop_check(&self) -> Option<Side> {
+        match self.config.stop {
+            StopPolicy::Early => {
+                // Stop when continuing cannot increase the ISP's gain.
+                if self.projected_gain(Side::A) < 0 {
+                    return Some(Side::A);
+                }
+                if self.projected_gain(Side::B) < 0 {
+                    return Some(Side::B);
+                }
+                None
+            }
+            StopPolicy::NegotiateAll | StopPolicy::Full => None,
+        }
+    }
+
+    /// Full-termination check against the concrete upcoming proposal:
+    /// an ISP stops when accepting it would push its cumulative gain
+    /// negative ("ISPs may continue as long as their cumulative gain is
+    /// positive", paper §4).
+    fn full_stop_check(&self, local: usize, alt: IcxId) -> Option<Side> {
+        if self.config.stop != StopPolicy::Full {
+            return None;
+        }
+        for side in [Side::A, Side::B] {
+            let (table, cum) = match side {
+                Side::A => (&self.true_a, self.gain_a),
+                Side::B => (&self.true_b, self.gain_b),
+            };
+            if cum + i64::from(table.get(local, alt)) < 0 {
+                return Some(side);
+            }
+        }
+        None
+    }
+
+    /// Execute one round. Returns `Some(termination)` when the session
+    /// ended.
+    pub fn step(&mut self) -> Option<Termination> {
+        if self.num_remaining == 0 {
+            return Some(Termination::Exhausted);
+        }
+        if let Some(stopper) = self.stop_check() {
+            return Some(Termination::Stopped(stopper));
+        }
+        let proposer = self.decide_turn();
+        let Some((local, alt)) = self.propose(proposer) else {
+            // Every remaining alternative is banned; nothing left to do.
+            return Some(Termination::Exhausted);
+        };
+        if let Some(stopper) = self.full_stop_check(local, alt) {
+            return Some(Termination::Stopped(stopper));
+        }
+        let acceptor = proposer.other();
+        let accepted = self.accepts(acceptor, local, alt);
+        self.transcript.push(RoundRecord {
+            round: self.round,
+            proposer,
+            flow: self.input.flow_ids[local],
+            alternative: alt,
+            accepted,
+            reverted: false,
+        });
+        self.round += 1;
+
+        if accepted {
+            self.apply_acceptance(local, alt);
+        } else {
+            // Vetoed: withdraw this alternative; the flow stays on the
+            // table with its other alternatives.
+            self.state.banned[local][alt.index()] = true;
+        }
+        None
+    }
+
+    fn apply_acceptance(&mut self, local: usize, alt: IcxId) {
+        debug_assert!(self.state.remaining[local]);
+        self.state.remaining[local] = false;
+        self.num_remaining -= 1;
+        self.assignment.set(self.input.flow_ids[local], alt);
+        self.gain_a += self.true_a.get(local, alt) as i64;
+        self.gain_b += self.true_b.get(local, alt) as i64;
+        self.disclosed_gain_a += self.disclosed_a.get(local, alt) as i64;
+        self.disclosed_gain_b += self.disclosed_b.get(local, alt) as i64;
+        self.volume_since_reassign += self.input.volumes[local];
+
+        if let Some(frac) = self.config.reassign_interval_frac {
+            let threshold = frac * self.input.total_volume();
+            if self.volume_since_reassign >= threshold && self.num_remaining > 0 {
+                self.map_and_disclose();
+                self.reassignments += 1;
+                self.volume_since_reassign = 0.0;
+            }
+        }
+    }
+
+    /// Roll back accepted compromises until both ISPs' cumulative
+    /// *disclosed* gains are non-negative (the §6 rollback, used with
+    /// [`AcceptRule::CreditVeto`]). Deterministic on state both sides
+    /// share: disclosed tables and the acceptance transcript. For honest
+    /// parties disclosed equals true, so the win-win guarantee carries to
+    /// true preference units (and, with the floor quantization, to the
+    /// real metric).
+    fn rollback_negative(&mut self) {
+        let accepted: Vec<(usize, IcxId)> = self
+            .transcript
+            .iter()
+            .filter(|r| r.accepted)
+            .map(|r| {
+                let local = self
+                    .input
+                    .flow_ids
+                    .iter()
+                    .position(|&f| f == r.flow)
+                    .expect("transcript flow not in session");
+                (local, r.alternative)
+            })
+            .collect();
+        let plan = selection::rollback_plan(
+            &self.disclosed_a,
+            &self.disclosed_b,
+            &accepted,
+            self.disclosed_gain_a,
+            self.disclosed_gain_b,
+        );
+        // Map plan indices (over accepted moves) back to transcript rows.
+        let accepted_rows: Vec<usize> = self
+            .transcript
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.accepted)
+            .map(|(i, _)| i)
+            .collect();
+        for idx in plan {
+            let row = accepted_rows[idx];
+            let (local, alt) = accepted[idx];
+            self.transcript[row].reverted = true;
+            self.assignment.set(self.input.flow_ids[local], self.input.defaults[local]);
+            self.gain_a -= i64::from(self.true_a.get(local, alt));
+            self.gain_b -= i64::from(self.true_b.get(local, alt));
+            self.disclosed_gain_a -= i64::from(self.disclosed_a.get(local, alt));
+            self.disclosed_gain_b -= i64::from(self.disclosed_b.get(local, alt));
+        }
+    }
+
+    /// Drive the session to termination and collect the outcome.
+    pub fn run_to_completion(&mut self) -> NegotiationOutcome {
+        let termination = loop {
+            if let Some(t) = self.step() {
+                break t;
+            }
+        };
+        if matches!(self.config.accept, AcceptRule::CreditVeto { .. }) {
+            self.rollback_negative();
+        }
+        NegotiationOutcome {
+            assignment: self.assignment.clone(),
+            transcript: std::mem::take(&mut self.transcript),
+            gain_a: self.gain_a,
+            gain_b: self.gain_b,
+            disclosed_gain_a: self.disclosed_gain_a,
+            disclosed_gain_b: self.disclosed_gain_b,
+            termination,
+            reassignments: self.reassignments,
+        }
+    }
+
+    /// Current disclosed preference tables `(A, B)` — exposed for the wire
+    /// protocol, which transmits exactly this view.
+    pub fn disclosed_tables(&self) -> (&PrefTable, &PrefTable) {
+        (&self.disclosed_a, &self.disclosed_b)
+    }
+
+    /// The evolving assignment.
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// Party names `(A, B)`.
+    pub fn party_names(&self) -> (&str, &str) {
+        (&self.party_a.name, &self.party_b.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::PreferenceMapper;
+    use crate::policies::{ProposalRule, TurnPolicy};
+
+    /// A mapper returning a fixed gain table (tests drive the engine with
+    /// hand-crafted scenarios).
+    struct FixedMapper {
+        gains: Vec<Vec<f64>>,
+    }
+
+    impl PreferenceMapper for FixedMapper {
+        fn gains(&mut self, _input: &SessionInput, _current: &Assignment) -> Vec<Vec<f64>> {
+            self.gains.clone()
+        }
+    }
+
+    fn input(n: usize, k: usize) -> SessionInput {
+        SessionInput {
+            flow_ids: (0..n).map(FlowId::new).collect(),
+            defaults: vec![IcxId(0); n],
+            volumes: vec![1.0; n],
+            num_alternatives: k,
+        }
+    }
+
+    fn run(
+        gains_a: Vec<Vec<f64>>,
+        gains_b: Vec<Vec<f64>>,
+        config: NexitConfig,
+    ) -> NegotiationOutcome {
+        let n = gains_a.len();
+        let k = gains_a[0].len();
+        let inp = input(n, k);
+        let default = Assignment::uniform(n, IcxId(0));
+        let mut a = Party::honest("A", FixedMapper { gains: gains_a });
+        let mut b = Party::honest("B", FixedMapper { gains: gains_b });
+        negotiate(&inp, &default, &mut a, &mut b, &config)
+    }
+
+    #[test]
+    fn mutually_good_move_is_taken() {
+        // One flow; alternative 1 better for both.
+        let out = run(
+            vec![vec![0.0, 5.0]],
+            vec![vec![0.0, 3.0]],
+            NexitConfig::default(),
+        );
+        assert_eq!(out.assignment.choice(FlowId(0)), IcxId(1));
+        assert!(out.gain_a > 0 && out.gain_b > 0);
+        assert_eq!(out.termination, Termination::Exhausted);
+    }
+
+    #[test]
+    fn trade_across_flows_wins_for_both() {
+        // Flow 2 is mutually good; flows 0 and 1 are a classic trade (big
+        // win for one, small loss for the other). Under greedy early
+        // termination the mutually-good flow and A's winner complete, and
+        // A stops before its own losing flow — both ISPs end positive.
+        let out = run(
+            vec![vec![0.0, 10.0], vec![0.0, -2.0], vec![0.0, 6.0]],
+            vec![vec![0.0, -2.0], vec![0.0, 10.0], vec![0.0, 6.0]],
+            NexitConfig::default(),
+        );
+        assert_eq!(out.assignment.choice(FlowId(2)), IcxId(1), "mutual win taken");
+        assert!(out.gain_a > 0, "gain_a = {}", out.gain_a);
+        assert!(out.gain_b > 0, "gain_b = {}", out.gain_b);
+    }
+
+    #[test]
+    fn negotiate_all_completes_the_full_trade() {
+        // The same trade completes fully in negotiate-all mode (the
+        // socially-best outcome the paper describes), with a higher total
+        // than early termination: each side trades a -2 for a +10.
+        let out = run(
+            vec![vec![0.0, 10.0], vec![0.0, -2.0], vec![0.0, 6.0]],
+            vec![vec![0.0, -2.0], vec![0.0, 10.0], vec![0.0, 6.0]],
+            NexitConfig {
+                stop: StopPolicy::NegotiateAll,
+                ..NexitConfig::default()
+            },
+        );
+        assert_eq!(out.assignment.choice(FlowId(0)), IcxId(1));
+        assert_eq!(out.assignment.choice(FlowId(1)), IcxId(1));
+        assert_eq!(out.assignment.choice(FlowId(2)), IcxId(1));
+        assert_eq!(out.gain_a, 14);
+        assert_eq!(out.gain_b, 14);
+    }
+
+    #[test]
+    fn negative_combined_alternatives_fall_back_to_default() {
+        // Flow 0 helps A; flow 1's non-default alternative has negative
+        // combined sum (-1), so the combined-max criterion selects flow
+        // 1's default instead and nobody loses. (Both tables span +/-10 so
+        // global quantization is the identity here.)
+        let out = run(
+            vec![vec![0.0, 10.0], vec![0.0, -4.0]],
+            vec![vec![0.0, 10.0], vec![0.0, 3.0]],
+            NexitConfig::default(),
+        );
+        assert_eq!(out.assignment.choice(FlowId(0)), IcxId(1));
+        assert_eq!(out.assignment.choice(FlowId(1)), IcxId(0));
+        assert_eq!(out.termination, Termination::Exhausted);
+        assert!(out.gain_a > 0);
+        assert!(out.gain_b >= 0);
+    }
+
+    #[test]
+    fn early_termination_stops_a_doomed_negotiation() {
+        // Flow 0's combined-best alternative is positive overall but a
+        // net loss for A, and flow 1 offers A no recovery: A projects no
+        // gain in continuing and stops before round one, leaving both
+        // flows at their defaults.
+        let out = run(
+            vec![vec![0.0, -3.0], vec![0.0, -10.0]],
+            vec![vec![0.0, 10.0], vec![0.0, 2.0]],
+            NexitConfig::default(),
+        );
+        assert!(
+            matches!(out.termination, Termination::Stopped(Side::A)),
+            "termination = {:?}",
+            out.termination
+        );
+        assert_eq!(out.assignment.choice(FlowId(0)), IcxId(0));
+        assert_eq!(out.assignment.choice(FlowId(1)), IcxId(0));
+        assert_eq!(out.gain_a, 0);
+        assert_eq!(out.gain_b, 0);
+        assert_eq!(out.flows_negotiated(), 0);
+    }
+
+    #[test]
+    fn negotiate_all_covers_every_flow() {
+        let out = run(
+            vec![vec![0.0, 10.0], vec![0.0, -4.0]],
+            vec![vec![0.0, 10.0], vec![0.0, 3.0]],
+            NexitConfig {
+                stop: StopPolicy::NegotiateAll,
+                ..NexitConfig::default()
+            },
+        );
+        // Combined sum of f1 alt1 is -1 < 0 = default sum, so the
+        // combined-max proposer keeps f1 at its default alternative even
+        // in negotiate-all mode; both flows are decided.
+        assert_eq!(out.flows_negotiated(), 2);
+        assert_eq!(out.assignment.choice(FlowId(1)), IcxId(0));
+    }
+
+    #[test]
+    fn honest_isp_never_loses_with_early_stop() {
+        // Adversarial-ish tables: many flows bad for A.
+        let out = run(
+            vec![
+                vec![0.0, -5.0],
+                vec![0.0, -3.0],
+                vec![0.0, 1.0],
+                vec![0.0, -2.0],
+            ],
+            vec![
+                vec![0.0, 9.0],
+                vec![0.0, 8.0],
+                vec![0.0, 0.0],
+                vec![0.0, 7.0],
+            ],
+            NexitConfig::default(),
+        );
+        assert!(out.gain_a >= 0, "A lost: {}", out.gain_a);
+        assert!(out.gain_b >= 0, "B lost: {}", out.gain_b);
+    }
+
+    #[test]
+    fn alternate_turns_recorded() {
+        let out = run(
+            vec![vec![0.0, 1.0], vec![0.0, 1.0], vec![0.0, 1.0]],
+            vec![vec![0.0, 1.0], vec![0.0, 1.0], vec![0.0, 1.0]],
+            NexitConfig::default(),
+        );
+        let proposers: Vec<Side> = out.transcript.iter().map(|r| r.proposer).collect();
+        assert_eq!(proposers, vec![Side::A, Side::B, Side::A]);
+    }
+
+    #[test]
+    fn lower_gain_turn_policy_alternates_catchup() {
+        // Flow 0 strongly favors A; after it is accepted, B has lower gain
+        // and should get the next turn.
+        let out = run(
+            vec![vec![0.0, 10.0], vec![0.0, 0.0]],
+            vec![vec![0.0, 0.0], vec![0.0, 10.0]],
+            NexitConfig {
+                turn: TurnPolicy::LowerGain,
+                ..NexitConfig::default()
+            },
+        );
+        assert_eq!(out.transcript[0].proposer, Side::A, "tie at start -> A");
+        assert_eq!(out.transcript[1].proposer, Side::B, "B is behind");
+    }
+
+    #[test]
+    fn coin_toss_is_deterministic() {
+        let mk = || {
+            run(
+                vec![vec![0.0, 1.0], vec![0.0, 1.0]],
+                vec![vec![0.0, 1.0], vec![0.0, 1.0]],
+                NexitConfig {
+                    turn: TurnPolicy::CoinToss { seed: 99 },
+                    ..NexitConfig::default()
+                },
+            )
+        };
+        let t1: Vec<Side> = mk().transcript.iter().map(|r| r.proposer).collect();
+        let t2: Vec<Side> = mk().transcript.iter().map(|r| r.proposer).collect();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn best_local_min_harm_rule() {
+        // A proposes first. MaxCombined would pick flow 1 (sum 7);
+        // BestLocalMinHarm picks flow 0 (A's best local = 6 > 4), tie-broken
+        // on other's preference.
+        let out = run(
+            vec![vec![0.0, 6.0], vec![0.0, 4.0]],
+            vec![vec![0.0, 0.0], vec![0.0, 3.0]],
+            NexitConfig {
+                proposal: ProposalRule::BestLocalMinHarm,
+                ..NexitConfig::default()
+            },
+        );
+        assert_eq!(out.transcript[0].flow, FlowId(0));
+    }
+
+    #[test]
+    fn veto_blocks_negative_cumulative() {
+        // B would go negative accepting flow 0 alt 1; with veto it rejects
+        // and the engine falls back to the default alternative.
+        let out = run(
+            vec![vec![0.0, 10.0]],
+            vec![vec![0.0, -10.0]],
+            NexitConfig {
+                accept: AcceptRule::VetoNegativeCumulative,
+                stop: StopPolicy::NegotiateAll,
+                ..NexitConfig::default()
+            },
+        );
+        assert!(out.gain_b >= 0);
+        assert_eq!(out.assignment.choice(FlowId(0)), IcxId(0));
+        // Transcript shows the rejected proposal.
+        assert!(out.transcript.iter().any(|r| !r.accepted));
+    }
+
+    #[test]
+    fn empty_session_terminates_immediately() {
+        let inp = input(0, 2);
+        let default = Assignment::from_choices(vec![]);
+        let mut a = Party::honest("A", FixedMapper { gains: vec![] });
+        let mut b = Party::honest("B", FixedMapper { gains: vec![] });
+        let out = negotiate(&inp, &default, &mut a, &mut b, &NexitConfig::default());
+        assert_eq!(out.termination, Termination::Exhausted);
+        assert_eq!(out.flows_negotiated(), 0);
+    }
+
+    #[test]
+    fn fig3_worked_example() {
+        // The paper's Figure 3 walk-through (§4.1): two flows (f2, f3),
+        // two alternatives (top = 1, bottom = 0), defaults = bottom,
+        // preference range [-1, 1].
+        //
+        // Initial lists: A is averse to f2-top (-1); B indifferent to all.
+        // After f2-bottom is accepted, reassignment reveals B prefers
+        // f3-top (+1). Final outcome: f2 on bottom, f3 on top (Fig. 2e).
+        struct IspA;
+        impl PreferenceMapper for IspA {
+            fn gains(&mut self, _i: &SessionInput, _c: &Assignment) -> Vec<Vec<f64>> {
+                // [bottom, top] per flow; f2 = local 0, f3 = local 1.
+                vec![vec![0.0, -1.0], vec![0.0, 0.0]]
+            }
+        }
+        struct IspB;
+        impl PreferenceMapper for IspB {
+            fn gains(&mut self, _i: &SessionInput, current: &Assignment) -> Vec<Vec<f64>> {
+                // B can handle either flow on the bottom link, but not
+                // both: once f2 is settled on bottom, f3-top becomes
+                // preferable.
+                let f2_on_bottom = current.choice(FlowId(0)) == IcxId(0);
+                let f3_top_gain = if f2_on_bottom { 1.0 } else { 0.0 };
+                vec![vec![0.0, 0.0], vec![0.0, f3_top_gain]]
+            }
+        }
+        let inp = input(2, 2);
+        let default = Assignment::uniform(2, IcxId(0));
+        let mut a = Party::honest("ISP-A", IspA);
+        let mut b = Party::honest("ISP-B", IspB);
+        let config = NexitConfig {
+            pref_range: 1,
+            // Reassign after every acceptance (every flow is 50% > 25%).
+            reassign_interval_frac: Some(0.25),
+            ..NexitConfig::default()
+        };
+        let out = negotiate(&inp, &default, &mut a, &mut b, &config);
+        assert_eq!(
+            out.assignment.choice(FlowId(0)),
+            IcxId(0),
+            "f2 stays on the bottom interconnection"
+        );
+        assert_eq!(
+            out.assignment.choice(FlowId(1)),
+            IcxId(1),
+            "f3 moves to the top interconnection after reassignment"
+        );
+        assert!(out.reassignments >= 1, "reassignment must have occurred");
+        assert_eq!(out.gain_b, 1, "B ends strictly better than default");
+        assert_eq!(out.gain_a, 0, "A is unharmed");
+    }
+
+    #[test]
+    fn reassignment_counts_volume_fraction() {
+        // 20 unit-volume flows, reassign every 25% -> after every 5 accepted.
+        let n = 20;
+        let gains = vec![vec![0.0, 1.0]; n];
+        let out = run(
+            gains.clone(),
+            gains,
+            NexitConfig {
+                reassign_interval_frac: Some(0.25),
+                ..NexitConfig::default()
+            },
+        );
+        assert_eq!(out.flows_negotiated(), n);
+        // Reassignments happen at 5, 10, 15 accepted (not after the last).
+        assert_eq!(out.reassignments, 3);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_gains(n: usize, k: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+            proptest::collection::vec(
+                proptest::collection::vec(-10.0f64..10.0, k),
+                n,
+            )
+            .prop_map(move |mut rows| {
+                for row in &mut rows {
+                    row[0] = 0.0; // default column
+                }
+                rows
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+            #[test]
+            fn no_loss_with_veto_guard(
+                ga in arb_gains(6, 3),
+                gb in arb_gains(6, 3),
+            ) {
+                // The paper's hard no-loss guarantee ("an honest ISP can
+                // always protect itself by not negotiating loses") holds
+                // under the veto rule for *any* preference tables, even
+                // adversarial ones.
+                let out = run(ga, gb, NexitConfig {
+                    accept: AcceptRule::VetoNegativeCumulative,
+                    ..NexitConfig::default()
+                });
+                prop_assert!(out.gain_a >= 0, "A lost {}", out.gain_a);
+                prop_assert!(out.gain_b >= 0, "B lost {}", out.gain_b);
+            }
+
+            #[test]
+            fn credit_veto_rollback_guarantees_win_win(
+                ga in arb_gains(6, 3),
+                gb in arb_gains(6, 3),
+                credit in 0i64..30,
+            ) {
+                // The provable no-loss property: with credit-bounded
+                // vetoes and the end-of-session rollback, both honest
+                // ISPs end with non-negative cumulative gain for *any*
+                // preference tables. (Early termination alone is only a
+                // perception-based heuristic: projection assumes the
+                // neutral tie-break, and an adversarial proposer can pick
+                // a different equal-sum alternative, so the engine's
+                // guarantee is deliberately placed here instead.)
+                let out = run(ga, gb, NexitConfig {
+                    accept: AcceptRule::CreditVeto { credit },
+                    stop: StopPolicy::NegotiateAll,
+                    ..NexitConfig::default()
+                });
+                prop_assert!(out.gain_a >= 0, "A lost {}", out.gain_a);
+                prop_assert!(out.gain_b >= 0, "B lost {}", out.gain_b);
+            }
+
+            #[test]
+            fn engine_is_deterministic(
+                ga in arb_gains(5, 3),
+                gb in arb_gains(5, 3),
+            ) {
+                let o1 = run(ga.clone(), gb.clone(), NexitConfig::default());
+                let o2 = run(ga, gb, NexitConfig::default());
+                prop_assert_eq!(o1.assignment.choices(), o2.assignment.choices());
+                prop_assert_eq!(o1.gain_a, o2.gain_a);
+                prop_assert_eq!(o1.gain_b, o2.gain_b);
+            }
+
+            #[test]
+            fn terminates_within_round_budget(
+                ga in arb_gains(8, 4),
+                gb in arb_gains(8, 4),
+            ) {
+                // Each accepted round removes a flow; each vetoed round
+                // bans an alternative. Rounds <= flows * alternatives.
+                let out = run(ga, gb, NexitConfig {
+                    accept: AcceptRule::VetoNegativeCumulative,
+                    stop: StopPolicy::NegotiateAll,
+                    ..NexitConfig::default()
+                });
+                prop_assert!(out.transcript.len() <= 8 * 4);
+                prop_assert!(out.gain_a >= 0);
+                prop_assert!(out.gain_b >= 0);
+            }
+
+            #[test]
+            fn real_metric_win_win_via_floor_quantization(
+                ga in arb_gains(8, 3),
+                gb in arb_gains(8, 3),
+            ) {
+                // The documented theorem: floor quantization never
+                // overstates a gain (raw >= class * quantum for every
+                // cell), so a non-negative cumulative class gain implies
+                // a non-negative cumulative *raw metric* gain. With the
+                // credit-veto rollback the class gain is >= 0, hence so
+                // is the real one.
+                let n = ga.len();
+                let out = run(ga.clone(), gb.clone(), NexitConfig::win_win());
+                let raw = |table: &Vec<Vec<f64>>| -> f64 {
+                    (0..n)
+                        .map(|f| table[f][out.assignment.choice(FlowId::new(f)).index()])
+                        .sum()
+                };
+                prop_assert!(out.gain_a >= 0 && out.gain_b >= 0);
+                prop_assert!(raw(&ga) >= -1e-9, "A's real metric went negative: {}", raw(&ga));
+                prop_assert!(raw(&gb) >= -1e-9, "B's real metric went negative: {}", raw(&gb));
+            }
+
+            #[test]
+            fn full_termination_never_negative(
+                ga in arb_gains(6, 3),
+                gb in arb_gains(6, 3),
+            ) {
+                let out = run(ga, gb, NexitConfig {
+                    stop: StopPolicy::Full,
+                    ..NexitConfig::default()
+                });
+                prop_assert!(out.gain_a >= 0);
+                prop_assert!(out.gain_b >= 0);
+            }
+        }
+    }
+}

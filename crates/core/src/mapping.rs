@@ -1,0 +1,435 @@
+//! ISP-internal metric → preference mapping.
+//!
+//! Each ISP evaluates its routing alternatives with its own private
+//! objective and maps them to opaque classes. The paper's three concrete
+//! objectives are implemented:
+//!
+//! * [`DistanceMapper`] — minimize the distance flows travel inside the
+//!   ISP's own network (§5.1): the gain of an alternative is the
+//!   kilometres saved relative to the default.
+//! * [`BandwidthMapper`] — avoid overload (§5.2): the gain is the
+//!   reduction in the *maximum load-to-capacity ratio along the flow's
+//!   path*, evaluated against the expected network state (all accepted
+//!   decisions applied, remaining flows at their defaults). This is the
+//!   mapper whose preferences change as flows are negotiated, which is
+//!   why the engine supports reassignment.
+//! * [`FortzMapper`] — the LP-based alternate objective (§5.2): the gain
+//!   is the reduction in total Fortz–Thorup cost of the ISP's own links.
+//!
+//! Mappers return **raw metric gains**; the engine quantizes them into
+//! classes with one global scale per ISP (see [`crate::prefs::quantize`]),
+//! preserving the additive-composition requirement.
+
+use crate::engine::SessionInput;
+use crate::outcome::Side;
+use nexit_metrics::fortz_link_cost;
+use nexit_routing::{Assignment, PairFlows};
+use nexit_topology::IcxId;
+use nexit_workload::PathTable;
+
+/// An ISP-internal objective that scores the session's alternatives.
+pub trait PreferenceMapper {
+    /// Raw gains (positive = better than the flow's default) for every
+    /// session flow × alternative, given the current expected assignment
+    /// of *all* pair flows.
+    ///
+    /// `gains[i][alt]` corresponds to `input.flow_ids[i]`; `gains[i][d]`
+    /// where `d` is the flow's default must be 0.
+    fn gains(&mut self, input: &SessionInput, current: &Assignment) -> Vec<Vec<f64>>;
+}
+
+/// Distance objective: kilometres the flow travels inside this ISP.
+#[derive(Debug, Clone, Copy)]
+pub struct DistanceMapper<'a> {
+    side: Side,
+    flows: &'a PairFlows,
+}
+
+impl<'a> DistanceMapper<'a> {
+    /// Mapper for one side of the pair.
+    pub fn new(side: Side, flows: &'a PairFlows) -> Self {
+        Self { side, flows }
+    }
+}
+
+impl PreferenceMapper for DistanceMapper<'_> {
+    fn gains(&mut self, input: &SessionInput, _current: &Assignment) -> Vec<Vec<f64>> {
+        input
+            .flow_ids
+            .iter()
+            .zip(&input.defaults)
+            .map(|(&fid, &default)| {
+                let m = &self.flows.metrics[fid.index()];
+                let km = |alt: usize| match self.side {
+                    Side::A => m.up_km[alt],
+                    Side::B => m.down_km[alt],
+                };
+                let base = km(default.index());
+                (0..input.num_alternatives)
+                    .map(|alt| base - km(alt))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Bandwidth objective: maximum load-to-capacity ratio along the flow's
+/// own-side path, evaluated on the expected network state.
+#[derive(Debug, Clone, Copy)]
+pub struct BandwidthMapper<'a> {
+    side: Side,
+    flows: &'a PairFlows,
+    paths: &'a PathTable,
+    /// Capacity of every link on this ISP's side.
+    capacities: &'a [f64],
+}
+
+impl<'a> BandwidthMapper<'a> {
+    /// Mapper for one side. `capacities` must cover every link of that
+    /// side's topology.
+    pub fn new(
+        side: Side,
+        flows: &'a PairFlows,
+        paths: &'a PathTable,
+        capacities: &'a [f64],
+    ) -> Self {
+        Self {
+            side,
+            flows,
+            paths,
+            capacities,
+        }
+    }
+
+    fn side_links(&self, flow: nexit_routing::FlowId, alt: IcxId) -> &'a [nexit_topology::LinkId] {
+        match self.side {
+            Side::A => self.paths.up_links(flow, alt),
+            Side::B => self.paths.down_links(flow, alt),
+        }
+    }
+
+    /// Current own-side loads under `current`.
+    fn loads(&self, current: &Assignment) -> Vec<f64> {
+        let mut loads = vec![0.0; self.capacities.len()];
+        for (fid, flow, _) in self.flows.iter() {
+            for &l in self.side_links(fid, current.choice(fid)) {
+                loads[l.index()] += flow.volume;
+            }
+        }
+        loads
+    }
+}
+
+impl PreferenceMapper for BandwidthMapper<'_> {
+    fn gains(&mut self, input: &SessionInput, current: &Assignment) -> Vec<Vec<f64>> {
+        let loads = self.loads(current);
+        input
+            .flow_ids
+            .iter()
+            .zip(&input.defaults)
+            .map(|(&fid, &default)| {
+                let volume = self.flows.flows[fid.index()].volume;
+                let cur = current.choice(fid);
+                // Path-max excess ratio after moving the flow from `cur`
+                // to `alt`. Links are adjusted for the flow's departure
+                // from its current path and arrival on the candidate path.
+                let cost = |alt: IcxId| -> f64 {
+                    let cur_links = self.side_links(fid, cur);
+                    self.side_links(fid, alt)
+                        .iter()
+                        .map(|&l| {
+                            let mut load = loads[l.index()];
+                            if alt != cur
+                                && !cur_links.contains(&l) {
+                                    load += volume;
+                                }
+                            // When alt == cur the flow already contributes.
+                            load / self.capacities[l.index()]
+                        })
+                        .fold(0.0_f64, f64::max)
+                };
+                let base = cost(default);
+                (0..input.num_alternatives)
+                    .map(|alt| base - cost(IcxId::new(alt)))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Fortz–Thorup objective: total piecewise-linear cost of the ISP's own
+/// links (the paper's LP-formulation alternate metric).
+#[derive(Debug, Clone, Copy)]
+pub struct FortzMapper<'a> {
+    side: Side,
+    flows: &'a PairFlows,
+    paths: &'a PathTable,
+    capacities: &'a [f64],
+}
+
+impl<'a> FortzMapper<'a> {
+    /// Mapper for one side.
+    pub fn new(
+        side: Side,
+        flows: &'a PairFlows,
+        paths: &'a PathTable,
+        capacities: &'a [f64],
+    ) -> Self {
+        Self {
+            side,
+            flows,
+            paths,
+            capacities,
+        }
+    }
+
+    fn side_links(&self, flow: nexit_routing::FlowId, alt: IcxId) -> &'a [nexit_topology::LinkId] {
+        match self.side {
+            Side::A => self.paths.up_links(flow, alt),
+            Side::B => self.paths.down_links(flow, alt),
+        }
+    }
+}
+
+impl PreferenceMapper for FortzMapper<'_> {
+    fn gains(&mut self, input: &SessionInput, current: &Assignment) -> Vec<Vec<f64>> {
+        // Base loads under `current`.
+        let mut loads = vec![0.0; self.capacities.len()];
+        for (fid, flow, _) in self.flows.iter() {
+            for &l in self.side_links(fid, current.choice(fid)) {
+                loads[l.index()] += flow.volume;
+            }
+        }
+        input
+            .flow_ids
+            .iter()
+            .zip(&input.defaults)
+            .map(|(&fid, &default)| {
+                let volume = self.flows.flows[fid.index()].volume;
+                let cur = current.choice(fid);
+                // Total-cost delta of moving the flow from `cur` to `alt`,
+                // computed over affected links only.
+                let cost_delta = |alt: IcxId| -> f64 {
+                    if alt == cur {
+                        return 0.0;
+                    }
+                    let mut delta = 0.0;
+                    let cur_links = self.side_links(fid, cur);
+                    let alt_links = self.side_links(fid, alt);
+                    for &l in alt_links {
+                        if !cur_links.contains(&l) {
+                            let cap = self.capacities[l.index()];
+                            let load = loads[l.index()];
+                            delta += fortz_link_cost(load + volume, cap)
+                                - fortz_link_cost(load, cap);
+                        }
+                    }
+                    for &l in cur_links {
+                        if !alt_links.contains(&l) {
+                            let cap = self.capacities[l.index()];
+                            let load = loads[l.index()];
+                            delta += fortz_link_cost((load - volume).max(0.0), cap)
+                                - fortz_link_cost(load, cap);
+                        }
+                    }
+                    delta
+                };
+                let base = cost_delta(default);
+                (0..input.num_alternatives)
+                    .map(|alt| base - cost_delta(IcxId::new(alt)))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexit_routing::{FlowId, ShortestPaths};
+    use nexit_topology::{
+        GeoPoint, Interconnection, IspId, IspPair, IspTopology, Link, PairView, Pop, PopId,
+    };
+
+    fn pop(city: &str, lon: f64) -> Pop {
+        Pop {
+            city: city.into(),
+            geo: GeoPoint::new(0.0, lon),
+            weight: 1.0,
+        }
+    }
+
+    fn line(id: u32, n: usize) -> IspTopology {
+        let pops = (0..n).map(|i| pop(&format!("c{i}"), i as f64)).collect();
+        let links = (0..n - 1)
+            .map(|i| Link {
+                a: PopId::new(i),
+                b: PopId::new(i + 1),
+                weight: 100.0,
+                length_km: 100.0,
+            })
+            .collect();
+        IspTopology::new(IspId(id), format!("L{id}"), pops, links, false).unwrap()
+    }
+
+    struct Fixture {
+        a: IspTopology,
+        b: IspTopology,
+        pair: IspPair,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            let a = line(0, 3);
+            let b = line(1, 3);
+            let pair = IspPair::new(
+                &a,
+                &b,
+                vec![
+                    Interconnection {
+                        pop_a: PopId(0),
+                        pop_b: PopId(0),
+                        length_km: 0.0,
+                    },
+                    Interconnection {
+                        pop_a: PopId(2),
+                        pop_b: PopId(2),
+                        length_km: 0.0,
+                    },
+                ],
+            )
+            .unwrap();
+            Self { a, b, pair }
+        }
+    }
+
+    fn session_all(flows: &PairFlows, default: IcxId) -> SessionInput {
+        SessionInput {
+            flow_ids: (0..flows.len()).map(FlowId::new).collect(),
+            defaults: vec![default; flows.len()],
+            volumes: flows.flows.iter().map(|f| f.volume).collect(),
+            num_alternatives: flows.metrics[0].num_alternatives(),
+        }
+    }
+
+    #[test]
+    fn distance_gains_are_km_saved() {
+        let fx = Fixture::new();
+        let view = PairView::new(&fx.a, &fx.b, &fx.pair);
+        let sp_a = ShortestPaths::compute(&fx.a);
+        let sp_b = ShortestPaths::compute(&fx.b);
+        let flows = PairFlows::build(&view, &sp_a, &sp_b, |_, _| 1.0);
+        let input = session_all(&flows, IcxId(0));
+        let current = Assignment::uniform(flows.len(), IcxId(0));
+
+        let mut up = DistanceMapper::new(Side::A, &flows);
+        let gains = up.gains(&input, &current);
+        // Flow a2->b0 (id 6): upstream km via icx0 = 200, via icx1 = 0;
+        // gain of icx1 = +200.
+        assert_eq!(gains[6][0], 0.0, "default always 0");
+        assert_eq!(gains[6][1], 200.0);
+        // Flow a0->b2 (id 2): upstream km via icx0 = 0, via icx1 = 200;
+        // gain of icx1 = -200.
+        assert_eq!(gains[2][1], -200.0);
+
+        let mut down = DistanceMapper::new(Side::B, &flows);
+        let dgains = down.gains(&input, &current);
+        // Flow a0->b2: downstream km via icx0 = 200, via icx1 = 0.
+        assert_eq!(dgains[2][1], 200.0);
+    }
+
+    #[test]
+    fn bandwidth_gains_reflect_load_relief() {
+        let fx = Fixture::new();
+        let view = PairView::new(&fx.a, &fx.b, &fx.pair);
+        let sp_a = ShortestPaths::compute(&fx.a);
+        let sp_b = ShortestPaths::compute(&fx.b);
+        let flows = PairFlows::build(&view, &sp_a, &sp_b, |_, _| 1.0);
+        let paths = PathTable::build(&view, &sp_a, &sp_b, &flows);
+        let input = session_all(&flows, IcxId(0));
+        // Everything crammed through icx 0 loads upstream link 0 heavily.
+        let current = Assignment::uniform(flows.len(), IcxId(0));
+        let caps_a = vec![1.0; fx.a.num_links()];
+        let mut up = BandwidthMapper::new(Side::A, &flows, &paths, &caps_a);
+        let gains = up.gains(&input, &current);
+        // Flow a2->b0 (id 6): default path a2->a1->a0 rides both loaded
+        // links; moving to icx1 empties its upstream path entirely
+        // (src == exit PoP), a strictly positive gain.
+        assert!(gains[6][1] > 0.0);
+        assert_eq!(gains[6][0], 0.0);
+    }
+
+    #[test]
+    fn bandwidth_empty_path_costs_zero() {
+        let fx = Fixture::new();
+        let view = PairView::new(&fx.a, &fx.b, &fx.pair);
+        let sp_a = ShortestPaths::compute(&fx.a);
+        let sp_b = ShortestPaths::compute(&fx.b);
+        let flows = PairFlows::build(&view, &sp_a, &sp_b, |_, _| 1.0);
+        let paths = PathTable::build(&view, &sp_a, &sp_b, &flows);
+        let input = session_all(&flows, IcxId(0));
+        let current = Assignment::uniform(flows.len(), IcxId(0));
+        let caps = vec![1.0; fx.a.num_links()];
+        let mut up = BandwidthMapper::new(Side::A, &flows, &paths, &caps);
+        let gains = up.gains(&input, &current);
+        // Flow a0->b0 (id 0): default path inside upstream is empty (src
+        // is the exit PoP), so cost(default) = 0 and the gain of the far
+        // alternative is -(max ratio on a0..a2 path) < 0.
+        assert!(gains[0][1] < 0.0);
+    }
+
+    #[test]
+    fn fortz_gains_penalize_overload_steeply() {
+        let fx = Fixture::new();
+        let view = PairView::new(&fx.a, &fx.b, &fx.pair);
+        let sp_a = ShortestPaths::compute(&fx.a);
+        let sp_b = ShortestPaths::compute(&fx.b);
+        let flows = PairFlows::build(&view, &sp_a, &sp_b, |_, _| 1.0);
+        let paths = PathTable::build(&view, &sp_a, &sp_b, &flows);
+        let input = session_all(&flows, IcxId(0));
+        let current = Assignment::uniform(flows.len(), IcxId(0));
+        // Upstream link 0 carries 6 units; capacity 6 means at-capacity.
+        let caps = vec![6.0, 6.0];
+        let mut up = FortzMapper::new(Side::A, &flows, &paths, &caps);
+        let gains = up.gains(&input, &current);
+        // Moving a2->b0 off the congested path is a positive gain.
+        assert!(gains[6][1] > 0.0);
+        // Defaults are zero.
+        for row in &gains {
+            assert_eq!(row[0], 0.0);
+        }
+    }
+
+    #[test]
+    fn mappers_default_column_always_zero() {
+        let fx = Fixture::new();
+        let view = PairView::new(&fx.a, &fx.b, &fx.pair);
+        let sp_a = ShortestPaths::compute(&fx.a);
+        let sp_b = ShortestPaths::compute(&fx.b);
+        let flows = PairFlows::build(&view, &sp_a, &sp_b, |s, d| {
+            1.0 + (s.index() * d.index()) as f64
+        });
+        let paths = PathTable::build(&view, &sp_a, &sp_b, &flows);
+        let caps_a = vec![10.0; fx.a.num_links()];
+        let caps_b = vec![10.0; fx.b.num_links()];
+        let current = Assignment::uniform(flows.len(), IcxId(1));
+        let input = session_all(&flows, IcxId(1));
+        let checks: Vec<Box<dyn PreferenceMapper>> = vec![
+            Box::new(DistanceMapper::new(Side::A, &flows)),
+            Box::new(DistanceMapper::new(Side::B, &flows)),
+            Box::new(BandwidthMapper::new(Side::A, &flows, &paths, &caps_a)),
+            Box::new(BandwidthMapper::new(Side::B, &flows, &paths, &caps_b)),
+            Box::new(FortzMapper::new(Side::A, &flows, &paths, &caps_a)),
+        ];
+        for mut mapper in checks {
+            let gains = mapper.gains(&input, &current);
+            for (i, row) in gains.iter().enumerate() {
+                assert_eq!(
+                    row[input.defaults[i].index()],
+                    0.0,
+                    "default gain must be zero"
+                );
+            }
+        }
+    }
+}

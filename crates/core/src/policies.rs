@@ -1,0 +1,178 @@
+//! Pluggable negotiation policies.
+//!
+//! The paper specifies that "the exact implementation method of each step
+//! is agreed upon contractually in advance by the ISPs" and lists concrete
+//! options for each step; every listed option is implemented here.
+
+use serde::{Deserialize, Serialize};
+
+/// Who proposes in the next round (paper: "Decide turn").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TurnPolicy {
+    /// The ISPs alternate (the paper's experimental setting).
+    Alternate,
+    /// The ISP with the lower cumulative disclosed gain proposes, giving
+    /// it a chance to catch up (approximates max-min fairness, §4.2).
+    LowerGain,
+    /// A deterministic seeded coin toss per round.
+    CoinToss {
+        /// Seed for the per-round coin.
+        seed: u64,
+    },
+}
+
+/// How the proposer selects the next (flow, alternative) (paper:
+/// "Propose an alternative").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProposalRule {
+    /// Maximize the sum of both ISPs' disclosed preferences, breaking ties
+    /// with the proposer's local preference (the paper's experimental
+    /// setting; approximates Pareto-optimal outcomes).
+    MaxCombined,
+    /// Propose the proposer's best local alternative, breaking ties by
+    /// minimal negative impact on the other ISP (the paper's listed
+    /// alternative).
+    BestLocalMinHarm,
+}
+
+/// Whether the non-proposing ISP accepts (paper: "Accept alternative?").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AcceptRule {
+    /// Always accept (the paper's experimental setting — full
+    /// cooperation).
+    Always,
+    /// Veto any proposal that would push the acceptor's *true* cumulative
+    /// gain below zero. Vetoed alternatives are withdrawn for the rest of
+    /// the negotiation and the proposer re-proposes.
+    VetoNegativeCumulative,
+    /// Credit-bounded veto with end-of-session rollback (the paper's §4
+    /// "credits" idea made concrete): interim dips down to `-credit`
+    /// preference units are tolerated so that cross-flow trades can be
+    /// sequenced, and when the table is exhausted each ISP rolls back its
+    /// worst accepted compromises (§6: "partially or fully rollback the
+    /// compromises made in return") until its cumulative disclosed gain
+    /// is non-negative. Guarantees a win-win outcome in preference units
+    /// while capturing far more of the trade space than a zero-credit
+    /// veto, which deadlocks on any constant-sum flow set.
+    CreditVeto {
+        /// Maximum tolerated interim deficit, in preference units.
+        credit: i64,
+    },
+}
+
+/// When negotiation ends (paper: "Stop?").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopPolicy {
+    /// Stop as soon as either ISP projects no additional self-gain from
+    /// continuing ("early termination", the paper's experimental
+    /// setting).
+    Early,
+    /// Continue while the stopping ISP's cumulative gain stays positive,
+    /// even if lower than with early termination ("full termination").
+    Full,
+    /// Negotiate every flow regardless of individual gains (the
+    /// socially-best mode the paper describes).
+    NegotiateAll,
+}
+
+/// Complete engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NexitConfig {
+    /// Preference class range `P` (classes live in `[-P, P]`). The paper
+    /// uses 10 and reports no benefit beyond that.
+    pub pref_range: i32,
+    /// Turn policy.
+    pub turn: TurnPolicy,
+    /// Proposal selection rule.
+    pub proposal: ProposalRule,
+    /// Acceptance rule.
+    pub accept: AcceptRule,
+    /// Stop policy.
+    pub stop: StopPolicy,
+    /// Reassign preferences after this fraction of total negotiated-set
+    /// traffic volume has been accepted (paper: 5% for bandwidth, `None`
+    /// for distance).
+    pub reassign_interval_frac: Option<f64>,
+}
+
+impl Default for NexitConfig {
+    /// The paper's experimental configuration for distance experiments:
+    /// `P = 10`, alternate turns, combined-maximum proposals, always
+    /// accept, early termination, no reassignment.
+    fn default() -> Self {
+        Self {
+            pref_range: 10,
+            turn: TurnPolicy::Alternate,
+            proposal: ProposalRule::MaxCombined,
+            accept: AcceptRule::Always,
+            stop: StopPolicy::Early,
+            reassign_interval_frac: None,
+        }
+    }
+}
+
+impl NexitConfig {
+    /// The paper's bandwidth-experiment configuration: like the default
+    /// but preferences are reassigned after each 5% of traffic.
+    pub fn bandwidth() -> Self {
+        Self {
+            reassign_interval_frac: Some(0.05),
+            ..Self::default()
+        }
+    }
+
+    /// The win-win configuration this reproduction's experiments use:
+    /// credit-bounded vetoes with end-of-session rollback and full
+    /// negotiation. On synthetic topologies the paper's strict setting
+    /// (always-accept + early termination) abandons asymmetric pairs —
+    /// one ISP projects a net loss and quits before any trade — while
+    /// this mode provably ends win-win *and* captures nearly the whole
+    /// optimal gain (see the engine's property tests and the ablation
+    /// experiment comparing the modes).
+    pub fn win_win() -> Self {
+        Self {
+            accept: AcceptRule::CreditVeto { credit: 1 << 40 },
+            stop: StopPolicy::NegotiateAll,
+            ..Self::default()
+        }
+    }
+
+    /// [`NexitConfig::win_win`] plus the paper's 5% bandwidth
+    /// reassignment interval.
+    pub fn win_win_bandwidth() -> Self {
+        Self {
+            reassign_interval_frac: Some(0.05),
+            ..Self::win_win()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_distance_setup() {
+        let c = NexitConfig::default();
+        assert_eq!(c.pref_range, 10);
+        assert_eq!(c.turn, TurnPolicy::Alternate);
+        assert_eq!(c.proposal, ProposalRule::MaxCombined);
+        assert_eq!(c.accept, AcceptRule::Always);
+        assert_eq!(c.stop, StopPolicy::Early);
+        assert_eq!(c.reassign_interval_frac, None);
+    }
+
+    #[test]
+    fn bandwidth_config_reassigns_at_5pct() {
+        let c = NexitConfig::bandwidth();
+        assert_eq!(c.reassign_interval_frac, Some(0.05));
+    }
+
+    #[test]
+    fn config_serializes() {
+        let c = NexitConfig::bandwidth();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: NexitConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,256 @@
+//! Opaque preference classes and quantization.
+//!
+//! Preferences are integers in `[-P, P]` (the paper uses `P = 10` and
+//! notes larger ranges add nothing). Class 0 is the flow's *default*
+//! alternative; positive classes are better-than-default, negative worse.
+//!
+//! The mapping from an ISP's internal metric must **compose over
+//! addition** (paper §4, step 1): an ISP should accept two class `-1`
+//! alternatives to win one class `+3` alternative. A per-flow
+//! normalization would break that (a `-1` on one flow could hide a much
+//! larger real loss than a `+3` gain on another), so [`quantize`] applies
+//! one *global* linear scale per ISP per mapping round: the largest
+//! absolute metric delta maps to ±P and everything else scales
+//! proportionally.
+
+use nexit_topology::IcxId;
+
+/// A preference table for one ISP over one negotiated flow set:
+/// `prefs[local_flow][alternative]` is the preference class.
+///
+/// "Local flow" indices are positions within the *negotiated subset* (see
+/// [`crate::SessionInput`]), not global [`nexit_routing::FlowId`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefTable {
+    prefs: Vec<Vec<i32>>,
+}
+
+impl PrefTable {
+    /// Build from raw rows. Every row must have the same number of
+    /// alternatives.
+    pub fn new(prefs: Vec<Vec<i32>>) -> Self {
+        if let Some(first) = prefs.first() {
+            let k = first.len();
+            assert!(
+                prefs.iter().all(|row| row.len() == k),
+                "ragged preference table"
+            );
+        }
+        Self { prefs }
+    }
+
+    /// An all-zero (indifferent) table.
+    pub fn zero(num_flows: usize, num_alternatives: usize) -> Self {
+        Self {
+            prefs: vec![vec![0; num_alternatives]; num_flows],
+        }
+    }
+
+    /// Preference for a local flow index and alternative.
+    #[inline]
+    pub fn get(&self, local_flow: usize, alt: IcxId) -> i32 {
+        self.prefs[local_flow][alt.index()]
+    }
+
+    /// Mutable access for one flow row.
+    #[inline]
+    pub fn row_mut(&mut self, local_flow: usize) -> &mut Vec<i32> {
+        &mut self.prefs[local_flow]
+    }
+
+    /// One flow's preference row.
+    #[inline]
+    pub fn row(&self, local_flow: usize) -> &[i32] {
+        &self.prefs[local_flow]
+    }
+
+    /// Number of flows covered.
+    #[inline]
+    pub fn num_flows(&self) -> usize {
+        self.prefs.len()
+    }
+
+    /// Number of alternatives per flow (0 for an empty table).
+    #[inline]
+    pub fn num_alternatives(&self) -> usize {
+        self.prefs.first().map_or(0, Vec::len)
+    }
+
+    /// Largest preference in the table (0 for an empty table).
+    pub fn max_class(&self) -> i32 {
+        self.prefs
+            .iter()
+            .flat_map(|r| r.iter().copied())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Verify every class is within `[-p, p]`.
+    pub fn within_range(&self, p: i32) -> bool {
+        self.prefs
+            .iter()
+            .flat_map(|r| r.iter())
+            .all(|&c| (-p..=p).contains(&c))
+    }
+}
+
+/// Quantize raw metric *gains* into preference classes with one global
+/// linear scale.
+///
+/// `gains[flow][alt]` is the ISP-internal improvement of the alternative
+/// over the flow's default (positive = better, in whatever unit the ISP
+/// uses). The scale maps the largest `|gain|` to `±p`; a table of all-zero
+/// gains maps to all-zero classes. The default alternative of every flow
+/// has gain 0 by construction and therefore class 0, as the paper
+/// requires.
+pub fn quantize(gains: &[Vec<f64>], p: i32) -> PrefTable {
+    assert!(p > 0, "preference range must be positive");
+    // Robust scale: the 95th percentile of the nonzero |gains| maps to
+    // ±p and larger outliers clamp. A plain maximum would let one
+    // extreme flow (e.g. a transcontinental detour among regional flows)
+    // crush every other delta into class 0, destroying the resolution
+    // the negotiation needs; P "large enough to differentiate
+    // alternatives with substantially different quality" (paper §4) is a
+    // statement about the typical spread, not the single worst case.
+    let mut magnitudes: Vec<f64> = gains
+        .iter()
+        .flat_map(|r| r.iter())
+        .map(|g| g.abs())
+        .filter(|&g| g > 0.0)
+        .collect();
+    if magnitudes.is_empty() {
+        return PrefTable::new(gains.iter().map(|r| vec![0; r.len()]).collect());
+    }
+    magnitudes.sort_by(|a, b| a.partial_cmp(b).expect("finite gains"));
+    let idx = ((magnitudes.len() as f64 * 0.95).ceil() as usize)
+        .saturating_sub(1)
+        .min(magnitudes.len() - 1);
+    let scale_base = magnitudes[idx];
+    let scale = p as f64 / scale_base;
+    // Floor, not round: gains round *down* and losses round *away from
+    // zero*, so a class never overstates a gain or understates a loss.
+    // This yields a real-metric guarantee on top of the engine's
+    // preference-unit one: if an ISP's cumulative class gain is >= 0,
+    // its true metric change is >= 0 too (each +1 class is backed by at
+    // least one quantum of true gain, each -1 class by at most one
+    // quantum of true loss). Tested as a property in the engine suite.
+    PrefTable::new(
+        gains
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|g| ((g * scale).floor() as i32).clamp(-p, p))
+                    .collect()
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_table() {
+        let t = PrefTable::zero(3, 2);
+        assert_eq!(t.num_flows(), 3);
+        assert_eq!(t.num_alternatives(), 2);
+        assert_eq!(t.get(0, IcxId(1)), 0);
+        assert!(t.within_range(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn rejects_ragged() {
+        PrefTable::new(vec![vec![0, 1], vec![0]]);
+    }
+
+    #[test]
+    fn quantize_scales_to_range() {
+        // Largest |gain| is 50 -> maps to 10; 25 -> 5; -50 -> -10.
+        let t = quantize(&[vec![0.0, 50.0], vec![25.0, -50.0]], 10);
+        assert_eq!(t.get(0, IcxId(0)), 0);
+        assert_eq!(t.get(0, IcxId(1)), 10);
+        assert_eq!(t.get(1, IcxId(0)), 5);
+        assert_eq!(t.get(1, IcxId(1)), -10);
+    }
+
+    #[test]
+    fn quantize_floor_is_conservative() {
+        // Gains round down, losses round away from zero.
+        let t = quantize(&[vec![0.0, 9.0, -1.0, -9.0, 10.0]], 10);
+        // scale_base = p95 of {9,1,9,10} = 10 -> scale = 1.0
+        assert_eq!(t.row(0), &[0, 9, -1, -9, 10]);
+        let t = quantize(&[vec![0.0, 14.0, -14.0, 100.0]], 10);
+        // p95 of {14,14,100} = 100 -> scale = 0.1: 1.4 -> 1, -1.4 -> -2
+        assert_eq!(t.get(0, IcxId(1)), 1);
+        assert_eq!(t.get(0, IcxId(2)), -2);
+    }
+
+    #[test]
+    fn quantize_all_zero() {
+        let t = quantize(&[vec![0.0, 0.0]], 10);
+        assert_eq!(t.row(0), &[0, 0]);
+    }
+
+    #[test]
+    fn quantize_is_global_not_per_flow() {
+        // Flow 0 has a tiny gain, flow 1 a huge one; per-flow normalization
+        // would give both class 10. Global scaling must keep flow 0 small.
+        let t = quantize(&[vec![0.0, 1.0], vec![0.0, 100.0]], 10);
+        assert_eq!(t.get(1, IcxId(1)), 10);
+        assert!(t.get(0, IcxId(1)) <= 1, "tiny gain must stay tiny");
+    }
+
+    #[test]
+    fn max_class_and_range() {
+        let t = quantize(&[vec![0.0, 3.0, -7.0]], 5);
+        assert!(t.within_range(5));
+        assert_eq!(t.max_class(), 2); // 3/7*5 = 2.14 -> 2
+        assert!(!t.within_range(1));
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn quantize_always_within_range(
+                (gains, p) in (1usize..6).prop_flat_map(|k| (
+                    proptest::collection::vec(
+                        proptest::collection::vec(-1e6f64..1e6, k), 1..20),
+                    1i32..50,
+                )),
+            ) {
+                let t = quantize(&gains, p);
+                prop_assert!(t.within_range(p));
+            }
+
+            #[test]
+            fn quantize_preserves_sign_and_order_per_flow(
+                gains in (2usize..6).prop_flat_map(|k| proptest::collection::vec(
+                    proptest::collection::vec(-1e3f64..1e3, k), 1..10)),
+            ) {
+                let p = 1000; // large range: ordering must survive rounding
+                let t = quantize(&gains, p);
+                for (fi, row) in gains.iter().enumerate() {
+                    for (ai, &g) in row.iter().enumerate() {
+                        let c = t.get(fi, IcxId::new(ai));
+                        if g > 0.0 { prop_assert!(c >= 0); }
+                        if g < 0.0 { prop_assert!(c <= 0); }
+                        for (aj, &h) in row.iter().enumerate() {
+                            if g > h {
+                                prop_assert!(
+                                    c >= t.get(fi, IcxId::new(aj)),
+                                    "order violated: gain {g} > {h} but class {c} < {}",
+                                    t.get(fi, IcxId::new(aj))
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

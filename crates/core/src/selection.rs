@@ -1,0 +1,343 @@
+//! Pure selection functions shared by the in-process engine and the
+//! distributed wire-protocol agents.
+//!
+//! Both implementations must take bit-identical decisions from the same
+//! disclosed state — the centralized engine ([`crate::engine`]) for
+//! simulation speed, and the message-passing agents
+//! (`nexit-proto`) for deployment fidelity — so the decision rules live
+//! here, parameterized only on data.
+
+use crate::policies::{ProposalRule, TurnPolicy};
+use crate::prefs::PrefTable;
+use crate::outcome::Side;
+use nexit_topology::IcxId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Negotiable state visible to selection: which local flows remain and
+/// which (flow, alternative) pairs were withdrawn by veto.
+#[derive(Debug, Clone)]
+pub struct TableState {
+    /// `true` while the local flow is still on the table.
+    pub remaining: Vec<bool>,
+    /// `banned[flow][alt]` marks vetoed alternatives.
+    pub banned: Vec<Vec<bool>>,
+}
+
+impl TableState {
+    /// Fresh state with all flows on the table.
+    pub fn new(num_flows: usize, num_alternatives: usize) -> Self {
+        Self {
+            remaining: vec![true; num_flows],
+            banned: vec![vec![false; num_alternatives]; num_flows],
+        }
+    }
+
+    /// Number of flows still on the table.
+    pub fn num_remaining(&self) -> usize {
+        self.remaining.iter().filter(|&&r| r).count()
+    }
+}
+
+/// The combined-maximum alternative of one flow and its combined sum.
+/// Used for stop projections. Ties prefer the flow's *default*
+/// alternative (no movement without reason), then the lowest id.
+pub fn combined_best(
+    d_own: &PrefTable,
+    d_other: &PrefTable,
+    state: &TableState,
+    local: usize,
+    num_alternatives: usize,
+    default: IcxId,
+) -> (IcxId, i64) {
+    let mut best_alt = IcxId::new(0);
+    let mut best_sum = i64::MIN;
+    let mut best_is_default = false;
+    for alt in 0..num_alternatives {
+        if state.banned[local][alt] {
+            continue;
+        }
+        let id = IcxId::new(alt);
+        let sum = i64::from(d_own.get(local, id)) + i64::from(d_other.get(local, id));
+        let is_default = id == default;
+        if sum > best_sum || (sum == best_sum && is_default && !best_is_default) {
+            best_sum = sum;
+            best_alt = id;
+            best_is_default = is_default;
+        }
+    }
+    (best_alt, best_sum)
+}
+
+/// The proposer's choice of (local flow, alternative), or `None` when
+/// nothing is proposable.
+///
+/// `self_guard` carries `(own_true_table, own_cumulative_gain)` when the
+/// veto accept-rule is active: the proposer never proposes an alternative
+/// that would push its own true cumulative gain negative.
+#[allow(clippy::needless_range_loop)] // parallel arrays indexed together
+pub fn select_proposal(
+    d_own: &PrefTable,
+    d_other: &PrefTable,
+    state: &TableState,
+    num_alternatives: usize,
+    rule: ProposalRule,
+    self_guard: Option<(&PrefTable, i64)>,
+    defaults: &[IcxId],
+) -> Option<(usize, IcxId)> {
+    // Key: (primary, secondary, prefer-default-on-tie). The default
+    // alternative wins full ties so ISPs never move a flow without a
+    // disclosed reason (movement at all-zero preferences would otherwise
+    // leak unmeasured real-metric losses).
+    let mut best: Option<((i64, i64, i64), usize, IcxId)> = None;
+    for local in 0..state.remaining.len() {
+        if !state.remaining[local] {
+            continue;
+        }
+        for alt in 0..num_alternatives {
+            if state.banned[local][alt] {
+                continue;
+            }
+            let alt_id = IcxId::new(alt);
+            if let Some((own_true, own_cum)) = self_guard {
+                if own_cum + i64::from(own_true.get(local, alt_id)) < 0 {
+                    continue;
+                }
+            }
+            let o = i64::from(d_own.get(local, alt_id));
+            let t = i64::from(d_other.get(local, alt_id));
+            let default_bias = i64::from(alt_id == defaults[local]);
+            let key = match rule {
+                ProposalRule::MaxCombined => (o + t, o, default_bias),
+                ProposalRule::BestLocalMinHarm => (o, t, default_bias),
+            };
+            if best.is_none_or(|(bk, _, _)| key > bk) {
+                best = Some((key, local, alt_id));
+            }
+        }
+    }
+    best.map(|(_, local, alt)| (local, alt))
+}
+
+/// Early-termination projection: the best *nonempty* prefix sum of
+/// `own_true` preferences over the remaining flows, in combined-selection
+/// order (see the engine's documentation for semantics). Returns 0 when
+/// no flows remain.
+#[allow(clippy::needless_range_loop)] // parallel arrays indexed together
+pub fn projected_gain(
+    own_true: &PrefTable,
+    d_own: &PrefTable,
+    d_other: &PrefTable,
+    state: &TableState,
+    num_alternatives: usize,
+    defaults: &[IcxId],
+) -> i64 {
+    let mut picks: Vec<(i64, i64)> = Vec::new(); // (combined, own true)
+    for local in 0..state.remaining.len() {
+        if !state.remaining[local] {
+            continue;
+        }
+        let (alt, combined) =
+            combined_best(d_own, d_other, state, local, num_alternatives, defaults[local]);
+        picks.push((combined, i64::from(own_true.get(local, alt))));
+    }
+    picks.sort_by_key(|&(combined, _)| std::cmp::Reverse(combined));
+    let mut best = i64::MIN;
+    let mut run = 0i64;
+    for (_, own) in picks {
+        run += own;
+        best = best.max(run);
+    }
+    if best == i64::MIN {
+        0
+    } else {
+        best
+    }
+}
+
+/// The deterministic end-of-session rollback plan for
+/// [`crate::AcceptRule::CreditVeto`].
+///
+/// `accepted` lists the accepted moves in round order as
+/// `(local_flow, alternative)`. While either side's cumulative disclosed
+/// gain is negative, the plan reverts that side's disclosedly-worst
+/// remaining move (ties to the earliest round). Returns the indices into
+/// `accepted` to revert, in revert order. Both sides of a distributed
+/// session compute this identically from shared state.
+pub fn rollback_plan(
+    d_a: &PrefTable,
+    d_b: &PrefTable,
+    accepted: &[(usize, IcxId)],
+    mut gain_a: i64,
+    mut gain_b: i64,
+) -> Vec<usize> {
+    let mut reverted = vec![false; accepted.len()];
+    let mut plan = Vec::new();
+    loop {
+        let side_a = if gain_a < 0 {
+            true
+        } else if gain_b < 0 {
+            false
+        } else {
+            return plan;
+        };
+        let table = if side_a { d_a } else { d_b };
+        let mut worst: Option<(i64, usize)> = None;
+        for (i, &(local, alt)) in accepted.iter().enumerate() {
+            if reverted[i] {
+                continue;
+            }
+            let pref = i64::from(table.get(local, alt));
+            if pref < 0 && worst.is_none_or(|(wp, _)| pref < wp) {
+                worst = Some((pref, i));
+            }
+        }
+        let Some((_, idx)) = worst else {
+            return plan; // nothing left to revert for the negative side
+        };
+        let (local, alt) = accepted[idx];
+        reverted[idx] = true;
+        gain_a -= i64::from(d_a.get(local, alt));
+        gain_b -= i64::from(d_b.get(local, alt));
+        plan.push(idx);
+    }
+}
+
+/// Whose turn it is in `round`, given the policy and current disclosed
+/// cumulative gains. Both sides of a distributed session compute this
+/// identically.
+pub fn decide_turn(
+    policy: TurnPolicy,
+    round: usize,
+    disclosed_gain_a: i64,
+    disclosed_gain_b: i64,
+) -> Side {
+    match policy {
+        TurnPolicy::Alternate => {
+            if round.is_multiple_of(2) {
+                Side::A
+            } else {
+                Side::B
+            }
+        }
+        TurnPolicy::LowerGain => {
+            use std::cmp::Ordering;
+            match disclosed_gain_a.cmp(&disclosed_gain_b) {
+                Ordering::Less => Side::A,
+                Ordering::Greater => Side::B,
+                Ordering::Equal => {
+                    if round.is_multiple_of(2) {
+                        Side::A
+                    } else {
+                        Side::B
+                    }
+                }
+            }
+        }
+        TurnPolicy::CoinToss { seed } => {
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (round as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            if rng.gen_bool(0.5) {
+                Side::A
+            } else {
+                Side::B
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(rows: Vec<Vec<i32>>) -> PrefTable {
+        PrefTable::new(rows)
+    }
+
+    #[test]
+    fn combined_best_skips_banned() {
+        let a = table(vec![vec![0, 5, 3]]);
+        let b = table(vec![vec![0, 5, 4]]);
+        let mut state = TableState::new(1, 3);
+        assert_eq!(combined_best(&a, &b, &state, 0, 3, IcxId(0)), (IcxId(1), 10));
+        state.banned[0][1] = true;
+        assert_eq!(combined_best(&a, &b, &state, 0, 3, IcxId(0)), (IcxId(2), 7));
+    }
+
+    #[test]
+    fn combined_best_prefers_default_on_tie() {
+        let a = table(vec![vec![0, 0, 0]]);
+        let b = table(vec![vec![0, 0, 0]]);
+        let state = TableState::new(1, 3);
+        assert_eq!(combined_best(&a, &b, &state, 0, 3, IcxId(2)), (IcxId(2), 0));
+    }
+
+    #[test]
+    fn proposal_respects_guard() {
+        let own = table(vec![vec![0, -5]]);
+        let other = table(vec![vec![0, 10]]);
+        let state = TableState::new(1, 2);
+        let defaults = [IcxId(0)];
+        // Without guard: combined max picks alt 1 (sum 5).
+        let p = select_proposal(&own, &other, &state, 2, ProposalRule::MaxCombined, None, &defaults);
+        assert_eq!(p, Some((0, IcxId(1))));
+        // With guard at cum 0, alt 1 would go to -5: only the default left.
+        let p = select_proposal(
+            &own,
+            &other,
+            &state,
+            2,
+            ProposalRule::MaxCombined,
+            Some((&own, 0)),
+            &defaults,
+        );
+        assert_eq!(p, Some((0, IcxId(0))));
+        // With banked gain 5, alt 1 is acceptable again.
+        let p = select_proposal(
+            &own,
+            &other,
+            &state,
+            2,
+            ProposalRule::MaxCombined,
+            Some((&own, 5)),
+            &defaults,
+        );
+        assert_eq!(p, Some((0, IcxId(1))));
+    }
+
+    #[test]
+    fn projection_empty_is_zero() {
+        let t = table(vec![]);
+        let state = TableState::new(0, 2);
+        assert_eq!(projected_gain(&t, &t, &t, &state, 2, &[]), 0);
+    }
+
+    #[test]
+    fn rollback_reverts_worst_until_nonnegative() {
+        // Moves: (A -5, B +9), (A +3, B 0), (A -1, B +2). gains A=-3, B=11.
+        let d_a = table(vec![vec![0, -5], vec![0, 3], vec![0, -1]]);
+        let d_b = table(vec![vec![0, 9], vec![0, 0], vec![0, 2]]);
+        let accepted = vec![(0, IcxId(1)), (1, IcxId(1)), (2, IcxId(1))];
+        let plan = rollback_plan(&d_a, &d_b, &accepted, -3, 11);
+        // A reverts its worst move (idx 0, -5): gains A=2, B=2; done.
+        assert_eq!(plan, vec![0]);
+    }
+
+    #[test]
+    fn rollback_noop_when_both_nonnegative() {
+        let d = table(vec![vec![0, 1]]);
+        assert!(rollback_plan(&d, &d, &[(0, IcxId(1))], 1, 1).is_empty());
+    }
+
+    #[test]
+    fn turn_policies() {
+        assert_eq!(decide_turn(TurnPolicy::Alternate, 0, 0, 0), Side::A);
+        assert_eq!(decide_turn(TurnPolicy::Alternate, 1, 0, 0), Side::B);
+        assert_eq!(decide_turn(TurnPolicy::LowerGain, 0, 3, 1), Side::B);
+        assert_eq!(decide_turn(TurnPolicy::LowerGain, 0, 1, 3), Side::A);
+        // Coin toss: deterministic per (seed, round).
+        let t1 = decide_turn(TurnPolicy::CoinToss { seed: 5 }, 7, 0, 0);
+        let t2 = decide_turn(TurnPolicy::CoinToss { seed: 5 }, 7, 0, 0);
+        assert_eq!(t1, t2);
+    }
+}

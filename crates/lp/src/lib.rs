@@ -1,0 +1,21 @@
+//! A dense two-phase primal simplex LP solver.
+//!
+//! Built from scratch as the substrate for the paper's *globally optimal*
+//! bandwidth routing: "computed by solving an optimization problem that
+//! minimizes the maximum increase in link load … we allow flows to be
+//! fractionally divided among interconnections" (§5.2). That is a linear
+//! program; the paper's authors used an off-the-shelf solver, which the
+//! offline crate set does not include.
+//!
+//! Scope: minimize `c·x` subject to mixed `<=` / `>=` / `==` constraints
+//! and `x >= 0`. Problems in this workspace are small and dense-ish
+//! (hundreds of rows, a few thousand columns), so a dense tableau with
+//! Bland's anti-cycling rule is simple, robust, and fast enough. Dantzig
+//! pricing is used until degeneracy stalls are detected, then the solver
+//! falls back to Bland's rule, which guarantees termination.
+
+pub mod problem;
+pub mod simplex;
+
+pub use problem::{Constraint, ConstraintOp, LpProblem};
+pub use simplex::{solve, solve_with, LpOutcome, SimplexOptions};

@@ -1,0 +1,164 @@
+//! Percentage distance gains relative to default routing.
+//!
+//! The paper reports every distance result as *"the percentage reduction
+//! in the distance relative to the default routing"* — total across both
+//! ISPs (Fig. 4a), per ISP (Fig. 4b), and per flow (Fig. 6).
+
+use nexit_routing::{assignment, Assignment, PairFlows};
+
+/// `100 * (default - other) / default`, i.e. the percentage reduction of
+/// `other` relative to `default`. Positive means `other` is better
+/// (shorter). Zero when `default` is zero (both are zero-length).
+pub fn percent_gain(default: f64, other: f64) -> f64 {
+    if default == 0.0 {
+        0.0
+    } else {
+        100.0 * (default - other) / default
+    }
+}
+
+/// The distance-gain decomposition of one routing outcome versus the
+/// default assignment, over one directed flow set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistanceGains {
+    /// Percentage reduction of total (both-ISP) distance.
+    pub total_pct: f64,
+    /// Percentage reduction of distance inside the upstream ISP.
+    pub upstream_pct: f64,
+    /// Percentage reduction of distance inside the downstream ISP.
+    pub downstream_pct: f64,
+}
+
+impl DistanceGains {
+    /// Compare `candidate` with `default` over `flows`.
+    pub fn compute(
+        flows: &PairFlows,
+        default: &Assignment,
+        candidate: &Assignment,
+    ) -> DistanceGains {
+        let d_total = assignment::total_distance_km(flows, default);
+        let c_total = assignment::total_distance_km(flows, candidate);
+        let d_up = assignment::side_distance_km(flows, default, true);
+        let c_up = assignment::side_distance_km(flows, candidate, true);
+        let d_down = assignment::side_distance_km(flows, default, false);
+        let c_down = assignment::side_distance_km(flows, candidate, false);
+        DistanceGains {
+            total_pct: percent_gain(d_total, c_total),
+            upstream_pct: percent_gain(d_up, c_up),
+            downstream_pct: percent_gain(d_down, c_down),
+        }
+    }
+}
+
+/// Per-flow percentage gains of `candidate` over `default` (Fig. 6's
+/// flow-level view). Unweighted by volume: each flow is one sample.
+pub fn flow_gains(
+    flows: &PairFlows,
+    default: &Assignment,
+    candidate: &Assignment,
+) -> Vec<f64> {
+    flows
+        .iter()
+        .map(|(id, _, m)| {
+            percent_gain(m.total_km(default.choice(id)), m.total_km(candidate.choice(id)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexit_routing::{FlowId, PairFlows, ShortestPaths};
+    use nexit_topology::{
+        GeoPoint, IcxId, Interconnection, IspId, IspPair, IspTopology, Link, PairView, Pop,
+        PopId,
+    };
+
+    #[test]
+    fn percent_gain_basic() {
+        assert_eq!(percent_gain(100.0, 80.0), 20.0);
+        assert_eq!(percent_gain(100.0, 120.0), -20.0);
+        assert_eq!(percent_gain(0.0, 5.0), 0.0);
+        assert_eq!(percent_gain(50.0, 50.0), 0.0);
+    }
+
+    fn pop(city: &str, lon: f64) -> Pop {
+        Pop {
+            city: city.into(),
+            geo: GeoPoint::new(0.0, lon),
+            weight: 1.0,
+        }
+    }
+
+    fn line(id: u32, n: usize) -> IspTopology {
+        let pops = (0..n).map(|i| pop(&format!("c{i}"), i as f64)).collect();
+        let links = (0..n - 1)
+            .map(|i| Link {
+                a: PopId::new(i),
+                b: PopId::new(i + 1),
+                weight: 100.0,
+                length_km: 100.0,
+            })
+            .collect();
+        IspTopology::new(IspId(id), format!("L{id}"), pops, links, false).unwrap()
+    }
+
+    fn fixture() -> (IspTopology, IspTopology, IspPair) {
+        let a = line(0, 3);
+        let b = line(1, 3);
+        let pair = IspPair::new(
+            &a,
+            &b,
+            vec![
+                Interconnection {
+                    pop_a: PopId(0),
+                    pop_b: PopId(0),
+                    length_km: 0.0,
+                },
+                Interconnection {
+                    pop_a: PopId(2),
+                    pop_b: PopId(2),
+                    length_km: 0.0,
+                },
+            ],
+        )
+        .unwrap();
+        (a, b, pair)
+    }
+
+    #[test]
+    fn gains_decompose() {
+        let (a, b, pair) = fixture();
+        let view = PairView::new(&a, &b, &pair);
+        let sp_a = ShortestPaths::compute(&a);
+        let sp_b = ShortestPaths::compute(&b);
+        let flows = PairFlows::build(&view, &sp_a, &sp_b, |_, _| 1.0);
+        let default = Assignment::uniform(flows.len(), IcxId(0));
+        // Move flow a2->b2 (id 8) to icx 1: upstream 200->0, downstream 200->0.
+        let mut better = default.clone();
+        better.set(FlowId(8), IcxId(1));
+        let g = DistanceGains::compute(&flows, &default, &better);
+        assert!(g.total_pct > 0.0);
+        assert!(g.upstream_pct > 0.0);
+        assert!(g.downstream_pct > 0.0);
+        // Identical assignments have zero gain.
+        let zero = DistanceGains::compute(&flows, &default, &default);
+        assert_eq!(zero.total_pct, 0.0);
+    }
+
+    #[test]
+    fn flow_gains_identify_the_changed_flow() {
+        let (a, b, pair) = fixture();
+        let view = PairView::new(&a, &b, &pair);
+        let sp_a = ShortestPaths::compute(&a);
+        let sp_b = ShortestPaths::compute(&b);
+        let flows = PairFlows::build(&view, &sp_a, &sp_b, |_, _| 1.0);
+        let default = Assignment::uniform(flows.len(), IcxId(0));
+        let mut better = default.clone();
+        better.set(FlowId(8), IcxId(1)); // a2->b2: 400 km -> 0 km
+        let gains = flow_gains(&flows, &default, &better);
+        assert_eq!(gains.len(), 9);
+        assert_eq!(gains[8], 100.0);
+        assert!(gains[..8].iter().all(|&g| g == 0.0));
+    }
+}

@@ -1,0 +1,143 @@
+//! Fortz–Thorup piecewise-linear link cost.
+//!
+//! The paper's alternate ISP optimization metric (§5.2): *"a metric based
+//! on a linear programming formulation of optimal routing [Fortz &
+//! Thorup]. This metric minimizes the sum of link costs, where the cost is
+//! a piecewise linear function of load with increasing slope."*
+//!
+//! We use the canonical Fortz–Thorup breakpoints. With utilization
+//! `u = load / capacity`, the marginal cost (slope) is:
+//!
+//! | utilization     | slope |
+//! |-----------------|-------|
+//! | 0    – 1/3      | 1     |
+//! | 1/3  – 2/3      | 3     |
+//! | 2/3  – 9/10     | 10    |
+//! | 9/10 – 1        | 70    |
+//! | 1    – 11/10    | 500   |
+//! | > 11/10         | 5000  |
+//!
+//! Costs are normalized per unit of capacity so links of different sizes
+//! contribute comparably.
+
+/// Slope breakpoints: `(utilization_threshold, slope_above_previous)`.
+const SEGMENTS: [(f64, f64); 6] = [
+    (1.0 / 3.0, 1.0),
+    (2.0 / 3.0, 3.0),
+    (9.0 / 10.0, 10.0),
+    (1.0, 70.0),
+    (11.0 / 10.0, 500.0),
+    (f64::INFINITY, 5000.0),
+];
+
+/// The Fortz–Thorup cost of one link with the given load and capacity.
+///
+/// Piecewise-linear, convex, increasing; continuous across breakpoints.
+/// Expressed in units of capacity: `fortz_link_cost(u * c, c) ==
+/// c * fortz_link_cost(u, 1.0)`.
+pub fn fortz_link_cost(load: f64, capacity: f64) -> f64 {
+    assert!(capacity > 0.0, "capacity must be positive");
+    assert!(load >= 0.0, "load must be non-negative");
+    let u = load / capacity;
+    let mut cost = 0.0;
+    let mut prev = 0.0;
+    for (threshold, slope) in SEGMENTS {
+        let span = (u.min(threshold) - prev).max(0.0);
+        cost += slope * span;
+        if u <= threshold {
+            break;
+        }
+        prev = threshold;
+    }
+    cost * capacity
+}
+
+/// Total Fortz–Thorup cost of a link set.
+pub fn fortz_cost(loads: &[f64], capacities: &[f64]) -> f64 {
+    assert_eq!(loads.len(), capacities.len(), "loads/capacities mismatch");
+    loads
+        .iter()
+        .zip(capacities)
+        .map(|(&l, &c)| fortz_link_cost(l, c))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_load_zero_cost() {
+        assert_eq!(fortz_link_cost(0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn first_segment_linear() {
+        // u = 0.2 -> cost = 0.2 (unit capacity)
+        assert!((fortz_link_cost(0.2, 1.0) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakpoint_values() {
+        // At u=1/3: 1/3.
+        assert!((fortz_link_cost(1.0 / 3.0, 1.0) - 1.0 / 3.0).abs() < 1e-12);
+        // At u=2/3: 1/3 + 3*(1/3) = 4/3.
+        assert!((fortz_link_cost(2.0 / 3.0, 1.0) - 4.0 / 3.0).abs() < 1e-12);
+        // At u=9/10: 4/3 + 10*(9/10-2/3) = 4/3 + 10*(7/30) = 4/3 + 7/3 = 11/3.
+        assert!((fortz_link_cost(0.9, 1.0) - 11.0 / 3.0).abs() < 1e-12);
+        // At u=1: 11/3 + 70*0.1 = 11/3 + 7.
+        assert!((fortz_link_cost(1.0, 1.0) - (11.0 / 3.0 + 7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overload_is_penalized_steeply() {
+        let at_cap = fortz_link_cost(1.0, 1.0);
+        let over = fortz_link_cost(1.2, 1.0);
+        assert!(over > at_cap + 500.0 * 0.1, "overload slope too shallow");
+    }
+
+    #[test]
+    fn scales_with_capacity() {
+        let unit = fortz_link_cost(0.8, 1.0);
+        let big = fortz_link_cost(8.0, 10.0);
+        assert!((big - 10.0 * unit).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_sums_links() {
+        let total = fortz_cost(&[0.2, 0.2], &[1.0, 1.0]);
+        assert!((total - 0.4).abs() < 1e-12);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn convex_and_increasing(c in 0.1f64..100.0, u1 in 0.0f64..2.0, du in 0.001f64..0.5) {
+                let u2 = u1 + du;
+                let f1 = fortz_link_cost(u1 * c, c);
+                let f2 = fortz_link_cost(u2 * c, c);
+                prop_assert!(f2 > f1, "cost must strictly increase");
+                // Convexity: slope over [u1,u2] <= slope over [u2, u2+du].
+                let f3 = fortz_link_cost((u2 + du) * c, c);
+                let s12 = (f2 - f1) / du;
+                let s23 = (f3 - f2) / du;
+                // Relative tolerance: slopes reach 5000 * capacity, where
+                // absolute 1e-9 slack is below f64 rounding noise.
+                prop_assert!(s23 + 1e-6 * s12.abs().max(1.0) >= s12, "cost must be convex");
+            }
+
+            #[test]
+            fn continuous_at_breakpoints(c in 0.1f64..100.0) {
+                for bp in [1.0/3.0, 2.0/3.0, 0.9, 1.0, 1.1] {
+                    let eps = 1e-9;
+                    let below = fortz_link_cost((bp - eps) * c, c);
+                    let above = fortz_link_cost((bp + eps) * c, c);
+                    prop_assert!((above - below).abs() < 1e-4 * c);
+                }
+            }
+        }
+    }
+}

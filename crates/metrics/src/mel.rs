@@ -1,0 +1,110 @@
+//! Maximum Excess Load (MEL).
+//!
+//! The paper's overload metric (§5.2): *"the maximum ratio of load after
+//! and before the failure on any link in the topology"*, where the
+//! denominator is the capacity assigned from pre-failure loads (see
+//! [`nexit_workload::capacity`]). A MEL of 1.0 means no link's offered
+//! load grew past its capacity; higher values measure how much the worst
+//! link is over-driven.
+
+use nexit_workload::LinkLoads;
+
+/// MEL over one link set: `max_l load[l] / capacity[l]`.
+///
+/// Links with zero capacity are impossible by construction (capacity
+/// assignment returns strictly positive values); debug-asserted here.
+/// Returns 0.0 for an empty link set.
+pub fn mel(loads: &[f64], capacities: &[f64]) -> f64 {
+    assert_eq!(loads.len(), capacities.len(), "loads/capacities mismatch");
+    loads
+        .iter()
+        .zip(capacities)
+        .map(|(&l, &c)| {
+            debug_assert!(c > 0.0, "zero capacity");
+            l / c
+        })
+        .fold(0.0, f64::max)
+}
+
+/// The MELs of both sides of a pair: `(upstream, downstream)`.
+pub fn side_mels(
+    loads: &LinkLoads,
+    up_capacities: &[f64],
+    down_capacities: &[f64],
+) -> (f64, f64) {
+    (
+        mel(&loads.up, up_capacities),
+        mel(&loads.down, down_capacities),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mel_finds_worst_ratio() {
+        let loads = [10.0, 30.0, 5.0];
+        let caps = [10.0, 10.0, 10.0];
+        assert_eq!(mel(&loads, &caps), 3.0);
+    }
+
+    #[test]
+    fn mel_of_unloaded_topology_is_zero() {
+        assert_eq!(mel(&[0.0, 0.0], &[5.0, 1.0]), 0.0);
+        assert_eq!(mel(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn mel_at_capacity_is_one() {
+        assert_eq!(mel(&[7.0], &[7.0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = mel(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn side_mels_split() {
+        let loads = LinkLoads {
+            up: vec![4.0],
+            down: vec![9.0, 1.0],
+        };
+        let (u, d) = side_mels(&loads, &[2.0], &[3.0, 10.0]);
+        assert_eq!(u, 2.0);
+        assert_eq!(d, 3.0);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn mel_bounds(pairs in proptest::collection::vec((0.0f64..1e6, 0.001f64..1e6), 1..64)) {
+                let loads: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+                let caps: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+                let m = mel(&loads, &caps);
+                for (l, c) in &pairs {
+                    prop_assert!(m + 1e-12 >= l / c);
+                }
+                prop_assert!(pairs.iter().any(|(l, c)| (l / c - m).abs() < 1e-9));
+            }
+
+            #[test]
+            fn mel_scales_linearly_with_load(
+                pairs in proptest::collection::vec((0.0f64..1e5, 0.001f64..1e5), 1..32),
+                k in 0.1f64..10.0,
+            ) {
+                let loads: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+                let scaled: Vec<f64> = loads.iter().map(|l| l * k).collect();
+                let caps: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+                let m1 = mel(&loads, &caps);
+                let m2 = mel(&scaled, &caps);
+                prop_assert!((m2 - k * m1).abs() < 1e-6 * m2.max(1.0));
+            }
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! In-memory duplex link with fault injection.
+//!
+//! Models the byte pipe between two negotiation agents. Faults — drop,
+//! corrupt (single-byte flip), duplicate — are injected per *frame* with
+//! seeded probabilities, in the spirit of the fault-injection options of
+//! event-driven stack examples. The protocol assumes a reliable transport,
+//! so injected faults are expected to surface as clean session errors
+//! (e.g. [`crate::frame::FrameError::BadCrc`]), never as silent
+//! corruption; the tests assert exactly that.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Per-frame fault probabilities (all in `[0, 1]`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability of dropping a frame entirely.
+    pub drop_chance: f64,
+    /// Probability of flipping one random bit in a frame.
+    pub corrupt_chance: f64,
+    /// Probability of delivering a frame twice.
+    pub duplicate_chance: f64,
+}
+
+impl FaultConfig {
+    /// A perfectly reliable link.
+    pub const RELIABLE: FaultConfig = FaultConfig {
+        drop_chance: 0.0,
+        corrupt_chance: 0.0,
+        duplicate_chance: 0.0,
+    };
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::RELIABLE
+    }
+}
+
+/// One direction of a faulty link: frames go in, possibly-mangled frames
+/// come out, in order.
+#[derive(Debug)]
+pub struct FaultyLink {
+    config: FaultConfig,
+    rng: StdRng,
+    queue: VecDeque<Vec<u8>>,
+    /// Statistics: frames dropped.
+    pub dropped: usize,
+    /// Statistics: frames corrupted.
+    pub corrupted: usize,
+    /// Statistics: frames duplicated.
+    pub duplicated: usize,
+}
+
+impl FaultyLink {
+    /// New link with the given faults and seed.
+    pub fn new(config: FaultConfig, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&config.drop_chance));
+        assert!((0.0..=1.0).contains(&config.corrupt_chance));
+        assert!((0.0..=1.0).contains(&config.duplicate_chance));
+        Self {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            queue: VecDeque::new(),
+            dropped: 0,
+            corrupted: 0,
+            duplicated: 0,
+        }
+    }
+
+    /// A reliable link.
+    pub fn reliable() -> Self {
+        Self::new(FaultConfig::RELIABLE, 0)
+    }
+
+    /// Send one frame into the link.
+    pub fn send(&mut self, frame: Vec<u8>) {
+        if self.rng.gen_bool(self.config.drop_chance) {
+            self.dropped += 1;
+            return;
+        }
+        let mut frame = frame;
+        if !frame.is_empty() && self.rng.gen_bool(self.config.corrupt_chance) {
+            let byte = self.rng.gen_range(0..frame.len());
+            let bit = self.rng.gen_range(0..8);
+            frame[byte] ^= 1 << bit;
+            self.corrupted += 1;
+        }
+        if self.rng.gen_bool(self.config.duplicate_chance) {
+            self.queue.push_back(frame.clone());
+            self.duplicated += 1;
+        }
+        self.queue.push_back(frame);
+    }
+
+    /// Receive the next frame, if any.
+    pub fn recv(&mut self) -> Option<Vec<u8>> {
+        self.queue.pop_front()
+    }
+
+    /// Frames currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_link_is_fifo() {
+        let mut link = FaultyLink::reliable();
+        link.send(vec![1]);
+        link.send(vec![2]);
+        link.send(vec![3]);
+        assert_eq!(link.recv(), Some(vec![1]));
+        assert_eq!(link.recv(), Some(vec![2]));
+        assert_eq!(link.recv(), Some(vec![3]));
+        assert_eq!(link.recv(), None);
+    }
+
+    #[test]
+    fn drop_all() {
+        let mut link = FaultyLink::new(
+            FaultConfig {
+                drop_chance: 1.0,
+                ..FaultConfig::RELIABLE
+            },
+            1,
+        );
+        link.send(vec![1, 2, 3]);
+        assert_eq!(link.recv(), None);
+        assert_eq!(link.dropped, 1);
+    }
+
+    #[test]
+    fn corrupt_changes_exactly_one_bit() {
+        let mut link = FaultyLink::new(
+            FaultConfig {
+                corrupt_chance: 1.0,
+                ..FaultConfig::RELIABLE
+            },
+            2,
+        );
+        let original = vec![0u8; 16];
+        link.send(original.clone());
+        let got = link.recv().unwrap();
+        let flipped: u32 = original
+            .iter()
+            .zip(&got)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 1);
+        assert_eq!(link.corrupted, 1);
+    }
+
+    #[test]
+    fn duplicate_delivers_twice() {
+        let mut link = FaultyLink::new(
+            FaultConfig {
+                duplicate_chance: 1.0,
+                ..FaultConfig::RELIABLE
+            },
+            3,
+        );
+        link.send(vec![7]);
+        assert_eq!(link.recv(), Some(vec![7]));
+        assert_eq!(link.recv(), Some(vec![7]));
+        assert_eq!(link.recv(), None);
+    }
+
+    #[test]
+    fn faults_are_seed_deterministic() {
+        let run = |seed| {
+            let mut link = FaultyLink::new(
+                FaultConfig {
+                    drop_chance: 0.3,
+                    corrupt_chance: 0.3,
+                    duplicate_chance: 0.3,
+                },
+                seed,
+            );
+            let mut out = Vec::new();
+            for i in 0..50u8 {
+                link.send(vec![i; 4]);
+            }
+            while let Some(f) = link.recv() {
+                out.push(f);
+            }
+            out
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

@@ -1,0 +1,125 @@
+//! CRC-32 (IEEE 802.3 polynomial), table-driven.
+//!
+//! Used as the frame integrity check. Implemented from scratch — the
+//! offline crate set has no checksum crate — with the standard reflected
+//! algorithm (polynomial `0xEDB88320`, init `0xFFFFFFFF`, final XOR
+//! `0xFFFFFFFF`), byte-at-a-time over a 256-entry table.
+
+/// The 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// Incremental CRC-32 state for multi-part inputs.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Fresh state.
+    pub fn new() -> Self {
+        Self {
+            state: 0xFFFF_FFFF,
+        }
+    }
+
+    /// Feed bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        for &b in data {
+            self.state = (self.state >> 8) ^ TABLE[((self.state ^ b as u32) & 0xFF) as usize];
+        }
+    }
+
+    /// Final checksum.
+    pub fn finish(self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"negotiation-based routing between neighboring ISPs";
+        let mut inc = Crc32::new();
+        inc.update(&data[..10]);
+        inc.update(&data[10..30]);
+        inc.update(&data[30..]);
+        assert_eq!(inc.finish(), crc32(data));
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let data = b"some frame payload";
+        let original = crc32(data);
+        let mut corrupted = data.to_vec();
+        for byte in 0..corrupted.len() {
+            for bit in 0..8 {
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), original, "missed flip at {byte}:{bit}");
+                corrupted[byte] ^= 1 << bit;
+            }
+        }
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn split_invariance(data in proptest::collection::vec(any::<u8>(), 0..512), split in 0usize..512) {
+                let split = split.min(data.len());
+                let mut inc = Crc32::new();
+                inc.update(&data[..split]);
+                inc.update(&data[split..]);
+                prop_assert_eq!(inc.finish(), crc32(&data));
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Out-of-band negotiation wire protocol and agents.
+//!
+//! The paper's deployment story (§6, Figure 12) places a *negotiation
+//! agent* in each ISP, logically above the routing infrastructure: it
+//! collects network state, maps alternatives to preference classes,
+//! negotiates with the peer agent out-of-band (not inside BGP), and
+//! configures routers to implement the agreed paths. This crate is that
+//! agent's protocol layer:
+//!
+//! * [`crc`] — CRC-32 (IEEE) for frame integrity,
+//! * [`frame`] — length-prefixed binary framing with incremental decode,
+//! * [`messages`] — the message set: session hello, flow announcements,
+//!   preference lists, proposals, accept/reject responses, stop and bye,
+//! * [`agent`] — a poll-based (sans-io) state machine driving one side of
+//!   a negotiation; transport-agnostic in the style of event-driven
+//!   network stacks: feed it received frames with
+//!   [`agent::Agent::handle_frame`], drain outgoing frames with
+//!   [`agent::Agent::poll_transmit`],
+//! * [`channel`] — an in-memory duplex link with fault injection (drop /
+//!   corrupt / duplicate) for exercising the agent's error handling,
+//! * [`driver`] — synchronous and threaded (crossbeam) session drivers.
+//!
+//! The protocol assumes a reliable, ordered transport (deployments would
+//! run it over TCP/TLS between the two agents). Fault injection exists to
+//! verify that the framing layer *detects* corruption and that agents
+//! fail cleanly on protocol violations — not to implement retransmission.
+//!
+//! The decision logic is shared with the in-process engine through
+//! [`nexit_core::selection`], so a distributed session reaches the same
+//! assignment as [`nexit_core::negotiate`] on the same inputs (tested in
+//! the integration suite).
+
+pub mod agent;
+pub mod channel;
+pub mod crc;
+pub mod driver;
+pub mod frame;
+pub mod messages;
+
+pub use agent::{Agent, AgentOutcome, ProtoError};
+pub use channel::{FaultConfig, FaultyLink};
+pub use driver::{run_session, run_session_threaded};
+pub use frame::{FrameCodec, FrameError, MAX_FRAME_PAYLOAD};
+pub use messages::Message;

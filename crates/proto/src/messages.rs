@@ -1,0 +1,547 @@
+//! The negotiation message set and its binary codec.
+//!
+//! One message type per protocol step (paper §4 plus session management):
+//!
+//! | type | message        | direction        | purpose                          |
+//! |------|----------------|------------------|----------------------------------|
+//! | 1    | `Hello`        | both, A first    | identify side, agree on config   |
+//! | 2    | `FlowAnnounce` | upstream → down  | the flow set on the table        |
+//! | 3    | `PrefList`     | both, A first    | disclosed preference classes     |
+//! | 4    | `Propose`      | proposer → other | one (flow, alternative) proposal |
+//! | 5    | `Response`     | other → proposer | accept / reject                  |
+//! | 6    | `Stop`         | either           | early/full termination           |
+//! | 7    | `Bye`          | both             | orderly shutdown                 |
+//!
+//! All integers are big-endian; preferences travel as `i16` (classes are
+//! tiny); volumes as IEEE-754 `f64` bits.
+
+use crate::frame::{encode_frame, Frame};
+use bytes::{Buf, BufMut};
+use nexit_core::{NexitConfig, Side};
+use nexit_routing::FlowId;
+use nexit_topology::IcxId;
+
+/// Decoding failures at the message layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MessageError {
+    /// Unknown message-type byte.
+    UnknownType(u8),
+    /// Payload ended before the message was complete, or had trailing
+    /// garbage.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for MessageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MessageError::UnknownType(t) => write!(f, "unknown message type {t}"),
+            MessageError::Malformed(what) => write!(f, "malformed message: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MessageError {}
+
+/// One announced flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowEntry {
+    /// Global flow id (shared numbering between the ISPs; see paper §6 on
+    /// flow signatures).
+    pub flow: FlowId,
+    /// The flow's default alternative.
+    pub default: IcxId,
+    /// Estimated volume.
+    pub volume: f64,
+}
+
+/// A negotiation message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Session opening: who I am and the contractually agreed parameters
+    /// (echoed by the responder; mismatch aborts the session).
+    Hello {
+        /// Sender's side of the pair.
+        side: Side,
+        /// Sender's display name.
+        name: String,
+        /// Number of alternatives (interconnections).
+        num_alternatives: u16,
+        /// The agreed engine configuration.
+        config: NexitConfig,
+    },
+    /// Upstream announces the negotiated flow set.
+    FlowAnnounce {
+        /// Flows on the table, in session (local) order.
+        flows: Vec<FlowEntry>,
+    },
+    /// Full disclosed preference table for the remaining flows.
+    PrefList {
+        /// `prefs[local_flow][alternative]`, dense.
+        prefs: Vec<Vec<i16>>,
+    },
+    /// Proposal for one flow.
+    Propose {
+        /// Round number (must match the receiver's view).
+        round: u32,
+        /// Local flow index.
+        local_flow: u32,
+        /// Proposed alternative.
+        alternative: IcxId,
+    },
+    /// Accept/reject a proposal.
+    Response {
+        /// Round being answered.
+        round: u32,
+        /// Acceptance.
+        accepted: bool,
+    },
+    /// Sender terminates the negotiation (early/full stop).
+    Stop {
+        /// Which side stopped.
+        side: Side,
+    },
+    /// Orderly close acknowledgement.
+    Bye,
+}
+
+fn side_byte(side: Side) -> u8 {
+    match side {
+        Side::A => 0,
+        Side::B => 1,
+    }
+}
+
+fn byte_side(b: u8) -> Result<Side, MessageError> {
+    match b {
+        0 => Ok(Side::A),
+        1 => Ok(Side::B),
+        _ => Err(MessageError::Malformed("bad side byte")),
+    }
+}
+
+fn put_config(out: &mut Vec<u8>, config: &NexitConfig) {
+    use nexit_core::{AcceptRule, ProposalRule, StopPolicy, TurnPolicy};
+    out.put_i32(config.pref_range);
+    match config.turn {
+        TurnPolicy::Alternate => {
+            out.put_u8(0);
+            out.put_u64(0);
+        }
+        TurnPolicy::LowerGain => {
+            out.put_u8(1);
+            out.put_u64(0);
+        }
+        TurnPolicy::CoinToss { seed } => {
+            out.put_u8(2);
+            out.put_u64(seed);
+        }
+    }
+    out.put_u8(match config.proposal {
+        ProposalRule::MaxCombined => 0,
+        ProposalRule::BestLocalMinHarm => 1,
+    });
+    match config.accept {
+        AcceptRule::Always => {
+            out.put_u8(0);
+            out.put_i64(0);
+        }
+        AcceptRule::VetoNegativeCumulative => {
+            out.put_u8(1);
+            out.put_i64(0);
+        }
+        AcceptRule::CreditVeto { credit } => {
+            out.put_u8(2);
+            out.put_i64(credit);
+        }
+    }
+    out.put_u8(match config.stop {
+        StopPolicy::Early => 0,
+        StopPolicy::Full => 1,
+        StopPolicy::NegotiateAll => 2,
+    });
+    out.put_f64(config.reassign_interval_frac.unwrap_or(f64::NAN));
+}
+
+fn get_config(buf: &mut &[u8]) -> Result<NexitConfig, MessageError> {
+    use nexit_core::{AcceptRule, ProposalRule, StopPolicy, TurnPolicy};
+    if buf.remaining() < 4 + 1 + 8 + 1 + 1 + 8 + 1 + 8 {
+        return Err(MessageError::Malformed("config truncated"));
+    }
+    let pref_range = buf.get_i32();
+    let turn_tag = buf.get_u8();
+    let seed = buf.get_u64();
+    let turn = match turn_tag {
+        0 => TurnPolicy::Alternate,
+        1 => TurnPolicy::LowerGain,
+        2 => TurnPolicy::CoinToss { seed },
+        _ => return Err(MessageError::Malformed("bad turn policy")),
+    };
+    let proposal = match buf.get_u8() {
+        0 => ProposalRule::MaxCombined,
+        1 => ProposalRule::BestLocalMinHarm,
+        _ => return Err(MessageError::Malformed("bad proposal rule")),
+    };
+    let accept_tag = buf.get_u8();
+    let credit = buf.get_i64();
+    let accept = match accept_tag {
+        0 => AcceptRule::Always,
+        1 => AcceptRule::VetoNegativeCumulative,
+        2 => AcceptRule::CreditVeto { credit },
+        _ => return Err(MessageError::Malformed("bad accept rule")),
+    };
+    let stop = match buf.get_u8() {
+        0 => StopPolicy::Early,
+        1 => StopPolicy::Full,
+        2 => StopPolicy::NegotiateAll,
+        _ => return Err(MessageError::Malformed("bad stop policy")),
+    };
+    let frac = buf.get_f64();
+    Ok(NexitConfig {
+        pref_range,
+        turn,
+        proposal,
+        accept,
+        stop,
+        reassign_interval_frac: if frac.is_nan() { None } else { Some(frac) },
+    })
+}
+
+impl Message {
+    /// The frame type byte for this message.
+    pub fn msg_type(&self) -> u8 {
+        match self {
+            Message::Hello { .. } => 1,
+            Message::FlowAnnounce { .. } => 2,
+            Message::PrefList { .. } => 3,
+            Message::Propose { .. } => 4,
+            Message::Response { .. } => 5,
+            Message::Stop { .. } => 6,
+            Message::Bye => 7,
+        }
+    }
+
+    /// Encode to a complete wire frame (header + payload + CRC).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        match self {
+            Message::Hello {
+                side,
+                name,
+                num_alternatives,
+                config,
+            } => {
+                payload.put_u8(side_byte(*side));
+                let name_bytes = name.as_bytes();
+                payload.put_u16(name_bytes.len() as u16);
+                payload.extend_from_slice(name_bytes);
+                payload.put_u16(*num_alternatives);
+                put_config(&mut payload, config);
+            }
+            Message::FlowAnnounce { flows } => {
+                payload.put_u32(flows.len() as u32);
+                for e in flows {
+                    payload.put_u32(e.flow.0);
+                    payload.put_u16(e.default.0 as u16);
+                    payload.put_f64(e.volume);
+                }
+            }
+            Message::PrefList { prefs } => {
+                payload.put_u32(prefs.len() as u32);
+                let k = prefs.first().map_or(0, Vec::len);
+                payload.put_u16(k as u16);
+                for row in prefs {
+                    debug_assert_eq!(row.len(), k, "ragged preference list");
+                    for &p in row {
+                        payload.put_i16(p);
+                    }
+                }
+            }
+            Message::Propose {
+                round,
+                local_flow,
+                alternative,
+            } => {
+                payload.put_u32(*round);
+                payload.put_u32(*local_flow);
+                payload.put_u16(alternative.0 as u16);
+            }
+            Message::Response { round, accepted } => {
+                payload.put_u32(*round);
+                payload.put_u8(u8::from(*accepted));
+            }
+            Message::Stop { side } => {
+                payload.put_u8(side_byte(*side));
+            }
+            Message::Bye => {}
+        }
+        encode_frame(self.msg_type(), &payload)
+    }
+
+    /// Decode from a received frame.
+    pub fn decode(frame: &Frame) -> Result<Message, MessageError> {
+        let mut buf: &[u8] = &frame.payload;
+        let msg = match frame.msg_type {
+            1 => {
+                if buf.remaining() < 3 {
+                    return Err(MessageError::Malformed("hello truncated"));
+                }
+                let side = byte_side(buf.get_u8())?;
+                let name_len = buf.get_u16() as usize;
+                if buf.remaining() < name_len + 2 {
+                    return Err(MessageError::Malformed("hello name truncated"));
+                }
+                let name = String::from_utf8(buf[..name_len].to_vec())
+                    .map_err(|_| MessageError::Malformed("hello name not UTF-8"))?;
+                buf.advance(name_len);
+                let num_alternatives = buf.get_u16();
+                let config = get_config(&mut buf)?;
+                Message::Hello {
+                    side,
+                    name,
+                    num_alternatives,
+                    config,
+                }
+            }
+            2 => {
+                if buf.remaining() < 4 {
+                    return Err(MessageError::Malformed("announce truncated"));
+                }
+                let n = buf.get_u32() as usize;
+                if buf.remaining() != n * (4 + 2 + 8) {
+                    return Err(MessageError::Malformed("announce length mismatch"));
+                }
+                let mut flows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    flows.push(FlowEntry {
+                        flow: FlowId(buf.get_u32()),
+                        default: IcxId(buf.get_u16() as u32),
+                        volume: buf.get_f64(),
+                    });
+                }
+                Message::FlowAnnounce { flows }
+            }
+            3 => {
+                if buf.remaining() < 6 {
+                    return Err(MessageError::Malformed("preflist truncated"));
+                }
+                let n = buf.get_u32() as usize;
+                let k = buf.get_u16() as usize;
+                if buf.remaining() != n * k * 2 {
+                    return Err(MessageError::Malformed("preflist length mismatch"));
+                }
+                let mut prefs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let mut row = Vec::with_capacity(k);
+                    for _ in 0..k {
+                        row.push(buf.get_i16());
+                    }
+                    prefs.push(row);
+                }
+                Message::PrefList { prefs }
+            }
+            4 => {
+                if buf.remaining() != 4 + 4 + 2 {
+                    return Err(MessageError::Malformed("propose length mismatch"));
+                }
+                Message::Propose {
+                    round: buf.get_u32(),
+                    local_flow: buf.get_u32(),
+                    alternative: IcxId(buf.get_u16() as u32),
+                }
+            }
+            5 => {
+                if buf.remaining() != 5 {
+                    return Err(MessageError::Malformed("response length mismatch"));
+                }
+                let round = buf.get_u32();
+                let accepted = match buf.get_u8() {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(MessageError::Malformed("bad accept byte")),
+                };
+                Message::Response { round, accepted }
+            }
+            6 => {
+                if buf.remaining() != 1 {
+                    return Err(MessageError::Malformed("stop length mismatch"));
+                }
+                Message::Stop {
+                    side: byte_side(buf.get_u8())?,
+                }
+            }
+            7 => {
+                if !buf.is_empty() {
+                    return Err(MessageError::Malformed("bye with payload"));
+                }
+                Message::Bye
+            }
+            t => return Err(MessageError::UnknownType(t)),
+        };
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameCodec;
+
+    fn roundtrip(msg: Message) -> Message {
+        let wire = msg.encode();
+        let mut codec = FrameCodec::new();
+        codec.feed(&wire);
+        let frame = codec.next_frame().unwrap().unwrap();
+        Message::decode(&frame).unwrap()
+    }
+
+    #[test]
+    fn hello_roundtrip() {
+        let msg = Message::Hello {
+            side: Side::B,
+            name: "isp-07 (Frankfurt)".into(),
+            num_alternatives: 5,
+            config: NexitConfig::bandwidth(),
+        };
+        assert_eq!(roundtrip(msg.clone()), msg);
+    }
+
+    #[test]
+    fn hello_all_policies_roundtrip() {
+        use nexit_core::{AcceptRule, ProposalRule, StopPolicy, TurnPolicy};
+        for turn in [
+            TurnPolicy::Alternate,
+            TurnPolicy::LowerGain,
+            TurnPolicy::CoinToss { seed: 12345 },
+        ] {
+            for proposal in [ProposalRule::MaxCombined, ProposalRule::BestLocalMinHarm] {
+                for accept in [AcceptRule::Always, AcceptRule::VetoNegativeCumulative] {
+                    for stop in [StopPolicy::Early, StopPolicy::Full, StopPolicy::NegotiateAll] {
+                        let msg = Message::Hello {
+                            side: Side::A,
+                            name: "x".into(),
+                            num_alternatives: 2,
+                            config: NexitConfig {
+                                pref_range: 7,
+                                turn,
+                                proposal,
+                                accept,
+                                stop,
+                                reassign_interval_frac: Some(0.05),
+                            },
+                        };
+                        assert_eq!(roundtrip(msg.clone()), msg);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn announce_roundtrip() {
+        let msg = Message::FlowAnnounce {
+            flows: vec![
+                FlowEntry {
+                    flow: FlowId(9),
+                    default: IcxId(1),
+                    volume: 2.5,
+                },
+                FlowEntry {
+                    flow: FlowId(17),
+                    default: IcxId(0),
+                    volume: 0.125,
+                },
+            ],
+        };
+        assert_eq!(roundtrip(msg.clone()), msg);
+    }
+
+    #[test]
+    fn preflist_roundtrip() {
+        let msg = Message::PrefList {
+            prefs: vec![vec![0, 10, -10], vec![0, -3, 7]],
+        };
+        assert_eq!(roundtrip(msg.clone()), msg);
+    }
+
+    #[test]
+    fn small_messages_roundtrip() {
+        for msg in [
+            Message::Propose {
+                round: 42,
+                local_flow: 7,
+                alternative: IcxId(3),
+            },
+            Message::Response {
+                round: 42,
+                accepted: true,
+            },
+            Message::Response {
+                round: 43,
+                accepted: false,
+            },
+            Message::Stop { side: Side::A },
+            Message::Bye,
+        ] {
+            assert_eq!(roundtrip(msg.clone()), msg);
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_type() {
+        let frame = crate::frame::Frame {
+            msg_type: 200,
+            payload: vec![],
+        };
+        assert_eq!(
+            Message::decode(&frame),
+            Err(MessageError::UnknownType(200))
+        );
+    }
+
+    #[test]
+    fn rejects_truncated_payloads() {
+        for (t, payload) in [
+            (1u8, vec![0u8]),           // hello with just a side byte
+            (2, vec![0, 0, 0, 2, 1]),   // announce claiming 2 entries
+            (3, vec![0, 0, 0, 1, 0, 3]), // preflist missing rows
+            (4, vec![1, 2, 3]),         // short propose
+            (5, vec![]),                // empty response
+            (6, vec![]),                // empty stop
+            (7, vec![1]),               // bye with payload
+        ] {
+            let frame = crate::frame::Frame {
+                msg_type: t,
+                payload,
+            };
+            assert!(
+                Message::decode(&frame).is_err(),
+                "type {t} should have been rejected"
+            );
+        }
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn preflist_roundtrips(
+                prefs in (1usize..5).prop_flat_map(|k| proptest::collection::vec(
+                    proptest::collection::vec(-100i16..100, k), 0..30)),
+            ) {
+                let msg = Message::PrefList { prefs };
+                prop_assert_eq!(super::roundtrip(msg.clone()), msg);
+            }
+
+            #[test]
+            fn decode_never_panics_on_garbage(
+                msg_type in 0u8..10,
+                payload in proptest::collection::vec(any::<u8>(), 0..128),
+            ) {
+                let frame = crate::frame::Frame { msg_type, payload };
+                let _ = Message::decode(&frame); // must not panic
+            }
+        }
+    }
+}

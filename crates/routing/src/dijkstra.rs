@@ -1,0 +1,371 @@
+//! All-pairs shortest paths by repeated Dijkstra.
+//!
+//! PoP-level topologies are tiny (≤ ~50 nodes), so we precompute the full
+//! distance and predecessor matrices once per ISP and answer every later
+//! query in O(1) / O(path length). Ties are broken deterministically —
+//! lower predecessor PoP index wins — so two runs of any experiment
+//! produce identical paths.
+
+use nexit_topology::{IspTopology, LinkId, PopId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Precomputed shortest paths for one ISP topology.
+///
+/// Distances are over link *weights* (the IGP metric); the geographic
+/// length of the resulting path is exposed separately because the distance
+/// experiments measure kilometres, not metric units.
+#[derive(Debug, Clone)]
+pub struct ShortestPaths {
+    n: usize,
+    /// `dist[s*n + t]` = weight-distance from s to t.
+    dist: Vec<f64>,
+    /// `length_km[s*n + t]` = geographic length (km) of the chosen path.
+    length_km: Vec<f64>,
+    /// `pred[s*n + t]` = link taken *into* t on the path from s, or
+    /// `LinkId(u32::MAX)` for t == s.
+    pred: Vec<LinkId>,
+}
+
+const NO_LINK: LinkId = LinkId(u32::MAX);
+
+/// Heap entry ordered as a min-heap over (distance, pop index).
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    pop: PopId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap; tie-break on pop index for determinism.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.pop.cmp(&self.pop))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl ShortestPaths {
+    /// Compute all-pairs shortest paths for `isp`.
+    ///
+    /// Panics if any link weight is negative or NaN (validated topologies
+    /// never contain such weights).
+    pub fn compute(isp: &IspTopology) -> Self {
+        let n = isp.num_pops();
+        for (_, l) in isp.links() {
+            assert!(
+                l.weight >= 0.0 && l.weight.is_finite(),
+                "invalid link weight {}",
+                l.weight
+            );
+        }
+        let mut dist = vec![f64::INFINITY; n * n];
+        let mut length_km = vec![f64::INFINITY; n * n];
+        let mut pred = vec![NO_LINK; n * n];
+        for s in 0..n {
+            Self::single_source(isp, PopId::new(s), &mut dist[s * n..(s + 1) * n], {
+                &mut length_km[s * n..(s + 1) * n]
+            }, &mut pred[s * n..(s + 1) * n]);
+        }
+        Self {
+            n,
+            dist,
+            length_km,
+            pred,
+        }
+    }
+
+    fn single_source(
+        isp: &IspTopology,
+        source: PopId,
+        dist: &mut [f64],
+        length_km: &mut [f64],
+        pred: &mut [LinkId],
+    ) {
+        dist[source.index()] = 0.0;
+        length_km[source.index()] = 0.0;
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapEntry {
+            dist: 0.0,
+            pop: source,
+        });
+        let mut done = vec![false; dist.len()];
+        while let Some(HeapEntry { dist: d, pop: u }) = heap.pop() {
+            if done[u.index()] {
+                continue;
+            }
+            done[u.index()] = true;
+            for &lid in isp.incident_links(u) {
+                let link = isp.link(lid);
+                let v = link.opposite(u).expect("adjacency index corrupt");
+                let nd = d + link.weight;
+                // Tie-break updates are only safe while v is unsettled;
+                // rewriting pred after v's neighbors were relaxed would
+                // desynchronize pred from dist.
+                let better = nd < dist[v.index()]
+                    || (!done[v.index()]
+                        && nd == dist[v.index()]
+                        && pred[v.index()] != NO_LINK
+                        && tie_break(isp, lid, pred[v.index()], v));
+                if better {
+                    dist[v.index()] = nd;
+                    length_km[v.index()] = length_km[u.index()] + link.length_km;
+                    pred[v.index()] = lid;
+                    heap.push(HeapEntry { dist: nd, pop: v });
+                }
+            }
+        }
+    }
+
+    /// Weight-distance from `s` to `t` (`f64::INFINITY` if unreachable,
+    /// which cannot happen for validated topologies).
+    #[inline]
+    pub fn distance(&self, s: PopId, t: PopId) -> f64 {
+        self.dist[s.index() * self.n + t.index()]
+    }
+
+    /// Geographic length in km of the shortest (by weight) path `s -> t`.
+    #[inline]
+    pub fn path_length_km(&self, s: PopId, t: PopId) -> f64 {
+        self.length_km[s.index() * self.n + t.index()]
+    }
+
+    /// The links of the shortest path from `s` to `t`, in travel order.
+    /// Empty when `s == t`.
+    pub fn path_links(&self, isp: &IspTopology, s: PopId, t: PopId) -> Vec<LinkId> {
+        let mut links = Vec::new();
+        let mut cur = t;
+        while cur != s {
+            let lid = self.pred[s.index() * self.n + cur.index()];
+            assert_ne!(lid, NO_LINK, "no path from {s} to {t}");
+            links.push(lid);
+            cur = isp
+                .link(lid)
+                .opposite(cur)
+                .expect("predecessor link does not touch node");
+        }
+        links.reverse();
+        links
+    }
+
+    /// Number of PoPs this matrix covers.
+    #[inline]
+    pub fn num_pops(&self) -> usize {
+        self.n
+    }
+}
+
+/// Deterministic tie-break: when two equal-weight paths reach `v`, prefer
+/// the link whose far endpoint has the lower PoP index, then the lower
+/// link id. This keeps path selection stable across runs and platforms.
+fn tie_break(isp: &IspTopology, candidate: LinkId, incumbent: LinkId, v: PopId) -> bool {
+    let cu = isp.link(candidate).opposite(v).expect("bad candidate");
+    let iu = isp.link(incumbent).opposite(v).expect("bad incumbent");
+    (cu, candidate) < (iu, incumbent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexit_topology::{GeoPoint, IspId, Link, Pop};
+
+    fn pop(city: &str, lat: f64, lon: f64) -> Pop {
+        Pop {
+            city: city.into(),
+            geo: GeoPoint::new(lat, lon),
+            weight: 1.0,
+        }
+    }
+
+    fn link(a: u32, b: u32, w: f64) -> Link {
+        Link {
+            a: PopId(a),
+            b: PopId(b),
+            weight: w,
+            length_km: w * 100.0,
+        }
+    }
+
+    /// 0 --1-- 1 --1-- 2
+    ///  \______3______/
+    fn diamond() -> IspTopology {
+        IspTopology::new(
+            IspId(0),
+            "d",
+            vec![
+                pop("a", 0.0, 0.0),
+                pop("b", 0.0, 1.0),
+                pop("c", 0.0, 2.0),
+            ],
+            vec![link(0, 1, 1.0), link(1, 2, 1.0), link(0, 2, 3.0)],
+            false,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn distances() {
+        let isp = diamond();
+        let sp = ShortestPaths::compute(&isp);
+        assert_eq!(sp.distance(PopId(0), PopId(0)), 0.0);
+        assert_eq!(sp.distance(PopId(0), PopId(1)), 1.0);
+        assert_eq!(sp.distance(PopId(0), PopId(2)), 2.0); // via b, not direct 3.0
+        assert_eq!(sp.distance(PopId(2), PopId(0)), 2.0); // symmetric graph
+    }
+
+    #[test]
+    fn path_extraction() {
+        let isp = diamond();
+        let sp = ShortestPaths::compute(&isp);
+        let path = sp.path_links(&isp, PopId(0), PopId(2));
+        assert_eq!(path, vec![LinkId(0), LinkId(1)]);
+        assert!(sp.path_links(&isp, PopId(1), PopId(1)).is_empty());
+    }
+
+    #[test]
+    fn path_length_tracks_links() {
+        let isp = diamond();
+        let sp = ShortestPaths::compute(&isp);
+        assert!((sp.path_length_km(PopId(0), PopId(2)) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        // Two equal-cost two-hop paths 0->3: via 1 or via 2. The tie-break
+        // must always pick via pop 1 (lower index).
+        let isp = IspTopology::new(
+            IspId(0),
+            "tie",
+            vec![
+                pop("a", 0.0, 0.0),
+                pop("b", 0.0, 1.0),
+                pop("c", 1.0, 0.0),
+                pop("d", 1.0, 1.0),
+            ],
+            vec![
+                link(0, 1, 1.0),
+                link(0, 2, 1.0),
+                link(1, 3, 1.0),
+                link(2, 3, 1.0),
+            ],
+            false,
+        )
+        .unwrap();
+        for _ in 0..5 {
+            let sp = ShortestPaths::compute(&isp);
+            let path = sp.path_links(&isp, PopId(0), PopId(3));
+            assert_eq!(path, vec![LinkId(0), LinkId(2)], "must route via pop 1");
+        }
+    }
+
+    #[test]
+    fn single_pop_isp() {
+        let isp = IspTopology::new(IspId(0), "one", vec![pop("a", 0.0, 0.0)], vec![], false)
+            .unwrap();
+        let sp = ShortestPaths::compute(&isp);
+        assert_eq!(sp.distance(PopId(0), PopId(0)), 0.0);
+        assert!(sp.path_links(&isp, PopId(0), PopId(0)).is_empty());
+    }
+
+    #[test]
+    fn multigraph_parallel_links() {
+        // Two parallel links 0-1 with different weights; must use the lighter.
+        let isp = IspTopology::new(
+            IspId(0),
+            "par",
+            vec![pop("a", 0.0, 0.0), pop("b", 0.0, 1.0)],
+            vec![link(0, 1, 5.0), link(0, 1, 2.0)],
+            false,
+        )
+        .unwrap();
+        let sp = ShortestPaths::compute(&isp);
+        assert_eq!(sp.distance(PopId(0), PopId(1)), 2.0);
+        assert_eq!(sp.path_links(&isp, PopId(0), PopId(1)), vec![LinkId(1)]);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Random connected graph: a path 0-1-..-(n-1) plus extra edges.
+        fn arb_topology() -> impl Strategy<Value = IspTopology> {
+            (3usize..12, proptest::collection::vec((0usize..12, 0usize..12, 1u32..100), 0..12))
+                .prop_map(|(n, extra)| {
+                    let pops = (0..n)
+                        .map(|i| pop(&format!("p{i}"), 0.0, i as f64 * 0.1))
+                        .collect();
+                    let mut links: Vec<Link> = (0..n - 1)
+                        .map(|i| link(i as u32, i as u32 + 1, 1.0 + (i % 3) as f64))
+                        .collect();
+                    for (a, b, w) in extra {
+                        let (a, b) = (a % n, b % n);
+                        if a != b {
+                            links.push(link(a as u32, b as u32, w as f64 / 10.0));
+                        }
+                    }
+                    IspTopology::new(IspId(0), "rand", pops, links, false).unwrap()
+                })
+        }
+
+        proptest! {
+            #[test]
+            fn triangle_inequality(isp in arb_topology()) {
+                let sp = ShortestPaths::compute(&isp);
+                let n = isp.num_pops();
+                for a in 0..n {
+                    for b in 0..n {
+                        for c in 0..n {
+                            let (a, b, c) = (PopId::new(a), PopId::new(b), PopId::new(c));
+                            prop_assert!(
+                                sp.distance(a, b) <= sp.distance(a, c) + sp.distance(c, b) + 1e-9
+                            );
+                        }
+                    }
+                }
+            }
+
+            #[test]
+            fn paths_are_consistent_with_distances(isp in arb_topology()) {
+                let sp = ShortestPaths::compute(&isp);
+                let n = isp.num_pops();
+                for s in 0..n {
+                    for t in 0..n {
+                        let (s, t) = (PopId::new(s), PopId::new(t));
+                        let path = sp.path_links(&isp, s, t);
+                        let total: f64 = path.iter().map(|&l| isp.link(l).weight).sum();
+                        prop_assert!((total - sp.distance(s, t)).abs() < 1e-9,
+                            "path weight {} != distance {}", total, sp.distance(s, t));
+                        // path must be a connected walk from s to t
+                        let mut cur = s;
+                        for &lid in &path {
+                            cur = isp.link(lid).opposite(cur).expect("disconnected walk");
+                        }
+                        prop_assert_eq!(cur, t);
+                    }
+                }
+            }
+
+            #[test]
+            fn symmetric_for_undirected(isp in arb_topology()) {
+                let sp = ShortestPaths::compute(&isp);
+                let n = isp.num_pops();
+                for s in 0..n {
+                    for t in 0..n {
+                        let (s, t) = (PopId::new(s), PopId::new(t));
+                        prop_assert!((sp.distance(s, t) - sp.distance(t, s)).abs() < 1e-9);
+                    }
+                }
+            }
+        }
+    }
+}

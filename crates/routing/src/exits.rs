@@ -1,0 +1,166 @@
+//! The locally-selfish interconnection choices BGP produces today.
+//!
+//! * **Early-exit** (a.k.a. hot-potato): the upstream hands traffic off at
+//!   the interconnection closest (by IGP weight) to the *source* PoP,
+//!   minimizing its own resource use. This is the paper's default routing.
+//! * **Late-exit** (consistently honored MEDs): traffic enters at the
+//!   interconnection closest to the *destination* PoP — "simply the
+//!   reverse of early-exit" (paper §2.2, Figure 1b).
+//!
+//! Ties are broken by lower interconnection id, deterministically.
+
+use crate::dijkstra::ShortestPaths;
+use nexit_topology::{IcxId, PairView, PopId};
+
+/// The early-exit interconnection for a flow sourced at `src` in the
+/// upstream ISP: minimizes upstream IGP distance from the source to the
+/// exit PoP.
+///
+/// Panics if the pair has no interconnections.
+pub fn early_exit(view: &PairView<'_>, sp_up: &ShortestPaths, src: PopId) -> IcxId {
+    best_icx(view, |icx_id| {
+        sp_up.distance(src, view.pair.interconnection(icx_id).pop_a)
+    })
+}
+
+/// The late-exit interconnection for a flow destined to `dst` in the
+/// downstream ISP: minimizes downstream IGP distance from the entry PoP to
+/// the destination.
+pub fn late_exit(view: &PairView<'_>, sp_down: &ShortestPaths, dst: PopId) -> IcxId {
+    best_icx(view, |icx_id| {
+        sp_down.distance(view.pair.interconnection(icx_id).pop_b, dst)
+    })
+}
+
+fn best_icx(view: &PairView<'_>, mut cost: impl FnMut(IcxId) -> f64) -> IcxId {
+    assert!(
+        view.num_interconnections() > 0,
+        "pair has no interconnections"
+    );
+    let mut best = IcxId::new(0);
+    let mut best_cost = cost(best);
+    for i in 1..view.num_interconnections() {
+        let id = IcxId::new(i);
+        let c = cost(id);
+        if c < best_cost {
+            best = id;
+            best_cost = c;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexit_topology::{
+        GeoPoint, Interconnection, IspId, IspPair, IspTopology, Link, Pop,
+    };
+
+    fn pop(city: &str, lon: f64) -> Pop {
+        Pop {
+            city: city.into(),
+            geo: GeoPoint::new(0.0, lon),
+            weight: 1.0,
+        }
+    }
+
+    fn line(id: u32, n: usize, km: f64) -> IspTopology {
+        let pops = (0..n).map(|i| pop(&format!("c{i}"), i as f64)).collect();
+        let links = (0..n - 1)
+            .map(|i| Link {
+                a: PopId::new(i),
+                b: PopId::new(i + 1),
+                weight: km,
+                length_km: km,
+            })
+            .collect();
+        IspTopology::new(IspId(id), format!("L{id}"), pops, links, false).unwrap()
+    }
+
+    fn pair_with_end_icx() -> (IspTopology, IspTopology, IspPair) {
+        let a = line(0, 4, 100.0);
+        let b = line(1, 4, 100.0);
+        let pair = IspPair::new(
+            &a,
+            &b,
+            vec![
+                Interconnection {
+                    pop_a: PopId(0),
+                    pop_b: PopId(0),
+                    length_km: 1.0,
+                },
+                Interconnection {
+                    pop_a: PopId(3),
+                    pop_b: PopId(3),
+                    length_km: 1.0,
+                },
+            ],
+        )
+        .unwrap();
+        (a, b, pair)
+    }
+
+    #[test]
+    fn early_exit_picks_closest_to_source() {
+        let (a, b, pair) = pair_with_end_icx();
+        let view = PairView::new(&a, &b, &pair);
+        let sp_a = ShortestPaths::compute(&a);
+        assert_eq!(early_exit(&view, &sp_a, PopId(0)), IcxId(0));
+        assert_eq!(early_exit(&view, &sp_a, PopId(1)), IcxId(0));
+        assert_eq!(early_exit(&view, &sp_a, PopId(2)), IcxId(1));
+        assert_eq!(early_exit(&view, &sp_a, PopId(3)), IcxId(1));
+    }
+
+    #[test]
+    fn late_exit_picks_closest_to_destination() {
+        let (a, b, pair) = pair_with_end_icx();
+        let view = PairView::new(&a, &b, &pair);
+        let sp_b = ShortestPaths::compute(&b);
+        assert_eq!(late_exit(&view, &sp_b, PopId(0)), IcxId(0));
+        assert_eq!(late_exit(&view, &sp_b, PopId(3)), IcxId(1));
+    }
+
+    #[test]
+    fn equidistant_tie_breaks_to_lower_id() {
+        // Source exactly in the middle of a 3-pop line with icx at both ends.
+        let a = line(0, 3, 100.0);
+        let b = line(1, 3, 100.0);
+        let pair = IspPair::new(
+            &a,
+            &b,
+            vec![
+                Interconnection {
+                    pop_a: PopId(0),
+                    pop_b: PopId(0),
+                    length_km: 1.0,
+                },
+                Interconnection {
+                    pop_a: PopId(2),
+                    pop_b: PopId(2),
+                    length_km: 1.0,
+                },
+            ],
+        )
+        .unwrap();
+        let view = PairView::new(&a, &b, &pair);
+        let sp_a = ShortestPaths::compute(&a);
+        assert_eq!(early_exit(&view, &sp_a, PopId(1)), IcxId(0));
+    }
+
+    #[test]
+    fn early_and_late_are_mirror_policies() {
+        let (a, b, pair) = pair_with_end_icx();
+        let view = PairView::new(&a, &b, &pair);
+        let sp_a = ShortestPaths::compute(&a);
+        let sp_b = ShortestPaths::compute(&b);
+        // For this symmetric ladder, early exit from src i equals late exit
+        // to dst i.
+        for i in 0..4 {
+            assert_eq!(
+                early_exit(&view, &sp_a, PopId(i)),
+                late_exit(&view, &sp_b, PopId(i))
+            );
+        }
+    }
+}

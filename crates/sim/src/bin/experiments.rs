@@ -1,0 +1,130 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! experiments [all|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fraction|prange|groups|modes|models]
+//!             [--smoke] [--pairs N] [--seed N]
+//! ```
+//!
+//! `--smoke` runs a small subset for quick verification; the default runs
+//! the full paper-scale universe (65 ISPs). Run with `--release`.
+
+use nexit_sim::experiments::{ablation, bandwidth, cheating, distance, diverse, filters};
+use nexit_sim::ExpConfig;
+use nexit_topology::{GeneratorConfig, TopologyGenerator, Universe};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments [all|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fraction|prange|groups|modes|models] [--smoke] [--pairs N] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut target = String::from("all");
+    let mut cfg = ExpConfig::default();
+    let mut gen_cfg = GeneratorConfig::default();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => {
+                cfg = ExpConfig::smoke();
+                gen_cfg.num_isps = 20;
+                gen_cfg.num_mesh_isps = 2;
+            }
+            "--pairs" => {
+                let n: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                cfg.max_pairs = Some(n);
+            }
+            "--seed" => {
+                let n: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                gen_cfg.seed = n;
+                cfg.seed = n;
+            }
+            name if !name.starts_with('-') => target = name.to_string(),
+            _ => usage(),
+        }
+    }
+
+    eprintln!(
+        "generating universe: {} ISPs (seed {}) ...",
+        gen_cfg.num_isps, gen_cfg.seed
+    );
+    let universe: Universe = TopologyGenerator::new(gen_cfg).generate();
+    eprintln!(
+        "universe ready: {} pairs, {} distance-eligible, {} bandwidth-eligible",
+        universe.pairs.len(),
+        universe.eligible_pairs(2, true).len(),
+        universe.eligible_pairs(3, false).len()
+    );
+
+    let want = |name: &str| target == "all" || target == name;
+
+    if want("fig4") || want("fig6") || want("fraction") {
+        eprintln!("running distance experiment (Figures 4, 6) ...");
+        let results = distance::run(&universe, &cfg);
+        distance::report(&results);
+        println!();
+    }
+    if want("fig5") {
+        eprintln!("running filter strategies (Figure 5) ...");
+        let results = filters::run(&universe, &cfg);
+        filters::report(&results);
+        println!();
+    }
+    if want("fig7") || want("fig8") {
+        eprintln!("running bandwidth experiment (Figures 7, 8) ...");
+        let results = bandwidth::run(&universe, &cfg);
+        bandwidth::report(&results);
+        println!();
+    }
+    if want("fig9") {
+        eprintln!("running diverse-criteria experiment (Figure 9) ...");
+        let results = diverse::run(&universe, &cfg);
+        diverse::report(&results);
+        println!();
+    }
+    if want("fig10") {
+        eprintln!("running distance cheating experiment (Figure 10) ...");
+        let results = cheating::run_distance(&universe, &cfg);
+        cheating::report_distance(&results);
+        println!();
+    }
+    if want("fig11") {
+        eprintln!("running bandwidth cheating experiment (Figure 11) ...");
+        let results = cheating::run_bandwidth(&universe, &cfg);
+        cheating::report_bandwidth(&results);
+        println!();
+    }
+    if want("prange") {
+        eprintln!("running preference-range sweep ...");
+        let rows = ablation::preference_range_sweep(&universe, &cfg, &[1, 2, 5, 10, 20, 50]);
+        ablation::report_prange(&rows);
+        println!();
+    }
+    if want("groups") {
+        eprintln!("running group-count sweep ...");
+        let rows = ablation::group_sweep(&universe, &cfg, &[1, 2, 4, 8]);
+        ablation::report_groups(&rows);
+        println!();
+    }
+    if want("modes") {
+        eprintln!("running protocol-mode ablation ...");
+        let rows = ablation::mode_comparison(&universe, &cfg);
+        ablation::report_modes(&rows);
+        println!();
+    }
+    if want("models") {
+        eprintln!("running alternate-model grid ...");
+        let rows = ablation::model_grid(&universe, &cfg);
+        ablation::report_models(&rows);
+        println!();
+    }
+}

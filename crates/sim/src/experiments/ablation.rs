@@ -1,0 +1,320 @@
+//! Robustness ablations the paper reports in passing.
+//!
+//! * **Preference range** (§5): "increasing the range [beyond ±10] does
+//!   not lead to noticeable increase in performance" — sweep `P`.
+//! * **Grouped negotiation** (§5.1): negotiating in separate groups
+//!   "does not provide as much benefit as negotiating over the entire
+//!   set" — sweep group counts.
+//! * **Alternate models** (§5.2): identical/uniform PoP weights,
+//!   power-of-two capacities, max/average backup rules — the results
+//!   should stay qualitatively similar.
+
+use crate::experiments::bandwidth::failure_scenarios;
+use crate::experiments::distance::build_pair_run;
+use crate::pairdata::ExpConfig;
+use crate::twoway::{twoway_total_distance, TwoWayDistanceMapper};
+use nexit_baselines::negotiate_in_groups;
+use nexit_core::{negotiate, NexitConfig, Party, Side};
+use nexit_metrics::percent_gain;
+use nexit_topology::Universe;
+use nexit_workload::{BackupRule, CapacityModel, WorkloadModel};
+
+/// Preference-range sweep: median per-pair total distance gain for each P.
+pub fn preference_range_sweep(
+    universe: &Universe,
+    cfg: &ExpConfig,
+    ranges: &[i32],
+) -> Vec<(i32, f64)> {
+    let mut eligible = universe.eligible_pairs(2, true);
+    eligible.truncate(cfg.max_pairs.unwrap_or(40).min(40)); // sweep uses a subset
+    ranges
+        .iter()
+        .map(|&p| {
+            let mut gains = Vec::new();
+            for &idx in &eligible {
+                let run = build_pair_run(universe, idx);
+                let session = &run.session;
+                let mut a = Party::honest(
+                    "A",
+                    TwoWayDistanceMapper::new(
+                        Side::A,
+                        &run.fwd.flows,
+                        &run.rev.flows,
+                        session.n_fwd,
+                    ),
+                );
+                let mut b = Party::honest(
+                    "B",
+                    TwoWayDistanceMapper::new(
+                        Side::B,
+                        &run.fwd.flows,
+                        &run.rev.flows,
+                        session.n_fwd,
+                    ),
+                );
+                let config = NexitConfig {
+                    pref_range: p,
+                    ..NexitConfig::win_win()
+                };
+                let outcome =
+                    negotiate(&session.input, &session.default, &mut a, &mut b, &config);
+                let (f, r) = session.split(&outcome.assignment);
+                let d = twoway_total_distance(
+                    &run.fwd.flows,
+                    &run.rev.flows,
+                    &run.fwd.default,
+                    &run.rev.default,
+                );
+                let n = twoway_total_distance(&run.fwd.flows, &run.rev.flows, &f, &r);
+                gains.push(percent_gain(d, n));
+            }
+            let median = crate::cdf::Cdf::new(gains).median();
+            (p, median)
+        })
+        .collect()
+}
+
+/// Group-count sweep: median per-pair total distance gain for each count.
+pub fn group_sweep(
+    universe: &Universe,
+    cfg: &ExpConfig,
+    group_counts: &[usize],
+) -> Vec<(usize, f64)> {
+    let mut eligible = universe.eligible_pairs(2, true);
+    eligible.truncate(cfg.max_pairs.unwrap_or(40).min(40));
+    group_counts
+        .iter()
+        .map(|&g| {
+            let mut gains = Vec::new();
+            for &idx in &eligible {
+                let run = build_pair_run(universe, idx);
+                let session = &run.session;
+                let mut a = Party::honest(
+                    "A",
+                    TwoWayDistanceMapper::new(
+                        Side::A,
+                        &run.fwd.flows,
+                        &run.rev.flows,
+                        session.n_fwd,
+                    ),
+                );
+                let mut b = Party::honest(
+                    "B",
+                    TwoWayDistanceMapper::new(
+                        Side::B,
+                        &run.fwd.flows,
+                        &run.rev.flows,
+                        session.n_fwd,
+                    ),
+                );
+                let (assignment, _) = negotiate_in_groups(
+                    &session.input,
+                    &session.default,
+                    &mut a,
+                    &mut b,
+                    &NexitConfig::win_win(),
+                    g,
+                );
+                let (f, r) = session.split(&assignment);
+                let d = twoway_total_distance(
+                    &run.fwd.flows,
+                    &run.rev.flows,
+                    &run.fwd.default,
+                    &run.rev.default,
+                );
+                let n = twoway_total_distance(&run.fwd.flows, &run.rev.flows, &f, &r);
+                gains.push(percent_gain(d, n));
+            }
+            (g, crate::cdf::Cdf::new(gains).median())
+        })
+        .collect()
+}
+
+/// One row of the alternate-models grid: median upstream MEL ratios for
+/// default and negotiated routing.
+#[derive(Debug, Clone)]
+pub struct ModelRow {
+    /// Human-readable model description.
+    pub label: String,
+    /// Median default-MEL / optimal-MEL (upstream).
+    pub median_default_ratio: f64,
+    /// Median negotiated-MEL / optimal-MEL (upstream).
+    pub median_negotiated_ratio: f64,
+    /// Scenario count.
+    pub scenarios: usize,
+}
+
+/// The §5.2 alternate-model grid.
+pub fn model_grid(universe: &Universe, cfg: &ExpConfig) -> Vec<ModelRow> {
+    let workloads = [
+        ("gravity", WorkloadModel::Gravity),
+        ("identical", WorkloadModel::Identical),
+        ("uniform", WorkloadModel::Uniform { seed: cfg.seed }),
+    ];
+    let capacities = [
+        ("median-backup", CapacityModel::default()),
+        (
+            "pow2",
+            CapacityModel {
+                power_of_two: true,
+                ..CapacityModel::default()
+            },
+        ),
+        (
+            "max-backup",
+            CapacityModel {
+                backup: BackupRule::Max,
+                ..CapacityModel::default()
+            },
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (wname, workload) in workloads {
+        for (cname, capacity) in &capacities {
+            let sub_cfg = ExpConfig {
+                workload,
+                max_pairs: Some(cfg.max_pairs.unwrap_or(20).min(20)),
+                ..cfg.clone()
+            };
+            let mut eligible = universe.eligible_pairs(3, false);
+            eligible.truncate(sub_cfg.max_pairs.unwrap());
+            let mut def = Vec::new();
+            let mut neg = Vec::new();
+            for &idx in &eligible {
+                for scenario in failure_scenarios(universe, idx, &sub_cfg, capacity) {
+                    let Some(opt) = scenario.optimum(sub_cfg.max_lp_variables) else {
+                        continue;
+                    };
+                    let opt_up = opt.side_mel(&scenario.caps_up, true);
+                    if opt_up < 1e-9 {
+                        continue;
+                    }
+                    def.push(scenario.default_mels.0 / opt_up);
+                    let negotiated = scenario.negotiate_bandwidth();
+                    let (nu, _) = scenario.mels(&negotiated);
+                    neg.push(nu / opt_up);
+                }
+            }
+            if def.is_empty() {
+                continue;
+            }
+            rows.push(ModelRow {
+                label: format!("{wname} + {cname}"),
+                median_default_ratio: crate::cdf::Cdf::new(def.clone()).median(),
+                median_negotiated_ratio: crate::cdf::Cdf::new(neg).median(),
+                scenarios: def.len(),
+            });
+        }
+    }
+    rows
+}
+
+/// Protocol-mode comparison (why the experiments use the credit mode):
+/// median total gain and worst individual gain per mode, over a subset of
+/// distance pairs.
+pub fn mode_comparison(universe: &Universe, cfg: &ExpConfig) -> Vec<(String, f64, f64)> {
+    use nexit_core::{AcceptRule, StopPolicy};
+    let mut eligible = universe.eligible_pairs(2, true);
+    eligible.truncate(cfg.max_pairs.unwrap_or(40).min(40));
+    let modes: Vec<(&str, NexitConfig)> = vec![
+        ("paper-strict (always+early)", NexitConfig::default()),
+        (
+            "negotiate-all (always)",
+            NexitConfig {
+                stop: StopPolicy::NegotiateAll,
+                ..NexitConfig::default()
+            },
+        ),
+        (
+            "zero-credit veto",
+            NexitConfig {
+                accept: AcceptRule::VetoNegativeCumulative,
+                stop: StopPolicy::NegotiateAll,
+                ..NexitConfig::default()
+            },
+        ),
+        ("credit veto + rollback", NexitConfig::win_win()),
+    ];
+    let mut rows = Vec::new();
+    for (name, config) in modes {
+        let mut totals = Vec::new();
+        let mut worst_individual = f64::INFINITY;
+        for &idx in &eligible {
+            let run = build_pair_run(universe, idx);
+            let session = &run.session;
+            let mut a = Party::honest(
+                "A",
+                TwoWayDistanceMapper::new(Side::A, &run.fwd.flows, &run.rev.flows, session.n_fwd),
+            );
+            let mut b = Party::honest(
+                "B",
+                TwoWayDistanceMapper::new(Side::B, &run.fwd.flows, &run.rev.flows, session.n_fwd),
+            );
+            let outcome = negotiate(&session.input, &session.default, &mut a, &mut b, &config);
+            let (f, r) = session.split(&outcome.assignment);
+            let d = twoway_total_distance(
+                &run.fwd.flows,
+                &run.rev.flows,
+                &run.fwd.default,
+                &run.rev.default,
+            );
+            let n = twoway_total_distance(&run.fwd.flows, &run.rev.flows, &f, &r);
+            totals.push(percent_gain(d, n));
+            for side in [Side::A, Side::B] {
+                let ds = crate::twoway::twoway_side_distance(
+                    side,
+                    &run.fwd.flows,
+                    &run.rev.flows,
+                    &run.fwd.default,
+                    &run.rev.default,
+                );
+                let ns =
+                    crate::twoway::twoway_side_distance(side, &run.fwd.flows, &run.rev.flows, &f, &r);
+                worst_individual = worst_individual.min(percent_gain(ds, ns));
+            }
+        }
+        rows.push((
+            name.to_string(),
+            crate::cdf::Cdf::new(totals).median(),
+            worst_individual,
+        ));
+    }
+    rows
+}
+
+/// Print the mode comparison.
+pub fn report_modes(rows: &[(String, f64, f64)]) {
+    println!("== Protocol-mode ablation (distance pairs subset) ==");
+    println!("  {:32} {:>12} {:>16}", "mode", "median gain%", "worst indiv gain%");
+    for (name, med, worst) in rows {
+        println!("  {name:32} {med:>12.3} {worst:>16.3}");
+    }
+}
+
+/// Print the preference-range sweep.
+pub fn report_prange(rows: &[(i32, f64)]) {
+    println!("== Preference range sweep (median total distance gain %) ==");
+    for (p, g) in rows {
+        println!("  P = {p:3}  median gain = {g:.3}%");
+    }
+}
+
+/// Print the group sweep.
+pub fn report_groups(rows: &[(usize, f64)]) {
+    println!("== Group-count sweep (median total distance gain %) ==");
+    for (g, v) in rows {
+        println!("  groups = {g:3}  median gain = {v:.3}%");
+    }
+}
+
+/// Print the model grid.
+pub fn report_models(rows: &[ModelRow]) {
+    println!("== Alternate workload/capacity models (upstream MEL vs optimal) ==");
+    println!("  {:26} {:>9} {:>11} {:>10}", "model", "default", "negotiated", "scenarios");
+    for r in rows {
+        println!(
+            "  {:26} {:>9.3} {:>11.3} {:>10}",
+            r.label, r.median_default_ratio, r.median_negotiated_ratio, r.scenarios
+        );
+    }
+}

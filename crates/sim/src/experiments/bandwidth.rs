@@ -1,0 +1,241 @@
+//! §5.2 bandwidth/overload experiments: Figures 7 and 8.
+//!
+//! For every eligible pair (three or more interconnections) we simulate
+//! each interconnection failure in turn: capacities are assigned from the
+//! pre-failure loads (gravity workload, early-exit routing), the flows
+//! whose default interconnection died are re-routed by each method, and
+//! the MEL (maximum excess load) of each ISP is compared against the
+//! fractional global optimum.
+
+use crate::pairdata::{ExpConfig, PairData};
+use nexit_baselines::{optimal_bandwidth, unilateral_upstream, BandwidthOptimum};
+use nexit_core::{negotiate, BandwidthMapper, NexitConfig, Party, Side};
+use nexit_routing::{Assignment, FlowId};
+use nexit_topology::{IcxId, Universe};
+use nexit_workload::{assign_capacities, link_loads, CapacityModel};
+
+/// One simulated failure, fully prepared: reduced pair data, impacted
+/// flows, capacities, post-failure default and its MELs.
+pub struct FailureScenario<'u> {
+    /// Pair data on the reduced (post-failure) pair.
+    pub data: PairData<'u>,
+    /// Flows whose pre-failure default was the failed interconnection.
+    pub impacted: Vec<FlowId>,
+    /// Upstream link capacities (from pre-failure loads).
+    pub caps_up: Vec<f64>,
+    /// Downstream link capacities.
+    pub caps_down: Vec<f64>,
+    /// Post-failure early-exit default MELs `(up, down)`.
+    pub default_mels: (f64, f64),
+}
+
+/// Build every failure scenario for one pair (up to
+/// `cfg.max_failures_per_pair`).
+pub fn failure_scenarios<'u>(
+    universe: &'u Universe,
+    pair_idx: usize,
+    cfg: &ExpConfig,
+    capacity_model: &CapacityModel,
+) -> Vec<FailureScenario<'u>> {
+    let pair = &universe.pairs[pair_idx];
+    let a = &universe.isps[pair.isp_a.index()];
+    let b = &universe.isps[pair.isp_b.index()];
+    let full = PairData::build(a, b, pair.clone(), cfg.workload);
+
+    // Pre-failure loads capacitate the links.
+    let pre_loads = link_loads(&full.view(), &full.paths, &full.flows, &full.default);
+    let caps_up = assign_capacities(capacity_model, &pre_loads.up);
+    let caps_down = assign_capacities(capacity_model, &pre_loads.down);
+
+    let mut scenarios = Vec::new();
+    let failures = pair
+        .num_interconnections()
+        .min(cfg.max_failures_per_pair);
+    for failed in 0..failures {
+        let failed_icx = IcxId::new(failed);
+        let (reduced, _mapping) = pair.without_interconnection(failed_icx);
+        if reduced.num_interconnections() < 2 {
+            continue; // no choice left to negotiate over
+        }
+        let data = PairData::build(a, b, reduced, cfg.workload);
+        // Impacted flows: pre-failure default used the failed
+        // interconnection.
+        let impacted: Vec<FlowId> = full
+            .default
+            .iter()
+            .filter(|(_, choice)| *choice == failed_icx)
+            .map(|(id, _)| id)
+            .collect();
+        if impacted.is_empty() {
+            continue; // failure did not carry traffic
+        }
+        let loads = link_loads(&data.view(), &data.paths, &data.flows, &data.default);
+        let default_mels = nexit_metrics::side_mels(&loads, &caps_up, &caps_down);
+        scenarios.push(FailureScenario {
+            data,
+            impacted,
+            caps_up: caps_up.clone(),
+            caps_down: caps_down.clone(),
+            default_mels,
+        });
+    }
+    scenarios
+}
+
+impl FailureScenario<'_> {
+    /// Session input over the impacted flows with post-failure early-exit
+    /// defaults.
+    pub fn session_input(&self) -> nexit_core::SessionInput {
+        nexit_core::SessionInput {
+            flow_ids: self.impacted.clone(),
+            defaults: self
+                .impacted
+                .iter()
+                .map(|&f| self.data.default.choice(f))
+                .collect(),
+            volumes: self
+                .impacted
+                .iter()
+                .map(|&f| self.data.flows.flows[f.index()].volume)
+                .collect(),
+            num_alternatives: self.data.pair.num_interconnections(),
+        }
+    }
+
+    /// MELs `(up, down)` of an assignment over the reduced pair.
+    pub fn mels(&self, assignment: &Assignment) -> (f64, f64) {
+        let loads = link_loads(
+            &self.data.view(),
+            &self.data.paths,
+            &self.data.flows,
+            assignment,
+        );
+        nexit_metrics::side_mels(&loads, &self.caps_up, &self.caps_down)
+    }
+
+    /// Negotiated routing with both ISPs on the bandwidth objective.
+    pub fn negotiate_bandwidth(&self) -> Assignment {
+        let input = self.session_input();
+        let mut party_a = Party::honest(
+            "up",
+            BandwidthMapper::new(Side::A, &self.data.flows, &self.data.paths, &self.caps_up),
+        );
+        let mut party_b = Party::honest(
+            "down",
+            BandwidthMapper::new(Side::B, &self.data.flows, &self.data.paths, &self.caps_down),
+        );
+        negotiate(
+            &input,
+            &self.data.default,
+            &mut party_a,
+            &mut party_b,
+            &NexitConfig::win_win_bandwidth(),
+        )
+        .assignment
+    }
+
+    /// The fractional optimum, unless the LP exceeds the variable budget.
+    pub fn optimum(&self, max_lp_variables: usize) -> Option<BandwidthOptimum> {
+        let vars = self.impacted.len() * self.data.pair.num_interconnections() + 1;
+        if vars > max_lp_variables {
+            return None;
+        }
+        optimal_bandwidth(
+            &self.data.view(),
+            &self.data.paths,
+            &self.data.flows,
+            &self.impacted,
+            &self.data.default,
+            &self.caps_up,
+            &self.caps_down,
+        )
+        .ok()
+    }
+}
+
+/// Results across all failure scenarios.
+#[derive(Debug, Clone, Default)]
+pub struct BandwidthResults {
+    /// Fig. 7 upstream: default MEL / optimal MEL.
+    pub up_default: Vec<f64>,
+    /// Fig. 7 upstream: negotiated MEL / optimal MEL.
+    pub up_negotiated: Vec<f64>,
+    /// Fig. 7 downstream: default MEL / optimal MEL.
+    pub down_default: Vec<f64>,
+    /// Fig. 7 downstream: negotiated MEL / optimal MEL.
+    pub down_negotiated: Vec<f64>,
+    /// Fig. 8: downstream MEL under unilateral upstream optimization,
+    /// relative to the default routing's downstream MEL.
+    pub fig8_down_ratio: Vec<f64>,
+    /// Scenarios whose LP exceeded the variable budget.
+    pub skipped_lp: usize,
+    /// Scenarios evaluated.
+    pub scenarios: usize,
+}
+
+/// Run Figures 7 and 8.
+pub fn run(universe: &Universe, cfg: &ExpConfig) -> BandwidthResults {
+    let mut eligible = universe.eligible_pairs(3, false);
+    if let Some(cap) = cfg.max_pairs {
+        eligible.truncate(cap);
+    }
+    let capacity_model = CapacityModel::default();
+    let mut out = BandwidthResults::default();
+
+    for &idx in &eligible {
+        for scenario in failure_scenarios(universe, idx, cfg, &capacity_model) {
+            let Some(opt) = scenario.optimum(cfg.max_lp_variables) else {
+                out.skipped_lp += 1;
+                continue;
+            };
+            let opt_up = opt.side_mel(&scenario.caps_up, true);
+            let opt_down = opt.side_mel(&scenario.caps_down, false);
+            if opt_up < 1e-9 || opt_down < 1e-9 {
+                continue; // degenerate scenario with an idle side
+            }
+            out.scenarios += 1;
+
+            let (def_up, def_down) = scenario.default_mels;
+            out.up_default.push(def_up / opt_up);
+            out.down_default.push(def_down / opt_down);
+
+            let negotiated = scenario.negotiate_bandwidth();
+            let (neg_up, neg_down) = scenario.mels(&negotiated);
+            out.up_negotiated.push(neg_up / opt_up);
+            out.down_negotiated.push(neg_down / opt_down);
+
+            // Fig. 8: unilateral upstream optimization.
+            let uni = unilateral_upstream(
+                &scenario.data.view(),
+                &scenario.data.paths,
+                &scenario.data.flows,
+                &scenario.impacted,
+                &scenario.data.default,
+                &scenario.caps_up,
+            );
+            let (_, uni_down) = scenario.mels(&uni);
+            if def_down > 1e-9 {
+                out.fig8_down_ratio.push(uni_down / def_down);
+            }
+        }
+    }
+    out
+}
+
+/// Print the bandwidth experiment report.
+pub fn report(results: &BandwidthResults) {
+    use crate::cdf::Cdf;
+    println!(
+        "== Figure 7: MEL relative to optimal ({} failure scenarios, {} LP-skipped) ==",
+        results.scenarios, results.skipped_lp
+    );
+    println!("-- upstream ISP --");
+    Cdf::new(results.up_negotiated.clone()).print("negotiated");
+    Cdf::new(results.up_default.clone()).print("default");
+    println!("-- downstream ISP --");
+    Cdf::new(results.down_negotiated.clone()).print("negotiated");
+    Cdf::new(results.down_default.clone()).print("default");
+    println!();
+    println!("== Figure 8: downstream MEL, unilateral-upstream / default ==");
+    Cdf::new(results.fig8_down_ratio.clone()).print("upstream-optimized");
+}

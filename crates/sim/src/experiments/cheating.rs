@@ -1,0 +1,202 @@
+//! §5.4 cheating experiments: Figures 10 and 11.
+//!
+//! The cheater uses the paper's inflate-best strategy with perfect
+//! knowledge of the other ISP's preference list. Figure 10 repeats the
+//! distance experiment with ISP-B cheating; Figure 11 repeats the
+//! bandwidth experiment with the upstream ISP cheating.
+
+use crate::experiments::bandwidth::failure_scenarios;
+use crate::experiments::distance::build_pair_run;
+use crate::pairdata::ExpConfig;
+use crate::twoway::{twoway_side_distance, twoway_total_distance, TwoWayDistanceMapper};
+use nexit_core::{
+    negotiate, BandwidthMapper, DisclosurePolicy, NexitConfig, Party, Side,
+};
+use nexit_metrics::percent_gain;
+use nexit_topology::Universe;
+use nexit_workload::CapacityModel;
+
+/// Figure 10 results (distance, ISP-B cheats).
+#[derive(Debug, Clone, Default)]
+pub struct CheatDistanceResults {
+    /// Total gain per pair, both truthful.
+    pub total_truthful: Vec<f64>,
+    /// Total gain per pair, one cheater.
+    pub total_cheater: Vec<f64>,
+    /// Individual gains with both truthful (two samples per pair).
+    pub individual_truthful: Vec<f64>,
+    /// The cheater's individual gain per pair.
+    pub cheater_gain: Vec<f64>,
+    /// The truthful ISP's individual gain per pair (cheater run).
+    pub truthful_gain: Vec<f64>,
+}
+
+/// Run Figure 10.
+pub fn run_distance(universe: &Universe, cfg: &ExpConfig) -> CheatDistanceResults {
+    let mut eligible = universe.eligible_pairs(2, true);
+    if let Some(cap) = cfg.max_pairs {
+        eligible.truncate(cap);
+    }
+    let mut out = CheatDistanceResults::default();
+    let config = NexitConfig::win_win();
+
+    for &idx in &eligible {
+        let run = build_pair_run(universe, idx);
+        let session = &run.session;
+        let mapper =
+            |side| TwoWayDistanceMapper::new(side, &run.fwd.flows, &run.rev.flows, session.n_fwd);
+
+        // Evaluate an outcome's gains in kilometres.
+        let evaluate = |assignment: &nexit_routing::Assignment| -> (f64, f64, f64) {
+            let (f, r) = session.split(assignment);
+            let d_total = twoway_total_distance(
+                &run.fwd.flows,
+                &run.rev.flows,
+                &run.fwd.default,
+                &run.rev.default,
+            );
+            let total = percent_gain(
+                d_total,
+                twoway_total_distance(&run.fwd.flows, &run.rev.flows, &f, &r),
+            );
+            let side = |s| {
+                let d = twoway_side_distance(
+                    s,
+                    &run.fwd.flows,
+                    &run.rev.flows,
+                    &run.fwd.default,
+                    &run.rev.default,
+                );
+                let n = twoway_side_distance(s, &run.fwd.flows, &run.rev.flows, &f, &r);
+                percent_gain(d, n)
+            };
+            (total, side(Side::A), side(Side::B))
+        };
+
+        // Both truthful.
+        let mut a = Party::honest("A", mapper(Side::A));
+        let mut b = Party::honest("B", mapper(Side::B));
+        let truthful = negotiate(&session.input, &session.default, &mut a, &mut b, &config);
+        let (t_total, t_a, t_b) = evaluate(&truthful.assignment);
+        out.total_truthful.push(t_total);
+        out.individual_truthful.push(t_a);
+        out.individual_truthful.push(t_b);
+
+        // ISP-B cheats (inflate-best with perfect knowledge).
+        let mut a = Party::honest("A", mapper(Side::A));
+        let mut b = Party::cheating("B", mapper(Side::B), DisclosurePolicy::InflateBest);
+        let cheated = negotiate(&session.input, &session.default, &mut a, &mut b, &config);
+        let (c_total, c_a, c_b) = evaluate(&cheated.assignment);
+        out.total_cheater.push(c_total);
+        out.truthful_gain.push(c_a);
+        out.cheater_gain.push(c_b);
+    }
+    out
+}
+
+/// Figure 11 results (bandwidth, upstream cheats). MELs relative to the
+/// optimal, per failure scenario.
+#[derive(Debug, Clone, Default)]
+pub struct CheatBandwidthResults {
+    /// Upstream MEL ratio, both truthful.
+    pub up_truthful: Vec<f64>,
+    /// Upstream MEL ratio, upstream cheating.
+    pub up_cheater: Vec<f64>,
+    /// Upstream MEL ratio, default routing.
+    pub up_default: Vec<f64>,
+    /// Downstream MEL ratio, both truthful.
+    pub down_truthful: Vec<f64>,
+    /// Downstream MEL ratio, upstream cheating.
+    pub down_cheater: Vec<f64>,
+    /// Downstream MEL ratio, default routing.
+    pub down_default: Vec<f64>,
+}
+
+/// Run Figure 11.
+pub fn run_bandwidth(universe: &Universe, cfg: &ExpConfig) -> CheatBandwidthResults {
+    let mut eligible = universe.eligible_pairs(3, false);
+    if let Some(cap) = cfg.max_pairs {
+        eligible.truncate(cap);
+    }
+    let capacity_model = CapacityModel::default();
+    let mut out = CheatBandwidthResults::default();
+    let config = NexitConfig::win_win_bandwidth();
+
+    for &idx in &eligible {
+        for scenario in failure_scenarios(universe, idx, cfg, &capacity_model) {
+            let Some(opt) = scenario.optimum(cfg.max_lp_variables) else {
+                continue;
+            };
+            let opt_up = opt.side_mel(&scenario.caps_up, true);
+            let opt_down = opt.side_mel(&scenario.caps_down, false);
+            if opt_up < 1e-9 || opt_down < 1e-9 {
+                continue;
+            }
+            let input = scenario.session_input();
+            let up_mapper = || {
+                BandwidthMapper::new(
+                    Side::A,
+                    &scenario.data.flows,
+                    &scenario.data.paths,
+                    &scenario.caps_up,
+                )
+            };
+            let down_mapper = || {
+                BandwidthMapper::new(
+                    Side::B,
+                    &scenario.data.flows,
+                    &scenario.data.paths,
+                    &scenario.caps_down,
+                )
+            };
+
+            let mut a = Party::honest("up", up_mapper());
+            let mut b = Party::honest("down", down_mapper());
+            let truthful =
+                negotiate(&input, &scenario.data.default, &mut a, &mut b, &config);
+            let (tu, td) = scenario.mels(&truthful.assignment);
+
+            let mut a = Party::cheating("up", up_mapper(), DisclosurePolicy::InflateBest);
+            let mut b = Party::honest("down", down_mapper());
+            let cheated =
+                negotiate(&input, &scenario.data.default, &mut a, &mut b, &config);
+            let (cu, cd) = scenario.mels(&cheated.assignment);
+
+            let (du, dd) = scenario.default_mels;
+            out.up_truthful.push(tu / opt_up);
+            out.up_cheater.push(cu / opt_up);
+            out.up_default.push(du / opt_up);
+            out.down_truthful.push(td / opt_down);
+            out.down_cheater.push(cd / opt_down);
+            out.down_default.push(dd / opt_down);
+        }
+    }
+    out
+}
+
+/// Print the Figure 10 report.
+pub fn report_distance(results: &CheatDistanceResults) {
+    use crate::cdf::Cdf;
+    println!("== Figure 10a: total distance gain, truthful vs one cheater ==");
+    Cdf::new(results.total_truthful.clone()).print("both truthful");
+    Cdf::new(results.total_cheater.clone()).print("one cheater");
+    println!();
+    println!("== Figure 10b: individual gains ==");
+    Cdf::new(results.individual_truthful.clone()).print("both truthful");
+    Cdf::new(results.cheater_gain.clone()).print("cheater");
+    Cdf::new(results.truthful_gain.clone()).print("truthful");
+}
+
+/// Print the Figure 11 report.
+pub fn report_bandwidth(results: &CheatBandwidthResults) {
+    use crate::cdf::Cdf;
+    println!("== Figure 11: bandwidth cheating (upstream cheats), MEL vs optimal ==");
+    println!("-- upstream ISP --");
+    Cdf::new(results.up_truthful.clone()).print("both truthful");
+    Cdf::new(results.up_cheater.clone()).print("one cheater");
+    Cdf::new(results.up_default.clone()).print("default");
+    println!("-- downstream ISP --");
+    Cdf::new(results.down_truthful.clone()).print("both truthful");
+    Cdf::new(results.down_cheater.clone()).print("one cheater");
+    Cdf::new(results.down_default.clone()).print("default");
+}

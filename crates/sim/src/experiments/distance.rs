@@ -1,0 +1,234 @@
+//! §5.1 distance experiments: Figures 4a, 4b, 6 and the flow-fraction
+//! claim.
+//!
+//! Both traffic directions of each eligible pair (two or more
+//! interconnections, no mesh ISPs) are negotiated as one combined session
+//! — the paper keeps "all the traffic on the negotiating table". Flows are
+//! unweighted (the §5.1 metric is the plain sum of path lengths), so the
+//! identical-weights workload model is forced here regardless of the
+//! experiment configuration.
+
+use crate::pairdata::{ExpConfig, PairData};
+use crate::twoway::{
+    twoway_side_distance, twoway_total_distance, TwoWayDistanceMapper, TwoWaySession,
+};
+use nexit_baselines::optimal_distance;
+use nexit_core::{negotiate, NexitConfig, Party, Side};
+use nexit_metrics::percent_gain;
+use nexit_topology::Universe;
+use nexit_workload::WorkloadModel;
+
+/// Results of the distance experiment across all pairs.
+#[derive(Debug, Clone, Default)]
+pub struct DistanceResults {
+    /// Fig. 4a: per-pair % reduction of total distance, negotiated.
+    pub total_negotiated: Vec<f64>,
+    /// Fig. 4a: per-pair % reduction of total distance, optimal.
+    pub total_optimal: Vec<f64>,
+    /// Fig. 4b: per-ISP % reduction (two samples per pair), negotiated.
+    pub individual_negotiated: Vec<f64>,
+    /// Fig. 4b: per-ISP % reduction, optimal.
+    pub individual_optimal: Vec<f64>,
+    /// Fig. 6: per-flow % gain across all pairs, negotiated.
+    pub flow_negotiated: Vec<f64>,
+    /// Fig. 6: per-flow % gain, optimal.
+    pub flow_optimal: Vec<f64>,
+    /// §5.1 claim: per pair, the fraction of all flows that must be
+    /// non-default routed to capture 90% of the negotiated gain.
+    pub fraction_for_90pct: Vec<f64>,
+    /// Late-exit (consistently honored MEDs, Fig. 1b): per-pair total %
+    /// "gain" — typically near zero, since it merely mirrors early-exit.
+    pub total_late_exit: Vec<f64>,
+    /// Number of pairs evaluated.
+    pub pairs: usize,
+}
+
+/// Per-pair intermediate, exposed for the cheating experiment which needs
+/// the same setup with different parties.
+pub struct DistancePairRun<'u> {
+    /// Forward-direction data (A upstream).
+    pub fwd: PairData<'u>,
+    /// Reverse-direction data (B upstream), built on the mirrored pair.
+    pub rev: PairData<'u>,
+    /// The combined session.
+    pub session: TwoWaySession,
+}
+
+/// Build the combined two-direction run for one pair index.
+pub fn build_pair_run(universe: &Universe, pair_idx: usize) -> DistancePairRun<'_> {
+    let pair = &universe.pairs[pair_idx];
+    let a = &universe.isps[pair.isp_a.index()];
+    let b = &universe.isps[pair.isp_b.index()];
+    let fwd = PairData::build(a, b, pair.clone(), WorkloadModel::Identical);
+    let rev = PairData::build(b, a, fwd.mirrored_pair(), WorkloadModel::Identical);
+    let session = TwoWaySession::build(&fwd, &rev);
+    DistancePairRun { fwd, rev, session }
+}
+
+/// Run the full distance experiment.
+pub fn run(universe: &Universe, cfg: &ExpConfig) -> DistanceResults {
+    let mut eligible = universe.eligible_pairs(2, true);
+    if let Some(cap) = cfg.max_pairs {
+        eligible.truncate(cap);
+    }
+    let mut out = DistanceResults {
+        pairs: eligible.len(),
+        ..DistanceResults::default()
+    };
+
+    for &idx in &eligible {
+        let run = build_pair_run(universe, idx);
+        let session = &run.session;
+
+        // Negotiated routing.
+        let mut party_a = Party::honest(
+            "ISP-A",
+            TwoWayDistanceMapper::new(Side::A, &run.fwd.flows, &run.rev.flows, session.n_fwd),
+        );
+        let mut party_b = Party::honest(
+            "ISP-B",
+            TwoWayDistanceMapper::new(Side::B, &run.fwd.flows, &run.rev.flows, session.n_fwd),
+        );
+        let outcome = negotiate(
+            &session.input,
+            &session.default,
+            &mut party_a,
+            &mut party_b,
+            &NexitConfig::win_win(),
+        );
+        let (neg_fwd, neg_rev) = session.split(&outcome.assignment);
+
+        // Optimal routing (per-flow total-distance argmin in each
+        // direction).
+        let opt_fwd = optimal_distance(&run.fwd.flows);
+        let opt_rev = optimal_distance(&run.rev.flows);
+
+        // Totals (Fig. 4a).
+        let d_total =
+            twoway_total_distance(&run.fwd.flows, &run.rev.flows, &run.fwd.default, &run.rev.default);
+        let n_total = twoway_total_distance(&run.fwd.flows, &run.rev.flows, &neg_fwd, &neg_rev);
+        let o_total = twoway_total_distance(&run.fwd.flows, &run.rev.flows, &opt_fwd, &opt_rev);
+        out.total_negotiated.push(percent_gain(d_total, n_total));
+        out.total_optimal.push(percent_gain(d_total, o_total));
+
+        // Late-exit baseline (Fig. 1b): every flow enters at the
+        // interconnection closest to its destination.
+        let late_fwd = nexit_routing::Assignment::from_choices(
+            run.fwd
+                .flows
+                .flows
+                .iter()
+                .map(|f| nexit_routing::late_exit(&run.fwd.view(), &run.fwd.sp_down, f.dst))
+                .collect(),
+        );
+        let late_rev = nexit_routing::Assignment::from_choices(
+            run.rev
+                .flows
+                .flows
+                .iter()
+                .map(|f| nexit_routing::late_exit(&run.rev.view(), &run.rev.sp_down, f.dst))
+                .collect(),
+        );
+        let l_total = twoway_total_distance(&run.fwd.flows, &run.rev.flows, &late_fwd, &late_rev);
+        out.total_late_exit.push(percent_gain(d_total, l_total));
+
+        // Individual ISP gains (Fig. 4b).
+        for side in [Side::A, Side::B] {
+            let d = twoway_side_distance(
+                side,
+                &run.fwd.flows,
+                &run.rev.flows,
+                &run.fwd.default,
+                &run.rev.default,
+            );
+            let n =
+                twoway_side_distance(side, &run.fwd.flows, &run.rev.flows, &neg_fwd, &neg_rev);
+            let o =
+                twoway_side_distance(side, &run.fwd.flows, &run.rev.flows, &opt_fwd, &opt_rev);
+            out.individual_negotiated.push(percent_gain(d, n));
+            out.individual_optimal.push(percent_gain(d, o));
+        }
+
+        // Flow-level gains (Fig. 6) and the 90%-of-gain fraction.
+        let mut per_flow_saving: Vec<f64> = Vec::new();
+        let collect =
+            |flows: &nexit_routing::PairFlows,
+             default: &nexit_routing::Assignment,
+             neg: &nexit_routing::Assignment,
+             opt: &nexit_routing::Assignment,
+             out: &mut DistanceResults,
+             per_flow_saving: &mut Vec<f64>| {
+                for (id, _, m) in flows.iter() {
+                    let d = m.total_km(default.choice(id));
+                    out.flow_negotiated
+                        .push(percent_gain(d, m.total_km(neg.choice(id))));
+                    out.flow_optimal
+                        .push(percent_gain(d, m.total_km(opt.choice(id))));
+                    per_flow_saving.push(d - m.total_km(neg.choice(id)));
+                }
+            };
+        collect(
+            &run.fwd.flows,
+            &run.fwd.default,
+            &neg_fwd,
+            &opt_fwd,
+            &mut out,
+            &mut per_flow_saving,
+        );
+        collect(
+            &run.rev.flows,
+            &run.rev.default,
+            &neg_rev,
+            &opt_rev,
+            &mut out,
+            &mut per_flow_saving,
+        );
+
+        out.fraction_for_90pct
+            .push(fraction_for_gain_share(&per_flow_saving, 0.9));
+    }
+    out
+}
+
+/// The fraction of all flows (sorted by descending saving) needed to
+/// capture `share` of the total positive saving. Returns 0 when there is
+/// no gain at all.
+pub fn fraction_for_gain_share(per_flow_saving: &[f64], share: f64) -> f64 {
+    let total: f64 = per_flow_saving.iter().filter(|&&s| s > 0.0).sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut savings: Vec<f64> = per_flow_saving.iter().copied().filter(|&s| s > 0.0).collect();
+    savings.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+    let mut acc = 0.0;
+    for (i, s) in savings.iter().enumerate() {
+        acc += s;
+        if acc >= share * total {
+            return (i + 1) as f64 / per_flow_saving.len() as f64;
+        }
+    }
+    1.0
+}
+
+/// Print the distance experiment report (Figures 4a, 4b, 6).
+pub fn report(results: &DistanceResults) {
+    use crate::cdf::Cdf;
+    println!("== Figure 4a: total distance gain over default (% reduction) ==");
+    Cdf::new(results.total_negotiated.clone()).print("negotiated");
+    Cdf::new(results.total_optimal.clone()).print("optimal");
+    Cdf::new(results.total_late_exit.clone()).print("late-exit (MEDs, Fig. 1b)");
+    println!();
+    println!("== Figure 4b: individual ISP distance gain (% reduction) ==");
+    Cdf::new(results.individual_negotiated.clone()).print("negotiated");
+    Cdf::new(results.individual_optimal.clone()).print("optimal");
+    println!();
+    println!("== Figure 6: flow-level gain (% reduction, all flows, all pairs) ==");
+    Cdf::new(results.flow_negotiated.clone()).print("negotiated");
+    Cdf::new(results.flow_optimal.clone()).print("optimal");
+    println!();
+    let frac = Cdf::new(results.fraction_for_90pct.clone());
+    println!(
+        "== §5.1 claim: median fraction of flows for 90% of gain = {:.1}% ==",
+        100.0 * frac.median()
+    );
+}

@@ -1,0 +1,63 @@
+//! Figure 5: the flow-Pareto and flow-both-better strategies.
+
+use crate::experiments::distance::build_pair_run;
+use crate::pairdata::ExpConfig;
+use crate::twoway::twoway_total_distance;
+use nexit_baselines::flow_filters::{flow_both_better, flow_pareto, OppositeFlows};
+use nexit_metrics::percent_gain;
+use nexit_topology::Universe;
+
+/// Results: per-pair total % gains for both strategies.
+#[derive(Debug, Clone, Default)]
+pub struct FilterResults {
+    /// flow-Pareto total distance gain per pair.
+    pub pareto: Vec<f64>,
+    /// flow-both-better total distance gain per pair.
+    pub both_better: Vec<f64>,
+}
+
+/// Run Figure 5 over the distance-eligible pairs.
+pub fn run(universe: &Universe, cfg: &ExpConfig) -> FilterResults {
+    let mut eligible = universe.eligible_pairs(2, true);
+    if let Some(cap) = cfg.max_pairs {
+        eligible.truncate(cap);
+    }
+    let mut out = FilterResults::default();
+    for (i, &idx) in eligible.iter().enumerate() {
+        let run = build_pair_run(universe, idx);
+        let input = OppositeFlows {
+            fwd: &run.fwd.flows,
+            rev: &run.rev.flows,
+            fwd_default: &run.fwd.default,
+            rev_default: &run.rev.default,
+            num_pops_a: run.fwd.a.num_pops(),
+            num_pops_b: run.fwd.b.num_pops(),
+        };
+        let d_total = twoway_total_distance(
+            &run.fwd.flows,
+            &run.rev.flows,
+            &run.fwd.default,
+            &run.rev.default,
+        );
+        let seed = cfg.seed.wrapping_add(i as u64);
+        let (pf, pr) = flow_pareto(&input, seed);
+        out.pareto.push(percent_gain(
+            d_total,
+            twoway_total_distance(&run.fwd.flows, &run.rev.flows, &pf, &pr),
+        ));
+        let (bf, br) = flow_both_better(&input, seed);
+        out.both_better.push(percent_gain(
+            d_total,
+            twoway_total_distance(&run.fwd.flows, &run.rev.flows, &bf, &br),
+        ));
+    }
+    out
+}
+
+/// Print the Figure 5 report.
+pub fn report(results: &FilterResults) {
+    use crate::cdf::Cdf;
+    println!("== Figure 5: gain of flow-level filter strategies (% reduction) ==");
+    Cdf::new(results.both_better.clone()).print("flow-both-better");
+    Cdf::new(results.pareto.clone()).print("flow-Pareto");
+}

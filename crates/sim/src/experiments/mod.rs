@@ -1,0 +1,8 @@
+//! Experiment drivers, one module per paper figure group.
+
+pub mod ablation;
+pub mod bandwidth;
+pub mod cheating;
+pub mod distance;
+pub mod diverse;
+pub mod filters;

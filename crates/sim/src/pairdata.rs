@@ -1,0 +1,187 @@
+//! Per-pair precomputation shared by every experiment.
+
+use nexit_routing::{Assignment, PairFlows, ShortestPaths};
+use nexit_topology::{IspPair, IspTopology, PairView};
+use nexit_workload::{volume_fn, PathTable, WorkloadModel};
+
+/// Global experiment knobs.
+#[derive(Debug, Clone)]
+pub struct ExpConfig {
+    /// Cap on eligible pairs per experiment (`None` = all). Used to keep
+    /// smoke runs fast; the full runs use `None`.
+    pub max_pairs: Option<usize>,
+    /// Cap on simulated interconnection failures per pair.
+    pub max_failures_per_pair: usize,
+    /// Skip bandwidth-optimum LPs larger than this many variables
+    /// (impacted flows × alternatives); skipped scenarios are counted and
+    /// reported.
+    pub max_lp_variables: usize,
+    /// Seed for the strategies that randomize (flow filters).
+    pub seed: u64,
+    /// Workload model for bandwidth experiments.
+    pub workload: WorkloadModel,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        Self {
+            max_pairs: None,
+            max_failures_per_pair: 5,
+            max_lp_variables: 6_000,
+            seed: 1,
+            workload: WorkloadModel::Gravity,
+        }
+    }
+}
+
+impl ExpConfig {
+    /// A fast configuration for tests and smoke runs.
+    pub fn smoke() -> Self {
+        Self {
+            max_pairs: Some(12),
+            max_failures_per_pair: 2,
+            max_lp_variables: 2_000,
+            ..Self::default()
+        }
+    }
+}
+
+/// Everything one directed experiment needs about a pair: the (owned)
+/// pair record, shortest paths, flows, path tables and the early-exit
+/// default. Topologies are borrowed from the universe; the pair record is
+/// owned so that mirrored and failure-reduced pairs work identically.
+pub struct PairData<'u> {
+    /// The upstream (A-side) topology.
+    pub a: &'u IspTopology,
+    /// The downstream (B-side) topology.
+    pub b: &'u IspTopology,
+    /// The pair record (owned; may be a mirrored or reduced variant).
+    pub pair: IspPair,
+    /// Shortest paths in the upstream ISP.
+    pub sp_up: ShortestPaths,
+    /// Shortest paths in the downstream ISP.
+    pub sp_down: ShortestPaths,
+    /// The directed flow set.
+    pub flows: PairFlows,
+    /// Per-(flow, alternative) link paths.
+    pub paths: PathTable,
+    /// Early-exit default assignment.
+    pub default: Assignment,
+}
+
+impl<'u> PairData<'u> {
+    /// Build for a directed pair with the given workload model.
+    pub fn build(
+        a: &'u IspTopology,
+        b: &'u IspTopology,
+        pair: IspPair,
+        workload: WorkloadModel,
+    ) -> Self {
+        let sp_up = ShortestPaths::compute(a);
+        let sp_down = ShortestPaths::compute(b);
+        let (flows, paths, default) = {
+            let view = PairView::new(a, b, &pair);
+            let vol = volume_fn(workload, a, b);
+            let flows = PairFlows::build(&view, &sp_up, &sp_down, vol);
+            let paths = PathTable::build(&view, &sp_up, &sp_down, &flows);
+            let default = Assignment::early_exit(&view, &sp_up, &flows);
+            (flows, paths, default)
+        };
+        Self {
+            a,
+            b,
+            pair,
+            sp_up,
+            sp_down,
+            flows,
+            paths,
+            default,
+        }
+    }
+
+    /// The directed view over this data's pair.
+    pub fn view(&self) -> PairView<'_> {
+        PairView::new(self.a, self.b, &self.pair)
+    }
+
+    /// The mirrored pair record (B upstream), for building the reverse
+    /// direction's [`PairData`].
+    pub fn mirrored_pair(&self) -> IspPair {
+        IspPair {
+            isp_a: self.pair.isp_b,
+            isp_b: self.pair.isp_a,
+            interconnections: self
+                .pair
+                .interconnections
+                .iter()
+                .map(|x| nexit_topology::Interconnection {
+                    pop_a: x.pop_b,
+                    pop_b: x.pop_a,
+                    length_km: x.length_km,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexit_topology::{GeneratorConfig, TopologyGenerator};
+
+    #[test]
+    fn pairdata_builds_for_generated_pair() {
+        let u = TopologyGenerator::new(GeneratorConfig {
+            num_isps: 10,
+            num_mesh_isps: 0,
+            seed: 3,
+            ..GeneratorConfig::default()
+        })
+        .generate();
+        let eligible = u.eligible_pairs(2, true);
+        assert!(!eligible.is_empty());
+        let pair = &u.pairs[eligible[0]];
+        let data = PairData::build(
+            &u.isps[pair.isp_a.index()],
+            &u.isps[pair.isp_b.index()],
+            pair.clone(),
+            WorkloadModel::Gravity,
+        );
+        assert_eq!(data.flows.len(), data.a.num_pops() * data.b.num_pops());
+        assert_eq!(data.default.len(), data.flows.len());
+        assert!(data.flows.total_volume() > 0.0);
+    }
+
+    #[test]
+    fn mirrored_pair_swaps_endpoints() {
+        let u = TopologyGenerator::new(GeneratorConfig {
+            num_isps: 10,
+            num_mesh_isps: 0,
+            seed: 3,
+            ..GeneratorConfig::default()
+        })
+        .generate();
+        let idx = u.eligible_pairs(2, true)[0];
+        let pair = &u.pairs[idx];
+        let data = PairData::build(
+            &u.isps[pair.isp_a.index()],
+            &u.isps[pair.isp_b.index()],
+            pair.clone(),
+            WorkloadModel::Identical,
+        );
+        let m = data.mirrored_pair();
+        assert_eq!(m.isp_a, pair.isp_b);
+        assert_eq!(m.isp_b, pair.isp_a);
+        for (orig, mir) in pair.interconnections.iter().zip(&m.interconnections) {
+            assert_eq!(orig.pop_a, mir.pop_b);
+            assert_eq!(orig.pop_b, mir.pop_a);
+        }
+    }
+
+    #[test]
+    fn smoke_config_is_small() {
+        let c = ExpConfig::smoke();
+        assert!(c.max_pairs.unwrap() <= 20);
+        assert!(c.max_lp_variables <= 6_000);
+    }
+}

@@ -1,0 +1,110 @@
+//! The paper's motivating hand-built scenarios (Figures 1 and 2).
+
+use nexit_topology::{
+    GeoPoint, Interconnection, IspId, IspPair, IspTopology, Link, Pop, PopId,
+};
+
+/// The Figure 1 / Figure 2 style ladder: two ISPs, each a vertical
+/// 3-PoP chain (top, middle, bottom), joined by three parallel
+/// interconnections. Interconnection ids: 0 = top, 1 = middle, 2 = bottom.
+pub struct LadderScenario {
+    /// ISP-A topology.
+    pub a: IspTopology,
+    /// ISP-B topology.
+    pub b: IspTopology,
+    /// The pair with its three interconnections.
+    pub pair: IspPair,
+}
+
+/// Interconnection indices for readability.
+pub mod icx {
+    use nexit_topology::IcxId;
+    /// Top interconnection.
+    pub const TOP: IcxId = IcxId(0);
+    /// Middle interconnection.
+    pub const MIDDLE: IcxId = IcxId(1);
+    /// Bottom interconnection.
+    pub const BOTTOM: IcxId = IcxId(2);
+}
+
+/// Build the ladder. `rung_km` is the vertical spacing between PoPs.
+pub fn ladder(rung_km: f64) -> LadderScenario {
+    // Place PoPs along meridians; ~111 km per degree of latitude.
+    let deg = rung_km / 111.0;
+    let build = |id: u32, name: &str, lon: f64| {
+        let pops = vec![
+            Pop {
+                city: format!("{name}-top"),
+                geo: GeoPoint::new(2.0 * deg, lon),
+                weight: 1.0,
+            },
+            Pop {
+                city: format!("{name}-mid"),
+                geo: GeoPoint::new(deg, lon),
+                weight: 1.0,
+            },
+            Pop {
+                city: format!("{name}-bot"),
+                geo: GeoPoint::new(0.0, lon),
+                weight: 1.0,
+            },
+        ];
+        let links = vec![
+            Link {
+                a: PopId(0),
+                b: PopId(1),
+                weight: rung_km,
+                length_km: rung_km,
+            },
+            Link {
+                a: PopId(1),
+                b: PopId(2),
+                weight: rung_km,
+                length_km: rung_km,
+            },
+        ];
+        IspTopology::new(IspId(id), name, pops, links, false).unwrap()
+    };
+    let a = build(0, "ISP-A", 0.0);
+    let b = build(1, "ISP-B", 1.0);
+    let pair = IspPair::new(
+        &a,
+        &b,
+        (0..3)
+            .map(|i| Interconnection {
+                pop_a: PopId(i),
+                pop_b: PopId(i),
+                length_km: 80.0,
+            })
+            .collect(),
+    )
+    .unwrap();
+    LadderScenario { a, b, pair }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexit_routing::{early_exit, ShortestPaths};
+    use nexit_topology::PairView;
+
+    #[test]
+    fn ladder_geometry() {
+        let s = ladder(500.0);
+        assert_eq!(s.a.num_pops(), 3);
+        assert_eq!(s.pair.num_interconnections(), 3);
+        // Vertical spacing approximately the requested rung.
+        let d = s.a.pop(PopId(0)).geo.distance_km(&s.a.pop(PopId(1)).geo);
+        assert!((d - 500.0).abs() < 5.0, "rung = {d}");
+    }
+
+    #[test]
+    fn early_exit_uses_nearest_rung() {
+        let s = ladder(500.0);
+        let view = PairView::new(&s.a, &s.b, &s.pair);
+        let sp_a = ShortestPaths::compute(&s.a);
+        assert_eq!(early_exit(&view, &sp_a, PopId(0)), icx::TOP);
+        assert_eq!(early_exit(&view, &sp_a, PopId(1)), icx::MIDDLE);
+        assert_eq!(early_exit(&view, &sp_a, PopId(2)), icx::BOTTOM);
+    }
+}

@@ -1,0 +1,263 @@
+//! Built-in table of world cities with coordinates and populations.
+//!
+//! The paper weights PoPs by city population (a CIESIN 50×50-square-mile
+//! grid estimate) to drive its gravity-model traffic matrices. We substitute
+//! a built-in table of major world cities with approximate metro-area
+//! populations. Only *relative* weights matter for the gravity model, and
+//! the table reproduces the two properties the paper relies on: a skewed
+//! (heavy-tailed) population distribution, and realistic geographic spread
+//! across the regions where measured ISPs had PoPs.
+
+use crate::geo::GeoPoint;
+use serde::{Deserialize, Serialize};
+
+/// A city that can host a PoP.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct City {
+    /// Human-readable city name (unique within the built-in table).
+    pub name: String,
+    /// Geographic location of the city center.
+    pub geo: GeoPoint,
+    /// Approximate metro population, in millions.
+    pub population_millions: f64,
+    /// Coarse continental region, used by the generator to give each
+    /// synthetic ISP a realistic geographic footprint.
+    pub region: Region,
+}
+
+/// Coarse continental regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    NorthAmerica,
+    Europe,
+    Asia,
+    SouthAmerica,
+    Oceania,
+}
+
+impl Region {
+    /// All regions, in a fixed order used for deterministic sampling.
+    pub const ALL: [Region; 5] = [
+        Region::NorthAmerica,
+        Region::Europe,
+        Region::Asia,
+        Region::SouthAmerica,
+        Region::Oceania,
+    ];
+}
+
+macro_rules! city {
+    ($name:literal, $lat:expr, $lon:expr, $pop:expr, $region:ident) => {
+        City {
+            name: String::from($name),
+            geo: GeoPoint {
+                lat: $lat,
+                lon: $lon,
+            },
+            population_millions: $pop,
+            region: Region::$region,
+        }
+    };
+}
+
+/// The built-in city table: 128 cities, heavy concentration in North
+/// America and Europe (where the Rocketfuel ISPs were measured), with
+/// enough Asian / South American / Oceanian cities for the tier-1 global
+/// backbones. Populations are rough 2005-era metro figures in millions —
+/// only relative magnitude matters.
+pub fn builtin_cities() -> Vec<City> {
+    vec![
+        // --- North America (hub cities first; generators bias toward hubs) ---
+        city!("New York", 40.7128, -74.0060, 18.8, NorthAmerica),
+        city!("Los Angeles", 34.0522, -118.2437, 12.9, NorthAmerica),
+        city!("Chicago", 41.8781, -87.6298, 9.4, NorthAmerica),
+        city!("Washington DC", 38.9072, -77.0369, 5.3, NorthAmerica),
+        city!("San Francisco", 37.7749, -122.4194, 4.2, NorthAmerica),
+        city!("San Jose", 37.3382, -121.8863, 1.8, NorthAmerica),
+        city!("Dallas", 32.7767, -96.7970, 5.7, NorthAmerica),
+        city!("Houston", 29.7604, -95.3698, 5.2, NorthAmerica),
+        city!("Atlanta", 33.7490, -84.3880, 4.9, NorthAmerica),
+        city!("Miami", 25.7617, -80.1918, 5.4, NorthAmerica),
+        city!("Seattle", 47.6062, -122.3321, 3.2, NorthAmerica),
+        city!("Boston", 42.3601, -71.0589, 4.4, NorthAmerica),
+        city!("Denver", 39.7392, -104.9903, 2.4, NorthAmerica),
+        city!("Phoenix", 33.4484, -112.0740, 3.7, NorthAmerica),
+        city!("Philadelphia", 39.9526, -75.1652, 5.8, NorthAmerica),
+        city!("Detroit", 42.3314, -83.0458, 4.4, NorthAmerica),
+        city!("Minneapolis", 44.9778, -93.2650, 3.0, NorthAmerica),
+        city!("St Louis", 38.6270, -90.1994, 2.8, NorthAmerica),
+        city!("Tampa", 27.9506, -82.4572, 2.4, NorthAmerica),
+        city!("Portland", 45.5152, -122.6784, 2.0, NorthAmerica),
+        city!("San Diego", 32.7157, -117.1611, 2.9, NorthAmerica),
+        city!("Las Vegas", 36.1699, -115.1398, 1.6, NorthAmerica),
+        city!("Salt Lake City", 40.7608, -111.8910, 1.0, NorthAmerica),
+        city!("Kansas City", 39.0997, -94.5786, 1.9, NorthAmerica),
+        city!("Austin", 30.2672, -97.7431, 1.3, NorthAmerica),
+        city!("San Antonio", 29.4241, -98.4936, 1.7, NorthAmerica),
+        city!("Orlando", 28.5383, -81.3792, 1.8, NorthAmerica),
+        city!("Charlotte", 35.2271, -80.8431, 1.5, NorthAmerica),
+        city!("Pittsburgh", 40.4406, -79.9959, 2.4, NorthAmerica),
+        city!("Cleveland", 41.4993, -81.6944, 2.1, NorthAmerica),
+        city!("Cincinnati", 39.1031, -84.5120, 2.0, NorthAmerica),
+        city!("Columbus", 39.9612, -82.9988, 1.7, NorthAmerica),
+        city!("Indianapolis", 39.7684, -86.1581, 1.6, NorthAmerica),
+        city!("Nashville", 36.1627, -86.7816, 1.4, NorthAmerica),
+        city!("Raleigh", 35.7796, -78.6382, 1.0, NorthAmerica),
+        city!("Richmond", 37.5407, -77.4360, 1.1, NorthAmerica),
+        city!("New Orleans", 29.9511, -90.0715, 1.3, NorthAmerica),
+        city!("Memphis", 35.1495, -90.0490, 1.2, NorthAmerica),
+        city!("Oklahoma City", 35.4676, -97.5164, 1.1, NorthAmerica),
+        city!("Albuquerque", 35.0844, -106.6504, 0.8, NorthAmerica),
+        city!("Tucson", 32.2226, -110.9747, 0.9, NorthAmerica),
+        city!("Sacramento", 38.5816, -121.4944, 2.0, NorthAmerica),
+        city!("Fresno", 36.7378, -119.7871, 0.9, NorthAmerica),
+        city!("Spokane", 47.6588, -117.4260, 0.5, NorthAmerica),
+        city!("Boise", 43.6150, -116.2023, 0.5, NorthAmerica),
+        city!("Omaha", 41.2565, -95.9345, 0.8, NorthAmerica),
+        city!("Des Moines", 41.5868, -93.6250, 0.6, NorthAmerica),
+        city!("Milwaukee", 43.0389, -87.9065, 1.6, NorthAmerica),
+        city!("Buffalo", 42.8864, -78.8784, 1.2, NorthAmerica),
+        city!("Rochester", 43.1566, -77.6088, 1.1, NorthAmerica),
+        city!("Albany", 42.6526, -73.7562, 0.9, NorthAmerica),
+        city!("Hartford", 41.7658, -72.6734, 1.2, NorthAmerica),
+        city!("Jacksonville", 30.3322, -81.6557, 1.2, NorthAmerica),
+        city!("Toronto", 43.6532, -79.3832, 5.1, NorthAmerica),
+        city!("Montreal", 45.5017, -73.5673, 3.6, NorthAmerica),
+        city!("Vancouver", 49.2827, -123.1207, 2.1, NorthAmerica),
+        city!("Calgary", 51.0447, -114.0719, 1.1, NorthAmerica),
+        city!("Ottawa", 45.4215, -75.6972, 1.1, NorthAmerica),
+        city!("Mexico City", 19.4326, -99.1332, 18.5, NorthAmerica),
+        // --- Europe ---
+        city!("London", 51.5074, -0.1278, 12.0, Europe),
+        city!("Paris", 48.8566, 2.3522, 11.0, Europe),
+        city!("Frankfurt", 50.1109, 8.6821, 2.6, Europe),
+        city!("Amsterdam", 52.3676, 4.9041, 2.4, Europe),
+        city!("Brussels", 50.8503, 4.3517, 1.9, Europe),
+        city!("Madrid", 40.4168, -3.7038, 5.8, Europe),
+        city!("Barcelona", 41.3851, 2.1734, 4.7, Europe),
+        city!("Milan", 45.4642, 9.1900, 4.1, Europe),
+        city!("Rome", 41.9028, 12.4964, 3.8, Europe),
+        city!("Berlin", 52.5200, 13.4050, 4.2, Europe),
+        city!("Munich", 48.1351, 11.5820, 2.6, Europe),
+        city!("Hamburg", 53.5511, 9.9937, 3.1, Europe),
+        city!("Dusseldorf", 51.2277, 6.7735, 1.5, Europe),
+        city!("Vienna", 48.2082, 16.3738, 2.2, Europe),
+        city!("Zurich", 47.3769, 8.5417, 1.3, Europe),
+        city!("Geneva", 46.2044, 6.1432, 0.9, Europe),
+        city!("Stockholm", 59.3293, 18.0686, 1.9, Europe),
+        city!("Copenhagen", 55.6761, 12.5683, 1.9, Europe),
+        city!("Oslo", 59.9139, 10.7522, 1.0, Europe),
+        city!("Helsinki", 60.1699, 24.9384, 1.2, Europe),
+        city!("Dublin", 53.3498, -6.2603, 1.6, Europe),
+        city!("Manchester", 53.4808, -2.2426, 2.6, Europe),
+        city!("Birmingham", 52.4862, -1.8904, 2.5, Europe),
+        city!("Edinburgh", 55.9533, -3.1883, 0.9, Europe),
+        city!("Lisbon", 38.7223, -9.1393, 2.8, Europe),
+        city!("Warsaw", 52.2297, 21.0122, 2.9, Europe),
+        city!("Prague", 50.0755, 14.4378, 1.9, Europe),
+        city!("Budapest", 47.4979, 19.0402, 2.5, Europe),
+        city!("Athens", 37.9838, 23.7275, 3.6, Europe),
+        city!("Lyon", 45.7640, 4.8357, 1.7, Europe),
+        city!("Marseille", 43.2965, 5.3698, 1.6, Europe),
+        city!("Luxembourg", 49.6116, 6.1319, 0.4, Europe),
+        city!("Moscow", 55.7558, 37.6173, 14.8, Europe),
+        // --- Asia ---
+        city!("Tokyo", 35.6762, 139.6503, 34.5, Asia),
+        city!("Osaka", 34.6937, 135.5023, 18.6, Asia),
+        city!("Seoul", 37.5665, 126.9780, 22.6, Asia),
+        city!("Hong Kong", 22.3193, 114.1694, 6.9, Asia),
+        city!("Singapore", 1.3521, 103.8198, 4.2, Asia),
+        city!("Taipei", 25.0330, 121.5654, 6.5, Asia),
+        city!("Shanghai", 31.2304, 121.4737, 14.5, Asia),
+        city!("Beijing", 39.9042, 116.4074, 12.4, Asia),
+        city!("Mumbai", 19.0760, 72.8777, 17.7, Asia),
+        city!("Delhi", 28.7041, 77.1025, 15.7, Asia),
+        city!("Bangalore", 12.9716, 77.5946, 6.1, Asia),
+        city!("Bangkok", 13.7563, 100.5018, 6.6, Asia),
+        city!("Kuala Lumpur", 3.1390, 101.6869, 4.4, Asia),
+        city!("Jakarta", -6.2088, 106.8456, 13.2, Asia),
+        city!("Manila", 14.5995, 120.9842, 10.7, Asia),
+        city!("Tel Aviv", 32.0853, 34.7818, 2.9, Asia),
+        city!("Dubai", 25.2048, 55.2708, 1.3, Asia),
+        city!("Istanbul", 41.0082, 28.9784, 9.7, Asia),
+        // --- South America ---
+        city!("Sao Paulo", -23.5505, -46.6333, 17.7, SouthAmerica),
+        city!("Rio de Janeiro", -22.9068, -43.1729, 11.0, SouthAmerica),
+        city!("Buenos Aires", -34.6037, -58.3816, 13.0, SouthAmerica),
+        city!("Santiago", -33.4489, -70.6693, 5.4, SouthAmerica),
+        city!("Lima", -12.0464, -77.0428, 7.7, SouthAmerica),
+        city!("Bogota", 4.7110, -74.0721, 7.0, SouthAmerica),
+        city!("Caracas", 10.4806, -66.9036, 3.2, SouthAmerica),
+        // --- Oceania ---
+        city!("Sydney", -33.8688, 151.2093, 4.2, Oceania),
+        city!("Melbourne", -37.8136, 144.9631, 3.6, Oceania),
+        city!("Brisbane", -27.4698, 153.0251, 1.8, Oceania),
+        city!("Perth", -31.9505, 115.8605, 1.4, Oceania),
+        city!("Auckland", -36.8485, 174.7633, 1.2, Oceania),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_nonempty_and_unique() {
+        let cities = builtin_cities();
+        assert!(cities.len() >= 100, "expected >=100 cities, got {}", cities.len());
+        let mut names: Vec<&str> = cities.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate city names in table");
+    }
+
+    #[test]
+    fn coordinates_in_range() {
+        for c in builtin_cities() {
+            assert!((-90.0..=90.0).contains(&c.geo.lat), "{}", c.name);
+            assert!((-180.0..=180.0).contains(&c.geo.lon), "{}", c.name);
+            assert!(c.population_millions > 0.0, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn populations_are_heavy_tailed() {
+        // The gravity model depends on skew: the biggest city should be
+        // much larger than the median city.
+        let mut pops: Vec<f64> = builtin_cities()
+            .iter()
+            .map(|c| c.population_millions)
+            .collect();
+        pops.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = pops[pops.len() / 2];
+        let max = *pops.last().unwrap();
+        assert!(
+            max / median > 5.0,
+            "population distribution not skewed: max={max} median={median}"
+        );
+    }
+
+    #[test]
+    fn every_region_represented() {
+        let cities = builtin_cities();
+        for region in Region::ALL {
+            assert!(
+                cities.iter().any(|c| c.region == region),
+                "no city in {region:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn north_america_dominates() {
+        // Rocketfuel ISPs were mostly North American; the generator relies
+        // on NA having the deepest city pool.
+        let cities = builtin_cities();
+        let na = cities
+            .iter()
+            .filter(|c| c.region == Region::NorthAmerica)
+            .count();
+        assert!(na >= 40, "NA city pool too small: {na}");
+    }
+}

@@ -1,0 +1,590 @@
+//! Deterministic Rocketfuel-like topology synthesis.
+//!
+//! The paper's dataset — 65 measured PoP-level ISP maps with geographic
+//! coordinates and inferred link weights — is not redistributable, so this
+//! module synthesizes a universe with the same load-bearing properties:
+//!
+//! * **heavy-tailed ISP sizes** (a few large tier-1 backbones, many small
+//!   regional networks),
+//! * **geographic embedding**: PoPs are real cities with real coordinates
+//!   and populations, so geographic distance and gravity weights behave
+//!   like the measured data,
+//! * **distance-driven intradomain connectivity**: a spanning tree over
+//!   geographic distance plus Waxman-style extra edges, giving the sparse
+//!   2–3.5 average degree seen in PoP-level maps,
+//! * **a minority of logical-mesh ISPs** (the paper excluded eight whose
+//!   measured maps were meshes; we generate the same fraction and mark
+//!   them with [`crate::IspTopology::is_mesh`]),
+//! * **interconnections in shared cities**: two ISPs can peer wherever
+//!   both have a PoP in the same city, and large hub cities (New York,
+//!   London, …) are shared by many ISPs — exactly how real peering
+//!   placement works.
+//!
+//! Everything is driven by a single seed: the same
+//! [`GeneratorConfig`] always produces bit-identical universes.
+
+use crate::city::{builtin_cities, City, Region};
+use crate::ids::{IspId, PopId};
+use crate::isp::{IspTopology, Link, Pop};
+use crate::pair::{Interconnection, IspPair, PairView};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Tunables for universe synthesis. `Default` reproduces the paper-scale
+/// universe: 65 ISPs, 8 of them meshes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// RNG seed; the sole source of randomness.
+    pub seed: u64,
+    /// Number of ISPs to generate.
+    pub num_isps: usize,
+    /// Minimum PoPs per ISP.
+    pub min_pops: usize,
+    /// Maximum PoPs per ISP.
+    pub max_pops: usize,
+    /// Exponent of the size distribution: sizes are
+    /// `min + (max-min) * u^size_skew` for uniform `u`, so larger skew
+    /// means more small ISPs.
+    pub size_skew: f64,
+    /// Number of ISPs generated as logical meshes (paper: 8 of 65).
+    pub num_mesh_isps: usize,
+    /// Waxman edge probability scale (`alpha`): expected extra edges per PoP (scaled by 1/(n-1) internally); higher means denser graphs.
+    pub waxman_alpha: f64,
+    /// Waxman distance decay (`beta`), as a fraction of the ISP's mean pairwise PoP distance.
+    pub waxman_beta: f64,
+    /// Probability that a candidate ISP pair actually peers. Calibrated so
+    /// the eligible-pair counts land near the paper's 229 (≥2 icx) and
+    /// 247 (≥3 icx).
+    pub peer_probability: f64,
+    /// Probability that each shared city of a peering pair hosts an
+    /// interconnection.
+    pub icx_per_shared_city_probability: f64,
+    /// Length assigned to a same-city interconnection, in kilometres
+    /// (cross-town fiber).
+    pub same_city_icx_km: f64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self {
+            seed: 20050502, // NSDI '05 started May 2, 2005
+            num_isps: 65,
+            min_pops: 4,
+            max_pops: 48,
+            size_skew: 2.2,
+            num_mesh_isps: 8,
+            waxman_alpha: 2.4,
+            waxman_beta: 0.6,
+            peer_probability: 0.32,
+            icx_per_shared_city_probability: 0.8,
+            same_city_icx_km: 5.0,
+        }
+    }
+}
+
+/// A generated universe: ISP topologies plus every peering pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Universe {
+    /// All ISPs; an [`IspId`] indexes this vector.
+    pub isps: Vec<IspTopology>,
+    /// All peering pairs (each with at least one interconnection).
+    pub pairs: Vec<IspPair>,
+    /// The configuration that produced this universe.
+    pub config: GeneratorConfig,
+}
+
+impl Universe {
+    /// Borrowed view of the `i`-th pair.
+    pub fn pair_view(&self, i: usize) -> PairView<'_> {
+        let pair = &self.pairs[i];
+        PairView::new(
+            &self.isps[pair.isp_a.index()],
+            &self.isps[pair.isp_b.index()],
+            pair,
+        )
+    }
+
+    /// Indices of pairs with at least `k` interconnections, optionally
+    /// excluding pairs that involve a mesh ISP (the paper's distance
+    /// experiments exclude meshes; its bandwidth experiments do not).
+    pub fn eligible_pairs(&self, min_icx: usize, exclude_mesh: bool) -> Vec<usize> {
+        self.pairs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.num_interconnections() >= min_icx)
+            .filter(|(_, p)| {
+                !exclude_mesh
+                    || (!self.isps[p.isp_a.index()].is_mesh
+                        && !self.isps[p.isp_b.index()].is_mesh)
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Rebuild adjacency indices after deserialization.
+    pub fn rebuild_indices(&mut self) {
+        for isp in &mut self.isps {
+            isp.rebuild_adjacency();
+        }
+    }
+}
+
+/// The synthesizer. Stateless apart from the config; every call to
+/// [`TopologyGenerator::generate`] re-derives everything from the seed.
+#[derive(Debug, Clone)]
+pub struct TopologyGenerator {
+    config: GeneratorConfig,
+}
+
+impl TopologyGenerator {
+    /// Create a generator with the given configuration.
+    pub fn new(config: GeneratorConfig) -> Self {
+        Self { config }
+    }
+
+    /// Generate the full universe.
+    pub fn generate(&self) -> Universe {
+        let cities = builtin_cities();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        let mut isps = Vec::with_capacity(self.config.num_isps);
+        for i in 0..self.config.num_isps {
+            // Mesh ISPs are interleaved deterministically through the list
+            // rather than bunched at one end, so pair sampling sees them
+            // uniformly.
+            let is_mesh = self.config.num_mesh_isps > 0
+                && i % (self.config.num_isps / self.config.num_mesh_isps.max(1)).max(1) == 0
+                && isps.iter().filter(|t: &&IspTopology| t.is_mesh).count()
+                    < self.config.num_mesh_isps;
+            isps.push(self.generate_isp(IspId::new(i), &cities, is_mesh, &mut rng));
+        }
+
+        let pairs = self.generate_pairs(&isps, &mut rng);
+        Universe {
+            isps,
+            pairs,
+            config: self.config.clone(),
+        }
+    }
+
+    fn sample_size(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        let span = (self.config.max_pops - self.config.min_pops) as f64;
+        self.config.min_pops + (span * u.powf(self.config.size_skew)).round() as usize
+    }
+
+    fn sample_home_region(&self, rng: &mut StdRng) -> Region {
+        // Rocketfuel was dominated by North American and European ISPs.
+        let r: f64 = rng.gen();
+        match r {
+            x if x < 0.58 => Region::NorthAmerica,
+            x if x < 0.84 => Region::Europe,
+            x if x < 0.93 => Region::Asia,
+            x if x < 0.97 => Region::SouthAmerica,
+            _ => Region::Oceania,
+        }
+    }
+
+    /// Weighted sample of `n` distinct cities. Hub bias: selection weight is
+    /// `population^0.8`, so New York / London / Tokyo appear in many ISPs,
+    /// which is what creates multi-city peering opportunities.
+    fn sample_cities<'c>(
+        &self,
+        cities: &'c [City],
+        n: usize,
+        home: Region,
+        global: bool,
+        rng: &mut StdRng,
+    ) -> Vec<&'c City> {
+        let mut chosen: Vec<&City> = Vec::with_capacity(n);
+        let mut taken = vec![false; cities.len()];
+        while chosen.len() < n {
+            // Decide the candidate region for this draw.
+            let use_home = if global {
+                rng.gen_bool(0.65)
+            } else {
+                rng.gen_bool(0.92)
+            };
+            let candidates: Vec<usize> = cities
+                .iter()
+                .enumerate()
+                .filter(|(i, c)| {
+                    !taken[*i]
+                        && if use_home {
+                            c.region == home
+                        } else {
+                            true
+                        }
+                })
+                .map(|(i, _)| i)
+                .collect();
+            if candidates.is_empty() {
+                // Home region exhausted; fall back to any untaken city.
+                let rest: Vec<usize> = (0..cities.len()).filter(|&i| !taken[i]).collect();
+                if rest.is_empty() {
+                    break; // table exhausted; smaller ISP than requested
+                }
+                let idx = rest[rng.gen_range(0..rest.len())];
+                taken[idx] = true;
+                chosen.push(&cities[idx]);
+                continue;
+            }
+            let total: f64 = candidates
+                .iter()
+                .map(|&i| cities[i].population_millions.powf(0.8))
+                .sum();
+            let mut pick = rng.gen::<f64>() * total;
+            let mut selected = candidates[candidates.len() - 1];
+            for &i in &candidates {
+                pick -= cities[i].population_millions.powf(0.8);
+                if pick <= 0.0 {
+                    selected = i;
+                    break;
+                }
+            }
+            taken[selected] = true;
+            chosen.push(&cities[selected]);
+        }
+        chosen
+    }
+
+    fn generate_isp(
+        &self,
+        id: IspId,
+        cities: &[City],
+        is_mesh: bool,
+        rng: &mut StdRng,
+    ) -> IspTopology {
+        let mut n = self.sample_size(rng);
+        if is_mesh {
+            // Mesh ISPs in the measured data were small-to-medium; cap so
+            // the O(n^2) link count stays reasonable.
+            n = n.min(12).max(self.config.min_pops);
+        }
+        let home = self.sample_home_region(rng);
+        let global = n >= 24; // large backbones span regions
+        let chosen = self.sample_cities(cities, n, home, global, rng);
+
+        let pops: Vec<Pop> = chosen
+            .iter()
+            .map(|c| Pop {
+                city: c.name.clone(),
+                geo: c.geo,
+                weight: c.population_millions,
+            })
+            .collect();
+
+        let links = if is_mesh {
+            full_mesh_links(&pops)
+        } else {
+            waxman_links(&pops, self.config.waxman_alpha, self.config.waxman_beta, rng)
+        };
+
+        IspTopology::new(id, format!("isp-{:02}", id.0), pops, links, is_mesh)
+            .expect("generator produced invalid topology")
+    }
+
+    fn generate_pairs(&self, isps: &[IspTopology], rng: &mut StdRng) -> Vec<IspPair> {
+        let mut pairs = Vec::new();
+        for i in 0..isps.len() {
+            for j in (i + 1)..isps.len() {
+                let shared = shared_cities(&isps[i], &isps[j]);
+                if shared.len() < 2 {
+                    continue;
+                }
+                if !rng.gen_bool(self.config.peer_probability) {
+                    continue;
+                }
+                let mut icx = Vec::new();
+                for (pa, pb) in &shared {
+                    if icx.len() + 1 == shared.len() && icx.is_empty() {
+                        // Guarantee at least one interconnection survives the
+                        // per-city coin flip for pairs that decided to peer.
+                        icx.push(Interconnection {
+                            pop_a: *pa,
+                            pop_b: *pb,
+                            length_km: self.config.same_city_icx_km,
+                        });
+                        continue;
+                    }
+                    if rng.gen_bool(self.config.icx_per_shared_city_probability) {
+                        icx.push(Interconnection {
+                            pop_a: *pa,
+                            pop_b: *pb,
+                            length_km: self.config.same_city_icx_km,
+                        });
+                    }
+                }
+                if icx.len() >= 2 {
+                    pairs.push(
+                        IspPair::new(&isps[i], &isps[j], icx)
+                            .expect("generator produced invalid pair"),
+                    );
+                }
+            }
+        }
+        pairs
+    }
+}
+
+/// PoP pairs co-located in the same city across two ISPs, in city order.
+fn shared_cities(a: &IspTopology, b: &IspTopology) -> Vec<(PopId, PopId)> {
+    let mut out = Vec::new();
+    for (pa, pop_a) in a.pops() {
+        if let Some(pb) = b.pop_in_city(&pop_a.city) {
+            out.push((pa, pb));
+        }
+    }
+    out
+}
+
+/// Full-mesh link set (used for mesh ISPs). Weights equal geographic
+/// length, but callers must treat mesh distances as non-geographic.
+fn full_mesh_links(pops: &[Pop]) -> Vec<Link> {
+    let mut links = Vec::new();
+    for i in 0..pops.len() {
+        for j in (i + 1)..pops.len() {
+            let d = pops[i].geo.distance_km(&pops[j].geo).max(1.0);
+            links.push(Link {
+                a: PopId::new(i),
+                b: PopId::new(j),
+                weight: d,
+                length_km: d,
+            });
+        }
+    }
+    links
+}
+
+/// Spanning tree over geographic distance plus Waxman extra edges.
+///
+/// The spanning tree (Prim's algorithm) guarantees connectivity with
+/// short-haul links; the Waxman pass then adds each non-tree edge `(i,j)`
+/// with probability `alpha * exp(-d_ij / (beta * diameter))`, reproducing
+/// the distance-biased redundancy of real backbone maps.
+#[allow(clippy::needless_range_loop)] // adjacency-matrix style indexing
+fn waxman_links(pops: &[Pop], alpha: f64, beta: f64, rng: &mut StdRng) -> Vec<Link> {
+    let n = pops.len();
+    assert!(n >= 1);
+    let d = |i: usize, j: usize| pops[i].geo.distance_km(&pops[j].geo).max(1.0);
+
+    // Prim's MST.
+    let mut in_tree = vec![false; n];
+    let mut best = vec![(f64::INFINITY, usize::MAX); n]; // (dist, parent)
+    in_tree[0] = true;
+    for j in 1..n {
+        best[j] = (d(0, j), 0);
+    }
+    let mut links = Vec::new();
+    let mut in_graph = vec![vec![false; n]; n];
+    for _ in 1..n {
+        let (next, _) = best
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !in_tree[*i])
+            .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap())
+            .map(|(i, v)| (i, v.0))
+            .expect("tree incomplete");
+        let parent = best[next].1;
+        in_tree[next] = true;
+        let dist = d(parent, next);
+        links.push(Link {
+            a: PopId::new(parent),
+            b: PopId::new(next),
+            weight: dist,
+            length_km: dist,
+        });
+        in_graph[parent][next] = true;
+        in_graph[next][parent] = true;
+        for j in 0..n {
+            if !in_tree[j] && d(next, j) < best[j].0 {
+                best[j] = (d(next, j), next);
+            }
+        }
+    }
+
+    // Waxman extra edges. The distance scale is the *mean* pairwise
+    // distance (the classic diameter scale makes tightly clustered ISPs
+    // with one remote outlier nearly complete graphs), and the base
+    // probability is normalized by `n-1` so the expected number of extra
+    // edges grows linearly with PoP count — keeping average degree in the
+    // 2.5–4 band of real PoP-level maps at every ISP size.
+    let num_dist_pairs = (n * n.saturating_sub(1) / 2).max(1) as f64;
+    let mean_dist = ((0..n)
+        .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+        .map(|(i, j)| d(i, j))
+        .sum::<f64>()
+        / num_dist_pairs)
+        .max(1.0);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if in_graph[i][j] {
+                continue;
+            }
+            let p = (alpha / (n.max(2) - 1) as f64) * (-d(i, j) / (beta * mean_dist)).exp();
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                let dist = d(i, j);
+                links.push(Link {
+                    a: PopId::new(i),
+                    b: PopId::new(j),
+                    weight: dist,
+                    length_km: dist,
+                });
+                in_graph[i][j] = true;
+                in_graph[j][i] = true;
+            }
+        }
+    }
+    links
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(seed: u64) -> GeneratorConfig {
+        GeneratorConfig {
+            seed,
+            num_isps: 12,
+            num_mesh_isps: 2,
+            ..GeneratorConfig::default()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TopologyGenerator::new(small_config(7)).generate();
+        let b = TopologyGenerator::new(small_config(7)).generate();
+        assert_eq!(a.isps.len(), b.isps.len());
+        for (x, y) in a.isps.iter().zip(&b.isps) {
+            assert_eq!(x, y);
+        }
+        assert_eq!(a.pairs, b.pairs);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = TopologyGenerator::new(small_config(1)).generate();
+        let b = TopologyGenerator::new(small_config(2)).generate();
+        assert_ne!(
+            a.isps.iter().map(|i| i.num_pops()).collect::<Vec<_>>(),
+            b.isps.iter().map(|i| i.num_pops()).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn isp_count_and_mesh_count() {
+        let u = TopologyGenerator::new(small_config(3)).generate();
+        assert_eq!(u.isps.len(), 12);
+        assert_eq!(u.isps.iter().filter(|i| i.is_mesh).count(), 2);
+    }
+
+    #[test]
+    fn sizes_within_bounds() {
+        let cfg = small_config(5);
+        let u = TopologyGenerator::new(cfg.clone()).generate();
+        for isp in &u.isps {
+            assert!(isp.num_pops() >= cfg.min_pops, "{}", isp.name);
+            assert!(isp.num_pops() <= cfg.max_pops, "{}", isp.name);
+        }
+    }
+
+    #[test]
+    fn all_topologies_connected_by_construction() {
+        // IspTopology::new validates connectivity; generation not panicking
+        // is the check, but also verify adjacency is populated.
+        let u = TopologyGenerator::new(small_config(11)).generate();
+        for isp in &u.isps {
+            for (p, _) in isp.pops() {
+                if isp.num_pops() > 1 {
+                    assert!(
+                        !isp.incident_links(p).is_empty(),
+                        "{} pop {} isolated",
+                        isp.name,
+                        p
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_isps_are_full_meshes() {
+        let u = TopologyGenerator::new(small_config(13)).generate();
+        for isp in u.isps.iter().filter(|i| i.is_mesh) {
+            let n = isp.num_pops();
+            assert_eq!(isp.num_links(), n * (n - 1) / 2, "{}", isp.name);
+        }
+    }
+
+    #[test]
+    fn pairs_reference_real_pops_in_same_city() {
+        let u = TopologyGenerator::new(small_config(17)).generate();
+        for pair in &u.pairs {
+            let a = &u.isps[pair.isp_a.index()];
+            let b = &u.isps[pair.isp_b.index()];
+            for (_, icx) in pair.interconnections() {
+                assert_eq!(
+                    a.pop(icx.pop_a).city,
+                    b.pop(icx.pop_b).city,
+                    "interconnection endpoints in different cities"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pairs_have_at_least_two_interconnections() {
+        let u = TopologyGenerator::new(small_config(19)).generate();
+        for pair in &u.pairs {
+            assert!(pair.num_interconnections() >= 2);
+        }
+    }
+
+    #[test]
+    fn eligible_pairs_filters() {
+        let u = TopologyGenerator::new(small_config(23)).generate();
+        let all2 = u.eligible_pairs(2, false);
+        let no_mesh2 = u.eligible_pairs(2, true);
+        let all3 = u.eligible_pairs(3, false);
+        assert!(no_mesh2.len() <= all2.len());
+        assert!(all3.len() <= all2.len());
+        for &i in &no_mesh2 {
+            let p = &u.pairs[i];
+            assert!(!u.isps[p.isp_a.index()].is_mesh);
+            assert!(!u.isps[p.isp_b.index()].is_mesh);
+        }
+    }
+
+    #[test]
+    fn full_universe_has_paper_scale_pairs() {
+        // The default config must land near the paper's pair counts:
+        // 229 pairs with >=2 icx (mesh excluded), 247 with >=3 (any).
+        let u = TopologyGenerator::new(GeneratorConfig::default()).generate();
+        let distance_pairs = u.eligible_pairs(2, true).len();
+        let bandwidth_pairs = u.eligible_pairs(3, false).len();
+        assert!(
+            (150..=350).contains(&distance_pairs),
+            "distance-eligible pairs = {distance_pairs}, want ~229"
+        );
+        assert!(
+            (150..=350).contains(&bandwidth_pairs),
+            "bandwidth-eligible pairs = {bandwidth_pairs}, want ~247"
+        );
+    }
+
+    #[test]
+    fn waxman_graph_is_sparse() {
+        let u = TopologyGenerator::new(small_config(29)).generate();
+        for isp in u.isps.iter().filter(|i| !i.is_mesh) {
+            let n = isp.num_pops() as f64;
+            let avg_degree = 2.0 * isp.num_links() as f64 / n;
+            assert!(
+                avg_degree < 6.0,
+                "{}: avg degree {avg_degree} too dense",
+                isp.name
+            );
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Geographic coordinates and great-circle distance.
+//!
+//! The paper estimates link length "using the geographical distance between
+//! its endpoints" (citing Padmanabhan & Subramanian's geographic mapping
+//! work), so distance in kilometres between PoPs is the fundamental length
+//! unit of the whole reproduction.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in kilometres (IUGG value).
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// A WGS-84 latitude/longitude point, in degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north, in `[-90, 90]`.
+    pub lat: f64,
+    /// Longitude in degrees, positive east, in `[-180, 180]`.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Create a new point. Debug-asserts the coordinate ranges.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        debug_assert!((-90.0..=90.0).contains(&lat), "latitude out of range: {lat}");
+        debug_assert!(
+            (-180.0..=180.0).contains(&lon),
+            "longitude out of range: {lon}"
+        );
+        Self { lat, lon }
+    }
+
+    /// Great-circle distance to `other` in kilometres (haversine formula).
+    ///
+    /// Haversine is numerically stable for the short-to-continental
+    /// distances that occur between PoPs, and symmetric:
+    /// `a.distance_km(b) == b.distance_km(a)`.
+    pub fn distance_km(&self, other: &GeoPoint) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a =
+            (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().min(1.0).asin()
+    }
+
+    /// Midpoint along the great circle between two points.
+    ///
+    /// Used by the generator to place synthetic PoPs "between" cities.
+    pub fn midpoint(&self, other: &GeoPoint) -> GeoPoint {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let bx = lat2.cos() * (lon2 - lon1).cos();
+        let by = lat2.cos() * (lon2 - lon1).sin();
+        let lat3 = (lat1.sin() + lat2.sin())
+            .atan2(((lat1.cos() + bx).powi(2) + by.powi(2)).sqrt());
+        let lon3 = lon1 + by.atan2(lat1.cos() + bx);
+        GeoPoint::new(
+            lat3.to_degrees(),
+            normalize_lon(lon3.to_degrees()),
+        )
+    }
+}
+
+/// Normalize a longitude into `[-180, 180]`.
+fn normalize_lon(mut lon: f64) -> f64 {
+    while lon > 180.0 {
+        lon -= 360.0;
+    }
+    while lon < -180.0 {
+        lon += 360.0;
+    }
+    lon
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nyc() -> GeoPoint {
+        GeoPoint::new(40.7128, -74.0060)
+    }
+    fn london() -> GeoPoint {
+        GeoPoint::new(51.5074, -0.1278)
+    }
+    fn seattle() -> GeoPoint {
+        GeoPoint::new(47.6062, -122.3321)
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        let p = nyc();
+        assert!(p.distance_km(&p) < 1e-9);
+    }
+
+    #[test]
+    fn known_distance_nyc_london() {
+        // Commonly quoted great-circle distance: ~5570 km.
+        let d = nyc().distance_km(&london());
+        assert!((d - 5570.0).abs() < 30.0, "got {d}");
+    }
+
+    #[test]
+    fn known_distance_nyc_seattle() {
+        // ~3870-3880 km.
+        let d = nyc().distance_km(&seattle());
+        assert!((d - 3875.0).abs() < 40.0, "got {d}");
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let (a, b) = (nyc(), seattle());
+        assert!((a.distance_km(&b) - b.distance_km(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn midpoint_is_equidistant() {
+        let (a, b) = (nyc(), london());
+        let m = a.midpoint(&b);
+        let da = a.distance_km(&m);
+        let db = b.distance_km(&m);
+        assert!((da - db).abs() < 1.0, "da={da} db={db}");
+        // and roughly half the direct distance
+        assert!((da - a.distance_km(&b) / 2.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn normalize_lon_wraps() {
+        assert!((normalize_lon(190.0) - (-170.0)).abs() < 1e-9);
+        assert!((normalize_lon(-190.0) - 170.0).abs() < 1e-9);
+        assert!((normalize_lon(0.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangle_inequality_sample() {
+        let (a, b, c) = (nyc(), london(), seattle());
+        assert!(a.distance_km(&b) <= a.distance_km(&c) + c.distance_km(&b) + 1e-6);
+    }
+}

@@ -1,0 +1,98 @@
+//! Strongly-typed index newtypes.
+//!
+//! Indices are plain `u32`s under the hood — topologies in this domain are
+//! small (tens of PoPs, hundreds of links) — but mixing up a PoP index with
+//! a link index is an easy and painful bug, so each index space gets its own
+//! newtype. All ids are *local*: a [`PopId`] is an index into one ISP's
+//! `pops` vector, not a global identifier.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Construct from a `usize` index, panicking on overflow
+            /// (topologies never approach `u32::MAX` entities).
+            #[inline]
+            pub fn new(index: usize) -> Self {
+                debug_assert!(index <= u32::MAX as usize);
+                Self(index as u32)
+            }
+
+            /// The raw index, for slice access.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}{}", stringify!($name), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(index: usize) -> Self {
+                Self::new(index)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Index of an ISP within a [`crate::Universe`].
+    IspId
+);
+id_newtype!(
+    /// Index of a PoP within one ISP's topology.
+    PopId
+);
+id_newtype!(
+    /// Index of a link within one ISP's topology.
+    LinkId
+);
+id_newtype!(
+    /// Index of an interconnection within one [`crate::IspPair`].
+    IcxId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let p = PopId::new(42);
+        assert_eq!(p.index(), 42);
+        assert_eq!(p, PopId(42));
+    }
+
+    #[test]
+    fn ids_are_distinct_types() {
+        // This is a compile-time property; here we just check Display tags.
+        assert_eq!(PopId(1).to_string(), "PopId1");
+        assert_eq!(LinkId(1).to_string(), "LinkId1");
+        assert_eq!(IspId(3).to_string(), "IspId3");
+        assert_eq!(IcxId(0).to_string(), "IcxId0");
+    }
+
+    #[test]
+    fn from_usize() {
+        let l: LinkId = 7usize.into();
+        assert_eq!(l.index(), 7);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(PopId(1) < PopId(2));
+        assert!(IcxId(0) < IcxId(10));
+    }
+}

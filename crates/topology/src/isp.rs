@@ -1,0 +1,390 @@
+//! One ISP's PoP-level topology.
+//!
+//! A topology is an undirected weighted graph: nodes are PoPs (points of
+//! presence, one per city the ISP operates in) and edges are intra-ISP
+//! links. Link weights model the ISP's intradomain routing (the measured
+//! dataset used inferred IGP weights; our generator uses geographic link
+//! length, which the inference showed those weights to track closely).
+
+use crate::geo::GeoPoint;
+use crate::ids::{IspId, LinkId, PopId};
+use crate::TopologyError;
+use serde::{Deserialize, Serialize};
+
+/// A point of presence: one router-level aggregation point in one city.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pop {
+    /// Name of the city hosting this PoP (matches the built-in city table
+    /// for generated topologies; free-form for imported ones).
+    pub city: String,
+    /// Geographic location.
+    pub geo: GeoPoint,
+    /// Gravity-model weight (population of the city in millions). Flows to
+    /// and from this PoP are sized proportionally to this weight.
+    pub weight: f64,
+}
+
+/// An undirected intra-ISP link between two PoPs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// One endpoint.
+    pub a: PopId,
+    /// The other endpoint.
+    pub b: PopId,
+    /// Routing weight used by shortest-path computation (IGP metric).
+    pub weight: f64,
+    /// Physical length in kilometres (geographic distance between the
+    /// endpoint PoPs); used by the distance metric.
+    pub length_km: f64,
+}
+
+impl Link {
+    /// The endpoint opposite `pop`, or `None` if `pop` is not an endpoint.
+    pub fn opposite(&self, pop: PopId) -> Option<PopId> {
+        if pop == self.a {
+            Some(self.b)
+        } else if pop == self.b {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+}
+
+/// A complete PoP-level ISP topology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IspTopology {
+    /// Identifier within the universe this ISP belongs to.
+    pub id: IspId,
+    /// Human-readable name (e.g. `"isp-07"` or an AS name for imports).
+    pub name: String,
+    /// All PoPs. A [`PopId`] indexes this vector.
+    pub pops: Vec<Pop>,
+    /// All links. A [`LinkId`] indexes this vector.
+    pub links: Vec<Link>,
+    /// `true` when the measured topology was a logical mesh whose
+    /// geographic distances are not meaningful. The paper excludes eight
+    /// such ISPs from the distance experiments; the generator reproduces a
+    /// matching fraction of mesh ISPs.
+    pub is_mesh: bool,
+    /// Adjacency index: for each PoP, the ids of its incident links.
+    /// Rebuilt on construction and after deserialization; skipped by serde.
+    #[serde(skip)]
+    adjacency: Vec<Vec<LinkId>>,
+}
+
+impl IspTopology {
+    /// Build a topology and its adjacency index, validating structure.
+    ///
+    /// Validation rejects empty ISPs, dangling link endpoints, self-loops,
+    /// and disconnected graphs (every PoP must reach every other PoP, or
+    /// intradomain routing would be partial).
+    pub fn new(
+        id: IspId,
+        name: impl Into<String>,
+        pops: Vec<Pop>,
+        links: Vec<Link>,
+        is_mesh: bool,
+    ) -> Result<Self, TopologyError> {
+        if pops.is_empty() {
+            return Err(TopologyError::EmptyIsp);
+        }
+        for (i, l) in links.iter().enumerate() {
+            if l.a.index() >= pops.len() {
+                return Err(TopologyError::DanglingLink {
+                    link: i,
+                    pop: l.a.index(),
+                });
+            }
+            if l.b.index() >= pops.len() {
+                return Err(TopologyError::DanglingLink {
+                    link: i,
+                    pop: l.b.index(),
+                });
+            }
+            if l.a == l.b {
+                return Err(TopologyError::SelfLoop { link: i });
+            }
+        }
+        let mut topo = Self {
+            id,
+            name: name.into(),
+            pops,
+            links,
+            is_mesh,
+            adjacency: Vec::new(),
+        };
+        topo.rebuild_adjacency();
+        topo.check_connected()?;
+        Ok(topo)
+    }
+
+    /// Rebuild the adjacency index from `links`. Must be called after
+    /// deserialization (serde skips the index) or any manual link edit.
+    pub fn rebuild_adjacency(&mut self) {
+        let mut adj = vec![Vec::new(); self.pops.len()];
+        for (i, l) in self.links.iter().enumerate() {
+            adj[l.a.index()].push(LinkId::new(i));
+            adj[l.b.index()].push(LinkId::new(i));
+        }
+        self.adjacency = adj;
+    }
+
+    fn check_connected(&self) -> Result<(), TopologyError> {
+        let n = self.pops.len();
+        let mut seen = vec![false; n];
+        let mut stack = vec![PopId::new(0)];
+        seen[0] = true;
+        while let Some(p) = stack.pop() {
+            for &lid in self.incident_links(p) {
+                let link = &self.links[lid.index()];
+                let q = link.opposite(p).expect("adjacency index corrupt");
+                if !seen[q.index()] {
+                    seen[q.index()] = true;
+                    stack.push(q);
+                }
+            }
+        }
+        match seen.iter().position(|s| !s) {
+            Some(pop) => Err(TopologyError::Disconnected { pop }),
+            None => Ok(()),
+        }
+    }
+
+    /// Number of PoPs.
+    #[inline]
+    pub fn num_pops(&self) -> usize {
+        self.pops.len()
+    }
+
+    /// Number of links.
+    #[inline]
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Iterator over `(PopId, &Pop)`.
+    pub fn pops(&self) -> impl Iterator<Item = (PopId, &Pop)> {
+        self.pops
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (PopId::new(i), p))
+    }
+
+    /// Iterator over `(LinkId, &Link)`.
+    pub fn links(&self) -> impl Iterator<Item = (LinkId, &Link)> {
+        self.links
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (LinkId::new(i), l))
+    }
+
+    /// The pop with the given id. Panics on out-of-range id (ids are only
+    /// minted by this crate, so an out-of-range id is a logic error).
+    #[inline]
+    pub fn pop(&self, id: PopId) -> &Pop {
+        &self.pops[id.index()]
+    }
+
+    /// The link with the given id.
+    #[inline]
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// Ids of the links incident to `pop`.
+    #[inline]
+    pub fn incident_links(&self, pop: PopId) -> &[LinkId] {
+        &self.adjacency[pop.index()]
+    }
+
+    /// The PoP located in `city`, if any. Generated topologies have at most
+    /// one PoP per city.
+    pub fn pop_in_city(&self, city: &str) -> Option<PopId> {
+        self.pops
+            .iter()
+            .position(|p| p.city == city)
+            .map(PopId::new)
+    }
+
+    /// Find an existing link between two PoPs (either direction).
+    pub fn link_between(&self, a: PopId, b: PopId) -> Option<LinkId> {
+        self.incident_links(a)
+            .iter()
+            .copied()
+            .find(|&lid| self.links[lid.index()].opposite(a) == Some(b))
+    }
+
+    /// Total geographic length of all links, in kilometres.
+    pub fn total_link_length_km(&self) -> f64 {
+        self.links.iter().map(|l| l.length_km).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn tiny_topology() -> IspTopology {
+        // Triangle: 0 -- 1 -- 2 -- 0
+        let pops = vec![
+            Pop {
+                city: "a".into(),
+                geo: GeoPoint::new(0.0, 0.0),
+                weight: 1.0,
+            },
+            Pop {
+                city: "b".into(),
+                geo: GeoPoint::new(0.0, 1.0),
+                weight: 2.0,
+            },
+            Pop {
+                city: "c".into(),
+                geo: GeoPoint::new(1.0, 0.0),
+                weight: 3.0,
+            },
+        ];
+        let links = vec![
+            Link {
+                a: PopId(0),
+                b: PopId(1),
+                weight: 1.0,
+                length_km: 111.0,
+            },
+            Link {
+                a: PopId(1),
+                b: PopId(2),
+                weight: 1.0,
+                length_km: 157.0,
+            },
+            Link {
+                a: PopId(2),
+                b: PopId(0),
+                weight: 1.0,
+                length_km: 111.0,
+            },
+        ];
+        IspTopology::new(IspId(0), "tiny", pops, links, false).unwrap()
+    }
+
+    #[test]
+    fn construct_valid() {
+        let t = tiny_topology();
+        assert_eq!(t.num_pops(), 3);
+        assert_eq!(t.num_links(), 3);
+        assert_eq!(t.incident_links(PopId(0)).len(), 2);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let err = IspTopology::new(IspId(0), "e", vec![], vec![], false).unwrap_err();
+        assert_eq!(err, TopologyError::EmptyIsp);
+    }
+
+    #[test]
+    fn rejects_dangling_link() {
+        let pops = vec![Pop {
+            city: "a".into(),
+            geo: GeoPoint::new(0.0, 0.0),
+            weight: 1.0,
+        }];
+        let links = vec![Link {
+            a: PopId(0),
+            b: PopId(5),
+            weight: 1.0,
+            length_km: 1.0,
+        }];
+        let err = IspTopology::new(IspId(0), "d", pops, links, false).unwrap_err();
+        assert!(matches!(err, TopologyError::DanglingLink { pop: 5, .. }));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let pops = vec![
+            Pop {
+                city: "a".into(),
+                geo: GeoPoint::new(0.0, 0.0),
+                weight: 1.0,
+            },
+            Pop {
+                city: "b".into(),
+                geo: GeoPoint::new(0.0, 1.0),
+                weight: 1.0,
+            },
+        ];
+        let links = vec![
+            Link {
+                a: PopId(0),
+                b: PopId(0),
+                weight: 1.0,
+                length_km: 1.0,
+            },
+            Link {
+                a: PopId(0),
+                b: PopId(1),
+                weight: 1.0,
+                length_km: 1.0,
+            },
+        ];
+        let err = IspTopology::new(IspId(0), "s", pops, links, false).unwrap_err();
+        assert!(matches!(err, TopologyError::SelfLoop { link: 0 }));
+    }
+
+    #[test]
+    fn rejects_disconnected() {
+        let pops = vec![
+            Pop {
+                city: "a".into(),
+                geo: GeoPoint::new(0.0, 0.0),
+                weight: 1.0,
+            },
+            Pop {
+                city: "b".into(),
+                geo: GeoPoint::new(0.0, 1.0),
+                weight: 1.0,
+            },
+            Pop {
+                city: "c".into(),
+                geo: GeoPoint::new(1.0, 1.0),
+                weight: 1.0,
+            },
+        ];
+        let links = vec![Link {
+            a: PopId(0),
+            b: PopId(1),
+            weight: 1.0,
+            length_km: 1.0,
+        }];
+        let err = IspTopology::new(IspId(0), "dis", pops, links, false).unwrap_err();
+        assert_eq!(err, TopologyError::Disconnected { pop: 2 });
+    }
+
+    #[test]
+    fn link_opposite() {
+        let t = tiny_topology();
+        let l = t.link(LinkId(0));
+        assert_eq!(l.opposite(PopId(0)), Some(PopId(1)));
+        assert_eq!(l.opposite(PopId(1)), Some(PopId(0)));
+        assert_eq!(l.opposite(PopId(2)), None);
+    }
+
+    #[test]
+    fn pop_in_city_lookup() {
+        let t = tiny_topology();
+        assert_eq!(t.pop_in_city("b"), Some(PopId(1)));
+        assert_eq!(t.pop_in_city("zzz"), None);
+    }
+
+    #[test]
+    fn link_between_lookup() {
+        let t = tiny_topology();
+        assert_eq!(t.link_between(PopId(0), PopId(2)), Some(LinkId(2)));
+        assert_eq!(t.link_between(PopId(2), PopId(0)), Some(LinkId(2)));
+    }
+
+    #[test]
+    fn total_length() {
+        let t = tiny_topology();
+        assert!((t.total_link_length_km() - 379.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,274 @@
+//! Neighboring ISP pairs and their interconnections.
+//!
+//! The unit of every Nexit experiment is a *pair* of ISPs joined by one or
+//! more interconnections (inter-ISP links, typically in cities where both
+//! ISPs have a PoP). The pair stores only indices; the topologies
+//! themselves live in the [`crate::Universe`] (or are held by the caller)
+//! and are borrowed together with the pair through a [`PairView`].
+
+use crate::ids::{IcxId, IspId, PopId};
+use crate::isp::IspTopology;
+use crate::TopologyError;
+use serde::{Deserialize, Serialize};
+
+/// One inter-ISP link between a PoP of ISP A and a PoP of ISP B.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interconnection {
+    /// PoP on the A side.
+    pub pop_a: PopId,
+    /// PoP on the B side.
+    pub pop_b: PopId,
+    /// Physical length in kilometres. Interconnections in the same city
+    /// have near-zero length; the generator also supports longer private
+    /// interconnects.
+    pub length_km: f64,
+}
+
+/// A pair of neighboring ISPs with two or more interconnections.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IspPair {
+    /// The "A" ISP (in directed experiments, A is the upstream by default).
+    pub isp_a: IspId,
+    /// The "B" ISP.
+    pub isp_b: IspId,
+    /// All interconnections. An [`IcxId`] indexes this vector.
+    pub interconnections: Vec<Interconnection>,
+}
+
+impl IspPair {
+    /// Construct a pair, validating interconnection endpoints against the
+    /// two topologies.
+    pub fn new(
+        a: &IspTopology,
+        b: &IspTopology,
+        interconnections: Vec<Interconnection>,
+    ) -> Result<Self, TopologyError> {
+        for (i, icx) in interconnections.iter().enumerate() {
+            if icx.pop_a.index() >= a.num_pops() || icx.pop_b.index() >= b.num_pops() {
+                return Err(TopologyError::BadInterconnection { icx: i });
+            }
+        }
+        Ok(Self {
+            isp_a: a.id,
+            isp_b: b.id,
+            interconnections,
+        })
+    }
+
+    /// Number of interconnections.
+    #[inline]
+    pub fn num_interconnections(&self) -> usize {
+        self.interconnections.len()
+    }
+
+    /// Iterator over `(IcxId, &Interconnection)`.
+    pub fn interconnections(&self) -> impl Iterator<Item = (IcxId, &Interconnection)> {
+        self.interconnections
+            .iter()
+            .enumerate()
+            .map(|(i, x)| (IcxId::new(i), x))
+    }
+
+    /// The interconnection with the given id.
+    #[inline]
+    pub fn interconnection(&self, id: IcxId) -> &Interconnection {
+        &self.interconnections[id.index()]
+    }
+
+    /// The pair with the remaining interconnections after `failed` is
+    /// removed. Ids of surviving interconnections are *renumbered*; use the
+    /// returned mapping `old -> Option<new>` when translating.
+    pub fn without_interconnection(&self, failed: IcxId) -> (IspPair, Vec<Option<IcxId>>) {
+        let mut survivors = Vec::with_capacity(self.interconnections.len().saturating_sub(1));
+        let mut mapping = vec![None; self.interconnections.len()];
+        for (id, icx) in self.interconnections() {
+            if id != failed {
+                mapping[id.index()] = Some(IcxId::new(survivors.len()));
+                survivors.push(*icx);
+            }
+        }
+        (
+            IspPair {
+                isp_a: self.isp_a,
+                isp_b: self.isp_b,
+                interconnections: survivors,
+            },
+            mapping,
+        )
+    }
+}
+
+/// A pair together with borrowed topologies — the form every algorithm in
+/// the workspace consumes.
+#[derive(Debug, Clone, Copy)]
+pub struct PairView<'a> {
+    /// Topology of the A-side ISP.
+    pub a: &'a IspTopology,
+    /// Topology of the B-side ISP.
+    pub b: &'a IspTopology,
+    /// The pair record (interconnections).
+    pub pair: &'a IspPair,
+}
+
+impl<'a> PairView<'a> {
+    /// Bundle a pair with its topologies, asserting that the ids match.
+    pub fn new(a: &'a IspTopology, b: &'a IspTopology, pair: &'a IspPair) -> Self {
+        assert_eq!(a.id, pair.isp_a, "pair/topology mismatch on A side");
+        assert_eq!(b.id, pair.isp_b, "pair/topology mismatch on B side");
+        Self { a, b, pair }
+    }
+
+    /// The view with A and B swapped and interconnection endpoints
+    /// mirrored. Directed experiments run each direction through the same
+    /// code by flipping the view.
+    pub fn reversed(&self, scratch: &'a mut Option<IspPair>) -> PairView<'a> {
+        let rev = IspPair {
+            isp_a: self.b.id,
+            isp_b: self.a.id,
+            interconnections: self
+                .pair
+                .interconnections
+                .iter()
+                .map(|icx| Interconnection {
+                    pop_a: icx.pop_b,
+                    pop_b: icx.pop_a,
+                    length_km: icx.length_km,
+                })
+                .collect(),
+        };
+        *scratch = Some(rev);
+        PairView {
+            a: self.b,
+            b: self.a,
+            pair: scratch.as_ref().unwrap(),
+        }
+    }
+
+    /// Number of interconnections.
+    #[inline]
+    pub fn num_interconnections(&self) -> usize {
+        self.pair.num_interconnections()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::GeoPoint;
+    use crate::isp::{Link, Pop};
+
+    fn line_topology(id: u32, n: usize) -> IspTopology {
+        let pops = (0..n)
+            .map(|i| Pop {
+                city: format!("c{i}"),
+                geo: GeoPoint::new(0.0, i as f64),
+                weight: 1.0,
+            })
+            .collect();
+        let links = (0..n - 1)
+            .map(|i| Link {
+                a: PopId::new(i),
+                b: PopId::new(i + 1),
+                weight: 1.0,
+                length_km: 111.0,
+            })
+            .collect();
+        IspTopology::new(IspId(id), format!("line{id}"), pops, links, false).unwrap()
+    }
+
+    #[test]
+    fn build_pair() {
+        let a = line_topology(0, 3);
+        let b = line_topology(1, 3);
+        let pair = IspPair::new(
+            &a,
+            &b,
+            vec![
+                Interconnection {
+                    pop_a: PopId(0),
+                    pop_b: PopId(0),
+                    length_km: 0.0,
+                },
+                Interconnection {
+                    pop_a: PopId(2),
+                    pop_b: PopId(2),
+                    length_km: 0.0,
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(pair.num_interconnections(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_interconnection() {
+        let a = line_topology(0, 3);
+        let b = line_topology(1, 3);
+        let err = IspPair::new(
+            &a,
+            &b,
+            vec![Interconnection {
+                pop_a: PopId(0),
+                pop_b: PopId(9),
+                length_km: 0.0,
+            }],
+        )
+        .unwrap_err();
+        assert_eq!(err, TopologyError::BadInterconnection { icx: 0 });
+    }
+
+    #[test]
+    fn remove_interconnection_renumbers() {
+        let a = line_topology(0, 4);
+        let b = line_topology(1, 4);
+        let pair = IspPair::new(
+            &a,
+            &b,
+            (0..3)
+                .map(|i| Interconnection {
+                    pop_a: PopId(i),
+                    pop_b: PopId(i),
+                    length_km: 0.0,
+                })
+                .collect(),
+        )
+        .unwrap();
+        let (smaller, mapping) = pair.without_interconnection(IcxId(1));
+        assert_eq!(smaller.num_interconnections(), 2);
+        assert_eq!(mapping, vec![Some(IcxId(0)), None, Some(IcxId(1))]);
+        assert_eq!(smaller.interconnection(IcxId(1)).pop_a, PopId(2));
+    }
+
+    #[test]
+    fn reversed_view_swaps_sides() {
+        let a = line_topology(0, 3);
+        let b = line_topology(1, 4);
+        let pair = IspPair::new(
+            &a,
+            &b,
+            vec![Interconnection {
+                pop_a: PopId(1),
+                pop_b: PopId(3),
+                length_km: 5.0,
+            }],
+        )
+        .unwrap();
+        let view = PairView::new(&a, &b, &pair);
+        let mut scratch = None;
+        let rev = view.reversed(&mut scratch);
+        assert_eq!(rev.a.id, IspId(1));
+        assert_eq!(rev.b.id, IspId(0));
+        assert_eq!(rev.pair.interconnection(IcxId(0)).pop_a, PopId(3));
+        assert_eq!(rev.pair.interconnection(IcxId(0)).pop_b, PopId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "pair/topology mismatch")]
+    fn view_rejects_mismatched_ids() {
+        let a = line_topology(0, 3);
+        let b = line_topology(1, 3);
+        let c = line_topology(2, 3);
+        let pair = IspPair::new(&a, &b, vec![]).unwrap();
+        let _ = PairView::new(&a, &c, &pair);
+    }
+}

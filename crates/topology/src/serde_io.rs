@@ -1,0 +1,140 @@
+//! JSON import/export for topologies and universes.
+//!
+//! Users who have access to the measured Rocketfuel dataset (or any other
+//! PoP-level maps) can convert it to this JSON schema and run every
+//! experiment on real data instead of the synthetic universe.
+
+use crate::generator::Universe;
+use crate::isp::IspTopology;
+use crate::TopologyError;
+
+/// Serialize a universe to pretty-printed JSON.
+pub fn universe_to_json(universe: &Universe) -> String {
+    serde_json::to_string_pretty(universe).expect("universe serialization cannot fail")
+}
+
+/// Load a universe from JSON, rebuilding indices and re-validating every
+/// topology.
+pub fn universe_from_json(json: &str) -> Result<Universe, TopologyError> {
+    let mut universe: Universe = serde_json::from_str(json)
+        .map_err(|e| TopologyError::InvalidSerialized(e.to_string()))?;
+    universe.rebuild_indices();
+    for isp in &universe.isps {
+        validate(isp)?;
+    }
+    for (i, pair) in universe.pairs.iter().enumerate() {
+        let a = universe
+            .isps
+            .get(pair.isp_a.index())
+            .ok_or(TopologyError::InvalidSerialized(format!(
+                "pair {i} references missing ISP {}",
+                pair.isp_a
+            )))?;
+        let b = universe
+            .isps
+            .get(pair.isp_b.index())
+            .ok_or(TopologyError::InvalidSerialized(format!(
+                "pair {i} references missing ISP {}",
+                pair.isp_b
+            )))?;
+        for (j, icx) in pair.interconnections() {
+            if icx.pop_a.index() >= a.num_pops() || icx.pop_b.index() >= b.num_pops() {
+                return Err(TopologyError::BadInterconnection { icx: j.index() });
+            }
+        }
+    }
+    Ok(universe)
+}
+
+/// Serialize one ISP topology to JSON.
+pub fn isp_to_json(isp: &IspTopology) -> String {
+    serde_json::to_string_pretty(isp).expect("topology serialization cannot fail")
+}
+
+/// Load one ISP topology from JSON, rebuilding the adjacency index and
+/// re-validating.
+pub fn isp_from_json(json: &str) -> Result<IspTopology, TopologyError> {
+    let mut isp: IspTopology = serde_json::from_str(json)
+        .map_err(|e| TopologyError::InvalidSerialized(e.to_string()))?;
+    isp.rebuild_adjacency();
+    validate(&isp)?;
+    Ok(isp)
+}
+
+/// Re-run the structural checks done by [`IspTopology::new`] on an already
+/// constructed topology (used after deserialization).
+fn validate(isp: &IspTopology) -> Result<(), TopologyError> {
+    // Round-trip through the constructor; cheap at these sizes.
+    IspTopology::new(
+        isp.id,
+        isp.name.clone(),
+        isp.pops.clone(),
+        isp.links.clone(),
+        isp.is_mesh,
+    )
+    .map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GeneratorConfig, TopologyGenerator};
+
+    fn small_universe() -> Universe {
+        TopologyGenerator::new(GeneratorConfig {
+            num_isps: 8,
+            num_mesh_isps: 1,
+            seed: 42,
+            ..GeneratorConfig::default()
+        })
+        .generate()
+    }
+
+    #[test]
+    fn universe_roundtrip() {
+        let u = small_universe();
+        let json = universe_to_json(&u);
+        let back = universe_from_json(&json).unwrap();
+        assert_eq!(u.isps, back.isps);
+        assert_eq!(u.pairs, back.pairs);
+    }
+
+    #[test]
+    fn isp_roundtrip() {
+        let u = small_universe();
+        let json = isp_to_json(&u.isps[0]);
+        let back = isp_from_json(&json).unwrap();
+        assert_eq!(u.isps[0], back);
+    }
+
+    #[test]
+    fn adjacency_rebuilt_after_load() {
+        let u = small_universe();
+        let json = isp_to_json(&u.isps[0]);
+        let back = isp_from_json(&json).unwrap();
+        // Adjacency is #[serde(skip)]; equality above checks pops/links; here
+        // check the index actually works post-load.
+        for (p, _) in back.pops() {
+            for &lid in back.incident_links(p) {
+                assert!(back.link(lid).opposite(p).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(universe_from_json("{not json").is_err());
+        assert!(isp_from_json("[]").is_err());
+    }
+
+    #[test]
+    fn rejects_tampered_pair() {
+        let u = small_universe();
+        let mut json = universe_to_json(&u);
+        // Point a pair at a pop index that cannot exist.
+        json = json.replacen("\"pop_a\": 0,", "\"pop_a\": 4096,", 1);
+        if json.contains("4096") {
+            assert!(universe_from_json(&json).is_err());
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Link-capacity assignment models.
+//!
+//! The paper (§5.2): *"to model link capacities, we assume that they are
+//! proportional to the load on the link before the failure … a
+//! well-designed network tends to be roughly matched to its traffic"*.
+//! Links that carried no traffic before the failure are backups; they get
+//! the **median** capacity of loaded links (alternate rules: max, average).
+//! Finally all links below the median are **upgraded** to the median so
+//! results are not dominated by trivially thin links. The power-of-two
+//! model (round capacities up to the next power of two) is the paper's
+//! discrete-capacity ablation.
+
+/// Rule for capacitating links that carried no pre-failure traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackupRule {
+    /// Median of the non-zero loads (the paper's headline rule).
+    Median,
+    /// Maximum of the non-zero loads (ablation).
+    Max,
+    /// Average of the non-zero loads (ablation).
+    Average,
+}
+
+/// Complete capacity model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityModel {
+    /// How to capacitate unloaded (backup) links.
+    pub backup: BackupRule,
+    /// Upgrade every link's capacity to at least the median of loaded
+    /// links (the paper always applies this; expose it for ablations).
+    pub upgrade_below_median: bool,
+    /// Round capacities up to the next power of two (discrete-capacity
+    /// ablation).
+    pub power_of_two: bool,
+}
+
+impl Default for CapacityModel {
+    fn default() -> Self {
+        Self {
+            backup: BackupRule::Median,
+            upgrade_below_median: true,
+            power_of_two: false,
+        }
+    }
+}
+
+/// Assign a capacity to every link given its pre-failure load.
+///
+/// Returns one capacity per entry of `pre_failure_loads`, all strictly
+/// positive (a topology whose links carry no traffic at all gets unit
+/// capacities, so downstream ratio metrics stay finite).
+pub fn assign_capacities(model: &CapacityModel, pre_failure_loads: &[f64]) -> Vec<f64> {
+    let mut loaded: Vec<f64> = pre_failure_loads
+        .iter()
+        .copied()
+        .filter(|&l| l > 0.0)
+        .collect();
+    if loaded.is_empty() {
+        return vec![1.0; pre_failure_loads.len()];
+    }
+    loaded.sort_by(|a, b| a.partial_cmp(b).expect("loads are finite"));
+    let median = loaded[loaded.len() / 2];
+    let backup_capacity = match model.backup {
+        BackupRule::Median => median,
+        BackupRule::Max => *loaded.last().expect("nonempty"),
+        BackupRule::Average => loaded.iter().sum::<f64>() / loaded.len() as f64,
+    };
+
+    pre_failure_loads
+        .iter()
+        .map(|&load| {
+            let mut cap = if load > 0.0 { load } else { backup_capacity };
+            if model.upgrade_below_median && cap < median {
+                cap = median;
+            }
+            if model.power_of_two {
+                cap = next_power_of_two_f64(cap);
+            }
+            cap
+        })
+        .collect()
+}
+
+/// The smallest power of two `>= x` (for positive `x`).
+fn next_power_of_two_f64(x: f64) -> f64 {
+    debug_assert!(x > 0.0);
+    2.0_f64.powf(x.log2().ceil())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportional_capacities_match_loads_above_median() {
+        let loads = vec![10.0, 20.0, 30.0, 40.0];
+        let caps = assign_capacities(&CapacityModel::default(), &loads);
+        // median of [10,20,30,40] (upper median) = 30
+        assert_eq!(caps, vec![30.0, 30.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    fn backup_links_get_median() {
+        let loads = vec![0.0, 10.0, 20.0, 30.0];
+        let caps = assign_capacities(&CapacityModel::default(), &loads);
+        assert_eq!(caps[0], 20.0, "backup gets median of loaded links");
+    }
+
+    #[test]
+    fn backup_max_rule() {
+        let model = CapacityModel {
+            backup: BackupRule::Max,
+            upgrade_below_median: false,
+            power_of_two: false,
+        };
+        let caps = assign_capacities(&model, &[0.0, 10.0, 30.0]);
+        assert_eq!(caps[0], 30.0);
+        assert_eq!(caps[1], 10.0, "no upgrade when disabled");
+    }
+
+    #[test]
+    fn backup_average_rule() {
+        let model = CapacityModel {
+            backup: BackupRule::Average,
+            upgrade_below_median: false,
+            power_of_two: false,
+        };
+        let caps = assign_capacities(&model, &[0.0, 10.0, 30.0]);
+        assert_eq!(caps[0], 20.0);
+    }
+
+    #[test]
+    fn power_of_two_rounds_up() {
+        let model = CapacityModel {
+            backup: BackupRule::Median,
+            upgrade_below_median: false,
+            power_of_two: true,
+        };
+        let caps = assign_capacities(&model, &[3.0, 4.0, 5.0]);
+        assert_eq!(caps, vec![4.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn all_zero_loads_get_unit_capacity() {
+        let caps = assign_capacities(&CapacityModel::default(), &[0.0, 0.0]);
+        assert_eq!(caps, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn capacities_always_positive() {
+        let caps = assign_capacities(&CapacityModel::default(), &[0.0, 0.001, 7.3, 1e9]);
+        assert!(caps.iter().all(|&c| c > 0.0));
+    }
+
+    #[test]
+    fn empty_input() {
+        let caps = assign_capacities(&CapacityModel::default(), &[]);
+        assert!(caps.is_empty());
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn capacity_at_least_load(loads in proptest::collection::vec(0.0f64..1e6, 0..50)) {
+                let caps = assign_capacities(&CapacityModel::default(), &loads);
+                for (c, l) in caps.iter().zip(&loads) {
+                    prop_assert!(c + 1e-12 >= *l, "capacity {c} below load {l}");
+                }
+            }
+
+            #[test]
+            fn pow2_caps_are_powers_of_two(loads in proptest::collection::vec(0.001f64..1e6, 1..50)) {
+                let model = CapacityModel { power_of_two: true, ..CapacityModel::default() };
+                let caps = assign_capacities(&model, &loads);
+                for c in caps {
+                    let l = c.log2();
+                    prop_assert!((l - l.round()).abs() < 1e-9, "{c} not a power of two");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Traffic matrix models.
+//!
+//! The gravity model predicts that traffic between two PoPs is proportional
+//! to the product of their "weights" (paper §5.2, citing Medina et al. and
+//! Zhang et al.). The paper uses city population as the weight, yielding a
+//! skewed matrix where large cities source and sink more traffic — the
+//! hallmark of measured Internet matrices. Identical and uniform-random
+//! weights are the paper's stated alternate models.
+
+use nexit_topology::{IspTopology, PopId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which PoP-weight model drives the traffic matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadModel {
+    /// Weight = city population (the paper's headline model).
+    Gravity,
+    /// All PoPs weigh the same (ablation).
+    Identical,
+    /// Weights drawn i.i.d. uniform from `(0, 1]`, seeded (ablation).
+    Uniform { seed: u64 },
+}
+
+impl WorkloadModel {
+    /// The per-PoP weight vector for one ISP under this model.
+    pub fn weights(&self, isp: &IspTopology) -> Vec<f64> {
+        match self {
+            WorkloadModel::Gravity => isp.pops.iter().map(|p| p.weight).collect(),
+            WorkloadModel::Identical => vec![1.0; isp.num_pops()],
+            WorkloadModel::Uniform { seed } => {
+                // Mix the ISP id into the seed so each ISP gets independent
+                // but reproducible weights.
+                let mut rng = StdRng::seed_from_u64(seed ^ (isp.id.0 as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                (0..isp.num_pops())
+                    .map(|_| 1.0 - rng.gen::<f64>().min(0.999_999))
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Build a flow-volume function for a directed pair: volume of the flow
+/// from `src` (in `up`) to `dst` (in `down`) is `w_up[src] * w_down[dst]`,
+/// normalized so the total volume over all flows is
+/// `num_flows` (keeping magnitudes comparable across models and pairs).
+pub fn volume_fn(
+    model: WorkloadModel,
+    up: &IspTopology,
+    down: &IspTopology,
+) -> impl Fn(PopId, PopId) -> f64 {
+    let w_up = model.weights(up);
+    let w_down = model.weights(down);
+    let sum_up: f64 = w_up.iter().sum();
+    let sum_down: f64 = w_down.iter().sum();
+    let num_flows = (up.num_pops() * down.num_pops()) as f64;
+    // total volume = sum_up * sum_down * scale == num_flows
+    let scale = num_flows / (sum_up * sum_down);
+    move |src, dst| w_up[src.index()] * w_down[dst.index()] * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexit_topology::{GeneratorConfig, TopologyGenerator};
+
+    fn two_isps() -> (IspTopology, IspTopology) {
+        let u = TopologyGenerator::new(GeneratorConfig {
+            num_isps: 2,
+            num_mesh_isps: 0,
+            seed: 9,
+            ..GeneratorConfig::default()
+        })
+        .generate();
+        let mut it = u.isps.into_iter();
+        (it.next().unwrap(), it.next().unwrap())
+    }
+
+    #[test]
+    fn gravity_uses_populations() {
+        let (a, _) = two_isps();
+        let w = WorkloadModel::Gravity.weights(&a);
+        for (i, p) in a.pops.iter().enumerate() {
+            assert_eq!(w[i], p.weight);
+        }
+    }
+
+    #[test]
+    fn identical_weights_are_flat() {
+        let (a, _) = two_isps();
+        let w = WorkloadModel::Identical.weights(&a);
+        assert!(w.iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn uniform_is_seeded_and_positive() {
+        let (a, b) = two_isps();
+        let w1 = WorkloadModel::Uniform { seed: 5 }.weights(&a);
+        let w2 = WorkloadModel::Uniform { seed: 5 }.weights(&a);
+        let w3 = WorkloadModel::Uniform { seed: 6 }.weights(&a);
+        let wb = WorkloadModel::Uniform { seed: 5 }.weights(&b);
+        assert_eq!(w1, w2, "same seed must reproduce");
+        assert_ne!(w1, w3, "different seeds must differ");
+        assert_ne!(w1[0], wb[0], "different ISPs must differ");
+        assert!(w1.iter().all(|&x| x > 0.0 && x <= 1.0));
+    }
+
+    #[test]
+    fn volumes_normalized_to_flow_count() {
+        let (a, b) = two_isps();
+        for model in [
+            WorkloadModel::Gravity,
+            WorkloadModel::Identical,
+            WorkloadModel::Uniform { seed: 1 },
+        ] {
+            let vol = volume_fn(model, &a, &b);
+            let mut total = 0.0;
+            for (s, _) in a.pops() {
+                for (d, _) in b.pops() {
+                    let v = vol(s, d);
+                    assert!(v > 0.0);
+                    total += v;
+                }
+            }
+            let expect = (a.num_pops() * b.num_pops()) as f64;
+            assert!(
+                (total - expect).abs() < 1e-6,
+                "{model:?}: total {total} != {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn gravity_is_skewed() {
+        let (a, b) = two_isps();
+        let vol = volume_fn(WorkloadModel::Gravity, &a, &b);
+        let mut vols: Vec<f64> = Vec::new();
+        for (s, _) in a.pops() {
+            for (d, _) in b.pops() {
+                vols.push(vol(s, d));
+            }
+        }
+        vols.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let median = vols[vols.len() / 2];
+        let max = *vols.last().unwrap();
+        assert!(
+            max / median > 3.0,
+            "gravity matrix should be skewed: max={max} median={median}"
+        );
+    }
+}

@@ -1,0 +1,265 @@
+//! Per-link load computation.
+//!
+//! Loads drive everything in the bandwidth experiments: capacities are
+//! assigned from pre-failure loads, MEL is a ratio of post- to pre-failure
+//! load, and the Nexit bandwidth preference mapping inspects the load a
+//! flow alternative would add to each link on its path.
+//!
+//! [`PathTable`] precomputes, for every (flow, alternative), the exact
+//! link sequences inside both ISPs, so load accumulation and incremental
+//! what-if queries are cheap inner loops.
+
+use nexit_routing::{flow_links, PairFlows, ShortestPaths};
+use nexit_routing::{Assignment, FlowId};
+use nexit_topology::{IcxId, LinkId, PairView};
+
+/// Precomputed link paths for every (flow, alternative) combination.
+#[derive(Debug, Clone)]
+pub struct PathTable {
+    /// `up[flow][icx]` = links inside the upstream ISP.
+    up: Vec<Vec<Vec<LinkId>>>,
+    /// `down[flow][icx]` = links inside the downstream ISP.
+    down: Vec<Vec<Vec<LinkId>>>,
+}
+
+impl PathTable {
+    /// Precompute all paths for a flow set.
+    pub fn build(
+        view: &PairView<'_>,
+        sp_up: &ShortestPaths,
+        sp_down: &ShortestPaths,
+        flows: &PairFlows,
+    ) -> Self {
+        let k = view.num_interconnections();
+        let mut up = Vec::with_capacity(flows.len());
+        let mut down = Vec::with_capacity(flows.len());
+        for (_, flow, _) in flows.iter() {
+            let mut fu = Vec::with_capacity(k);
+            let mut fd = Vec::with_capacity(k);
+            for i in 0..k {
+                let (u, d) = flow_links(view, sp_up, sp_down, flow, IcxId::new(i));
+                fu.push(u);
+                fd.push(d);
+            }
+            up.push(fu);
+            down.push(fd);
+        }
+        Self { up, down }
+    }
+
+    /// Upstream links for one (flow, alternative).
+    #[inline]
+    pub fn up_links(&self, flow: FlowId, icx: IcxId) -> &[LinkId] {
+        &self.up[flow.index()][icx.index()]
+    }
+
+    /// Downstream links for one (flow, alternative).
+    #[inline]
+    pub fn down_links(&self, flow: FlowId, icx: IcxId) -> &[LinkId] {
+        &self.down[flow.index()][icx.index()]
+    }
+
+    /// Number of flows covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.up.len()
+    }
+
+    /// True when no flows are covered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.up.is_empty()
+    }
+}
+
+/// Per-link loads on both sides of a pair, indexed by [`LinkId`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkLoads {
+    /// Load on each upstream link.
+    pub up: Vec<f64>,
+    /// Load on each downstream link.
+    pub down: Vec<f64>,
+}
+
+impl LinkLoads {
+    /// All-zero loads sized for a pair.
+    pub fn zero(view: &PairView<'_>) -> Self {
+        Self {
+            up: vec![0.0; view.a.num_links()],
+            down: vec![0.0; view.b.num_links()],
+        }
+    }
+
+    /// Add the load of one flow routed via `icx`.
+    pub fn add_flow(&mut self, paths: &PathTable, flow: FlowId, icx: IcxId, volume: f64) {
+        for &l in paths.up_links(flow, icx) {
+            self.up[l.index()] += volume;
+        }
+        for &l in paths.down_links(flow, icx) {
+            self.down[l.index()] += volume;
+        }
+    }
+
+    /// Remove the load of one flow routed via `icx` (inverse of
+    /// [`LinkLoads::add_flow`]).
+    pub fn remove_flow(&mut self, paths: &PathTable, flow: FlowId, icx: IcxId, volume: f64) {
+        self.add_flow(paths, flow, icx, -volume);
+    }
+
+    /// The maximum load on either side.
+    pub fn max_load(&self) -> f64 {
+        self.up
+            .iter()
+            .chain(&self.down)
+            .copied()
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Compute the loads produced by a complete assignment.
+pub fn link_loads(
+    view: &PairView<'_>,
+    paths: &PathTable,
+    flows: &PairFlows,
+    assignment: &Assignment,
+) -> LinkLoads {
+    let mut loads = LinkLoads::zero(view);
+    for (id, flow, _) in flows.iter() {
+        loads.add_flow(paths, id, assignment.choice(id), flow.volume);
+    }
+    loads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexit_topology::{
+        GeoPoint, Interconnection, IspId, IspPair, IspTopology, Link, Pop, PopId,
+    };
+
+    fn pop(city: &str, lon: f64) -> Pop {
+        Pop {
+            city: city.into(),
+            geo: GeoPoint::new(0.0, lon),
+            weight: 1.0,
+        }
+    }
+
+    fn line(id: u32, n: usize) -> IspTopology {
+        let pops = (0..n).map(|i| pop(&format!("c{i}"), i as f64)).collect();
+        let links = (0..n - 1)
+            .map(|i| Link {
+                a: PopId::new(i),
+                b: PopId::new(i + 1),
+                weight: 100.0,
+                length_km: 100.0,
+            })
+            .collect();
+        IspTopology::new(IspId(id), format!("L{id}"), pops, links, false).unwrap()
+    }
+
+    fn setup() -> (IspTopology, IspTopology, IspPair) {
+        let a = line(0, 3);
+        let b = line(1, 3);
+        let pair = IspPair::new(
+            &a,
+            &b,
+            vec![
+                Interconnection {
+                    pop_a: PopId(0),
+                    pop_b: PopId(0),
+                    length_km: 0.0,
+                },
+                Interconnection {
+                    pop_a: PopId(2),
+                    pop_b: PopId(2),
+                    length_km: 0.0,
+                },
+            ],
+        )
+        .unwrap();
+        (a, b, pair)
+    }
+
+    #[test]
+    fn loads_accumulate_along_paths() {
+        let (a, b, pair) = setup();
+        let view = PairView::new(&a, &b, &pair);
+        let sp_a = ShortestPaths::compute(&a);
+        let sp_b = ShortestPaths::compute(&b);
+        let flows = PairFlows::build(&view, &sp_a, &sp_b, |_, _| 1.0);
+        let paths = PathTable::build(&view, &sp_a, &sp_b, &flows);
+        // Route everything via icx 0 (at pop 0/0).
+        let asg = Assignment::uniform(flows.len(), IcxId(0));
+        let loads = link_loads(&view, &paths, &flows, &asg);
+        // Upstream link 0 (a0-a1) carries flows sourced at a1 (3 flows,
+        // traveling a1->a0) and a2 (3 flows, a2->a1->a0) = 6.
+        assert_eq!(loads.up[0], 6.0);
+        // Upstream link 1 (a1-a2) carries the 3 flows sourced at a2.
+        assert_eq!(loads.up[1], 3.0);
+        // Downstream link 0 (b0-b1) carries flows destined to b1 and b2
+        // from each of 3 sources = 6.
+        assert_eq!(loads.down[0], 6.0);
+        assert_eq!(loads.down[1], 3.0);
+    }
+
+    #[test]
+    fn incremental_add_remove_is_consistent() {
+        let (a, b, pair) = setup();
+        let view = PairView::new(&a, &b, &pair);
+        let sp_a = ShortestPaths::compute(&a);
+        let sp_b = ShortestPaths::compute(&b);
+        let flows = PairFlows::build(&view, &sp_a, &sp_b, |s, d| {
+            1.0 + (s.index() + d.index()) as f64
+        });
+        let paths = PathTable::build(&view, &sp_a, &sp_b, &flows);
+        let asg0 = Assignment::uniform(flows.len(), IcxId(0));
+        let mut asg1 = asg0.clone();
+        asg1.set(FlowId(4), IcxId(1));
+
+        // Full recompute of asg1 vs incremental move from asg0.
+        let full = link_loads(&view, &paths, &flows, &asg1);
+        let mut incr = link_loads(&view, &paths, &flows, &asg0);
+        let vol = flows.flows[4].volume;
+        incr.remove_flow(&paths, FlowId(4), IcxId(0), vol);
+        incr.add_flow(&paths, FlowId(4), IcxId(1), vol);
+        for (x, y) in incr.up.iter().zip(&full.up) {
+            assert!((x - y).abs() < 1e-9);
+        }
+        for (x, y) in incr.down.iter().zip(&full.down) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn max_load_over_both_sides() {
+        let loads = LinkLoads {
+            up: vec![1.0, 5.0],
+            down: vec![3.0],
+        };
+        assert_eq!(loads.max_load(), 5.0);
+    }
+
+    #[test]
+    fn conservation_total_volume_distance() {
+        // Sum over links of load == sum over flows of volume * hops.
+        let (a, b, pair) = setup();
+        let view = PairView::new(&a, &b, &pair);
+        let sp_a = ShortestPaths::compute(&a);
+        let sp_b = ShortestPaths::compute(&b);
+        let flows = PairFlows::build(&view, &sp_a, &sp_b, |_, _| 2.0);
+        let paths = PathTable::build(&view, &sp_a, &sp_b, &flows);
+        let asg = Assignment::uniform(flows.len(), IcxId(1));
+        let loads = link_loads(&view, &paths, &flows, &asg);
+        let total_load: f64 = loads.up.iter().chain(&loads.down).sum();
+        let total_hops: f64 = flows
+            .iter()
+            .map(|(id, f, _)| {
+                f.volume
+                    * (paths.up_links(id, IcxId(1)).len() + paths.down_links(id, IcxId(1)).len())
+                        as f64
+            })
+            .sum();
+        assert!((total_load - total_hops).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,55 @@
+//! §5.4: lying about preferences backfires. One ISP inflates the class of
+//! its favorite alternative for every flow (with perfect knowledge of the
+//! other's list). The negotiation still terminates and the honest ISP is
+//! protected, but the *cheater's own* realized gain usually drops too.
+//!
+//! ```sh
+//! cargo run --release --example cheating_demo
+//! ```
+
+use nexit::core::{negotiate, DisclosurePolicy, NexitConfig, Party, Side};
+use nexit::metrics::percent_gain;
+use nexit::sim::experiments::distance::build_pair_run;
+use nexit::sim::twoway::{twoway_side_distance, twoway_total_distance, TwoWayDistanceMapper};
+use nexit::topology::{GeneratorConfig, TopologyGenerator};
+
+fn main() {
+    let universe = TopologyGenerator::new(GeneratorConfig {
+        num_isps: 20,
+        num_mesh_isps: 2,
+        ..GeneratorConfig::default()
+    })
+    .generate();
+    println!("{:>6} {:>18} {:>18} {:>12}", "pair", "truthful (A/B %)", "cheating (A/B %)", "cheater delta");
+    for &idx in universe.eligible_pairs(2, true).iter().take(8) {
+        let run = build_pair_run(&universe, idx);
+        let session = &run.session;
+        let mapper = |side| {
+            TwoWayDistanceMapper::new(side, &run.fwd.flows, &run.rev.flows, session.n_fwd)
+        };
+        let side_gain = |assignment: &nexit::routing::Assignment, s: Side| {
+            let (f, r) = session.split(assignment);
+            let d = twoway_side_distance(s, &run.fwd.flows, &run.rev.flows, &run.fwd.default, &run.rev.default);
+            let n = twoway_side_distance(s, &run.fwd.flows, &run.rev.flows, &f, &r);
+            percent_gain(d, n)
+        };
+
+        let mut a = Party::honest("A", mapper(Side::A));
+        let mut b = Party::honest("B", mapper(Side::B));
+        let truthful = negotiate(&session.input, &session.default, &mut a, &mut b, &NexitConfig::win_win());
+
+        // ISP-B cheats with the paper's inflate-best strategy.
+        let mut a = Party::honest("A", mapper(Side::A));
+        let mut b = Party::cheating("B", mapper(Side::B), DisclosurePolicy::InflateBest);
+        let cheated = negotiate(&session.input, &session.default, &mut a, &mut b, &NexitConfig::win_win());
+
+        let (ta, tb) = (side_gain(&truthful.assignment, Side::A), side_gain(&truthful.assignment, Side::B));
+        let (ca, cb) = (side_gain(&cheated.assignment, Side::A), side_gain(&cheated.assignment, Side::B));
+        println!(
+            "{:>6} {:>8.2}/{:<8.2} {:>8.2}/{:<8.2} {:>+11.2}%",
+            idx, ta, tb, ca, cb, cb - tb
+        );
+        let _ = twoway_total_distance(&run.fwd.flows, &run.rev.flows, &run.fwd.default, &run.rev.default);
+    }
+    println!("\n(cheater delta < 0 means lying made the cheater worse off — the paper's disincentive)");
+}

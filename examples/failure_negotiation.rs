@@ -1,0 +1,91 @@
+//! The paper's Figure 2 scenario: an interconnection fails, selfish
+//! re-routing oscillates, negotiation finds the stable mutually
+//! acceptable solution (Figure 2e) that BGP cannot discover.
+//!
+//! ```sh
+//! cargo run --release --example failure_negotiation
+//! ```
+
+use nexit::core::{negotiate, NexitConfig, Party, SessionInput, Side};
+use nexit::routing::{Assignment, FlowId, PairFlows, ShortestPaths};
+use nexit::sim::scenarios::{icx, ladder};
+use nexit::topology::PairView;
+use nexit::workload::{assign_capacities, link_loads, CapacityModel, PathTable};
+use nexit::core::BandwidthMapper;
+
+fn main() {
+    // Two ISPs joined by top/middle/bottom interconnections (Fig. 2a).
+    let s = ladder(500.0);
+    let view = PairView::new(&s.a, &s.b, &s.pair);
+    let sp_a = ShortestPaths::compute(&s.a);
+    let sp_b = ShortestPaths::compute(&s.b);
+    let flows = PairFlows::build(&view, &sp_a, &sp_b, |_, _| 1.0);
+    let paths = PathTable::build(&view, &sp_a, &sp_b, &flows);
+    let default = Assignment::early_exit(&view, &sp_a, &flows);
+
+    // Capacities matched to the healthy traffic (paper §5.2).
+    let pre = link_loads(&view, &paths, &flows, &default);
+    let caps_a = assign_capacities(&CapacityModel::default(), &pre.up);
+    let caps_b = assign_capacities(&CapacityModel::default(), &pre.down);
+
+    // The middle interconnection fails.
+    let (reduced, _) = s.pair.without_interconnection(icx::MIDDLE);
+    println!(
+        "middle interconnection failed; {} remain",
+        reduced.num_interconnections()
+    );
+    let rview = PairView::new(&s.a, &s.b, &reduced);
+    let rflows = PairFlows::build(&rview, &sp_a, &sp_b, |_, _| 1.0);
+    let rpaths = PathTable::build(&rview, &sp_a, &sp_b, &rflows);
+    let rdefault = Assignment::early_exit(&rview, &sp_a, &rflows);
+
+    // Flows that used the failed middle link are on the table.
+    let impacted: Vec<FlowId> = default
+        .iter()
+        .filter(|(_, c)| *c == icx::MIDDLE)
+        .map(|(f, _)| f)
+        .collect();
+    println!("impacted flows: {}", impacted.len());
+    let input = SessionInput {
+        defaults: impacted.iter().map(|&f| rdefault.choice(f)).collect(),
+        volumes: impacted.iter().map(|&f| rflows.flows[f.index()].volume).collect(),
+        flow_ids: impacted,
+        num_alternatives: reduced.num_interconnections(),
+    };
+
+    // Default (hot-potato) response overloads links; negotiation with
+    // bandwidth preferences finds the balanced split of Figure 2e.
+    let loads_def = link_loads(&rview, &rpaths, &rflows, &rdefault);
+    println!(
+        "default after failure: max load A {:.2} / B {:.2}",
+        nexit::metrics::mel(&loads_def.up, &caps_a),
+        nexit::metrics::mel(&loads_def.down, &caps_b)
+    );
+
+    let mut isp_a = Party::honest(
+        "ISP-A",
+        BandwidthMapper::new(Side::A, &rflows, &rpaths, &caps_a),
+    );
+    let mut isp_b = Party::honest(
+        "ISP-B",
+        BandwidthMapper::new(Side::B, &rflows, &rpaths, &caps_b),
+    );
+    let outcome = negotiate(
+        &input,
+        &rdefault,
+        &mut isp_a,
+        &mut isp_b,
+        &NexitConfig::win_win_bandwidth(),
+    );
+    let loads_neg = link_loads(&rview, &rpaths, &rflows, &outcome.assignment);
+    println!(
+        "negotiated:            max load A {:.2} / B {:.2}  (rounds: {}, reassignments: {})",
+        nexit::metrics::mel(&loads_neg.up, &caps_a),
+        nexit::metrics::mel(&loads_neg.down, &caps_b),
+        outcome.transcript.len(),
+        outcome.reassignments,
+    );
+    for (flow, choice) in outcome.assignment.diff(&rdefault).iter().map(|&f| (f, outcome.assignment.choice(f))) {
+        println!("  flow {flow} re-routed to interconnection {choice:?}");
+    }
+}

@@ -1,0 +1,84 @@
+//! Quickstart: generate a universe, pick a peering pair, negotiate the
+//! distance objective in both directions, and compare against default
+//! (early-exit) and globally optimal routing.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use nexit::baselines::optimal_distance;
+use nexit::core::{negotiate, NexitConfig, Party, Side};
+use nexit::metrics::percent_gain;
+use nexit::sim::twoway::{
+    twoway_side_distance, twoway_total_distance, TwoWayDistanceMapper, TwoWaySession,
+};
+use nexit::sim::PairData;
+use nexit::topology::{GeneratorConfig, TopologyGenerator};
+use nexit::workload::WorkloadModel;
+
+fn main() {
+    // A deterministic 20-ISP universe (the paper-scale default is 65).
+    let universe = TopologyGenerator::new(GeneratorConfig {
+        num_isps: 20,
+        num_mesh_isps: 2,
+        ..GeneratorConfig::default()
+    })
+    .generate();
+    let idx = universe.eligible_pairs(2, true)[2];
+    let pair = &universe.pairs[idx];
+    let a = &universe.isps[pair.isp_a.index()];
+    let b = &universe.isps[pair.isp_b.index()];
+    println!(
+        "pair: {} ({} PoPs) <-> {} ({} PoPs), {} interconnections",
+        a.name,
+        a.num_pops(),
+        b.name,
+        b.num_pops(),
+        pair.num_interconnections()
+    );
+
+    // Both traffic directions on the table, as the paper prescribes.
+    let fwd = PairData::build(a, b, pair.clone(), WorkloadModel::Identical);
+    let rev = PairData::build(b, a, fwd.mirrored_pair(), WorkloadModel::Identical);
+    let session = TwoWaySession::build(&fwd, &rev);
+    println!("flows on the table: {}", session.input.len());
+
+    // Negotiate: each ISP maps its own internal distance to opaque
+    // preference classes; neither sees the other's kilometres.
+    let mut isp_a = Party::honest(
+        a.name.clone(),
+        TwoWayDistanceMapper::new(Side::A, &fwd.flows, &rev.flows, session.n_fwd),
+    );
+    let mut isp_b = Party::honest(
+        b.name.clone(),
+        TwoWayDistanceMapper::new(Side::B, &fwd.flows, &rev.flows, session.n_fwd),
+    );
+    let outcome = negotiate(
+        &session.input,
+        &session.default,
+        &mut isp_a,
+        &mut isp_b,
+        &NexitConfig::win_win(),
+    );
+    let (neg_fwd, neg_rev) = session.split(&outcome.assignment);
+
+    // Compare default / negotiated / optimal.
+    let d = twoway_total_distance(&fwd.flows, &rev.flows, &fwd.default, &rev.default);
+    let n = twoway_total_distance(&fwd.flows, &rev.flows, &neg_fwd, &neg_rev);
+    let opt_f = optimal_distance(&fwd.flows);
+    let opt_r = optimal_distance(&rev.flows);
+    let o = twoway_total_distance(&fwd.flows, &rev.flows, &opt_f, &opt_r);
+    println!("total distance gain: negotiated {:+.2}%  optimal {:+.2}%",
+        percent_gain(d, n), percent_gain(d, o));
+    for side in [Side::A, Side::B] {
+        let ds = twoway_side_distance(side, &fwd.flows, &rev.flows, &fwd.default, &rev.default);
+        let ns = twoway_side_distance(side, &fwd.flows, &rev.flows, &neg_fwd, &neg_rev);
+        println!("  {side}: individual gain {:+.2}% (win-win: never negative)",
+            percent_gain(ds, ns));
+    }
+    println!(
+        "rounds: {}, flows moved off default: {}",
+        outcome.transcript.len(),
+        outcome.assignment.diff(&session.default).len()
+    );
+}

@@ -1,0 +1,77 @@
+//! # Nexit — negotiation-based routing between neighboring ISPs
+//!
+//! A comprehensive reproduction of *"Negotiation-Based Routing Between
+//! Neighboring ISPs"* (Mahajan, Wetherall, Anderson — NSDI 2005) as a
+//! Rust workspace. This facade crate re-exports the public API of every
+//! member crate; depend on it for the one-stop experience or on
+//! individual crates for narrower builds.
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`topology`] | PoP-level ISP topologies, Rocketfuel-like synthesis, ISP pairs |
+//! | [`routing`] | intradomain shortest paths, early/late exit, flows, assignments |
+//! | [`workload`] | gravity traffic matrices, link loads, capacity models |
+//! | [`metrics`] | distance gains, MEL, Fortz–Thorup cost |
+//! | [`lp`] | dense two-phase simplex (substrate for the bandwidth optimum) |
+//! | [`baselines`] | global optima, flow filters, grouped & unilateral strategies |
+//! | [`core`] | **the Nexit negotiation engine** (preferences, policies, cheating) |
+//! | [`proto`] | wire protocol + sans-io negotiation agents |
+//! | [`sim`] | the full experiment harness reproducing every paper figure |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nexit::topology::{GeneratorConfig, TopologyGenerator};
+//! use nexit::sim::PairData;
+//! use nexit::sim::twoway::{TwoWayDistanceMapper, TwoWaySession};
+//! use nexit::core::{negotiate, NexitConfig, Party, Side};
+//! use nexit::workload::WorkloadModel;
+//!
+//! // Generate a small universe and pick a peering pair.
+//! let universe = TopologyGenerator::new(GeneratorConfig {
+//!     num_isps: 10,
+//!     num_mesh_isps: 0,
+//!     seed: 42,
+//!     ..GeneratorConfig::default()
+//! })
+//! .generate();
+//! let idx = universe.eligible_pairs(2, true)[0];
+//! let pair = &universe.pairs[idx];
+//! let a = &universe.isps[pair.isp_a.index()];
+//! let b = &universe.isps[pair.isp_b.index()];
+//!
+//! // Build both directions and a combined negotiation session.
+//! let fwd = PairData::build(a, b, pair.clone(), WorkloadModel::Identical);
+//! let rev = PairData::build(b, a, fwd.mirrored_pair(), WorkloadModel::Identical);
+//! let session = TwoWaySession::build(&fwd, &rev);
+//!
+//! // Negotiate with the distance objective on both sides.
+//! let mut isp_a = Party::honest(
+//!     "ISP-A",
+//!     TwoWayDistanceMapper::new(Side::A, &fwd.flows, &rev.flows, session.n_fwd),
+//! );
+//! let mut isp_b = Party::honest(
+//!     "ISP-B",
+//!     TwoWayDistanceMapper::new(Side::B, &fwd.flows, &rev.flows, session.n_fwd),
+//! );
+//! let outcome = negotiate(
+//!     &session.input,
+//!     &session.default,
+//!     &mut isp_a,
+//!     &mut isp_b,
+//!     &NexitConfig::win_win(),
+//! );
+//! assert!(outcome.gain_a >= 0 && outcome.gain_b >= 0, "win-win");
+//! ```
+
+pub use nexit_baselines as baselines;
+pub use nexit_core as core;
+pub use nexit_lp as lp;
+pub use nexit_metrics as metrics;
+pub use nexit_proto as proto;
+pub use nexit_routing as routing;
+pub use nexit_sim as sim;
+pub use nexit_topology as topology;
+pub use nexit_workload as workload;

@@ -1,0 +1,180 @@
+//! Cross-crate invariant: the in-process engine and the wire-protocol
+//! agents must reach identical outcomes from identical inputs — they
+//! share the selection logic (`nexit_core::selection`) by construction,
+//! and this test pins the equivalence end to end, bytes included.
+
+use nexit::core::{
+    negotiate, DisclosurePolicy, DistanceMapper, NexitConfig, Party, SessionInput, Side,
+};
+use nexit::proto::{run_session, Agent, FaultyLink};
+use nexit::routing::{Assignment, FlowId, PairFlows, ShortestPaths};
+use nexit::topology::{GeneratorConfig, PairView, TopologyGenerator};
+use nexit::workload::WorkloadModel;
+
+fn directed_session(
+    seed: u64,
+) -> (
+    SessionInput,
+    Assignment,
+    nexit::topology::Universe,
+    usize,
+) {
+    let u = TopologyGenerator::new(GeneratorConfig {
+        num_isps: 12,
+        num_mesh_isps: 0,
+        seed,
+        ..GeneratorConfig::default()
+    })
+    .generate();
+    let idx = u.eligible_pairs(2, true)[0];
+    (SessionInput { flow_ids: vec![], defaults: vec![], volumes: vec![], num_alternatives: 1 }, Assignment::from_choices(vec![]), u, idx)
+}
+
+fn run_both(seed: u64, config: NexitConfig) {
+    let (_, _, u, idx) = directed_session(seed);
+    let pair = &u.pairs[idx];
+    let a = &u.isps[pair.isp_a.index()];
+    let b = &u.isps[pair.isp_b.index()];
+    let view = PairView::new(a, b, pair);
+    let sp_a = ShortestPaths::compute(a);
+    let sp_b = ShortestPaths::compute(b);
+    let vol = nexit::workload::volume_fn(WorkloadModel::Identical, a, b);
+    let flows = PairFlows::build(&view, &sp_a, &sp_b, vol);
+    let default = Assignment::early_exit(&view, &sp_a, &flows);
+    let input = SessionInput {
+        flow_ids: (0..flows.len()).map(FlowId::new).collect(),
+        defaults: default.choices().to_vec(),
+        volumes: flows.flows.iter().map(|f| f.volume).collect(),
+        num_alternatives: pair.num_interconnections(),
+    };
+
+    // Engine outcome.
+    let mut pa = Party::honest("A", DistanceMapper::new(Side::A, &flows));
+    let mut pb = Party::honest("B", DistanceMapper::new(Side::B, &flows));
+    let engine = negotiate(&input, &default, &mut pa, &mut pb, &config);
+
+    // Wire-protocol outcome over framed binary messages.
+    let mut agent_a = Agent::new(
+        Side::A,
+        "A",
+        input.clone(),
+        default.clone(),
+        DistanceMapper::new(Side::A, &flows),
+        DisclosurePolicy::Truthful,
+        config,
+    )
+    .unwrap();
+    let mut agent_b = Agent::new(
+        Side::B,
+        "B",
+        input,
+        default,
+        DistanceMapper::new(Side::B, &flows),
+        DisclosurePolicy::Truthful,
+        config,
+    )
+    .unwrap();
+    let mut ab = FaultyLink::reliable();
+    let mut ba = FaultyLink::reliable();
+    let (out_a, out_b) = run_session(&mut agent_a, &mut agent_b, &mut ab, &mut ba).unwrap();
+
+    assert_eq!(
+        engine.assignment.choices(),
+        out_a.assignment.choices(),
+        "engine and protocol agents disagree (seed {seed})"
+    );
+    assert_eq!(out_a.assignment, out_b.assignment, "agents disagree with each other");
+    assert_eq!(engine.gain_a, out_a.my_gain, "A gain mismatch");
+    assert_eq!(engine.gain_b, out_b.my_gain, "B gain mismatch");
+}
+
+#[test]
+fn equivalence_default_config() {
+    for seed in [1, 2, 3] {
+        run_both(seed, NexitConfig::default());
+    }
+}
+
+#[test]
+fn equivalence_win_win_config() {
+    for seed in [4, 5, 6] {
+        run_both(seed, NexitConfig::win_win());
+    }
+}
+
+#[test]
+fn equivalence_with_cheating_downstream() {
+    // A cheating B (InflateBest discloses second in both settings).
+    let u = TopologyGenerator::new(GeneratorConfig {
+        num_isps: 12,
+        num_mesh_isps: 0,
+        seed: 9,
+        ..GeneratorConfig::default()
+    })
+    .generate();
+    let idx = u.eligible_pairs(2, true)[1];
+    let pair = &u.pairs[idx];
+    let a = &u.isps[pair.isp_a.index()];
+    let b = &u.isps[pair.isp_b.index()];
+    let view = PairView::new(a, b, pair);
+    let sp_a = ShortestPaths::compute(a);
+    let sp_b = ShortestPaths::compute(b);
+    let flows = PairFlows::build(&view, &sp_a, &sp_b, |_, _| 1.0);
+    let default = Assignment::early_exit(&view, &sp_a, &flows);
+    let input = SessionInput {
+        flow_ids: (0..flows.len()).map(FlowId::new).collect(),
+        defaults: default.choices().to_vec(),
+        volumes: flows.flows.iter().map(|f| f.volume).collect(),
+        num_alternatives: pair.num_interconnections(),
+    };
+    let config = NexitConfig::win_win();
+
+    let mut pa = Party::honest("A", DistanceMapper::new(Side::A, &flows));
+    let mut pb = Party::cheating(
+        "B",
+        DistanceMapper::new(Side::B, &flows),
+        DisclosurePolicy::InflateBest,
+    );
+    let engine = negotiate(&input, &default, &mut pa, &mut pb, &config);
+
+    let mut agent_a = Agent::new(
+        Side::A, "A", input.clone(), default.clone(),
+        DistanceMapper::new(Side::A, &flows), DisclosurePolicy::Truthful, config,
+    ).unwrap();
+    let mut agent_b = Agent::new(
+        Side::B, "B", input, default,
+        DistanceMapper::new(Side::B, &flows), DisclosurePolicy::InflateBest, config,
+    ).unwrap();
+    let mut ab = FaultyLink::reliable();
+    let mut ba = FaultyLink::reliable();
+    let (out_a, _) = run_session(&mut agent_a, &mut agent_b, &mut ab, &mut ba).unwrap();
+    assert_eq!(engine.assignment.choices(), out_a.assignment.choices());
+}
+
+#[test]
+fn cheating_upstream_is_rejected_in_protocol() {
+    let input = SessionInput {
+        flow_ids: vec![FlowId(0)],
+        defaults: vec![nexit::topology::IcxId(0)],
+        volumes: vec![1.0],
+        num_alternatives: 2,
+    };
+    struct Null;
+    impl nexit::core::PreferenceMapper for Null {
+        fn gains(&mut self, i: &SessionInput, _c: &Assignment) -> Vec<Vec<f64>> {
+            vec![vec![0.0; i.num_alternatives]; i.len()]
+        }
+    }
+    let err = Agent::new(
+        Side::A,
+        "A",
+        input,
+        Assignment::from_choices(vec![nexit::topology::IcxId(0)]),
+        Null,
+        DisclosurePolicy::InflateBest,
+        NexitConfig::default(),
+    )
+    .err()
+    .expect("side-A InflateBest must be rejected");
+    assert!(matches!(err, nexit::proto::ProtoError::UnsupportedDisclosure));
+}
