@@ -60,7 +60,11 @@ pub fn flow_both_better(input: &OppositeFlows<'_>, seed: u64) -> (Assignment, As
 }
 
 fn run_filter(input: &OppositeFlows<'_>, filter: Filter, seed: u64) -> (Assignment, Assignment) {
-    let k = input.fwd.metrics.first().map_or(0, |m| m.num_alternatives());
+    let k = input
+        .fwd
+        .metrics
+        .first()
+        .map_or(0, |m| m.num_alternatives());
     let mut rng = StdRng::seed_from_u64(seed);
     let mut fwd_asg = input.fwd_default.clone();
     let mut rev_asg = input.rev_default.clone();

@@ -26,9 +26,7 @@ pub fn negotiate_in_groups<'b>(
     let mut assignment = default_assignment.clone();
     let mut outcomes = Vec::with_capacity(num_groups);
     for g in 0..num_groups {
-        let idx: Vec<usize> = (0..input.len())
-            .filter(|i| i % num_groups == g)
-            .collect();
+        let idx: Vec<usize> = (0..input.len()).filter(|i| i % num_groups == g).collect();
         if idx.is_empty() {
             continue;
         }
@@ -92,8 +90,7 @@ mod tests {
 
         let mut a2 = Party::honest("A", FixedMapper { gains: ga });
         let mut b2 = Party::honest("B", FixedMapper { gains: gb });
-        let (grouped, outcomes) =
-            negotiate_in_groups(&inp, &default, &mut a2, &mut b2, &config, 1);
+        let (grouped, outcomes) = negotiate_in_groups(&inp, &default, &mut a2, &mut b2, &config, 1);
         assert_eq!(grouped.choices(), whole.assignment.choices());
         assert_eq!(outcomes.len(), 1);
     }
@@ -132,8 +129,7 @@ mod tests {
 
         let mut a2 = Party::honest("A", FixedMapper { gains: ga.clone() });
         let mut b2 = Party::honest("B", FixedMapper { gains: gb.clone() });
-        let (grouped, _) =
-            negotiate_in_groups(&inp, &default, &mut a2, &mut b2, &config, 2);
+        let (grouped, _) = negotiate_in_groups(&inp, &default, &mut a2, &mut b2, &config, 2);
         let grouped_total = raw(&grouped, &ga) + raw(&grouped, &gb);
         assert!(
             grouped_total < whole_a + whole_b,

@@ -121,8 +121,7 @@ pub fn optimal_bandwidth(
 
     // Link capacity rows. Gather per-link coefficients sparsely.
     // link key: 0..num_up = upstream links, num_up.. = downstream links.
-    let mut per_link: Vec<Vec<(usize, f64)>> =
-        vec![Vec::new(); num_up + view.b.num_links()];
+    let mut per_link: Vec<Vec<(usize, f64)>> = vec![Vec::new(); num_up + view.b.num_links()];
     for (j, &fid) in impacted.iter().enumerate() {
         let vol = flows.flows[fid.index()].volume;
         for i in 0..k {
@@ -139,10 +138,7 @@ pub fn optimal_bandwidth(
         let (res, cap) = if lkey < num_up {
             (residual.up[lkey], up_capacities[lkey])
         } else {
-            (
-                residual.down[lkey - num_up],
-                down_capacities[lkey - num_up],
-            )
+            (residual.down[lkey - num_up], down_capacities[lkey - num_up])
         };
         if coeffs.is_empty() && res == 0.0 {
             continue; // untouched link; no constraint needed
@@ -266,10 +262,8 @@ mod tests {
         let default = Assignment::uniform(flows.len(), IcxId(0));
         let impacted: Vec<FlowId> = (0..flows.len()).map(FlowId::new).collect();
 
-        let opt = optimal_bandwidth(
-            &view, &paths, &flows, &impacted, &default, &caps_a, &caps_b,
-        )
-        .unwrap();
+        let opt = optimal_bandwidth(&view, &paths, &flows, &impacted, &default, &caps_a, &caps_b)
+            .unwrap();
 
         // Exhaustively enumerate integral assignments (2^9 = 512) and
         // verify the fractional optimum is a lower bound on max ratio.
@@ -306,10 +300,8 @@ mod tests {
         let caps_b = vec![2.0; fx.b.num_links()];
         let default = Assignment::uniform(flows.len(), IcxId(0));
         let impacted: Vec<FlowId> = (0..flows.len()).map(FlowId::new).collect();
-        let opt = optimal_bandwidth(
-            &view, &paths, &flows, &impacted, &default, &caps_a, &caps_b,
-        )
-        .unwrap();
+        let opt = optimal_bandwidth(&view, &paths, &flows, &impacted, &default, &caps_a, &caps_b)
+            .unwrap();
         for fr in &opt.fractions {
             let s: f64 = fr.iter().sum();
             assert!((s - 1.0).abs() < 1e-6, "fractions sum {s}");
@@ -330,10 +322,8 @@ mod tests {
         let default = Assignment::uniform(flows.len(), IcxId(0));
         // Only one impacted flow; the rest are residual on icx0.
         let impacted = vec![FlowId::new(8)];
-        let opt = optimal_bandwidth(
-            &view, &paths, &flows, &impacted, &default, &caps_a, &caps_b,
-        )
-        .unwrap();
+        let opt = optimal_bandwidth(&view, &paths, &flows, &impacted, &default, &caps_a, &caps_b)
+            .unwrap();
         // Residual load alone drives t well above 1 on unit capacities
         // (upstream link a0-a1 carries >= 5 residual units).
         assert!(opt.t >= 5.0 - 1e-6, "t = {}", opt.t);

@@ -124,9 +124,7 @@ mod tests {
         let opt_total = assignment::total_distance_km(&flows, &opt);
         for icx in 0..2 {
             let uniform = Assignment::uniform(flows.len(), IcxId::new(icx));
-            assert!(
-                opt_total <= assignment::total_distance_km(&flows, &uniform) + 1e-9
-            );
+            assert!(opt_total <= assignment::total_distance_km(&flows, &uniform) + 1e-9);
         }
         let early = Assignment::early_exit(&view, &sp_a, &flows);
         assert!(opt_total <= assignment::total_distance_km(&flows, &early) + 1e-9);

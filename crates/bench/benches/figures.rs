@@ -29,9 +29,7 @@ fn bench_figures(c: &mut Criterion) {
     let cfg = cfg();
     let mut group = c.benchmark_group("figures");
     group.sample_size(10);
-    group.bench_function("fig4_fig6_distance", |b| {
-        b.iter(|| distance::run(&u, &cfg))
-    });
+    group.bench_function("fig4_fig6_distance", |b| b.iter(|| distance::run(&u, &cfg)));
     group.bench_function("fig5_filters", |b| b.iter(|| filters::run(&u, &cfg)));
     group.bench_function("fig7_fig8_bandwidth", |b| {
         b.iter(|| bandwidth::run(&u, &cfg))

@@ -17,7 +17,11 @@ fn min_max_problem(flows: usize, k: usize, links: usize, seed: u64) -> LpProblem
         p.add_variable(0.0);
     }
     for f in 0..flows {
-        p.add_constraint((0..k).map(|i| (x(f, i), 1.0)).collect(), ConstraintOp::Eq, 1.0);
+        p.add_constraint(
+            (0..k).map(|i| (x(f, i), 1.0)).collect(),
+            ConstraintOp::Eq,
+            1.0,
+        );
     }
     for _ in 0..links {
         let mut row: Vec<(usize, f64)> = Vec::new();

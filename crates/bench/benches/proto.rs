@@ -18,7 +18,9 @@ impl PreferenceMapper for Flat {
 fn bench_proto(c: &mut Criterion) {
     c.bench_function("preflist_codec_roundtrip_500x4", |b| {
         let msg = Message::PrefList {
-            prefs: (0..500).map(|f| (0..4).map(|a| ((f * a) % 21) as i16 - 10).collect()).collect(),
+            prefs: (0..500)
+                .map(|f| (0..4).map(|a| ((f * a) % 21) as i16 - 10).collect())
+                .collect(),
         };
         b.iter(|| {
             let wire = msg.encode();
@@ -43,13 +45,25 @@ fn bench_proto(c: &mut Criterion) {
         let config = NexitConfig::win_win();
         b.iter(|| {
             let mut a = Agent::new(
-                Side::A, "A", input.clone(), default.clone(),
-                Flat(n, 4), DisclosurePolicy::Truthful, config,
-            ).unwrap();
+                Side::A,
+                "A",
+                input.clone(),
+                default.clone(),
+                Flat(n, 4),
+                DisclosurePolicy::Truthful,
+                config,
+            )
+            .unwrap();
             let mut bb = Agent::new(
-                Side::B, "B", input.clone(), default.clone(),
-                Flat(n, 4), DisclosurePolicy::Truthful, config,
-            ).unwrap();
+                Side::B,
+                "B",
+                input.clone(),
+                default.clone(),
+                Flat(n, 4),
+                DisclosurePolicy::Truthful,
+                config,
+            )
+            .unwrap();
             let mut ab = FaultyLink::reliable();
             let mut ba = FaultyLink::reliable();
             run_session(&mut a, &mut bb, &mut ab, &mut ba).unwrap()

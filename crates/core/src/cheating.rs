@@ -56,6 +56,12 @@ impl DisclosurePolicy {
     pub fn is_cheating(&self) -> bool {
         !matches!(self, DisclosurePolicy::Truthful)
     }
+
+    /// Whether this policy must see the peer's disclosed list before
+    /// producing its own (and therefore cannot disclose first).
+    pub fn needs_peer_list(&self) -> bool {
+        matches!(self, DisclosurePolicy::InflateBest)
+    }
 }
 
 /// The cheater's best alternative for one flow: highest true preference,
@@ -86,7 +92,8 @@ fn inflate_best(truth: &PrefTable, other: &PrefTable, p: i32, defaults: &[IcxId]
     for flow in 0..truth.num_flows() {
         let mut row: Vec<i32> = truth.row(flow).to_vec();
         let b = best_alternative(truth, flow);
-        let target_sum = |row: &[i32], x: usize| row[x] as i64 + other.get(flow, IcxId::new(x)) as i64;
+        let target_sum =
+            |row: &[i32], x: usize| row[x] as i64 + other.get(flow, IcxId::new(x)) as i64;
         // Raise d(b) until it is the (weak) combined maximum, clamped at P.
         let needed = (0..k)
             .filter(|&x| x != b)
@@ -160,7 +167,10 @@ mod tests {
             .map(|x| d.get(0, IcxId::new(x)) + o.get(0, IcxId::new(x)))
             .collect();
         let best = combined.iter().max().unwrap();
-        assert_eq!(combined[1], *best, "cheater's alt must reach max sum: {combined:?}");
+        assert_eq!(
+            combined[1], *best,
+            "cheater's alt must reach max sum: {combined:?}"
+        );
         assert!(d.within_range(10));
     }
 

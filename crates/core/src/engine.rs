@@ -1,6 +1,11 @@
-//! The round-based negotiation engine.
+//! The synchronous in-process negotiation driver.
 //!
-//! Faithful implementation of the paper's protocol loop (§4, step 2):
+//! Since the `NegotiationMachine` refactor this module contains **no
+//! protocol logic**: every turn/propose/accept/reassign/stop decision
+//! lives in [`crate::machine`], and this module merely instantiates one
+//! machine per ISP and shuttles events between them in memory — the same
+//! pump a network transport performs for `nexit-proto`'s agents, minus
+//! the framing. The paper's loop (§4, step 2) for reference:
 //!
 //! ```text
 //! loop {
@@ -12,19 +17,25 @@
 //! }
 //! ```
 //!
-//! Each ISP is a [`Party`]: a preference mapper (its private objective), a
-//! disclosure policy (truthful, or one of the §5.4 cheating strategies),
-//! and bookkeeping. The engine keeps *true* and *disclosed* preference
-//! tables separate: proposals are selected on disclosed values (that is
-//! all a real ISP would see), while each ISP's stop decision and gain
+//! Each ISP is a [`Party`]: a preference mapper (its private objective)
+//! plus a disclosure policy (truthful, or one of the §5.4 cheating
+//! strategies). The machine keeps *true* and *disclosed* preference
+//! tables separate: proposals are selected on disclosed values (all a
+//! real ISP would see), while each ISP's stop decision and gain
 //! accounting use its own true values.
+//!
+//! Entry points:
+//!
+//! * [`SessionBuilder`] — the validated fluent API; prefer it in new
+//!   code and examples,
+//! * [`negotiate`] — the positional convenience wrapper the experiment
+//!   harness uses in bulk loops.
 
 use crate::cheating::DisclosurePolicy;
+use crate::machine::{Action, Event, MachineError, NegotiationMachine};
 use crate::mapping::PreferenceMapper;
-use crate::outcome::{NegotiationOutcome, RoundRecord, Side, Termination};
-use crate::policies::{AcceptRule, NexitConfig, StopPolicy};
-use crate::prefs::{quantize, PrefTable};
-use crate::selection::{self, TableState};
+use crate::outcome::{NegotiationOutcome, RoundRecord, Side};
+use crate::policies::NexitConfig;
 use nexit_routing::{Assignment, FlowId};
 use nexit_topology::IcxId;
 
@@ -61,12 +72,37 @@ impl SessionInput {
         self.volumes.iter().sum()
     }
 
-    fn validate(&self) {
-        assert_eq!(self.flow_ids.len(), self.defaults.len());
-        assert_eq!(self.flow_ids.len(), self.volumes.len());
-        assert!(self.num_alternatives > 0, "need at least one alternative");
-        for d in &self.defaults {
-            assert!(d.index() < self.num_alternatives, "default out of range");
+    /// Structural validity: parallel arrays line up and every default
+    /// names a real alternative.
+    pub fn check(&self) -> Result<(), SessionError> {
+        if self.defaults.len() != self.flow_ids.len() {
+            return Err(SessionError::LengthMismatch {
+                field: "defaults",
+                expected: self.flow_ids.len(),
+                got: self.defaults.len(),
+            });
+        }
+        if self.volumes.len() != self.flow_ids.len() {
+            return Err(SessionError::LengthMismatch {
+                field: "volumes",
+                expected: self.flow_ids.len(),
+                got: self.volumes.len(),
+            });
+        }
+        if self.num_alternatives == 0 {
+            return Err(SessionError::NoAlternatives);
+        }
+        for (flow, d) in self.defaults.iter().enumerate() {
+            if d.index() >= self.num_alternatives {
+                return Err(SessionError::DefaultOutOfRange { flow });
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn validate(&self) {
+        if let Err(e) = self.check() {
+            panic!("invalid session input: {e}");
         }
     }
 }
@@ -105,38 +141,200 @@ impl<'a> Party<'a> {
     }
 }
 
-/// Live state of a negotiation session. Public so the wire-protocol crate
-/// can drive a session message by message; library users normally call
-/// [`negotiate`].
-pub struct NegotiationSession<'a, 'b> {
-    input: &'a SessionInput,
+/// What a [`SessionBuilder`] can reject before any negotiation runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// No [`SessionBuilder::input`] was provided.
+    MissingInput,
+    /// No [`SessionBuilder::default_assignment`] was provided.
+    MissingDefaultAssignment,
+    /// A party was not provided.
+    MissingParty(Side),
+    /// Two parallel input arrays disagree in length.
+    LengthMismatch {
+        /// The offending field.
+        field: &'static str,
+        /// Length of `flow_ids`.
+        expected: usize,
+        /// Length found.
+        got: usize,
+    },
+    /// `num_alternatives` was zero.
+    NoAlternatives,
+    /// A flow's default alternative index is out of range.
+    DefaultOutOfRange {
+        /// Local index of the offending flow.
+        flow: usize,
+    },
+    /// The preference class range must be positive.
+    BadPrefRange(i32),
+    /// The default assignment does not cover every negotiated flow.
+    DefaultAssignmentTooSmall {
+        /// Flows the assignment must cover (max flow id + 1).
+        need: usize,
+        /// Flows it covers.
+        got: usize,
+    },
+    /// Both parties use a disclosure policy that needs to see the peer's
+    /// list first — someone has to disclose without that knowledge.
+    ConflictingDisclosure,
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::MissingInput => write!(f, "session input not provided"),
+            SessionError::MissingDefaultAssignment => {
+                write!(f, "default assignment not provided")
+            }
+            SessionError::MissingParty(side) => write!(f, "party {side} not provided"),
+            SessionError::LengthMismatch {
+                field,
+                expected,
+                got,
+            } => write!(
+                f,
+                "`{field}` has {got} entries but `flow_ids` has {expected}"
+            ),
+            SessionError::NoAlternatives => write!(f, "need at least one alternative"),
+            SessionError::DefaultOutOfRange { flow } => {
+                write!(f, "flow {flow}'s default alternative is out of range")
+            }
+            SessionError::BadPrefRange(p) => {
+                write!(f, "preference range must be positive, got {p}")
+            }
+            SessionError::DefaultAssignmentTooSmall { need, got } => write!(
+                f,
+                "default assignment covers {got} flows but the session references flow ids up to {need}"
+            ),
+            SessionError::ConflictingDisclosure => write!(
+                f,
+                "both parties need to see the peer's list before disclosing; one side must disclose first"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Validated fluent construction of an in-process negotiation.
+///
+/// Replaces the loose `(SessionInput, Assignment, Party, Party,
+/// NexitConfig)` argument spread with named steps and upfront
+/// validation:
+///
+/// ```
+/// use nexit_core::{Party, PreferenceMapper, SessionBuilder, SessionInput};
+/// use nexit_routing::{Assignment, FlowId};
+/// use nexit_topology::IcxId;
+///
+/// struct Fixed(Vec<Vec<f64>>);
+/// impl PreferenceMapper for Fixed {
+///     fn gains(&mut self, _: &SessionInput, _: &Assignment) -> Vec<Vec<f64>> {
+///         self.0.clone()
+///     }
+/// }
+///
+/// let outcome = SessionBuilder::new()
+///     .input(SessionInput {
+///         flow_ids: vec![FlowId(0)],
+///         defaults: vec![IcxId(0)],
+///         volumes: vec![1.0],
+///         num_alternatives: 2,
+///     })
+///     .default_assignment(Assignment::uniform(1, IcxId(0)))
+///     .party_a(Party::honest("A", Fixed(vec![vec![0.0, 5.0]])))
+///     .party_b(Party::honest("B", Fixed(vec![vec![0.0, 3.0]])))
+///     .run()
+///     .expect("valid session");
+/// assert!(outcome.gain_a > 0 && outcome.gain_b > 0);
+/// ```
+#[derive(Default)]
+pub struct SessionBuilder<'a> {
+    input: Option<SessionInput>,
+    default_assignment: Option<Assignment>,
     config: NexitConfig,
-    party_a: &'a mut Party<'b>,
-    party_b: &'a mut Party<'b>,
-    /// Remaining flows and vetoed alternatives.
-    state: TableState,
-    /// The evolving full assignment.
-    assignment: Assignment,
-    true_a: PrefTable,
-    true_b: PrefTable,
-    disclosed_a: PrefTable,
-    disclosed_b: PrefTable,
-    gain_a: i64,
-    gain_b: i64,
-    disclosed_gain_a: i64,
-    disclosed_gain_b: i64,
-    transcript: Vec<RoundRecord>,
-    reassignments: usize,
-    volume_since_reassign: f64,
-    round: usize,
-    num_remaining: usize,
+    party_a: Option<Party<'a>>,
+    party_b: Option<Party<'a>>,
+}
+
+impl<'a> SessionBuilder<'a> {
+    /// Start a builder with the default (paper distance-experiment)
+    /// configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The negotiated flow set.
+    pub fn input(mut self, input: SessionInput) -> Self {
+        self.input = Some(input);
+        self
+    }
+
+    /// The pre-negotiation assignment of *all* pair flows (the engine
+    /// mutates only the negotiated subset).
+    pub fn default_assignment(mut self, assignment: Assignment) -> Self {
+        self.default_assignment = Some(assignment);
+        self
+    }
+
+    /// Replace the whole policy configuration.
+    pub fn config(mut self, config: NexitConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The A-side (upstream) ISP.
+    pub fn party_a(mut self, party: Party<'a>) -> Self {
+        self.party_a = Some(party);
+        self
+    }
+
+    /// The B-side (downstream) ISP.
+    pub fn party_b(mut self, party: Party<'a>) -> Self {
+        self.party_b = Some(party);
+        self
+    }
+
+    /// Validate everything and run the negotiation to completion.
+    pub fn run(self) -> Result<NegotiationOutcome, SessionError> {
+        let input = self.input.ok_or(SessionError::MissingInput)?;
+        let default = self
+            .default_assignment
+            .ok_or(SessionError::MissingDefaultAssignment)?;
+        let mut party_a = self.party_a.ok_or(SessionError::MissingParty(Side::A))?;
+        let mut party_b = self.party_b.ok_or(SessionError::MissingParty(Side::B))?;
+        input.check()?;
+        if self.config.pref_range <= 0 {
+            return Err(SessionError::BadPrefRange(self.config.pref_range));
+        }
+        if let Some(max_flow) = input.flow_ids.iter().map(|f| f.index()).max() {
+            if default.len() <= max_flow {
+                return Err(SessionError::DefaultAssignmentTooSmall {
+                    need: max_flow + 1,
+                    got: default.len(),
+                });
+            }
+        }
+        if party_a.disclosure.needs_peer_list() && party_b.disclosure.needs_peer_list() {
+            return Err(SessionError::ConflictingDisclosure);
+        }
+        Ok(drive_machines(
+            &input,
+            &default,
+            &mut party_a,
+            &mut party_b,
+            &self.config,
+        ))
+    }
 }
 
 /// Run a complete negotiation and return the outcome.
 ///
 /// `default_assignment` must cover *all* flows of the pair (the engine
 /// mutates only the negotiated subset); `input` names the subset on the
-/// table.
+/// table. Panics on structurally invalid input — use [`SessionBuilder`]
+/// for checked construction.
 pub fn negotiate<'b>(
     input: &SessionInput,
     default_assignment: &Assignment,
@@ -144,316 +342,176 @@ pub fn negotiate<'b>(
     party_b: &mut Party<'b>,
     config: &NexitConfig,
 ) -> NegotiationOutcome {
-    let mut session = NegotiationSession::start(input, default_assignment, party_a, party_b, config);
-    session.run_to_completion()
+    input.validate();
+    assert!(config.pref_range > 0);
+    assert!(
+        !(party_a.disclosure.needs_peer_list() && party_b.disclosure.needs_peer_list()),
+        "both parties cannot disclose second"
+    );
+    drive_machines(input, default_assignment, party_a, party_b, config)
 }
 
-impl<'a, 'b> NegotiationSession<'a, 'b> {
-    /// Initialize a session: both parties map preferences and disclose.
-    pub fn start(
-        input: &'a SessionInput,
-        default_assignment: &Assignment,
-        party_a: &'a mut Party<'b>,
-        party_b: &'a mut Party<'b>,
-        config: &NexitConfig,
-    ) -> Self {
-        input.validate();
-        assert!(config.pref_range > 0);
-        let n = input.len();
-        let mut session = Self {
-            input,
-            config: *config,
-            party_a,
-            party_b,
-            state: TableState::new(n, input.num_alternatives),
-            assignment: default_assignment.clone(),
-            true_a: PrefTable::zero(n, input.num_alternatives),
-            true_b: PrefTable::zero(n, input.num_alternatives),
-            disclosed_a: PrefTable::zero(n, input.num_alternatives),
-            disclosed_b: PrefTable::zero(n, input.num_alternatives),
-            gain_a: 0,
-            gain_b: 0,
-            disclosed_gain_a: 0,
-            disclosed_gain_b: 0,
-            transcript: Vec::new(),
-            reassignments: 0,
-            volume_since_reassign: 0.0,
-            round: 0,
-            num_remaining: n,
-        };
-        session.map_and_disclose();
-        session
-    }
+/// The in-memory event pump: two machines, zero IO.
+///
+/// Disclosure order matches the wire protocol (A first) unless A cheats
+/// with a peer-list-dependent policy, in which case the honest B
+/// discloses first — the §5.4 "perfect knowledge" cheater model, now
+/// expressed purely through message ordering instead of privileged
+/// access to the peer's internal state.
+fn drive_machines<'b>(
+    input: &SessionInput,
+    default_assignment: &Assignment,
+    party_a: &mut Party<'b>,
+    party_b: &mut Party<'b>,
+    config: &NexitConfig,
+) -> NegotiationOutcome {
+    let first_discloser = if party_a.disclosure.needs_peer_list() {
+        Side::B
+    } else {
+        Side::A
+    };
+    let mut machine_a = NegotiationMachine::new(
+        Side::A,
+        first_discloser,
+        input.clone(),
+        default_assignment.clone(),
+        party_a.mapper.as_mut(),
+        party_a.disclosure,
+        *config,
+    )
+    .expect("session already validated");
+    let mut machine_b = NegotiationMachine::new(
+        Side::B,
+        first_discloser,
+        input.clone(),
+        default_assignment.clone(),
+        party_b.mapper.as_mut(),
+        party_b.disclosure,
+        *config,
+    )
+    .expect("session already validated");
 
-    /// Recompute preference tables (initial mapping and reassignment).
-    fn map_and_disclose(&mut self) {
-        let p = self.config.pref_range;
-        let gains_a = self.party_a.mapper.gains(self.input, &self.assignment);
-        let gains_b = self.party_b.mapper.gains(self.input, &self.assignment);
-        self.true_a = quantize(&gains_a, p);
-        self.true_b = quantize(&gains_b, p);
-        // Honest parties disclose first so a cheater can exploit perfect
-        // knowledge of the other list (§5.4's strongest-cheater model).
-        // Two cheaters each see the other's *true* table (documented
-        // approximation; the paper evaluates a single cheater).
-        self.disclosed_a = self.party_a.disclosure.disclose(
-            &self.true_a,
-            &self.true_b,
-            p,
-            &self.input.defaults,
-        );
-        self.disclosed_b = self.party_b.disclosure.disclose(
-            &self.true_b,
-            &self.true_a,
-            p,
-            &self.input.defaults,
-        );
-    }
+    let mut transcript: Vec<RoundRecord> = Vec::new();
+    // The proposal whose response has not been observed yet:
+    // (round, proposer, local flow, alternative).
+    let mut pending: Option<(u32, Side, usize, IcxId)> = None;
 
-    /// Early-termination projection (see [`selection::projected_gain`]).
-    fn projected_gain(&self, side: Side) -> i64 {
-        let (own_true, d_own, d_other) = match side {
-            Side::A => (&self.true_a, &self.disclosed_a, &self.disclosed_b),
-            Side::B => (&self.true_b, &self.disclosed_b, &self.disclosed_a),
-        };
-        selection::projected_gain(
-            own_true,
-            d_own,
-            d_other,
-            &self.state,
-            self.input.num_alternatives,
-            &self.input.defaults,
-        )
-    }
-
-    /// Whose turn it is this round (see [`selection::decide_turn`]).
-    fn decide_turn(&self) -> Side {
-        selection::decide_turn(
-            self.config.turn,
-            self.round,
-            self.disclosed_gain_a,
-            self.disclosed_gain_b,
-        )
-    }
-
-    /// The proposer's choice (see [`selection::select_proposal`]).
-    fn propose(&self, proposer: Side) -> Option<(usize, IcxId)> {
-        let (d_own, d_other, own_true, own_cum) = match proposer {
-            Side::A => (&self.disclosed_a, &self.disclosed_b, &self.true_a, self.gain_a),
-            Side::B => (&self.disclosed_b, &self.disclosed_a, &self.true_b, self.gain_b),
-        };
-        let self_guard = match self.config.accept {
-            AcceptRule::Always => None,
-            AcceptRule::VetoNegativeCumulative => Some((own_true, own_cum)),
-            AcceptRule::CreditVeto { credit } => Some((own_true, own_cum + credit)),
-        };
-        selection::select_proposal(
-            d_own,
-            d_other,
-            &self.state,
-            self.input.num_alternatives,
-            self.config.proposal,
-            self_guard,
-            &self.input.defaults,
-        )
-    }
-
-    /// Whether the non-proposing side accepts.
-    fn accepts(&self, acceptor: Side, local: usize, alt: IcxId) -> bool {
-        let floor = match self.config.accept {
-            AcceptRule::Always => return true,
-            AcceptRule::VetoNegativeCumulative => 0,
-            AcceptRule::CreditVeto { credit } => -credit,
-        };
-        let (table, cum) = match acceptor {
-            Side::A => (&self.true_a, self.gain_a),
-            Side::B => (&self.true_b, self.gain_b),
-        };
-        cum + i64::from(table.get(local, alt)) >= floor
-    }
-
-    /// Pre-round stop check (early termination only); returns the stopper.
-    fn stop_check(&self) -> Option<Side> {
-        match self.config.stop {
-            StopPolicy::Early => {
-                // Stop when continuing cannot increase the ISP's gain.
-                if self.projected_gain(Side::A) < 0 {
-                    return Some(Side::A);
-                }
-                if self.projected_gain(Side::B) < 0 {
-                    return Some(Side::B);
-                }
-                None
-            }
-            StopPolicy::NegotiateAll | StopPolicy::Full => None,
+    loop {
+        let mut progressed = false;
+        while let Some(action) = machine_a.poll_action() {
+            deliver(
+                action,
+                Side::A,
+                &mut machine_b,
+                input,
+                &mut pending,
+                &mut transcript,
+            )
+            .expect("in-process machines cannot violate the protocol");
+            progressed = true;
         }
+        while let Some(action) = machine_b.poll_action() {
+            deliver(
+                action,
+                Side::B,
+                &mut machine_a,
+                input,
+                &mut pending,
+                &mut transcript,
+            )
+            .expect("in-process machines cannot violate the protocol");
+            progressed = true;
+        }
+        if machine_a.is_done() && machine_b.is_done() {
+            break;
+        }
+        assert!(progressed, "machine pair deadlocked without terminating");
     }
 
-    /// Full-termination check against the concrete upcoming proposal:
-    /// an ISP stops when accepting it would push its cumulative gain
-    /// negative ("ISPs may continue as long as their cumulative gain is
-    /// positive", paper §4).
-    fn full_stop_check(&self, local: usize, alt: IcxId) -> Option<Side> {
-        if self.config.stop != StopPolicy::Full {
-            return None;
-        }
-        for side in [Side::A, Side::B] {
-            let (table, cum) = match side {
-                Side::A => (&self.true_a, self.gain_a),
-                Side::B => (&self.true_b, self.gain_b),
-            };
-            if cum + i64::from(table.get(local, alt)) < 0 {
-                return Some(side);
+    finish_outcome(machine_a, machine_b, transcript)
+}
+
+/// Translate one side's action into the peer's event, recording the
+/// transcript rows exactly as the wire would show them.
+fn deliver<M: PreferenceMapper>(
+    action: Action,
+    from: Side,
+    peer: &mut NegotiationMachine<M>,
+    input: &SessionInput,
+    pending: &mut Option<(u32, Side, usize, IcxId)>,
+    transcript: &mut Vec<RoundRecord>,
+) -> Result<(), MachineError> {
+    let event = match action {
+        Action::SendPrefs { prefs } => Event::PeerPrefs { prefs },
+        Action::SendProposal {
+            round,
+            local_flow,
+            alternative,
+        } => {
+            *pending = Some((round, from, local_flow, alternative));
+            Event::Proposal {
+                round,
+                local_flow,
+                alternative,
             }
         }
-        None
-    }
-
-    /// Execute one round. Returns `Some(termination)` when the session
-    /// ended.
-    pub fn step(&mut self) -> Option<Termination> {
-        if self.num_remaining == 0 {
-            return Some(Termination::Exhausted);
-        }
-        if let Some(stopper) = self.stop_check() {
-            return Some(Termination::Stopped(stopper));
-        }
-        let proposer = self.decide_turn();
-        let Some((local, alt)) = self.propose(proposer) else {
-            // Every remaining alternative is banned; nothing left to do.
-            return Some(Termination::Exhausted);
-        };
-        if let Some(stopper) = self.full_stop_check(local, alt) {
-            return Some(Termination::Stopped(stopper));
-        }
-        let acceptor = proposer.other();
-        let accepted = self.accepts(acceptor, local, alt);
-        self.transcript.push(RoundRecord {
-            round: self.round,
-            proposer,
-            flow: self.input.flow_ids[local],
-            alternative: alt,
-            accepted,
-            reverted: false,
-        });
-        self.round += 1;
-
-        if accepted {
-            self.apply_acceptance(local, alt);
-        } else {
-            // Vetoed: withdraw this alternative; the flow stays on the
-            // table with its other alternatives.
-            self.state.banned[local][alt.index()] = true;
-        }
-        None
-    }
-
-    fn apply_acceptance(&mut self, local: usize, alt: IcxId) {
-        debug_assert!(self.state.remaining[local]);
-        self.state.remaining[local] = false;
-        self.num_remaining -= 1;
-        self.assignment.set(self.input.flow_ids[local], alt);
-        self.gain_a += self.true_a.get(local, alt) as i64;
-        self.gain_b += self.true_b.get(local, alt) as i64;
-        self.disclosed_gain_a += self.disclosed_a.get(local, alt) as i64;
-        self.disclosed_gain_b += self.disclosed_b.get(local, alt) as i64;
-        self.volume_since_reassign += self.input.volumes[local];
-
-        if let Some(frac) = self.config.reassign_interval_frac {
-            let threshold = frac * self.input.total_volume();
-            if self.volume_since_reassign >= threshold && self.num_remaining > 0 {
-                self.map_and_disclose();
-                self.reassignments += 1;
-                self.volume_since_reassign = 0.0;
+        Action::SendResponse { round, accepted } => {
+            if let Some((prop_round, proposer, local, alt)) = pending.take() {
+                debug_assert_eq!(prop_round, round);
+                transcript.push(RoundRecord {
+                    round: round as usize,
+                    proposer,
+                    flow: input.flow_ids[local],
+                    alternative: alt,
+                    accepted,
+                    reverted: false,
+                });
             }
+            Event::Response { round, accepted }
         }
-    }
-
-    /// Roll back accepted compromises until both ISPs' cumulative
-    /// *disclosed* gains are non-negative (the §6 rollback, used with
-    /// [`AcceptRule::CreditVeto`]). Deterministic on state both sides
-    /// share: disclosed tables and the acceptance transcript. For honest
-    /// parties disclosed equals true, so the win-win guarantee carries to
-    /// true preference units (and, with the floor quantization, to the
-    /// real metric).
-    fn rollback_negative(&mut self) {
-        let accepted: Vec<(usize, IcxId)> = self
-            .transcript
-            .iter()
-            .filter(|r| r.accepted)
-            .map(|r| {
-                let local = self
-                    .input
-                    .flow_ids
-                    .iter()
-                    .position(|&f| f == r.flow)
-                    .expect("transcript flow not in session");
-                (local, r.alternative)
-            })
-            .collect();
-        let plan = selection::rollback_plan(
-            &self.disclosed_a,
-            &self.disclosed_b,
-            &accepted,
-            self.disclosed_gain_a,
-            self.disclosed_gain_b,
-        );
-        // Map plan indices (over accepted moves) back to transcript rows.
-        let accepted_rows: Vec<usize> = self
-            .transcript
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| r.accepted)
-            .map(|(i, _)| i)
-            .collect();
-        for idx in plan {
-            let row = accepted_rows[idx];
-            let (local, alt) = accepted[idx];
-            self.transcript[row].reverted = true;
-            self.assignment.set(self.input.flow_ids[local], self.input.defaults[local]);
-            self.gain_a -= i64::from(self.true_a.get(local, alt));
-            self.gain_b -= i64::from(self.true_b.get(local, alt));
-            self.disclosed_gain_a -= i64::from(self.disclosed_a.get(local, alt));
-            self.disclosed_gain_b -= i64::from(self.disclosed_b.get(local, alt));
+        Action::SendStop { side } => {
+            // An unanswered proposal never completed its round.
+            *pending = None;
+            Event::PeerStop { side }
         }
+        Action::SendBye => Event::PeerBye,
+    };
+    peer.handle(event)
+}
+
+/// Assemble the outcome from the two finished machines.
+fn finish_outcome<MA: PreferenceMapper, MB: PreferenceMapper>(
+    machine_a: NegotiationMachine<MA>,
+    machine_b: NegotiationMachine<MB>,
+    mut transcript: Vec<RoundRecord>,
+) -> NegotiationOutcome {
+    // Mark the rollback's reverted rows (both machines computed the same
+    // plan from shared disclosed state; take A's).
+    let accepted_rows: Vec<usize> = transcript
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.accepted)
+        .map(|(i, _)| i)
+        .collect();
+    for &idx in machine_a.reverted_indices() {
+        transcript[accepted_rows[idx]].reverted = true;
     }
 
-    /// Drive the session to termination and collect the outcome.
-    pub fn run_to_completion(&mut self) -> NegotiationOutcome {
-        let termination = loop {
-            if let Some(t) = self.step() {
-                break t;
-            }
-        };
-        if matches!(self.config.accept, AcceptRule::CreditVeto { .. }) {
-            self.rollback_negative();
-        }
-        NegotiationOutcome {
-            assignment: self.assignment.clone(),
-            transcript: std::mem::take(&mut self.transcript),
-            gain_a: self.gain_a,
-            gain_b: self.gain_b,
-            disclosed_gain_a: self.disclosed_gain_a,
-            disclosed_gain_b: self.disclosed_gain_b,
-            termination,
-            reassignments: self.reassignments,
-        }
-    }
-
-    /// Current disclosed preference tables `(A, B)` — exposed for the wire
-    /// protocol, which transmits exactly this view.
-    pub fn disclosed_tables(&self) -> (&PrefTable, &PrefTable) {
-        (&self.disclosed_a, &self.disclosed_b)
-    }
-
-    /// The evolving assignment.
-    pub fn assignment(&self) -> &Assignment {
-        &self.assignment
-    }
-
-    /// Party names `(A, B)`.
-    pub fn party_names(&self) -> (&str, &str) {
-        (&self.party_a.name, &self.party_b.name)
+    let termination = machine_a
+        .termination()
+        .expect("terminated machine must report a termination");
+    debug_assert_eq!(Some(termination), machine_b.termination());
+    debug_assert_eq!(machine_a.assignment(), machine_b.assignment());
+    let (disclosed_gain_a, disclosed_gain_b) = machine_a.disclosed_gains();
+    NegotiationOutcome {
+        assignment: machine_a.assignment().clone(),
+        transcript,
+        gain_a: machine_a.my_gain(),
+        gain_b: machine_b.my_gain(),
+        disclosed_gain_a,
+        disclosed_gain_b,
+        termination,
+        reassignments: machine_a.reassignments(),
     }
 }
 
@@ -461,7 +519,8 @@ impl<'a, 'b> NegotiationSession<'a, 'b> {
 mod tests {
     use super::*;
     use crate::mapping::PreferenceMapper;
-    use crate::policies::{ProposalRule, TurnPolicy};
+    use crate::outcome::Termination;
+    use crate::policies::{AcceptRule, ProposalRule, StopPolicy, TurnPolicy};
 
     /// A mapper returning a fixed gain table (tests drive the engine with
     /// hand-crafted scenarios).
@@ -516,13 +575,17 @@ mod tests {
         // Flow 2 is mutually good; flows 0 and 1 are a classic trade (big
         // win for one, small loss for the other). Under greedy early
         // termination the mutually-good flow and A's winner complete, and
-        // A stops before its own losing flow — both ISPs end positive.
+        // B stops before its own losing flow — both ISPs end positive.
         let out = run(
             vec![vec![0.0, 10.0], vec![0.0, -2.0], vec![0.0, 6.0]],
             vec![vec![0.0, -2.0], vec![0.0, 10.0], vec![0.0, 6.0]],
             NexitConfig::default(),
         );
-        assert_eq!(out.assignment.choice(FlowId(2)), IcxId(1), "mutual win taken");
+        assert_eq!(
+            out.assignment.choice(FlowId(2)),
+            IcxId(1),
+            "mutual win taken"
+        );
         assert!(out.gain_a > 0, "gain_a = {}", out.gain_a);
         assert!(out.gain_b > 0, "gain_b = {}", out.gain_b);
     }
@@ -746,15 +809,20 @@ mod tests {
         }
         let inp = input(2, 2);
         let default = Assignment::uniform(2, IcxId(0));
-        let mut a = Party::honest("ISP-A", IspA);
-        let mut b = Party::honest("ISP-B", IspB);
         let config = NexitConfig {
             pref_range: 1,
             // Reassign after every acceptance (every flow is 50% > 25%).
             reassign_interval_frac: Some(0.25),
             ..NexitConfig::default()
         };
-        let out = negotiate(&inp, &default, &mut a, &mut b, &config);
+        let out = SessionBuilder::new()
+            .input(inp)
+            .default_assignment(default)
+            .config(config)
+            .party_a(Party::honest("ISP-A", IspA))
+            .party_b(Party::honest("ISP-B", IspB))
+            .run()
+            .expect("valid session");
         assert_eq!(
             out.assignment.choice(FlowId(0)),
             IcxId(0),
@@ -788,21 +856,171 @@ mod tests {
         assert_eq!(out.reassignments, 3);
     }
 
+    #[test]
+    fn builder_rejects_structural_errors() {
+        let mk_party = || {
+            Party::honest(
+                "X",
+                FixedMapper {
+                    gains: vec![vec![0.0, 1.0]],
+                },
+            )
+        };
+        // Missing pieces, one at a time.
+        assert_eq!(
+            SessionBuilder::new().run().unwrap_err(),
+            SessionError::MissingInput
+        );
+        assert_eq!(
+            SessionBuilder::new().input(input(1, 2)).run().unwrap_err(),
+            SessionError::MissingDefaultAssignment
+        );
+        assert_eq!(
+            SessionBuilder::new()
+                .input(input(1, 2))
+                .default_assignment(Assignment::uniform(1, IcxId(0)))
+                .run()
+                .unwrap_err(),
+            SessionError::MissingParty(Side::A)
+        );
+        // Parallel-array mismatch.
+        let mut bad = input(2, 2);
+        bad.volumes.pop();
+        assert!(matches!(
+            SessionBuilder::new()
+                .input(bad)
+                .default_assignment(Assignment::uniform(2, IcxId(0)))
+                .party_a(mk_party())
+                .party_b(mk_party())
+                .run()
+                .unwrap_err(),
+            SessionError::LengthMismatch {
+                field: "volumes",
+                ..
+            }
+        ));
+        // Default alternative out of range.
+        let mut bad = input(1, 2);
+        bad.defaults[0] = IcxId(5);
+        assert_eq!(
+            SessionBuilder::new()
+                .input(bad)
+                .default_assignment(Assignment::uniform(1, IcxId(0)))
+                .party_a(mk_party())
+                .party_b(mk_party())
+                .run()
+                .unwrap_err(),
+            SessionError::DefaultOutOfRange { flow: 0 }
+        );
+        // Assignment too small for the referenced flow ids.
+        assert!(matches!(
+            SessionBuilder::new()
+                .input(input(2, 2))
+                .default_assignment(Assignment::uniform(1, IcxId(0)))
+                .party_a(mk_party())
+                .party_b(mk_party())
+                .run()
+                .unwrap_err(),
+            SessionError::DefaultAssignmentTooSmall { .. }
+        ));
+        // Bad preference range.
+        assert_eq!(
+            SessionBuilder::new()
+                .input(input(1, 2))
+                .default_assignment(Assignment::uniform(1, IcxId(0)))
+                .config(NexitConfig {
+                    pref_range: 0,
+                    ..NexitConfig::default()
+                })
+                .party_a(mk_party())
+                .party_b(mk_party())
+                .run()
+                .unwrap_err(),
+            SessionError::BadPrefRange(0)
+        );
+        // Two peer-list-dependent cheaters cannot both disclose second.
+        assert_eq!(
+            SessionBuilder::new()
+                .input(input(1, 2))
+                .default_assignment(Assignment::uniform(1, IcxId(0)))
+                .party_a(Party::cheating(
+                    "A",
+                    FixedMapper {
+                        gains: vec![vec![0.0, 1.0]]
+                    },
+                    DisclosurePolicy::InflateBest,
+                ))
+                .party_b(Party::cheating(
+                    "B",
+                    FixedMapper {
+                        gains: vec![vec![0.0, 1.0]]
+                    },
+                    DisclosurePolicy::InflateBest,
+                ))
+                .run()
+                .unwrap_err(),
+            SessionError::ConflictingDisclosure
+        );
+    }
+
+    #[test]
+    fn builder_matches_negotiate() {
+        let gains_a = vec![vec![0.0, 10.0], vec![0.0, -2.0], vec![0.0, 6.0]];
+        let gains_b = vec![vec![0.0, -2.0], vec![0.0, 10.0], vec![0.0, 6.0]];
+        let via_fn = run(gains_a.clone(), gains_b.clone(), NexitConfig::win_win());
+        let via_builder = SessionBuilder::new()
+            .input(input(3, 2))
+            .default_assignment(Assignment::uniform(3, IcxId(0)))
+            .config(NexitConfig::win_win())
+            .party_a(Party::honest("A", FixedMapper { gains: gains_a }))
+            .party_b(Party::honest("B", FixedMapper { gains: gains_b }))
+            .run()
+            .unwrap();
+        assert_eq!(via_fn.assignment, via_builder.assignment);
+        assert_eq!(via_fn.gain_a, via_builder.gain_a);
+        assert_eq!(via_fn.gain_b, via_builder.gain_b);
+        assert_eq!(via_fn.transcript, via_builder.transcript);
+    }
+
+    #[test]
+    fn cheating_side_a_discloses_second() {
+        // A cheating A is legal in-process: the driver flips the
+        // disclosure order so the cheater still sees the peer's list
+        // first, matching the §5.4 perfect-knowledge model.
+        let out = SessionBuilder::new()
+            .input(input(1, 2))
+            .default_assignment(Assignment::uniform(1, IcxId(0)))
+            .party_a(Party::cheating(
+                "A",
+                FixedMapper {
+                    gains: vec![vec![0.0, 4.0]],
+                },
+                DisclosurePolicy::InflateBest,
+            ))
+            .party_b(Party::honest(
+                "B",
+                FixedMapper {
+                    gains: vec![vec![0.0, 1.0]],
+                },
+            ))
+            .run()
+            .unwrap();
+        assert_eq!(out.assignment.choice(FlowId(0)), IcxId(1));
+    }
+
     mod proptests {
         use super::*;
         use proptest::prelude::*;
 
         fn arb_gains(n: usize, k: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-            proptest::collection::vec(
-                proptest::collection::vec(-10.0f64..10.0, k),
-                n,
+            proptest::collection::vec(proptest::collection::vec(-10.0f64..10.0, k), n).prop_map(
+                move |mut rows| {
+                    for row in &mut rows {
+                        row[0] = 0.0; // default column
+                    }
+                    rows
+                },
             )
-            .prop_map(move |mut rows| {
-                for row in &mut rows {
-                    row[0] = 0.0; // default column
-                }
-                rows
-            })
         }
 
         proptest! {

@@ -11,12 +11,15 @@
 //!    negotiation, mapped to class 0). Mappers for the paper's distance,
 //!    bandwidth and Fortz–Thorup objectives are provided; the trait is
 //!    open for custom objectives.
-//! 2. **The negotiation protocol** ([`engine`]): the ISPs exchange
+//! 2. **The negotiation protocol** ([`machine`]): the ISPs exchange
 //!    preference lists and proceed in rounds — decide turn, propose an
 //!    alternative, accept it, optionally reassign preferences, decide
 //!    whether to stop. Every step is a pluggable policy ([`policies`])
 //!    because the paper specifies each as "agreed contractually in
-//!    advance" with several listed options.
+//!    advance" with several listed options. The loop is one sans-IO
+//!    state machine ([`machine::NegotiationMachine`]); the in-process
+//!    driver ([`engine`]) and the wire-protocol agents (`nexit-proto`)
+//!    are both thin shells around it.
 //!
 //! The engine guarantees the paper's headline incentive property: with the
 //! early-termination policy an honest ISP never finishes with negative
@@ -29,6 +32,7 @@
 
 pub mod cheating;
 pub mod engine;
+pub mod machine;
 pub mod mapping;
 pub mod outcome;
 pub mod policies;
@@ -36,7 +40,8 @@ pub mod prefs;
 pub mod selection;
 
 pub use cheating::DisclosurePolicy;
-pub use engine::{negotiate, NegotiationSession, Party, SessionInput};
+pub use engine::{negotiate, Party, SessionBuilder, SessionError, SessionInput};
+pub use machine::{Action, Event, MachineError, MachineOutcome, NegotiationMachine};
 pub use mapping::{BandwidthMapper, DistanceMapper, FortzMapper, PreferenceMapper};
 pub use outcome::{NegotiationOutcome, RoundRecord, Side, Termination};
 pub use policies::{AcceptRule, NexitConfig, ProposalRule, StopPolicy, TurnPolicy};

@@ -1,0 +1,982 @@
+//! The sans-IO negotiation machine: one side of the paper's §4 round
+//! loop as a pure event-in / action-out state machine.
+//!
+//! This is the *single* implementation of every protocol decision —
+//! disclosure order, turn taking, proposal selection, accept/veto,
+//! reassignment pacing, early/full termination, and the §6 credit-veto
+//! rollback. Everything else in the workspace is a driver around it:
+//!
+//! * [`crate::engine::negotiate`] instantiates two machines and shuttles
+//!   events between them synchronously (the in-process simulation path),
+//! * `nexit-proto`'s `Agent` wraps one machine in a frame codec and a
+//!   session handshake (the deployment path).
+//!
+//! Because both paths execute the same machine, the engine↔protocol
+//! equivalence that used to be an empirical cross-check is structural:
+//! there is no second copy of the round loop to drift.
+//!
+//! ## Interaction model
+//!
+//! Feed peer activity with [`NegotiationMachine::handle`]; drain what
+//! this side wants to transmit with [`NegotiationMachine::poll_action`]
+//! (which also lets the machine act when it holds the turn). The machine
+//! never blocks, sleeps, or touches a transport — drivers own all IO.
+//!
+//! ```text
+//!            +--------------------- Event ----------------------+
+//!  transport |  PeerPrefs / Proposal / Response / Stop / Bye    |
+//!  ========> |                                                  |
+//!            |              NegotiationMachine                  |
+//!  <======== |                                                  |
+//!  transport |  SendPrefs / SendProposal / SendResponse /       |
+//!            +--------- Action: SendStop / SendBye -------------+
+//! ```
+
+use crate::cheating::DisclosurePolicy;
+use crate::engine::SessionInput;
+use crate::mapping::PreferenceMapper;
+use crate::outcome::{Side, Termination};
+use crate::policies::{AcceptRule, NexitConfig, StopPolicy};
+use crate::prefs::{quantize, PrefTable};
+use crate::selection::{self, TableState};
+use nexit_routing::Assignment;
+use nexit_topology::IcxId;
+use std::collections::VecDeque;
+
+/// Peer activity fed into the machine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// The peer's disclosed preference table (initial disclosure or a
+    /// reassignment refresh).
+    PeerPrefs {
+        /// Disclosed classes, one row per session flow.
+        prefs: PrefTable,
+    },
+    /// The peer proposes an alternative for one flow.
+    Proposal {
+        /// The proposer's round counter (must match ours).
+        round: u32,
+        /// Local flow index within the session.
+        local_flow: usize,
+        /// The proposed alternative.
+        alternative: IcxId,
+    },
+    /// The peer answers our proposal.
+    Response {
+        /// The round being answered.
+        round: u32,
+        /// Whether the peer accepted.
+        accepted: bool,
+    },
+    /// The peer terminates under its stop policy.
+    PeerStop {
+        /// The side that stopped (echoed from the wire).
+        side: Side,
+    },
+    /// The peer is out of proposals (orderly completion).
+    PeerBye,
+}
+
+/// What this side wants transmitted to the peer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Disclose our preference table.
+    SendPrefs {
+        /// Disclosed classes, one row per session flow.
+        prefs: PrefTable,
+    },
+    /// Propose an alternative for one flow.
+    SendProposal {
+        /// Our round counter.
+        round: u32,
+        /// Local flow index within the session.
+        local_flow: usize,
+        /// The proposed alternative.
+        alternative: IcxId,
+    },
+    /// Answer the peer's proposal.
+    SendResponse {
+        /// The round being answered.
+        round: u32,
+        /// Whether we accepted.
+        accepted: bool,
+    },
+    /// Terminate under our stop policy.
+    SendStop {
+        /// Our side.
+        side: Side,
+    },
+    /// Orderly close (nothing left to propose, or acknowledging the
+    /// peer's close).
+    SendBye,
+}
+
+/// Protocol violations surfaced by the machine. All are fatal to the
+/// session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// The session input or configuration is structurally invalid.
+    InvalidSession(crate::engine::SessionError),
+    /// The configured disclosure policy needs the peer's list first, but
+    /// this side is the first discloser.
+    UnsupportedDisclosure,
+    /// A preference list had the wrong shape or out-of-range classes.
+    BadPrefList(&'static str),
+    /// A proposal or response referenced an invalid or settled
+    /// flow/alternative, or arrived out of turn.
+    BadProposal(&'static str),
+    /// A valid event arrived in the wrong state.
+    UnexpectedEvent {
+        /// The machine phase the event arrived in.
+        state: &'static str,
+        /// The event kind.
+        event: &'static str,
+    },
+    /// The machine already failed or completed.
+    Closed,
+}
+
+impl std::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineError::InvalidSession(e) => write!(f, "invalid session: {e}"),
+            MachineError::UnsupportedDisclosure => {
+                write!(f, "disclosure policy requires seeing the peer's list first")
+            }
+            MachineError::BadPrefList(what) => write!(f, "bad preference list: {what}"),
+            MachineError::BadProposal(what) => write!(f, "bad proposal: {what}"),
+            MachineError::UnexpectedEvent { state, event } => {
+                write!(f, "unexpected {event} in state {state}")
+            }
+            MachineError::Closed => write!(f, "machine closed"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// Final result of one machine's session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineOutcome {
+    /// The agreed assignment over all pair flows.
+    pub assignment: Assignment,
+    /// This side's true cumulative preference gain.
+    pub my_gain: i64,
+    /// How the session ended.
+    pub termination: Termination,
+    /// Rounds executed.
+    pub rounds: u32,
+    /// Preference reassignments performed.
+    pub reassignments: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Initial disclosure: tables not yet exchanged.
+    Disclose,
+    /// Round loop: act when it is our turn, else await a proposal.
+    Turn,
+    /// We proposed; awaiting the peer's response.
+    AwaitResponse,
+    /// Reassignment triggered; awaiting the peer's fresh list.
+    AwaitReassign,
+    /// We sent Stop or Bye; awaiting the peer's close.
+    Closing,
+    /// Session complete.
+    Done,
+    /// Session failed.
+    Failed,
+}
+
+fn phase_name(p: Phase) -> &'static str {
+    match p {
+        Phase::Disclose => "Disclose",
+        Phase::Turn => "Turn",
+        Phase::AwaitResponse => "AwaitResponse",
+        Phase::AwaitReassign => "AwaitReassign",
+        Phase::Closing => "Closing",
+        Phase::Done => "Done",
+        Phase::Failed => "Failed",
+    }
+}
+
+fn event_name(e: &Event) -> &'static str {
+    match e {
+        Event::PeerPrefs { .. } => "PeerPrefs",
+        Event::Proposal { .. } => "Proposal",
+        Event::Response { .. } => "Response",
+        Event::PeerStop { .. } => "PeerStop",
+        Event::PeerBye => "PeerBye",
+    }
+}
+
+/// One side of a negotiation as a pure state machine.
+///
+/// Generic over the preference mapper so drivers choose their ownership:
+/// the in-process engine lends `&mut dyn PreferenceMapper` from its
+/// [`crate::engine::Party`]s, the wire agent owns a boxed `Send` mapper.
+pub struct NegotiationMachine<M: PreferenceMapper> {
+    side: Side,
+    first_discloser: Side,
+    mapper: M,
+    disclosure: DisclosurePolicy,
+    config: NexitConfig,
+    input: SessionInput,
+    assignment: Assignment,
+    state: TableState,
+    actions: VecDeque<Action>,
+    phase: Phase,
+    /// Whether our list went out in the current (re)disclosure exchange.
+    sent_prefs: bool,
+    my_true: PrefTable,
+    my_disclosed: PrefTable,
+    their_disclosed: PrefTable,
+    my_gain: i64,
+    disclosed_gain_a: i64,
+    disclosed_gain_b: i64,
+    round: u32,
+    num_remaining: usize,
+    volume_since_reassign: f64,
+    reassignments: usize,
+    pending: Option<(usize, IcxId)>,
+    termination: Option<Termination>,
+    /// Accepted moves in round order, for the credit-veto rollback.
+    accepted_log: Vec<(usize, IcxId)>,
+    /// Indices into `accepted_log` reverted by the rollback.
+    reverted: Vec<usize>,
+}
+
+impl<M: PreferenceMapper> NegotiationMachine<M> {
+    /// Create one side of a session.
+    ///
+    /// Both machines of a pair must be constructed from the same `input`,
+    /// `default_assignment`, `config` and `first_discloser` (in
+    /// deployment these come from the §6 flow-signature agreement and the
+    /// peering contract). `first_discloser` names the side that sends its
+    /// preference list without having seen the peer's; a disclosure
+    /// policy that needs the peer's list first (the §5.4 inflate-best
+    /// cheater) is rejected on that side.
+    pub fn new(
+        side: Side,
+        first_discloser: Side,
+        input: SessionInput,
+        default_assignment: Assignment,
+        mapper: M,
+        disclosure: DisclosurePolicy,
+        config: NexitConfig,
+    ) -> Result<Self, MachineError> {
+        if side == first_discloser && disclosure.needs_peer_list() {
+            return Err(MachineError::UnsupportedDisclosure);
+        }
+        input.check().map_err(MachineError::InvalidSession)?;
+        if config.pref_range <= 0 {
+            return Err(MachineError::InvalidSession(
+                crate::engine::SessionError::BadPrefRange(config.pref_range),
+            ));
+        }
+        let n = input.len();
+        let k = input.num_alternatives;
+        let mut machine = Self {
+            side,
+            first_discloser,
+            mapper,
+            disclosure,
+            config,
+            input,
+            assignment: default_assignment,
+            state: TableState::new(n, k),
+            actions: VecDeque::new(),
+            phase: Phase::Disclose,
+            sent_prefs: false,
+            my_true: PrefTable::zero(n, k),
+            my_disclosed: PrefTable::zero(n, k),
+            their_disclosed: PrefTable::zero(n, k),
+            my_gain: 0,
+            disclosed_gain_a: 0,
+            disclosed_gain_b: 0,
+            round: 0,
+            num_remaining: n,
+            volume_since_reassign: 0.0,
+            reassignments: 0,
+            pending: None,
+            termination: None,
+            accepted_log: Vec::new(),
+            reverted: Vec::new(),
+        };
+        if side == first_discloser {
+            machine.disclose_own();
+        }
+        Ok(machine)
+    }
+
+    /// This machine's side.
+    pub fn side(&self) -> Side {
+        self.side
+    }
+
+    /// Feed one peer event.
+    pub fn handle(&mut self, event: Event) -> Result<(), MachineError> {
+        if self.phase == Phase::Failed {
+            return Err(MachineError::Closed);
+        }
+        let result = self.dispatch(event);
+        if result.is_err() {
+            self.phase = Phase::Failed;
+        }
+        result
+    }
+
+    /// Pop the next outgoing action, advancing the machine first so it
+    /// can act whenever it holds the turn.
+    pub fn poll_action(&mut self) -> Option<Action> {
+        self.advance();
+        self.actions.pop_front()
+    }
+
+    /// Whether the session reached a terminal state (done or failed) and
+    /// every pending action has been drained.
+    pub fn is_done(&self) -> bool {
+        matches!(self.phase, Phase::Done | Phase::Failed) && self.actions.is_empty()
+    }
+
+    /// The outcome, once the session completed successfully.
+    pub fn outcome(&self) -> Option<MachineOutcome> {
+        if self.phase != Phase::Done {
+            return None;
+        }
+        Some(MachineOutcome {
+            assignment: self.assignment.clone(),
+            my_gain: self.my_gain,
+            termination: self.termination.unwrap_or(Termination::Exhausted),
+            rounds: self.round,
+            reassignments: self.reassignments,
+        })
+    }
+
+    /// How the session ended, once terminal.
+    pub fn termination(&self) -> Option<Termination> {
+        self.termination
+    }
+
+    /// The evolving (or final) assignment.
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// This side's true cumulative preference gain so far.
+    pub fn my_gain(&self) -> i64 {
+        self.my_gain
+    }
+
+    /// Cumulative disclosed gains in `(A, B)` orientation (identical on
+    /// both machines of a pair).
+    pub fn disclosed_gains(&self) -> (i64, i64) {
+        (self.disclosed_gain_a, self.disclosed_gain_b)
+    }
+
+    /// Preference reassignments performed.
+    pub fn reassignments(&self) -> usize {
+        self.reassignments
+    }
+
+    /// Accepted moves `(local_flow, alternative)` in round order.
+    pub fn accepted_log(&self) -> &[(usize, IcxId)] {
+        &self.accepted_log
+    }
+
+    /// Indices into [`NegotiationMachine::accepted_log`] reverted by the
+    /// end-of-session rollback (credit-veto mode only), in revert order.
+    pub fn reverted_indices(&self) -> &[usize] {
+        &self.reverted
+    }
+
+    /// Current disclosed preference tables in `(A, B)` orientation —
+    /// exactly the view a transcript of the wire would show.
+    pub fn disclosed_tables(&self) -> (&PrefTable, &PrefTable) {
+        match self.side {
+            Side::A => (&self.my_disclosed, &self.their_disclosed),
+            Side::B => (&self.their_disclosed, &self.my_disclosed),
+        }
+    }
+
+    /// Map our preferences, disclose, and queue the transmission.
+    fn disclose_own(&mut self) {
+        let gains = self.mapper.gains(&self.input, &self.assignment);
+        self.my_true = quantize(&gains, self.config.pref_range);
+        self.my_disclosed = self.disclosure.disclose(
+            &self.my_true,
+            &self.their_disclosed,
+            self.config.pref_range,
+            &self.input.defaults,
+        );
+        self.sent_prefs = true;
+        self.actions.push_back(Action::SendPrefs {
+            prefs: self.my_disclosed.clone(),
+        });
+    }
+
+    fn store_their_prefs(&mut self, prefs: PrefTable) -> Result<(), MachineError> {
+        if prefs.num_flows() != self.input.len() {
+            return Err(MachineError::BadPrefList("row count mismatch"));
+        }
+        if prefs.num_flows() > 0 && prefs.num_alternatives() != self.input.num_alternatives {
+            return Err(MachineError::BadPrefList("alternative count mismatch"));
+        }
+        if !prefs.within_range(self.config.pref_range) {
+            return Err(MachineError::BadPrefList("class out of range"));
+        }
+        self.their_disclosed = prefs;
+        Ok(())
+    }
+
+    /// Disclosed tables in `(own, other)` orientation for selection.
+    fn selection_tables(&self) -> (&PrefTable, &PrefTable) {
+        (&self.my_disclosed, &self.their_disclosed)
+    }
+
+    fn whose_turn(&self) -> Side {
+        selection::decide_turn(
+            self.config.turn,
+            self.round as usize,
+            self.disclosed_gain_a,
+            self.disclosed_gain_b,
+        )
+    }
+
+    fn my_projection(&self) -> i64 {
+        let (d_own, d_other) = self.selection_tables();
+        selection::projected_gain(
+            &self.my_true,
+            d_own,
+            d_other,
+            &self.state,
+            self.input.num_alternatives,
+            &self.input.defaults,
+        )
+    }
+
+    /// Act when the round loop hands us the turn.
+    fn advance(&mut self) {
+        if self.phase != Phase::Turn {
+            return;
+        }
+        if self.num_remaining == 0 {
+            self.termination = Some(Termination::Exhausted);
+            self.actions.push_back(Action::SendBye);
+            self.phase = Phase::Closing;
+            return;
+        }
+        if self.whose_turn() != self.side {
+            return; // peer proposes; we wait
+        }
+        // Our turn: early-termination self check.
+        if self.config.stop == StopPolicy::Early && self.my_projection() < 0 {
+            self.stop_self();
+            return;
+        }
+        let self_guard_floor = match self.config.accept {
+            AcceptRule::Always => None,
+            AcceptRule::VetoNegativeCumulative => Some(self.my_gain),
+            AcceptRule::CreditVeto { credit } => Some(self.my_gain + credit),
+        };
+        let (d_own, d_other) = (&self.my_disclosed, &self.their_disclosed);
+        let proposal = selection::select_proposal(
+            d_own,
+            d_other,
+            &self.state,
+            self.input.num_alternatives,
+            self.config.proposal,
+            self_guard_floor.map(|floor| (&self.my_true, floor)),
+            &self.input.defaults,
+        );
+        let Some((local, alt)) = proposal else {
+            self.termination = Some(Termination::Exhausted);
+            self.actions.push_back(Action::SendBye);
+            self.phase = Phase::Closing;
+            return;
+        };
+        // Full-termination self check against the concrete proposal.
+        if self.full_stop_violated(local, alt) {
+            self.stop_self();
+            return;
+        }
+        self.pending = Some((local, alt));
+        self.actions.push_back(Action::SendProposal {
+            round: self.round,
+            local_flow: local,
+            alternative: alt,
+        });
+        self.phase = Phase::AwaitResponse;
+    }
+
+    fn stop_self(&mut self) {
+        self.termination = Some(Termination::Stopped(self.side));
+        self.actions.push_back(Action::SendStop { side: self.side });
+        self.phase = Phase::Closing;
+    }
+
+    /// Whether accepting `(local, alt)` would break the full-termination
+    /// floor ("ISPs may continue as long as their cumulative gain is
+    /// positive", paper §4).
+    fn full_stop_violated(&self, local: usize, alt: IcxId) -> bool {
+        self.config.stop == StopPolicy::Full
+            && self.my_gain + i64::from(self.my_true.get(local, alt)) < 0
+    }
+
+    fn dispatch(&mut self, event: Event) -> Result<(), MachineError> {
+        match (self.phase, event) {
+            (Phase::Disclose | Phase::AwaitReassign, Event::PeerPrefs { prefs }) => {
+                self.store_their_prefs(prefs)?;
+                if !self.sent_prefs {
+                    // We disclose second, seeing the peer's list first (a
+                    // cheating second discloser exploits exactly this).
+                    self.disclose_own();
+                }
+                self.sent_prefs = false;
+                self.phase = Phase::Turn;
+                Ok(())
+            }
+            (
+                Phase::Turn,
+                Event::Proposal {
+                    round,
+                    local_flow,
+                    alternative,
+                },
+            ) => {
+                if self.whose_turn() == self.side {
+                    return Err(MachineError::BadProposal("proposal out of turn"));
+                }
+                if round != self.round {
+                    return Err(MachineError::BadProposal("round mismatch"));
+                }
+                if local_flow >= self.input.len() || !self.state.remaining[local_flow] {
+                    return Err(MachineError::BadProposal("flow not on the table"));
+                }
+                if alternative.index() >= self.input.num_alternatives
+                    || self.state.banned[local_flow][alternative.index()]
+                {
+                    return Err(MachineError::BadProposal("alternative unavailable"));
+                }
+                // Our own stop checks, exercised as the acceptor.
+                if self.config.stop == StopPolicy::Early && self.my_projection() < 0 {
+                    self.stop_self();
+                    return Ok(());
+                }
+                if self.full_stop_violated(local_flow, alternative) {
+                    self.stop_self();
+                    return Ok(());
+                }
+                let accepted = match self.config.accept {
+                    AcceptRule::Always => true,
+                    AcceptRule::VetoNegativeCumulative => {
+                        self.my_gain + i64::from(self.my_true.get(local_flow, alternative)) >= 0
+                    }
+                    AcceptRule::CreditVeto { credit } => {
+                        self.my_gain + i64::from(self.my_true.get(local_flow, alternative))
+                            >= -credit
+                    }
+                };
+                self.actions.push_back(Action::SendResponse {
+                    round: self.round,
+                    accepted,
+                });
+                self.apply_round_result(local_flow, alternative, accepted);
+                Ok(())
+            }
+            (Phase::AwaitResponse, Event::Response { round, accepted }) => {
+                if round != self.round {
+                    return Err(MachineError::BadProposal("response round mismatch"));
+                }
+                let (local, alt) = self
+                    .pending
+                    .take()
+                    .expect("AwaitResponse without pending proposal");
+                self.apply_round_result(local, alt, accepted);
+                Ok(())
+            }
+            (Phase::AwaitResponse | Phase::Turn, Event::PeerStop { side }) => {
+                self.termination = Some(Termination::Stopped(side));
+                self.pending = None;
+                self.actions.push_back(Action::SendBye);
+                self.finish();
+                Ok(())
+            }
+            (Phase::AwaitResponse | Phase::Turn, Event::PeerBye) => {
+                self.termination = Some(Termination::Exhausted);
+                self.pending = None;
+                self.actions.push_back(Action::SendBye);
+                self.finish();
+                Ok(())
+            }
+            (Phase::Closing, Event::PeerBye) => {
+                self.finish();
+                Ok(())
+            }
+            (Phase::Closing, Event::PeerStop { .. }) => {
+                // Simultaneous stop from the peer while ours is in
+                // flight: keep the earlier (our) termination, still
+                // answer with Bye.
+                self.actions.push_back(Action::SendBye);
+                self.finish();
+                Ok(())
+            }
+            (phase, event) => Err(MachineError::UnexpectedEvent {
+                state: phase_name(phase),
+                event: event_name(&event),
+            }),
+        }
+    }
+
+    /// Apply one completed round (both sides run this identically).
+    fn apply_round_result(&mut self, local: usize, alt: IcxId, accepted: bool) {
+        self.round += 1;
+        if !accepted {
+            // Vetoed: withdraw this alternative; the flow stays on the
+            // table with its other alternatives.
+            self.state.banned[local][alt.index()] = true;
+            self.phase = Phase::Turn;
+            return;
+        }
+        self.state.remaining[local] = false;
+        self.num_remaining -= 1;
+        self.accepted_log.push((local, alt));
+        self.assignment.set(self.input.flow_ids[local], alt);
+        self.my_gain += i64::from(self.my_true.get(local, alt));
+        let (d_a, d_b) = self.disclosed_tables();
+        let (gain_a, gain_b) = (
+            i64::from(d_a.get(local, alt)),
+            i64::from(d_b.get(local, alt)),
+        );
+        self.disclosed_gain_a += gain_a;
+        self.disclosed_gain_b += gain_b;
+        self.volume_since_reassign += self.input.volumes[local];
+
+        // Reassignment trigger: computed identically on both sides.
+        if let Some(frac) = self.config.reassign_interval_frac {
+            let threshold = frac * self.input.total_volume();
+            if self.volume_since_reassign >= threshold && self.num_remaining > 0 {
+                self.reassignments += 1;
+                self.volume_since_reassign = 0.0;
+                self.phase = Phase::AwaitReassign;
+                self.sent_prefs = false;
+                if self.side == self.first_discloser {
+                    self.disclose_own();
+                }
+                return;
+            }
+        }
+        self.phase = Phase::Turn;
+    }
+
+    /// Close the session: apply the credit-veto rollback (computed
+    /// identically by both sides from disclosed state) and mark Done.
+    ///
+    /// The rollback plan reverts each side's disclosedly-worst accepted
+    /// compromises until both cumulative disclosed gains are
+    /// non-negative; for honest parties disclosed equals true, so the
+    /// win-win guarantee carries to true preference units (and, with the
+    /// floor quantization, to the real metric).
+    fn finish(&mut self) {
+        if matches!(self.config.accept, AcceptRule::CreditVeto { .. }) {
+            let (d_a, d_b) = match self.side {
+                Side::A => (&self.my_disclosed, &self.their_disclosed),
+                Side::B => (&self.their_disclosed, &self.my_disclosed),
+            };
+            let plan = selection::rollback_plan(
+                d_a,
+                d_b,
+                &self.accepted_log,
+                self.disclosed_gain_a,
+                self.disclosed_gain_b,
+            );
+            for &idx in &plan {
+                let (local, alt) = self.accepted_log[idx];
+                self.assignment
+                    .set(self.input.flow_ids[local], self.input.defaults[local]);
+                self.my_gain -= i64::from(self.my_true.get(local, alt));
+                let (d_a, d_b) = self.disclosed_tables();
+                let (rev_a, rev_b) = (
+                    i64::from(d_a.get(local, alt)),
+                    i64::from(d_b.get(local, alt)),
+                );
+                self.disclosed_gain_a -= rev_a;
+                self.disclosed_gain_b -= rev_b;
+            }
+            self.reverted = plan;
+        }
+        self.phase = Phase::Done;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SessionInput;
+    use nexit_routing::FlowId;
+
+    /// A mapper returning a fixed gain table.
+    struct FixedMapper {
+        gains: Vec<Vec<f64>>,
+    }
+
+    impl PreferenceMapper for FixedMapper {
+        fn gains(&mut self, _input: &SessionInput, _current: &Assignment) -> Vec<Vec<f64>> {
+            self.gains.clone()
+        }
+    }
+
+    fn input(n: usize, k: usize) -> SessionInput {
+        SessionInput {
+            flow_ids: (0..n).map(FlowId::new).collect(),
+            defaults: vec![IcxId(0); n],
+            volumes: vec![1.0; n],
+            num_alternatives: k,
+        }
+    }
+
+    fn pair(
+        gains_a: Vec<Vec<f64>>,
+        gains_b: Vec<Vec<f64>>,
+        config: NexitConfig,
+    ) -> (
+        NegotiationMachine<FixedMapper>,
+        NegotiationMachine<FixedMapper>,
+    ) {
+        let n = gains_a.len();
+        let k = gains_a.first().map_or(1, Vec::len);
+        let inp = input(n, k);
+        let default = Assignment::uniform(n, IcxId(0));
+        let a = NegotiationMachine::new(
+            Side::A,
+            Side::A,
+            inp.clone(),
+            default.clone(),
+            FixedMapper { gains: gains_a },
+            DisclosurePolicy::Truthful,
+            config,
+        )
+        .unwrap();
+        let b = NegotiationMachine::new(
+            Side::B,
+            Side::A,
+            inp,
+            default,
+            FixedMapper { gains: gains_b },
+            DisclosurePolicy::Truthful,
+            config,
+        )
+        .unwrap();
+        (a, b)
+    }
+
+    /// Shuttle events until both machines are done.
+    fn pump(
+        a: &mut NegotiationMachine<FixedMapper>,
+        b: &mut NegotiationMachine<FixedMapper>,
+    ) -> (MachineOutcome, MachineOutcome) {
+        fn to_event(action: Action) -> Event {
+            match action {
+                Action::SendPrefs { prefs } => Event::PeerPrefs { prefs },
+                Action::SendProposal {
+                    round,
+                    local_flow,
+                    alternative,
+                } => Event::Proposal {
+                    round,
+                    local_flow,
+                    alternative,
+                },
+                Action::SendResponse { round, accepted } => Event::Response { round, accepted },
+                Action::SendStop { side } => Event::PeerStop { side },
+                Action::SendBye => Event::PeerBye,
+            }
+        }
+        for _ in 0..10_000 {
+            let mut progressed = false;
+            while let Some(action) = a.poll_action() {
+                b.handle(to_event(action)).unwrap();
+                progressed = true;
+            }
+            while let Some(action) = b.poll_action() {
+                a.handle(to_event(action)).unwrap();
+                progressed = true;
+            }
+            if a.is_done() && b.is_done() {
+                return (a.outcome().unwrap(), b.outcome().unwrap());
+            }
+            assert!(progressed, "machine pair deadlocked");
+        }
+        panic!("machine pair did not terminate");
+    }
+
+    #[test]
+    fn mutually_good_move_is_taken() {
+        let (mut a, mut b) = pair(
+            vec![vec![0.0, 5.0]],
+            vec![vec![0.0, 3.0]],
+            NexitConfig::default(),
+        );
+        let (out_a, out_b) = pump(&mut a, &mut b);
+        assert_eq!(out_a.assignment.choice(FlowId(0)), IcxId(1));
+        assert_eq!(out_a.assignment, out_b.assignment);
+        assert!(out_a.my_gain > 0 && out_b.my_gain > 0);
+        assert_eq!(out_a.termination, Termination::Exhausted);
+    }
+
+    #[test]
+    fn machines_agree_on_rounds_and_gain_orientation() {
+        let (mut a, mut b) = pair(
+            vec![vec![0.0, 10.0], vec![0.0, -2.0], vec![0.0, 6.0]],
+            vec![vec![0.0, -2.0], vec![0.0, 10.0], vec![0.0, 6.0]],
+            NexitConfig::default(),
+        );
+        let (out_a, out_b) = pump(&mut a, &mut b);
+        assert_eq!(out_a.rounds, out_b.rounds);
+        assert_eq!(out_a.assignment, out_b.assignment);
+        assert_eq!(a.disclosed_gains(), b.disclosed_gains());
+        assert_eq!(a.disclosed_gains(), (out_a.my_gain, out_b.my_gain));
+    }
+
+    #[test]
+    fn early_stop_by_acceptor_reaches_both_sides() {
+        // A proposes (positive projection), B's projection is negative
+        // (the combined-best picks are a net loss for B): B stops as the
+        // acceptor; both machines see Stopped(B).
+        let (mut a, mut b) = pair(
+            vec![vec![0.0, 10.0], vec![0.0, 1.0]],
+            vec![vec![0.0, -4.0], vec![0.0, -8.0]],
+            NexitConfig::default(),
+        );
+        let (out_a, out_b) = pump(&mut a, &mut b);
+        assert_eq!(out_a.termination, Termination::Stopped(Side::B));
+        assert_eq!(out_b.termination, Termination::Stopped(Side::B));
+        assert_eq!(out_a.assignment.choice(FlowId(0)), IcxId(0));
+        assert_eq!(out_a.my_gain, 0);
+        assert_eq!(out_b.my_gain, 0);
+    }
+
+    #[test]
+    fn first_discloser_cannot_need_peer_list() {
+        let err = NegotiationMachine::new(
+            Side::A,
+            Side::A,
+            input(1, 2),
+            Assignment::uniform(1, IcxId(0)),
+            FixedMapper {
+                gains: vec![vec![0.0, 0.0]],
+            },
+            DisclosurePolicy::InflateBest,
+            NexitConfig::default(),
+        )
+        .err();
+        assert_eq!(err, Some(MachineError::UnsupportedDisclosure));
+        // The second discloser may cheat.
+        assert!(NegotiationMachine::new(
+            Side::B,
+            Side::A,
+            input(1, 2),
+            Assignment::uniform(1, IcxId(0)),
+            FixedMapper {
+                gains: vec![vec![0.0, 0.0]],
+            },
+            DisclosurePolicy::InflateBest,
+            NexitConfig::default(),
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_peer_prefs() {
+        let mk = || {
+            NegotiationMachine::new(
+                Side::B,
+                Side::A,
+                input(2, 2),
+                Assignment::uniform(2, IcxId(0)),
+                FixedMapper {
+                    gains: vec![vec![0.0, 0.0]; 2],
+                },
+                DisclosurePolicy::Truthful,
+                NexitConfig::default(),
+            )
+            .unwrap()
+        };
+        let mut b = mk();
+        assert_eq!(
+            b.handle(Event::PeerPrefs {
+                prefs: PrefTable::new(vec![vec![0, 0]]),
+            }),
+            Err(MachineError::BadPrefList("row count mismatch"))
+        );
+        let mut b = mk();
+        assert_eq!(
+            b.handle(Event::PeerPrefs {
+                prefs: PrefTable::new(vec![vec![0, 99], vec![0, 0]]),
+            }),
+            Err(MachineError::BadPrefList("class out of range"))
+        );
+        // A poisoned machine stays closed.
+        assert_eq!(b.handle(Event::PeerBye), Err(MachineError::Closed));
+    }
+
+    #[test]
+    fn rejects_out_of_turn_and_stale_proposals() {
+        let (mut a, mut b) = pair(
+            vec![vec![0.0, 1.0], vec![0.0, 1.0]],
+            vec![vec![0.0, 1.0], vec![0.0, 1.0]],
+            NexitConfig::default(),
+        );
+        // Exchange the preference lists only.
+        let prefs_a = a.poll_action().unwrap();
+        if let Action::SendPrefs { prefs } = prefs_a {
+            b.handle(Event::PeerPrefs { prefs }).unwrap();
+        } else {
+            panic!("first action must disclose");
+        }
+        let prefs_b = b.poll_action().unwrap();
+        if let Action::SendPrefs { prefs } = prefs_b {
+            a.handle(Event::PeerPrefs { prefs }).unwrap();
+        } else {
+            panic!("B must answer with its list");
+        }
+        // Round 0 is A's turn; a proposal *to* A is out of turn.
+        assert_eq!(
+            a.handle(Event::Proposal {
+                round: 0,
+                local_flow: 0,
+                alternative: IcxId(1),
+            }),
+            Err(MachineError::BadProposal("proposal out of turn"))
+        );
+        // B expects A's proposal for round 0, not round 7.
+        assert_eq!(
+            b.handle(Event::Proposal {
+                round: 7,
+                local_flow: 0,
+                alternative: IcxId(1),
+            }),
+            Err(MachineError::BadProposal("round mismatch"))
+        );
+    }
+
+    #[test]
+    fn credit_veto_rollback_is_mirrored() {
+        // A trade that ends negative for one side without rollback.
+        let config = NexitConfig {
+            accept: AcceptRule::CreditVeto { credit: 100 },
+            stop: StopPolicy::NegotiateAll,
+            ..NexitConfig::default()
+        };
+        let (mut a, mut b) = pair(
+            vec![vec![0.0, -5.0], vec![0.0, 2.0]],
+            vec![vec![0.0, 9.0], vec![0.0, 1.0]],
+            config,
+        );
+        let (out_a, out_b) = pump(&mut a, &mut b);
+        assert_eq!(out_a.assignment, out_b.assignment);
+        assert_eq!(a.reverted_indices(), b.reverted_indices());
+        assert!(out_a.my_gain >= 0, "rollback failed: {}", out_a.my_gain);
+        assert!(out_b.my_gain >= 0);
+    }
+}

@@ -38,6 +38,18 @@ pub trait PreferenceMapper {
     fn gains(&mut self, input: &SessionInput, current: &Assignment) -> Vec<Vec<f64>>;
 }
 
+impl<T: PreferenceMapper + ?Sized> PreferenceMapper for &mut T {
+    fn gains(&mut self, input: &SessionInput, current: &Assignment) -> Vec<Vec<f64>> {
+        (**self).gains(input, current)
+    }
+}
+
+impl<T: PreferenceMapper + ?Sized> PreferenceMapper for Box<T> {
+    fn gains(&mut self, input: &SessionInput, current: &Assignment) -> Vec<Vec<f64>> {
+        (**self).gains(input, current)
+    }
+}
+
 /// Distance objective: kilometres the flow travels inside this ISP.
 #[derive(Debug, Clone, Copy)]
 pub struct DistanceMapper<'a> {
@@ -139,10 +151,9 @@ impl PreferenceMapper for BandwidthMapper<'_> {
                         .iter()
                         .map(|&l| {
                             let mut load = loads[l.index()];
-                            if alt != cur
-                                && !cur_links.contains(&l) {
-                                    load += volume;
-                                }
+                            if alt != cur && !cur_links.contains(&l) {
+                                load += volume;
+                            }
                             // When alt == cur the flow already contributes.
                             load / self.capacities[l.index()]
                         })
@@ -220,8 +231,8 @@ impl PreferenceMapper for FortzMapper<'_> {
                         if !cur_links.contains(&l) {
                             let cap = self.capacities[l.index()];
                             let load = loads[l.index()];
-                            delta += fortz_link_cost(load + volume, cap)
-                                - fortz_link_cost(load, cap);
+                            delta +=
+                                fortz_link_cost(load + volume, cap) - fortz_link_cost(load, cap);
                         }
                     }
                     for &l in cur_links {

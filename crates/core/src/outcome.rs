@@ -2,17 +2,18 @@
 
 use nexit_routing::{Assignment, FlowId};
 use nexit_topology::IcxId;
-use serde::{Deserialize, Serialize};
 
 /// Which side of the pair an ISP is on. `A` is the upstream in directed
 /// experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Side {
     /// The A (upstream) ISP.
     A,
     /// The B (downstream) ISP.
     B,
 }
+
+serde::impl_json_enum!(Side { A, B });
 
 impl Side {
     /// The opposite side.

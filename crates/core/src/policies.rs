@@ -4,10 +4,8 @@
 //! is agreed upon contractually in advance by the ISPs" and lists concrete
 //! options for each step; every listed option is implemented here.
 
-use serde::{Deserialize, Serialize};
-
 /// Who proposes in the next round (paper: "Decide turn").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TurnPolicy {
     /// The ISPs alternate (the paper's experimental setting).
     Alternate,
@@ -21,9 +19,11 @@ pub enum TurnPolicy {
     },
 }
 
+serde::impl_json_enum!(TurnPolicy { Alternate, LowerGain, CoinToss { seed } });
+
 /// How the proposer selects the next (flow, alternative) (paper:
 /// "Propose an alternative").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProposalRule {
     /// Maximize the sum of both ISPs' disclosed preferences, breaking ties
     /// with the proposer's local preference (the paper's experimental
@@ -35,8 +35,13 @@ pub enum ProposalRule {
     BestLocalMinHarm,
 }
 
+serde::impl_json_enum!(ProposalRule {
+    MaxCombined,
+    BestLocalMinHarm
+});
+
 /// Whether the non-proposing ISP accepts (paper: "Accept alternative?").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AcceptRule {
     /// Always accept (the paper's experimental setting — full
     /// cooperation).
@@ -60,8 +65,10 @@ pub enum AcceptRule {
     },
 }
 
+serde::impl_json_enum!(AcceptRule { Always, VetoNegativeCumulative, CreditVeto { credit } });
+
 /// When negotiation ends (paper: "Stop?").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopPolicy {
     /// Stop as soon as either ISP projects no additional self-gain from
     /// continuing ("early termination", the paper's experimental
@@ -75,8 +82,14 @@ pub enum StopPolicy {
     NegotiateAll,
 }
 
+serde::impl_json_enum!(StopPolicy {
+    Early,
+    Full,
+    NegotiateAll
+});
+
 /// Complete engine configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NexitConfig {
     /// Preference class range `P` (classes live in `[-P, P]`). The paper
     /// uses 10 and reports no benefit beyond that.
@@ -94,6 +107,15 @@ pub struct NexitConfig {
     /// for distance).
     pub reassign_interval_frac: Option<f64>,
 }
+
+serde::impl_json_struct!(NexitConfig {
+    pref_range,
+    turn,
+    proposal,
+    accept,
+    stop,
+    reassign_interval_frac,
+});
 
 impl Default for NexitConfig {
     /// The paper's experimental configuration for distance experiments:

@@ -7,9 +7,9 @@
 //! (`nexit-proto`) for deployment fidelity — so the decision rules live
 //! here, parameterized only on data.
 
+use crate::outcome::Side;
 use crate::policies::{ProposalRule, TurnPolicy};
 use crate::prefs::PrefTable;
-use crate::outcome::Side;
 use nexit_topology::IcxId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -137,8 +137,14 @@ pub fn projected_gain(
         if !state.remaining[local] {
             continue;
         }
-        let (alt, combined) =
-            combined_best(d_own, d_other, state, local, num_alternatives, defaults[local]);
+        let (alt, combined) = combined_best(
+            d_own,
+            d_other,
+            state,
+            local,
+            num_alternatives,
+            defaults[local],
+        );
         picks.push((combined, i64::from(own_true.get(local, alt))));
     }
     picks.sort_by_key(|&(combined, _)| std::cmp::Reverse(combined));
@@ -259,7 +265,10 @@ mod tests {
         let a = table(vec![vec![0, 5, 3]]);
         let b = table(vec![vec![0, 5, 4]]);
         let mut state = TableState::new(1, 3);
-        assert_eq!(combined_best(&a, &b, &state, 0, 3, IcxId(0)), (IcxId(1), 10));
+        assert_eq!(
+            combined_best(&a, &b, &state, 0, 3, IcxId(0)),
+            (IcxId(1), 10)
+        );
         state.banned[0][1] = true;
         assert_eq!(combined_best(&a, &b, &state, 0, 3, IcxId(0)), (IcxId(2), 7));
     }
@@ -279,7 +288,15 @@ mod tests {
         let state = TableState::new(1, 2);
         let defaults = [IcxId(0)];
         // Without guard: combined max picks alt 1 (sum 5).
-        let p = select_proposal(&own, &other, &state, 2, ProposalRule::MaxCombined, None, &defaults);
+        let p = select_proposal(
+            &own,
+            &other,
+            &state,
+            2,
+            ProposalRule::MaxCombined,
+            None,
+            &defaults,
+        );
         assert_eq!(p, Some((0, IcxId(1))));
         // With guard at cum 0, alt 1 would go to -5: only the default left.
         let p = select_proposal(

@@ -52,12 +52,7 @@ impl LpProblem {
 
     /// Add a constraint row. Panics on out-of-range variable indices,
     /// duplicate indices, or non-finite values.
-    pub fn add_constraint(
-        &mut self,
-        coeffs: Vec<(usize, f64)>,
-        op: ConstraintOp,
-        rhs: f64,
-    ) {
+    pub fn add_constraint(&mut self, coeffs: Vec<(usize, f64)>, op: ConstraintOp, rhs: f64) {
         assert!(rhs.is_finite(), "rhs must be finite");
         let mut seen = vec![false; self.objective.len()];
         for &(var, coeff) in &coeffs {

@@ -121,10 +121,7 @@ impl Tableau {
                 RowPlan { flip, op }
             })
             .collect();
-        let num_artificial = plans
-            .iter()
-            .filter(|p| p.op != ConstraintOp::Le)
-            .count();
+        let num_artificial = plans.iter().filter(|p| p.op != ConstraintOp::Le).count();
 
         let n = nv + num_slack + num_artificial;
         let mut a = vec![0.0; m * n];
@@ -347,8 +344,8 @@ impl Tableau {
             // basis when a real pivot exists in its row.
             for row in 0..self.m {
                 if self.basis[row] >= self.artificial_start {
-                    let col = (0..self.artificial_start)
-                        .find(|&j| self.a[row * self.n + j].abs() > tol);
+                    let col =
+                        (0..self.artificial_start).find(|&j| self.a[row * self.n + j].abs() > tol);
                     if let Some(col) = col {
                         self.pivot(row, col);
                     }

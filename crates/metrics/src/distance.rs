@@ -52,15 +52,14 @@ impl DistanceGains {
 
 /// Per-flow percentage gains of `candidate` over `default` (Fig. 6's
 /// flow-level view). Unweighted by volume: each flow is one sample.
-pub fn flow_gains(
-    flows: &PairFlows,
-    default: &Assignment,
-    candidate: &Assignment,
-) -> Vec<f64> {
+pub fn flow_gains(flows: &PairFlows, default: &Assignment, candidate: &Assignment) -> Vec<f64> {
     flows
         .iter()
         .map(|(id, _, m)| {
-            percent_gain(m.total_km(default.choice(id)), m.total_km(candidate.choice(id)))
+            percent_gain(
+                m.total_km(default.choice(id)),
+                m.total_km(candidate.choice(id)),
+            )
         })
         .collect()
 }
@@ -70,8 +69,7 @@ mod tests {
     use super::*;
     use nexit_routing::{FlowId, PairFlows, ShortestPaths};
     use nexit_topology::{
-        GeoPoint, IcxId, Interconnection, IspId, IspPair, IspTopology, Link, PairView, Pop,
-        PopId,
+        GeoPoint, IcxId, Interconnection, IspId, IspPair, IspTopology, Link, PairView, Pop, PopId,
     };
 
     #[test]

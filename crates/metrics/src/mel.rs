@@ -27,11 +27,7 @@ pub fn mel(loads: &[f64], capacities: &[f64]) -> f64 {
 }
 
 /// The MELs of both sides of a pair: `(upstream, downstream)`.
-pub fn side_mels(
-    loads: &LinkLoads,
-    up_capacities: &[f64],
-    down_capacities: &[f64],
-) -> (f64, f64) {
+pub fn side_mels(loads: &LinkLoads, up_capacities: &[f64], down_capacities: &[f64]) -> (f64, f64) {
     (
         mel(&loads.up, up_capacities),
         mel(&loads.down, down_capacities),

@@ -14,7 +14,7 @@
 //!   | -- Hello ---------------------> |   config agreement
 //!   | <-------------------- Hello --- |
 //!   | -- FlowAnnounce --------------> |   flow set validation
-//!   | -- PrefList ------------------> |   A disclosses first
+//!   | -- PrefList ------------------> |   A discloses first
 //!   | <----------------- PrefList --- |   (a cheating B sees A's list)
 //!   |                                 |
 //!   |  rounds: Propose / Response     |   turn order computed identically
@@ -24,21 +24,26 @@
 //!   | <----------------------- Bye --
 //! ```
 //!
-//! Decision logic is [`nexit_core::selection`] — the same functions the
-//! in-process engine uses — so a distributed session reproduces the
-//! engine's assignment exactly.
+//! Since the `NegotiationMachine` refactor the agent contains **no
+//! decision logic at all**: it is a codec shim that owns the session
+//! handshake (Hello / FlowAnnounce validation) and translates decoded
+//! [`Message`]s into [`nexit_core::machine::Event`]s and drained
+//! [`nexit_core::machine::Action`]s into framed messages. The round loop
+//! itself is the same [`NegotiationMachine`] the in-process engine
+//! drives, so a distributed session reproduces
+//! [`nexit_core::negotiate`]'s outcome *by construction* (still pinned
+//! end to end, bytes included, by the integration suite).
 
 use crate::frame::{FrameCodec, FrameError};
 use crate::messages::{FlowEntry, Message, MessageError};
-use nexit_core::selection::{self, TableState};
-use nexit_core::{
-    AcceptRule, DisclosurePolicy, NexitConfig, PrefTable, PreferenceMapper, SessionInput, Side,
-    StopPolicy, Termination,
-};
-use nexit_core::prefs::quantize;
+use nexit_core::machine::{Action, Event, MachineError, NegotiationMachine};
+use nexit_core::prefs::PrefTable;
+use nexit_core::{DisclosurePolicy, NexitConfig, PreferenceMapper, SessionInput, Side};
 use nexit_routing::Assignment;
-use nexit_topology::IcxId;
 use std::collections::VecDeque;
+
+/// Final result of one agent's session (the machine's outcome).
+pub use nexit_core::machine::MachineOutcome as AgentOutcome;
 
 /// Agent-level protocol failures. All are fatal to the session.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,7 +53,12 @@ pub enum ProtoError {
     /// Message decoding failure.
     Message(MessageError),
     /// A valid message arrived in the wrong state.
-    UnexpectedMessage { state: &'static str, got: &'static str },
+    UnexpectedMessage {
+        /// The handshake or machine state the message arrived in.
+        state: &'static str,
+        /// The offending message kind.
+        got: &'static str,
+    },
     /// Hello parameters disagree with ours.
     ConfigMismatch(&'static str),
     /// The announced flow set does not match our session input.
@@ -57,6 +67,8 @@ pub enum ProtoError {
     BadProposal(&'static str),
     /// A preference list had the wrong shape or out-of-range classes.
     BadPrefList(&'static str),
+    /// The session input or configuration is structurally invalid.
+    InvalidSession(nexit_core::SessionError),
     /// `InflateBest` cheating needs the peer's list first, which only the
     /// second discloser (side B) has in this protocol.
     UnsupportedDisclosure,
@@ -76,8 +88,12 @@ impl std::fmt::Display for ProtoError {
             ProtoError::FlowMismatch(what) => write!(f, "flow set mismatch: {what}"),
             ProtoError::BadProposal(what) => write!(f, "bad proposal: {what}"),
             ProtoError::BadPrefList(what) => write!(f, "bad preference list: {what}"),
+            ProtoError::InvalidSession(e) => write!(f, "invalid session: {e}"),
             ProtoError::UnsupportedDisclosure => {
-                write!(f, "InflateBest disclosure requires disclosing second (side B)")
+                write!(
+                    f,
+                    "InflateBest disclosure requires disclosing second (side B)"
+                )
             }
             ProtoError::Closed => write!(f, "session closed"),
         }
@@ -98,70 +114,46 @@ impl From<MessageError> for ProtoError {
     }
 }
 
-/// Final result of one agent's session.
-#[derive(Debug, Clone, PartialEq)]
-pub struct AgentOutcome {
-    /// The agreed assignment over all pair flows.
-    pub assignment: Assignment,
-    /// This agent's true cumulative preference gain.
-    pub my_gain: i64,
-    /// How the session ended.
-    pub termination: Termination,
-    /// Rounds executed.
-    pub rounds: u32,
-    /// Preference reassignments performed.
-    pub reassignments: usize,
+impl From<MachineError> for ProtoError {
+    fn from(e: MachineError) -> Self {
+        match e {
+            MachineError::InvalidSession(err) => ProtoError::InvalidSession(err),
+            MachineError::UnsupportedDisclosure => ProtoError::UnsupportedDisclosure,
+            MachineError::BadPrefList(what) => ProtoError::BadPrefList(what),
+            MachineError::BadProposal(what) => ProtoError::BadProposal(what),
+            MachineError::UnexpectedEvent { state, event } => {
+                ProtoError::UnexpectedMessage { state, got: event }
+            }
+            MachineError::Closed => ProtoError::Closed,
+        }
+    }
 }
 
+/// The session-management handshake preceding the machine-driven round
+/// loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum Phase {
-    /// A only: must send Hello (queued at construction).
+enum Handshake {
+    /// Waiting for the peer's Hello (A sent its own at construction).
     AwaitHello,
     /// B only: waiting for A's FlowAnnounce.
     AwaitAnnounce,
-    /// Waiting for the peer's initial PrefList.
-    AwaitPrefs,
-    /// Round loop: propose when it is our turn, else await Propose.
-    Turn,
-    /// We proposed; waiting for Response.
-    AwaitResponse,
-    /// Reassignment triggered; waiting for the peer's new PrefList.
-    AwaitReassignList,
-    /// We sent Stop or Bye; waiting for the closing Bye.
-    AwaitBye,
-    /// Session complete.
-    Done,
+    /// Handshake complete; every further message belongs to the machine.
+    Running,
     /// Session failed.
     Failed,
 }
 
-/// One side of a distributed negotiation.
+/// One side of a distributed negotiation: frame codec + handshake +
+/// [`NegotiationMachine`].
 pub struct Agent<'a> {
     side: Side,
     name: String,
-    mapper: Box<dyn PreferenceMapper + Send + 'a>,
-    disclosure: DisclosurePolicy,
     config: NexitConfig,
     input: SessionInput,
-    assignment: Assignment,
-    state: TableState,
+    machine: NegotiationMachine<Box<dyn PreferenceMapper + Send + 'a>>,
     codec: FrameCodec,
     outbox: VecDeque<Vec<u8>>,
-    phase: Phase,
-    my_true: PrefTable,
-    my_disclosed: PrefTable,
-    their_disclosed: PrefTable,
-    my_gain: i64,
-    disclosed_gain_a: i64,
-    disclosed_gain_b: i64,
-    round: u32,
-    num_remaining: usize,
-    volume_since_reassign: f64,
-    reassignments: usize,
-    pending: Option<(usize, IcxId)>,
-    termination: Option<Termination>,
-    /// Accepted moves in round order, for the credit-veto rollback.
-    accepted_log: Vec<(usize, IcxId)>,
+    handshake: Handshake,
 }
 
 impl<'a> Agent<'a> {
@@ -180,45 +172,32 @@ impl<'a> Agent<'a> {
         disclosure: DisclosurePolicy,
         config: NexitConfig,
     ) -> Result<Self, ProtoError> {
-        if side == Side::A && disclosure == DisclosurePolicy::InflateBest {
-            return Err(ProtoError::UnsupportedDisclosure);
-        }
-        let n = input.len();
-        let k = input.num_alternatives;
+        let machine = NegotiationMachine::new(
+            side,
+            // The wire protocol fixes the disclosure order: A discloses
+            // first, so only B may run a peer-list-dependent cheater.
+            Side::A,
+            input.clone(),
+            default_assignment,
+            Box::new(mapper) as Box<dyn PreferenceMapper + Send + 'a>,
+            disclosure,
+            config,
+        )?;
         let mut agent = Self {
             side,
             name: name.into(),
-            mapper: Box::new(mapper),
-            disclosure,
             config,
             input,
-            assignment: default_assignment,
-            state: TableState::new(n, k),
+            machine,
             codec: FrameCodec::new(),
             outbox: VecDeque::new(),
-            phase: match side {
-                Side::A => Phase::AwaitHello,
-                Side::B => Phase::AwaitHello,
-            },
-            my_true: PrefTable::zero(n, k),
-            my_disclosed: PrefTable::zero(n, k),
-            their_disclosed: PrefTable::zero(n, k),
-            my_gain: 0,
-            disclosed_gain_a: 0,
-            disclosed_gain_b: 0,
-            round: 0,
-            num_remaining: n,
-            volume_since_reassign: 0.0,
-            reassignments: 0,
-            pending: None,
-            termination: None,
-            accepted_log: Vec::new(),
+            handshake: Handshake::AwaitHello,
         };
         if side == Side::A {
             agent.send(Message::Hello {
                 side: Side::A,
                 name: agent.name.clone(),
-                num_alternatives: k as u16,
+                num_alternatives: agent.input.num_alternatives as u16,
                 config: agent.config,
             });
         }
@@ -229,29 +208,57 @@ impl<'a> Agent<'a> {
         self.outbox.push_back(msg.encode());
     }
 
+    /// Encode every action the machine wants transmitted. Held back until
+    /// the handshake completes — the machine queues its first PrefList at
+    /// construction, but the wire order is Hello / Hello / FlowAnnounce
+    /// first.
+    fn drain_machine(&mut self) {
+        if self.handshake != Handshake::Running {
+            return;
+        }
+        while let Some(action) = self.machine.poll_action() {
+            let msg = match action {
+                Action::SendPrefs { prefs } => Message::PrefList {
+                    prefs: encode_prefs(&prefs),
+                },
+                Action::SendProposal {
+                    round,
+                    local_flow,
+                    alternative,
+                } => Message::Propose {
+                    round,
+                    local_flow: local_flow as u32,
+                    alternative,
+                },
+                Action::SendResponse { round, accepted } => Message::Response { round, accepted },
+                Action::SendStop { side } => Message::Stop { side },
+                Action::SendBye => Message::Bye,
+            };
+            self.send(msg);
+        }
+    }
+
     /// Pop the next outgoing wire frame, if any.
     pub fn poll_transmit(&mut self) -> Option<Vec<u8>> {
-        self.advance();
+        self.drain_machine();
         self.outbox.pop_front()
     }
 
     /// Whether the session reached a terminal state (done or failed).
     pub fn is_done(&self) -> bool {
-        matches!(self.phase, Phase::Done | Phase::Failed) && self.outbox.is_empty()
+        match self.handshake {
+            Handshake::Failed => self.outbox.is_empty(),
+            Handshake::Running => self.machine.is_done() && self.outbox.is_empty(),
+            _ => false,
+        }
     }
 
     /// The outcome, once [`Agent::is_done`] and the session succeeded.
     pub fn outcome(&self) -> Option<AgentOutcome> {
-        if self.phase != Phase::Done {
+        if self.handshake != Handshake::Running {
             return None;
         }
-        Some(AgentOutcome {
-            assignment: self.assignment.clone(),
-            my_gain: self.my_gain,
-            termination: self.termination.unwrap_or(Termination::Exhausted),
-            rounds: self.round,
-            reassignments: self.reassignments,
-        })
+        self.machine.outcome()
     }
 
     /// This agent's side.
@@ -261,7 +268,7 @@ impl<'a> Agent<'a> {
 
     /// Feed received transport bytes; processes every complete frame.
     pub fn handle_bytes(&mut self, data: &[u8]) -> Result<(), ProtoError> {
-        if self.phase == Phase::Failed {
+        if self.handshake == Handshake::Failed {
             return Err(ProtoError::Closed);
         }
         self.codec.feed(data);
@@ -271,18 +278,18 @@ impl<'a> Agent<'a> {
                     let msg = match Message::decode(&frame) {
                         Ok(m) => m,
                         Err(e) => {
-                            self.phase = Phase::Failed;
+                            self.handshake = Handshake::Failed;
                             return Err(e.into());
                         }
                     };
                     if let Err(e) = self.handle_message(msg) {
-                        self.phase = Phase::Failed;
+                        self.handshake = Handshake::Failed;
                         return Err(e);
                     }
                 }
                 Ok(None) => return Ok(()),
                 Err(e) => {
-                    self.phase = Phase::Failed;
+                    self.handshake = Handshake::Failed;
                     return Err(e.into());
                 }
             }
@@ -294,148 +301,17 @@ impl<'a> Agent<'a> {
         self.handle_bytes(data)
     }
 
-    /// Compute and store our preference tables; returns the disclosed
-    /// table to transmit.
-    fn map_own_prefs(&mut self) -> Vec<Vec<i16>> {
-        let gains = self.mapper.gains(&self.input, &self.assignment);
-        self.my_true = quantize(&gains, self.config.pref_range);
-        self.my_disclosed = self.disclosure.disclose(
-            &self.my_true,
-            &self.their_disclosed,
-            self.config.pref_range,
-            &self.input.defaults,
-        );
-        (0..self.my_disclosed.num_flows())
-            .map(|f| {
-                self.my_disclosed
-                    .row(f)
-                    .iter()
-                    .map(|&c| c as i16)
-                    .collect()
-            })
-            .collect()
-    }
-
-    fn store_their_prefs(&mut self, prefs: Vec<Vec<i16>>) -> Result<(), ProtoError> {
-        if prefs.len() != self.input.len() {
-            return Err(ProtoError::BadPrefList("row count mismatch"));
-        }
-        let p = self.config.pref_range;
-        let mut rows = Vec::with_capacity(prefs.len());
-        for row in prefs {
-            if row.len() != self.input.num_alternatives {
-                return Err(ProtoError::BadPrefList("alternative count mismatch"));
-            }
-            if row.iter().any(|&c| i32::from(c).abs() > p) {
-                return Err(ProtoError::BadPrefList("class out of range"));
-            }
-            rows.push(row.into_iter().map(i32::from).collect());
-        }
-        self.their_disclosed = PrefTable::new(rows);
-        Ok(())
-    }
-
-    /// Disclosed tables in (A, B) orientation.
-    fn tables_ab(&self) -> (&PrefTable, &PrefTable) {
-        match self.side {
-            Side::A => (&self.my_disclosed, &self.their_disclosed),
-            Side::B => (&self.their_disclosed, &self.my_disclosed),
-        }
-    }
-
-    fn whose_turn(&self) -> Side {
-        selection::decide_turn(
-            self.config.turn,
-            self.round as usize,
-            self.disclosed_gain_a,
-            self.disclosed_gain_b,
-        )
-    }
-
-    fn my_projection(&self) -> i64 {
-        let (da, db) = self.tables_ab();
-        let (d_own, d_other) = match self.side {
-            Side::A => (da, db),
-            Side::B => (db, da),
-        };
-        selection::projected_gain(
-            &self.my_true,
-            d_own,
-            d_other,
-            &self.state,
-            self.input.num_alternatives,
-            &self.input.defaults,
-        )
-    }
-
-    /// Advance the state machine when it is our turn to act.
-    fn advance(&mut self) {
-        if self.phase != Phase::Turn {
-            return;
-        }
-        if self.num_remaining == 0 {
-            self.termination = Some(Termination::Exhausted);
-            self.send(Message::Bye);
-            self.phase = Phase::AwaitBye;
-            return;
-        }
-        if self.whose_turn() != self.side {
-            return; // peer proposes; we wait
-        }
-        // Our turn: early-termination self check.
-        if self.config.stop == StopPolicy::Early && self.my_projection() < 0 {
-            self.termination = Some(Termination::Stopped(self.side));
-            self.send(Message::Stop { side: self.side });
-            self.phase = Phase::AwaitBye;
-            return;
-        }
-        let (da, db) = self.tables_ab();
-        let (d_own, d_other) = match self.side {
-            Side::A => (da, db),
-            Side::B => (db, da),
-        };
-        let guard_floor = match self.config.accept {
-            AcceptRule::Always => None,
-            AcceptRule::VetoNegativeCumulative => Some(self.my_gain),
-            AcceptRule::CreditVeto { credit } => Some(self.my_gain + credit),
-        };
-        let self_guard = guard_floor.map(|floor| (&self.my_true, floor));
-        let proposal = selection::select_proposal(
-            d_own,
-            d_other,
-            &self.state,
-            self.input.num_alternatives,
-            self.config.proposal,
-            self_guard,
-            &self.input.defaults,
-        );
-        let Some((local, alt)) = proposal else {
-            self.termination = Some(Termination::Exhausted);
-            self.send(Message::Bye);
-            self.phase = Phase::AwaitBye;
-            return;
-        };
-        // Full-termination self check against the concrete proposal.
-        if self.config.stop == StopPolicy::Full
-            && self.my_gain + i64::from(self.my_true.get(local, alt)) < 0
-        {
-            self.termination = Some(Termination::Stopped(self.side));
-            self.send(Message::Stop { side: self.side });
-            self.phase = Phase::AwaitBye;
-            return;
-        }
-        self.pending = Some((local, alt));
-        self.send(Message::Propose {
-            round: self.round,
-            local_flow: local as u32,
-            alternative: alt,
-        });
-        self.phase = Phase::AwaitResponse;
-    }
-
     fn handle_message(&mut self, msg: Message) -> Result<(), ProtoError> {
-        match (self.phase, msg) {
-            (Phase::AwaitHello, Message::Hello { side, num_alternatives, config, .. }) => {
+        match (self.handshake, msg) {
+            (
+                Handshake::AwaitHello,
+                Message::Hello {
+                    side,
+                    num_alternatives,
+                    config,
+                    ..
+                },
+            ) => {
                 if side != self.side.other() {
                     return Err(ProtoError::ConfigMismatch("peer claims our side"));
                 }
@@ -447,8 +323,8 @@ impl<'a> Agent<'a> {
                 }
                 match self.side {
                     Side::A => {
-                        // B answered our Hello: announce flows and
-                        // disclose first.
+                        // B answered our Hello: announce flows, then let
+                        // the machine's queued PrefList go out.
                         let flows: Vec<FlowEntry> = self
                             .input
                             .flow_ids
@@ -462,9 +338,7 @@ impl<'a> Agent<'a> {
                             })
                             .collect();
                         self.send(Message::FlowAnnounce { flows });
-                        let prefs = self.map_own_prefs();
-                        self.send(Message::PrefList { prefs });
-                        self.phase = Phase::AwaitPrefs;
+                        self.handshake = Handshake::Running;
                     }
                     Side::B => {
                         // A's opening Hello: answer it, then await the
@@ -475,12 +349,12 @@ impl<'a> Agent<'a> {
                             num_alternatives: self.input.num_alternatives as u16,
                             config: self.config,
                         });
-                        self.phase = Phase::AwaitAnnounce;
+                        self.handshake = Handshake::AwaitAnnounce;
                     }
                 }
                 Ok(())
             }
-            (Phase::AwaitAnnounce, Message::FlowAnnounce { flows }) => {
+            (Handshake::AwaitAnnounce, Message::FlowAnnounce { flows }) => {
                 if flows.len() != self.input.len() {
                     return Err(ProtoError::FlowMismatch("flow count"));
                 }
@@ -495,207 +369,67 @@ impl<'a> Agent<'a> {
                         return Err(ProtoError::FlowMismatch("volume"));
                     }
                 }
-                self.phase = Phase::AwaitPrefs;
+                self.handshake = Handshake::Running;
                 Ok(())
             }
-            (Phase::AwaitPrefs, Message::PrefList { prefs }) => {
-                self.store_their_prefs(prefs)?;
-                if self.side == Side::B {
-                    // We disclose second (a cheater exploits A's list).
-                    let prefs = self.map_own_prefs();
-                    self.send(Message::PrefList { prefs });
-                }
-                self.phase = Phase::Turn;
-                Ok(())
-            }
-            (Phase::Turn, Message::Propose { round, local_flow, alternative }) => {
-                if self.whose_turn() == self.side {
-                    return Err(ProtoError::BadProposal("proposal out of turn"));
-                }
-                if round != self.round {
-                    return Err(ProtoError::BadProposal("round mismatch"));
-                }
-                let local = local_flow as usize;
-                if local >= self.input.len() || !self.state.remaining[local] {
-                    return Err(ProtoError::BadProposal("flow not on the table"));
-                }
-                if alternative.index() >= self.input.num_alternatives
-                    || self.state.banned[local][alternative.index()]
-                {
-                    return Err(ProtoError::BadProposal("alternative unavailable"));
-                }
-                // Our own stop checks, exercised as the acceptor.
-                if self.config.stop == StopPolicy::Early && self.my_projection() < 0 {
-                    self.termination = Some(Termination::Stopped(self.side));
-                    self.send(Message::Stop { side: self.side });
-                    self.phase = Phase::AwaitBye;
-                    return Ok(());
-                }
-                if self.config.stop == StopPolicy::Full
-                    && self.my_gain + i64::from(self.my_true.get(local, alternative)) < 0
-                {
-                    self.termination = Some(Termination::Stopped(self.side));
-                    self.send(Message::Stop { side: self.side });
-                    self.phase = Phase::AwaitBye;
-                    return Ok(());
-                }
-                let accepted = match self.config.accept {
-                    AcceptRule::Always => true,
-                    AcceptRule::VetoNegativeCumulative => {
-                        self.my_gain + i64::from(self.my_true.get(local, alternative)) >= 0
-                    }
-                    AcceptRule::CreditVeto { credit } => {
-                        self.my_gain + i64::from(self.my_true.get(local, alternative))
-                            >= -credit
+            (Handshake::Running, msg) => {
+                let event = match msg {
+                    Message::PrefList { prefs } => Event::PeerPrefs {
+                        prefs: decode_prefs(prefs),
+                    },
+                    Message::Propose {
+                        round,
+                        local_flow,
+                        alternative,
+                    } => Event::Proposal {
+                        round,
+                        local_flow: local_flow as usize,
+                        alternative,
+                    },
+                    Message::Response { round, accepted } => Event::Response { round, accepted },
+                    Message::Stop { side } => Event::PeerStop { side },
+                    Message::Bye => Event::PeerBye,
+                    other => {
+                        return Err(ProtoError::UnexpectedMessage {
+                            state: "Running",
+                            got: msg_name(&other),
+                        })
                     }
                 };
-                self.send(Message::Response {
-                    round: self.round,
-                    accepted,
-                });
-                self.apply_round_result(local, alternative, accepted);
-                Ok(())
-            }
-            (Phase::AwaitResponse, Message::Response { round, accepted }) => {
-                if round != self.round {
-                    return Err(ProtoError::BadProposal("response round mismatch"));
-                }
-                let (local, alt) = self
-                    .pending
-                    .take()
-                    .expect("AwaitResponse without pending proposal");
-                self.apply_round_result(local, alt, accepted);
-                Ok(())
-            }
-            (Phase::AwaitResponse | Phase::Turn, Message::Stop { side }) => {
-                self.termination = Some(Termination::Stopped(side));
-                self.pending = None;
-                self.send(Message::Bye);
-                self.finish();
-                Ok(())
-            }
-            (Phase::AwaitResponse | Phase::Turn, Message::Bye) => {
-                self.termination = Some(Termination::Exhausted);
-                self.pending = None;
-                self.send(Message::Bye);
-                self.finish();
-                Ok(())
-            }
-            (Phase::AwaitBye, Message::Bye) => {
-                self.finish();
-                Ok(())
-            }
-            (Phase::AwaitBye, Message::Stop { side }) => {
-                // Simultaneous stop from the peer while ours is in
-                // flight: keep the earlier (our) termination, still
-                // answer with Bye.
-                let _ = side;
-                self.send(Message::Bye);
-                self.finish();
-                Ok(())
-            }
-            (Phase::AwaitReassignList, Message::PrefList { prefs }) => {
-                self.store_their_prefs(prefs)?;
-                if self.side == Side::B {
-                    let prefs = self.map_own_prefs();
-                    self.send(Message::PrefList { prefs });
-                }
-                self.phase = Phase::Turn;
-                Ok(())
+                self.machine.handle(event).map_err(ProtoError::from)
             }
             (phase, msg) => Err(ProtoError::UnexpectedMessage {
-                state: phase_name(phase),
+                state: handshake_name(phase),
                 got: msg_name(&msg),
             }),
         }
     }
-
-    /// Close the session: apply the credit-veto rollback (computed
-    /// identically by both sides from disclosed state) and mark Done.
-    fn finish(&mut self) {
-        if matches!(self.config.accept, AcceptRule::CreditVeto { .. }) {
-            let (da, db) = match self.side {
-                Side::A => (&self.my_disclosed, &self.their_disclosed),
-                Side::B => (&self.their_disclosed, &self.my_disclosed),
-            };
-            let plan = selection::rollback_plan(
-                da,
-                db,
-                &self.accepted_log,
-                self.disclosed_gain_a,
-                self.disclosed_gain_b,
-            );
-            for idx in plan {
-                let (local, alt) = self.accepted_log[idx];
-                self.assignment
-                    .set(self.input.flow_ids[local], self.input.defaults[local]);
-                self.my_gain -= i64::from(self.my_true.get(local, alt));
-                self.disclosed_gain_a -= i64::from(match self.side {
-                    Side::A => self.my_disclosed.get(local, alt),
-                    Side::B => self.their_disclosed.get(local, alt),
-                });
-                self.disclosed_gain_b -= i64::from(match self.side {
-                    Side::A => self.their_disclosed.get(local, alt),
-                    Side::B => self.my_disclosed.get(local, alt),
-                });
-            }
-        }
-        self.phase = Phase::Done;
-    }
-
-    /// Apply one completed round (both sides run this identically).
-    fn apply_round_result(&mut self, local: usize, alt: IcxId, accepted: bool) {
-        self.round += 1;
-        if !accepted {
-            self.state.banned[local][alt.index()] = true;
-            self.phase = Phase::Turn;
-            return;
-        }
-        self.state.remaining[local] = false;
-        self.num_remaining -= 1;
-        self.accepted_log.push((local, alt));
-        self.assignment.set(self.input.flow_ids[local], alt);
-        self.my_gain += i64::from(self.my_true.get(local, alt));
-        let (da, db) = self.tables_ab();
-        let (ga, gb) = (
-            i64::from(da.get(local, alt)),
-            i64::from(db.get(local, alt)),
-        );
-        self.disclosed_gain_a += ga;
-        self.disclosed_gain_b += gb;
-        self.volume_since_reassign += self.input.volumes[local];
-
-        // Reassignment trigger: computed identically on both sides.
-        if let Some(frac) = self.config.reassign_interval_frac {
-            let threshold = frac * self.input.total_volume();
-            if self.volume_since_reassign >= threshold && self.num_remaining > 0 {
-                self.reassignments += 1;
-                self.volume_since_reassign = 0.0;
-                if self.side == Side::A {
-                    let prefs = self.map_own_prefs();
-                    self.send(Message::PrefList { prefs });
-                }
-                // Both sides now wait for the peer's fresh list (B
-                // computes its own only after seeing A's).
-                self.phase = Phase::AwaitReassignList;
-                return;
-            }
-        }
-        self.phase = Phase::Turn;
-    }
 }
 
-fn phase_name(p: Phase) -> &'static str {
-    match p {
-        Phase::AwaitHello => "AwaitHello",
-        Phase::AwaitAnnounce => "AwaitAnnounce",
-        Phase::AwaitPrefs => "AwaitPrefs",
-        Phase::Turn => "Turn",
-        Phase::AwaitResponse => "AwaitResponse",
-        Phase::AwaitReassignList => "AwaitReassignList",
-        Phase::AwaitBye => "AwaitBye",
-        Phase::Done => "Done",
-        Phase::Failed => "Failed",
+/// Wire representation of a disclosed table (`i16` classes).
+fn encode_prefs(prefs: &PrefTable) -> Vec<Vec<i16>> {
+    (0..prefs.num_flows())
+        .map(|f| prefs.row(f).iter().map(|&c| c as i16).collect())
+        .collect()
+}
+
+/// Widen wire classes back to a [`PrefTable`]. Shape and range are
+/// validated by the machine.
+fn decode_prefs(prefs: Vec<Vec<i16>>) -> PrefTable {
+    PrefTable::new(
+        prefs
+            .into_iter()
+            .map(|row| row.into_iter().map(i32::from).collect())
+            .collect(),
+    )
+}
+
+fn handshake_name(h: Handshake) -> &'static str {
+    match h {
+        Handshake::AwaitHello => "AwaitHello",
+        Handshake::AwaitAnnounce => "AwaitAnnounce",
+        Handshake::Running => "Running",
+        Handshake::Failed => "Failed",
     }
 }
 

@@ -83,8 +83,8 @@ impl FaultyLink {
         let mut frame = frame;
         if !frame.is_empty() && self.rng.gen_bool(self.config.corrupt_chance) {
             let byte = self.rng.gen_range(0..frame.len());
-            let bit = self.rng.gen_range(0..8);
-            frame[byte] ^= 1 << bit;
+            let bit = self.rng.gen_range(0u32..8);
+            frame[byte] ^= 1u8 << bit;
             self.corrupted += 1;
         }
         if self.rng.gen_bool(self.config.duplicate_chance) {

@@ -16,7 +16,7 @@
 //! socket produced.
 
 use crate::crc::crc32;
-use bytes::{Buf, BufMut, BytesMut};
+use bytes::{BufMut, BytesMut};
 
 /// Frame magic: "NX" (Nexit).
 pub const MAGIC: u16 = 0x4E58;
@@ -45,7 +45,10 @@ impl std::fmt::Display for FrameError {
                 write!(f, "declared payload length {declared} exceeds maximum")
             }
             FrameError::BadCrc { expected, found } => {
-                write!(f, "CRC mismatch: expected 0x{expected:08X}, found 0x{found:08X}")
+                write!(
+                    f,
+                    "CRC mismatch: expected 0x{expected:08X}, found 0x{found:08X}"
+                )
             }
         }
     }
@@ -197,10 +200,7 @@ mod tests {
         wire[idx] ^= 0x40;
         let mut codec = FrameCodec::new();
         codec.feed(&wire);
-        assert!(matches!(
-            codec.next_frame(),
-            Err(FrameError::BadCrc { .. })
-        ));
+        assert!(matches!(codec.next_frame(), Err(FrameError::BadCrc { .. })));
     }
 
     #[test]

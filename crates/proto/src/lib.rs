@@ -25,10 +25,11 @@
 //! verify that the framing layer *detects* corruption and that agents
 //! fail cleanly on protocol violations — not to implement retransmission.
 //!
-//! The decision logic is shared with the in-process engine through
-//! [`nexit_core::selection`], so a distributed session reaches the same
-//! assignment as [`nexit_core::negotiate`] on the same inputs (tested in
-//! the integration suite).
+//! The decision logic is not shared with the in-process engine — it is
+//! the *same object*: both drive a [`nexit_core::machine::NegotiationMachine`],
+//! so a distributed session reaches the same assignment as
+//! [`nexit_core::negotiate`] on the same inputs by construction (still
+//! pinned end to end, bytes included, by the integration suite).
 
 pub mod agent;
 pub mod channel;

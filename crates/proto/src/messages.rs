@@ -415,7 +415,11 @@ mod tests {
         ] {
             for proposal in [ProposalRule::MaxCombined, ProposalRule::BestLocalMinHarm] {
                 for accept in [AcceptRule::Always, AcceptRule::VetoNegativeCumulative] {
-                    for stop in [StopPolicy::Early, StopPolicy::Full, StopPolicy::NegotiateAll] {
+                    for stop in [
+                        StopPolicy::Early,
+                        StopPolicy::Full,
+                        StopPolicy::NegotiateAll,
+                    ] {
                         let msg = Message::Hello {
                             side: Side::A,
                             name: "x".into(),
@@ -492,22 +496,19 @@ mod tests {
             msg_type: 200,
             payload: vec![],
         };
-        assert_eq!(
-            Message::decode(&frame),
-            Err(MessageError::UnknownType(200))
-        );
+        assert_eq!(Message::decode(&frame), Err(MessageError::UnknownType(200)));
     }
 
     #[test]
     fn rejects_truncated_payloads() {
         for (t, payload) in [
-            (1u8, vec![0u8]),           // hello with just a side byte
-            (2, vec![0, 0, 0, 2, 1]),   // announce claiming 2 entries
+            (1u8, vec![0u8]),            // hello with just a side byte
+            (2, vec![0, 0, 0, 2, 1]),    // announce claiming 2 entries
             (3, vec![0, 0, 0, 1, 0, 3]), // preflist missing rows
-            (4, vec![1, 2, 3]),         // short propose
-            (5, vec![]),                // empty response
-            (6, vec![]),                // empty stop
-            (7, vec![1]),               // bye with payload
+            (4, vec![1, 2, 3]),          // short propose
+            (5, vec![]),                 // empty response
+            (6, vec![]),                 // empty stop
+            (7, vec![1]),                // bye with payload
         ] {
             let frame = crate::frame::Frame {
                 msg_type: t,

@@ -37,10 +37,7 @@ impl Assignment {
         let choices = flows
             .flows
             .iter()
-            .map(|f| {
-                *cache[f.src.index()]
-                    .get_or_insert_with(|| early_exit(view, sp_up, f.src))
-            })
+            .map(|f| *cache[f.src.index()].get_or_insert_with(|| early_exit(view, sp_up, f.src)))
             .collect();
         Self { choices }
     }
@@ -85,7 +82,11 @@ impl Assignment {
     /// Flows whose choice differs from `other` (the "non-default routed"
     /// flows of the paper's flow-fraction analysis).
     pub fn diff(&self, other: &Assignment) -> Vec<FlowId> {
-        assert_eq!(self.len(), other.len(), "assignments cover different flow sets");
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "assignments cover different flow sets"
+        );
         self.choices
             .iter()
             .zip(&other.choices)
@@ -156,9 +157,7 @@ pub fn early_exit_table(view: &PairView<'_>, sp_up: &ShortestPaths) -> Vec<IcxId
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nexit_topology::{
-        GeoPoint, Interconnection, IspId, IspPair, IspTopology, Link, Pop,
-    };
+    use nexit_topology::{GeoPoint, Interconnection, IspId, IspPair, IspTopology, Link, Pop};
 
     fn pop(city: &str, lon: f64) -> Pop {
         Pop {
@@ -277,8 +276,7 @@ mod tests {
         let light = PairFlows::build(&view, &sp_a, &sp_b, |_, _| 1.0);
         let asg = Assignment::uniform(heavy.len(), IcxId(0));
         assert!(
-            (total_distance_km(&heavy, &asg) - 2.0 * total_distance_km(&light, &asg)).abs()
-                < 1e-9
+            (total_distance_km(&heavy, &asg) - 2.0 * total_distance_km(&light, &asg)).abs() < 1e-9
         );
     }
 }

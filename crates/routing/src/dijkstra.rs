@@ -73,9 +73,13 @@ impl ShortestPaths {
         let mut length_km = vec![f64::INFINITY; n * n];
         let mut pred = vec![NO_LINK; n * n];
         for s in 0..n {
-            Self::single_source(isp, PopId::new(s), &mut dist[s * n..(s + 1) * n], {
-                &mut length_km[s * n..(s + 1) * n]
-            }, &mut pred[s * n..(s + 1) * n]);
+            Self::single_source(
+                isp,
+                PopId::new(s),
+                &mut dist[s * n..(s + 1) * n],
+                &mut length_km[s * n..(s + 1) * n],
+                &mut pred[s * n..(s + 1) * n],
+            );
         }
         Self {
             n,
@@ -202,11 +206,7 @@ mod tests {
         IspTopology::new(
             IspId(0),
             "d",
-            vec![
-                pop("a", 0.0, 0.0),
-                pop("b", 0.0, 1.0),
-                pop("c", 0.0, 2.0),
-            ],
+            vec![pop("a", 0.0, 0.0), pop("b", 0.0, 1.0), pop("c", 0.0, 2.0)],
             vec![link(0, 1, 1.0), link(1, 2, 1.0), link(0, 2, 3.0)],
             false,
         )
@@ -270,8 +270,8 @@ mod tests {
 
     #[test]
     fn single_pop_isp() {
-        let isp = IspTopology::new(IspId(0), "one", vec![pop("a", 0.0, 0.0)], vec![], false)
-            .unwrap();
+        let isp =
+            IspTopology::new(IspId(0), "one", vec![pop("a", 0.0, 0.0)], vec![], false).unwrap();
         let sp = ShortestPaths::compute(&isp);
         assert_eq!(sp.distance(PopId(0), PopId(0)), 0.0);
         assert!(sp.path_links(&isp, PopId(0), PopId(0)).is_empty());
@@ -299,7 +299,10 @@ mod tests {
 
         /// Random connected graph: a path 0-1-..-(n-1) plus extra edges.
         fn arb_topology() -> impl Strategy<Value = IspTopology> {
-            (3usize..12, proptest::collection::vec((0usize..12, 0usize..12, 1u32..100), 0..12))
+            (
+                3usize..12,
+                proptest::collection::vec((0usize..12, 0usize..12, 1u32..100), 0..12),
+            )
                 .prop_map(|(n, extra)| {
                     let pops = (0..n)
                         .map(|i| pop(&format!("p{i}"), 0.0, i as f64 * 0.1))

@@ -53,9 +53,7 @@ fn best_icx(view: &PairView<'_>, mut cost: impl FnMut(IcxId) -> f64) -> IcxId {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nexit_topology::{
-        GeoPoint, Interconnection, IspId, IspPair, IspTopology, Link, Pop,
-    };
+    use nexit_topology::{GeoPoint, Interconnection, IspId, IspPair, IspTopology, Link, Pop};
 
     fn pop(city: &str, lon: f64) -> Pop {
         Pop {

@@ -184,9 +184,7 @@ pub fn flow_links(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nexit_topology::{
-        GeoPoint, Interconnection, IspId, IspPair, IspTopology, Link, Pop,
-    };
+    use nexit_topology::{GeoPoint, Interconnection, IspId, IspPair, IspTopology, Link, Pop};
 
     fn pop(city: &str, lon: f64) -> Pop {
         Pop {

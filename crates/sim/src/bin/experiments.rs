@@ -53,6 +53,15 @@ fn main() {
         }
     }
 
+    const TARGETS: &[&str] = &[
+        "all", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fraction",
+        "prange", "groups", "modes", "models",
+    ];
+    if !TARGETS.contains(&target.as_str()) {
+        eprintln!("unknown target `{target}`");
+        usage();
+    }
+
     eprintln!(
         "generating universe: {} ISPs (seed {}) ...",
         gen_cfg.num_isps, gen_cfg.seed

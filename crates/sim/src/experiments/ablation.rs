@@ -56,8 +56,7 @@ pub fn preference_range_sweep(
                     pref_range: p,
                     ..NexitConfig::win_win()
                 };
-                let outcome =
-                    negotiate(&session.input, &session.default, &mut a, &mut b, &config);
+                let outcome = negotiate(&session.input, &session.default, &mut a, &mut b, &config);
                 let (f, r) = session.split(&outcome.assignment);
                 let d = twoway_total_distance(
                     &run.fwd.flows,
@@ -268,8 +267,13 @@ pub fn mode_comparison(universe: &Universe, cfg: &ExpConfig) -> Vec<(String, f64
                     &run.fwd.default,
                     &run.rev.default,
                 );
-                let ns =
-                    crate::twoway::twoway_side_distance(side, &run.fwd.flows, &run.rev.flows, &f, &r);
+                let ns = crate::twoway::twoway_side_distance(
+                    side,
+                    &run.fwd.flows,
+                    &run.rev.flows,
+                    &f,
+                    &r,
+                );
                 worst_individual = worst_individual.min(percent_gain(ds, ns));
             }
         }
@@ -285,7 +289,10 @@ pub fn mode_comparison(universe: &Universe, cfg: &ExpConfig) -> Vec<(String, f64
 /// Print the mode comparison.
 pub fn report_modes(rows: &[(String, f64, f64)]) {
     println!("== Protocol-mode ablation (distance pairs subset) ==");
-    println!("  {:32} {:>12} {:>16}", "mode", "median gain%", "worst indiv gain%");
+    println!(
+        "  {:32} {:>12} {:>16}",
+        "mode", "median gain%", "worst indiv gain%"
+    );
     for (name, med, worst) in rows {
         println!("  {name:32} {med:>12.3} {worst:>16.3}");
     }
@@ -310,7 +317,10 @@ pub fn report_groups(rows: &[(usize, f64)]) {
 /// Print the model grid.
 pub fn report_models(rows: &[ModelRow]) {
     println!("== Alternate workload/capacity models (upstream MEL vs optimal) ==");
-    println!("  {:26} {:>9} {:>11} {:>10}", "model", "default", "negotiated", "scenarios");
+    println!(
+        "  {:26} {:>9} {:>11} {:>10}",
+        "model", "default", "negotiated", "scenarios"
+    );
     for r in rows {
         println!(
             "  {:26} {:>9.3} {:>11.3} {:>10}",

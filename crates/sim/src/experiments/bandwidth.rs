@@ -48,9 +48,7 @@ pub fn failure_scenarios<'u>(
     let caps_down = assign_capacities(capacity_model, &pre_loads.down);
 
     let mut scenarios = Vec::new();
-    let failures = pair
-        .num_interconnections()
-        .min(cfg.max_failures_per_pair);
+    let failures = pair.num_interconnections().min(cfg.max_failures_per_pair);
     for failed in 0..failures {
         let failed_icx = IcxId::new(failed);
         let (reduced, _mapping) = pair.without_interconnection(failed_icx);

@@ -9,9 +9,7 @@ use crate::experiments::bandwidth::failure_scenarios;
 use crate::experiments::distance::build_pair_run;
 use crate::pairdata::ExpConfig;
 use crate::twoway::{twoway_side_distance, twoway_total_distance, TwoWayDistanceMapper};
-use nexit_core::{
-    negotiate, BandwidthMapper, DisclosurePolicy, NexitConfig, Party, Side,
-};
+use nexit_core::{negotiate, BandwidthMapper, DisclosurePolicy, NexitConfig, Party, Side};
 use nexit_metrics::percent_gain;
 use nexit_topology::Universe;
 use nexit_workload::CapacityModel;
@@ -152,14 +150,12 @@ pub fn run_bandwidth(universe: &Universe, cfg: &ExpConfig) -> CheatBandwidthResu
 
             let mut a = Party::honest("up", up_mapper());
             let mut b = Party::honest("down", down_mapper());
-            let truthful =
-                negotiate(&input, &scenario.data.default, &mut a, &mut b, &config);
+            let truthful = negotiate(&input, &scenario.data.default, &mut a, &mut b, &config);
             let (tu, td) = scenario.mels(&truthful.assignment);
 
             let mut a = Party::cheating("up", up_mapper(), DisclosurePolicy::InflateBest);
             let mut b = Party::honest("down", down_mapper());
-            let cheated =
-                negotiate(&input, &scenario.data.default, &mut a, &mut b, &config);
+            let cheated = negotiate(&input, &scenario.data.default, &mut a, &mut b, &config);
             let (cu, cd) = scenario.mels(&cheated.assignment);
 
             let (du, dd) = scenario.default_mels;

@@ -104,8 +104,12 @@ pub fn run(universe: &Universe, cfg: &ExpConfig) -> DistanceResults {
         let opt_rev = optimal_distance(&run.rev.flows);
 
         // Totals (Fig. 4a).
-        let d_total =
-            twoway_total_distance(&run.fwd.flows, &run.rev.flows, &run.fwd.default, &run.rev.default);
+        let d_total = twoway_total_distance(
+            &run.fwd.flows,
+            &run.rev.flows,
+            &run.fwd.default,
+            &run.rev.default,
+        );
         let n_total = twoway_total_distance(&run.fwd.flows, &run.rev.flows, &neg_fwd, &neg_rev);
         let o_total = twoway_total_distance(&run.fwd.flows, &run.rev.flows, &opt_fwd, &opt_rev);
         out.total_negotiated.push(percent_gain(d_total, n_total));
@@ -141,32 +145,29 @@ pub fn run(universe: &Universe, cfg: &ExpConfig) -> DistanceResults {
                 &run.fwd.default,
                 &run.rev.default,
             );
-            let n =
-                twoway_side_distance(side, &run.fwd.flows, &run.rev.flows, &neg_fwd, &neg_rev);
-            let o =
-                twoway_side_distance(side, &run.fwd.flows, &run.rev.flows, &opt_fwd, &opt_rev);
+            let n = twoway_side_distance(side, &run.fwd.flows, &run.rev.flows, &neg_fwd, &neg_rev);
+            let o = twoway_side_distance(side, &run.fwd.flows, &run.rev.flows, &opt_fwd, &opt_rev);
             out.individual_negotiated.push(percent_gain(d, n));
             out.individual_optimal.push(percent_gain(d, o));
         }
 
         // Flow-level gains (Fig. 6) and the 90%-of-gain fraction.
         let mut per_flow_saving: Vec<f64> = Vec::new();
-        let collect =
-            |flows: &nexit_routing::PairFlows,
-             default: &nexit_routing::Assignment,
-             neg: &nexit_routing::Assignment,
-             opt: &nexit_routing::Assignment,
-             out: &mut DistanceResults,
-             per_flow_saving: &mut Vec<f64>| {
-                for (id, _, m) in flows.iter() {
-                    let d = m.total_km(default.choice(id));
-                    out.flow_negotiated
-                        .push(percent_gain(d, m.total_km(neg.choice(id))));
-                    out.flow_optimal
-                        .push(percent_gain(d, m.total_km(opt.choice(id))));
-                    per_flow_saving.push(d - m.total_km(neg.choice(id)));
-                }
-            };
+        let collect = |flows: &nexit_routing::PairFlows,
+                       default: &nexit_routing::Assignment,
+                       neg: &nexit_routing::Assignment,
+                       opt: &nexit_routing::Assignment,
+                       out: &mut DistanceResults,
+                       per_flow_saving: &mut Vec<f64>| {
+            for (id, _, m) in flows.iter() {
+                let d = m.total_km(default.choice(id));
+                out.flow_negotiated
+                    .push(percent_gain(d, m.total_km(neg.choice(id))));
+                out.flow_optimal
+                    .push(percent_gain(d, m.total_km(opt.choice(id))));
+                per_flow_saving.push(d - m.total_km(neg.choice(id)));
+            }
+        };
         collect(
             &run.fwd.flows,
             &run.fwd.default,
@@ -198,7 +199,11 @@ pub fn fraction_for_gain_share(per_flow_saving: &[f64], share: f64) -> f64 {
     if total <= 0.0 {
         return 0.0;
     }
-    let mut savings: Vec<f64> = per_flow_saving.iter().copied().filter(|&s| s > 0.0).collect();
+    let mut savings: Vec<f64> = per_flow_saving
+        .iter()
+        .copied()
+        .filter(|&s| s > 0.0)
+        .collect();
     savings.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
     let mut acc = 0.0;
     for (i, s) in savings.iter().enumerate() {

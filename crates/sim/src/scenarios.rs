@@ -1,8 +1,6 @@
 //! The paper's motivating hand-built scenarios (Figures 1 and 2).
 
-use nexit_topology::{
-    GeoPoint, Interconnection, IspId, IspPair, IspTopology, Link, Pop, PopId,
-};
+use nexit_topology::{GeoPoint, Interconnection, IspId, IspPair, IspTopology, Link, Pop, PopId};
 
 /// The Figure 1 / Figure 2 style ladder: two ISPs, each a vertical
 /// 3-PoP chain (top, middle, bottom), joined by three parallel

@@ -200,8 +200,7 @@ mod tests {
         let rev = PairData::build(b, a, fwd.mirrored_pair(), WorkloadModel::Gravity);
         let session = TwoWaySession::build(&fwd, &rev);
         for side in [Side::A, Side::B] {
-            let mut mapper =
-                TwoWayDistanceMapper::new(side, &fwd.flows, &rev.flows, session.n_fwd);
+            let mut mapper = TwoWayDistanceMapper::new(side, &fwd.flows, &rev.flows, session.n_fwd);
             let gains = mapper.gains(&session.input, &session.default);
             for (i, row) in gains.iter().enumerate() {
                 assert_eq!(

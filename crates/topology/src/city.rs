@@ -9,10 +9,9 @@
 //! across the regions where measured ISPs had PoPs.
 
 use crate::geo::GeoPoint;
-use serde::{Deserialize, Serialize};
 
 /// A city that can host a PoP.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct City {
     /// Human-readable city name (unique within the built-in table).
     pub name: String,
@@ -25,8 +24,15 @@ pub struct City {
     pub region: Region,
 }
 
+serde::impl_json_struct!(City {
+    name,
+    geo,
+    population_millions,
+    region
+});
+
 /// Coarse continental regions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Region {
     NorthAmerica,
     Europe,
@@ -34,6 +40,14 @@ pub enum Region {
     SouthAmerica,
     Oceania,
 }
+
+serde::impl_json_enum!(Region {
+    NorthAmerica,
+    Europe,
+    Asia,
+    SouthAmerica,
+    Oceania
+});
 
 impl Region {
     /// All regions, in a fixed order used for deterministic sampling.
@@ -204,7 +218,11 @@ mod tests {
     #[test]
     fn table_is_nonempty_and_unique() {
         let cities = builtin_cities();
-        assert!(cities.len() >= 100, "expected >=100 cities, got {}", cities.len());
+        assert!(
+            cities.len() >= 100,
+            "expected >=100 cities, got {}",
+            cities.len()
+        );
         let mut names: Vec<&str> = cities.iter().map(|c| c.name.as_str()).collect();
         names.sort_unstable();
         let before = names.len();

@@ -29,11 +29,10 @@ use crate::isp::{IspTopology, Link, Pop};
 use crate::pair::{Interconnection, IspPair, PairView};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Tunables for universe synthesis. `Default` reproduces the paper-scale
 /// universe: 65 ISPs, 8 of them meshes.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GeneratorConfig {
     /// RNG seed; the sole source of randomness.
     pub seed: u64,
@@ -76,15 +75,29 @@ impl Default for GeneratorConfig {
             num_mesh_isps: 8,
             waxman_alpha: 2.4,
             waxman_beta: 0.6,
-            peer_probability: 0.32,
-            icx_per_shared_city_probability: 0.8,
+            peer_probability: 0.40,
+            icx_per_shared_city_probability: 0.9,
             same_city_icx_km: 5.0,
         }
     }
 }
 
+serde::impl_json_struct!(GeneratorConfig {
+    seed,
+    num_isps,
+    min_pops,
+    max_pops,
+    size_skew,
+    num_mesh_isps,
+    waxman_alpha,
+    waxman_beta,
+    peer_probability,
+    icx_per_shared_city_probability,
+    same_city_icx_km,
+});
+
 /// A generated universe: ISP topologies plus every peering pair.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Universe {
     /// All ISPs; an [`IspId`] indexes this vector.
     pub isps: Vec<IspTopology>,
@@ -93,6 +106,12 @@ pub struct Universe {
     /// The configuration that produced this universe.
     pub config: GeneratorConfig,
 }
+
+serde::impl_json_struct!(Universe {
+    isps,
+    pairs,
+    config
+});
 
 impl Universe {
     /// Borrowed view of the `i`-th pair.
@@ -115,8 +134,7 @@ impl Universe {
             .filter(|(_, p)| p.num_interconnections() >= min_icx)
             .filter(|(_, p)| {
                 !exclude_mesh
-                    || (!self.isps[p.isp_a.index()].is_mesh
-                        && !self.isps[p.isp_b.index()].is_mesh)
+                    || (!self.isps[p.isp_a.index()].is_mesh && !self.isps[p.isp_b.index()].is_mesh)
             })
             .map(|(i, _)| i)
             .collect()
@@ -209,14 +227,7 @@ impl TopologyGenerator {
             let candidates: Vec<usize> = cities
                 .iter()
                 .enumerate()
-                .filter(|(i, c)| {
-                    !taken[*i]
-                        && if use_home {
-                            c.region == home
-                        } else {
-                            true
-                        }
-                })
+                .filter(|(i, c)| !taken[*i] && if use_home { c.region == home } else { true })
                 .map(|(i, _)| i)
                 .collect();
             if candidates.is_empty() {
@@ -278,7 +289,12 @@ impl TopologyGenerator {
         let links = if is_mesh {
             full_mesh_links(&pops)
         } else {
-            waxman_links(&pops, self.config.waxman_alpha, self.config.waxman_beta, rng)
+            waxman_links(
+                &pops,
+                self.config.waxman_alpha,
+                self.config.waxman_beta,
+                rng,
+            )
         };
 
         IspTopology::new(id, format!("isp-{:02}", id.0), pops, links, is_mesh)

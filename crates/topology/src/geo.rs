@@ -5,13 +5,11 @@
 //! work), so distance in kilometres between PoPs is the fundamental length
 //! unit of the whole reproduction.
 
-use serde::{Deserialize, Serialize};
-
 /// Mean Earth radius in kilometres (IUGG value).
 pub const EARTH_RADIUS_KM: f64 = 6371.0088;
 
 /// A WGS-84 latitude/longitude point, in degrees.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GeoPoint {
     /// Latitude in degrees, positive north, in `[-90, 90]`.
     pub lat: f64,
@@ -19,10 +17,15 @@ pub struct GeoPoint {
     pub lon: f64,
 }
 
+serde::impl_json_struct!(GeoPoint { lat, lon });
+
 impl GeoPoint {
     /// Create a new point. Debug-asserts the coordinate ranges.
     pub fn new(lat: f64, lon: f64) -> Self {
-        debug_assert!((-90.0..=90.0).contains(&lat), "latitude out of range: {lat}");
+        debug_assert!(
+            (-90.0..=90.0).contains(&lat),
+            "latitude out of range: {lat}"
+        );
         debug_assert!(
             (-180.0..=180.0).contains(&lon),
             "longitude out of range: {lon}"
@@ -40,8 +43,7 @@ impl GeoPoint {
         let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
         let dlat = lat2 - lat1;
         let dlon = lon2 - lon1;
-        let a =
-            (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
         2.0 * EARTH_RADIUS_KM * a.sqrt().min(1.0).asin()
     }
 
@@ -53,13 +55,9 @@ impl GeoPoint {
         let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
         let bx = lat2.cos() * (lon2 - lon1).cos();
         let by = lat2.cos() * (lon2 - lon1).sin();
-        let lat3 = (lat1.sin() + lat2.sin())
-            .atan2(((lat1.cos() + bx).powi(2) + by.powi(2)).sqrt());
+        let lat3 = (lat1.sin() + lat2.sin()).atan2(((lat1.cos() + bx).powi(2) + by.powi(2)).sqrt());
         let lon3 = lon1 + by.atan2(lat1.cos() + bx);
-        GeoPoint::new(
-            lat3.to_degrees(),
-            normalize_lon(lon3.to_degrees()),
-        )
+        GeoPoint::new(lat3.to_degrees(), normalize_lon(lon3.to_degrees()))
     }
 }
 

@@ -6,16 +6,13 @@
 //! newtype. All ids are *local*: a [`PopId`] is an index into one ISP's
 //! `pops` vector, not a global identifier.
 
-use serde::{Deserialize, Serialize};
-
 macro_rules! id_newtype {
     ($(#[$doc:meta])* $name:ident) => {
         $(#[$doc])*
-        #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-        )]
-        #[serde(transparent)]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
         pub struct $name(pub u32);
+
+        serde::impl_json_newtype!($name);
 
         impl $name {
             /// Construct from a `usize` index, panicking on overflow

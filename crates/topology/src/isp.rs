@@ -9,10 +9,9 @@
 use crate::geo::GeoPoint;
 use crate::ids::{IspId, LinkId, PopId};
 use crate::TopologyError;
-use serde::{Deserialize, Serialize};
 
 /// A point of presence: one router-level aggregation point in one city.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Pop {
     /// Name of the city hosting this PoP (matches the built-in city table
     /// for generated topologies; free-form for imported ones).
@@ -24,8 +23,10 @@ pub struct Pop {
     pub weight: f64,
 }
 
+serde::impl_json_struct!(Pop { city, geo, weight });
+
 /// An undirected intra-ISP link between two PoPs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Link {
     /// One endpoint.
     pub a: PopId,
@@ -51,8 +52,15 @@ impl Link {
     }
 }
 
+serde::impl_json_struct!(Link {
+    a,
+    b,
+    weight,
+    length_km
+});
+
 /// A complete PoP-level ISP topology.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IspTopology {
     /// Identifier within the universe this ISP belongs to.
     pub id: IspId,
@@ -68,10 +76,11 @@ pub struct IspTopology {
     /// matching fraction of mesh ISPs.
     pub is_mesh: bool,
     /// Adjacency index: for each PoP, the ids of its incident links.
-    /// Rebuilt on construction and after deserialization; skipped by serde.
-    #[serde(skip)]
+    /// Rebuilt on construction and after deserialization; not serialized.
     adjacency: Vec<Vec<LinkId>>,
 }
+
+serde::impl_json_struct!(IspTopology { id, name, pops, links, is_mesh } skip { adjacency });
 
 impl IspTopology {
     /// Build a topology and its adjacency index, validating structure.

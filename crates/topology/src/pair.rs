@@ -9,10 +9,9 @@
 use crate::ids::{IcxId, IspId, PopId};
 use crate::isp::IspTopology;
 use crate::TopologyError;
-use serde::{Deserialize, Serialize};
 
 /// One inter-ISP link between a PoP of ISP A and a PoP of ISP B.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Interconnection {
     /// PoP on the A side.
     pub pop_a: PopId,
@@ -24,8 +23,14 @@ pub struct Interconnection {
     pub length_km: f64,
 }
 
+serde::impl_json_struct!(Interconnection {
+    pop_a,
+    pop_b,
+    length_km
+});
+
 /// A pair of neighboring ISPs with two or more interconnections.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IspPair {
     /// The "A" ISP (in directed experiments, A is the upstream by default).
     pub isp_a: IspId,
@@ -34,6 +39,12 @@ pub struct IspPair {
     /// All interconnections. An [`IcxId`] indexes this vector.
     pub interconnections: Vec<Interconnection>,
 }
+
+serde::impl_json_struct!(IspPair {
+    isp_a,
+    isp_b,
+    interconnections
+});
 
 impl IspPair {
     /// Construct a pair, validating interconnection endpoints against the

@@ -16,8 +16,8 @@ pub fn universe_to_json(universe: &Universe) -> String {
 /// Load a universe from JSON, rebuilding indices and re-validating every
 /// topology.
 pub fn universe_from_json(json: &str) -> Result<Universe, TopologyError> {
-    let mut universe: Universe = serde_json::from_str(json)
-        .map_err(|e| TopologyError::InvalidSerialized(e.to_string()))?;
+    let mut universe: Universe =
+        serde_json::from_str(json).map_err(|e| TopologyError::InvalidSerialized(e.to_string()))?;
     universe.rebuild_indices();
     for isp in &universe.isps {
         validate(isp)?;
@@ -54,8 +54,8 @@ pub fn isp_to_json(isp: &IspTopology) -> String {
 /// Load one ISP topology from JSON, rebuilding the adjacency index and
 /// re-validating.
 pub fn isp_from_json(json: &str) -> Result<IspTopology, TopologyError> {
-    let mut isp: IspTopology = serde_json::from_str(json)
-        .map_err(|e| TopologyError::InvalidSerialized(e.to_string()))?;
+    let mut isp: IspTopology =
+        serde_json::from_str(json).map_err(|e| TopologyError::InvalidSerialized(e.to_string()))?;
     isp.rebuild_adjacency();
     validate(&isp)?;
     Ok(isp)

@@ -31,7 +31,9 @@ impl WorkloadModel {
             WorkloadModel::Uniform { seed } => {
                 // Mix the ISP id into the seed so each ISP gets independent
                 // but reproducible weights.
-                let mut rng = StdRng::seed_from_u64(seed ^ (isp.id.0 as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ (isp.id.0 as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                );
                 (0..isp.num_pops())
                     .map(|_| 1.0 - rng.gen::<f64>().min(0.999_999))
                     .collect()

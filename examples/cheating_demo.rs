@@ -7,7 +7,7 @@
 //! cargo run --release --example cheating_demo
 //! ```
 
-use nexit::core::{negotiate, DisclosurePolicy, NexitConfig, Party, Side};
+use nexit::core::{DisclosurePolicy, NexitConfig, Party, SessionBuilder, Side};
 use nexit::metrics::percent_gain;
 use nexit::sim::experiments::distance::build_pair_run;
 use nexit::sim::twoway::{twoway_side_distance, twoway_total_distance, TwoWayDistanceMapper};
@@ -20,36 +20,72 @@ fn main() {
         ..GeneratorConfig::default()
     })
     .generate();
-    println!("{:>6} {:>18} {:>18} {:>12}", "pair", "truthful (A/B %)", "cheating (A/B %)", "cheater delta");
+    println!(
+        "{:>6} {:>18} {:>18} {:>12}",
+        "pair", "truthful (A/B %)", "cheating (A/B %)", "cheater delta"
+    );
     for &idx in universe.eligible_pairs(2, true).iter().take(8) {
         let run = build_pair_run(&universe, idx);
         let session = &run.session;
-        let mapper = |side| {
-            TwoWayDistanceMapper::new(side, &run.fwd.flows, &run.rev.flows, session.n_fwd)
-        };
+        let mapper =
+            |side| TwoWayDistanceMapper::new(side, &run.fwd.flows, &run.rev.flows, session.n_fwd);
         let side_gain = |assignment: &nexit::routing::Assignment, s: Side| {
             let (f, r) = session.split(assignment);
-            let d = twoway_side_distance(s, &run.fwd.flows, &run.rev.flows, &run.fwd.default, &run.rev.default);
+            let d = twoway_side_distance(
+                s,
+                &run.fwd.flows,
+                &run.rev.flows,
+                &run.fwd.default,
+                &run.rev.default,
+            );
             let n = twoway_side_distance(s, &run.fwd.flows, &run.rev.flows, &f, &r);
             percent_gain(d, n)
         };
 
-        let mut a = Party::honest("A", mapper(Side::A));
-        let mut b = Party::honest("B", mapper(Side::B));
-        let truthful = negotiate(&session.input, &session.default, &mut a, &mut b, &NexitConfig::win_win());
+        let run_with = |party_b: Party<'_>| {
+            SessionBuilder::new()
+                .input(session.input.clone())
+                .default_assignment(session.default.clone())
+                .config(NexitConfig::win_win())
+                .party_a(Party::honest("A", mapper(Side::A)))
+                .party_b(party_b)
+                .run()
+                .expect("valid session")
+        };
+        let truthful = run_with(Party::honest("B", mapper(Side::B)));
 
         // ISP-B cheats with the paper's inflate-best strategy.
-        let mut a = Party::honest("A", mapper(Side::A));
-        let mut b = Party::cheating("B", mapper(Side::B), DisclosurePolicy::InflateBest);
-        let cheated = negotiate(&session.input, &session.default, &mut a, &mut b, &NexitConfig::win_win());
+        let cheated = run_with(Party::cheating(
+            "B",
+            mapper(Side::B),
+            DisclosurePolicy::InflateBest,
+        ));
 
-        let (ta, tb) = (side_gain(&truthful.assignment, Side::A), side_gain(&truthful.assignment, Side::B));
-        let (ca, cb) = (side_gain(&cheated.assignment, Side::A), side_gain(&cheated.assignment, Side::B));
+        let (ta, tb) = (
+            side_gain(&truthful.assignment, Side::A),
+            side_gain(&truthful.assignment, Side::B),
+        );
+        let (ca, cb) = (
+            side_gain(&cheated.assignment, Side::A),
+            side_gain(&cheated.assignment, Side::B),
+        );
         println!(
             "{:>6} {:>8.2}/{:<8.2} {:>8.2}/{:<8.2} {:>+11.2}%",
-            idx, ta, tb, ca, cb, cb - tb
+            idx,
+            ta,
+            tb,
+            ca,
+            cb,
+            cb - tb
         );
-        let _ = twoway_total_distance(&run.fwd.flows, &run.rev.flows, &run.fwd.default, &run.rev.default);
+        let _ = twoway_total_distance(
+            &run.fwd.flows,
+            &run.rev.flows,
+            &run.fwd.default,
+            &run.rev.default,
+        );
     }
-    println!("\n(cheater delta < 0 means lying made the cheater worse off — the paper's disincentive)");
+    println!(
+        "\n(cheater delta < 0 means lying made the cheater worse off — the paper's disincentive)"
+    );
 }

@@ -7,7 +7,7 @@
 //! cargo run --release --example diverse_objectives
 //! ```
 
-use nexit::core::{negotiate, BandwidthMapper, DistanceMapper, NexitConfig, Party, Side};
+use nexit::core::{BandwidthMapper, DistanceMapper, NexitConfig, Party, SessionBuilder, Side};
 use nexit::metrics::percent_gain;
 use nexit::sim::experiments::bandwidth::failure_scenarios;
 use nexit::sim::ExpConfig;
@@ -34,26 +34,25 @@ fn main() {
 
     let input = scenario.session_input();
     // Upstream: avoid overload. Downstream: shorten its carry distance.
-    let mut upstream = Party::honest(
-        "upstream (bandwidth)",
-        BandwidthMapper::new(
-            Side::A,
-            &scenario.data.flows,
-            &scenario.data.paths,
-            &scenario.caps_up,
-        ),
-    );
-    let mut downstream = Party::honest(
-        "downstream (distance)",
-        DistanceMapper::new(Side::B, &scenario.data.flows),
-    );
-    let outcome = negotiate(
-        &input,
-        &scenario.data.default,
-        &mut upstream,
-        &mut downstream,
-        &NexitConfig::win_win_bandwidth(),
-    );
+    let outcome = SessionBuilder::new()
+        .input(input)
+        .default_assignment(scenario.data.default.clone())
+        .config(NexitConfig::win_win_bandwidth())
+        .party_a(Party::honest(
+            "upstream (bandwidth)",
+            BandwidthMapper::new(
+                Side::A,
+                &scenario.data.flows,
+                &scenario.data.paths,
+                &scenario.caps_up,
+            ),
+        ))
+        .party_b(Party::honest(
+            "downstream (distance)",
+            DistanceMapper::new(Side::B, &scenario.data.flows),
+        ))
+        .run()
+        .expect("valid session");
 
     let (def_up, _) = scenario.default_mels;
     let (neg_up, _) = scenario.mels(&outcome.assignment);

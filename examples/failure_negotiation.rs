@@ -6,12 +6,12 @@
 //! cargo run --release --example failure_negotiation
 //! ```
 
-use nexit::core::{negotiate, NexitConfig, Party, SessionInput, Side};
+use nexit::core::BandwidthMapper;
+use nexit::core::{NexitConfig, Party, SessionBuilder, SessionInput, Side};
 use nexit::routing::{Assignment, FlowId, PairFlows, ShortestPaths};
 use nexit::sim::scenarios::{icx, ladder};
 use nexit::topology::PairView;
 use nexit::workload::{assign_capacities, link_loads, CapacityModel, PathTable};
-use nexit::core::BandwidthMapper;
 
 fn main() {
     // Two ISPs joined by top/middle/bottom interconnections (Fig. 2a).
@@ -48,7 +48,10 @@ fn main() {
     println!("impacted flows: {}", impacted.len());
     let input = SessionInput {
         defaults: impacted.iter().map(|&f| rdefault.choice(f)).collect(),
-        volumes: impacted.iter().map(|&f| rflows.flows[f.index()].volume).collect(),
+        volumes: impacted
+            .iter()
+            .map(|&f| rflows.flows[f.index()].volume)
+            .collect(),
         flow_ids: impacted,
         num_alternatives: reduced.num_interconnections(),
     };
@@ -62,21 +65,20 @@ fn main() {
         nexit::metrics::mel(&loads_def.down, &caps_b)
     );
 
-    let mut isp_a = Party::honest(
-        "ISP-A",
-        BandwidthMapper::new(Side::A, &rflows, &rpaths, &caps_a),
-    );
-    let mut isp_b = Party::honest(
-        "ISP-B",
-        BandwidthMapper::new(Side::B, &rflows, &rpaths, &caps_b),
-    );
-    let outcome = negotiate(
-        &input,
-        &rdefault,
-        &mut isp_a,
-        &mut isp_b,
-        &NexitConfig::win_win_bandwidth(),
-    );
+    let outcome = SessionBuilder::new()
+        .input(input)
+        .default_assignment(rdefault.clone())
+        .config(NexitConfig::win_win_bandwidth())
+        .party_a(Party::honest(
+            "ISP-A",
+            BandwidthMapper::new(Side::A, &rflows, &rpaths, &caps_a),
+        ))
+        .party_b(Party::honest(
+            "ISP-B",
+            BandwidthMapper::new(Side::B, &rflows, &rpaths, &caps_b),
+        ))
+        .run()
+        .expect("valid session");
     let loads_neg = link_loads(&rview, &rpaths, &rflows, &outcome.assignment);
     println!(
         "negotiated:            max load A {:.2} / B {:.2}  (rounds: {}, reassignments: {})",
@@ -85,7 +87,12 @@ fn main() {
         outcome.transcript.len(),
         outcome.reassignments,
     );
-    for (flow, choice) in outcome.assignment.diff(&rdefault).iter().map(|&f| (f, outcome.assignment.choice(f))) {
+    for (flow, choice) in outcome
+        .assignment
+        .diff(&rdefault)
+        .iter()
+        .map(|&f| (f, outcome.assignment.choice(f)))
+    {
         println!("  flow {flow} re-routed to interconnection {choice:?}");
     }
 }

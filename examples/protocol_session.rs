@@ -57,8 +57,8 @@ fn main() {
     .expect("agent B");
     let mut link_ab = FaultyLink::new(FaultConfig::RELIABLE, 1);
     let mut link_ba = FaultyLink::new(FaultConfig::RELIABLE, 2);
-    let (out_a, out_b) = run_session(&mut agent_a, &mut agent_b, &mut link_ab, &mut link_ba)
-        .expect("session");
+    let (out_a, out_b) =
+        run_session(&mut agent_a, &mut agent_b, &mut link_ab, &mut link_ba).expect("session");
     println!(
         "in-memory session: {} rounds, gains A={} B={}, assignments agree: {}",
         out_a.rounds,
@@ -103,14 +103,32 @@ fn main() {
     // Corruption on the wire is detected, not silently accepted.
     let (input, default, flows) = build_session();
     let mut agent_a = Agent::new(
-        Side::A, "A", input.clone(), default.clone(),
-        DistanceMapper::new(Side::A, &flows), DisclosurePolicy::Truthful, config,
-    ).unwrap();
+        Side::A,
+        "A",
+        input.clone(),
+        default.clone(),
+        DistanceMapper::new(Side::A, &flows),
+        DisclosurePolicy::Truthful,
+        config,
+    )
+    .unwrap();
     let mut agent_b = Agent::new(
-        Side::B, "B", input, default,
-        DistanceMapper::new(Side::B, &flows), DisclosurePolicy::Truthful, config,
-    ).unwrap();
-    let mut bad_ab = FaultyLink::new(FaultConfig { corrupt_chance: 0.5, ..FaultConfig::RELIABLE }, 7);
+        Side::B,
+        "B",
+        input,
+        default,
+        DistanceMapper::new(Side::B, &flows),
+        DisclosurePolicy::Truthful,
+        config,
+    )
+    .unwrap();
+    let mut bad_ab = FaultyLink::new(
+        FaultConfig {
+            corrupt_chance: 0.5,
+            ..FaultConfig::RELIABLE
+        },
+        7,
+    );
     let mut ok_ba = FaultyLink::new(FaultConfig::RELIABLE, 8);
     match run_session(&mut agent_a, &mut agent_b, &mut bad_ab, &mut ok_ba) {
         Ok(_) => println!("faulty link: session survived (no frame happened to be corrupted)"),

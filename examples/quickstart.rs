@@ -7,7 +7,7 @@
 //! ```
 
 use nexit::baselines::optimal_distance;
-use nexit::core::{negotiate, NexitConfig, Party, Side};
+use nexit::core::{NexitConfig, Party, SessionBuilder, Side};
 use nexit::metrics::percent_gain;
 use nexit::sim::twoway::{
     twoway_side_distance, twoway_total_distance, TwoWayDistanceMapper, TwoWaySession,
@@ -45,21 +45,20 @@ fn main() {
 
     // Negotiate: each ISP maps its own internal distance to opaque
     // preference classes; neither sees the other's kilometres.
-    let mut isp_a = Party::honest(
-        a.name.clone(),
-        TwoWayDistanceMapper::new(Side::A, &fwd.flows, &rev.flows, session.n_fwd),
-    );
-    let mut isp_b = Party::honest(
-        b.name.clone(),
-        TwoWayDistanceMapper::new(Side::B, &fwd.flows, &rev.flows, session.n_fwd),
-    );
-    let outcome = negotiate(
-        &session.input,
-        &session.default,
-        &mut isp_a,
-        &mut isp_b,
-        &NexitConfig::win_win(),
-    );
+    let outcome = SessionBuilder::new()
+        .input(session.input.clone())
+        .default_assignment(session.default.clone())
+        .config(NexitConfig::win_win())
+        .party_a(Party::honest(
+            a.name.clone(),
+            TwoWayDistanceMapper::new(Side::A, &fwd.flows, &rev.flows, session.n_fwd),
+        ))
+        .party_b(Party::honest(
+            b.name.clone(),
+            TwoWayDistanceMapper::new(Side::B, &fwd.flows, &rev.flows, session.n_fwd),
+        ))
+        .run()
+        .expect("valid session");
     let (neg_fwd, neg_rev) = session.split(&outcome.assignment);
 
     // Compare default / negotiated / optimal.
@@ -68,13 +67,18 @@ fn main() {
     let opt_f = optimal_distance(&fwd.flows);
     let opt_r = optimal_distance(&rev.flows);
     let o = twoway_total_distance(&fwd.flows, &rev.flows, &opt_f, &opt_r);
-    println!("total distance gain: negotiated {:+.2}%  optimal {:+.2}%",
-        percent_gain(d, n), percent_gain(d, o));
+    println!(
+        "total distance gain: negotiated {:+.2}%  optimal {:+.2}%",
+        percent_gain(d, n),
+        percent_gain(d, o)
+    );
     for side in [Side::A, Side::B] {
         let ds = twoway_side_distance(side, &fwd.flows, &rev.flows, &fwd.default, &rev.default);
         let ns = twoway_side_distance(side, &fwd.flows, &rev.flows, &neg_fwd, &neg_rev);
-        println!("  {side}: individual gain {:+.2}% (win-win: never negative)",
-            percent_gain(ds, ns));
+        println!(
+            "  {side}: individual gain {:+.2}% (win-win: never negative)",
+            percent_gain(ds, ns)
+        );
     }
     println!(
         "rounds: {}, flows moved off default: {}",

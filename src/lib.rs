@@ -16,9 +16,17 @@
 //! | [`metrics`] | distance gains, MEL, Fortz–Thorup cost |
 //! | [`lp`] | dense two-phase simplex (substrate for the bandwidth optimum) |
 //! | [`baselines`] | global optima, flow filters, grouped & unilateral strategies |
-//! | [`core`] | **the Nexit negotiation engine** (preferences, policies, cheating) |
-//! | [`proto`] | wire protocol + sans-io negotiation agents |
+//! | [`core`] | **the Nexit negotiation core**: the sans-IO `NegotiationMachine`, the in-process driver, preferences, policies, cheating |
+//! | [`proto`] | wire protocol + sans-io negotiation agents (codec shells around the same machine) |
 //! | [`sim`] | the full experiment harness reproducing every paper figure |
+//!
+//! Every turn/propose/accept/stop decision lives in exactly one place —
+//! [`core::machine::NegotiationMachine`](machine). The in-process driver
+//! ([`core::negotiate`] / [`core::SessionBuilder`]) and the wire agents
+//! ([`proto::Agent`]) are thin shells around it, so simulated and
+//! deployed negotiations agree by construction.
+//!
+//! [machine]: crate::core::machine::NegotiationMachine
 //!
 //! ## Quickstart
 //!
@@ -26,7 +34,7 @@
 //! use nexit::topology::{GeneratorConfig, TopologyGenerator};
 //! use nexit::sim::PairData;
 //! use nexit::sim::twoway::{TwoWayDistanceMapper, TwoWaySession};
-//! use nexit::core::{negotiate, NexitConfig, Party, Side};
+//! use nexit::core::{NexitConfig, Party, SessionBuilder, Side};
 //! use nexit::workload::WorkloadModel;
 //!
 //! // Generate a small universe and pick a peering pair.
@@ -48,21 +56,20 @@
 //! let session = TwoWaySession::build(&fwd, &rev);
 //!
 //! // Negotiate with the distance objective on both sides.
-//! let mut isp_a = Party::honest(
-//!     "ISP-A",
-//!     TwoWayDistanceMapper::new(Side::A, &fwd.flows, &rev.flows, session.n_fwd),
-//! );
-//! let mut isp_b = Party::honest(
-//!     "ISP-B",
-//!     TwoWayDistanceMapper::new(Side::B, &fwd.flows, &rev.flows, session.n_fwd),
-//! );
-//! let outcome = negotiate(
-//!     &session.input,
-//!     &session.default,
-//!     &mut isp_a,
-//!     &mut isp_b,
-//!     &NexitConfig::win_win(),
-//! );
+//! let outcome = SessionBuilder::new()
+//!     .input(session.input.clone())
+//!     .default_assignment(session.default.clone())
+//!     .config(NexitConfig::win_win())
+//!     .party_a(Party::honest(
+//!         "ISP-A",
+//!         TwoWayDistanceMapper::new(Side::A, &fwd.flows, &rev.flows, session.n_fwd),
+//!     ))
+//!     .party_b(Party::honest(
+//!         "ISP-B",
+//!         TwoWayDistanceMapper::new(Side::B, &fwd.flows, &rev.flows, session.n_fwd),
+//!     ))
+//!     .run()
+//!     .expect("structurally valid session");
 //! assert!(outcome.gain_a >= 0 && outcome.gain_b >= 0, "win-win");
 //! ```
 

@@ -1,24 +1,23 @@
 //! Cross-crate invariant: the in-process engine and the wire-protocol
-//! agents must reach identical outcomes from identical inputs — they
-//! share the selection logic (`nexit_core::selection`) by construction,
-//! and this test pins the equivalence end to end, bytes included.
+//! agents must reach identical outcomes from identical inputs. Since the
+//! `NegotiationMachine` refactor both paths execute the same state
+//! machine, so this suite is no longer guarding against drift between
+//! two implementations — it pins the *shells* (engine pump, frame codec,
+//! handshake, link) end to end, bytes included, and checks that
+//! injected transport faults can only fail a session cleanly, never
+//! silently change its outcome.
 
 use nexit::core::{
-    negotiate, DisclosurePolicy, DistanceMapper, NexitConfig, Party, SessionInput, Side,
+    negotiate, DisclosurePolicy, DistanceMapper, NexitConfig, Party, PreferenceMapper,
+    SessionInput, Side,
 };
-use nexit::proto::{run_session, Agent, FaultyLink};
+use nexit::proto::{run_session, Agent, FaultConfig, FaultyLink, ProtoError};
 use nexit::routing::{Assignment, FlowId, PairFlows, ShortestPaths};
-use nexit::topology::{GeneratorConfig, PairView, TopologyGenerator};
+use nexit::topology::{GeneratorConfig, IcxId, PairView, TopologyGenerator};
 use nexit::workload::WorkloadModel;
+use proptest::prelude::*;
 
-fn directed_session(
-    seed: u64,
-) -> (
-    SessionInput,
-    Assignment,
-    nexit::topology::Universe,
-    usize,
-) {
+fn run_both(seed: u64, config: NexitConfig) {
     let u = TopologyGenerator::new(GeneratorConfig {
         num_isps: 12,
         num_mesh_isps: 0,
@@ -27,11 +26,6 @@ fn directed_session(
     })
     .generate();
     let idx = u.eligible_pairs(2, true)[0];
-    (SessionInput { flow_ids: vec![], defaults: vec![], volumes: vec![], num_alternatives: 1 }, Assignment::from_choices(vec![]), u, idx)
-}
-
-fn run_both(seed: u64, config: NexitConfig) {
-    let (_, _, u, idx) = directed_session(seed);
     let pair = &u.pairs[idx];
     let a = &u.isps[pair.isp_a.index()];
     let b = &u.isps[pair.isp_b.index()];
@@ -83,9 +77,20 @@ fn run_both(seed: u64, config: NexitConfig) {
         out_a.assignment.choices(),
         "engine and protocol agents disagree (seed {seed})"
     );
-    assert_eq!(out_a.assignment, out_b.assignment, "agents disagree with each other");
+    assert_eq!(
+        out_a.assignment, out_b.assignment,
+        "agents disagree with each other"
+    );
     assert_eq!(engine.gain_a, out_a.my_gain, "A gain mismatch");
     assert_eq!(engine.gain_b, out_b.my_gain, "B gain mismatch");
+    assert_eq!(
+        engine.termination, out_a.termination,
+        "termination mismatch"
+    );
+    assert_eq!(
+        engine.reassignments, out_a.reassignments,
+        "reassignment mismatch"
+    );
 }
 
 #[test]
@@ -99,6 +104,13 @@ fn equivalence_default_config() {
 fn equivalence_win_win_config() {
     for seed in [4, 5, 6] {
         run_both(seed, NexitConfig::win_win());
+    }
+}
+
+#[test]
+fn equivalence_bandwidth_reassignment_config() {
+    for seed in [7, 8] {
+        run_both(seed, NexitConfig::win_win_bandwidth());
     }
 }
 
@@ -138,13 +150,25 @@ fn equivalence_with_cheating_downstream() {
     let engine = negotiate(&input, &default, &mut pa, &mut pb, &config);
 
     let mut agent_a = Agent::new(
-        Side::A, "A", input.clone(), default.clone(),
-        DistanceMapper::new(Side::A, &flows), DisclosurePolicy::Truthful, config,
-    ).unwrap();
+        Side::A,
+        "A",
+        input.clone(),
+        default.clone(),
+        DistanceMapper::new(Side::A, &flows),
+        DisclosurePolicy::Truthful,
+        config,
+    )
+    .unwrap();
     let mut agent_b = Agent::new(
-        Side::B, "B", input, default,
-        DistanceMapper::new(Side::B, &flows), DisclosurePolicy::InflateBest, config,
-    ).unwrap();
+        Side::B,
+        "B",
+        input,
+        default,
+        DistanceMapper::new(Side::B, &flows),
+        DisclosurePolicy::InflateBest,
+        config,
+    )
+    .unwrap();
     let mut ab = FaultyLink::reliable();
     let mut ba = FaultyLink::reliable();
     let (out_a, _) = run_session(&mut agent_a, &mut agent_b, &mut ab, &mut ba).unwrap();
@@ -155,12 +179,12 @@ fn equivalence_with_cheating_downstream() {
 fn cheating_upstream_is_rejected_in_protocol() {
     let input = SessionInput {
         flow_ids: vec![FlowId(0)],
-        defaults: vec![nexit::topology::IcxId(0)],
+        defaults: vec![IcxId(0)],
         volumes: vec![1.0],
         num_alternatives: 2,
     };
     struct Null;
-    impl nexit::core::PreferenceMapper for Null {
+    impl PreferenceMapper for Null {
         fn gains(&mut self, i: &SessionInput, _c: &Assignment) -> Vec<Vec<f64>> {
             vec![vec![0.0; i.num_alternatives]; i.len()]
         }
@@ -169,12 +193,214 @@ fn cheating_upstream_is_rejected_in_protocol() {
         Side::A,
         "A",
         input,
-        Assignment::from_choices(vec![nexit::topology::IcxId(0)]),
+        Assignment::from_choices(vec![IcxId(0)]),
         Null,
         DisclosurePolicy::InflateBest,
         NexitConfig::default(),
     )
     .err()
     .expect("side-A InflateBest must be rejected");
-    assert!(matches!(err, nexit::proto::ProtoError::UnsupportedDisclosure));
+    assert!(matches!(err, ProtoError::UnsupportedDisclosure));
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection property cases: a machine pair driven through
+// `FaultyLink` (drop / corrupt / duplicate) either fails the session
+// *cleanly* or reaches exactly the in-process outcome. Injected faults
+// must never silently change the negotiated assignment or the gains.
+// ---------------------------------------------------------------------------
+
+/// A deterministic synthetic mapper: cheap enough to run hundreds of
+/// sessions, rich enough to exercise trades, vetoes and reassignment.
+#[derive(Clone)]
+struct TableMapper {
+    gains: Vec<Vec<f64>>,
+}
+
+impl PreferenceMapper for TableMapper {
+    fn gains(&mut self, _i: &SessionInput, _c: &Assignment) -> Vec<Vec<f64>> {
+        self.gains.clone()
+    }
+}
+
+fn synthetic_session(n: usize, k: usize) -> (SessionInput, Assignment) {
+    (
+        SessionInput {
+            flow_ids: (0..n).map(FlowId::new).collect(),
+            defaults: vec![IcxId(0); n],
+            volumes: vec![1.0; n],
+            num_alternatives: k,
+        },
+        Assignment::uniform(n, IcxId(0)),
+    )
+}
+
+/// Run the same session through the in-process driver and through agents
+/// over the given links; check the fault-safety contract.
+fn check_faulty_session(
+    gains_a: Vec<Vec<f64>>,
+    gains_b: Vec<Vec<f64>>,
+    config: NexitConfig,
+    faults: FaultConfig,
+    link_seed: u64,
+) -> Result<(), TestCaseError> {
+    let n = gains_a.len();
+    let k = gains_a[0].len();
+    let (input, default) = synthetic_session(n, k);
+
+    let mut pa = Party::honest(
+        "A",
+        TableMapper {
+            gains: gains_a.clone(),
+        },
+    );
+    let mut pb = Party::honest(
+        "B",
+        TableMapper {
+            gains: gains_b.clone(),
+        },
+    );
+    let reference = negotiate(&input, &default, &mut pa, &mut pb, &config);
+
+    let mut agent_a = Agent::new(
+        Side::A,
+        "A",
+        input.clone(),
+        default.clone(),
+        TableMapper { gains: gains_a },
+        DisclosurePolicy::Truthful,
+        config,
+    )
+    .unwrap();
+    let mut agent_b = Agent::new(
+        Side::B,
+        "B",
+        input,
+        default,
+        TableMapper { gains: gains_b },
+        DisclosurePolicy::Truthful,
+        config,
+    )
+    .unwrap();
+    let mut ab = FaultyLink::new(faults, link_seed);
+    let mut ba = FaultyLink::new(faults, link_seed.wrapping_add(1));
+    match run_session(&mut agent_a, &mut agent_b, &mut ab, &mut ba) {
+        Ok((out_a, out_b)) => {
+            // The session survived the faults (duplicates of a frame can
+            // still break protocol state; surviving ones must be exact).
+            prop_assert_eq!(
+                reference.assignment.choices(),
+                out_a.assignment.choices(),
+                "fault injection changed the outcome (seed {})",
+                link_seed
+            );
+            prop_assert_eq!(out_a.assignment, out_b.assignment);
+            prop_assert_eq!(reference.gain_a, out_a.my_gain);
+            prop_assert_eq!(reference.gain_b, out_b.my_gain);
+        }
+        Err(e) => {
+            // Clean failure is the only acceptable alternative: frame
+            // corruption must be caught by the CRC (or the message /
+            // state validators), never absorbed.
+            let clean = matches!(
+                e,
+                ProtoError::Frame(_)
+                    | ProtoError::Message(_)
+                    | ProtoError::UnexpectedMessage { .. }
+                    | ProtoError::BadProposal(_)
+                    | ProtoError::BadPrefList(_)
+                    | ProtoError::ConfigMismatch(_)
+                    | ProtoError::FlowMismatch(_)
+                    | ProtoError::Closed
+            );
+            prop_assert!(clean, "unclean failure: {e}");
+        }
+    }
+    Ok(())
+}
+
+fn arb_gains(n: usize, k: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(-10.0f64..10.0, k), n).prop_map(
+        |mut rows| {
+            for row in &mut rows {
+                row[0] = 0.0; // default column
+            }
+            rows
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// On reliable links, engine and agents agree for arbitrary tables
+    /// and both headline configs (round-trip equivalence).
+    #[test]
+    fn machine_pair_roundtrips_reliable(
+        ga in arb_gains(6, 3),
+        gb in arb_gains(6, 3),
+        win_win in any::<bool>(),
+    ) {
+        let config = if win_win {
+            NexitConfig::win_win()
+        } else {
+            NexitConfig::default()
+        };
+        check_faulty_session(ga, gb, config, FaultConfig::RELIABLE, 0)?;
+    }
+
+    /// Dropped frames stall the lock-step protocol: the driver must
+    /// surface that as an error, and partial sessions never yield an
+    /// outcome that differs from the reference.
+    #[test]
+    fn dropped_frames_fail_cleanly(
+        ga in arb_gains(5, 3),
+        gb in arb_gains(5, 3),
+        drop_chance in 0.05f64..0.6,
+        link_seed in 0u64..1_000,
+    ) {
+        let faults = FaultConfig { drop_chance, ..FaultConfig::RELIABLE };
+        check_faulty_session(ga, gb, NexitConfig::win_win(), faults, link_seed)?;
+    }
+
+    /// Corrupted frames must be detected by the CRC (or fail message
+    /// validation) — never silently alter the outcome.
+    #[test]
+    fn corrupted_frames_fail_cleanly(
+        ga in arb_gains(5, 3),
+        gb in arb_gains(5, 3),
+        corrupt_chance in 0.05f64..0.6,
+        link_seed in 0u64..1_000,
+    ) {
+        let faults = FaultConfig { corrupt_chance, ..FaultConfig::RELIABLE };
+        check_faulty_session(ga, gb, NexitConfig::win_win(), faults, link_seed)?;
+    }
+
+    /// Duplicated frames arrive in a state that no longer expects them;
+    /// the machine's state validation must reject them (or, where a
+    /// duplicate is harmlessly re-ordered out, the outcome must match).
+    #[test]
+    fn duplicated_frames_fail_cleanly_or_match(
+        ga in arb_gains(5, 3),
+        gb in arb_gains(5, 3),
+        duplicate_chance in 0.05f64..0.6,
+        link_seed in 0u64..1_000,
+    ) {
+        let faults = FaultConfig { duplicate_chance, ..FaultConfig::RELIABLE };
+        check_faulty_session(ga, gb, NexitConfig::win_win(), faults, link_seed)?;
+    }
+
+    /// All three fault classes at once.
+    #[test]
+    fn mixed_faults_fail_cleanly_or_match(
+        ga in arb_gains(4, 3),
+        gb in arb_gains(4, 3),
+        drop_chance in 0.0f64..0.3,
+        corrupt_chance in 0.0f64..0.3,
+        duplicate_chance in 0.0f64..0.3,
+        link_seed in 0u64..1_000,
+    ) {
+        let faults = FaultConfig { drop_chance, corrupt_chance, duplicate_chance };
+        check_faulty_session(ga, gb, NexitConfig::win_win(), faults, link_seed)?;
+    }
 }

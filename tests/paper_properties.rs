@@ -185,12 +185,21 @@ fn fig3_reassignment_walkthrough_holds_end_to_end() {
     assert!(!impacted.is_empty());
     let input = nexit::core::SessionInput {
         defaults: impacted.iter().map(|&f| rdefault.choice(f)).collect(),
-        volumes: impacted.iter().map(|&f| rflows.flows[f.index()].volume).collect(),
+        volumes: impacted
+            .iter()
+            .map(|&f| rflows.flows[f.index()].volume)
+            .collect(),
         flow_ids: impacted,
         num_alternatives: reduced.num_interconnections(),
     };
-    let mut a = Party::honest("A", BandwidthMapper::new(Side::A, &rflows, &rpaths, &caps_a));
-    let mut b = Party::honest("B", BandwidthMapper::new(Side::B, &rflows, &rpaths, &caps_b));
+    let mut a = Party::honest(
+        "A",
+        BandwidthMapper::new(Side::A, &rflows, &rpaths, &caps_a),
+    );
+    let mut b = Party::honest(
+        "B",
+        BandwidthMapper::new(Side::B, &rflows, &rpaths, &caps_b),
+    );
     let out = negotiate(
         &input,
         &rdefault,

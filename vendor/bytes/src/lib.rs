@@ -1,0 +1,215 @@
+//! Offline, API-compatible subset of the `bytes` crate: big-endian
+//! cursor reads over `&[u8]` ([`Buf`]), big-endian appends to `Vec<u8>`
+//! ([`BufMut`]), and a growable receive buffer ([`BytesMut`]).
+
+/// Sequential big-endian reads from a byte source.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Skip `n` bytes. Panics when fewer remain.
+    fn advance(&mut self, n: usize);
+    /// Copy out the next `n` bytes. Panics when fewer remain.
+    fn copy_to_array<const N: usize>(&mut self) -> [u8; N];
+
+    /// Read one `u8`.
+    fn get_u8(&mut self) -> u8 {
+        self.copy_to_array::<1>()[0]
+    }
+    /// Read a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.copy_to_array())
+    }
+    /// Read a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.copy_to_array())
+    }
+    /// Read a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.copy_to_array())
+    }
+    /// Read a big-endian `i16`.
+    fn get_i16(&mut self) -> i16 {
+        i16::from_be_bytes(self.copy_to_array())
+    }
+    /// Read a big-endian `i32`.
+    fn get_i32(&mut self) -> i32 {
+        i32::from_be_bytes(self.copy_to_array())
+    }
+    /// Read a big-endian `i64`.
+    fn get_i64(&mut self) -> i64 {
+        i64::from_be_bytes(self.copy_to_array())
+    }
+    /// Read a big-endian IEEE-754 `f64`.
+    fn get_f64(&mut self) -> f64 {
+        f64::from_bits(self.get_u64())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+
+    fn copy_to_array<const N: usize>(&mut self) -> [u8; N] {
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self[..N]);
+        *self = &self[N..];
+        out
+    }
+}
+
+/// Sequential big-endian appends to a byte sink.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one `u8`.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Append a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Append a big-endian `i16`.
+    fn put_i16(&mut self, v: i16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Append a big-endian `i32`.
+    fn put_i32(&mut self, v: i32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Append a big-endian `i64`.
+    fn put_i64(&mut self, v: i64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Append a big-endian IEEE-754 `f64`.
+    fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// A growable receive buffer with cheap front consumption.
+///
+/// Backed by a `Vec<u8>` plus a read offset; [`BytesMut::advance`]
+/// compacts lazily so long sessions do not retain consumed prefixes.
+#[derive(Debug, Default)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append received bytes.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    /// Unconsumed length.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Consume `n` bytes from the front.
+    pub fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of BytesMut");
+        self.start += n;
+        // Compact once the consumed prefix dominates, keeping amortized
+        // O(1) appends without unbounded growth.
+        if self.start > 4096 && self.start * 2 >= self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut out = Vec::new();
+        out.put_u8(7);
+        out.put_u16(0x1234);
+        out.put_u32(0xDEADBEEF);
+        out.put_u64(0x0123_4567_89AB_CDEF);
+        out.put_i16(-2);
+        out.put_i32(-40_000);
+        out.put_i64(-1 << 40);
+        out.put_f64(-2.5);
+        let mut buf: &[u8] = &out;
+        assert_eq!(buf.get_u8(), 7);
+        assert_eq!(buf.get_u16(), 0x1234);
+        assert_eq!(buf.get_u32(), 0xDEADBEEF);
+        assert_eq!(buf.get_u64(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(buf.get_i16(), -2);
+        assert_eq!(buf.get_i32(), -40_000);
+        assert_eq!(buf.get_i64(), -1 << 40);
+        assert_eq!(buf.get_f64(), -2.5);
+        assert_eq!(buf.remaining(), 0);
+    }
+
+    #[test]
+    fn bytes_mut_advance_and_index() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(&[1, 2, 3, 4, 5]);
+        assert_eq!(b.len(), 5);
+        assert_eq!(b[0], 1);
+        b.advance(2);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b[0], 3);
+        assert_eq!(&b[1..3], &[4, 5]);
+        b.extend_from_slice(&[6]);
+        assert_eq!(&b[..], &[3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn bytes_mut_compacts() {
+        let mut b = BytesMut::new();
+        for chunk in 0..100 {
+            b.extend_from_slice(&[chunk as u8; 128]);
+        }
+        for _ in 0..99 {
+            b.advance(128);
+        }
+        assert_eq!(b.len(), 128);
+        assert_eq!(b[0], 99);
+    }
+}

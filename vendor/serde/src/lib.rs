@@ -1,0 +1,425 @@
+//! Offline substitute for the slice of `serde` this workspace uses.
+//!
+//! The build environment has no crates.io access, so instead of the real
+//! serde (whose derive macro needs `syn`/`quote`, also unavailable) this
+//! crate models serialization through one concrete tree type, [`Value`],
+//! and two object-safe-free traits, [`Serialize`] / [`Deserialize`].
+//! In place of `#[derive(Serialize, Deserialize)]`, types opt in with the
+//! declarative macros [`impl_json_struct!`], [`impl_json_enum!`] and
+//! [`impl_json_newtype!`] (the last replaces `#[serde(transparent)]`;
+//! skipped fields replace `#[serde(skip)]`). The `serde_json` sibling
+//! crate renders and parses [`Value`] as standard JSON.
+
+/// A JSON-shaped data tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// An integer that fits `i64` (kept exact; never round-tripped
+    /// through `f64`).
+    Int(i64),
+    /// A non-integer number.
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up an object field by name.
+    pub fn get_field(&self, name: &str) -> Result<&Value, DeError> {
+        match self {
+            Value::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| DeError::msg(format!("missing field `{name}`"))),
+            other => Err(DeError::msg(format!(
+                "expected object with field `{name}`, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// For externally-tagged enums: the payload of `{"Variant": ...}`
+    /// when this value is a single-key object with that key.
+    pub fn get_variant(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) if fields.len() == 1 && fields[0].0 == name => Some(&fields[0].1),
+            _ => None,
+        }
+    }
+
+    /// Human-readable node kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization failure: a contextual message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Build from any message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Self(m.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types renderable to a [`Value`].
+pub trait Serialize {
+    /// Convert to the data tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Convert from the data tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(i64::try_from(*self).expect("integer exceeds i64 range"))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| DeError::msg(format!("{i} out of range for {}", stringify!($t)))),
+                    other => Err(DeError::msg(format!(
+                        "expected integer, got {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        // Keep exact integers exact; `serde_json` prints Float via the
+        // shortest-roundtrip formatter so either path round-trips.
+        if self.fract() == 0.0 && self.abs() < 9.0e15 {
+            Value::Int(*self as i64)
+        } else {
+            Value::Float(*self)
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Int(i) => Ok(*i as f64),
+            Value::Float(f) => Ok(*f),
+            other => Err(DeError::msg(format!(
+                "expected number, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::msg(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::msg(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::msg(format!(
+                "expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (*self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+/// Implement [`Serialize`]/[`Deserialize`] for a named-field struct.
+///
+/// Fields after `skip` are not serialized and are rebuilt with
+/// `Default::default()` on load (the `#[serde(skip)]` replacement).
+///
+/// ```
+/// #[derive(Debug, PartialEq, Default)]
+/// struct Point { x: i32, y: i32, cache: Vec<i32> }
+/// serde::impl_json_struct!(Point { x, y } skip { cache });
+/// ```
+#[macro_export]
+macro_rules! impl_json_struct {
+    ($name:ident { $($f:ident),+ $(,)? }) => {
+        $crate::impl_json_struct!($name { $($f),+ } skip {});
+    };
+    ($name:ident { $($f:ident),+ $(,)? } skip { $($s:ident),* $(,)? }) => {
+        impl $crate::Serialize for $name {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Value::Object(vec![
+                    $((stringify!($f).to_string(), $crate::Serialize::to_value(&self.$f))),+
+                ])
+            }
+        }
+        impl $crate::Deserialize for $name {
+            fn from_value(v: &$crate::Value) -> Result<Self, $crate::DeError> {
+                Ok(Self {
+                    $($f: $crate::Deserialize::from_value(v.get_field(stringify!($f))?)
+                        .map_err(|e| $crate::DeError::msg(format!(
+                            "{}.{}: {e}", stringify!($name), stringify!($f))))?,)+
+                    $($s: Default::default(),)*
+                })
+            }
+        }
+    };
+}
+
+/// Implement transparent serialization for a single-field tuple struct
+/// (the `#[serde(transparent)]` replacement).
+#[macro_export]
+macro_rules! impl_json_newtype {
+    ($name:ident) => {
+        impl $crate::Serialize for $name {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Serialize::to_value(&self.0)
+            }
+        }
+        impl $crate::Deserialize for $name {
+            fn from_value(v: &$crate::Value) -> Result<Self, $crate::DeError> {
+                Ok(Self($crate::Deserialize::from_value(v)?))
+            }
+        }
+    };
+}
+
+/// Implement externally-tagged serialization for an enum of unit and
+/// named-field variants (serde's default representation: `"Unit"` and
+/// `{"Variant": {"field": ...}}`).
+#[macro_export]
+macro_rules! impl_json_enum {
+    ($name:ident { $( $variant:ident $( { $($f:ident),+ $(,)? } )? ),+ $(,)? }) => {
+        impl $crate::Serialize for $name {
+            fn to_value(&self) -> $crate::Value {
+                match self {
+                    $(Self::$variant $( { $($f),+ } )? =>
+                        $crate::impl_json_enum!(@ser $variant $( { $($f),+ } )?),)+
+                }
+            }
+        }
+        impl $crate::Deserialize for $name {
+            fn from_value(v: &$crate::Value) -> Result<Self, $crate::DeError> {
+                $($crate::impl_json_enum!(@de v, $variant $( { $($f),+ } )?);)+
+                Err($crate::DeError::msg(format!(
+                    "no variant of {} matches {}", stringify!($name), v.kind()
+                )))
+            }
+        }
+    };
+    (@ser $variant:ident) => {
+        $crate::Value::Str(stringify!($variant).to_string())
+    };
+    (@ser $variant:ident { $($f:ident),+ }) => {
+        $crate::Value::Object(vec![(
+            stringify!($variant).to_string(),
+            $crate::Value::Object(vec![
+                $((stringify!($f).to_string(), $crate::Serialize::to_value($f))),+
+            ]),
+        )])
+    };
+    (@de $v:ident, $variant:ident) => {
+        if let $crate::Value::Str(s) = $v {
+            if s == stringify!($variant) {
+                return Ok(Self::$variant);
+            }
+        }
+    };
+    (@de $v:ident, $variant:ident { $($f:ident),+ }) => {
+        if let Some(inner) = $v.get_variant(stringify!($variant)) {
+            return Ok(Self::$variant {
+                $($f: $crate::Deserialize::from_value(inner.get_field(stringify!($f))?)?),+
+            });
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Point {
+        x: i32,
+        y: f64,
+        tag: String,
+        cache: Vec<u32>,
+    }
+    impl_json_struct!(Point { x, y, tag } skip { cache });
+
+    #[derive(Debug, PartialEq)]
+    struct Wrapper(pub u32);
+    impl_json_newtype!(Wrapper);
+
+    #[derive(Debug, PartialEq)]
+    enum Policy {
+        Plain,
+        Seeded { seed: u64, bias: f64 },
+    }
+    impl_json_enum!(Policy { Plain, Seeded { seed, bias } });
+
+    #[test]
+    fn struct_roundtrip_with_skip() {
+        let p = Point {
+            x: -3,
+            y: 2.5,
+            tag: "hub".into(),
+            cache: vec![9],
+        };
+        let v = p.to_value();
+        let back = Point::from_value(&v).unwrap();
+        assert_eq!(back.x, -3);
+        assert_eq!(back.y, 2.5);
+        assert_eq!(back.tag, "hub");
+        assert!(back.cache.is_empty(), "skipped field reset to default");
+    }
+
+    #[test]
+    fn newtype_is_transparent() {
+        let v = Wrapper(7).to_value();
+        assert_eq!(v, Value::Int(7));
+        assert_eq!(Wrapper::from_value(&v).unwrap(), Wrapper(7));
+    }
+
+    #[test]
+    fn enum_roundtrips_both_shapes() {
+        for p in [
+            Policy::Plain,
+            Policy::Seeded {
+                seed: 42,
+                bias: 0.5,
+            },
+        ] {
+            let v = p.to_value();
+            assert_eq!(Policy::from_value(&v).unwrap(), p);
+        }
+        assert_eq!(Policy::Plain.to_value(), Value::Str("Plain".into()));
+    }
+
+    #[test]
+    fn option_and_vec() {
+        let v = Some(3u32).to_value();
+        assert_eq!(Option::<u32>::from_value(&v).unwrap(), Some(3));
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        let xs = vec![1i64, 2, 3].to_value();
+        assert_eq!(Vec::<i64>::from_value(&xs).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn errors_name_the_field() {
+        let v = Value::Object(vec![("x".into(), Value::Int(1))]);
+        let err = Point::from_value(&v).unwrap_err();
+        assert!(err.to_string().contains('y'), "{err}");
+    }
+}

@@ -1,0 +1,403 @@
+//! Offline substitute for the slice of `serde_json` this workspace uses:
+//! render [`serde::Value`] trees to JSON text (compact or pretty) and
+//! parse JSON text back. Floats print via Rust's shortest-roundtrip
+//! formatter, so every finite `f64` survives a round trip exactly.
+
+pub use serde::Value;
+use serde::{Deserialize, Serialize};
+
+/// Serialization or parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    fn msg(m: impl Into<String>) -> Self {
+        Self(m.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize to compact JSON.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize to pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+/// Parse JSON text into any [`Deserialize`] type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse(s)?;
+    T::from_value(&value).map_err(|e| Error::msg(e.to_string()))
+}
+
+fn write_value(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => {
+            assert!(f.is_finite(), "JSON cannot represent {f}");
+            let s = f.to_string();
+            out.push_str(&s);
+            // `2.0f64.to_string()` is "2": mark it as a float anyway so
+            // the node kind survives a round trip.
+            if !s.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => write_seq(items.iter(), '[', ']', indent, depth, out, |x, o| {
+            write_value(x, indent, depth + 1, o)
+        }),
+        Value::Object(fields) => {
+            write_seq(fields.iter(), '{', '}', indent, depth, out, |(k, x), o| {
+                write_string(k, o);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                write_value(x, indent, depth + 1, o);
+            })
+        }
+    }
+}
+
+fn write_seq<I: ExactSizeIterator>(
+    items: I,
+    open: char,
+    close: char,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+    mut write_item: impl FnMut(I::Item, &mut String),
+) {
+    out.push(open);
+    let empty = items.len() == 0;
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        write_item(item, out);
+    }
+    if !empty {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * depth));
+        }
+    }
+    out.push(close);
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse JSON text to a [`Value`].
+pub fn parse(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::msg(format!("trailing input at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Result<u8, Error> {
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error::msg("unexpected end of input"))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error::msg(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'n' => self.literal("null", Value::Null),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'"' => self.string().map(Value::Str),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            b'-' | b'0'..=b'9' => self.number(),
+            b => Err(Error::msg(format!(
+                "unexpected `{}` at byte {}",
+                b as char, self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                b => {
+                    return Err(Error::msg(format!(
+                        "expected `,` or `]`, got `{}` at byte {}",
+                        b as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                b => {
+                    return Err(Error::msg(format!(
+                        "expected `,` or `}}`, got `{}` at byte {}",
+                        b as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while !matches!(self.peek()?, b'"' | b'\\') {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::msg("invalid UTF-8 in string"))?,
+            );
+            if self.peek()? == b'"' {
+                self.pos += 1;
+                return Ok(out);
+            }
+            self.pos += 1; // consume the backslash
+            let esc = self.peek()?;
+            self.pos += 1;
+            match esc {
+                b'"' => out.push('"'),
+                b'\\' => out.push('\\'),
+                b'/' => out.push('/'),
+                b'b' => out.push('\u{8}'),
+                b'f' => out.push('\u{c}'),
+                b'n' => out.push('\n'),
+                b'r' => out.push('\r'),
+                b't' => out.push('\t'),
+                b'u' => {
+                    let hex = self
+                        .bytes
+                        .get(self.pos..self.pos + 4)
+                        .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+                    let code = u32::from_str_radix(
+                        std::str::from_utf8(hex).map_err(|_| Error::msg("bad \\u escape"))?,
+                        16,
+                    )
+                    .map_err(|_| Error::msg("bad \\u escape"))?;
+                    self.pos += 4;
+                    // Surrogate pairs are not produced by this writer;
+                    // map lone surrogates to the replacement character.
+                    out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                }
+                b => {
+                    return Err(Error::msg(format!("bad escape `\\{}`", b as char)));
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek()? == b'-' {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::msg("bad number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::msg(format!("bad number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        for text in ["null", "true", "false", "0", "-17", "2.5", "-0.125"] {
+            let v = parse(text).unwrap();
+            assert_eq!(to_string(&v).unwrap(), text);
+        }
+    }
+
+    #[test]
+    fn float_exact_roundtrip() {
+        for f in [0.1, 1.0 / 3.0, 1e-300, 123456.789, -9.87e20] {
+            let v = Value::Float(f);
+            let text = to_string(&v).unwrap();
+            match parse(&text).unwrap() {
+                Value::Float(g) => assert_eq!(f, g, "{text}"),
+                other => panic!("float reparsed as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn nested_structure_roundtrip() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::Str("isp \"07\"\nFrankfurt".into())),
+            (
+                "pops".into(),
+                Value::Array(vec![Value::Int(1), Value::Float(2.5), Value::Null]),
+            ),
+            ("mesh".into(), Value::Bool(false)),
+            ("empty".into(), Value::Array(vec![])),
+            ("inner".into(), Value::Object(vec![])),
+        ]);
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            assert_eq!(parse(&text).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = Value::Object(vec![("a".into(), Value::Array(vec![Value::Int(1)]))]);
+        let text = to_string_pretty(&v).unwrap();
+        assert_eq!(text, "{\n  \"a\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for text in ["", "{", "[1,", "\"unterminated", "nul", "1 2", "{\"a\" 1}"] {
+            assert!(parse(text).is_err(), "{text:?} should fail");
+        }
+    }
+
+    #[test]
+    fn typed_from_str() {
+        let v: Vec<f64> = from_str("[1, 2.5, -3]").unwrap();
+        assert_eq!(v, vec![1.0, 2.5, -3.0]);
+        let n: Option<u32> = from_str("null").unwrap();
+        assert_eq!(n, None);
+        assert!(from_str::<u32>("-4").is_err());
+    }
+}
