@@ -66,6 +66,40 @@ fn bench_engine(c: &mut Criterion) {
             });
         });
     }
+    // Paper-scale sessions: a large ISP pair negotiating every flow.
+    // These are the sessions the candidate index exists for — the
+    // per-round work must stay near-constant, not O(flows × alts).
+    for &(n, k) in &[(2_000usize, 8usize), (4_000, 8)] {
+        group.bench_with_input(
+            BenchmarkId::new("large", format!("{n}x{k}")),
+            &(n, k),
+            |bencher, &(n, k)| {
+                let inp = input(n, k);
+                let default = Assignment::uniform(n, IcxId(0));
+                bencher.iter(|| {
+                    let mut a = Party::honest("A", RandomMapper::new(n, k, 1));
+                    let mut b = Party::honest("B", RandomMapper::new(n, k, 2));
+                    negotiate(&inp, &default, &mut a, &mut b, &NexitConfig::win_win())
+                });
+            },
+        );
+    }
+    // Early-termination stop projections are the other rescan hot spot:
+    // every round used to re-sort all remaining flows.
+    group.bench_function("large_early_stop/2000x8", |bencher| {
+        let (n, k) = (2_000, 8);
+        let inp = input(n, k);
+        let default = Assignment::uniform(n, IcxId(0));
+        let config = NexitConfig {
+            stop: nexit_core::StopPolicy::Early,
+            ..NexitConfig::win_win()
+        };
+        bencher.iter(|| {
+            let mut a = Party::honest("A", RandomMapper::new(n, k, 1));
+            let mut b = Party::honest("B", RandomMapper::new(n, k, 2));
+            negotiate(&inp, &default, &mut a, &mut b, &config)
+        });
+    });
     group.bench_function("reassignment_5pct", |bencher| {
         let n = 200;
         let inp = input(n, 4);

@@ -1,0 +1,836 @@
+//! Incrementally maintained candidate index for the round loop.
+//!
+//! The reference selection functions ([`crate::selection`]) rescan the
+//! whole `flows × alternatives` table — and re-sort every remaining flow
+//! for the stop projection — on every round, making a session
+//! O(rounds × flows × alts) when only one cell changes per round. This
+//! module turns both queries into priority-structure lookups whose
+//! amortized per-event cost is logarithmic:
+//!
+//! * **Proposal selection** keeps, per flow, its best alternative under
+//!   the active [`ProposalRule`] in lazy max-heaps keyed by
+//!   `(key, flow, alt)`. Because the self-guard ("never propose an
+//!   alternative that would push my own true cumulative gain negative")
+//!   admits exactly the alternatives whose true class is at least
+//!   `-floor`, and classes are integers in `[-P, P]`, there are only
+//!   `2P + 2` distinct guard thresholds — the index maintains one
+//!   per-flow-best row and heap *per threshold* (materialized lazily on
+//!   a threshold's first use), so a guard-floor crossing simply selects
+//!   a different heap instead of invalidating anything.
+//! * **Stop projection** keeps every remaining flow's combined-best
+//!   entry in a segment tree ordered like the reference sort
+//!   (combined sum descending, flow index ascending) whose nodes
+//!   aggregate `(sum, best nonempty prefix sum)`, so
+//!   [`CandidateIndex::projected_gain`] is an O(1) root read.
+//!
+//! Only three events can change a decision, and each maps to a cheap
+//! index update: an **accept** removes the flow (lazy heap invalidation
+//! plus one tree clear), a **veto** bans one `(flow, alt)` cell
+//! (recompute that flow's rows in O(alts + P)), and a **reassignment**
+//! replaces the disclosed tables (full rebuild, amortized over the
+//! traffic-volume interval between reassignments).
+//!
+//! The index is property-tested to take bit-identical decisions to the
+//! reference scans over randomized accept/veto/rebuild interleavings;
+//! for pathologically large preference ranges (where materializing
+//! `2P + 2` threshold rows would not pay for itself) it transparently
+//! delegates to the reference implementation.
+
+use crate::policies::ProposalRule;
+use crate::prefs::PrefTable;
+use crate::selection::{self, TableState};
+use nexit_topology::IcxId;
+use std::collections::BinaryHeap;
+
+/// Above this preference range the per-threshold rows are not worth
+/// materializing and the index delegates to the reference scans.
+const MAX_INDEXED_PREF_RANGE: i32 = 256;
+
+/// Cap on the stop-projection tree's leaf count
+/// (`(4P + 2) × num_flows`, padded to a power of two). Beyond this the
+/// tree's memory and per-rebuild clear cost would dwarf the rescans it
+/// replaces, so the index delegates instead. 2²⁰ leaves ≈ 34 MB of
+/// node arrays — far above any paper-scale session (P = 10, 4000 flows
+/// is ~170 k leaves) but a hard ceiling for pathological `P × flows`
+/// combinations.
+const MAX_PROJECTION_LEAVES: usize = 1 << 20;
+
+/// Selection key of one `(flow, alt)` cell under a [`ProposalRule`]:
+/// `(primary, secondary, prefer-default-on-tie)`, compared
+/// lexicographically. Mirrors the reference implementation in
+/// [`selection::select_proposal`].
+type Key = (i64, i64, i64);
+
+/// One flow's current best alternative (within one guard-threshold row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Candidate {
+    key: Key,
+    alt: u32,
+}
+
+/// A lazy heap entry. Ordered so the heap maximum is the cell the
+/// reference scan would pick: highest key, then lowest flow, then lowest
+/// alternative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HeapEntry {
+    key: Key,
+    flow: usize,
+    alt: u32,
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key
+            .cmp(&other.key)
+            .then_with(|| other.flow.cmp(&self.flow))
+            .then_with(|| other.alt.cmp(&self.alt))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Fixed-shape segment tree whose leaves hold the remaining flows'
+/// combined-best own-true values, in the reference projection order, and
+/// whose nodes aggregate `(segment sum, best nonempty prefix sum)`.
+#[derive(Debug, Clone)]
+struct PrefixTree {
+    /// Leaf count, padded to a power of two (possibly 1 for an empty
+    /// session).
+    leaves: usize,
+    sum: Vec<i64>,
+    /// `i64::MIN` marks an empty segment.
+    best: Vec<i64>,
+}
+
+impl PrefixTree {
+    fn new(min_leaves: usize) -> Self {
+        let leaves = min_leaves.next_power_of_two().max(1);
+        Self {
+            leaves,
+            sum: vec![0; 2 * leaves],
+            best: vec![i64::MIN; 2 * leaves],
+        }
+    }
+
+    fn clear(&mut self) {
+        self.sum.fill(0);
+        self.best.fill(i64::MIN);
+    }
+
+    /// Set or clear one leaf and recompute its ancestors.
+    fn set(&mut self, pos: usize, value: Option<i64>) {
+        let mut i = self.leaves + pos;
+        match value {
+            Some(v) => {
+                self.sum[i] = v;
+                self.best[i] = v;
+            }
+            None => {
+                self.sum[i] = 0;
+                self.best[i] = i64::MIN;
+            }
+        }
+        i /= 2;
+        while i >= 1 {
+            let (l, r) = (2 * i, 2 * i + 1);
+            self.sum[i] = self.sum[l] + self.sum[r];
+            // A prefix either ends inside the left child or spans it.
+            // The saturating add keeps the empty sentinel absorbing.
+            self.best[i] = self.best[l].max(self.sum[l].saturating_add(self.best[r]));
+            i /= 2;
+        }
+    }
+
+    /// Best nonempty prefix sum over all leaves (`i64::MIN` when empty).
+    fn root_best(&self) -> i64 {
+        self.best[1]
+    }
+}
+
+/// Stop-projection state: where each remaining flow currently sits in
+/// the tree and with which value.
+#[derive(Debug, Clone)]
+struct Projection {
+    tree: PrefixTree,
+    /// Per flow: `(bucket, own-true value)` of its tree leaf, `None`
+    /// when the flow is settled (or the index is empty).
+    slot: Vec<Option<(usize, i64)>>,
+}
+
+/// The materialized index.
+#[derive(Debug)]
+struct Indexed {
+    /// Guard-threshold rows, materialized lazily: `best_at[ti][flow]` is
+    /// the flow's best alternative among those the threshold admits
+    /// (`own_true >= ti - P`), `None` when it admits none. Row 0 admits
+    /// every alternative (no guard / non-binding guard) and is the only
+    /// row most configurations ever touch; a row is built on the first
+    /// [`CandidateIndex::select`] whose guard floor maps to it and
+    /// maintained incrementally afterwards. An unbuilt row is an empty
+    /// `Vec`.
+    best_at: Vec<Vec<Option<Candidate>>>,
+    /// One lazy max-heap per guard threshold (empty while unbuilt).
+    heaps: Vec<BinaryHeap<HeapEntry>>,
+    /// Which threshold rows are currently materialized.
+    built: Vec<bool>,
+    proj: Option<Projection>,
+}
+
+enum Mode {
+    Indexed(Box<Indexed>),
+    /// Delegate to the reference scans (preference range too large to
+    /// index profitably).
+    Fallback,
+}
+
+/// Incremental replacement for [`selection::select_proposal`] and
+/// [`selection::projected_gain`], maintained by the three events that
+/// can change their answers: accept, veto, reassignment. See the module
+/// docs for the structure; see [`crate::machine::NegotiationMachine`]
+/// for the single production consumer.
+///
+/// All preference tables handed to the index must be within the
+/// configured range (`within_range(pref_range)`), which the machine
+/// guarantees for both quantized true tables and validated disclosed
+/// tables.
+pub struct CandidateIndex {
+    rule: ProposalRule,
+    p: i64,
+    num_alternatives: usize,
+    defaults: Vec<IcxId>,
+    mode: Mode,
+}
+
+impl CandidateIndex {
+    /// An empty index for a session shape. `with_projection` materializes
+    /// the stop-projection tree (needed only under
+    /// [`crate::StopPolicy::Early`]). The index holds no table data until
+    /// the first [`CandidateIndex::rebuild`].
+    pub fn new(
+        rule: ProposalRule,
+        pref_range: i32,
+        defaults: Vec<IcxId>,
+        num_alternatives: usize,
+        with_projection: bool,
+    ) -> Self {
+        let num_flows = defaults.len();
+        let projection_leaves = (4 * pref_range.max(0) as usize + 2).saturating_mul(num_flows);
+        let mode = if pref_range > MAX_INDEXED_PREF_RANGE
+            || (with_projection && projection_leaves > MAX_PROJECTION_LEAVES)
+        {
+            Mode::Fallback
+        } else {
+            let p = pref_range as usize;
+            let num_thresholds = 2 * p + 2;
+            let proj = with_projection.then(|| Projection {
+                // Buckets 0..=4P hold combined sums 2P down to -2P; the
+                // extra bucket 4P+1 holds flows with every alternative
+                // banned (combined sum `i64::MIN` in the reference).
+                tree: PrefixTree::new((4 * p + 2) * num_flows),
+                slot: vec![None; num_flows],
+            });
+            Mode::Indexed(Box::new(Indexed {
+                best_at: vec![Vec::new(); num_thresholds],
+                heaps: vec![BinaryHeap::new(); num_thresholds],
+                built: vec![false; num_thresholds],
+                proj,
+            }))
+        };
+        Self {
+            rule,
+            p: i64::from(pref_range),
+            num_alternatives,
+            defaults,
+            mode,
+        }
+    }
+
+    /// Rebuild from scratch — used at every (re)disclosure, when the
+    /// tables themselves change. `state` carries over accepts and bans
+    /// from earlier rounds.
+    pub fn rebuild(
+        &mut self,
+        d_own: &PrefTable,
+        d_other: &PrefTable,
+        own_true: &PrefTable,
+        state: &TableState,
+    ) {
+        let p = self.p;
+        let num_flows = self.defaults.len();
+        let Mode::Indexed(ix) = &mut self.mode else {
+            return;
+        };
+        // Invalidate every threshold row; each rematerializes on the
+        // first select() that needs it, against the new tables.
+        for ti in 0..ix.built.len() {
+            ix.built[ti] = false;
+            ix.best_at[ti].clear();
+            ix.heaps[ti].clear();
+        }
+        if let Some(proj) = &mut ix.proj {
+            proj.tree.clear();
+            for flow in 0..num_flows {
+                proj.slot[flow] = None;
+                if state.is_remaining(flow) {
+                    let (bucket, value) = projection_entry(
+                        p,
+                        &self.defaults,
+                        self.num_alternatives,
+                        d_own,
+                        d_other,
+                        own_true,
+                        state,
+                        flow,
+                    );
+                    proj.slot[flow] = Some((bucket, value));
+                    proj.tree.set(bucket * num_flows + flow, Some(value));
+                }
+            }
+        }
+    }
+
+    /// Apply an accepted proposal: the flow left the table. Call *after*
+    /// [`TableState::accept`].
+    pub fn on_accept(&mut self, flow: usize) {
+        let num_flows = self.defaults.len();
+        let Mode::Indexed(ix) = &mut self.mode else {
+            return;
+        };
+        // Heap entries for the flow die lazily via the remaining check.
+        if let Some(proj) = &mut ix.proj {
+            if let Some((bucket, _)) = proj.slot[flow].take() {
+                proj.tree.set(bucket * num_flows + flow, None);
+            }
+        }
+    }
+
+    /// Apply a vetoed proposal: one `(flow, alt)` cell was withdrawn.
+    /// Call *after* [`TableState::ban`].
+    pub fn on_ban(
+        &mut self,
+        d_own: &PrefTable,
+        d_other: &PrefTable,
+        own_true: &PrefTable,
+        state: &TableState,
+        flow: usize,
+    ) {
+        let p = self.p;
+        let num_flows = self.defaults.len();
+        let Mode::Indexed(ix) = &mut self.mode else {
+            return;
+        };
+        // Recompute the flow's entry in every materialized row.
+        for ti in 0..ix.built.len() {
+            if !ix.built[ti] {
+                continue;
+            }
+            let row = row_candidate(
+                self.rule,
+                p,
+                &self.defaults,
+                self.num_alternatives,
+                d_own,
+                d_other,
+                own_true,
+                state,
+                flow,
+                ti as i64 - p,
+            );
+            if ix.best_at[ti][flow] != row {
+                ix.best_at[ti][flow] = row;
+                if state.is_remaining(flow) {
+                    if let Some(c) = row {
+                        ix.heaps[ti].push(HeapEntry {
+                            key: c.key,
+                            flow,
+                            alt: c.alt,
+                        });
+                    }
+                }
+            }
+        }
+        if let Some(proj) = &mut ix.proj {
+            if state.is_remaining(flow) {
+                let entry = projection_entry(
+                    p,
+                    &self.defaults,
+                    self.num_alternatives,
+                    d_own,
+                    d_other,
+                    own_true,
+                    state,
+                    flow,
+                );
+                if proj.slot[flow] != Some(entry) {
+                    if let Some((old_bucket, _)) = proj.slot[flow] {
+                        proj.tree.set(old_bucket * num_flows + flow, None);
+                    }
+                    proj.slot[flow] = Some(entry);
+                    proj.tree.set(entry.0 * num_flows + flow, Some(entry.1));
+                }
+            }
+        }
+    }
+
+    /// The proposer's choice, bit-identical to
+    /// [`selection::select_proposal`]. `&mut` only to discard stale lazy
+    /// heap entries; the logical content never changes.
+    pub fn select(
+        &mut self,
+        d_own: &PrefTable,
+        d_other: &PrefTable,
+        state: &TableState,
+        self_guard: Option<(&PrefTable, i64)>,
+    ) -> Option<(usize, IcxId)> {
+        let p = self.p;
+        let ix = match &mut self.mode {
+            Mode::Fallback => {
+                return selection::select_proposal(
+                    d_own,
+                    d_other,
+                    state,
+                    self.num_alternatives,
+                    self.rule,
+                    self_guard,
+                    &self.defaults,
+                );
+            }
+            Mode::Indexed(ix) => ix,
+        };
+        // The guard admits alternatives with own_true >= -floor; map the
+        // (possibly unbounded) floor onto the materialized thresholds.
+        let ti = match self_guard {
+            None => 0,
+            Some((_, floor)) => (floor.saturating_neg().clamp(-p, p + 1) + p) as usize,
+        };
+        if !ix.built[ti] {
+            // First use of this guard threshold since the last rebuild:
+            // materialize its row and heap in one pass.
+            let num_flows = self.defaults.len();
+            let threshold = ti as i64 - p;
+            let row = &mut ix.best_at[ti];
+            row.clear();
+            row.resize(num_flows, None);
+            let mut feed = Vec::new();
+            for (flow, slot) in row.iter_mut().enumerate() {
+                let c = row_candidate(
+                    self.rule,
+                    p,
+                    &self.defaults,
+                    self.num_alternatives,
+                    d_own,
+                    d_other,
+                    self_guard.map_or(d_own, |(own_true, _)| own_true),
+                    state,
+                    flow,
+                    threshold,
+                );
+                *slot = c;
+                if state.is_remaining(flow) {
+                    if let Some(c) = c {
+                        feed.push(HeapEntry {
+                            key: c.key,
+                            flow,
+                            alt: c.alt,
+                        });
+                    }
+                }
+            }
+            ix.heaps[ti] = BinaryHeap::from(feed);
+            ix.built[ti] = true;
+        }
+        let heap = &mut ix.heaps[ti];
+        while let Some(top) = heap.peek() {
+            let current = ix.best_at[ti][top.flow];
+            if state.is_remaining(top.flow)
+                && current
+                    == Some(Candidate {
+                        key: top.key,
+                        alt: top.alt,
+                    })
+            {
+                return Some((top.flow, IcxId::new(top.alt as usize)));
+            }
+            heap.pop();
+        }
+        None
+    }
+
+    /// The early-termination projection, bit-identical to
+    /// [`selection::projected_gain`]. O(1) in indexed mode.
+    ///
+    /// Panics if the index was built without projection support (the
+    /// machine only asks under [`crate::StopPolicy::Early`], which sets
+    /// `with_projection`).
+    pub fn projected_gain(
+        &self,
+        own_true: &PrefTable,
+        d_own: &PrefTable,
+        d_other: &PrefTable,
+        state: &TableState,
+    ) -> i64 {
+        match &self.mode {
+            Mode::Fallback => selection::projected_gain(
+                own_true,
+                d_own,
+                d_other,
+                state,
+                self.num_alternatives,
+                &self.defaults,
+            ),
+            Mode::Indexed(ix) => {
+                let proj = ix
+                    .proj
+                    .as_ref()
+                    .expect("projection queried on an index built without it");
+                match proj.tree.root_best() {
+                    i64::MIN => 0,
+                    best => best,
+                }
+            }
+        }
+    }
+}
+
+/// One flow's best non-banned alternative among those whose own true
+/// class is at least `threshold`, by `(key, lowest alt)` — exactly the
+/// reference scan's pick order within a flow. A threshold of `-P`
+/// admits every alternative (classes are clamped into `[-P, P]`), so
+/// callers without a binding guard may pass any table as `own_true`.
+#[allow(clippy::too_many_arguments)] // parallel tables, mirrors selection::
+fn row_candidate(
+    rule: ProposalRule,
+    p: i64,
+    defaults: &[IcxId],
+    num_alternatives: usize,
+    d_own: &PrefTable,
+    d_other: &PrefTable,
+    own_true: &PrefTable,
+    state: &TableState,
+    flow: usize,
+    threshold: i64,
+) -> Option<Candidate> {
+    let mut best: Option<Candidate> = None;
+    for alt in 0..num_alternatives {
+        if state.is_banned(flow, alt) {
+            continue;
+        }
+        let id = IcxId::new(alt);
+        if i64::from(own_true.get(flow, id)).clamp(-p, p) < threshold {
+            continue;
+        }
+        let o = i64::from(d_own.get(flow, id));
+        let t = i64::from(d_other.get(flow, id));
+        let bias = i64::from(id == defaults[flow]);
+        let key = match rule {
+            ProposalRule::MaxCombined => (o + t, o, bias),
+            ProposalRule::BestLocalMinHarm => (o, t, bias),
+        };
+        let alt = alt as u32;
+        if best.is_none_or(|b| key > b.key || (key == b.key && alt < b.alt)) {
+            best = Some(Candidate { key, alt });
+        }
+    }
+    best
+}
+
+/// One flow's stop-projection entry `(bucket, own-true value)`: the
+/// combined-best pick of the reference implementation, mapped onto the
+/// tree's bucket order (combined sum descending; the final bucket holds
+/// fully-banned flows, whose reference sentinel is `i64::MIN` with the
+/// alternative defaulting to index 0).
+#[allow(clippy::too_many_arguments)] // parallel tables, mirrors selection::
+fn projection_entry(
+    p: i64,
+    defaults: &[IcxId],
+    num_alternatives: usize,
+    d_own: &PrefTable,
+    d_other: &PrefTable,
+    own_true: &PrefTable,
+    state: &TableState,
+    flow: usize,
+) -> (usize, i64) {
+    let (alt, combined) = selection::combined_best(
+        d_own,
+        d_other,
+        state,
+        flow,
+        num_alternatives,
+        defaults[flow],
+    );
+    let bucket = if combined == i64::MIN {
+        (4 * p + 1) as usize
+    } else {
+        (2 * p - combined) as usize
+    };
+    (bucket, i64::from(own_true.get(flow, alt)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Reference twin of an index over shared state: every operation is
+    /// applied to both, every query must agree.
+    struct Harness {
+        d_own: PrefTable,
+        d_other: PrefTable,
+        own_true: PrefTable,
+        defaults: Vec<IcxId>,
+        state: TableState,
+        index: CandidateIndex,
+        rule: ProposalRule,
+        k: usize,
+    }
+
+    impl Harness {
+        fn new(
+            rule: ProposalRule,
+            p: i32,
+            tables: (PrefTable, PrefTable, PrefTable),
+            defaults: Vec<IcxId>,
+            k: usize,
+        ) -> Self {
+            let (d_own, d_other, own_true) = tables;
+            let n = defaults.len();
+            let state = TableState::new(n, k);
+            let mut index = CandidateIndex::new(rule, p, defaults.clone(), k, true);
+            index.rebuild(&d_own, &d_other, &own_true, &state);
+            Self {
+                d_own,
+                d_other,
+                own_true,
+                defaults,
+                state,
+                index,
+                rule,
+                k,
+            }
+        }
+
+        fn select_unguarded(&mut self) -> Option<(usize, IcxId)> {
+            self.index
+                .select(&self.d_own, &self.d_other, &self.state, None)
+        }
+
+        fn check(&mut self, floor: i64) {
+            // Unguarded and guarded selection.
+            for guard in [None, Some((&self.own_true, floor))] {
+                let reference = selection::select_proposal(
+                    &self.d_own,
+                    &self.d_other,
+                    &self.state,
+                    self.k,
+                    self.rule,
+                    guard,
+                    &self.defaults,
+                );
+                let indexed = self
+                    .index
+                    .select(&self.d_own, &self.d_other, &self.state, guard);
+                assert_eq!(indexed, reference, "select diverged (guard={guard:?})");
+            }
+            let reference = selection::projected_gain(
+                &self.own_true,
+                &self.d_own,
+                &self.d_other,
+                &self.state,
+                self.k,
+                &self.defaults,
+            );
+            let indexed =
+                self.index
+                    .projected_gain(&self.own_true, &self.d_own, &self.d_other, &self.state);
+            assert_eq!(indexed, reference, "projected_gain diverged");
+        }
+
+        fn ban(&mut self, flow: usize, alt: usize) {
+            if self.state.is_banned(flow, alt) {
+                return;
+            }
+            self.state.ban(flow, alt);
+            self.index.on_ban(
+                &self.d_own,
+                &self.d_other,
+                &self.own_true,
+                &self.state,
+                flow,
+            );
+        }
+
+        fn accept(&mut self, flow: usize) {
+            if !self.state.is_remaining(flow) {
+                return;
+            }
+            self.state.accept(flow);
+            self.index.on_accept(flow);
+        }
+
+        fn reassign(&mut self, tables: (PrefTable, PrefTable, PrefTable)) {
+            (self.d_own, self.d_other, self.own_true) = tables;
+            self.index
+                .rebuild(&self.d_own, &self.d_other, &self.own_true, &self.state);
+        }
+    }
+
+    fn table(rows: Vec<Vec<i32>>) -> PrefTable {
+        PrefTable::new(rows)
+    }
+
+    #[test]
+    fn matches_reference_on_simple_session() {
+        let d_own = table(vec![vec![0, 5, 3], vec![0, -2, 7], vec![0, 1, 1]]);
+        let d_other = table(vec![vec![0, 5, 4], vec![0, 9, -7], vec![0, 1, 1]]);
+        let own_true = d_own.clone();
+        let defaults = vec![IcxId(0); 3];
+        let mut h = Harness::new(
+            ProposalRule::MaxCombined,
+            10,
+            (d_own, d_other, own_true),
+            defaults,
+            3,
+        );
+        h.check(0);
+        // Accept the top pick, veto the next, re-check after each event.
+        let (first_flow, _) = h.select_unguarded().unwrap();
+        h.accept(first_flow);
+        h.check(0);
+        let (next_flow, next_alt) = h.select_unguarded().unwrap();
+        assert_ne!(next_flow, first_flow, "accepted flow must leave the table");
+        h.ban(next_flow, next_alt.index());
+        h.check(0);
+    }
+
+    #[test]
+    fn fully_banned_flow_matches_reference_projection() {
+        // Flow 0 loses every alternative to vetoes but stays remaining;
+        // the reference keeps it in the projection with the MIN
+        // sentinel. Defaults deliberately non-zero to exercise the
+        // sentinel's alternative-0 pick.
+        let d_own = table(vec![vec![3, 5], vec![0, 2]]);
+        let d_other = table(vec![vec![1, 5], vec![0, 2]]);
+        let own_true = table(vec![vec![-4, 5], vec![0, 2]]);
+        let mut h = Harness::new(
+            ProposalRule::MaxCombined,
+            10,
+            (d_own, d_other, own_true),
+            vec![IcxId(1), IcxId(0)],
+            2,
+        );
+        h.ban(0, 0);
+        h.check(0);
+        h.ban(0, 1);
+        h.check(0);
+        h.check(-3);
+    }
+
+    #[test]
+    fn oversized_projection_falls_back() {
+        // P and flow count are each acceptable, but their product would
+        // need a hundreds-of-MB projection tree: delegate instead.
+        let n = 10_000;
+        let index = CandidateIndex::new(ProposalRule::MaxCombined, 200, vec![IcxId(0); n], 2, true);
+        assert!(matches!(index.mode, Mode::Fallback));
+        // Without a projection tree the same shape stays indexed.
+        let index =
+            CandidateIndex::new(ProposalRule::MaxCombined, 200, vec![IcxId(0); n], 2, false);
+        assert!(matches!(index.mode, Mode::Indexed(_)));
+    }
+
+    #[test]
+    fn huge_pref_range_falls_back() {
+        let d = table(vec![vec![0, 1000]]);
+        let defaults = vec![IcxId(0)];
+        let state = TableState::new(1, 2);
+        let mut index = CandidateIndex::new(
+            ProposalRule::MaxCombined,
+            100_000,
+            defaults.clone(),
+            2,
+            true,
+        );
+        index.rebuild(&d, &d, &d, &state);
+        assert_eq!(
+            index.select(&d, &d, &state, None),
+            selection::select_proposal(
+                &d,
+                &d,
+                &state,
+                2,
+                ProposalRule::MaxCombined,
+                None,
+                &defaults
+            )
+        );
+        assert_eq!(
+            index.projected_gain(&d, &d, &d, &state),
+            selection::projected_gain(&d, &d, &d, &state, 2, &defaults)
+        );
+    }
+
+    fn tables_from_seed(
+        n: usize,
+        k: usize,
+        p: i32,
+        seed: u64,
+    ) -> (PrefTable, PrefTable, PrefTable) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut mk = || {
+            PrefTable::new(
+                (0..n)
+                    .map(|_| (0..k).map(|_| rng.gen_range(-p..=p)).collect())
+                    .collect(),
+            )
+        };
+        (mk(), mk(), mk())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+        // Randomized sessions: accepts, vetoes and reassignments
+        // interleaved, with every query cross-checked against the
+        // reference scans after every event. Ops are encoded as raw
+        // tuples `(kind, flow, alt, seed)`.
+        #[test]
+        fn index_is_decision_identical_to_reference(
+            (shape, seed, defaults, ops) in
+                (1usize..7, 1usize..4, 1i32..12, 0u8..2).prop_flat_map(|(n, k, p, rule)| (
+                    Just((n, k, p, rule)),
+                    any::<u64>(),
+                    collection::vec(0..k, n),
+                    collection::vec((0u8..4, 0..n, 0..k, any::<u64>()), 0..32),
+                )),
+        ) {
+            let (n, k, p, rule) = shape;
+            let rule = if rule == 0 {
+                ProposalRule::MaxCombined
+            } else {
+                ProposalRule::BestLocalMinHarm
+            };
+            let defaults: Vec<IcxId> = defaults.into_iter().map(IcxId::new).collect();
+            let tables = tables_from_seed(n, k, p, seed);
+            let mut h = Harness::new(rule, p, tables, defaults, k);
+            h.check(0);
+            for (kind, flow, alt, op_seed) in ops {
+                match kind {
+                    0 => h.ban(flow, alt),
+                    1 => h.accept(flow),
+                    2 => h.reassign(tables_from_seed(n, k, p, op_seed)),
+                    _ => h.check((op_seed % 81) as i64 - 40),
+                }
+                // Guard floors: neutral, far above and far below any
+                // reachable cumulative gain (binding never / always).
+                h.check(0);
+                h.check(1 << 40);
+                h.check(-(1 << 40));
+            }
+        }
+    }
+}

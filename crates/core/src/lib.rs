@@ -32,6 +32,7 @@
 
 pub mod cheating;
 pub mod engine;
+pub mod index;
 pub mod machine;
 pub mod mapping;
 pub mod outcome;
@@ -41,6 +42,7 @@ pub mod selection;
 
 pub use cheating::DisclosurePolicy;
 pub use engine::{negotiate, Party, SessionBuilder, SessionError, SessionInput};
+pub use index::CandidateIndex;
 pub use machine::{Action, Event, MachineError, MachineOutcome, NegotiationMachine};
 pub use mapping::{BandwidthMapper, DistanceMapper, FortzMapper, PreferenceMapper};
 pub use outcome::{NegotiationOutcome, RoundRecord, Side, Termination};

@@ -34,6 +34,7 @@
 
 use crate::cheating::DisclosurePolicy;
 use crate::engine::SessionInput;
+use crate::index::CandidateIndex;
 use crate::mapping::PreferenceMapper;
 use crate::outcome::{Side, Termination};
 use crate::policies::{AcceptRule, NexitConfig, StopPolicy};
@@ -224,6 +225,10 @@ pub struct NegotiationMachine<M: PreferenceMapper> {
     input: SessionInput,
     assignment: Assignment,
     state: TableState,
+    /// Incremental candidate index over the disclosed tables; rebuilt at
+    /// every (re)disclosure, updated on accept/veto. Takes bit-identical
+    /// decisions to the [`selection`] reference scans.
+    index: CandidateIndex,
     actions: VecDeque<Action>,
     phase: Phase,
     /// Whether our list went out in the current (re)disclosure exchange.
@@ -235,7 +240,6 @@ pub struct NegotiationMachine<M: PreferenceMapper> {
     disclosed_gain_a: i64,
     disclosed_gain_b: i64,
     round: u32,
-    num_remaining: usize,
     volume_since_reassign: f64,
     reassignments: usize,
     pending: Option<(usize, IcxId)>,
@@ -276,6 +280,13 @@ impl<M: PreferenceMapper> NegotiationMachine<M> {
         }
         let n = input.len();
         let k = input.num_alternatives;
+        let index = CandidateIndex::new(
+            config.proposal,
+            config.pref_range,
+            input.defaults.clone(),
+            k,
+            config.stop == StopPolicy::Early,
+        );
         let mut machine = Self {
             side,
             first_discloser,
@@ -285,6 +296,7 @@ impl<M: PreferenceMapper> NegotiationMachine<M> {
             input,
             assignment: default_assignment,
             state: TableState::new(n, k),
+            index,
             actions: VecDeque::new(),
             phase: Phase::Disclose,
             sent_prefs: false,
@@ -295,7 +307,6 @@ impl<M: PreferenceMapper> NegotiationMachine<M> {
             disclosed_gain_a: 0,
             disclosed_gain_b: 0,
             round: 0,
-            num_remaining: n,
             volume_since_reassign: 0.0,
             reassignments: 0,
             pending: None,
@@ -445,14 +456,19 @@ impl<M: PreferenceMapper> NegotiationMachine<M> {
 
     fn my_projection(&self) -> i64 {
         let (d_own, d_other) = self.selection_tables();
-        selection::projected_gain(
+        self.index
+            .projected_gain(&self.my_true, d_own, d_other, &self.state)
+    }
+
+    /// Rebuild the candidate index after a (re)disclosure changed the
+    /// tables it is keyed on.
+    fn rebuild_index(&mut self) {
+        self.index.rebuild(
+            &self.my_disclosed,
+            &self.their_disclosed,
             &self.my_true,
-            d_own,
-            d_other,
             &self.state,
-            self.input.num_alternatives,
-            &self.input.defaults,
-        )
+        );
     }
 
     /// Act when the round loop hands us the turn.
@@ -460,7 +476,7 @@ impl<M: PreferenceMapper> NegotiationMachine<M> {
         if self.phase != Phase::Turn {
             return;
         }
-        if self.num_remaining == 0 {
+        if self.state.num_remaining() == 0 {
             self.termination = Some(Termination::Exhausted);
             self.actions.push_back(Action::SendBye);
             self.phase = Phase::Closing;
@@ -479,15 +495,11 @@ impl<M: PreferenceMapper> NegotiationMachine<M> {
             AcceptRule::VetoNegativeCumulative => Some(self.my_gain),
             AcceptRule::CreditVeto { credit } => Some(self.my_gain + credit),
         };
-        let (d_own, d_other) = (&self.my_disclosed, &self.their_disclosed);
-        let proposal = selection::select_proposal(
-            d_own,
-            d_other,
+        let proposal = self.index.select(
+            &self.my_disclosed,
+            &self.their_disclosed,
             &self.state,
-            self.input.num_alternatives,
-            self.config.proposal,
             self_guard_floor.map(|floor| (&self.my_true, floor)),
-            &self.input.defaults,
         );
         let Some((local, alt)) = proposal else {
             self.termination = Some(Termination::Exhausted);
@@ -533,6 +545,8 @@ impl<M: PreferenceMapper> NegotiationMachine<M> {
                     self.disclose_own();
                 }
                 self.sent_prefs = false;
+                // Both tables are now settled for the coming rounds.
+                self.rebuild_index();
                 self.phase = Phase::Turn;
                 Ok(())
             }
@@ -550,11 +564,11 @@ impl<M: PreferenceMapper> NegotiationMachine<M> {
                 if round != self.round {
                     return Err(MachineError::BadProposal("round mismatch"));
                 }
-                if local_flow >= self.input.len() || !self.state.remaining[local_flow] {
+                if local_flow >= self.input.len() || !self.state.is_remaining(local_flow) {
                     return Err(MachineError::BadProposal("flow not on the table"));
                 }
                 if alternative.index() >= self.input.num_alternatives
-                    || self.state.banned[local_flow][alternative.index()]
+                    || self.state.is_banned(local_flow, alternative.index())
                 {
                     return Err(MachineError::BadProposal("alternative unavailable"));
                 }
@@ -634,12 +648,19 @@ impl<M: PreferenceMapper> NegotiationMachine<M> {
         if !accepted {
             // Vetoed: withdraw this alternative; the flow stays on the
             // table with its other alternatives.
-            self.state.banned[local][alt.index()] = true;
+            self.state.ban(local, alt.index());
+            self.index.on_ban(
+                &self.my_disclosed,
+                &self.their_disclosed,
+                &self.my_true,
+                &self.state,
+                local,
+            );
             self.phase = Phase::Turn;
             return;
         }
-        self.state.remaining[local] = false;
-        self.num_remaining -= 1;
+        self.state.accept(local);
+        self.index.on_accept(local);
         self.accepted_log.push((local, alt));
         self.assignment.set(self.input.flow_ids[local], alt);
         self.my_gain += i64::from(self.my_true.get(local, alt));
@@ -655,7 +676,7 @@ impl<M: PreferenceMapper> NegotiationMachine<M> {
         // Reassignment trigger: computed identically on both sides.
         if let Some(frac) = self.config.reassign_interval_frac {
             let threshold = frac * self.input.total_volume();
-            if self.volume_since_reassign >= threshold && self.num_remaining > 0 {
+            if self.volume_since_reassign >= threshold && self.state.num_remaining() > 0 {
                 self.reassignments += 1;
                 self.volume_since_reassign = 0.0;
                 self.phase = Phase::AwaitReassign;

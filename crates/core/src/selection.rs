@@ -6,6 +6,15 @@
 //! simulation speed, and the message-passing agents
 //! (`nexit-proto`) for deployment fidelity — so the decision rules live
 //! here, parameterized only on data.
+//!
+//! [`select_proposal`], [`projected_gain`] and [`combined_best`] are the
+//! *reference* implementations: straightforward full-table scans whose
+//! semantics define the protocol. The hot path
+//! ([`crate::machine::NegotiationMachine`]) executes the incrementally
+//! maintained [`crate::index::CandidateIndex`] instead, which is
+//! property-tested to take bit-identical decisions; the scans remain the
+//! equivalence oracle and the fallback for configurations the index does
+//! not cover (pathologically large preference ranges).
 
 use crate::outcome::Side;
 use crate::policies::{ProposalRule, TurnPolicy};
@@ -16,26 +25,78 @@ use rand::{Rng, SeedableRng};
 
 /// Negotiable state visible to selection: which local flows remain and
 /// which (flow, alternative) pairs were withdrawn by veto.
+///
+/// Withdrawn alternatives live in one flat bitset and the remaining-flow
+/// count is maintained on every accept, so the per-round checks the
+/// machine performs ([`TableState::is_banned`],
+/// [`TableState::num_remaining`]) are O(1).
 #[derive(Debug, Clone)]
 pub struct TableState {
     /// `true` while the local flow is still on the table.
-    pub remaining: Vec<bool>,
-    /// `banned[flow][alt]` marks vetoed alternatives.
-    pub banned: Vec<Vec<bool>>,
+    remaining: Vec<bool>,
+    /// Flat bitset over `flow * num_alternatives + alt`; a set bit marks
+    /// a vetoed (withdrawn) alternative.
+    banned: Vec<u64>,
+    num_alternatives: usize,
+    num_remaining: usize,
 }
 
 impl TableState {
     /// Fresh state with all flows on the table.
     pub fn new(num_flows: usize, num_alternatives: usize) -> Self {
+        let bits = num_flows * num_alternatives;
         Self {
             remaining: vec![true; num_flows],
-            banned: vec![vec![false; num_alternatives]; num_flows],
+            banned: vec![0; bits.div_ceil(64)],
+            num_alternatives,
+            num_remaining: num_flows,
         }
     }
 
-    /// Number of flows still on the table.
+    /// Number of flows the state covers (remaining or not).
+    #[inline]
+    pub fn num_flows(&self) -> usize {
+        self.remaining.len()
+    }
+
+    /// Number of alternatives per flow.
+    #[inline]
+    pub fn num_alternatives(&self) -> usize {
+        self.num_alternatives
+    }
+
+    /// Number of flows still on the table. O(1): the counter is
+    /// maintained on every [`TableState::accept`].
+    #[inline]
     pub fn num_remaining(&self) -> usize {
-        self.remaining.iter().filter(|&&r| r).count()
+        self.num_remaining
+    }
+
+    /// Whether the flow is still on the table.
+    #[inline]
+    pub fn is_remaining(&self, flow: usize) -> bool {
+        self.remaining[flow]
+    }
+
+    /// Whether the (flow, alternative) cell was withdrawn by veto.
+    #[inline]
+    pub fn is_banned(&self, flow: usize, alt: usize) -> bool {
+        let bit = flow * self.num_alternatives + alt;
+        self.banned[bit / 64] & (1 << (bit % 64)) != 0
+    }
+
+    /// Settle a flow (an accepted proposal removes it from the table).
+    pub fn accept(&mut self, flow: usize) {
+        debug_assert!(self.remaining[flow], "flow accepted twice");
+        self.remaining[flow] = false;
+        self.num_remaining -= 1;
+    }
+
+    /// Withdraw one (flow, alternative) cell (a vetoed proposal).
+    pub fn ban(&mut self, flow: usize, alt: usize) {
+        debug_assert!(alt < self.num_alternatives);
+        let bit = flow * self.num_alternatives + alt;
+        self.banned[bit / 64] |= 1 << (bit % 64);
     }
 }
 
@@ -54,7 +115,7 @@ pub fn combined_best(
     let mut best_sum = i64::MIN;
     let mut best_is_default = false;
     for alt in 0..num_alternatives {
-        if state.banned[local][alt] {
+        if state.is_banned(local, alt) {
             continue;
         }
         let id = IcxId::new(alt);
@@ -90,12 +151,12 @@ pub fn select_proposal(
     // disclosed reason (movement at all-zero preferences would otherwise
     // leak unmeasured real-metric losses).
     let mut best: Option<((i64, i64, i64), usize, IcxId)> = None;
-    for local in 0..state.remaining.len() {
-        if !state.remaining[local] {
+    for local in 0..state.num_flows() {
+        if !state.is_remaining(local) {
             continue;
         }
         for alt in 0..num_alternatives {
-            if state.banned[local][alt] {
+            if state.is_banned(local, alt) {
                 continue;
             }
             let alt_id = IcxId::new(alt);
@@ -133,8 +194,8 @@ pub fn projected_gain(
     defaults: &[IcxId],
 ) -> i64 {
     let mut picks: Vec<(i64, i64)> = Vec::new(); // (combined, own true)
-    for local in 0..state.remaining.len() {
-        if !state.remaining[local] {
+    for local in 0..state.num_flows() {
+        if !state.is_remaining(local) {
             continue;
         }
         let (alt, combined) = combined_best(
@@ -261,6 +322,25 @@ mod tests {
     }
 
     #[test]
+    fn table_state_counter_and_bitset() {
+        // 70 alternatives per flow: cells span multiple bitset words.
+        let mut state = TableState::new(3, 70);
+        assert_eq!(state.num_remaining(), 3);
+        state.ban(0, 0);
+        state.ban(2, 69);
+        assert!(state.is_banned(0, 0));
+        assert!(state.is_banned(2, 69));
+        assert!(!state.is_banned(1, 0));
+        assert!(!state.is_banned(2, 68));
+        state.accept(1);
+        assert_eq!(state.num_remaining(), 2);
+        assert!(!state.is_remaining(1));
+        state.accept(0);
+        state.accept(2);
+        assert_eq!(state.num_remaining(), 0);
+    }
+
+    #[test]
     fn combined_best_skips_banned() {
         let a = table(vec![vec![0, 5, 3]]);
         let b = table(vec![vec![0, 5, 4]]);
@@ -269,7 +349,7 @@ mod tests {
             combined_best(&a, &b, &state, 0, 3, IcxId(0)),
             (IcxId(1), 10)
         );
-        state.banned[0][1] = true;
+        state.ban(0, 1);
         assert_eq!(combined_best(&a, &b, &state, 0, 3, IcxId(0)), (IcxId(2), 7));
     }
 

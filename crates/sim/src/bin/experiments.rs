@@ -2,11 +2,15 @@
 //!
 //! ```text
 //! experiments [all|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fraction|prange|groups|modes|models]
-//!             [--smoke] [--pairs N] [--seed N]
+//!             [--smoke] [--pairs N] [--seed N] [--threads N]
 //! ```
 //!
 //! `--smoke` runs a small subset for quick verification; the default runs
 //! the full paper-scale universe (65 ISPs). Run with `--release`.
+//!
+//! Per-pair sweeps run on `--threads N` workers (or `NEXIT_THREADS`;
+//! default: all available cores). Results are byte-identical for every
+//! thread count — parallelism only changes wall-clock time.
 
 use nexit_sim::experiments::{ablation, bandwidth, cheating, distance, diverse, filters};
 use nexit_sim::ExpConfig;
@@ -14,7 +18,7 @@ use nexit_topology::{GeneratorConfig, TopologyGenerator, Universe};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [all|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fraction|prange|groups|modes|models] [--smoke] [--pairs N] [--seed N]"
+        "usage: experiments [all|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fraction|prange|groups|modes|models] [--smoke] [--pairs N] [--seed N] [--threads N]"
     );
     std::process::exit(2);
 }
@@ -24,6 +28,10 @@ fn main() {
     let mut target = String::from("all");
     let mut cfg = ExpConfig::default();
     let mut gen_cfg = GeneratorConfig::default();
+    // Thread count: `--threads` beats `NEXIT_THREADS` beats auto (0).
+    let mut threads: Option<usize> = std::env::var("NEXIT_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok());
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -48,10 +56,18 @@ fn main() {
                 gen_cfg.seed = n;
                 cfg.seed = n;
             }
+            "--threads" => {
+                let n: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                threads = Some(n);
+            }
             name if !name.starts_with('-') => target = name.to_string(),
             _ => usage(),
         }
     }
+    cfg.threads = threads.unwrap_or(0);
 
     const TARGETS: &[&str] = &[
         "all", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fraction",
@@ -68,10 +84,11 @@ fn main() {
     );
     let universe: Universe = TopologyGenerator::new(gen_cfg).generate();
     eprintln!(
-        "universe ready: {} pairs, {} distance-eligible, {} bandwidth-eligible",
+        "universe ready: {} pairs, {} distance-eligible, {} bandwidth-eligible ({} sweep threads)",
         universe.pairs.len(),
         universe.eligible_pairs(2, true).len(),
-        universe.eligible_pairs(3, false).len()
+        universe.eligible_pairs(3, false).len(),
+        nexit_sim::parallel::resolve_threads(cfg.threads),
     );
 
     let want = |name: &str| target == "all" || target == name;

@@ -12,6 +12,7 @@
 use crate::experiments::bandwidth::failure_scenarios;
 use crate::experiments::distance::build_pair_run;
 use crate::pairdata::ExpConfig;
+use crate::parallel::par_map;
 use crate::twoway::{twoway_total_distance, TwoWayDistanceMapper};
 use nexit_baselines::negotiate_in_groups;
 use nexit_core::{negotiate, NexitConfig, Party, Side};
@@ -30,47 +31,42 @@ pub fn preference_range_sweep(
     ranges
         .iter()
         .map(|&p| {
-            let mut gains = Vec::new();
-            for &idx in &eligible {
-                let run = build_pair_run(universe, idx);
-                let session = &run.session;
-                let mut a = Party::honest(
-                    "A",
-                    TwoWayDistanceMapper::new(
-                        Side::A,
-                        &run.fwd.flows,
-                        &run.rev.flows,
-                        session.n_fwd,
-                    ),
-                );
-                let mut b = Party::honest(
-                    "B",
-                    TwoWayDistanceMapper::new(
-                        Side::B,
-                        &run.fwd.flows,
-                        &run.rev.flows,
-                        session.n_fwd,
-                    ),
-                );
-                let config = NexitConfig {
-                    pref_range: p,
-                    ..NexitConfig::win_win()
-                };
-                let outcome = negotiate(&session.input, &session.default, &mut a, &mut b, &config);
-                let (f, r) = session.split(&outcome.assignment);
-                let d = twoway_total_distance(
-                    &run.fwd.flows,
-                    &run.rev.flows,
-                    &run.fwd.default,
-                    &run.rev.default,
-                );
-                let n = twoway_total_distance(&run.fwd.flows, &run.rev.flows, &f, &r);
-                gains.push(percent_gain(d, n));
-            }
+            let config = NexitConfig {
+                pref_range: p,
+                ..NexitConfig::win_win()
+            };
+            let gains = par_map(cfg.threads, eligible.len(), |i| {
+                pair_total_gain(universe, eligible[i], &config)
+            });
             let median = crate::cdf::Cdf::new(gains).median();
             (p, median)
         })
         .collect()
+}
+
+/// One pair's total distance gain under `config` (shared by the
+/// preference-range sweep and the mode comparison).
+fn pair_total_gain(universe: &Universe, idx: usize, config: &NexitConfig) -> f64 {
+    let run = build_pair_run(universe, idx);
+    let session = &run.session;
+    let mut a = Party::honest(
+        "A",
+        TwoWayDistanceMapper::new(Side::A, &run.fwd.flows, &run.rev.flows, session.n_fwd),
+    );
+    let mut b = Party::honest(
+        "B",
+        TwoWayDistanceMapper::new(Side::B, &run.fwd.flows, &run.rev.flows, session.n_fwd),
+    );
+    let outcome = negotiate(&session.input, &session.default, &mut a, &mut b, config);
+    let (f, r) = session.split(&outcome.assignment);
+    let d = twoway_total_distance(
+        &run.fwd.flows,
+        &run.rev.flows,
+        &run.fwd.default,
+        &run.rev.default,
+    );
+    let n = twoway_total_distance(&run.fwd.flows, &run.rev.flows, &f, &r);
+    percent_gain(d, n)
 }
 
 /// Group-count sweep: median per-pair total distance gain for each count.
@@ -84,8 +80,8 @@ pub fn group_sweep(
     group_counts
         .iter()
         .map(|&g| {
-            let mut gains = Vec::new();
-            for &idx in &eligible {
+            let gains = par_map(cfg.threads, eligible.len(), |i| {
+                let idx = eligible[i];
                 let run = build_pair_run(universe, idx);
                 let session = &run.session;
                 let mut a = Party::honest(
@@ -122,8 +118,8 @@ pub fn group_sweep(
                     &run.rev.default,
                 );
                 let n = twoway_total_distance(&run.fwd.flows, &run.rev.flows, &f, &r);
-                gains.push(percent_gain(d, n));
-            }
+                percent_gain(d, n)
+            });
             (g, crate::cdf::Cdf::new(gains).median())
         })
         .collect()
@@ -177,10 +173,12 @@ pub fn model_grid(universe: &Universe, cfg: &ExpConfig) -> Vec<ModelRow> {
             };
             let mut eligible = universe.eligible_pairs(3, false);
             eligible.truncate(sub_cfg.max_pairs.unwrap());
-            let mut def = Vec::new();
-            let mut neg = Vec::new();
-            for &idx in &eligible {
-                for scenario in failure_scenarios(universe, idx, &sub_cfg, capacity) {
+            // Per pair: (default ratios, negotiated ratios), in scenario
+            // order.
+            let per_pair = par_map(cfg.threads, eligible.len(), |i| {
+                let mut def = Vec::new();
+                let mut neg = Vec::new();
+                for scenario in failure_scenarios(universe, eligible[i], &sub_cfg, capacity) {
                     let Some(opt) = scenario.optimum(sub_cfg.max_lp_variables) else {
                         continue;
                     };
@@ -193,6 +191,13 @@ pub fn model_grid(universe: &Universe, cfg: &ExpConfig) -> Vec<ModelRow> {
                     let (nu, _) = scenario.mels(&negotiated);
                     neg.push(nu / opt_up);
                 }
+                (def, neg)
+            });
+            let mut def = Vec::new();
+            let mut neg = Vec::new();
+            for (d, n) in per_pair {
+                def.extend(d);
+                neg.extend(n);
             }
             if def.is_empty() {
                 continue;
@@ -236,10 +241,9 @@ pub fn mode_comparison(universe: &Universe, cfg: &ExpConfig) -> Vec<(String, f64
     ];
     let mut rows = Vec::new();
     for (name, config) in modes {
-        let mut totals = Vec::new();
-        let mut worst_individual = f64::INFINITY;
-        for &idx in &eligible {
-            let run = build_pair_run(universe, idx);
+        // Per pair: (total gain, worst of the two per-ISP gains).
+        let per_pair = par_map(cfg.threads, eligible.len(), |i| {
+            let run = build_pair_run(universe, eligible[i]);
             let session = &run.session;
             let mut a = Party::honest(
                 "A",
@@ -258,7 +262,7 @@ pub fn mode_comparison(universe: &Universe, cfg: &ExpConfig) -> Vec<(String, f64
                 &run.rev.default,
             );
             let n = twoway_total_distance(&run.fwd.flows, &run.rev.flows, &f, &r);
-            totals.push(percent_gain(d, n));
+            let mut worst = f64::INFINITY;
             for side in [Side::A, Side::B] {
                 let ds = crate::twoway::twoway_side_distance(
                     side,
@@ -274,9 +278,15 @@ pub fn mode_comparison(universe: &Universe, cfg: &ExpConfig) -> Vec<(String, f64
                     &f,
                     &r,
                 );
-                worst_individual = worst_individual.min(percent_gain(ds, ns));
+                worst = worst.min(percent_gain(ds, ns));
             }
-        }
+            (percent_gain(d, n), worst)
+        });
+        let totals: Vec<f64> = per_pair.iter().map(|&(t, _)| t).collect();
+        let worst_individual = per_pair
+            .iter()
+            .map(|&(_, w)| w)
+            .fold(f64::INFINITY, f64::min);
         rows.push((
             name.to_string(),
             crate::cdf::Cdf::new(totals).median(),

@@ -8,6 +8,7 @@
 //! fractional global optimum.
 
 use crate::pairdata::{ExpConfig, PairData};
+use crate::parallel::par_map;
 use nexit_baselines::{optimal_bandwidth, unilateral_upstream, BandwidthOptimum};
 use nexit_core::{negotiate, BandwidthMapper, NexitConfig, Party, Side};
 use nexit_routing::{Assignment, FlowId};
@@ -55,7 +56,9 @@ pub fn failure_scenarios<'u>(
         if reduced.num_interconnections() < 2 {
             continue; // no choice left to negotiate over
         }
-        let data = PairData::build(a, b, reduced, cfg.workload);
+        // A failure removes an interconnection, not internal links: the
+        // reduced pair reuses the full pair's shortest-path matrices.
+        let data = full.build_reduced(reduced, cfg.workload);
         // Impacted flows: pre-failure default used the failed
         // interconnection.
         let impacted: Vec<FlowId> = full
@@ -152,7 +155,7 @@ impl FailureScenario<'_> {
 }
 
 /// Results across all failure scenarios.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct BandwidthResults {
     /// Fig. 7 upstream: default MEL / optimal MEL.
     pub up_default: Vec<f64>,
@@ -171,53 +174,77 @@ pub struct BandwidthResults {
     pub scenarios: usize,
 }
 
-/// Run Figures 7 and 8.
+/// Run Figures 7 and 8. Pairs are swept on `cfg.threads` workers;
+/// per-pair partial results are merged in pair order, so the output is
+/// independent of the thread count.
 pub fn run(universe: &Universe, cfg: &ExpConfig) -> BandwidthResults {
     let mut eligible = universe.eligible_pairs(3, false);
     if let Some(cap) = cfg.max_pairs {
         eligible.truncate(cap);
     }
     let capacity_model = CapacityModel::default();
+    let per_pair = par_map(cfg.threads, eligible.len(), |i| {
+        let mut out = BandwidthResults::default();
+        run_pair_into(universe, eligible[i], cfg, &capacity_model, &mut out);
+        out
+    });
+
     let mut out = BandwidthResults::default();
-
-    for &idx in &eligible {
-        for scenario in failure_scenarios(universe, idx, cfg, &capacity_model) {
-            let Some(opt) = scenario.optimum(cfg.max_lp_variables) else {
-                out.skipped_lp += 1;
-                continue;
-            };
-            let opt_up = opt.side_mel(&scenario.caps_up, true);
-            let opt_down = opt.side_mel(&scenario.caps_down, false);
-            if opt_up < 1e-9 || opt_down < 1e-9 {
-                continue; // degenerate scenario with an idle side
-            }
-            out.scenarios += 1;
-
-            let (def_up, def_down) = scenario.default_mels;
-            out.up_default.push(def_up / opt_up);
-            out.down_default.push(def_down / opt_down);
-
-            let negotiated = scenario.negotiate_bandwidth();
-            let (neg_up, neg_down) = scenario.mels(&negotiated);
-            out.up_negotiated.push(neg_up / opt_up);
-            out.down_negotiated.push(neg_down / opt_down);
-
-            // Fig. 8: unilateral upstream optimization.
-            let uni = unilateral_upstream(
-                &scenario.data.view(),
-                &scenario.data.paths,
-                &scenario.data.flows,
-                &scenario.impacted,
-                &scenario.data.default,
-                &scenario.caps_up,
-            );
-            let (_, uni_down) = scenario.mels(&uni);
-            if def_down > 1e-9 {
-                out.fig8_down_ratio.push(uni_down / def_down);
-            }
-        }
+    for p in per_pair {
+        out.up_default.extend(p.up_default);
+        out.up_negotiated.extend(p.up_negotiated);
+        out.down_default.extend(p.down_default);
+        out.down_negotiated.extend(p.down_negotiated);
+        out.fig8_down_ratio.extend(p.fig8_down_ratio);
+        out.skipped_lp += p.skipped_lp;
+        out.scenarios += p.scenarios;
     }
     out
+}
+
+/// Evaluate every failure scenario of one pair into `out`.
+fn run_pair_into(
+    universe: &Universe,
+    pair_idx: usize,
+    cfg: &ExpConfig,
+    capacity_model: &CapacityModel,
+    out: &mut BandwidthResults,
+) {
+    for scenario in failure_scenarios(universe, pair_idx, cfg, capacity_model) {
+        let Some(opt) = scenario.optimum(cfg.max_lp_variables) else {
+            out.skipped_lp += 1;
+            continue;
+        };
+        let opt_up = opt.side_mel(&scenario.caps_up, true);
+        let opt_down = opt.side_mel(&scenario.caps_down, false);
+        if opt_up < 1e-9 || opt_down < 1e-9 {
+            continue; // degenerate scenario with an idle side
+        }
+        out.scenarios += 1;
+
+        let (def_up, def_down) = scenario.default_mels;
+        out.up_default.push(def_up / opt_up);
+        out.down_default.push(def_down / opt_down);
+
+        let negotiated = scenario.negotiate_bandwidth();
+        let (neg_up, neg_down) = scenario.mels(&negotiated);
+        out.up_negotiated.push(neg_up / opt_up);
+        out.down_negotiated.push(neg_down / opt_down);
+
+        // Fig. 8: unilateral upstream optimization.
+        let uni = unilateral_upstream(
+            &scenario.data.view(),
+            &scenario.data.paths,
+            &scenario.data.flows,
+            &scenario.impacted,
+            &scenario.data.default,
+            &scenario.caps_up,
+        );
+        let (_, uni_down) = scenario.mels(&uni);
+        if def_down > 1e-9 {
+            out.fig8_down_ratio.push(uni_down / def_down);
+        }
+    }
 }
 
 /// Print the bandwidth experiment report.

@@ -8,6 +8,7 @@
 use crate::experiments::bandwidth::failure_scenarios;
 use crate::experiments::distance::build_pair_run;
 use crate::pairdata::ExpConfig;
+use crate::parallel::par_map;
 use crate::twoway::{twoway_side_distance, twoway_total_distance, TwoWayDistanceMapper};
 use nexit_core::{negotiate, BandwidthMapper, DisclosurePolicy, NexitConfig, Party, Side};
 use nexit_metrics::percent_gain;
@@ -15,7 +16,7 @@ use nexit_topology::Universe;
 use nexit_workload::CapacityModel;
 
 /// Figure 10 results (distance, ISP-B cheats).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CheatDistanceResults {
     /// Total gain per pair, both truthful.
     pub total_truthful: Vec<f64>,
@@ -29,62 +30,24 @@ pub struct CheatDistanceResults {
     pub truthful_gain: Vec<f64>,
 }
 
-/// Run Figure 10.
+/// Run Figure 10. Pairs are swept on `cfg.threads` workers and merged
+/// in pair order (thread-count independent output).
 pub fn run_distance(universe: &Universe, cfg: &ExpConfig) -> CheatDistanceResults {
     let mut eligible = universe.eligible_pairs(2, true);
     if let Some(cap) = cfg.max_pairs {
         eligible.truncate(cap);
     }
-    let mut out = CheatDistanceResults::default();
     let config = NexitConfig::win_win();
-
-    for &idx in &eligible {
-        let run = build_pair_run(universe, idx);
-        let session = &run.session;
-        let mapper =
-            |side| TwoWayDistanceMapper::new(side, &run.fwd.flows, &run.rev.flows, session.n_fwd);
-
-        // Evaluate an outcome's gains in kilometres.
-        let evaluate = |assignment: &nexit_routing::Assignment| -> (f64, f64, f64) {
-            let (f, r) = session.split(assignment);
-            let d_total = twoway_total_distance(
-                &run.fwd.flows,
-                &run.rev.flows,
-                &run.fwd.default,
-                &run.rev.default,
-            );
-            let total = percent_gain(
-                d_total,
-                twoway_total_distance(&run.fwd.flows, &run.rev.flows, &f, &r),
-            );
-            let side = |s| {
-                let d = twoway_side_distance(
-                    s,
-                    &run.fwd.flows,
-                    &run.rev.flows,
-                    &run.fwd.default,
-                    &run.rev.default,
-                );
-                let n = twoway_side_distance(s, &run.fwd.flows, &run.rev.flows, &f, &r);
-                percent_gain(d, n)
-            };
-            (total, side(Side::A), side(Side::B))
-        };
-
-        // Both truthful.
-        let mut a = Party::honest("A", mapper(Side::A));
-        let mut b = Party::honest("B", mapper(Side::B));
-        let truthful = negotiate(&session.input, &session.default, &mut a, &mut b, &config);
-        let (t_total, t_a, t_b) = evaluate(&truthful.assignment);
+    // Per pair: (total_truthful, (indiv_t_a, indiv_t_b), total_cheater,
+    // truthful_gain, cheater_gain).
+    let per_pair = par_map(cfg.threads, eligible.len(), |i| {
+        run_distance_pair(universe, eligible[i], &config)
+    });
+    let mut out = CheatDistanceResults::default();
+    for (t_total, (t_a, t_b), c_total, c_a, c_b) in per_pair {
         out.total_truthful.push(t_total);
         out.individual_truthful.push(t_a);
         out.individual_truthful.push(t_b);
-
-        // ISP-B cheats (inflate-best with perfect knowledge).
-        let mut a = Party::honest("A", mapper(Side::A));
-        let mut b = Party::cheating("B", mapper(Side::B), DisclosurePolicy::InflateBest);
-        let cheated = negotiate(&session.input, &session.default, &mut a, &mut b, &config);
-        let (c_total, c_a, c_b) = evaluate(&cheated.assignment);
         out.total_cheater.push(c_total);
         out.truthful_gain.push(c_a);
         out.cheater_gain.push(c_b);
@@ -92,9 +55,62 @@ pub fn run_distance(universe: &Universe, cfg: &ExpConfig) -> CheatDistanceResult
     out
 }
 
+/// Evaluate one Figure-10 pair: truthful run, then ISP-B cheating.
+fn run_distance_pair(
+    universe: &Universe,
+    idx: usize,
+    config: &NexitConfig,
+) -> (f64, (f64, f64), f64, f64, f64) {
+    let run = build_pair_run(universe, idx);
+    let session = &run.session;
+    let mapper =
+        |side| TwoWayDistanceMapper::new(side, &run.fwd.flows, &run.rev.flows, session.n_fwd);
+
+    // Evaluate an outcome's gains in kilometres.
+    let evaluate = |assignment: &nexit_routing::Assignment| -> (f64, f64, f64) {
+        let (f, r) = session.split(assignment);
+        let d_total = twoway_total_distance(
+            &run.fwd.flows,
+            &run.rev.flows,
+            &run.fwd.default,
+            &run.rev.default,
+        );
+        let total = percent_gain(
+            d_total,
+            twoway_total_distance(&run.fwd.flows, &run.rev.flows, &f, &r),
+        );
+        let side = |s| {
+            let d = twoway_side_distance(
+                s,
+                &run.fwd.flows,
+                &run.rev.flows,
+                &run.fwd.default,
+                &run.rev.default,
+            );
+            let n = twoway_side_distance(s, &run.fwd.flows, &run.rev.flows, &f, &r);
+            percent_gain(d, n)
+        };
+        (total, side(Side::A), side(Side::B))
+    };
+
+    // Both truthful.
+    let mut a = Party::honest("A", mapper(Side::A));
+    let mut b = Party::honest("B", mapper(Side::B));
+    let truthful = negotiate(&session.input, &session.default, &mut a, &mut b, config);
+    let (t_total, t_a, t_b) = evaluate(&truthful.assignment);
+
+    // ISP-B cheats (inflate-best with perfect knowledge).
+    let mut a = Party::honest("A", mapper(Side::A));
+    let mut b = Party::cheating("B", mapper(Side::B), DisclosurePolicy::InflateBest);
+    let cheated = negotiate(&session.input, &session.default, &mut a, &mut b, config);
+    let (c_total, c_a, c_b) = evaluate(&cheated.assignment);
+
+    (t_total, (t_a, t_b), c_total, c_a, c_b)
+}
+
 /// Figure 11 results (bandwidth, upstream cheats). MELs relative to the
 /// optimal, per failure scenario.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CheatBandwidthResults {
     /// Upstream MEL ratio, both truthful.
     pub up_truthful: Vec<f64>,
@@ -110,62 +126,83 @@ pub struct CheatBandwidthResults {
     pub down_default: Vec<f64>,
 }
 
-/// Run Figure 11.
+/// Run Figure 11. Pairs are swept on `cfg.threads` workers and merged
+/// in pair order (thread-count independent output).
 pub fn run_bandwidth(universe: &Universe, cfg: &ExpConfig) -> CheatBandwidthResults {
     let mut eligible = universe.eligible_pairs(3, false);
     if let Some(cap) = cfg.max_pairs {
         eligible.truncate(cap);
     }
     let capacity_model = CapacityModel::default();
-    let mut out = CheatBandwidthResults::default();
     let config = NexitConfig::win_win_bandwidth();
+    let per_pair = par_map(cfg.threads, eligible.len(), |i| {
+        run_bandwidth_pair(universe, eligible[i], cfg, &capacity_model, &config)
+    });
+    let mut out = CheatBandwidthResults::default();
+    for p in per_pair {
+        out.up_truthful.extend(p.up_truthful);
+        out.up_cheater.extend(p.up_cheater);
+        out.up_default.extend(p.up_default);
+        out.down_truthful.extend(p.down_truthful);
+        out.down_cheater.extend(p.down_cheater);
+        out.down_default.extend(p.down_default);
+    }
+    out
+}
 
-    for &idx in &eligible {
-        for scenario in failure_scenarios(universe, idx, cfg, &capacity_model) {
-            let Some(opt) = scenario.optimum(cfg.max_lp_variables) else {
-                continue;
-            };
-            let opt_up = opt.side_mel(&scenario.caps_up, true);
-            let opt_down = opt.side_mel(&scenario.caps_down, false);
-            if opt_up < 1e-9 || opt_down < 1e-9 {
-                continue;
-            }
-            let input = scenario.session_input();
-            let up_mapper = || {
-                BandwidthMapper::new(
-                    Side::A,
-                    &scenario.data.flows,
-                    &scenario.data.paths,
-                    &scenario.caps_up,
-                )
-            };
-            let down_mapper = || {
-                BandwidthMapper::new(
-                    Side::B,
-                    &scenario.data.flows,
-                    &scenario.data.paths,
-                    &scenario.caps_down,
-                )
-            };
-
-            let mut a = Party::honest("up", up_mapper());
-            let mut b = Party::honest("down", down_mapper());
-            let truthful = negotiate(&input, &scenario.data.default, &mut a, &mut b, &config);
-            let (tu, td) = scenario.mels(&truthful.assignment);
-
-            let mut a = Party::cheating("up", up_mapper(), DisclosurePolicy::InflateBest);
-            let mut b = Party::honest("down", down_mapper());
-            let cheated = negotiate(&input, &scenario.data.default, &mut a, &mut b, &config);
-            let (cu, cd) = scenario.mels(&cheated.assignment);
-
-            let (du, dd) = scenario.default_mels;
-            out.up_truthful.push(tu / opt_up);
-            out.up_cheater.push(cu / opt_up);
-            out.up_default.push(du / opt_up);
-            out.down_truthful.push(td / opt_down);
-            out.down_cheater.push(cd / opt_down);
-            out.down_default.push(dd / opt_down);
+/// Evaluate every failure scenario of one Figure-11 pair.
+fn run_bandwidth_pair(
+    universe: &Universe,
+    idx: usize,
+    cfg: &ExpConfig,
+    capacity_model: &CapacityModel,
+    config: &NexitConfig,
+) -> CheatBandwidthResults {
+    let mut out = CheatBandwidthResults::default();
+    for scenario in failure_scenarios(universe, idx, cfg, capacity_model) {
+        let Some(opt) = scenario.optimum(cfg.max_lp_variables) else {
+            continue;
+        };
+        let opt_up = opt.side_mel(&scenario.caps_up, true);
+        let opt_down = opt.side_mel(&scenario.caps_down, false);
+        if opt_up < 1e-9 || opt_down < 1e-9 {
+            continue;
         }
+        let input = scenario.session_input();
+        let up_mapper = || {
+            BandwidthMapper::new(
+                Side::A,
+                &scenario.data.flows,
+                &scenario.data.paths,
+                &scenario.caps_up,
+            )
+        };
+        let down_mapper = || {
+            BandwidthMapper::new(
+                Side::B,
+                &scenario.data.flows,
+                &scenario.data.paths,
+                &scenario.caps_down,
+            )
+        };
+
+        let mut a = Party::honest("up", up_mapper());
+        let mut b = Party::honest("down", down_mapper());
+        let truthful = negotiate(&input, &scenario.data.default, &mut a, &mut b, config);
+        let (tu, td) = scenario.mels(&truthful.assignment);
+
+        let mut a = Party::cheating("up", up_mapper(), DisclosurePolicy::InflateBest);
+        let mut b = Party::honest("down", down_mapper());
+        let cheated = negotiate(&input, &scenario.data.default, &mut a, &mut b, config);
+        let (cu, cd) = scenario.mels(&cheated.assignment);
+
+        let (du, dd) = scenario.default_mels;
+        out.up_truthful.push(tu / opt_up);
+        out.up_cheater.push(cu / opt_up);
+        out.up_default.push(du / opt_up);
+        out.down_truthful.push(td / opt_down);
+        out.down_cheater.push(cd / opt_down);
+        out.down_default.push(dd / opt_down);
     }
     out
 }

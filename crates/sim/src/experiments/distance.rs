@@ -9,6 +9,7 @@
 //! experiment configuration.
 
 use crate::pairdata::{ExpConfig, PairData};
+use crate::parallel::par_map;
 use crate::twoway::{
     twoway_side_distance, twoway_total_distance, TwoWayDistanceMapper, TwoWaySession,
 };
@@ -19,7 +20,7 @@ use nexit_topology::Universe;
 use nexit_workload::WorkloadModel;
 
 /// Results of the distance experiment across all pairs.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DistanceResults {
     /// Fig. 4a: per-pair % reduction of total distance, negotiated.
     pub total_negotiated: Vec<f64>,
@@ -54,141 +55,164 @@ pub struct DistancePairRun<'u> {
     pub session: TwoWaySession,
 }
 
-/// Build the combined two-direction run for one pair index.
+/// Build the combined two-direction run for one pair index. The reverse
+/// direction reuses the forward shortest-path matrices (mirrored pair,
+/// same topologies).
 pub fn build_pair_run(universe: &Universe, pair_idx: usize) -> DistancePairRun<'_> {
     let pair = &universe.pairs[pair_idx];
     let a = &universe.isps[pair.isp_a.index()];
     let b = &universe.isps[pair.isp_b.index()];
     let fwd = PairData::build(a, b, pair.clone(), WorkloadModel::Identical);
-    let rev = PairData::build(b, a, fwd.mirrored_pair(), WorkloadModel::Identical);
+    let rev = fwd.build_mirrored(WorkloadModel::Identical);
     let session = TwoWaySession::build(&fwd, &rev);
     DistancePairRun { fwd, rev, session }
 }
 
-/// Run the full distance experiment.
+/// One pair's contribution to [`DistanceResults`], in the exact order
+/// the serial loop would push it.
+struct PairResult {
+    total_negotiated: f64,
+    total_optimal: f64,
+    total_late_exit: f64,
+    /// `[A, B]` per-ISP gains.
+    individual_negotiated: [f64; 2],
+    individual_optimal: [f64; 2],
+    flow_negotiated: Vec<f64>,
+    flow_optimal: Vec<f64>,
+    fraction_for_90pct: f64,
+}
+
+/// Run the full distance experiment. Pairs are swept on
+/// `cfg.threads` workers; results are merged in pair order, so the
+/// output is independent of the thread count.
 pub fn run(universe: &Universe, cfg: &ExpConfig) -> DistanceResults {
     let mut eligible = universe.eligible_pairs(2, true);
     if let Some(cap) = cfg.max_pairs {
         eligible.truncate(cap);
     }
+    let per_pair = par_map(cfg.threads, eligible.len(), |i| {
+        run_pair(universe, eligible[i])
+    });
+
     let mut out = DistanceResults {
         pairs: eligible.len(),
         ..DistanceResults::default()
     };
-
-    for &idx in &eligible {
-        let run = build_pair_run(universe, idx);
-        let session = &run.session;
-
-        // Negotiated routing.
-        let mut party_a = Party::honest(
-            "ISP-A",
-            TwoWayDistanceMapper::new(Side::A, &run.fwd.flows, &run.rev.flows, session.n_fwd),
-        );
-        let mut party_b = Party::honest(
-            "ISP-B",
-            TwoWayDistanceMapper::new(Side::B, &run.fwd.flows, &run.rev.flows, session.n_fwd),
-        );
-        let outcome = negotiate(
-            &session.input,
-            &session.default,
-            &mut party_a,
-            &mut party_b,
-            &NexitConfig::win_win(),
-        );
-        let (neg_fwd, neg_rev) = session.split(&outcome.assignment);
-
-        // Optimal routing (per-flow total-distance argmin in each
-        // direction).
-        let opt_fwd = optimal_distance(&run.fwd.flows);
-        let opt_rev = optimal_distance(&run.rev.flows);
-
-        // Totals (Fig. 4a).
-        let d_total = twoway_total_distance(
-            &run.fwd.flows,
-            &run.rev.flows,
-            &run.fwd.default,
-            &run.rev.default,
-        );
-        let n_total = twoway_total_distance(&run.fwd.flows, &run.rev.flows, &neg_fwd, &neg_rev);
-        let o_total = twoway_total_distance(&run.fwd.flows, &run.rev.flows, &opt_fwd, &opt_rev);
-        out.total_negotiated.push(percent_gain(d_total, n_total));
-        out.total_optimal.push(percent_gain(d_total, o_total));
-
-        // Late-exit baseline (Fig. 1b): every flow enters at the
-        // interconnection closest to its destination.
-        let late_fwd = nexit_routing::Assignment::from_choices(
-            run.fwd
-                .flows
-                .flows
-                .iter()
-                .map(|f| nexit_routing::late_exit(&run.fwd.view(), &run.fwd.sp_down, f.dst))
-                .collect(),
-        );
-        let late_rev = nexit_routing::Assignment::from_choices(
-            run.rev
-                .flows
-                .flows
-                .iter()
-                .map(|f| nexit_routing::late_exit(&run.rev.view(), &run.rev.sp_down, f.dst))
-                .collect(),
-        );
-        let l_total = twoway_total_distance(&run.fwd.flows, &run.rev.flows, &late_fwd, &late_rev);
-        out.total_late_exit.push(percent_gain(d_total, l_total));
-
-        // Individual ISP gains (Fig. 4b).
-        for side in [Side::A, Side::B] {
-            let d = twoway_side_distance(
-                side,
-                &run.fwd.flows,
-                &run.rev.flows,
-                &run.fwd.default,
-                &run.rev.default,
-            );
-            let n = twoway_side_distance(side, &run.fwd.flows, &run.rev.flows, &neg_fwd, &neg_rev);
-            let o = twoway_side_distance(side, &run.fwd.flows, &run.rev.flows, &opt_fwd, &opt_rev);
-            out.individual_negotiated.push(percent_gain(d, n));
-            out.individual_optimal.push(percent_gain(d, o));
-        }
-
-        // Flow-level gains (Fig. 6) and the 90%-of-gain fraction.
-        let mut per_flow_saving: Vec<f64> = Vec::new();
-        let collect = |flows: &nexit_routing::PairFlows,
-                       default: &nexit_routing::Assignment,
-                       neg: &nexit_routing::Assignment,
-                       opt: &nexit_routing::Assignment,
-                       out: &mut DistanceResults,
-                       per_flow_saving: &mut Vec<f64>| {
-            for (id, _, m) in flows.iter() {
-                let d = m.total_km(default.choice(id));
-                out.flow_negotiated
-                    .push(percent_gain(d, m.total_km(neg.choice(id))));
-                out.flow_optimal
-                    .push(percent_gain(d, m.total_km(opt.choice(id))));
-                per_flow_saving.push(d - m.total_km(neg.choice(id)));
-            }
-        };
-        collect(
-            &run.fwd.flows,
-            &run.fwd.default,
-            &neg_fwd,
-            &opt_fwd,
-            &mut out,
-            &mut per_flow_saving,
-        );
-        collect(
-            &run.rev.flows,
-            &run.rev.default,
-            &neg_rev,
-            &opt_rev,
-            &mut out,
-            &mut per_flow_saving,
-        );
-
-        out.fraction_for_90pct
-            .push(fraction_for_gain_share(&per_flow_saving, 0.9));
+    for p in per_pair {
+        out.total_negotiated.push(p.total_negotiated);
+        out.total_optimal.push(p.total_optimal);
+        out.total_late_exit.push(p.total_late_exit);
+        out.individual_negotiated.extend(p.individual_negotiated);
+        out.individual_optimal.extend(p.individual_optimal);
+        out.flow_negotiated.extend(p.flow_negotiated);
+        out.flow_optimal.extend(p.flow_optimal);
+        out.fraction_for_90pct.push(p.fraction_for_90pct);
     }
     out
+}
+
+/// Evaluate one pair (negotiated, optimal and late-exit baselines).
+fn run_pair(universe: &Universe, pair_idx: usize) -> PairResult {
+    let run = build_pair_run(universe, pair_idx);
+    let session = &run.session;
+
+    // Negotiated routing.
+    let mut party_a = Party::honest(
+        "ISP-A",
+        TwoWayDistanceMapper::new(Side::A, &run.fwd.flows, &run.rev.flows, session.n_fwd),
+    );
+    let mut party_b = Party::honest(
+        "ISP-B",
+        TwoWayDistanceMapper::new(Side::B, &run.fwd.flows, &run.rev.flows, session.n_fwd),
+    );
+    let outcome = negotiate(
+        &session.input,
+        &session.default,
+        &mut party_a,
+        &mut party_b,
+        &NexitConfig::win_win(),
+    );
+    let (neg_fwd, neg_rev) = session.split(&outcome.assignment);
+
+    // Optimal routing (per-flow total-distance argmin in each
+    // direction).
+    let opt_fwd = optimal_distance(&run.fwd.flows);
+    let opt_rev = optimal_distance(&run.rev.flows);
+
+    // Totals (Fig. 4a).
+    let d_total = twoway_total_distance(
+        &run.fwd.flows,
+        &run.rev.flows,
+        &run.fwd.default,
+        &run.rev.default,
+    );
+    let n_total = twoway_total_distance(&run.fwd.flows, &run.rev.flows, &neg_fwd, &neg_rev);
+    let o_total = twoway_total_distance(&run.fwd.flows, &run.rev.flows, &opt_fwd, &opt_rev);
+
+    // Late-exit baseline (Fig. 1b): every flow enters at the
+    // interconnection closest to its destination.
+    let late_fwd = nexit_routing::Assignment::from_choices(
+        run.fwd
+            .flows
+            .flows
+            .iter()
+            .map(|f| nexit_routing::late_exit(&run.fwd.view(), &run.fwd.sp_down, f.dst))
+            .collect(),
+    );
+    let late_rev = nexit_routing::Assignment::from_choices(
+        run.rev
+            .flows
+            .flows
+            .iter()
+            .map(|f| nexit_routing::late_exit(&run.rev.view(), &run.rev.sp_down, f.dst))
+            .collect(),
+    );
+    let l_total = twoway_total_distance(&run.fwd.flows, &run.rev.flows, &late_fwd, &late_rev);
+
+    // Individual ISP gains (Fig. 4b).
+    let side_gains = |side| {
+        let d = twoway_side_distance(
+            side,
+            &run.fwd.flows,
+            &run.rev.flows,
+            &run.fwd.default,
+            &run.rev.default,
+        );
+        let n = twoway_side_distance(side, &run.fwd.flows, &run.rev.flows, &neg_fwd, &neg_rev);
+        let o = twoway_side_distance(side, &run.fwd.flows, &run.rev.flows, &opt_fwd, &opt_rev);
+        (percent_gain(d, n), percent_gain(d, o))
+    };
+    let (ind_neg_a, ind_opt_a) = side_gains(Side::A);
+    let (ind_neg_b, ind_opt_b) = side_gains(Side::B);
+
+    // Flow-level gains (Fig. 6) and the 90%-of-gain fraction.
+    let mut flow_negotiated = Vec::new();
+    let mut flow_optimal = Vec::new();
+    let mut per_flow_saving: Vec<f64> = Vec::new();
+    let mut collect = |flows: &nexit_routing::PairFlows,
+                       default: &nexit_routing::Assignment,
+                       neg: &nexit_routing::Assignment,
+                       opt: &nexit_routing::Assignment| {
+        for (id, _, m) in flows.iter() {
+            let d = m.total_km(default.choice(id));
+            flow_negotiated.push(percent_gain(d, m.total_km(neg.choice(id))));
+            flow_optimal.push(percent_gain(d, m.total_km(opt.choice(id))));
+            per_flow_saving.push(d - m.total_km(neg.choice(id)));
+        }
+    };
+    collect(&run.fwd.flows, &run.fwd.default, &neg_fwd, &opt_fwd);
+    collect(&run.rev.flows, &run.rev.default, &neg_rev, &opt_rev);
+
+    PairResult {
+        total_negotiated: percent_gain(d_total, n_total),
+        total_optimal: percent_gain(d_total, o_total),
+        total_late_exit: percent_gain(d_total, l_total),
+        individual_negotiated: [ind_neg_a, ind_neg_b],
+        individual_optimal: [ind_opt_a, ind_opt_b],
+        flow_negotiated,
+        flow_optimal,
+        fraction_for_90pct: fraction_for_gain_share(&per_flow_saving, 0.9),
+    }
 }
 
 /// The fraction of all flows (sorted by descending saving) needed to

@@ -8,6 +8,7 @@
 
 use crate::experiments::bandwidth::failure_scenarios;
 use crate::pairdata::ExpConfig;
+use crate::parallel::par_map;
 use nexit_core::{negotiate, BandwidthMapper, DistanceMapper, NexitConfig, Party, Side};
 use nexit_metrics::percent_gain;
 use nexit_routing::Assignment;
@@ -15,7 +16,7 @@ use nexit_topology::Universe;
 use nexit_workload::CapacityModel;
 
 /// Results for Figure 9.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DiverseResults {
     /// Left graph: upstream MEL / optimal MEL, negotiated.
     pub up_negotiated: Vec<f64>,
@@ -44,57 +45,75 @@ fn downstream_impacted_km(
         .sum()
 }
 
-/// Run Figure 9.
+/// Run Figure 9. Pairs are swept on `cfg.threads` workers and merged in
+/// pair order (thread-count independent output).
 pub fn run(universe: &Universe, cfg: &ExpConfig) -> DiverseResults {
     let mut eligible = universe.eligible_pairs(3, false);
     if let Some(cap) = cfg.max_pairs {
         eligible.truncate(cap);
     }
     let capacity_model = CapacityModel::default();
+    let per_pair = par_map(cfg.threads, eligible.len(), |i| {
+        run_pair(universe, eligible[i], cfg, &capacity_model)
+    });
     let mut out = DiverseResults::default();
+    for p in per_pair {
+        out.up_negotiated.extend(p.up_negotiated);
+        out.up_default.extend(p.up_default);
+        out.down_distance_gain.extend(p.down_distance_gain);
+        out.scenarios += p.scenarios;
+    }
+    out
+}
 
-    for &idx in &eligible {
-        for scenario in failure_scenarios(universe, idx, cfg, &capacity_model) {
-            let Some(opt) = scenario.optimum(cfg.max_lp_variables) else {
-                continue;
-            };
-            let opt_up = opt.side_mel(&scenario.caps_up, true);
-            if opt_up < 1e-9 {
-                continue;
-            }
-            out.scenarios += 1;
-
-            let input = scenario.session_input();
-            let mut party_a = Party::honest(
-                "up-bandwidth",
-                BandwidthMapper::new(
-                    Side::A,
-                    &scenario.data.flows,
-                    &scenario.data.paths,
-                    &scenario.caps_up,
-                ),
-            );
-            let mut party_b = Party::honest(
-                "down-distance",
-                DistanceMapper::new(Side::B, &scenario.data.flows),
-            );
-            let outcome = negotiate(
-                &input,
-                &scenario.data.default,
-                &mut party_a,
-                &mut party_b,
-                &NexitConfig::win_win_bandwidth(),
-            );
-
-            let (def_up, _) = scenario.default_mels;
-            let (neg_up, _) = scenario.mels(&outcome.assignment);
-            out.up_default.push(def_up / opt_up);
-            out.up_negotiated.push(neg_up / opt_up);
-
-            let d_km = downstream_impacted_km(&scenario, &scenario.data.default);
-            let n_km = downstream_impacted_km(&scenario, &outcome.assignment);
-            out.down_distance_gain.push(percent_gain(d_km, n_km));
+/// Evaluate every failure scenario of one Figure-9 pair.
+fn run_pair(
+    universe: &Universe,
+    idx: usize,
+    cfg: &ExpConfig,
+    capacity_model: &CapacityModel,
+) -> DiverseResults {
+    let mut out = DiverseResults::default();
+    for scenario in failure_scenarios(universe, idx, cfg, capacity_model) {
+        let Some(opt) = scenario.optimum(cfg.max_lp_variables) else {
+            continue;
+        };
+        let opt_up = opt.side_mel(&scenario.caps_up, true);
+        if opt_up < 1e-9 {
+            continue;
         }
+        out.scenarios += 1;
+
+        let input = scenario.session_input();
+        let mut party_a = Party::honest(
+            "up-bandwidth",
+            BandwidthMapper::new(
+                Side::A,
+                &scenario.data.flows,
+                &scenario.data.paths,
+                &scenario.caps_up,
+            ),
+        );
+        let mut party_b = Party::honest(
+            "down-distance",
+            DistanceMapper::new(Side::B, &scenario.data.flows),
+        );
+        let outcome = negotiate(
+            &input,
+            &scenario.data.default,
+            &mut party_a,
+            &mut party_b,
+            &NexitConfig::win_win_bandwidth(),
+        );
+
+        let (def_up, _) = scenario.default_mels;
+        let (neg_up, _) = scenario.mels(&outcome.assignment);
+        out.up_default.push(def_up / opt_up);
+        out.up_negotiated.push(neg_up / opt_up);
+
+        let d_km = downstream_impacted_km(&scenario, &scenario.data.default);
+        let n_km = downstream_impacted_km(&scenario, &outcome.assignment);
+        out.down_distance_gain.push(percent_gain(d_km, n_km));
     }
     out
 }

@@ -2,13 +2,14 @@
 
 use crate::experiments::distance::build_pair_run;
 use crate::pairdata::ExpConfig;
+use crate::parallel::par_map;
 use crate::twoway::twoway_total_distance;
 use nexit_baselines::flow_filters::{flow_both_better, flow_pareto, OppositeFlows};
 use nexit_metrics::percent_gain;
 use nexit_topology::Universe;
 
 /// Results: per-pair total % gains for both strategies.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FilterResults {
     /// flow-Pareto total distance gain per pair.
     pub pareto: Vec<f64>,
@@ -16,15 +17,17 @@ pub struct FilterResults {
     pub both_better: Vec<f64>,
 }
 
-/// Run Figure 5 over the distance-eligible pairs.
+/// Run Figure 5 over the distance-eligible pairs. Pairs are swept on
+/// `cfg.threads` workers and merged in pair order; the filter seed is
+/// derived from the pair's position, so the output is thread-count
+/// independent.
 pub fn run(universe: &Universe, cfg: &ExpConfig) -> FilterResults {
     let mut eligible = universe.eligible_pairs(2, true);
     if let Some(cap) = cfg.max_pairs {
         eligible.truncate(cap);
     }
-    let mut out = FilterResults::default();
-    for (i, &idx) in eligible.iter().enumerate() {
-        let run = build_pair_run(universe, idx);
+    let per_pair = par_map(cfg.threads, eligible.len(), |i| {
+        let run = build_pair_run(universe, eligible[i]);
         let input = OppositeFlows {
             fwd: &run.fwd.flows,
             rev: &run.rev.flows,
@@ -41,15 +44,21 @@ pub fn run(universe: &Universe, cfg: &ExpConfig) -> FilterResults {
         );
         let seed = cfg.seed.wrapping_add(i as u64);
         let (pf, pr) = flow_pareto(&input, seed);
-        out.pareto.push(percent_gain(
+        let pareto = percent_gain(
             d_total,
             twoway_total_distance(&run.fwd.flows, &run.rev.flows, &pf, &pr),
-        ));
+        );
         let (bf, br) = flow_both_better(&input, seed);
-        out.both_better.push(percent_gain(
+        let both_better = percent_gain(
             d_total,
             twoway_total_distance(&run.fwd.flows, &run.rev.flows, &bf, &br),
-        ));
+        );
+        (pareto, both_better)
+    });
+    let mut out = FilterResults::default();
+    for (pareto, both_better) in per_pair {
+        out.pareto.push(pareto);
+        out.both_better.push(both_better);
     }
     out
 }

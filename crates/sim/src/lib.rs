@@ -19,8 +19,10 @@ pub mod cdf;
 pub mod destination;
 pub mod experiments;
 pub mod pairdata;
+pub mod parallel;
 pub mod scenarios;
 pub mod twoway;
 
 pub use cdf::Cdf;
 pub use pairdata::{ExpConfig, PairData};
+pub use parallel::par_map;

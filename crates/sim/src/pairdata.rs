@@ -3,6 +3,7 @@
 use nexit_routing::{Assignment, PairFlows, ShortestPaths};
 use nexit_topology::{IspPair, IspTopology, PairView};
 use nexit_workload::{volume_fn, PathTable, WorkloadModel};
+use std::sync::Arc;
 
 /// Global experiment knobs.
 #[derive(Debug, Clone)]
@@ -20,6 +21,10 @@ pub struct ExpConfig {
     pub seed: u64,
     /// Workload model for bandwidth experiments.
     pub workload: WorkloadModel,
+    /// Worker threads for the per-pair sweeps: 0 = one per available
+    /// core, 1 = serial, N = exactly N. Results are byte-identical for
+    /// every setting (see [`crate::parallel`]).
+    pub threads: usize,
 }
 
 impl Default for ExpConfig {
@@ -30,17 +35,20 @@ impl Default for ExpConfig {
             max_lp_variables: 6_000,
             seed: 1,
             workload: WorkloadModel::Gravity,
+            threads: 1,
         }
     }
 }
 
 impl ExpConfig {
-    /// A fast configuration for tests and smoke runs.
+    /// A fast configuration for tests and smoke runs. Sweeps run on all
+    /// available cores (output is thread-count independent).
     pub fn smoke() -> Self {
         Self {
             max_pairs: Some(12),
             max_failures_per_pair: 2,
             max_lp_variables: 2_000,
+            threads: 0,
             ..Self::default()
         }
     }
@@ -50,6 +58,12 @@ impl ExpConfig {
 /// pair record, shortest paths, flows, path tables and the early-exit
 /// default. Topologies are borrowed from the universe; the pair record is
 /// owned so that mirrored and failure-reduced pairs work identically.
+///
+/// Shortest-path matrices depend only on an ISP's internal topology —
+/// not on the pair's interconnections or direction — so they are held
+/// behind [`Arc`] and shared: the mirrored reverse-direction run and
+/// every failure-reduced variant of a pair reuse the forward matrices
+/// instead of recomputing all-pairs Dijkstra.
 pub struct PairData<'u> {
     /// The upstream (A-side) topology.
     pub a: &'u IspTopology,
@@ -57,10 +71,10 @@ pub struct PairData<'u> {
     pub b: &'u IspTopology,
     /// The pair record (owned; may be a mirrored or reduced variant).
     pub pair: IspPair,
-    /// Shortest paths in the upstream ISP.
-    pub sp_up: ShortestPaths,
-    /// Shortest paths in the downstream ISP.
-    pub sp_down: ShortestPaths,
+    /// Shortest paths in the upstream ISP (shared; see the type docs).
+    pub sp_up: Arc<ShortestPaths>,
+    /// Shortest paths in the downstream ISP (shared; see the type docs).
+    pub sp_down: Arc<ShortestPaths>,
     /// The directed flow set.
     pub flows: PairFlows,
     /// Per-(flow, alternative) link paths.
@@ -70,15 +84,31 @@ pub struct PairData<'u> {
 }
 
 impl<'u> PairData<'u> {
-    /// Build for a directed pair with the given workload model.
+    /// Build for a directed pair with the given workload model,
+    /// computing both shortest-path matrices from scratch.
     pub fn build(
         a: &'u IspTopology,
         b: &'u IspTopology,
         pair: IspPair,
         workload: WorkloadModel,
     ) -> Self {
-        let sp_up = ShortestPaths::compute(a);
-        let sp_down = ShortestPaths::compute(b);
+        let sp_up = Arc::new(ShortestPaths::compute(a));
+        let sp_down = Arc::new(ShortestPaths::compute(b));
+        Self::build_with_paths(a, b, pair, workload, sp_up, sp_down)
+    }
+
+    /// Build reusing precomputed shortest-path matrices (which must be
+    /// `ShortestPaths::compute(a)` / `compute(b)` — they depend only on
+    /// the topologies, so any pair variant between the same ISPs
+    /// qualifies).
+    pub fn build_with_paths(
+        a: &'u IspTopology,
+        b: &'u IspTopology,
+        pair: IspPair,
+        workload: WorkloadModel,
+        sp_up: Arc<ShortestPaths>,
+        sp_down: Arc<ShortestPaths>,
+    ) -> Self {
         let (flows, paths, default) = {
             let view = PairView::new(a, b, &pair);
             let vol = volume_fn(workload, a, b);
@@ -97,6 +127,35 @@ impl<'u> PairData<'u> {
             paths,
             default,
         }
+    }
+
+    /// Build the reverse-direction dataset (B upstream) on the mirrored
+    /// pair, reusing this dataset's shortest-path matrices with the
+    /// roles swapped.
+    pub fn build_mirrored(&self, workload: WorkloadModel) -> PairData<'u> {
+        PairData::build_with_paths(
+            self.b,
+            self.a,
+            self.mirrored_pair(),
+            workload,
+            self.sp_down.clone(),
+            self.sp_up.clone(),
+        )
+    }
+
+    /// Build the dataset for a reduced (post-failure) variant of this
+    /// data's pair, reusing the shortest-path matrices.
+    pub fn build_reduced(&self, reduced: IspPair, workload: WorkloadModel) -> PairData<'u> {
+        debug_assert_eq!(reduced.isp_a, self.pair.isp_a);
+        debug_assert_eq!(reduced.isp_b, self.pair.isp_b);
+        PairData::build_with_paths(
+            self.a,
+            self.b,
+            reduced,
+            workload,
+            self.sp_up.clone(),
+            self.sp_down.clone(),
+        )
     }
 
     /// The directed view over this data's pair.
@@ -176,6 +235,41 @@ mod tests {
             assert_eq!(orig.pop_a, mir.pop_b);
             assert_eq!(orig.pop_b, mir.pop_a);
         }
+    }
+
+    #[test]
+    fn mirrored_and_reduced_builds_share_shortest_paths() {
+        let u = TopologyGenerator::new(GeneratorConfig {
+            num_isps: 10,
+            num_mesh_isps: 0,
+            seed: 3,
+            ..GeneratorConfig::default()
+        })
+        .generate();
+        let idx = u.eligible_pairs(2, true)[0];
+        let pair = &u.pairs[idx];
+        let fwd = PairData::build(
+            &u.isps[pair.isp_a.index()],
+            &u.isps[pair.isp_b.index()],
+            pair.clone(),
+            WorkloadModel::Identical,
+        );
+        let rev = fwd.build_mirrored(WorkloadModel::Identical);
+        assert!(Arc::ptr_eq(&fwd.sp_up, &rev.sp_down), "fwd up == rev down");
+        assert!(Arc::ptr_eq(&fwd.sp_down, &rev.sp_up), "fwd down == rev up");
+        // The reverse data is identical to an uncached build.
+        let fresh = PairData::build(
+            &u.isps[pair.isp_b.index()],
+            &u.isps[pair.isp_a.index()],
+            fwd.mirrored_pair(),
+            WorkloadModel::Identical,
+        );
+        assert_eq!(rev.default, fresh.default);
+        assert_eq!(rev.flows.len(), fresh.flows.len());
+
+        let reduced = fwd.build_reduced(fwd.pair.clone(), WorkloadModel::Identical);
+        assert!(Arc::ptr_eq(&fwd.sp_up, &reduced.sp_up));
+        assert!(Arc::ptr_eq(&fwd.sp_down, &reduced.sp_down));
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Deterministic parallel fan-out for the per-pair experiment sweeps.
+//!
+//! Every experiment driver is a loop of independent, read-only per-pair
+//! (or per-scenario) computations over a shared [`nexit_topology::Universe`]
+//! — exactly the shape a worker pool handles well. [`par_map`] runs the
+//! items on crossbeam scoped threads pulling indices from a shared
+//! atomic counter and collects results **by item index**, so the output
+//! is byte-identical to the serial loop regardless of thread count or
+//! scheduling: parallelism changes wall-clock time, never results.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How many worker threads a sweep should use: an explicit request, or
+/// every available core when `requested` is 0 (the auto setting).
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
+    }
+}
+
+/// Map `f` over `0..num_items` with `threads` workers, returning results
+/// in item order. `threads <= 1` runs the plain serial loop; any other
+/// count produces the identical output (each slot is computed by exactly
+/// one worker and placed by index).
+pub fn par_map<R, F>(threads: usize, num_items: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = resolve_threads(threads).min(num_items);
+    if threads <= 1 {
+        return (0..num_items).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = crossbeam::channel::unbounded();
+    crossbeam::thread::scope(|s| {
+        let mut workers = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            workers.push(s.spawn(move |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= num_items {
+                    break;
+                }
+                tx.send((i, f(i))).expect("result collector dropped");
+            }));
+        }
+        drop(tx);
+        let mut out: Vec<Option<R>> = (0..num_items).map(|_| None).collect();
+        while let Ok((i, r)) = rx.recv() {
+            debug_assert!(out[i].is_none(), "item {i} computed twice");
+            out[i] = Some(r);
+        }
+        // Surface a worker's own panic rather than the empty slot it
+        // left behind.
+        for worker in workers {
+            if let Err(payload) = worker.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("worker skipped an item"))
+            .collect()
+    })
+    .expect("sweep worker panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_item_order() {
+        let serial = par_map(1, 100, |i| i * i);
+        let parallel = par_map(4, 100, |i| i * i);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[7], 49);
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        assert_eq!(par_map(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map(4, 1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        assert_eq!(par_map(64, 3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn auto_resolves_to_at_least_one() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "item 7 exploded")]
+    fn worker_panics_surface_with_their_payload() {
+        par_map(4, 16, |i| {
+            assert!(i != 7, "item {i} exploded");
+            i
+        });
+    }
+}

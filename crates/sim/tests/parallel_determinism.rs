@@ -1,0 +1,83 @@
+//! The parallel sweep contract: experiment output is byte-identical for
+//! every thread count. Each driver collects per-pair results by pair
+//! index, so scheduling can never reorder or perturb them — these tests
+//! pin that with exact (bitwise) `f64` equality between `threads = 1`
+//! and `threads = 4` runs.
+
+use nexit_sim::experiments::{ablation, bandwidth, cheating, distance, diverse, filters};
+use nexit_sim::ExpConfig;
+use nexit_topology::{GeneratorConfig, TopologyGenerator, Universe};
+
+fn small_universe() -> Universe {
+    TopologyGenerator::new(GeneratorConfig {
+        num_isps: 16,
+        num_mesh_isps: 1,
+        seed: 11,
+        ..GeneratorConfig::default()
+    })
+    .generate()
+}
+
+fn cfg(threads: usize) -> ExpConfig {
+    ExpConfig {
+        max_pairs: Some(6),
+        max_failures_per_pair: 2,
+        max_lp_variables: 2_000,
+        threads,
+        ..ExpConfig::default()
+    }
+}
+
+#[test]
+fn distance_results_are_thread_count_independent() {
+    let u = small_universe();
+    let serial = distance::run(&u, &cfg(1));
+    let parallel = distance::run(&u, &cfg(4));
+    assert!(serial.pairs > 0, "universe must yield eligible pairs");
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn bandwidth_results_are_thread_count_independent() {
+    let u = small_universe();
+    let serial = bandwidth::run(&u, &cfg(1));
+    let parallel = bandwidth::run(&u, &cfg(4));
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn cheating_results_are_thread_count_independent() {
+    let u = small_universe();
+    assert_eq!(
+        cheating::run_distance(&u, &cfg(1)),
+        cheating::run_distance(&u, &cfg(4))
+    );
+    assert_eq!(
+        cheating::run_bandwidth(&u, &cfg(1)),
+        cheating::run_bandwidth(&u, &cfg(4))
+    );
+}
+
+#[test]
+fn diverse_and_filter_results_are_thread_count_independent() {
+    let u = small_universe();
+    assert_eq!(diverse::run(&u, &cfg(1)), diverse::run(&u, &cfg(4)));
+    assert_eq!(filters::run(&u, &cfg(1)), filters::run(&u, &cfg(4)));
+}
+
+#[test]
+fn ablation_sweeps_are_thread_count_independent() {
+    let u = small_universe();
+    let ranges = [1, 10];
+    let serial = ablation::preference_range_sweep(&u, &cfg(1), &ranges);
+    let parallel = ablation::preference_range_sweep(&u, &cfg(4), &ranges);
+    assert_eq!(serial, parallel);
+    let groups = [1, 4];
+    assert_eq!(
+        ablation::group_sweep(&u, &cfg(1), &groups),
+        ablation::group_sweep(&u, &cfg(4), &groups)
+    );
+    let serial_modes = ablation::mode_comparison(&u, &cfg(1));
+    let parallel_modes = ablation::mode_comparison(&u, &cfg(4));
+    assert_eq!(serial_modes, parallel_modes);
+}

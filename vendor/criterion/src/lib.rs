@@ -6,8 +6,50 @@
 //! is a plain warmup-then-measure timing loop printing mean
 //! nanoseconds per iteration — enough to compare runs by hand and to
 //! keep `cargo bench` compiling and runnable without crates.io access.
+//!
+//! Two environment knobs support the CI smoke-perf job:
+//!
+//! * `NEXIT_BENCH_QUICK=1` shrinks the measurement window so the whole
+//!   suite finishes in seconds (noisier numbers, same ordering);
+//! * `NEXIT_BENCH_JSON=<path>` additionally writes every result as a
+//!   JSON array of `{"name", "mean_ns", "iters"}` objects, giving CI a
+//!   machine-readable perf-trajectory artifact.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Results accumulated for the optional JSON report.
+static RESULTS: Mutex<Vec<(String, f64, u64)>> = Mutex::new(Vec::new());
+
+/// The per-benchmark measurement window. `NEXIT_BENCH_QUICK` trades
+/// precision for wall-clock time (CI smoke runs).
+fn measure_window() -> Duration {
+    if std::env::var_os("NEXIT_BENCH_QUICK").is_some_and(|v| v != "0" && !v.is_empty()) {
+        Duration::from_millis(5)
+    } else {
+        Duration::from_millis(20)
+    }
+}
+
+/// Write the accumulated results to `NEXIT_BENCH_JSON`, if set. Called
+/// by `criterion_main!` after every group ran; safe to call repeatedly.
+pub fn write_json_report() {
+    let Some(path) = std::env::var_os("NEXIT_BENCH_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().expect("bench results poisoned");
+    let mut body = String::from("[\n");
+    for (i, (name, mean_ns, iters)) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        body.push_str(&format!(
+            "  {{\"name\": \"{name}\", \"mean_ns\": {mean_ns:.1}, \"iters\": {iters}}}{sep}\n"
+        ));
+    }
+    body.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("warning: could not write {}: {e}", path.to_string_lossy());
+    }
+}
 
 /// A two-part benchmark identifier (`group_name/parameter`).
 #[derive(Debug, Clone)]
@@ -37,6 +79,7 @@ impl Bencher {
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Warmup and calibration: find an iteration count that runs for
         // a measurable window.
+        let window = measure_window();
         let mut iters: u64 = 1;
         loop {
             let start = Instant::now();
@@ -44,7 +87,7 @@ impl Bencher {
                 std::hint::black_box(routine());
             }
             let elapsed = start.elapsed();
-            if elapsed >= Duration::from_millis(20) || iters >= 1 << 20 {
+            if elapsed >= window || iters >= 1 << 20 {
                 self.mean_ns = elapsed.as_nanos() as f64 / iters as f64;
                 self.iters_done = iters;
                 return;
@@ -130,6 +173,11 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
         "bench {name:<50} {human:>12}/iter ({} iters)",
         bencher.iters_done
     );
+    RESULTS.lock().expect("bench results poisoned").push((
+        name.to_string(),
+        mean,
+        bencher.iters_done,
+    ));
 }
 
 /// Collect benchmark functions into one runner, like upstream.
@@ -149,6 +197,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_report();
         }
     };
 }

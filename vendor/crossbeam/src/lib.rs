@@ -1,5 +1,43 @@
 //! Offline, API-compatible subset of the `crossbeam` crate: unbounded
-//! MPSC channels with timeout receive, delegated to `std::sync::mpsc`.
+//! MPSC channels with timeout receive (delegated to `std::sync::mpsc`)
+//! and scoped threads (delegated to `std::thread::scope`).
+
+/// Scoped threads (`crossbeam::thread` subset).
+///
+/// Borrows non-`'static` data into worker threads with a join barrier
+/// at scope exit, like upstream crossbeam. One behavioral difference:
+/// upstream catches worker panics and reports them through the returned
+/// `Result`, while this subset propagates them (the `Result` is always
+/// `Ok` and exists only for drop-in compatibility with
+/// `crossbeam::thread::scope(...).unwrap()` call sites).
+pub mod thread {
+    /// Handle for spawning threads scoped to a region of the caller's
+    /// stack.
+    pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a worker that may borrow from the enclosing scope. The
+        /// closure receives the scope again so workers can spawn
+        /// further workers, as in upstream crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.0;
+            inner.spawn(move || f(&Scope(inner)))
+        }
+    }
+
+    /// Run `f` with a scope handle; every spawned worker is joined
+    /// before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope(s))))
+    }
+}
 
 /// Channel primitives (`crossbeam::channel` subset).
 pub mod channel {
@@ -7,8 +45,16 @@ pub mod channel {
     use std::time::Duration;
 
     /// Sending half of an unbounded channel.
-    #[derive(Debug, Clone)]
+    #[derive(Debug)]
     pub struct Sender<T>(std::sync::mpsc::Sender<T>);
+
+    // Manual impl: senders clone regardless of whether `T` does (the
+    // derive would add a spurious `T: Clone` bound).
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
 
     /// Receiving half of an unbounded channel.
     #[derive(Debug)]
@@ -44,6 +90,31 @@ pub mod channel {
 mod tests {
     use super::channel::{unbounded, RecvTimeoutError};
     use std::time::Duration;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = super::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn scoped_workers_can_spawn_workers() {
+        let n = super::thread::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 7).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 7);
+    }
 
     #[test]
     fn send_recv_across_threads() {
