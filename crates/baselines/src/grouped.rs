@@ -7,13 +7,31 @@
 //! gains do not carry across groups, so large gains in one group cannot
 //! pay for small losses in another, shrinking the space of mutual
 //! compromises.
+//!
+//! ## Setup cost
+//!
+//! A naive sweep allocates every session structure per group: three
+//! preference tables, the gain scratch and the candidate index's heaps
+//! and trees, making the sweep's setup O(groups × group-size) fresh
+//! allocations (and the index's threshold rows per-group-quadratic in
+//! the worst case). This driver instead threads **one**
+//! [`nexit_core::TableArena`] through all groups: each session draws its
+//! tables and index buffers from the arena and retires them back on
+//! completion, so exactly one set of backing buffers is allocated for
+//! the whole sweep and every group after the first constructs its
+//! machines allocation-free. Decisions are unchanged — the arena
+//! recycles capacity, never content (pinned by the decision-identity
+//! proptest below).
 
-use nexit_core::{negotiate, NegotiationOutcome, NexitConfig, Party, SessionInput};
+use nexit_core::{negotiate_in, NegotiationOutcome, NexitConfig, Party, SessionInput, TableArena};
 use nexit_routing::Assignment;
 
 /// Negotiate `input`'s flows in `num_groups` separate sessions
 /// (round-robin partition by position, preserving determinism) and return
 /// the stitched assignment plus each group's outcome.
+///
+/// All sessions share one arena: the sweep allocates one set of backing
+/// tables and index buffers total, regardless of the group count.
 pub fn negotiate_in_groups<'b>(
     input: &SessionInput,
     default_assignment: &Assignment,
@@ -23,6 +41,7 @@ pub fn negotiate_in_groups<'b>(
     num_groups: usize,
 ) -> (Assignment, Vec<NegotiationOutcome>) {
     assert!(num_groups > 0, "need at least one group");
+    let mut arena = TableArena::new();
     let mut assignment = default_assignment.clone();
     let mut outcomes = Vec::with_capacity(num_groups);
     for g in 0..num_groups {
@@ -38,7 +57,7 @@ pub fn negotiate_in_groups<'b>(
         };
         // Later groups see earlier groups' accepted moves through the
         // evolving assignment (mappers read the expected network state).
-        let outcome = negotiate(&sub, &assignment, party_a, party_b, config);
+        let outcome = negotiate_in(&mut arena, &sub, &assignment, party_a, party_b, config);
         assignment = outcome.assignment.clone();
         outcomes.push(outcome);
     }
@@ -48,22 +67,29 @@ pub fn negotiate_in_groups<'b>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nexit_core::{PreferenceMapper, StopPolicy};
+    use nexit_core::{negotiate, GainTable, PreferenceMapper, StopPolicy};
     use nexit_routing::FlowId;
     use nexit_topology::IcxId;
 
+    /// Projects a global gain table onto whatever sub-session is being
+    /// negotiated (groups see only their flows' rows).
     struct FixedMapper {
-        gains: Vec<Vec<f64>>,
+        gains: GainTable,
+    }
+
+    impl FixedMapper {
+        fn new<R: AsRef<[f64]>>(rows: &[R]) -> Self {
+            Self {
+                gains: GainTable::from_rows(rows),
+            }
+        }
     }
 
     impl PreferenceMapper for FixedMapper {
-        fn gains(&mut self, input: &SessionInput, _c: &Assignment) -> Vec<Vec<f64>> {
-            // Project the global gain table onto the session's flows.
-            input
-                .flow_ids
-                .iter()
-                .map(|f| self.gains[f.index()].clone())
-                .collect()
+        fn gains(&mut self, input: &SessionInput, _c: &Assignment, out: &mut GainTable) {
+            for (i, f) in input.flow_ids.iter().enumerate() {
+                out.row_mut(i).copy_from_slice(self.gains.row(f.index()));
+            }
         }
     }
 
@@ -78,18 +104,18 @@ mod tests {
 
     #[test]
     fn one_group_equals_whole_set() {
-        let ga = vec![vec![0.0, 10.0], vec![0.0, -2.0], vec![0.0, 6.0]];
-        let gb = vec![vec![0.0, -2.0], vec![0.0, 10.0], vec![0.0, 6.0]];
+        let ga = [[0.0, 10.0], [0.0, -2.0], [0.0, 6.0]];
+        let gb = [[0.0, -2.0], [0.0, 10.0], [0.0, 6.0]];
         let inp = input(3, 2);
         let default = Assignment::uniform(3, IcxId(0));
         let config = NexitConfig::default();
 
-        let mut a1 = Party::honest("A", FixedMapper { gains: ga.clone() });
-        let mut b1 = Party::honest("B", FixedMapper { gains: gb.clone() });
+        let mut a1 = Party::honest("A", FixedMapper::new(&ga));
+        let mut b1 = Party::honest("B", FixedMapper::new(&gb));
         let whole = negotiate(&inp, &default, &mut a1, &mut b1, &config);
 
-        let mut a2 = Party::honest("A", FixedMapper { gains: ga });
-        let mut b2 = Party::honest("B", FixedMapper { gains: gb });
+        let mut a2 = Party::honest("A", FixedMapper::new(&ga));
+        let mut b2 = Party::honest("B", FixedMapper::new(&gb));
         let (grouped, outcomes) = negotiate_in_groups(&inp, &default, &mut a2, &mut b2, &config, 1);
         assert_eq!(grouped.choices(), whole.assignment.choices());
         assert_eq!(outcomes.len(), 1);
@@ -102,8 +128,8 @@ mod tests {
         // completes the trade: both sides gain. Split into two
         // single-flow groups, the cross-group compensation disappears —
         // the paper's core claim about the scope of optimization.
-        let ga = vec![vec![0.0, 10.0], vec![0.0, -4.0]];
-        let gb = vec![vec![0.0, -4.0], vec![0.0, 10.0]];
+        let ga = [[0.0, 10.0], [0.0, -4.0]];
+        let gb = [[0.0, -4.0], [0.0, 10.0]];
         let inp = input(2, 2);
         let default = Assignment::uniform(2, IcxId(0));
         let config = NexitConfig {
@@ -112,14 +138,14 @@ mod tests {
         };
 
         // Raw-gain evaluation of an assignment against the tables above.
-        let raw = |asg: &Assignment, table: &[Vec<f64>]| -> f64 {
+        let raw = |asg: &Assignment, table: &[[f64; 2]]| -> f64 {
             (0..2)
                 .map(|f| table[f][asg.choice(FlowId::new(f)).index()])
                 .sum()
         };
 
-        let mut a1 = Party::honest("A", FixedMapper { gains: ga.clone() });
-        let mut b1 = Party::honest("B", FixedMapper { gains: gb.clone() });
+        let mut a1 = Party::honest("A", FixedMapper::new(&ga));
+        let mut b1 = Party::honest("B", FixedMapper::new(&gb));
         let whole = negotiate(&inp, &default, &mut a1, &mut b1, &config);
         assert_eq!(whole.assignment.choice(FlowId(0)), IcxId(1));
         assert_eq!(whole.assignment.choice(FlowId(1)), IcxId(1));
@@ -127,8 +153,8 @@ mod tests {
         let whole_b = raw(&whole.assignment, &gb);
         assert!(whole_a > 0.0 && whole_b > 0.0, "whole set is win-win");
 
-        let mut a2 = Party::honest("A", FixedMapper { gains: ga.clone() });
-        let mut b2 = Party::honest("B", FixedMapper { gains: gb.clone() });
+        let mut a2 = Party::honest("A", FixedMapper::new(&ga));
+        let mut b2 = Party::honest("B", FixedMapper::new(&gb));
         let (grouped, _) = negotiate_in_groups(&inp, &default, &mut a2, &mut b2, &config, 2);
         let grouped_total = raw(&grouped, &ga) + raw(&grouped, &gb);
         assert!(
@@ -140,15 +166,93 @@ mod tests {
 
     #[test]
     fn more_groups_than_flows_is_fine() {
-        let ga = vec![vec![0.0, 5.0]];
-        let gb = vec![vec![0.0, 5.0]];
         let inp = input(1, 2);
         let default = Assignment::uniform(1, IcxId(0));
-        let mut a = Party::honest("A", FixedMapper { gains: ga });
-        let mut b = Party::honest("B", FixedMapper { gains: gb });
+        let mut a = Party::honest("A", FixedMapper::new(&[[0.0, 5.0]]));
+        let mut b = Party::honest("B", FixedMapper::new(&[[0.0, 5.0]]));
         let (asg, outcomes) =
             negotiate_in_groups(&inp, &default, &mut a, &mut b, &NexitConfig::default(), 5);
         assert_eq!(asg.choice(FlowId(0)), IcxId(1));
         assert_eq!(outcomes.len(), 1, "empty groups are skipped");
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_gains(n: usize, k: usize) -> impl Strategy<Value = GainTable> {
+            proptest::collection::vec(proptest::collection::vec(-10.0f64..10.0, k), n).prop_map(
+                move |mut rows| {
+                    for row in &mut rows {
+                        row[0] = 0.0; // default column
+                    }
+                    GainTable::from_rows(&rows)
+                },
+            )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            /// The arena-backed sweep must be **decision-identical** to
+            /// running each group through a completely fresh `negotiate`
+            /// (fresh machines, fresh tables, fresh index): recycled
+            /// buffers may only ever change where bytes live, not what
+            /// they say.
+            #[test]
+            fn arena_sweep_matches_fresh_machines_per_group(
+                (n, k, ga, gb) in (2usize..10, 2usize..4).prop_flat_map(|(n, k)| (
+                    Just(n),
+                    Just(k),
+                    arb_gains(n, k),
+                    arb_gains(n, k),
+                )),
+                num_groups in 1usize..5,
+                stop_all in 0u8..2,
+            ) {
+                let inp = input(n, k);
+                let default = Assignment::uniform(n, IcxId(0));
+                let config = NexitConfig {
+                    stop: if stop_all == 1 { StopPolicy::NegotiateAll } else { StopPolicy::Early },
+                    ..NexitConfig::default()
+                };
+
+                // Arena path (the production sweep).
+                let mut a = Party::honest("A", FixedMapper { gains: ga.clone() });
+                let mut b = Party::honest("B", FixedMapper { gains: gb.clone() });
+                let (swept, swept_outcomes) =
+                    negotiate_in_groups(&inp, &default, &mut a, &mut b, &config, num_groups);
+
+                // Reference: fresh machines per group, same partition.
+                let mut a = Party::honest("A", FixedMapper { gains: ga });
+                let mut b = Party::honest("B", FixedMapper { gains: gb });
+                let mut assignment = default.clone();
+                let mut fresh_outcomes = Vec::new();
+                for g in 0..num_groups {
+                    let idx: Vec<usize> =
+                        (0..inp.len()).filter(|i| i % num_groups == g).collect();
+                    if idx.is_empty() {
+                        continue;
+                    }
+                    let sub = SessionInput {
+                        flow_ids: idx.iter().map(|&i| inp.flow_ids[i]).collect(),
+                        defaults: idx.iter().map(|&i| inp.defaults[i]).collect(),
+                        volumes: idx.iter().map(|&i| inp.volumes[i]).collect(),
+                        num_alternatives: inp.num_alternatives,
+                    };
+                    let outcome = negotiate(&sub, &assignment, &mut a, &mut b, &config);
+                    assignment = outcome.assignment.clone();
+                    fresh_outcomes.push(outcome);
+                }
+
+                prop_assert_eq!(swept.choices(), assignment.choices());
+                prop_assert_eq!(swept_outcomes.len(), fresh_outcomes.len());
+                for (s, f) in swept_outcomes.iter().zip(&fresh_outcomes) {
+                    prop_assert_eq!(s.gain_a, f.gain_a);
+                    prop_assert_eq!(s.gain_b, f.gain_b);
+                    prop_assert_eq!(&s.transcript, &f.transcript);
+                    prop_assert_eq!(s.termination, f.termination);
+                }
+            }
+        }
     }
 }

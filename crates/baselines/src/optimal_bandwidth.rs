@@ -21,6 +21,7 @@
 //! (they stay on their default paths). The optimum `t` is the fractional
 //! MEL across both ISPs treated as one system.
 
+use nexit_core::GainTable;
 use nexit_lp::{solve_with, ConstraintOp, LpOutcome, LpProblem, SimplexOptions};
 use nexit_routing::{Assignment, FlowId, PairFlows};
 use nexit_topology::{IcxId, PairView};
@@ -32,9 +33,10 @@ pub struct BandwidthOptimum {
     /// The optimal objective: the minimal achievable maximum
     /// load-to-capacity ratio across both ISPs.
     pub t: f64,
-    /// `fractions[j][i]` = fraction of impacted flow `j` (in input order)
-    /// routed via interconnection `i`.
-    pub fractions: Vec<Vec<f64>>,
+    /// `fractions.get(j, i)` = fraction of impacted flow `j` (in input
+    /// order) routed via interconnection `i`. Flat `impacted × k` table
+    /// (same layout as the negotiation core's gain tables).
+    pub fractions: GainTable,
     /// Link loads under the fractional optimum (including residual).
     pub loads: LinkLoads,
 }
@@ -162,14 +164,17 @@ pub fn optimal_bandwidth(
     match solve_with(&lp, options) {
         LpOutcome::Optimal { solution, .. } => {
             let t = solution[t_var];
-            let fractions: Vec<Vec<f64>> = (0..impacted.len())
-                .map(|j| (0..k).map(|i| solution[x_var(j, i)]).collect())
-                .collect();
+            let mut fractions = GainTable::new(impacted.len(), k);
+            for j in 0..impacted.len() {
+                for (i, cell) in fractions.row_mut(j).iter_mut().enumerate() {
+                    *cell = solution[x_var(j, i)];
+                }
+            }
             // Reconstruct loads: residual + fractional impacted flows.
             let mut loads = residual;
             for (j, &fid) in impacted.iter().enumerate() {
                 let vol = flows.flows[fid.index()].volume;
-                for (i, &frac) in fractions[j].iter().enumerate() {
+                for (i, &frac) in fractions.row(j).iter().enumerate() {
                     if frac > 1e-12 {
                         loads.add_flow(paths, fid, IcxId::new(i), vol * frac);
                     }
@@ -302,7 +307,8 @@ mod tests {
         let impacted: Vec<FlowId> = (0..flows.len()).map(FlowId::new).collect();
         let opt = optimal_bandwidth(&view, &paths, &flows, &impacted, &default, &caps_a, &caps_b)
             .unwrap();
-        for fr in &opt.fractions {
+        for j in 0..opt.fractions.num_flows() {
+            let fr = opt.fractions.row(j);
             let s: f64 = fr.iter().sum();
             assert!((s - 1.0).abs() < 1e-6, "fractions sum {s}");
             assert!(fr.iter().all(|&x| x >= -1e-9));
@@ -328,7 +334,7 @@ mod tests {
         // (upstream link a0-a1 carries >= 5 residual units).
         assert!(opt.t >= 5.0 - 1e-6, "t = {}", opt.t);
         // Optimal moves the impacted a2->b2 flow off the congested side.
-        assert!(opt.fractions[0][1] > 0.99);
+        assert!(opt.fractions.get(0, 1) > 0.99);
     }
 
     #[test]

@@ -37,7 +37,11 @@ pub fn unilateral_upstream(
     }
 
     let mut order: Vec<FlowId> = impacted.to_vec();
-    order.sort_by(|x, y| {
+    // The comparator is a total order (volume desc, flow id asc), so the
+    // unstable sort is deterministic and skips the stable sort's scratch
+    // allocation — this runs once per failure scenario in the bandwidth
+    // sweeps.
+    order.sort_unstable_by(|x, y| {
         let vx = flows.flows[x.index()].volume;
         let vy = flows.flows[y.index()].volume;
         vy.partial_cmp(&vx)

@@ -1,17 +1,19 @@
 //! Wire-protocol benchmarks: codec throughput and full-session cost.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use nexit_core::{DisclosurePolicy, NexitConfig, PreferenceMapper, SessionInput, Side};
+use nexit_core::{DisclosurePolicy, GainTable, NexitConfig, PreferenceMapper, SessionInput, Side};
 use nexit_proto::{run_session, Agent, FaultyLink, Message};
 use nexit_routing::{Assignment, FlowId};
 use nexit_topology::IcxId;
 
-struct Flat(usize, usize);
+struct Flat(usize);
 impl PreferenceMapper for Flat {
-    fn gains(&mut self, _i: &SessionInput, _c: &Assignment) -> Vec<Vec<f64>> {
-        (0..self.0)
-            .map(|f| (0..self.1).map(|a| ((f + a) % 7) as f64 - 3.0).collect())
-            .collect()
+    fn gains(&mut self, _i: &SessionInput, _c: &Assignment, out: &mut GainTable) {
+        for f in 0..self.0 {
+            for (a, cell) in out.row_mut(f).iter_mut().enumerate() {
+                *cell = ((f + a) % 7) as f64 - 3.0;
+            }
+        }
     }
 }
 
@@ -49,7 +51,7 @@ fn bench_proto(c: &mut Criterion) {
                 "A",
                 input.clone(),
                 default.clone(),
-                Flat(n, 4),
+                Flat(n),
                 DisclosurePolicy::Truthful,
                 config,
             )
@@ -59,7 +61,7 @@ fn bench_proto(c: &mut Criterion) {
                 "B",
                 input.clone(),
                 default.clone(),
-                Flat(n, 4),
+                Flat(n),
                 DisclosurePolicy::Truthful,
                 config,
             )

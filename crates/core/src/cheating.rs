@@ -33,7 +33,8 @@ pub enum DisclosurePolicy {
 }
 
 impl DisclosurePolicy {
-    /// Produce the disclosed table.
+    /// Produce the disclosed table. Convenience wrapper over
+    /// [`DisclosurePolicy::disclose_into`].
     ///
     /// `truth` is this party's true table, `other` the counterpart's
     /// disclosed table (perfect knowledge), `p` the class range, and
@@ -45,10 +46,30 @@ impl DisclosurePolicy {
         p: i32,
         defaults: &[IcxId],
     ) -> PrefTable {
+        let mut out = PrefTable::zero(truth.num_flows(), truth.num_alternatives());
+        self.disclose_into(truth, other, p, defaults, &mut out);
+        out
+    }
+
+    /// Produce the disclosed table into `out` (reshaped in place), the
+    /// allocation-free form the machine uses on every (re)disclosure.
+    pub fn disclose_into(
+        &self,
+        truth: &PrefTable,
+        other: &PrefTable,
+        p: i32,
+        defaults: &[IcxId],
+        out: &mut PrefTable,
+    ) {
+        out.reset(truth.num_flows(), truth.num_alternatives());
         match self {
-            DisclosurePolicy::Truthful => truth.clone(),
-            DisclosurePolicy::InflateBest => inflate_best(truth, other, p, defaults),
-            DisclosurePolicy::BlindMax => blind_max(truth, p, defaults),
+            DisclosurePolicy::Truthful => {
+                for flow in 0..truth.num_flows() {
+                    out.row_mut(flow).copy_from_slice(truth.row(flow));
+                }
+            }
+            DisclosurePolicy::InflateBest => inflate_best(truth, other, p, defaults, out),
+            DisclosurePolicy::BlindMax => blind_max(truth, p, defaults, out),
         }
     }
 
@@ -86,18 +107,24 @@ fn best_alternative(truth: &PrefTable, flow: usize) -> usize {
 /// values, and hence their relative ordering); if `+P` clamping leaves
 /// some competitor still winning, it lowers those competitors just enough
 /// instead.
-fn inflate_best(truth: &PrefTable, other: &PrefTable, p: i32, defaults: &[IcxId]) -> PrefTable {
+fn inflate_best(
+    truth: &PrefTable,
+    other: &PrefTable,
+    p: i32,
+    defaults: &[IcxId],
+    out: &mut PrefTable,
+) {
     let k = truth.num_alternatives();
-    let mut rows = Vec::with_capacity(truth.num_flows());
     for flow in 0..truth.num_flows() {
-        let mut row: Vec<i32> = truth.row(flow).to_vec();
         let b = best_alternative(truth, flow);
+        let row = out.row_mut(flow);
+        row.copy_from_slice(truth.row(flow));
         let target_sum =
             |row: &[i32], x: usize| row[x] as i64 + other.get(flow, IcxId::new(x)) as i64;
         // Raise d(b) until it is the (weak) combined maximum, clamped at P.
         let needed = (0..k)
             .filter(|&x| x != b)
-            .map(|x| target_sum(&row, x))
+            .map(|x| target_sum(row, x))
             .max()
             .unwrap_or(i64::MIN);
         if needed > i64::MIN {
@@ -106,50 +133,46 @@ fn inflate_best(truth: &PrefTable, other: &PrefTable, p: i32, defaults: &[IcxId]
             row[b] = row[b].max(want).min(p);
             // If clamping left competitors above, deflate them to just
             // below the best alternative's sum.
-            let best_sum = target_sum(&row, b);
+            let best_sum = target_sum(row, b);
             for x in 0..k {
                 if x == b {
                     continue;
                 }
-                if target_sum(&row, x) > best_sum {
+                if target_sum(row, x) > best_sum {
                     let other_x = other.get(flow, IcxId::new(x)) as i64;
                     row[x] = ((best_sum - other_x).clamp(i64::from(-p), i64::from(p))) as i32;
                 }
             }
         }
-        rows.push(row);
         // Defaults keep class 0 in honest tables, but the cheater is free
         // to move even the default's disclosed class; the paper's strategy
         // only adjusts relative to sums, so nothing special is needed.
         let _ = defaults;
     }
-    PrefTable::new(rows)
 }
 
 /// Naive blind maximization.
-fn blind_max(truth: &PrefTable, p: i32, _defaults: &[IcxId]) -> PrefTable {
-    let k = truth.num_alternatives();
-    let mut rows = Vec::with_capacity(truth.num_flows());
+fn blind_max(truth: &PrefTable, p: i32, _defaults: &[IcxId], out: &mut PrefTable) {
     for flow in 0..truth.num_flows() {
         let b = best_alternative(truth, flow);
-        let row: Vec<i32> = (0..k).map(|x| if x == b { p } else { -p }).collect();
-        rows.push(row);
+        for (x, cell) in out.row_mut(flow).iter_mut().enumerate() {
+            *cell = if x == b { p } else { -p };
+        }
     }
-    PrefTable::new(rows)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn table(rows: Vec<Vec<i32>>) -> PrefTable {
-        PrefTable::new(rows)
+    fn table<R: AsRef<[i32]>>(rows: &[R]) -> PrefTable {
+        PrefTable::from_rows(rows)
     }
 
     #[test]
     fn truthful_is_identity() {
-        let t = table(vec![vec![0, 3, -2]]);
-        let o = table(vec![vec![0, 0, 0]]);
+        let t = table(&[vec![0, 3, -2]]);
+        let o = table(&[vec![0, 0, 0]]);
         let d = DisclosurePolicy::Truthful.disclose(&t, &o, 10, &[IcxId(0)]);
         assert_eq!(d, t);
         assert!(!DisclosurePolicy::Truthful.is_cheating());
@@ -160,8 +183,8 @@ mod tests {
         // Cheater truly prefers alt 1 (+3), but the other ISP loves alt 2
         // (+9): truthfully, combined max is alt 2 (3+...: [0+0, 3+0, 1+9]
         // = [0, 3, 10]). The cheater must inflate alt 1 to win.
-        let t = table(vec![vec![0, 3, 1]]);
-        let o = table(vec![vec![0, 0, 9]]);
+        let t = table(&[vec![0, 3, 1]]);
+        let o = table(&[vec![0, 0, 9]]);
         let d = DisclosurePolicy::InflateBest.disclose(&t, &o, 10, &[IcxId(0)]);
         let combined: Vec<i32> = (0..3)
             .map(|x| d.get(0, IcxId::new(x)) + o.get(0, IcxId::new(x)))
@@ -178,8 +201,8 @@ mod tests {
     fn inflate_best_deflates_when_clamped() {
         // Other ISP's alt 2 preference is so high that even +P on alt 1
         // cannot reach it; the cheater must deflate alt 2.
-        let t = table(vec![vec![0, 3, 1]]);
-        let o = table(vec![vec![0, -9, 10]]);
+        let t = table(&[vec![0, 3, 1]]);
+        let o = table(&[vec![0, -9, 10]]);
         let d = DisclosurePolicy::InflateBest.disclose(&t, &o, 10, &[IcxId(0)]);
         let sum = |x: usize| d.get(0, IcxId::new(x)) + o.get(0, IcxId::new(x));
         assert!(
@@ -195,8 +218,8 @@ mod tests {
     fn inflate_preserves_relative_order_where_possible() {
         // Only the best alternative is raised; others keep their truthful
         // relative ordering when no deflation is required.
-        let t = table(vec![vec![0, 5, 2, -3]]);
-        let o = table(vec![vec![0, 0, 0, 0]]);
+        let t = table(&[vec![0, 5, 2, -3]]);
+        let o = table(&[vec![0, 0, 0, 0]]);
         let d = DisclosurePolicy::InflateBest.disclose(&t, &o, 10, &[IcxId(0)]);
         assert_eq!(d.get(0, IcxId(2)), 2);
         assert_eq!(d.get(0, IcxId(3)), -3);
@@ -205,12 +228,27 @@ mod tests {
 
     #[test]
     fn blind_max_is_all_or_nothing() {
-        let t = table(vec![vec![0, 4, 2], vec![0, -1, -5]]);
-        let o = table(vec![vec![0, 0, 0], vec![0, 0, 0]]);
+        let t = table(&[vec![0, 4, 2], vec![0, -1, -5]]);
+        let o = table(&[vec![0, 0, 0], vec![0, 0, 0]]);
         let d = DisclosurePolicy::BlindMax.disclose(&t, &o, 10, &[IcxId(0), IcxId(0)]);
         assert_eq!(d.row(0), &[-10, 10, -10]);
         assert_eq!(d.row(1), &[10, -10, -10]);
         assert!(DisclosurePolicy::BlindMax.is_cheating());
+    }
+
+    #[test]
+    fn disclose_into_reuses_the_buffer() {
+        let t = table(&[vec![0, 4, 2]]);
+        let o = table(&[vec![0, 0, 0]]);
+        let mut out = PrefTable::zero(0, 0);
+        for policy in [
+            DisclosurePolicy::Truthful,
+            DisclosurePolicy::InflateBest,
+            DisclosurePolicy::BlindMax,
+        ] {
+            policy.disclose_into(&t, &o, 10, &[IcxId(0)], &mut out);
+            assert_eq!(out, policy.disclose(&t, &o, 10, &[IcxId(0)]));
+        }
     }
 
     mod proptests {
@@ -230,8 +268,8 @@ mod tests {
                 t_row in arb_row(4, 10),
                 o_row in arb_row(4, 10),
             ) {
-                let t = PrefTable::new(vec![t_row.clone()]);
-                let o = PrefTable::new(vec![o_row.clone()]);
+                let t = PrefTable::from_rows(std::slice::from_ref(&t_row));
+                let o = PrefTable::from_rows(std::slice::from_ref(&o_row));
                 let d = DisclosurePolicy::InflateBest.disclose(&t, &o, 10, &[IcxId(0)]);
                 prop_assert!(d.within_range(10));
                 // The cheater's true-best alternative must be a combined

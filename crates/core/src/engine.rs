@@ -31,6 +31,7 @@
 //! * [`negotiate`] — the positional convenience wrapper the experiment
 //!   harness uses in bulk loops.
 
+use crate::arena::TableArena;
 use crate::cheating::DisclosurePolicy;
 use crate::machine::{Action, Event, MachineError, NegotiationMachine};
 use crate::mapping::PreferenceMapper;
@@ -224,14 +225,14 @@ impl std::error::Error for SessionError {}
 /// validation:
 ///
 /// ```
-/// use nexit_core::{Party, PreferenceMapper, SessionBuilder, SessionInput};
+/// use nexit_core::{GainTable, Party, PreferenceMapper, SessionBuilder, SessionInput};
 /// use nexit_routing::{Assignment, FlowId};
 /// use nexit_topology::IcxId;
 ///
-/// struct Fixed(Vec<Vec<f64>>);
+/// struct Fixed(GainTable);
 /// impl PreferenceMapper for Fixed {
-///     fn gains(&mut self, _: &SessionInput, _: &Assignment) -> Vec<Vec<f64>> {
-///         self.0.clone()
+///     fn gains(&mut self, _: &SessionInput, _: &Assignment, out: &mut GainTable) {
+///         out.copy_from(&self.0);
 ///     }
 /// }
 ///
@@ -243,8 +244,8 @@ impl std::error::Error for SessionError {}
 ///         num_alternatives: 2,
 ///     })
 ///     .default_assignment(Assignment::uniform(1, IcxId(0)))
-///     .party_a(Party::honest("A", Fixed(vec![vec![0.0, 5.0]])))
-///     .party_b(Party::honest("B", Fixed(vec![vec![0.0, 3.0]])))
+///     .party_a(Party::honest("A", Fixed(GainTable::from_rows(&[[0.0, 5.0]]))))
+///     .party_b(Party::honest("B", Fixed(GainTable::from_rows(&[[0.0, 3.0]]))))
 ///     .run()
 ///     .expect("valid session");
 /// assert!(outcome.gain_a > 0 && outcome.gain_b > 0);
@@ -320,6 +321,7 @@ impl<'a> SessionBuilder<'a> {
             return Err(SessionError::ConflictingDisclosure);
         }
         Ok(drive_machines(
+            &mut TableArena::new(),
             &input,
             &default,
             &mut party_a,
@@ -342,13 +344,37 @@ pub fn negotiate<'b>(
     party_b: &mut Party<'b>,
     config: &NexitConfig,
 ) -> NegotiationOutcome {
+    negotiate_in(
+        &mut TableArena::new(),
+        input,
+        default_assignment,
+        party_a,
+        party_b,
+        config,
+    )
+}
+
+/// [`negotiate`] drawing both machines' preference tables, gain scratch
+/// and index buffers from `arena`, and returning them to it when the
+/// session completes. A driver that runs sessions back to back (grouped
+/// negotiation, failure-scenario sweeps) threads one arena through all
+/// of them so every backing buffer is allocated exactly once for the
+/// whole sweep.
+pub fn negotiate_in<'b>(
+    arena: &mut TableArena,
+    input: &SessionInput,
+    default_assignment: &Assignment,
+    party_a: &mut Party<'b>,
+    party_b: &mut Party<'b>,
+    config: &NexitConfig,
+) -> NegotiationOutcome {
     input.validate();
     assert!(config.pref_range > 0);
     assert!(
         !(party_a.disclosure.needs_peer_list() && party_b.disclosure.needs_peer_list()),
         "both parties cannot disclose second"
     );
-    drive_machines(input, default_assignment, party_a, party_b, config)
+    drive_machines(arena, input, default_assignment, party_a, party_b, config)
 }
 
 /// The in-memory event pump: two machines, zero IO.
@@ -359,6 +385,7 @@ pub fn negotiate<'b>(
 /// expressed purely through message ordering instead of privileged
 /// access to the peer's internal state.
 fn drive_machines<'b>(
+    arena: &mut TableArena,
     input: &SessionInput,
     default_assignment: &Assignment,
     party_a: &mut Party<'b>,
@@ -370,7 +397,8 @@ fn drive_machines<'b>(
     } else {
         Side::A
     };
-    let mut machine_a = NegotiationMachine::new(
+    let mut machine_a = NegotiationMachine::new_in(
+        arena,
         Side::A,
         first_discloser,
         input.clone(),
@@ -380,7 +408,8 @@ fn drive_machines<'b>(
         *config,
     )
     .expect("session already validated");
-    let mut machine_b = NegotiationMachine::new(
+    let mut machine_b = NegotiationMachine::new_in(
+        arena,
         Side::B,
         first_discloser,
         input.clone(),
@@ -428,7 +457,7 @@ fn drive_machines<'b>(
         assert!(progressed, "machine pair deadlocked without terminating");
     }
 
-    finish_outcome(machine_a, machine_b, transcript)
+    finish_outcome(arena, machine_a, machine_b, transcript)
 }
 
 /// Translate one side's action into the peer's event, recording the
@@ -479,8 +508,10 @@ fn deliver<M: PreferenceMapper>(
     peer.handle(event)
 }
 
-/// Assemble the outcome from the two finished machines.
+/// Assemble the outcome from the two finished machines, retiring their
+/// buffers into `arena` for the next session.
 fn finish_outcome<MA: PreferenceMapper, MB: PreferenceMapper>(
+    arena: &mut TableArena,
     machine_a: NegotiationMachine<MA>,
     machine_b: NegotiationMachine<MB>,
     mut transcript: Vec<RoundRecord>,
@@ -503,7 +534,7 @@ fn finish_outcome<MA: PreferenceMapper, MB: PreferenceMapper>(
     debug_assert_eq!(Some(termination), machine_b.termination());
     debug_assert_eq!(machine_a.assignment(), machine_b.assignment());
     let (disclosed_gain_a, disclosed_gain_b) = machine_a.disclosed_gains();
-    NegotiationOutcome {
+    let outcome = NegotiationOutcome {
         assignment: machine_a.assignment().clone(),
         transcript,
         gain_a: machine_a.my_gain(),
@@ -512,7 +543,10 @@ fn finish_outcome<MA: PreferenceMapper, MB: PreferenceMapper>(
         disclosed_gain_b,
         termination,
         reassignments: machine_a.reassignments(),
-    }
+    };
+    machine_a.recycle(arena);
+    machine_b.recycle(arena);
+    outcome
 }
 
 #[cfg(test)]
@@ -522,16 +556,23 @@ mod tests {
     use crate::outcome::Termination;
     use crate::policies::{AcceptRule, ProposalRule, StopPolicy, TurnPolicy};
 
+    use crate::arena::GainTable;
+
     /// A mapper returning a fixed gain table (tests drive the engine with
     /// hand-crafted scenarios).
     struct FixedMapper {
-        gains: Vec<Vec<f64>>,
+        gains: GainTable,
     }
 
     impl PreferenceMapper for FixedMapper {
-        fn gains(&mut self, _input: &SessionInput, _current: &Assignment) -> Vec<Vec<f64>> {
-            self.gains.clone()
+        fn gains(&mut self, _input: &SessionInput, _current: &Assignment, out: &mut GainTable) {
+            out.copy_from(&self.gains);
         }
+    }
+
+    /// Shorthand: a flat gain table from row literals.
+    fn tbl<R: AsRef<[f64]>>(rows: &[R]) -> GainTable {
+        GainTable::from_rows(rows)
     }
 
     fn input(n: usize, k: usize) -> SessionInput {
@@ -543,13 +584,9 @@ mod tests {
         }
     }
 
-    fn run(
-        gains_a: Vec<Vec<f64>>,
-        gains_b: Vec<Vec<f64>>,
-        config: NexitConfig,
-    ) -> NegotiationOutcome {
-        let n = gains_a.len();
-        let k = gains_a[0].len();
+    fn run(gains_a: GainTable, gains_b: GainTable, config: NexitConfig) -> NegotiationOutcome {
+        let n = gains_a.num_flows();
+        let k = gains_a.num_alternatives();
         let inp = input(n, k);
         let default = Assignment::uniform(n, IcxId(0));
         let mut a = Party::honest("A", FixedMapper { gains: gains_a });
@@ -561,8 +598,8 @@ mod tests {
     fn mutually_good_move_is_taken() {
         // One flow; alternative 1 better for both.
         let out = run(
-            vec![vec![0.0, 5.0]],
-            vec![vec![0.0, 3.0]],
+            tbl(&[vec![0.0, 5.0]]),
+            tbl(&[vec![0.0, 3.0]]),
             NexitConfig::default(),
         );
         assert_eq!(out.assignment.choice(FlowId(0)), IcxId(1));
@@ -577,8 +614,8 @@ mod tests {
         // termination the mutually-good flow and A's winner complete, and
         // B stops before its own losing flow — both ISPs end positive.
         let out = run(
-            vec![vec![0.0, 10.0], vec![0.0, -2.0], vec![0.0, 6.0]],
-            vec![vec![0.0, -2.0], vec![0.0, 10.0], vec![0.0, 6.0]],
+            tbl(&[vec![0.0, 10.0], vec![0.0, -2.0], vec![0.0, 6.0]]),
+            tbl(&[vec![0.0, -2.0], vec![0.0, 10.0], vec![0.0, 6.0]]),
             NexitConfig::default(),
         );
         assert_eq!(
@@ -596,8 +633,8 @@ mod tests {
         // socially-best outcome the paper describes), with a higher total
         // than early termination: each side trades a -2 for a +10.
         let out = run(
-            vec![vec![0.0, 10.0], vec![0.0, -2.0], vec![0.0, 6.0]],
-            vec![vec![0.0, -2.0], vec![0.0, 10.0], vec![0.0, 6.0]],
+            tbl(&[vec![0.0, 10.0], vec![0.0, -2.0], vec![0.0, 6.0]]),
+            tbl(&[vec![0.0, -2.0], vec![0.0, 10.0], vec![0.0, 6.0]]),
             NexitConfig {
                 stop: StopPolicy::NegotiateAll,
                 ..NexitConfig::default()
@@ -617,8 +654,8 @@ mod tests {
         // 1's default instead and nobody loses. (Both tables span +/-10 so
         // global quantization is the identity here.)
         let out = run(
-            vec![vec![0.0, 10.0], vec![0.0, -4.0]],
-            vec![vec![0.0, 10.0], vec![0.0, 3.0]],
+            tbl(&[vec![0.0, 10.0], vec![0.0, -4.0]]),
+            tbl(&[vec![0.0, 10.0], vec![0.0, 3.0]]),
             NexitConfig::default(),
         );
         assert_eq!(out.assignment.choice(FlowId(0)), IcxId(1));
@@ -635,8 +672,8 @@ mod tests {
         // gain in continuing and stops before round one, leaving both
         // flows at their defaults.
         let out = run(
-            vec![vec![0.0, -3.0], vec![0.0, -10.0]],
-            vec![vec![0.0, 10.0], vec![0.0, 2.0]],
+            tbl(&[vec![0.0, -3.0], vec![0.0, -10.0]]),
+            tbl(&[vec![0.0, 10.0], vec![0.0, 2.0]]),
             NexitConfig::default(),
         );
         assert!(
@@ -654,8 +691,8 @@ mod tests {
     #[test]
     fn negotiate_all_covers_every_flow() {
         let out = run(
-            vec![vec![0.0, 10.0], vec![0.0, -4.0]],
-            vec![vec![0.0, 10.0], vec![0.0, 3.0]],
+            tbl(&[vec![0.0, 10.0], vec![0.0, -4.0]]),
+            tbl(&[vec![0.0, 10.0], vec![0.0, 3.0]]),
             NexitConfig {
                 stop: StopPolicy::NegotiateAll,
                 ..NexitConfig::default()
@@ -672,18 +709,8 @@ mod tests {
     fn honest_isp_never_loses_with_early_stop() {
         // Adversarial-ish tables: many flows bad for A.
         let out = run(
-            vec![
-                vec![0.0, -5.0],
-                vec![0.0, -3.0],
-                vec![0.0, 1.0],
-                vec![0.0, -2.0],
-            ],
-            vec![
-                vec![0.0, 9.0],
-                vec![0.0, 8.0],
-                vec![0.0, 0.0],
-                vec![0.0, 7.0],
-            ],
+            tbl(&[[0.0, -5.0], [0.0, -3.0], [0.0, 1.0], [0.0, -2.0]]),
+            tbl(&[[0.0, 9.0], [0.0, 8.0], [0.0, 0.0], [0.0, 7.0]]),
             NexitConfig::default(),
         );
         assert!(out.gain_a >= 0, "A lost: {}", out.gain_a);
@@ -693,8 +720,8 @@ mod tests {
     #[test]
     fn alternate_turns_recorded() {
         let out = run(
-            vec![vec![0.0, 1.0], vec![0.0, 1.0], vec![0.0, 1.0]],
-            vec![vec![0.0, 1.0], vec![0.0, 1.0], vec![0.0, 1.0]],
+            tbl(&[vec![0.0, 1.0], vec![0.0, 1.0], vec![0.0, 1.0]]),
+            tbl(&[vec![0.0, 1.0], vec![0.0, 1.0], vec![0.0, 1.0]]),
             NexitConfig::default(),
         );
         let proposers: Vec<Side> = out.transcript.iter().map(|r| r.proposer).collect();
@@ -706,8 +733,8 @@ mod tests {
         // Flow 0 strongly favors A; after it is accepted, B has lower gain
         // and should get the next turn.
         let out = run(
-            vec![vec![0.0, 10.0], vec![0.0, 0.0]],
-            vec![vec![0.0, 0.0], vec![0.0, 10.0]],
+            tbl(&[vec![0.0, 10.0], vec![0.0, 0.0]]),
+            tbl(&[vec![0.0, 0.0], vec![0.0, 10.0]]),
             NexitConfig {
                 turn: TurnPolicy::LowerGain,
                 ..NexitConfig::default()
@@ -721,8 +748,8 @@ mod tests {
     fn coin_toss_is_deterministic() {
         let mk = || {
             run(
-                vec![vec![0.0, 1.0], vec![0.0, 1.0]],
-                vec![vec![0.0, 1.0], vec![0.0, 1.0]],
+                tbl(&[vec![0.0, 1.0], vec![0.0, 1.0]]),
+                tbl(&[vec![0.0, 1.0], vec![0.0, 1.0]]),
                 NexitConfig {
                     turn: TurnPolicy::CoinToss { seed: 99 },
                     ..NexitConfig::default()
@@ -740,8 +767,8 @@ mod tests {
         // BestLocalMinHarm picks flow 0 (A's best local = 6 > 4), tie-broken
         // on other's preference.
         let out = run(
-            vec![vec![0.0, 6.0], vec![0.0, 4.0]],
-            vec![vec![0.0, 0.0], vec![0.0, 3.0]],
+            tbl(&[vec![0.0, 6.0], vec![0.0, 4.0]]),
+            tbl(&[vec![0.0, 0.0], vec![0.0, 3.0]]),
             NexitConfig {
                 proposal: ProposalRule::BestLocalMinHarm,
                 ..NexitConfig::default()
@@ -755,8 +782,8 @@ mod tests {
         // B would go negative accepting flow 0 alt 1; with veto it rejects
         // and the engine falls back to the default alternative.
         let out = run(
-            vec![vec![0.0, 10.0]],
-            vec![vec![0.0, -10.0]],
+            tbl(&[vec![0.0, 10.0]]),
+            tbl(&[vec![0.0, -10.0]]),
             NexitConfig {
                 accept: AcceptRule::VetoNegativeCumulative,
                 stop: StopPolicy::NegotiateAll,
@@ -773,8 +800,18 @@ mod tests {
     fn empty_session_terminates_immediately() {
         let inp = input(0, 2);
         let default = Assignment::from_choices(vec![]);
-        let mut a = Party::honest("A", FixedMapper { gains: vec![] });
-        let mut b = Party::honest("B", FixedMapper { gains: vec![] });
+        let mut a = Party::honest(
+            "A",
+            FixedMapper {
+                gains: GainTable::new(0, 2),
+            },
+        );
+        let mut b = Party::honest(
+            "B",
+            FixedMapper {
+                gains: GainTable::new(0, 2),
+            },
+        );
         let out = negotiate(&inp, &default, &mut a, &mut b, &NexitConfig::default());
         assert_eq!(out.termination, Termination::Exhausted);
         assert_eq!(out.flows_negotiated(), 0);
@@ -791,20 +828,21 @@ mod tests {
         // f3-top (+1). Final outcome: f2 on bottom, f3 on top (Fig. 2e).
         struct IspA;
         impl PreferenceMapper for IspA {
-            fn gains(&mut self, _i: &SessionInput, _c: &Assignment) -> Vec<Vec<f64>> {
+            fn gains(&mut self, _i: &SessionInput, _c: &Assignment, out: &mut GainTable) {
                 // [bottom, top] per flow; f2 = local 0, f3 = local 1.
-                vec![vec![0.0, -1.0], vec![0.0, 0.0]]
+                out.set(0, 1, -1.0);
             }
         }
         struct IspB;
         impl PreferenceMapper for IspB {
-            fn gains(&mut self, _i: &SessionInput, current: &Assignment) -> Vec<Vec<f64>> {
+            fn gains(&mut self, _i: &SessionInput, current: &Assignment, out: &mut GainTable) {
                 // B can handle either flow on the bottom link, but not
                 // both: once f2 is settled on bottom, f3-top becomes
                 // preferable.
                 let f2_on_bottom = current.choice(FlowId(0)) == IcxId(0);
-                let f3_top_gain = if f2_on_bottom { 1.0 } else { 0.0 };
-                vec![vec![0.0, 0.0], vec![0.0, f3_top_gain]]
+                if f2_on_bottom {
+                    out.set(1, 1, 1.0);
+                }
             }
         }
         let inp = input(2, 2);
@@ -842,7 +880,7 @@ mod tests {
     fn reassignment_counts_volume_fraction() {
         // 20 unit-volume flows, reassign every 25% -> after every 5 accepted.
         let n = 20;
-        let gains = vec![vec![0.0, 1.0]; n];
+        let gains = tbl(&vec![[0.0, 1.0]; n]);
         let out = run(
             gains.clone(),
             gains,
@@ -862,7 +900,7 @@ mod tests {
             Party::honest(
                 "X",
                 FixedMapper {
-                    gains: vec![vec![0.0, 1.0]],
+                    gains: tbl(&[vec![0.0, 1.0]]),
                 },
             )
         };
@@ -946,14 +984,14 @@ mod tests {
                 .party_a(Party::cheating(
                     "A",
                     FixedMapper {
-                        gains: vec![vec![0.0, 1.0]]
+                        gains: tbl(&[vec![0.0, 1.0]])
                     },
                     DisclosurePolicy::InflateBest,
                 ))
                 .party_b(Party::cheating(
                     "B",
                     FixedMapper {
-                        gains: vec![vec![0.0, 1.0]]
+                        gains: tbl(&[vec![0.0, 1.0]])
                     },
                     DisclosurePolicy::InflateBest,
                 ))
@@ -965,8 +1003,8 @@ mod tests {
 
     #[test]
     fn builder_matches_negotiate() {
-        let gains_a = vec![vec![0.0, 10.0], vec![0.0, -2.0], vec![0.0, 6.0]];
-        let gains_b = vec![vec![0.0, -2.0], vec![0.0, 10.0], vec![0.0, 6.0]];
+        let gains_a = tbl(&[vec![0.0, 10.0], vec![0.0, -2.0], vec![0.0, 6.0]]);
+        let gains_b = tbl(&[vec![0.0, -2.0], vec![0.0, 10.0], vec![0.0, 6.0]]);
         let via_fn = run(gains_a.clone(), gains_b.clone(), NexitConfig::win_win());
         let via_builder = SessionBuilder::new()
             .input(input(3, 2))
@@ -993,14 +1031,14 @@ mod tests {
             .party_a(Party::cheating(
                 "A",
                 FixedMapper {
-                    gains: vec![vec![0.0, 4.0]],
+                    gains: tbl(&[vec![0.0, 4.0]]),
                 },
                 DisclosurePolicy::InflateBest,
             ))
             .party_b(Party::honest(
                 "B",
                 FixedMapper {
-                    gains: vec![vec![0.0, 1.0]],
+                    gains: tbl(&[vec![0.0, 1.0]]),
                 },
             ))
             .run()
@@ -1012,13 +1050,13 @@ mod tests {
         use super::*;
         use proptest::prelude::*;
 
-        fn arb_gains(n: usize, k: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+        fn arb_gains(n: usize, k: usize) -> impl Strategy<Value = GainTable> {
             proptest::collection::vec(proptest::collection::vec(-10.0f64..10.0, k), n).prop_map(
                 move |mut rows| {
                     for row in &mut rows {
                         row[0] = 0.0; // default column
                     }
-                    rows
+                    GainTable::from_rows(&rows)
                 },
             )
         }
@@ -1105,11 +1143,11 @@ mod tests {
                 // a non-negative cumulative *raw metric* gain. With the
                 // credit-veto rollback the class gain is >= 0, hence so
                 // is the real one.
-                let n = ga.len();
+                let n = ga.num_flows();
                 let out = run(ga.clone(), gb.clone(), NexitConfig::win_win());
-                let raw = |table: &Vec<Vec<f64>>| -> f64 {
+                let raw = |table: &GainTable| -> f64 {
                     (0..n)
-                        .map(|f| table[f][out.assignment.choice(FlowId::new(f)).index()])
+                        .map(|f| table.get(f, out.assignment.choice(FlowId::new(f)).index()))
                         .sum()
                 };
                 prop_assert!(out.gain_a >= 0 && out.gain_b >= 0);

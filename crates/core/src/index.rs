@@ -36,6 +36,7 @@
 //! `2P + 2` threshold rows would not pay for itself) it transparently
 //! delegates to the reference implementation.
 
+use crate::arena::{FlowRange, TableArena};
 use crate::policies::ProposalRule;
 use crate::prefs::PrefTable;
 use crate::selection::{self, TableState};
@@ -96,7 +97,7 @@ impl PartialOrd for HeapEntry {
 /// Fixed-shape segment tree whose leaves hold the remaining flows'
 /// combined-best own-true values, in the reference projection order, and
 /// whose nodes aggregate `(segment sum, best nonempty prefix sum)`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 struct PrefixTree {
     /// Leaf count, padded to a power of two (possibly 1 for an empty
     /// session).
@@ -107,13 +108,15 @@ struct PrefixTree {
 }
 
 impl PrefixTree {
-    fn new(min_leaves: usize) -> Self {
+    /// Resize to hold `min_leaves` leaves and clear, keeping whatever
+    /// backing capacity the node arrays already have.
+    fn reshape(&mut self, min_leaves: usize) {
         let leaves = min_leaves.next_power_of_two().max(1);
-        Self {
-            leaves,
-            sum: vec![0; 2 * leaves],
-            best: vec![i64::MIN; 2 * leaves],
-        }
+        self.leaves = leaves;
+        self.sum.clear();
+        self.sum.resize(2 * leaves, 0);
+        self.best.clear();
+        self.best.resize(2 * leaves, i64::MIN);
     }
 
     fn clear(&mut self) {
@@ -151,40 +154,84 @@ impl PrefixTree {
     }
 }
 
-/// Stop-projection state: where each remaining flow currently sits in
-/// the tree and with which value.
-#[derive(Debug, Clone)]
-struct Projection {
+/// The materialized index. Every buffer survives retirement: a session
+/// sweep recycles one `Indexed` through a [`TableArena`] instead of
+/// reallocating heaps and trees per session (see
+/// [`CandidateIndex::view`]).
+#[derive(Debug, Default)]
+struct Indexed {
+    /// Guard-threshold rows, materialized lazily and stored flat (like
+    /// every other table in the crate): `best_at[ti * num_flows + flow]`
+    /// is the flow's best alternative among those threshold `ti` admits
+    /// (`own_true >= ti - P`), `None` when it admits none. Row 0 admits
+    /// every alternative (no guard / non-binding guard) and is the only
+    /// row most configurations ever touch; a row is built on the first
+    /// [`CandidateIndex::select`] whose guard floor maps to it and
+    /// maintained incrementally afterwards. An unbuilt row holds stale
+    /// cells that are fully overwritten on materialization (`built`
+    /// tracks validity).
+    best_at: Vec<Option<Candidate>>,
+    /// Flows per threshold row of `best_at` (the session size).
+    row_len: usize,
+    /// One lazy max-heap per guard threshold (empty while unbuilt).
+    heaps: Vec<BinaryHeap<HeapEntry>>,
+    /// Which threshold rows are currently materialized.
+    built: Vec<bool>,
+    /// Whether the stop projection is maintained (only under
+    /// [`crate::StopPolicy::Early`]); the tree and slots below are kept
+    /// at minimal size otherwise, retaining their capacity.
+    projection: bool,
     tree: PrefixTree,
     /// Per flow: `(bucket, own-true value)` of its tree leaf, `None`
     /// when the flow is settled (or the index is empty).
     slot: Vec<Option<(usize, i64)>>,
 }
 
-/// The materialized index.
-#[derive(Debug)]
-struct Indexed {
-    /// Guard-threshold rows, materialized lazily: `best_at[ti][flow]` is
-    /// the flow's best alternative among those the threshold admits
-    /// (`own_true >= ti - P`), `None` when it admits none. Row 0 admits
-    /// every alternative (no guard / non-binding guard) and is the only
-    /// row most configurations ever touch; a row is built on the first
-    /// [`CandidateIndex::select`] whose guard floor maps to it and
-    /// maintained incrementally afterwards. An unbuilt row is an empty
-    /// `Vec`.
-    best_at: Vec<Vec<Option<Candidate>>>,
-    /// One lazy max-heap per guard threshold (empty while unbuilt).
-    heaps: Vec<BinaryHeap<HeapEntry>>,
-    /// Which threshold rows are currently materialized.
-    built: Vec<bool>,
-    proj: Option<Projection>,
+impl Indexed {
+    /// Resize every structure for a session of `num_flows` flows and
+    /// `num_thresholds` guard rows, clearing contents but keeping
+    /// backing capacity.
+    fn reshape(&mut self, num_thresholds: usize, num_flows: usize, projection: bool) {
+        self.built.clear();
+        self.built.resize(num_thresholds, false);
+        self.best_at.clear();
+        self.best_at.resize(num_thresholds * num_flows, None);
+        self.row_len = num_flows;
+        self.heaps.truncate(num_thresholds);
+        for heap in &mut self.heaps {
+            heap.clear();
+        }
+        self.heaps.resize_with(num_thresholds, BinaryHeap::new);
+        self.projection = projection;
+        let min_leaves = if projection {
+            (2 * num_thresholds).saturating_sub(2).max(1) * num_flows
+        } else {
+            1
+        };
+        self.tree.reshape(min_leaves);
+        self.slot.clear();
+        self.slot.resize(num_flows, None);
+    }
+}
+
+/// The recyclable allocations of a retired [`CandidateIndex`]: pass them
+/// back through [`TableArena`] so the next session's index (of any
+/// shape) reuses them. Opaque; obtained from
+/// [`CandidateIndex::recycle`].
+#[derive(Default)]
+pub struct IndexBuffers {
+    inner: Box<Indexed>,
+    defaults: Vec<IcxId>,
 }
 
 enum Mode {
     Indexed(Box<Indexed>),
     /// Delegate to the reference scans (preference range too large to
-    /// index profitably).
-    Fallback,
+    /// index profitably). The retired buffers ride along so recycling
+    /// still returns them to the arena.
+    Fallback {
+        spare: Box<Indexed>,
+    },
 }
 
 /// Incremental replacement for [`selection::select_proposal`] and
@@ -213,32 +260,116 @@ impl CandidateIndex {
     pub fn new(
         rule: ProposalRule,
         pref_range: i32,
+        defaults: &[IcxId],
+        num_alternatives: usize,
+        with_projection: bool,
+    ) -> Self {
+        Self::view(
+            IndexBuffers::default(),
+            rule,
+            pref_range,
+            defaults,
+            FlowRange::full(defaults.len()),
+            num_alternatives,
+            with_projection,
+        )
+    }
+
+    /// [`CandidateIndex::new`] drawing its buffers from (and eventually
+    /// returning them to) an arena, so back-to-back sessions allocate
+    /// index structures once.
+    pub fn new_in(
+        arena: &mut TableArena,
+        rule: ProposalRule,
+        pref_range: i32,
+        defaults: &[IcxId],
+        num_alternatives: usize,
+        with_projection: bool,
+    ) -> Self {
+        Self::view(
+            arena.index_buffers(),
+            rule,
+            pref_range,
+            defaults,
+            FlowRange::full(defaults.len()),
+            num_alternatives,
+            with_projection,
+        )
+    }
+
+    /// An index over one [`FlowRange`] of a larger shared session:
+    /// `session_defaults` is the whole session's default list and
+    /// `range` selects the covered flows (which become local indices
+    /// `0..range.len` of this index). `bufs` — typically the previous
+    /// group's retired index — supplies every internal allocation, so a
+    /// sweep over many groups sets up in O(total flows) with exactly one
+    /// set of backing buffers.
+    ///
+    /// This is the one real constructor: [`CandidateIndex::new`] and
+    /// [`CandidateIndex::new_in`] are full-range views, so every machine
+    /// (and every group of an arena-threaded sweep) builds its index
+    /// through this path.
+    pub fn view(
+        bufs: IndexBuffers,
+        rule: ProposalRule,
+        pref_range: i32,
+        session_defaults: &[IcxId],
+        range: FlowRange,
+        num_alternatives: usize,
+        with_projection: bool,
+    ) -> Self {
+        let IndexBuffers {
+            inner,
+            defaults: mut buf,
+        } = bufs;
+        buf.clear();
+        buf.extend_from_slice(&session_defaults[range.indices()]);
+        Self::build(
+            rule,
+            pref_range,
+            buf,
+            num_alternatives,
+            with_projection,
+            inner,
+        )
+    }
+
+    /// Retire the index, returning its buffers to `arena` for the next
+    /// [`CandidateIndex::new_in`] / [`CandidateIndex::view`].
+    pub fn recycle(self, arena: &mut TableArena) {
+        let inner = match self.mode {
+            Mode::Indexed(ix) => ix,
+            Mode::Fallback { spare } => spare,
+        };
+        arena.recycle_index(IndexBuffers {
+            inner,
+            defaults: self.defaults,
+        });
+    }
+
+    fn build(
+        rule: ProposalRule,
+        pref_range: i32,
         defaults: Vec<IcxId>,
         num_alternatives: usize,
         with_projection: bool,
+        mut inner: Box<Indexed>,
     ) -> Self {
         let num_flows = defaults.len();
         let projection_leaves = (4 * pref_range.max(0) as usize + 2).saturating_mul(num_flows);
         let mode = if pref_range > MAX_INDEXED_PREF_RANGE
             || (with_projection && projection_leaves > MAX_PROJECTION_LEAVES)
         {
-            Mode::Fallback
+            Mode::Fallback { spare: inner }
         } else {
             let p = pref_range as usize;
-            let num_thresholds = 2 * p + 2;
-            let proj = with_projection.then(|| Projection {
-                // Buckets 0..=4P hold combined sums 2P down to -2P; the
-                // extra bucket 4P+1 holds flows with every alternative
-                // banned (combined sum `i64::MIN` in the reference).
-                tree: PrefixTree::new((4 * p + 2) * num_flows),
-                slot: vec![None; num_flows],
-            });
-            Mode::Indexed(Box::new(Indexed {
-                best_at: vec![Vec::new(); num_thresholds],
-                heaps: vec![BinaryHeap::new(); num_thresholds],
-                built: vec![false; num_thresholds],
-                proj,
-            }))
+            // Buckets 0..=4P of the projection tree hold combined sums 2P
+            // down to -2P; the extra bucket 4P+1 holds flows with every
+            // alternative banned (combined sum `i64::MIN` in the
+            // reference). `reshape` sizes the tree accordingly from the
+            // threshold count.
+            inner.reshape(2 * p + 2, num_flows, with_projection);
+            Mode::Indexed(inner)
         };
         Self {
             rule,
@@ -265,16 +396,16 @@ impl CandidateIndex {
             return;
         };
         // Invalidate every threshold row; each rematerializes on the
-        // first select() that needs it, against the new tables.
+        // first select() that needs it, against the new tables (stale
+        // `best_at` cells are overwritten wholesale then).
         for ti in 0..ix.built.len() {
             ix.built[ti] = false;
-            ix.best_at[ti].clear();
             ix.heaps[ti].clear();
         }
-        if let Some(proj) = &mut ix.proj {
-            proj.tree.clear();
+        if ix.projection {
+            ix.tree.clear();
             for flow in 0..num_flows {
-                proj.slot[flow] = None;
+                ix.slot[flow] = None;
                 if state.is_remaining(flow) {
                     let (bucket, value) = projection_entry(
                         p,
@@ -286,8 +417,8 @@ impl CandidateIndex {
                         state,
                         flow,
                     );
-                    proj.slot[flow] = Some((bucket, value));
-                    proj.tree.set(bucket * num_flows + flow, Some(value));
+                    ix.slot[flow] = Some((bucket, value));
+                    ix.tree.set(bucket * num_flows + flow, Some(value));
                 }
             }
         }
@@ -301,9 +432,9 @@ impl CandidateIndex {
             return;
         };
         // Heap entries for the flow die lazily via the remaining check.
-        if let Some(proj) = &mut ix.proj {
-            if let Some((bucket, _)) = proj.slot[flow].take() {
-                proj.tree.set(bucket * num_flows + flow, None);
+        if ix.projection {
+            if let Some((bucket, _)) = ix.slot[flow].take() {
+                ix.tree.set(bucket * num_flows + flow, None);
             }
         }
     }
@@ -340,8 +471,8 @@ impl CandidateIndex {
                 flow,
                 ti as i64 - p,
             );
-            if ix.best_at[ti][flow] != row {
-                ix.best_at[ti][flow] = row;
+            if ix.best_at[ti * ix.row_len + flow] != row {
+                ix.best_at[ti * ix.row_len + flow] = row;
                 if state.is_remaining(flow) {
                     if let Some(c) = row {
                         ix.heaps[ti].push(HeapEntry {
@@ -353,25 +484,23 @@ impl CandidateIndex {
                 }
             }
         }
-        if let Some(proj) = &mut ix.proj {
-            if state.is_remaining(flow) {
-                let entry = projection_entry(
-                    p,
-                    &self.defaults,
-                    self.num_alternatives,
-                    d_own,
-                    d_other,
-                    own_true,
-                    state,
-                    flow,
-                );
-                if proj.slot[flow] != Some(entry) {
-                    if let Some((old_bucket, _)) = proj.slot[flow] {
-                        proj.tree.set(old_bucket * num_flows + flow, None);
-                    }
-                    proj.slot[flow] = Some(entry);
-                    proj.tree.set(entry.0 * num_flows + flow, Some(entry.1));
+        if ix.projection && state.is_remaining(flow) {
+            let entry = projection_entry(
+                p,
+                &self.defaults,
+                self.num_alternatives,
+                d_own,
+                d_other,
+                own_true,
+                state,
+                flow,
+            );
+            if ix.slot[flow] != Some(entry) {
+                if let Some((old_bucket, _)) = ix.slot[flow] {
+                    ix.tree.set(old_bucket * num_flows + flow, None);
                 }
+                ix.slot[flow] = Some(entry);
+                ix.tree.set(entry.0 * num_flows + flow, Some(entry.1));
             }
         }
     }
@@ -388,7 +517,7 @@ impl CandidateIndex {
     ) -> Option<(usize, IcxId)> {
         let p = self.p;
         let ix = match &mut self.mode {
-            Mode::Fallback => {
+            Mode::Fallback { .. } => {
                 return selection::select_proposal(
                     d_own,
                     d_other,
@@ -410,11 +539,8 @@ impl CandidateIndex {
         if !ix.built[ti] {
             // First use of this guard threshold since the last rebuild:
             // materialize its row and heap in one pass.
-            let num_flows = self.defaults.len();
             let threshold = ti as i64 - p;
-            let row = &mut ix.best_at[ti];
-            row.clear();
-            row.resize(num_flows, None);
+            let row = &mut ix.best_at[ti * ix.row_len..(ti + 1) * ix.row_len];
             let mut feed = Vec::new();
             for (flow, slot) in row.iter_mut().enumerate() {
                 let c = row_candidate(
@@ -445,7 +571,7 @@ impl CandidateIndex {
         }
         let heap = &mut ix.heaps[ti];
         while let Some(top) = heap.peek() {
-            let current = ix.best_at[ti][top.flow];
+            let current = ix.best_at[ti * ix.row_len + top.flow];
             if state.is_remaining(top.flow)
                 && current
                     == Some(Candidate {
@@ -474,7 +600,7 @@ impl CandidateIndex {
         state: &TableState,
     ) -> i64 {
         match &self.mode {
-            Mode::Fallback => selection::projected_gain(
+            Mode::Fallback { .. } => selection::projected_gain(
                 own_true,
                 d_own,
                 d_other,
@@ -483,11 +609,11 @@ impl CandidateIndex {
                 &self.defaults,
             ),
             Mode::Indexed(ix) => {
-                let proj = ix
-                    .proj
-                    .as_ref()
-                    .expect("projection queried on an index built without it");
-                match proj.tree.root_best() {
+                assert!(
+                    ix.projection,
+                    "projection queried on an index built without it"
+                );
+                match ix.tree.root_best() {
                     i64::MIN => 0,
                     best => best,
                 }
@@ -599,7 +725,7 @@ mod tests {
             let (d_own, d_other, own_true) = tables;
             let n = defaults.len();
             let state = TableState::new(n, k);
-            let mut index = CandidateIndex::new(rule, p, defaults.clone(), k, true);
+            let mut index = CandidateIndex::new(rule, p, &defaults, k, true);
             index.rebuild(&d_own, &d_other, &own_true, &state);
             Self {
                 d_own,
@@ -678,14 +804,14 @@ mod tests {
         }
     }
 
-    fn table(rows: Vec<Vec<i32>>) -> PrefTable {
-        PrefTable::new(rows)
+    fn table<R: AsRef<[i32]>>(rows: &[R]) -> PrefTable {
+        PrefTable::from_rows(rows)
     }
 
     #[test]
     fn matches_reference_on_simple_session() {
-        let d_own = table(vec![vec![0, 5, 3], vec![0, -2, 7], vec![0, 1, 1]]);
-        let d_other = table(vec![vec![0, 5, 4], vec![0, 9, -7], vec![0, 1, 1]]);
+        let d_own = table(&[vec![0, 5, 3], vec![0, -2, 7], vec![0, 1, 1]]);
+        let d_other = table(&[vec![0, 5, 4], vec![0, 9, -7], vec![0, 1, 1]]);
         let own_true = d_own.clone();
         let defaults = vec![IcxId(0); 3];
         let mut h = Harness::new(
@@ -712,9 +838,9 @@ mod tests {
         // the reference keeps it in the projection with the MIN
         // sentinel. Defaults deliberately non-zero to exercise the
         // sentinel's alternative-0 pick.
-        let d_own = table(vec![vec![3, 5], vec![0, 2]]);
-        let d_other = table(vec![vec![1, 5], vec![0, 2]]);
-        let own_true = table(vec![vec![-4, 5], vec![0, 2]]);
+        let d_own = table(&[vec![3, 5], vec![0, 2]]);
+        let d_other = table(&[vec![1, 5], vec![0, 2]]);
+        let own_true = table(&[vec![-4, 5], vec![0, 2]]);
         let mut h = Harness::new(
             ProposalRule::MaxCombined,
             10,
@@ -734,26 +860,76 @@ mod tests {
         // P and flow count are each acceptable, but their product would
         // need a hundreds-of-MB projection tree: delegate instead.
         let n = 10_000;
-        let index = CandidateIndex::new(ProposalRule::MaxCombined, 200, vec![IcxId(0); n], 2, true);
-        assert!(matches!(index.mode, Mode::Fallback));
+        let index =
+            CandidateIndex::new(ProposalRule::MaxCombined, 200, &vec![IcxId(0); n], 2, true);
+        assert!(matches!(index.mode, Mode::Fallback { .. }));
         // Without a projection tree the same shape stays indexed.
         let index =
-            CandidateIndex::new(ProposalRule::MaxCombined, 200, vec![IcxId(0); n], 2, false);
+            CandidateIndex::new(ProposalRule::MaxCombined, 200, &vec![IcxId(0); n], 2, false);
         assert!(matches!(index.mode, Mode::Indexed(_)));
     }
 
     #[test]
-    fn huge_pref_range_falls_back() {
-        let d = table(vec![vec![0, 1000]]);
-        let defaults = vec![IcxId(0)];
-        let state = TableState::new(1, 2);
-        let mut index = CandidateIndex::new(
+    fn view_over_a_range_matches_a_fresh_index() {
+        // A "session" of 6 flows split as [0..2), [2..6): the second
+        // group's index, built as a view over the shared defaults with
+        // recycled buffers, must behave exactly like a fresh index over
+        // the sliced defaults.
+        let session_defaults = vec![IcxId(0), IcxId(1), IcxId(2), IcxId(0), IcxId(1), IcxId(2)];
+        let range = FlowRange::new(2, 4);
+        let d_own = table(&[vec![0, 5, 3], vec![0, -2, 7], vec![4, 1, 1], vec![0, 2, -9]]);
+        let d_other = table(&[vec![0, 5, 4], vec![0, 9, -7], vec![0, 1, 1], vec![3, 0, 2]]);
+        let own_true = table(&[vec![0, -5, 3], vec![0, 2, 7], vec![1, 1, -1], vec![0, 2, 0]]);
+        let state = TableState::new(4, 3);
+
+        let mut arena = TableArena::new();
+        // Retire a first index (different shape) into the arena...
+        CandidateIndex::new_in(
+            &mut arena,
             ProposalRule::MaxCombined,
-            100_000,
-            defaults.clone(),
+            10,
+            &[IcxId(0); 7],
             2,
             true,
+        )
+        .recycle(&mut arena);
+        // ...and build the group view from its buffers.
+        let mut view = CandidateIndex::view(
+            arena.index_buffers(),
+            ProposalRule::MaxCombined,
+            10,
+            &session_defaults,
+            range,
+            3,
+            true,
         );
+        let mut fresh = CandidateIndex::new(
+            ProposalRule::MaxCombined,
+            10,
+            &session_defaults[range.indices()],
+            3,
+            true,
+        );
+        view.rebuild(&d_own, &d_other, &own_true, &state);
+        fresh.rebuild(&d_own, &d_other, &own_true, &state);
+        for guard in [None, Some((&own_true, 0i64)), Some((&own_true, -3))] {
+            assert_eq!(
+                view.select(&d_own, &d_other, &state, guard),
+                fresh.select(&d_own, &d_other, &state, guard),
+            );
+        }
+        assert_eq!(
+            view.projected_gain(&own_true, &d_own, &d_other, &state),
+            fresh.projected_gain(&own_true, &d_own, &d_other, &state),
+        );
+    }
+
+    #[test]
+    fn huge_pref_range_falls_back() {
+        let d = table(&[vec![0, 1000]]);
+        let defaults = vec![IcxId(0)];
+        let state = TableState::new(1, 2);
+        let mut index = CandidateIndex::new(ProposalRule::MaxCombined, 100_000, &defaults, 2, true);
         index.rebuild(&d, &d, &d, &state);
         assert_eq!(
             index.select(&d, &d, &state, None),
@@ -783,11 +959,13 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(seed);
         let mut mk = || {
-            PrefTable::new(
-                (0..n)
-                    .map(|_| (0..k).map(|_| rng.gen_range(-p..=p)).collect())
-                    .collect(),
-            )
+            let mut t = PrefTable::zero(n, k);
+            for flow in 0..n {
+                for cell in t.row_mut(flow) {
+                    *cell = rng.gen_range(-p..=p);
+                }
+            }
+            t
         };
         (mk(), mk(), mk())
     }

@@ -30,6 +30,7 @@
 //! preference of your best alternative to hijack the combined-maximum
 //! selection rule, given perfect knowledge of the other side's list).
 
+pub mod arena;
 pub mod cheating;
 pub mod engine;
 pub mod index;
@@ -40,8 +41,9 @@ pub mod policies;
 pub mod prefs;
 pub mod selection;
 
+pub use arena::{FlowRange, GainTable, TableArena};
 pub use cheating::DisclosurePolicy;
-pub use engine::{negotiate, Party, SessionBuilder, SessionError, SessionInput};
+pub use engine::{negotiate, negotiate_in, Party, SessionBuilder, SessionError, SessionInput};
 pub use index::CandidateIndex;
 pub use machine::{Action, Event, MachineError, MachineOutcome, NegotiationMachine};
 pub use mapping::{BandwidthMapper, DistanceMapper, FortzMapper, PreferenceMapper};

@@ -32,13 +32,14 @@
 //!            +--------- Action: SendStop / SendBye -------------+
 //! ```
 
+use crate::arena::{GainTable, TableArena};
 use crate::cheating::DisclosurePolicy;
 use crate::engine::SessionInput;
 use crate::index::CandidateIndex;
 use crate::mapping::PreferenceMapper;
 use crate::outcome::{Side, Termination};
 use crate::policies::{AcceptRule, NexitConfig, StopPolicy};
-use crate::prefs::{quantize, PrefTable};
+use crate::prefs::{quantize_into, PrefTable};
 use crate::selection::{self, TableState};
 use nexit_routing::Assignment;
 use nexit_topology::IcxId;
@@ -236,6 +237,10 @@ pub struct NegotiationMachine<M: PreferenceMapper> {
     my_true: PrefTable,
     my_disclosed: PrefTable,
     their_disclosed: PrefTable,
+    /// Mapper output scratch, reused across every (re)disclosure.
+    gains: GainTable,
+    /// Quantization sort scratch, reused likewise.
+    magnitudes: Vec<f64>,
     my_gain: i64,
     disclosed_gain_a: i64,
     disclosed_gain_b: i64,
@@ -269,6 +274,33 @@ impl<M: PreferenceMapper> NegotiationMachine<M> {
         disclosure: DisclosurePolicy,
         config: NexitConfig,
     ) -> Result<Self, MachineError> {
+        Self::new_in(
+            &mut TableArena::new(),
+            side,
+            first_discloser,
+            input,
+            default_assignment,
+            mapper,
+            disclosure,
+            config,
+        )
+    }
+
+    /// [`NegotiationMachine::new`] drawing every table and index buffer
+    /// from `arena`. Pair with [`NegotiationMachine::recycle`]: a driver
+    /// that runs sessions back to back (grouped negotiation, scenario
+    /// sweeps) allocates each backing buffer exactly once.
+    #[allow(clippy::too_many_arguments)] // mirrors `new` plus the arena
+    pub fn new_in(
+        arena: &mut TableArena,
+        side: Side,
+        first_discloser: Side,
+        input: SessionInput,
+        default_assignment: Assignment,
+        mapper: M,
+        disclosure: DisclosurePolicy,
+        config: NexitConfig,
+    ) -> Result<Self, MachineError> {
         if side == first_discloser && disclosure.needs_peer_list() {
             return Err(MachineError::UnsupportedDisclosure);
         }
@@ -280,10 +312,11 @@ impl<M: PreferenceMapper> NegotiationMachine<M> {
         }
         let n = input.len();
         let k = input.num_alternatives;
-        let index = CandidateIndex::new(
+        let index = CandidateIndex::new_in(
+            arena,
             config.proposal,
             config.pref_range,
-            input.defaults.clone(),
+            &input.defaults,
             k,
             config.stop == StopPolicy::Early,
         );
@@ -300,9 +333,13 @@ impl<M: PreferenceMapper> NegotiationMachine<M> {
             actions: VecDeque::new(),
             phase: Phase::Disclose,
             sent_prefs: false,
-            my_true: PrefTable::zero(n, k),
-            my_disclosed: PrefTable::zero(n, k),
-            their_disclosed: PrefTable::zero(n, k),
+            my_true: arena.pref_table(n, k),
+            my_disclosed: arena.pref_table(n, k),
+            their_disclosed: arena.pref_table(n, k),
+            gains: arena.gain_table(n, k),
+            // Recycled through the arena as a shapeless gain buffer —
+            // only its capacity matters.
+            magnitudes: arena.gain_table(0, 0).into_storage(),
             my_gain: 0,
             disclosed_gain_a: 0,
             disclosed_gain_b: 0,
@@ -318,6 +355,17 @@ impl<M: PreferenceMapper> NegotiationMachine<M> {
             machine.disclose_own();
         }
         Ok(machine)
+    }
+
+    /// Retire the machine, returning its table and index buffers to
+    /// `arena` for the next [`NegotiationMachine::new_in`].
+    pub fn recycle(self, arena: &mut TableArena) {
+        arena.recycle_pref(self.my_true);
+        arena.recycle_pref(self.my_disclosed);
+        arena.recycle_pref(self.their_disclosed);
+        arena.recycle_gain(self.gains);
+        arena.recycle_gain(GainTable::from_storage(self.magnitudes, 0, 0));
+        self.index.recycle(arena);
     }
 
     /// This machine's side.
@@ -410,15 +458,27 @@ impl<M: PreferenceMapper> NegotiationMachine<M> {
         }
     }
 
-    /// Map our preferences, disclose, and queue the transmission.
+    /// Map our preferences, disclose, and queue the transmission. The
+    /// whole chain (mapper gains → quantize → disclose) writes into
+    /// buffers reused across reassignments; only the wire copy of the
+    /// disclosed table is fresh.
     fn disclose_own(&mut self) {
-        let gains = self.mapper.gains(&self.input, &self.assignment);
-        self.my_true = quantize(&gains, self.config.pref_range);
-        self.my_disclosed = self.disclosure.disclose(
+        self.gains
+            .reset(self.input.len(), self.input.num_alternatives);
+        self.mapper
+            .gains(&self.input, &self.assignment, &mut self.gains);
+        quantize_into(
+            &self.gains,
+            self.config.pref_range,
+            &mut self.my_true,
+            &mut self.magnitudes,
+        );
+        self.disclosure.disclose_into(
             &self.my_true,
             &self.their_disclosed,
             self.config.pref_range,
             &self.input.defaults,
+            &mut self.my_disclosed,
         );
         self.sent_prefs = true;
         self.actions.push_back(Action::SendPrefs {
@@ -738,12 +798,20 @@ mod tests {
 
     /// A mapper returning a fixed gain table.
     struct FixedMapper {
-        gains: Vec<Vec<f64>>,
+        gains: GainTable,
+    }
+
+    impl FixedMapper {
+        fn new<R: AsRef<[f64]>>(rows: &[R]) -> Self {
+            Self {
+                gains: GainTable::from_rows(rows),
+            }
+        }
     }
 
     impl PreferenceMapper for FixedMapper {
-        fn gains(&mut self, _input: &SessionInput, _current: &Assignment) -> Vec<Vec<f64>> {
-            self.gains.clone()
+        fn gains(&mut self, _input: &SessionInput, _current: &Assignment, out: &mut GainTable) {
+            out.copy_from(&self.gains);
         }
     }
 
@@ -757,8 +825,8 @@ mod tests {
     }
 
     fn pair(
-        gains_a: Vec<Vec<f64>>,
-        gains_b: Vec<Vec<f64>>,
+        gains_a: &[Vec<f64>],
+        gains_b: &[Vec<f64>],
         config: NexitConfig,
     ) -> (
         NegotiationMachine<FixedMapper>,
@@ -773,7 +841,7 @@ mod tests {
             Side::A,
             inp.clone(),
             default.clone(),
-            FixedMapper { gains: gains_a },
+            FixedMapper::new(gains_a),
             DisclosurePolicy::Truthful,
             config,
         )
@@ -783,7 +851,7 @@ mod tests {
             Side::A,
             inp,
             default,
-            FixedMapper { gains: gains_b },
+            FixedMapper::new(gains_b),
             DisclosurePolicy::Truthful,
             config,
         )
@@ -833,11 +901,7 @@ mod tests {
 
     #[test]
     fn mutually_good_move_is_taken() {
-        let (mut a, mut b) = pair(
-            vec![vec![0.0, 5.0]],
-            vec![vec![0.0, 3.0]],
-            NexitConfig::default(),
-        );
+        let (mut a, mut b) = pair(&[vec![0.0, 5.0]], &[vec![0.0, 3.0]], NexitConfig::default());
         let (out_a, out_b) = pump(&mut a, &mut b);
         assert_eq!(out_a.assignment.choice(FlowId(0)), IcxId(1));
         assert_eq!(out_a.assignment, out_b.assignment);
@@ -848,8 +912,8 @@ mod tests {
     #[test]
     fn machines_agree_on_rounds_and_gain_orientation() {
         let (mut a, mut b) = pair(
-            vec![vec![0.0, 10.0], vec![0.0, -2.0], vec![0.0, 6.0]],
-            vec![vec![0.0, -2.0], vec![0.0, 10.0], vec![0.0, 6.0]],
+            &[vec![0.0, 10.0], vec![0.0, -2.0], vec![0.0, 6.0]],
+            &[vec![0.0, -2.0], vec![0.0, 10.0], vec![0.0, 6.0]],
             NexitConfig::default(),
         );
         let (out_a, out_b) = pump(&mut a, &mut b);
@@ -865,8 +929,8 @@ mod tests {
         // (the combined-best picks are a net loss for B): B stops as the
         // acceptor; both machines see Stopped(B).
         let (mut a, mut b) = pair(
-            vec![vec![0.0, 10.0], vec![0.0, 1.0]],
-            vec![vec![0.0, -4.0], vec![0.0, -8.0]],
+            &[vec![0.0, 10.0], vec![0.0, 1.0]],
+            &[vec![0.0, -4.0], vec![0.0, -8.0]],
             NexitConfig::default(),
         );
         let (out_a, out_b) = pump(&mut a, &mut b);
@@ -884,9 +948,7 @@ mod tests {
             Side::A,
             input(1, 2),
             Assignment::uniform(1, IcxId(0)),
-            FixedMapper {
-                gains: vec![vec![0.0, 0.0]],
-            },
+            FixedMapper::new(&[vec![0.0, 0.0]]),
             DisclosurePolicy::InflateBest,
             NexitConfig::default(),
         )
@@ -898,9 +960,7 @@ mod tests {
             Side::A,
             input(1, 2),
             Assignment::uniform(1, IcxId(0)),
-            FixedMapper {
-                gains: vec![vec![0.0, 0.0]],
-            },
+            FixedMapper::new(&[vec![0.0, 0.0]]),
             DisclosurePolicy::InflateBest,
             NexitConfig::default(),
         )
@@ -915,9 +975,7 @@ mod tests {
                 Side::A,
                 input(2, 2),
                 Assignment::uniform(2, IcxId(0)),
-                FixedMapper {
-                    gains: vec![vec![0.0, 0.0]; 2],
-                },
+                FixedMapper::new(&[[0.0, 0.0]; 2]),
                 DisclosurePolicy::Truthful,
                 NexitConfig::default(),
             )
@@ -926,14 +984,14 @@ mod tests {
         let mut b = mk();
         assert_eq!(
             b.handle(Event::PeerPrefs {
-                prefs: PrefTable::new(vec![vec![0, 0]]),
+                prefs: PrefTable::from_rows(&[vec![0, 0]]),
             }),
             Err(MachineError::BadPrefList("row count mismatch"))
         );
         let mut b = mk();
         assert_eq!(
             b.handle(Event::PeerPrefs {
-                prefs: PrefTable::new(vec![vec![0, 99], vec![0, 0]]),
+                prefs: PrefTable::from_rows(&[vec![0, 99], vec![0, 0]]),
             }),
             Err(MachineError::BadPrefList("class out of range"))
         );
@@ -944,8 +1002,8 @@ mod tests {
     #[test]
     fn rejects_out_of_turn_and_stale_proposals() {
         let (mut a, mut b) = pair(
-            vec![vec![0.0, 1.0], vec![0.0, 1.0]],
-            vec![vec![0.0, 1.0], vec![0.0, 1.0]],
+            &[vec![0.0, 1.0], vec![0.0, 1.0]],
+            &[vec![0.0, 1.0], vec![0.0, 1.0]],
             NexitConfig::default(),
         );
         // Exchange the preference lists only.
@@ -990,8 +1048,8 @@ mod tests {
             ..NexitConfig::default()
         };
         let (mut a, mut b) = pair(
-            vec![vec![0.0, -5.0], vec![0.0, 2.0]],
-            vec![vec![0.0, 9.0], vec![0.0, 1.0]],
+            &[vec![0.0, -5.0], vec![0.0, 2.0]],
+            &[vec![0.0, 9.0], vec![0.0, 1.0]],
             config,
         );
         let (out_a, out_b) = pump(&mut a, &mut b);

@@ -16,10 +16,16 @@
 //! * [`FortzMapper`] — the LP-based alternate objective (§5.2): the gain
 //!   is the reduction in total Fortz–Thorup cost of the ISP's own links.
 //!
-//! Mappers return **raw metric gains**; the engine quantizes them into
-//! classes with one global scale per ISP (see [`crate::prefs::quantize`]),
-//! preserving the additive-composition requirement.
+//! Mappers fill a caller-provided flat [`GainTable`] with **raw metric
+//! gains**; the engine quantizes them into classes with one global scale
+//! per ISP (see [`crate::prefs::quantize_into`]), preserving the
+//! additive-composition requirement. Writing into the caller's table —
+//! instead of returning a fresh nest of per-flow vectors — lets the
+//! machine reuse one backing buffer across every reassignment of a
+//! session, and lets drivers fan independent per-flow fills across
+//! threads over disjoint row ranges.
 
+use crate::arena::GainTable;
 use crate::engine::SessionInput;
 use crate::outcome::Side;
 use nexit_metrics::fortz_link_cost;
@@ -29,24 +35,26 @@ use nexit_workload::PathTable;
 
 /// An ISP-internal objective that scores the session's alternatives.
 pub trait PreferenceMapper {
-    /// Raw gains (positive = better than the flow's default) for every
-    /// session flow × alternative, given the current expected assignment
-    /// of *all* pair flows.
+    /// Write raw gains (positive = better than the flow's default) for
+    /// every session flow × alternative into `out`, given the current
+    /// expected assignment of *all* pair flows.
     ///
-    /// `gains[i][alt]` corresponds to `input.flow_ids[i]`; `gains[i][d]`
-    /// where `d` is the flow's default must be 0.
-    fn gains(&mut self, input: &SessionInput, current: &Assignment) -> Vec<Vec<f64>>;
+    /// `out` arrives zeroed with shape
+    /// `(input.len(), input.num_alternatives)`; row `i` corresponds to
+    /// `input.flow_ids[i]`, and column `d` where `d` is the flow's
+    /// default must stay 0.
+    fn gains(&mut self, input: &SessionInput, current: &Assignment, out: &mut GainTable);
 }
 
 impl<T: PreferenceMapper + ?Sized> PreferenceMapper for &mut T {
-    fn gains(&mut self, input: &SessionInput, current: &Assignment) -> Vec<Vec<f64>> {
-        (**self).gains(input, current)
+    fn gains(&mut self, input: &SessionInput, current: &Assignment, out: &mut GainTable) {
+        (**self).gains(input, current, out);
     }
 }
 
 impl<T: PreferenceMapper + ?Sized> PreferenceMapper for Box<T> {
-    fn gains(&mut self, input: &SessionInput, current: &Assignment) -> Vec<Vec<f64>> {
-        (**self).gains(input, current)
+    fn gains(&mut self, input: &SessionInput, current: &Assignment, out: &mut GainTable) {
+        (**self).gains(input, current, out);
     }
 }
 
@@ -65,23 +73,18 @@ impl<'a> DistanceMapper<'a> {
 }
 
 impl PreferenceMapper for DistanceMapper<'_> {
-    fn gains(&mut self, input: &SessionInput, _current: &Assignment) -> Vec<Vec<f64>> {
-        input
-            .flow_ids
-            .iter()
-            .zip(&input.defaults)
-            .map(|(&fid, &default)| {
-                let m = &self.flows.metrics[fid.index()];
-                let km = |alt: usize| match self.side {
-                    Side::A => m.up_km[alt],
-                    Side::B => m.down_km[alt],
-                };
-                let base = km(default.index());
-                (0..input.num_alternatives)
-                    .map(|alt| base - km(alt))
-                    .collect()
-            })
-            .collect()
+    fn gains(&mut self, input: &SessionInput, _current: &Assignment, out: &mut GainTable) {
+        for (i, (&fid, &default)) in input.flow_ids.iter().zip(&input.defaults).enumerate() {
+            let m = &self.flows.metrics[fid.index()];
+            let km = |alt: usize| match self.side {
+                Side::A => m.up_km[alt],
+                Side::B => m.down_km[alt],
+            };
+            let base = km(default.index());
+            for (alt, cell) in out.row_mut(i).iter_mut().enumerate() {
+                *cell = base - km(alt);
+            }
+        }
     }
 }
 
@@ -133,38 +136,33 @@ impl<'a> BandwidthMapper<'a> {
 }
 
 impl PreferenceMapper for BandwidthMapper<'_> {
-    fn gains(&mut self, input: &SessionInput, current: &Assignment) -> Vec<Vec<f64>> {
+    fn gains(&mut self, input: &SessionInput, current: &Assignment, out: &mut GainTable) {
         let loads = self.loads(current);
-        input
-            .flow_ids
-            .iter()
-            .zip(&input.defaults)
-            .map(|(&fid, &default)| {
-                let volume = self.flows.flows[fid.index()].volume;
-                let cur = current.choice(fid);
-                // Path-max excess ratio after moving the flow from `cur`
-                // to `alt`. Links are adjusted for the flow's departure
-                // from its current path and arrival on the candidate path.
-                let cost = |alt: IcxId| -> f64 {
-                    let cur_links = self.side_links(fid, cur);
-                    self.side_links(fid, alt)
-                        .iter()
-                        .map(|&l| {
-                            let mut load = loads[l.index()];
-                            if alt != cur && !cur_links.contains(&l) {
-                                load += volume;
-                            }
-                            // When alt == cur the flow already contributes.
-                            load / self.capacities[l.index()]
-                        })
-                        .fold(0.0_f64, f64::max)
-                };
-                let base = cost(default);
-                (0..input.num_alternatives)
-                    .map(|alt| base - cost(IcxId::new(alt)))
-                    .collect()
-            })
-            .collect()
+        for (i, (&fid, &default)) in input.flow_ids.iter().zip(&input.defaults).enumerate() {
+            let volume = self.flows.flows[fid.index()].volume;
+            let cur = current.choice(fid);
+            // Path-max excess ratio after moving the flow from `cur`
+            // to `alt`. Links are adjusted for the flow's departure
+            // from its current path and arrival on the candidate path.
+            let cost = |alt: IcxId| -> f64 {
+                let cur_links = self.side_links(fid, cur);
+                self.side_links(fid, alt)
+                    .iter()
+                    .map(|&l| {
+                        let mut load = loads[l.index()];
+                        if alt != cur && !cur_links.contains(&l) {
+                            load += volume;
+                        }
+                        // When alt == cur the flow already contributes.
+                        load / self.capacities[l.index()]
+                    })
+                    .fold(0.0_f64, f64::max)
+            };
+            let base = cost(default);
+            for (alt, cell) in out.row_mut(i).iter_mut().enumerate() {
+                *cell = base - cost(IcxId::new(alt));
+            }
+        }
     }
 }
 
@@ -203,7 +201,7 @@ impl<'a> FortzMapper<'a> {
 }
 
 impl PreferenceMapper for FortzMapper<'_> {
-    fn gains(&mut self, input: &SessionInput, current: &Assignment) -> Vec<Vec<f64>> {
+    fn gains(&mut self, input: &SessionInput, current: &Assignment, out: &mut GainTable) {
         // Base loads under `current`.
         let mut loads = vec![0.0; self.capacities.len()];
         for (fid, flow, _) in self.flows.iter() {
@@ -211,46 +209,40 @@ impl PreferenceMapper for FortzMapper<'_> {
                 loads[l.index()] += flow.volume;
             }
         }
-        input
-            .flow_ids
-            .iter()
-            .zip(&input.defaults)
-            .map(|(&fid, &default)| {
-                let volume = self.flows.flows[fid.index()].volume;
-                let cur = current.choice(fid);
-                // Total-cost delta of moving the flow from `cur` to `alt`,
-                // computed over affected links only.
-                let cost_delta = |alt: IcxId| -> f64 {
-                    if alt == cur {
-                        return 0.0;
+        for (i, (&fid, &default)) in input.flow_ids.iter().zip(&input.defaults).enumerate() {
+            let volume = self.flows.flows[fid.index()].volume;
+            let cur = current.choice(fid);
+            // Total-cost delta of moving the flow from `cur` to `alt`,
+            // computed over affected links only.
+            let cost_delta = |alt: IcxId| -> f64 {
+                if alt == cur {
+                    return 0.0;
+                }
+                let mut delta = 0.0;
+                let cur_links = self.side_links(fid, cur);
+                let alt_links = self.side_links(fid, alt);
+                for &l in alt_links {
+                    if !cur_links.contains(&l) {
+                        let cap = self.capacities[l.index()];
+                        let load = loads[l.index()];
+                        delta += fortz_link_cost(load + volume, cap) - fortz_link_cost(load, cap);
                     }
-                    let mut delta = 0.0;
-                    let cur_links = self.side_links(fid, cur);
-                    let alt_links = self.side_links(fid, alt);
-                    for &l in alt_links {
-                        if !cur_links.contains(&l) {
-                            let cap = self.capacities[l.index()];
-                            let load = loads[l.index()];
-                            delta +=
-                                fortz_link_cost(load + volume, cap) - fortz_link_cost(load, cap);
-                        }
+                }
+                for &l in cur_links {
+                    if !alt_links.contains(&l) {
+                        let cap = self.capacities[l.index()];
+                        let load = loads[l.index()];
+                        delta += fortz_link_cost((load - volume).max(0.0), cap)
+                            - fortz_link_cost(load, cap);
                     }
-                    for &l in cur_links {
-                        if !alt_links.contains(&l) {
-                            let cap = self.capacities[l.index()];
-                            let load = loads[l.index()];
-                            delta += fortz_link_cost((load - volume).max(0.0), cap)
-                                - fortz_link_cost(load, cap);
-                        }
-                    }
-                    delta
-                };
-                let base = cost_delta(default);
-                (0..input.num_alternatives)
-                    .map(|alt| base - cost_delta(IcxId::new(alt)))
-                    .collect()
-            })
-            .collect()
+                }
+                delta
+            };
+            let base = cost_delta(default);
+            for (alt, cell) in out.row_mut(i).iter_mut().enumerate() {
+                *cell = base - cost_delta(IcxId::new(alt));
+            }
+        }
     }
 }
 
@@ -323,6 +315,17 @@ mod tests {
         }
     }
 
+    /// Run a mapper through the caller-provided-table contract.
+    fn collect_gains<M: PreferenceMapper>(
+        mapper: &mut M,
+        input: &SessionInput,
+        current: &Assignment,
+    ) -> GainTable {
+        let mut out = GainTable::new(input.len(), input.num_alternatives);
+        mapper.gains(input, current, &mut out);
+        out
+    }
+
     #[test]
     fn distance_gains_are_km_saved() {
         let fx = Fixture::new();
@@ -334,19 +337,19 @@ mod tests {
         let current = Assignment::uniform(flows.len(), IcxId(0));
 
         let mut up = DistanceMapper::new(Side::A, &flows);
-        let gains = up.gains(&input, &current);
+        let gains = collect_gains(&mut up, &input, &current);
         // Flow a2->b0 (id 6): upstream km via icx0 = 200, via icx1 = 0;
         // gain of icx1 = +200.
-        assert_eq!(gains[6][0], 0.0, "default always 0");
-        assert_eq!(gains[6][1], 200.0);
+        assert_eq!(gains.get(6, 0), 0.0, "default always 0");
+        assert_eq!(gains.get(6, 1), 200.0);
         // Flow a0->b2 (id 2): upstream km via icx0 = 0, via icx1 = 200;
         // gain of icx1 = -200.
-        assert_eq!(gains[2][1], -200.0);
+        assert_eq!(gains.get(2, 1), -200.0);
 
         let mut down = DistanceMapper::new(Side::B, &flows);
-        let dgains = down.gains(&input, &current);
+        let dgains = collect_gains(&mut down, &input, &current);
         // Flow a0->b2: downstream km via icx0 = 200, via icx1 = 0.
-        assert_eq!(dgains[2][1], 200.0);
+        assert_eq!(dgains.get(2, 1), 200.0);
     }
 
     #[test]
@@ -362,12 +365,12 @@ mod tests {
         let current = Assignment::uniform(flows.len(), IcxId(0));
         let caps_a = vec![1.0; fx.a.num_links()];
         let mut up = BandwidthMapper::new(Side::A, &flows, &paths, &caps_a);
-        let gains = up.gains(&input, &current);
+        let gains = collect_gains(&mut up, &input, &current);
         // Flow a2->b0 (id 6): default path a2->a1->a0 rides both loaded
         // links; moving to icx1 empties its upstream path entirely
         // (src == exit PoP), a strictly positive gain.
-        assert!(gains[6][1] > 0.0);
-        assert_eq!(gains[6][0], 0.0);
+        assert!(gains.get(6, 1) > 0.0);
+        assert_eq!(gains.get(6, 0), 0.0);
     }
 
     #[test]
@@ -382,11 +385,11 @@ mod tests {
         let current = Assignment::uniform(flows.len(), IcxId(0));
         let caps = vec![1.0; fx.a.num_links()];
         let mut up = BandwidthMapper::new(Side::A, &flows, &paths, &caps);
-        let gains = up.gains(&input, &current);
+        let gains = collect_gains(&mut up, &input, &current);
         // Flow a0->b0 (id 0): default path inside upstream is empty (src
         // is the exit PoP), so cost(default) = 0 and the gain of the far
         // alternative is -(max ratio on a0..a2 path) < 0.
-        assert!(gains[0][1] < 0.0);
+        assert!(gains.get(0, 1) < 0.0);
     }
 
     #[test]
@@ -402,12 +405,12 @@ mod tests {
         // Upstream link 0 carries 6 units; capacity 6 means at-capacity.
         let caps = vec![6.0, 6.0];
         let mut up = FortzMapper::new(Side::A, &flows, &paths, &caps);
-        let gains = up.gains(&input, &current);
+        let gains = collect_gains(&mut up, &input, &current);
         // Moving a2->b0 off the congested path is a positive gain.
-        assert!(gains[6][1] > 0.0);
+        assert!(gains.get(6, 1) > 0.0);
         // Defaults are zero.
-        for row in &gains {
-            assert_eq!(row[0], 0.0);
+        for f in 0..gains.num_flows() {
+            assert_eq!(gains.get(f, 0), 0.0);
         }
     }
 
@@ -433,10 +436,10 @@ mod tests {
             Box::new(FortzMapper::new(Side::A, &flows, &paths, &caps_a)),
         ];
         for mut mapper in checks {
-            let gains = mapper.gains(&input, &current);
-            for (i, row) in gains.iter().enumerate() {
+            let gains = collect_gains(&mut mapper, &input, &current);
+            for i in 0..gains.num_flows() {
                 assert_eq!(
-                    row[input.defaults[i].index()],
+                    gains.get(i, input.defaults[i].index()),
                     0.0,
                     "default gain must be zero"
                 );

@@ -12,90 +12,149 @@
 //! one *global* linear scale per ISP per mapping round: the largest
 //! absolute metric delta maps to ±P and everything else scales
 //! proportionally.
+//!
+//! Tables are stored flat ([`crate::arena`]): one `Vec<i32>` with an
+//! explicit `(num_flows, num_alts)` shape, so rows are contiguous
+//! slices, the rectangular invariant is structural (a row's length
+//! cannot be changed through [`PrefTable::row_mut`]), and the backing
+//! buffer can be recycled through a [`crate::arena::TableArena`].
 
+use crate::arena::GainTable;
 use nexit_topology::IcxId;
 
 /// A preference table for one ISP over one negotiated flow set:
-/// `prefs[local_flow][alternative]` is the preference class.
+/// `prefs[local_flow][alternative]` is the preference class, stored
+/// row-major in one flat buffer.
 ///
 /// "Local flow" indices are positions within the *negotiated subset* (see
 /// [`crate::SessionInput`]), not global [`nexit_routing::FlowId`]s.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Eq)]
 pub struct PrefTable {
-    prefs: Vec<Vec<i32>>,
+    storage: Vec<i32>,
+    num_flows: usize,
+    num_alts: usize,
+}
+
+impl PartialEq for PrefTable {
+    fn eq(&self, other: &Self) -> bool {
+        // Empty tables compare equal regardless of their nominal
+        // alternative count (matching the historical rows-based
+        // comparison, where an empty table had no rows to disagree on).
+        self.num_flows == other.num_flows
+            && (self.num_flows == 0
+                || (self.num_alts == other.num_alts && self.storage == other.storage))
+    }
 }
 
 impl PrefTable {
     /// Build from raw rows. Every row must have the same number of
     /// alternatives.
-    pub fn new(prefs: Vec<Vec<i32>>) -> Self {
-        if let Some(first) = prefs.first() {
-            let k = first.len();
-            assert!(
-                prefs.iter().all(|row| row.len() == k),
-                "ragged preference table"
-            );
+    pub fn from_rows<R: AsRef<[i32]>>(rows: &[R]) -> Self {
+        let num_alts = rows.first().map_or(0, |r| r.as_ref().len());
+        let mut storage = Vec::with_capacity(rows.len() * num_alts);
+        for row in rows {
+            let row = row.as_ref();
+            assert_eq!(row.len(), num_alts, "ragged preference table");
+            storage.extend_from_slice(row);
         }
-        Self { prefs }
+        Self {
+            storage,
+            num_flows: rows.len(),
+            num_alts,
+        }
     }
 
     /// An all-zero (indifferent) table.
     pub fn zero(num_flows: usize, num_alternatives: usize) -> Self {
         Self {
-            prefs: vec![vec![0; num_alternatives]; num_flows],
+            storage: vec![0; num_flows * num_alternatives],
+            num_flows,
+            num_alts: num_alternatives,
+        }
+    }
+
+    /// Reshape to `(num_flows, num_alts)` and zero every class, keeping
+    /// the backing allocation.
+    pub fn reset(&mut self, num_flows: usize, num_alts: usize) {
+        self.storage.clear();
+        self.storage.resize(num_flows * num_alts, 0);
+        self.num_flows = num_flows;
+        self.num_alts = num_alts;
+    }
+
+    pub(crate) fn into_storage(self) -> Vec<i32> {
+        self.storage
+    }
+
+    pub(crate) fn from_storage(mut storage: Vec<i32>, num_flows: usize, num_alts: usize) -> Self {
+        storage.clear();
+        storage.resize(num_flows * num_alts, 0);
+        Self {
+            storage,
+            num_flows,
+            num_alts,
         }
     }
 
     /// Preference for a local flow index and alternative.
     #[inline]
     pub fn get(&self, local_flow: usize, alt: IcxId) -> i32 {
-        self.prefs[local_flow][alt.index()]
+        self.storage[local_flow * self.num_alts + alt.index()]
     }
 
-    /// Mutable access for one flow row.
+    /// Mutable access to one flow's row. The slice length is fixed, so
+    /// callers cannot break the rectangular-table invariant.
     #[inline]
-    pub fn row_mut(&mut self, local_flow: usize) -> &mut Vec<i32> {
-        &mut self.prefs[local_flow]
+    pub fn row_mut(&mut self, local_flow: usize) -> &mut [i32] {
+        &mut self.storage[local_flow * self.num_alts..(local_flow + 1) * self.num_alts]
     }
 
     /// One flow's preference row.
     #[inline]
     pub fn row(&self, local_flow: usize) -> &[i32] {
-        &self.prefs[local_flow]
+        &self.storage[local_flow * self.num_alts..(local_flow + 1) * self.num_alts]
     }
 
     /// Number of flows covered.
     #[inline]
     pub fn num_flows(&self) -> usize {
-        self.prefs.len()
+        self.num_flows
     }
 
     /// Number of alternatives per flow (0 for an empty table).
     #[inline]
     pub fn num_alternatives(&self) -> usize {
-        self.prefs.first().map_or(0, Vec::len)
+        if self.num_flows == 0 {
+            0
+        } else {
+            self.num_alts
+        }
     }
 
     /// Largest preference in the table (0 for an empty table).
     pub fn max_class(&self) -> i32 {
-        self.prefs
-            .iter()
-            .flat_map(|r| r.iter().copied())
-            .max()
-            .unwrap_or(0)
+        self.storage.iter().copied().max().unwrap_or(0)
     }
 
     /// Verify every class is within `[-p, p]`.
     pub fn within_range(&self, p: i32) -> bool {
-        self.prefs
-            .iter()
-            .flat_map(|r| r.iter())
-            .all(|&c| (-p..=p).contains(&c))
+        self.storage.iter().all(|&c| (-p..=p).contains(&c))
     }
 }
 
 /// Quantize raw metric *gains* into preference classes with one global
-/// linear scale.
+/// linear scale. Convenience wrapper over [`quantize_into`] allocating a
+/// fresh table.
+pub fn quantize(gains: &GainTable, p: i32) -> PrefTable {
+    let mut out = PrefTable::zero(gains.num_flows(), gains.num_alternatives());
+    quantize_into(gains, p, &mut out, &mut Vec::new());
+    out
+}
+
+/// Quantize raw metric *gains* into preference classes with one global
+/// linear scale, writing into `out` (reshaped in place) and using
+/// `magnitudes` as sort scratch — the hot-path form that allocates
+/// nothing once the buffers are warm.
 ///
 /// `gains[flow][alt]` is the ISP-internal improvement of the alternative
 /// over the flow's default (positive = better, in whatever unit the ISP
@@ -103,8 +162,9 @@ impl PrefTable {
 /// gains maps to all-zero classes. The default alternative of every flow
 /// has gain 0 by construction and therefore class 0, as the paper
 /// requires.
-pub fn quantize(gains: &[Vec<f64>], p: i32) -> PrefTable {
+pub fn quantize_into(gains: &GainTable, p: i32, out: &mut PrefTable, magnitudes: &mut Vec<f64>) {
     assert!(p > 0, "preference range must be positive");
+    out.reset(gains.num_flows(), gains.num_alternatives());
     // Robust scale: the 95th percentile of the nonzero |gains| maps to
     // ±p and larger outliers clamp. A plain maximum would let one
     // extreme flow (e.g. a transcontinental detour among regional flows)
@@ -112,14 +172,10 @@ pub fn quantize(gains: &[Vec<f64>], p: i32) -> PrefTable {
     // the negotiation needs; P "large enough to differentiate
     // alternatives with substantially different quality" (paper §4) is a
     // statement about the typical spread, not the single worst case.
-    let mut magnitudes: Vec<f64> = gains
-        .iter()
-        .flat_map(|r| r.iter())
-        .map(|g| g.abs())
-        .filter(|&g| g > 0.0)
-        .collect();
+    magnitudes.clear();
+    magnitudes.extend(gains.values().iter().map(|g| g.abs()).filter(|&g| g > 0.0));
     if magnitudes.is_empty() {
-        return PrefTable::new(gains.iter().map(|r| vec![0; r.len()]).collect());
+        return; // all-zero gains map to the all-zero table
     }
     magnitudes.sort_by(|a, b| a.partial_cmp(b).expect("finite gains"));
     let idx = ((magnitudes.len() as f64 * 0.95).ceil() as usize)
@@ -134,21 +190,18 @@ pub fn quantize(gains: &[Vec<f64>], p: i32) -> PrefTable {
     // its true metric change is >= 0 too (each +1 class is backed by at
     // least one quantum of true gain, each -1 class by at most one
     // quantum of true loss). Tested as a property in the engine suite.
-    PrefTable::new(
-        gains
-            .iter()
-            .map(|row| {
-                row.iter()
-                    .map(|g| ((g * scale).floor() as i32).clamp(-p, p))
-                    .collect()
-            })
-            .collect(),
-    )
+    for (cell, &g) in out.storage.iter_mut().zip(gains.values()) {
+        *cell = ((g * scale).floor() as i32).clamp(-p, p);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn gains<R: AsRef<[f64]>>(rows: &[R]) -> GainTable {
+        GainTable::from_rows(rows)
+    }
 
     #[test]
     fn zero_table() {
@@ -162,13 +215,30 @@ mod tests {
     #[test]
     #[should_panic(expected = "ragged")]
     fn rejects_ragged() {
-        PrefTable::new(vec![vec![0, 1], vec![0]]);
+        PrefTable::from_rows(&[vec![0, 1], vec![0]]);
+    }
+
+    #[test]
+    fn row_mut_cannot_resize() {
+        // The flat layout makes the rectangular invariant structural: a
+        // row is a fixed-length slice, not a growable vector.
+        let mut t = PrefTable::from_rows(&[vec![0, 1], vec![2, 3]]);
+        let row: &mut [i32] = t.row_mut(1);
+        row[0] = 7;
+        assert_eq!(t.row(1), &[7, 3]);
+        assert_eq!(t.num_alternatives(), 2);
+    }
+
+    #[test]
+    fn empty_tables_compare_equal() {
+        assert_eq!(PrefTable::zero(0, 2), PrefTable::zero(0, 5));
+        assert_ne!(PrefTable::zero(1, 2), PrefTable::zero(1, 3));
     }
 
     #[test]
     fn quantize_scales_to_range() {
         // Largest |gain| is 50 -> maps to 10; 25 -> 5; -50 -> -10.
-        let t = quantize(&[vec![0.0, 50.0], vec![25.0, -50.0]], 10);
+        let t = quantize(&gains(&[vec![0.0, 50.0], vec![25.0, -50.0]]), 10);
         assert_eq!(t.get(0, IcxId(0)), 0);
         assert_eq!(t.get(0, IcxId(1)), 10);
         assert_eq!(t.get(1, IcxId(0)), 5);
@@ -178,10 +248,10 @@ mod tests {
     #[test]
     fn quantize_floor_is_conservative() {
         // Gains round down, losses round away from zero.
-        let t = quantize(&[vec![0.0, 9.0, -1.0, -9.0, 10.0]], 10);
+        let t = quantize(&gains(&[vec![0.0, 9.0, -1.0, -9.0, 10.0]]), 10);
         // scale_base = p95 of {9,1,9,10} = 10 -> scale = 1.0
         assert_eq!(t.row(0), &[0, 9, -1, -9, 10]);
-        let t = quantize(&[vec![0.0, 14.0, -14.0, 100.0]], 10);
+        let t = quantize(&gains(&[vec![0.0, 14.0, -14.0, 100.0]]), 10);
         // p95 of {14,14,100} = 100 -> scale = 0.1: 1.4 -> 1, -1.4 -> -2
         assert_eq!(t.get(0, IcxId(1)), 1);
         assert_eq!(t.get(0, IcxId(2)), -2);
@@ -189,22 +259,35 @@ mod tests {
 
     #[test]
     fn quantize_all_zero() {
-        let t = quantize(&[vec![0.0, 0.0]], 10);
+        let t = quantize(&gains(&[vec![0.0, 0.0]]), 10);
         assert_eq!(t.row(0), &[0, 0]);
+    }
+
+    #[test]
+    fn quantize_into_reuses_buffers() {
+        let g = gains(&[vec![0.0, 50.0], vec![25.0, -50.0]]);
+        let mut out = PrefTable::zero(0, 0);
+        let mut scratch = Vec::new();
+        quantize_into(&g, 10, &mut out, &mut scratch);
+        assert_eq!(quantize(&g, 10), out);
+        // A second round with a different shape reuses both buffers.
+        let g2 = gains(&[vec![0.0, -3.0]]);
+        quantize_into(&g2, 10, &mut out, &mut scratch);
+        assert_eq!(quantize(&g2, 10), out);
     }
 
     #[test]
     fn quantize_is_global_not_per_flow() {
         // Flow 0 has a tiny gain, flow 1 a huge one; per-flow normalization
         // would give both class 10. Global scaling must keep flow 0 small.
-        let t = quantize(&[vec![0.0, 1.0], vec![0.0, 100.0]], 10);
+        let t = quantize(&gains(&[vec![0.0, 1.0], vec![0.0, 100.0]]), 10);
         assert_eq!(t.get(1, IcxId(1)), 10);
         assert!(t.get(0, IcxId(1)) <= 1, "tiny gain must stay tiny");
     }
 
     #[test]
     fn max_class_and_range() {
-        let t = quantize(&[vec![0.0, 3.0, -7.0]], 5);
+        let t = quantize(&gains(&[vec![0.0, 3.0, -7.0]]), 5);
         assert!(t.within_range(5));
         assert_eq!(t.max_class(), 2); // 3/7*5 = 2.14 -> 2
         assert!(!t.within_range(1));
@@ -217,24 +300,24 @@ mod tests {
         proptest! {
             #[test]
             fn quantize_always_within_range(
-                (gains, p) in (1usize..6).prop_flat_map(|k| (
+                (rows, p) in (1usize..6).prop_flat_map(|k| (
                     proptest::collection::vec(
                         proptest::collection::vec(-1e6f64..1e6, k), 1..20),
                     1i32..50,
                 )),
             ) {
-                let t = quantize(&gains, p);
+                let t = quantize(&gains(&rows), p);
                 prop_assert!(t.within_range(p));
             }
 
             #[test]
             fn quantize_preserves_sign_and_order_per_flow(
-                gains in (2usize..6).prop_flat_map(|k| proptest::collection::vec(
+                rows in (2usize..6).prop_flat_map(|k| proptest::collection::vec(
                     proptest::collection::vec(-1e3f64..1e3, k), 1..10)),
             ) {
                 let p = 1000; // large range: ordering must survive rounding
-                let t = quantize(&gains, p);
-                for (fi, row) in gains.iter().enumerate() {
+                let t = quantize(&gains(&rows), p);
+                for (fi, row) in rows.iter().enumerate() {
                     for (ai, &g) in row.iter().enumerate() {
                         let c = t.get(fi, IcxId::new(ai));
                         if g > 0.0 { prop_assert!(c >= 0); }

@@ -317,8 +317,8 @@ pub fn decide_turn(
 mod tests {
     use super::*;
 
-    fn table(rows: Vec<Vec<i32>>) -> PrefTable {
-        PrefTable::new(rows)
+    fn table<R: AsRef<[i32]>>(rows: &[R]) -> PrefTable {
+        PrefTable::from_rows(rows)
     }
 
     #[test]
@@ -342,8 +342,8 @@ mod tests {
 
     #[test]
     fn combined_best_skips_banned() {
-        let a = table(vec![vec![0, 5, 3]]);
-        let b = table(vec![vec![0, 5, 4]]);
+        let a = table(&[vec![0, 5, 3]]);
+        let b = table(&[vec![0, 5, 4]]);
         let mut state = TableState::new(1, 3);
         assert_eq!(
             combined_best(&a, &b, &state, 0, 3, IcxId(0)),
@@ -355,16 +355,16 @@ mod tests {
 
     #[test]
     fn combined_best_prefers_default_on_tie() {
-        let a = table(vec![vec![0, 0, 0]]);
-        let b = table(vec![vec![0, 0, 0]]);
+        let a = table(&[vec![0, 0, 0]]);
+        let b = table(&[vec![0, 0, 0]]);
         let state = TableState::new(1, 3);
         assert_eq!(combined_best(&a, &b, &state, 0, 3, IcxId(2)), (IcxId(2), 0));
     }
 
     #[test]
     fn proposal_respects_guard() {
-        let own = table(vec![vec![0, -5]]);
-        let other = table(vec![vec![0, 10]]);
+        let own = table(&[vec![0, -5]]);
+        let other = table(&[vec![0, 10]]);
         let state = TableState::new(1, 2);
         let defaults = [IcxId(0)];
         // Without guard: combined max picks alt 1 (sum 5).
@@ -404,7 +404,7 @@ mod tests {
 
     #[test]
     fn projection_empty_is_zero() {
-        let t = table(vec![]);
+        let t = table::<[i32; 0]>(&[]);
         let state = TableState::new(0, 2);
         assert_eq!(projected_gain(&t, &t, &t, &state, 2, &[]), 0);
     }
@@ -412,8 +412,8 @@ mod tests {
     #[test]
     fn rollback_reverts_worst_until_nonnegative() {
         // Moves: (A -5, B +9), (A +3, B 0), (A -1, B +2). gains A=-3, B=11.
-        let d_a = table(vec![vec![0, -5], vec![0, 3], vec![0, -1]]);
-        let d_b = table(vec![vec![0, 9], vec![0, 0], vec![0, 2]]);
+        let d_a = table(&[vec![0, -5], vec![0, 3], vec![0, -1]]);
+        let d_b = table(&[vec![0, 9], vec![0, 0], vec![0, 2]]);
         let accepted = vec![(0, IcxId(1)), (1, IcxId(1)), (2, IcxId(1))];
         let plan = rollback_plan(&d_a, &d_b, &accepted, -3, 11);
         // A reverts its worst move (idx 0, -5): gains A=2, B=2; done.
@@ -422,7 +422,7 @@ mod tests {
 
     #[test]
     fn rollback_noop_when_both_nonnegative() {
-        let d = table(vec![vec![0, 1]]);
+        let d = table(&[vec![0, 1]]);
         assert!(rollback_plan(&d, &d, &[(0, IcxId(1))], 1, 1).is_empty());
     }
 

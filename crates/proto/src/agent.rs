@@ -416,12 +416,15 @@ fn encode_prefs(prefs: &PrefTable) -> Vec<Vec<i16>> {
 /// Widen wire classes back to a [`PrefTable`]. Shape and range are
 /// validated by the machine.
 fn decode_prefs(prefs: Vec<Vec<i16>>) -> PrefTable {
-    PrefTable::new(
-        prefs
-            .into_iter()
-            .map(|row| row.into_iter().map(i32::from).collect())
-            .collect(),
-    )
+    let num_alts = prefs.first().map_or(0, Vec::len);
+    let mut out = PrefTable::zero(prefs.len(), num_alts);
+    for (f, row) in prefs.iter().enumerate() {
+        assert_eq!(row.len(), num_alts, "ragged preference table");
+        for (cell, &c) in out.row_mut(f).iter_mut().zip(row) {
+            *cell = i32::from(c);
+        }
+    }
+    out
 }
 
 fn handshake_name(h: Handshake) -> &'static str {

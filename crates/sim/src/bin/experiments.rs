@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! experiments [all|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fraction|prange|groups|modes|models]
+//! experiments [all|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fraction|prange|groups|modes|models|dest]
 //!             [--smoke] [--pairs N] [--seed N] [--threads N]
 //! ```
 //!
@@ -18,7 +18,7 @@ use nexit_topology::{GeneratorConfig, TopologyGenerator, Universe};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [all|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fraction|prange|groups|modes|models] [--smoke] [--pairs N] [--seed N] [--threads N]"
+        "usage: experiments [all|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fraction|prange|groups|modes|models|dest] [--smoke] [--pairs N] [--seed N] [--threads N]"
     );
     std::process::exit(2);
 }
@@ -71,7 +71,7 @@ fn main() {
 
     const TARGETS: &[&str] = &[
         "all", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fraction",
-        "prange", "groups", "modes", "models",
+        "prange", "groups", "modes", "models", "dest",
     ];
     if !TARGETS.contains(&target.as_str()) {
         eprintln!("unknown target `{target}`");
@@ -145,6 +145,12 @@ fn main() {
         eprintln!("running protocol-mode ablation ...");
         let rows = ablation::mode_comparison(&universe, &cfg);
         ablation::report_modes(&rows);
+        println!();
+    }
+    if want("dest") {
+        eprintln!("running destination-granularity negotiation (footnote 2) ...");
+        let results = nexit_sim::destination::run(&universe, &cfg);
+        nexit_sim::destination::report(&results);
         println!();
     }
     if want("models") {

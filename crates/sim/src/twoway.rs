@@ -12,7 +12,7 @@
 //! row-major order). A combined [`Assignment`] spans both ranges.
 
 use crate::pairdata::PairData;
-use nexit_core::{PreferenceMapper, SessionInput, Side};
+use nexit_core::{GainTable, PreferenceMapper, SessionInput, Side};
 use nexit_routing::{Assignment, FlowId, PairFlows};
 
 /// A combined two-direction session: input plus the stitched default
@@ -97,35 +97,30 @@ impl<'a> TwoWayDistanceMapper<'a> {
 }
 
 impl PreferenceMapper for TwoWayDistanceMapper<'_> {
-    fn gains(&mut self, input: &SessionInput, _current: &Assignment) -> Vec<Vec<f64>> {
-        input
-            .flow_ids
-            .iter()
-            .zip(&input.defaults)
-            .map(|(&fid, &default)| {
-                // Which direction does this combined index belong to, and
-                // which side of that direction's view are we?
-                let (metrics, upstream_here) = if fid.index() < self.n_fwd {
-                    (&self.fwd.metrics[fid.index()], self.side == Side::A)
+    fn gains(&mut self, input: &SessionInput, _current: &Assignment, out: &mut GainTable) {
+        for (i, (&fid, &default)) in input.flow_ids.iter().zip(&input.defaults).enumerate() {
+            // Which direction does this combined index belong to, and
+            // which side of that direction's view are we?
+            let (metrics, upstream_here) = if fid.index() < self.n_fwd {
+                (&self.fwd.metrics[fid.index()], self.side == Side::A)
+            } else {
+                (
+                    &self.rev.metrics[fid.index() - self.n_fwd],
+                    self.side == Side::B,
+                )
+            };
+            let km = |alt: usize| {
+                if upstream_here {
+                    metrics.up_km[alt]
                 } else {
-                    (
-                        &self.rev.metrics[fid.index() - self.n_fwd],
-                        self.side == Side::B,
-                    )
-                };
-                let km = |alt: usize| {
-                    if upstream_here {
-                        metrics.up_km[alt]
-                    } else {
-                        metrics.down_km[alt]
-                    }
-                };
-                let base = km(default.index());
-                (0..input.num_alternatives)
-                    .map(|alt| base - km(alt))
-                    .collect()
-            })
-            .collect()
+                    metrics.down_km[alt]
+                }
+            };
+            let base = km(default.index());
+            for (alt, cell) in out.row_mut(i).iter_mut().enumerate() {
+                *cell = base - km(alt);
+            }
+        }
     }
 }
 
@@ -201,10 +196,11 @@ mod tests {
         let session = TwoWaySession::build(&fwd, &rev);
         for side in [Side::A, Side::B] {
             let mut mapper = TwoWayDistanceMapper::new(side, &fwd.flows, &rev.flows, session.n_fwd);
-            let gains = mapper.gains(&session.input, &session.default);
-            for (i, row) in gains.iter().enumerate() {
+            let mut gains = GainTable::new(session.input.len(), session.input.num_alternatives);
+            mapper.gains(&session.input, &session.default, &mut gains);
+            for i in 0..gains.num_flows() {
                 assert_eq!(
-                    row[session.input.defaults[i].index()],
+                    gains.get(i, session.input.defaults[i].index()),
                     0.0,
                     "default column must be zero"
                 );

@@ -8,7 +8,7 @@
 //! silently change its outcome.
 
 use nexit::core::{
-    negotiate, DisclosurePolicy, DistanceMapper, NexitConfig, Party, PreferenceMapper,
+    negotiate, DisclosurePolicy, DistanceMapper, GainTable, NexitConfig, Party, PreferenceMapper,
     SessionInput, Side,
 };
 use nexit::proto::{run_session, Agent, FaultConfig, FaultyLink, ProtoError};
@@ -185,8 +185,8 @@ fn cheating_upstream_is_rejected_in_protocol() {
     };
     struct Null;
     impl PreferenceMapper for Null {
-        fn gains(&mut self, i: &SessionInput, _c: &Assignment) -> Vec<Vec<f64>> {
-            vec![vec![0.0; i.num_alternatives]; i.len()]
+        fn gains(&mut self, _i: &SessionInput, _c: &Assignment, _out: &mut GainTable) {
+            // Indifferent to everything: the table arrives zeroed.
         }
     }
     let err = Agent::new(
@@ -214,12 +214,12 @@ fn cheating_upstream_is_rejected_in_protocol() {
 /// sessions, rich enough to exercise trades, vetoes and reassignment.
 #[derive(Clone)]
 struct TableMapper {
-    gains: Vec<Vec<f64>>,
+    gains: GainTable,
 }
 
 impl PreferenceMapper for TableMapper {
-    fn gains(&mut self, _i: &SessionInput, _c: &Assignment) -> Vec<Vec<f64>> {
-        self.gains.clone()
+    fn gains(&mut self, _i: &SessionInput, _c: &Assignment, out: &mut GainTable) {
+        out.copy_from(&self.gains);
     }
 }
 
@@ -247,6 +247,8 @@ fn check_faulty_session(
     let n = gains_a.len();
     let k = gains_a[0].len();
     let (input, default) = synthetic_session(n, k);
+    let gains_a = GainTable::from_rows(&gains_a);
+    let gains_b = GainTable::from_rows(&gains_b);
 
     let mut pa = Party::honest(
         "A",
