@@ -10,7 +10,9 @@
 //! * [`optimal_bandwidth()`](optimal_bandwidth::optimal_bandwidth) — the globally optimal overload routing: the
 //!   fractional LP that minimizes the maximum post-failure link-load
 //!   ratio across both ISPs (§5.2); an upper bound on unsplittable
-//!   routing quality, exactly as in the paper,
+//!   routing quality, exactly as in the paper. Failure sweeps hold a
+//!   [`BandwidthLp`](optimal_bandwidth::BandwidthLp) session instead:
+//!   per-scenario skeletons built once, re-solves warm-started,
 //! * [`flow_filters`] — the flow-Pareto and flow-both-better strategies
 //!   of Figure 5, which discard obviously bad paths per opposite-flow
 //!   pair but do not negotiate,
@@ -27,6 +29,8 @@ pub mod unilateral;
 
 pub use flow_filters::{flow_both_better, flow_pareto};
 pub use grouped::negotiate_in_groups;
-pub use optimal_bandwidth::{optimal_bandwidth, BandwidthOptimum, OptimalBandwidthError};
+pub use optimal_bandwidth::{
+    optimal_bandwidth, BandwidthLp, BandwidthOptimum, OptimalBandwidthError,
+};
 pub use optimal_distance::optimal_distance;
 pub use unilateral::unilateral_upstream;

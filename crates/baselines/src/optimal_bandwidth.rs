@@ -20,9 +20,33 @@
 //! `residual(l)` is the load from flows *not* on the negotiation table
 //! (they stay on their default paths). The optimum `t` is the fractional
 //! MEL across both ISPs treated as one system.
+//!
+//! # Incremental sessions and warm starts
+//!
+//! [`BandwidthLp`] is the per-pair session the failure sweeps use: it
+//! builds each scenario's constraint skeleton **once** and re-solves it
+//! with patched right-hand sides through a retained
+//! [`nexit_lp::SimplexWorkspace`], so every re-solve after the first
+//! warm-starts from the previous optimal basis instead of cold-starting
+//! the two-phase simplex. Only the capacity residuals change between
+//! re-solves of a scenario (e.g. under scaled background traffic —
+//! [`BandwidthLp::solve_failure_scaled`]), which is exactly the rhs-only
+//! pattern the workspace's dual-simplex re-entry repairs in a handful of
+//! pivots.
+//!
+//! A note on scope, from measurement: *different* failure scenarios of a
+//! pair do **not** share enough structure to warm-start across — their
+//! impacted-flow sets are disjoint (a flow is impacted by exactly the
+//! failure of its default interconnection) and often wildly imbalanced,
+//! so a shared union-of-scenarios program is several times larger than
+//! the per-scenario programs and loses far more to its size than basis
+//! reuse recovers. The session therefore keeps one compact skeleton and
+//! one workspace *per scenario* — the first solve of each is bit-identical
+//! to the standalone [`optimal_bandwidth`] (same construction, same cold
+//! path) and warm starts pay off across each scenario's re-solves.
 
 use nexit_core::GainTable;
-use nexit_lp::{solve_with, ConstraintOp, LpOutcome, LpProblem, SimplexOptions};
+use nexit_lp::{ConstraintOp, LpOutcome, LpProblem, SimplexOptions, SimplexWorkspace, WarmStats};
 use nexit_routing::{Assignment, FlowId, PairFlows};
 use nexit_topology::{IcxId, PairView};
 use nexit_workload::{LinkLoads, PathTable};
@@ -58,7 +82,10 @@ impl BandwidthOptimum {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum OptimalBandwidthError {
     /// The LP solver hit its iteration cap (pathological input).
-    SolverLimit,
+    SolverLimit {
+        /// Pivots the solver actually consumed before giving up.
+        iterations: usize,
+    },
     /// The LP was reported infeasible or unbounded — impossible for this
     /// formulation (`x = default split, t large` is always feasible), so
     /// it indicates a numerical failure worth surfacing.
@@ -68,7 +95,9 @@ pub enum OptimalBandwidthError {
 impl std::fmt::Display for OptimalBandwidthError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            OptimalBandwidthError::SolverLimit => write!(f, "simplex iteration cap reached"),
+            OptimalBandwidthError::SolverLimit { iterations } => {
+                write!(f, "simplex iteration cap reached after {iterations} pivots")
+            }
             OptimalBandwidthError::Numerical(what) => {
                 write!(f, "LP reported {what} for a trivially feasible program")
             }
@@ -78,15 +107,31 @@ impl std::fmt::Display for OptimalBandwidthError {
 
 impl std::error::Error for OptimalBandwidthError {}
 
-/// Solve the fractional optimum for the impacted flows.
-///
-/// * `default_assignment` routes every flow; flows in `impacted` become
-///   LP variables, all others contribute residual load at their assigned
-///   interconnection.
-/// * `up_capacities` / `down_capacities` are the per-link capacities of
-///   the two ISPs (from [`nexit_workload::assign_capacities`]).
-#[allow(clippy::too_many_arguments)]
-pub fn optimal_bandwidth(
+/// Shared solver options: the failure-sweep programs occasionally need
+/// more pivots than the default cap.
+fn solver_options() -> SimplexOptions {
+    SimplexOptions {
+        max_iterations: 500_000,
+        ..SimplexOptions::default()
+    }
+}
+
+/// One scenario's built program: the patchable LP, its capacity rows'
+/// unscaled residuals, and the residual loads for reconstructing the
+/// optimum's link loads.
+struct Program {
+    problem: LpProblem,
+    /// `(problem row, residual)` per retained capacity row; re-solving at
+    /// `residual_scale = s` sets the row's rhs to `-residual * s`.
+    cap_rows: Vec<(usize, f64)>,
+    /// Residual loads (non-impacted flows on their defaults), unscaled.
+    residual: LinkLoads,
+}
+
+/// Build one scenario's program. Variable 0 is `t`; `x[j][i]` follows in
+/// row-major order; flow-conservation rows come first, then one capacity
+/// row per link carrying impacted or residual load.
+fn build_program(
     view: &PairView<'_>,
     paths: &PathTable,
     flows: &PairFlows,
@@ -94,7 +139,7 @@ pub fn optimal_bandwidth(
     default_assignment: &Assignment,
     up_capacities: &[f64],
     down_capacities: &[f64],
-) -> Result<BandwidthOptimum, OptimalBandwidthError> {
+) -> Program {
     let k = view.num_interconnections();
     let num_up = view.a.num_links();
 
@@ -136,6 +181,7 @@ pub fn optimal_bandwidth(
             }
         }
     }
+    let mut cap_rows = Vec::new();
     for (lkey, coeffs) in per_link.into_iter().enumerate() {
         let (res, cap) = if lkey < num_up {
             (residual.up[lkey], up_capacities[lkey])
@@ -154,41 +200,273 @@ pub fn optimal_bandwidth(
         }
         let mut row: Vec<(usize, f64)> = merged.into_iter().collect();
         row.push((t_var, -cap));
+        cap_rows.push((lp.num_constraints(), res));
         lp.add_constraint(row, ConstraintOp::Le, -res);
     }
 
-    let options = SimplexOptions {
-        max_iterations: 500_000,
-        ..SimplexOptions::default()
-    };
-    match solve_with(&lp, options) {
-        LpOutcome::Optimal { solution, .. } => {
-            let t = solution[t_var];
-            let mut fractions = GainTable::new(impacted.len(), k);
-            for j in 0..impacted.len() {
-                for (i, cell) in fractions.row_mut(j).iter_mut().enumerate() {
-                    *cell = solution[x_var(j, i)];
-                }
-            }
-            // Reconstruct loads: residual + fractional impacted flows.
-            let mut loads = residual;
-            for (j, &fid) in impacted.iter().enumerate() {
-                let vol = flows.flows[fid.index()].volume;
-                for (i, &frac) in fractions.row(j).iter().enumerate() {
-                    if frac > 1e-12 {
-                        loads.add_flow(paths, fid, IcxId::new(i), vol * frac);
-                    }
-                }
-            }
-            Ok(BandwidthOptimum {
-                t,
-                fractions,
-                loads,
-            })
+    Program {
+        problem: lp,
+        cap_rows,
+        residual,
+    }
+}
+
+/// Interpret one solve's solution vector: objective `t`, per-flow
+/// fractions and reconstructed link loads (residual scaled by
+/// `residual_scale`, plus the impacted flows' fractional routes).
+fn extract_optimum(
+    solution: &[f64],
+    impacted: &[FlowId],
+    k: usize,
+    paths: &PathTable,
+    flows: &PairFlows,
+    residual: &LinkLoads,
+    residual_scale: f64,
+) -> BandwidthOptimum {
+    let t = solution[0];
+    let x_var = |j: usize, i: usize| 1 + j * k + i;
+    let mut fractions = GainTable::new(impacted.len(), k);
+    for j in 0..impacted.len() {
+        for (i, cell) in fractions.row_mut(j).iter_mut().enumerate() {
+            *cell = solution[x_var(j, i)];
         }
+    }
+    // Reconstruct loads: (scaled) residual + fractional impacted flows.
+    let mut loads = residual.clone();
+    if residual_scale != 1.0 {
+        for v in loads.up.iter_mut().chain(loads.down.iter_mut()) {
+            *v *= residual_scale;
+        }
+    }
+    for (j, &fid) in impacted.iter().enumerate() {
+        let vol = flows.flows[fid.index()].volume;
+        for (i, &frac) in fractions.row(j).iter().enumerate() {
+            if frac > 1e-12 {
+                loads.add_flow(paths, fid, IcxId::new(i), vol * frac);
+            }
+        }
+    }
+    BandwidthOptimum {
+        t,
+        fractions,
+        loads,
+    }
+}
+
+/// Map a solver outcome to the optimum or an error.
+fn finish_solve(
+    outcome: LpOutcome,
+    impacted: &[FlowId],
+    k: usize,
+    paths: &PathTable,
+    flows: &PairFlows,
+    residual: &LinkLoads,
+    residual_scale: f64,
+) -> Result<BandwidthOptimum, OptimalBandwidthError> {
+    match outcome {
+        LpOutcome::Optimal { solution, .. } => Ok(extract_optimum(
+            &solution,
+            impacted,
+            k,
+            paths,
+            flows,
+            residual,
+            residual_scale,
+        )),
         LpOutcome::Infeasible => Err(OptimalBandwidthError::Numerical("infeasible")),
         LpOutcome::Unbounded => Err(OptimalBandwidthError::Numerical("unbounded")),
-        LpOutcome::IterationLimit => Err(OptimalBandwidthError::SolverLimit),
+        LpOutcome::IterationLimit { iterations } => {
+            Err(OptimalBandwidthError::SolverLimit { iterations })
+        }
+    }
+}
+
+/// Solve the fractional optimum for the impacted flows.
+///
+/// * `default_assignment` routes every flow; flows in `impacted` become
+///   LP variables, all others contribute residual load at their assigned
+///   interconnection.
+/// * `up_capacities` / `down_capacities` are the per-link capacities of
+///   the two ISPs (from [`nexit_workload::assign_capacities`]).
+///
+/// This is the standalone cold-start build; sweeps that re-solve
+/// scenarios should hold a [`BandwidthLp`] session instead.
+#[allow(clippy::too_many_arguments)]
+pub fn optimal_bandwidth(
+    view: &PairView<'_>,
+    paths: &PathTable,
+    flows: &PairFlows,
+    impacted: &[FlowId],
+    default_assignment: &Assignment,
+    up_capacities: &[f64],
+    down_capacities: &[f64],
+) -> Result<BandwidthOptimum, OptimalBandwidthError> {
+    let k = view.num_interconnections();
+    let program = build_program(
+        view,
+        paths,
+        flows,
+        impacted,
+        default_assignment,
+        up_capacities,
+        down_capacities,
+    );
+    let outcome = nexit_lp::solve_with(&program.problem, solver_options());
+    finish_solve(outcome, impacted, k, paths, flows, &program.residual, 1.0)
+}
+
+/// One prepared failure scenario inside a [`BandwidthLp`] session.
+struct ScenarioLp<'a> {
+    failed: IcxId,
+    impacted: Vec<FlowId>,
+    k: usize,
+    paths: &'a PathTable,
+    flows: &'a PairFlows,
+    program: Program,
+    workspace: SimplexWorkspace,
+}
+
+/// An incremental per-pair LP session for failure sweeps.
+///
+/// Register every scenario once with [`BandwidthLp::add_scenario`] (the
+/// skeleton is built exactly like [`optimal_bandwidth`] builds its
+/// program, so the first solve of each scenario is bit-identical to the
+/// standalone path), then re-solve freely: each scenario keeps its own
+/// [`SimplexWorkspace`], so repeated solves — identical or with patched
+/// capacity residuals via [`BandwidthLp::solve_failure_scaled`] — re-enter
+/// the simplex warm from the retained optimal basis.
+#[derive(Default)]
+pub struct BandwidthLp<'a> {
+    scenarios: Vec<ScenarioLp<'a>>,
+}
+
+impl<'a> BandwidthLp<'a> {
+    /// An empty session.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register one failure scenario: `view`/`paths`/`flows`/`defaults`
+    /// describe the **reduced** (post-failure) pair, `impacted` the flows
+    /// to re-route, `failed` the failed interconnection's id in the full
+    /// pair (the session's lookup key).
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_scenario(
+        &mut self,
+        failed: IcxId,
+        view: &PairView<'a>,
+        paths: &'a PathTable,
+        flows: &'a PairFlows,
+        impacted: &[FlowId],
+        default_assignment: &Assignment,
+        up_capacities: &[f64],
+        down_capacities: &[f64],
+    ) {
+        debug_assert!(
+            !self.scenarios.iter().any(|s| s.failed == failed),
+            "scenario for failed {failed:?} registered twice"
+        );
+        let program = build_program(
+            view,
+            paths,
+            flows,
+            impacted,
+            default_assignment,
+            up_capacities,
+            down_capacities,
+        );
+        self.scenarios.push(ScenarioLp {
+            failed,
+            impacted: impacted.to_vec(),
+            k: view.num_interconnections(),
+            paths,
+            flows,
+            program,
+            workspace: SimplexWorkspace::with_options(solver_options()),
+        });
+    }
+
+    /// Number of registered scenarios.
+    pub fn num_scenarios(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Whether a scenario is registered for this failure.
+    pub fn has_scenario(&self, failed: IcxId) -> bool {
+        self.scenarios.iter().any(|s| s.failed == failed)
+    }
+
+    /// LP variable count of one registered scenario (for size gating).
+    pub fn scenario_variables(&self, failed: IcxId) -> Option<usize> {
+        self.scenarios
+            .iter()
+            .find(|s| s.failed == failed)
+            .map(|s| s.program.problem.num_variables())
+    }
+
+    /// Aggregate warm/cold counters across all scenario workspaces.
+    pub fn warm_stats(&self) -> WarmStats {
+        let mut total = WarmStats::default();
+        for s in &self.scenarios {
+            let w = s.workspace.stats();
+            total.cold_solves += w.cold_solves;
+            total.warm_solves += w.warm_solves;
+            total.warm_fallbacks += w.warm_fallbacks;
+        }
+        total
+    }
+
+    /// Drop every retained basis: the next solve of each scenario is
+    /// forced cold (benchmarking the cold path through the identical
+    /// formulation).
+    pub fn invalidate_warm(&mut self) {
+        for s in &mut self.scenarios {
+            s.workspace.invalidate();
+        }
+    }
+
+    /// Solve one registered scenario at the baseline residual load.
+    /// Panics if the scenario was never registered.
+    pub fn solve_failure(
+        &mut self,
+        failed: IcxId,
+    ) -> Result<BandwidthOptimum, OptimalBandwidthError> {
+        self.solve_failure_scaled(failed, 1.0)
+    }
+
+    /// Solve one registered scenario with the background (residual) load
+    /// scaled by `residual_scale` — the what-if-traffic-grows variant of
+    /// the optimum. The impacted flows' own volumes are unscaled; only
+    /// the non-negotiated background shifts. This is an rhs-only patch of
+    /// the scenario skeleton, so consecutive solves of one scenario
+    /// warm-start from each other's bases.
+    pub fn solve_failure_scaled(
+        &mut self,
+        failed: IcxId,
+        residual_scale: f64,
+    ) -> Result<BandwidthOptimum, OptimalBandwidthError> {
+        assert!(
+            residual_scale.is_finite() && residual_scale >= 0.0,
+            "residual scale must be finite and non-negative"
+        );
+        let scenario = self
+            .scenarios
+            .iter_mut()
+            .find(|s| s.failed == failed)
+            .unwrap_or_else(|| panic!("no scenario registered for failed {failed:?}"));
+        for &(row, res) in &scenario.program.cap_rows {
+            scenario.program.problem.set_rhs(row, -res * residual_scale);
+        }
+        let outcome = scenario.workspace.solve(&scenario.program.problem);
+        finish_solve(
+            outcome,
+            &scenario.impacted,
+            scenario.k,
+            scenario.paths,
+            scenario.flows,
+            &scenario.program.residual,
+            residual_scale,
+        )
     }
 }
 
@@ -353,5 +631,190 @@ mod tests {
         let loads = link_loads(&view, &paths, &flows, &default);
         let expect = mel(&loads.up, &caps_a).max(mel(&loads.down, &caps_b));
         assert!((opt.t - expect).abs() < 1e-6);
+    }
+
+    /// The session's first solve of a scenario is the standalone build:
+    /// same program, same cold path, identical results.
+    #[test]
+    fn session_first_solve_matches_standalone() {
+        let fx = fixture();
+        let view = PairView::new(&fx.a, &fx.b, &fx.pair);
+        let sp_a = ShortestPaths::compute(&fx.a);
+        let sp_b = ShortestPaths::compute(&fx.b);
+        let flows = PairFlows::build(&view, &sp_a, &sp_b, |s, d| {
+            1.0 + (s.index() + 2 * d.index()) as f64
+        });
+        let paths = PathTable::build(&view, &sp_a, &sp_b, &flows);
+        let caps_a = vec![4.0; fx.a.num_links()];
+        let caps_b = vec![4.0; fx.b.num_links()];
+        let default = Assignment::uniform(flows.len(), IcxId(0));
+        let impacted: Vec<FlowId> = (0..flows.len())
+            .filter(|f| f % 2 == 0)
+            .map(FlowId::new)
+            .collect();
+
+        let standalone =
+            optimal_bandwidth(&view, &paths, &flows, &impacted, &default, &caps_a, &caps_b)
+                .unwrap();
+        let mut session = BandwidthLp::new();
+        session.add_scenario(
+            IcxId(0),
+            &view,
+            &paths,
+            &flows,
+            &impacted,
+            &default,
+            &caps_a,
+            &caps_b,
+        );
+        let via_session = session.solve_failure(IcxId(0)).unwrap();
+        assert_eq!(via_session.t.to_bits(), standalone.t.to_bits());
+        assert_eq!(via_session.fractions, standalone.fractions);
+        assert_eq!(via_session.loads, standalone.loads);
+    }
+
+    /// Warm re-solves across residual scales must agree with fresh cold
+    /// solves of the equivalently scaled program.
+    #[test]
+    fn warm_scaled_resolves_match_cold() {
+        let fx = fixture();
+        let view = PairView::new(&fx.a, &fx.b, &fx.pair);
+        let sp_a = ShortestPaths::compute(&fx.a);
+        let sp_b = ShortestPaths::compute(&fx.b);
+        let flows = PairFlows::build(&view, &sp_a, &sp_b, |s, d| {
+            1.0 + (s.index() * 2 + d.index()) as f64
+        });
+        let paths = PathTable::build(&view, &sp_a, &sp_b, &flows);
+        let caps_a = vec![5.0; fx.a.num_links()];
+        let caps_b = vec![5.0; fx.b.num_links()];
+        let default = Assignment::uniform(flows.len(), IcxId(0));
+        let impacted: Vec<FlowId> = (0..flows.len())
+            .filter(|f| f % 3 != 0)
+            .map(FlowId::new)
+            .collect();
+
+        let mut warm = BandwidthLp::new();
+        warm.add_scenario(
+            IcxId(0),
+            &view,
+            &paths,
+            &flows,
+            &impacted,
+            &default,
+            &caps_a,
+            &caps_b,
+        );
+        let mut cold = BandwidthLp::new();
+        cold.add_scenario(
+            IcxId(0),
+            &view,
+            &paths,
+            &flows,
+            &impacted,
+            &default,
+            &caps_a,
+            &caps_b,
+        );
+
+        for scale in [1.0, 1.1, 1.25, 1.5, 2.0, 0.75, 0.0] {
+            let w = warm.solve_failure_scaled(IcxId(0), scale).unwrap();
+            cold.invalidate_warm();
+            let c = cold.solve_failure_scaled(IcxId(0), scale).unwrap();
+            assert!(
+                (w.t - c.t).abs() < 1e-9,
+                "scale {scale}: warm t {} != cold t {}",
+                w.t,
+                c.t
+            );
+            // The warm solution realizes its own objective: max
+            // load-to-capacity ratio of the reconstructed loads is t.
+            let realized = mel(&w.loads.up, &caps_a).max(mel(&w.loads.down, &caps_b));
+            assert!(
+                (realized - w.t).abs() < 1e-6,
+                "scale {scale}: realized {realized} vs t {}",
+                w.t
+            );
+            for j in 0..w.fractions.num_flows() {
+                let s: f64 = w.fractions.row(j).iter().sum();
+                assert!((s - 1.0).abs() < 1e-6);
+            }
+        }
+        // The chain must actually have warm-started (deterministic, so
+        // this cannot flake).
+        let stats = warm.warm_stats();
+        assert!(stats.warm_solves >= 4, "warm stats: {stats:?}");
+        assert_eq!(cold.warm_stats().warm_solves, 0);
+    }
+
+    /// Per-scenario workspaces: solving different failures in
+    /// interleaved order still warm-starts each scenario's re-solves.
+    #[test]
+    fn interleaved_scenarios_keep_their_bases() {
+        let fx = fixture();
+        let view = PairView::new(&fx.a, &fx.b, &fx.pair);
+        let sp_a = ShortestPaths::compute(&fx.a);
+        let sp_b = ShortestPaths::compute(&fx.b);
+        let flows = PairFlows::build(&view, &sp_a, &sp_b, |_, _| 1.0);
+        let paths = PathTable::build(&view, &sp_a, &sp_b, &flows);
+        let caps_a = vec![3.0; fx.a.num_links()];
+        let caps_b = vec![3.0; fx.b.num_links()];
+        let default = Assignment::uniform(flows.len(), IcxId(0));
+        let impacted_even: Vec<FlowId> = (0..flows.len())
+            .filter(|f| f % 2 == 0)
+            .map(FlowId::new)
+            .collect();
+        let impacted_odd: Vec<FlowId> = (0..flows.len())
+            .filter(|f| f % 2 == 1)
+            .map(FlowId::new)
+            .collect();
+
+        let mut session = BandwidthLp::new();
+        session.add_scenario(
+            IcxId(0),
+            &view,
+            &paths,
+            &flows,
+            &impacted_even,
+            &default,
+            &caps_a,
+            &caps_b,
+        );
+        session.add_scenario(
+            IcxId(1),
+            &view,
+            &paths,
+            &flows,
+            &impacted_odd,
+            &default,
+            &caps_a,
+            &caps_b,
+        );
+        assert_eq!(session.num_scenarios(), 2);
+        assert!(session.has_scenario(IcxId(1)));
+        assert!(!session.has_scenario(IcxId(5)));
+
+        let mut reference = Vec::new();
+        for scale in [1.0, 1.2] {
+            for failed in [IcxId(0), IcxId(1)] {
+                reference.push(session.solve_failure_scaled(failed, scale).unwrap().t);
+            }
+        }
+        // Second pass over the same (failed, scale) grid: all warm, all
+        // matching.
+        let before = session.warm_stats();
+        let mut idx = 0;
+        for scale in [1.0, 1.2] {
+            for failed in [IcxId(0), IcxId(1)] {
+                let t = session.solve_failure_scaled(failed, scale).unwrap().t;
+                assert!((t - reference[idx]).abs() < 1e-9);
+                idx += 1;
+            }
+        }
+        let after = session.warm_stats();
+        assert_eq!(
+            after.warm_solves - before.warm_solves,
+            4,
+            "repeat pass must be fully warm: {before:?} -> {after:?}"
+        );
     }
 }

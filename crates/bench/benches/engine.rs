@@ -1,10 +1,15 @@
 //! Negotiation-engine benchmarks: session cost versus flow count and
-//! alternatives, with and without reassignment.
+//! alternatives, with and without reassignment — plus the
+//! failure-scenario LP sweep (warm vs cold), whose rows pin the
+//! warm-start win in `BENCH_engine.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nexit_core::{negotiate, GainTable, NexitConfig, Party, PreferenceMapper, SessionInput};
 use nexit_routing::{Assignment, FlowId};
-use nexit_topology::IcxId;
+use nexit_sim::experiments::bandwidth::PairFailureSweep;
+use nexit_sim::ExpConfig;
+use nexit_topology::{GeneratorConfig, IcxId, TopologyGenerator};
+use nexit_workload::CapacityModel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -150,5 +155,76 @@ fn bench_engine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine);
+/// One pair, all failure scenarios, each re-solved across a ladder of
+/// background-load scales (the §5.2 what-if-traffic-grows sweep): the
+/// fractional-optimum LPs solved warm (per-scenario skeleton built once,
+/// rhs patched per scale, basis carried over) versus cold (the identical
+/// formulation with the basis invalidated before every solve). The
+/// warm/cold ratio is the tentpole number the CI bench gate tracks.
+fn bench_scenario_sweep(c: &mut Criterion) {
+    let universe = TopologyGenerator::new(GeneratorConfig {
+        num_isps: 16,
+        num_mesh_isps: 1,
+        seed: 11,
+        ..GeneratorConfig::default()
+    })
+    .generate();
+    let cfg = ExpConfig {
+        max_failures_per_pair: 5,
+        threads: 1,
+        ..ExpConfig::default()
+    };
+    let capacity_model = CapacityModel::default();
+    // Deterministically pick the eligible pair with the most scenarios
+    // (ties broken by pair order) so the sweep covers several programs.
+    let sweep = universe
+        .eligible_pairs(3, false)
+        .into_iter()
+        .map(|idx| PairFailureSweep::build(&universe, idx, &cfg, &capacity_model))
+        .max_by_key(|s| s.scenarios.len())
+        .expect("universe yields an eligible pair");
+    assert!(
+        sweep.scenarios.len() >= 3,
+        "sweep too small to exercise warm starts: {}",
+        sweep.scenarios.len()
+    );
+    const GROWTH: [f64; 5] = [1.0, 1.05, 1.1, 1.2, 1.4];
+
+    let mut group = c.benchmark_group("scenario_sweep");
+    group.sample_size(10);
+    group.bench_function("warm", |b| {
+        b.iter(|| {
+            let mut lp = sweep.lp_session(usize::MAX);
+            let mut acc = 0.0;
+            for s in &sweep.scenarios {
+                for &scale in &GROWTH {
+                    acc += lp
+                        .solve_failure_scaled(s.failed, scale)
+                        .expect("solvable")
+                        .t;
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            let mut lp = sweep.lp_session(usize::MAX);
+            let mut acc = 0.0;
+            for s in &sweep.scenarios {
+                for &scale in &GROWTH {
+                    lp.invalidate_warm();
+                    acc += lp
+                        .solve_failure_scaled(s.failed, scale)
+                        .expect("solvable")
+                        .t;
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_scenario_sweep);
 criterion_main!(benches);

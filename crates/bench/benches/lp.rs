@@ -1,8 +1,8 @@
 //! Simplex solver benchmarks on min-max-ratio programs shaped like the
-//! bandwidth optimum.
+//! bandwidth optimum, cold and warm-started.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use nexit_lp::{solve, ConstraintOp, LpProblem};
+use nexit_lp::{solve, ConstraintOp, LpProblem, SimplexWorkspace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -51,6 +51,38 @@ fn bench_lp(c: &mut Criterion) {
             |bencher, &(flows, links)| {
                 let p = min_max_problem(flows, 3, links, 7);
                 bencher.iter(|| solve(&p));
+            },
+        );
+    }
+    // Warm restarts: one solved program, then a run of rhs-only patches
+    // (the failure-sweep access pattern). Each iteration re-solves 8
+    // perturbed programs from the retained basis; compare against
+    // `min_max` x8 for the cold equivalent.
+    for &(flows, links) in &[(60usize, 40usize), (120, 80)] {
+        group.bench_with_input(
+            BenchmarkId::new("warm_rhs", format!("{flows}f_{links}l")),
+            &(flows, links),
+            |bencher, &(flows, links)| {
+                let mut p = min_max_problem(flows, 3, links, 7);
+                let rows = p.num_constraints();
+                let mut ws = SimplexWorkspace::new();
+                ws.solve(&p);
+                bencher.iter(|| {
+                    let mut acc = 0.0;
+                    for step in 0..8u64 {
+                        // Perturb a deterministic spread of capacity rows
+                        // (rows past the flow-conservation block).
+                        for k in 0..4 {
+                            let row = flows + ((step as usize * 7 + k * 13) % (rows - flows));
+                            let rhs = p.rhs(row);
+                            p.set_rhs(row, rhs - 0.01 * ((step + 1) as f64));
+                        }
+                        if let nexit_lp::LpOutcome::Optimal { objective, .. } = ws.solve(&p) {
+                            acc += objective;
+                        }
+                    }
+                    acc
+                });
             },
         );
     }

@@ -13,9 +13,17 @@
 //! Bland's anti-cycling rule is simple, robust, and fast enough. Dantzig
 //! pricing is used until degeneracy stalls are detected, then the solver
 //! falls back to Bland's rule, which guarantees termination.
+//!
+//! Sweeps that re-solve one program with patched right-hand sides
+//! (failure-scenario ladders) should hold a [`SimplexWorkspace`]: it
+//! retains the final tableau and re-enters via dual simplex instead of
+//! cold-starting, falling back transparently whenever the structure
+//! changed or the saved basis is unusable.
 
 pub mod problem;
 pub mod simplex;
+pub mod workspace;
 
 pub use problem::{Constraint, ConstraintOp, LpProblem};
 pub use simplex::{solve, solve_with, LpOutcome, SimplexOptions};
+pub use workspace::{SimplexWorkspace, WarmStats};

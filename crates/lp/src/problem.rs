@@ -67,6 +67,21 @@ impl LpProblem {
         self.constraints.push(Constraint { coeffs, op, rhs });
     }
 
+    /// Patch one constraint's right-hand side in place. The constraint's
+    /// coefficients and operator — its *structure* — are untouched, which
+    /// is what lets a [`crate::SimplexWorkspace`] warm-start the
+    /// re-solve. Panics on an out-of-range row or non-finite rhs.
+    pub fn set_rhs(&mut self, row: usize, rhs: f64) {
+        assert!(rhs.is_finite(), "rhs must be finite");
+        self.constraints[row].rhs = rhs;
+    }
+
+    /// One constraint's current right-hand side.
+    #[inline]
+    pub fn rhs(&self, row: usize) -> f64 {
+        self.constraints[row].rhs
+    }
+
     /// Number of variables.
     #[inline]
     pub fn num_variables(&self) -> usize {

@@ -51,7 +51,10 @@ pub enum LpOutcome {
     /// Objective unbounded below over the feasible region.
     Unbounded,
     /// Pivot cap exhausted before convergence.
-    IterationLimit,
+    IterationLimit {
+        /// Pivots consumed before the solver gave up.
+        iterations: usize,
+    },
 }
 
 /// Solve with default options.
@@ -61,32 +64,44 @@ pub fn solve(problem: &LpProblem) -> LpOutcome {
 
 /// Solve with explicit options.
 pub fn solve_with(problem: &LpProblem, options: SimplexOptions) -> LpOutcome {
-    Tableau::build(problem, options).run(problem)
+    let mut tableau = Tableau::build(problem, options);
+    tableau.run(problem)
 }
 
-struct Tableau {
+pub(crate) struct Tableau {
     /// Constraint matrix, row-major, `m x n`.
-    a: Vec<f64>,
-    /// Right-hand sides (kept non-negative).
-    b: Vec<f64>,
+    pub(crate) a: Vec<f64>,
+    /// Right-hand sides (kept non-negative by the cold build; a warm
+    /// restart may install negative entries before dual pivoting).
+    pub(crate) b: Vec<f64>,
     /// Reduced-cost row for the current phase.
-    d: Vec<f64>,
+    pub(crate) d: Vec<f64>,
     /// Basic variable of each row.
-    basis: Vec<usize>,
-    m: usize,
-    n: usize,
+    pub(crate) basis: Vec<usize>,
+    pub(crate) m: usize,
+    pub(crate) n: usize,
     /// Index of the first artificial column (artificials occupy
     /// `artificial_start..n`).
-    artificial_start: usize,
+    pub(crate) artificial_start: usize,
     /// Cost vector of the phase currently being optimized (used to
     /// recompute the phase objective `c_B^T b` exactly).
-    phase_cost: Option<Vec<f64>>,
-    options: SimplexOptions,
-    iterations_used: usize,
+    pub(crate) phase_cost: Option<Vec<f64>>,
+    pub(crate) options: SimplexOptions,
+    pub(crate) iterations_used: usize,
+    /// Per-row normalization sign applied at build time (`-1.0` for rows
+    /// flipped to make the original rhs non-negative). The equality-form
+    /// encoding stays valid for *any* new rhs under the same signs, which
+    /// is what lets a warm restart patch `b` without rebuilding.
+    pub(crate) signs: Vec<f64>,
+    /// Column that started as the unit vector `e_r` of each row (the Le
+    /// slack, or the Ge/Eq artificial). Row operations preserve
+    /// `column == B^{-1} e_r`, so these columns always hold the current
+    /// basis inverse — free of charge.
+    pub(crate) unit_cols: Vec<usize>,
 }
 
 impl Tableau {
-    fn build(problem: &LpProblem, options: SimplexOptions) -> Self {
+    pub(crate) fn build(problem: &LpProblem, options: SimplexOptions) -> Self {
         let m = problem.num_constraints();
         let nv = problem.num_variables();
 
@@ -128,10 +143,13 @@ impl Tableau {
         let mut b = vec![0.0; m];
         let mut basis = vec![usize::MAX; m];
 
+        let mut signs = Vec::with_capacity(m);
+        let mut unit_cols = Vec::with_capacity(m);
         let mut slack_col = nv;
         let mut art_col = nv + num_slack;
         for (i, (c, plan)) in problem.constraints().iter().zip(&plans).enumerate() {
             let sign = if plan.flip { -1.0 } else { 1.0 };
+            signs.push(sign);
             for &(var, coeff) in &c.coeffs {
                 a[i * n + var] = sign * coeff;
             }
@@ -140,6 +158,7 @@ impl Tableau {
                 ConstraintOp::Le => {
                     a[i * n + slack_col] = 1.0;
                     basis[i] = slack_col;
+                    unit_cols.push(slack_col);
                     slack_col += 1;
                 }
                 ConstraintOp::Ge => {
@@ -147,11 +166,13 @@ impl Tableau {
                     slack_col += 1;
                     a[i * n + art_col] = 1.0;
                     basis[i] = art_col;
+                    unit_cols.push(art_col);
                     art_col += 1;
                 }
                 ConstraintOp::Eq => {
                     a[i * n + art_col] = 1.0;
                     basis[i] = art_col;
+                    unit_cols.push(art_col);
                     art_col += 1;
                 }
             }
@@ -170,13 +191,15 @@ impl Tableau {
             phase_cost: None,
             options,
             iterations_used: 0,
+            signs,
+            unit_cols,
         }
     }
 
     /// Recompute the reduced-cost row `d = c - c_B^T B^{-1} A` for a cost
     /// vector, exploiting that the tableau is kept in basis-canonical form
     /// (basic columns are unit vectors).
-    fn reset_costs(&mut self, cost: &[f64]) {
+    pub(crate) fn reset_costs(&mut self, cost: &[f64]) {
         debug_assert_eq!(cost.len(), self.n);
         self.d.copy_from_slice(cost);
         for row in 0..self.m {
@@ -190,7 +213,7 @@ impl Tableau {
         }
     }
 
-    fn pivot(&mut self, row: usize, col: usize) {
+    pub(crate) fn pivot(&mut self, row: usize, col: usize) {
         let n = self.n;
         let pivot_val = self.a[row * n + col];
         debug_assert!(pivot_val.abs() > self.options.tolerance);
@@ -235,7 +258,7 @@ impl Tableau {
 
     /// One simplex phase: pivot until optimal/unbounded/limit.
     /// `ban_artificials` excludes artificial columns from entering (phase 2).
-    fn optimize(&mut self, ban_artificials: bool) -> PhaseResult {
+    pub(crate) fn optimize(&mut self, ban_artificials: bool) -> PhaseResult {
         let tol = self.options.tolerance;
         let mut stall = 0usize;
         let mut bland = false;
@@ -317,7 +340,7 @@ impl Tableau {
             .unwrap_or(0.0)
     }
 
-    fn run(mut self, problem: &LpProblem) -> LpOutcome {
+    pub(crate) fn run(&mut self, problem: &LpProblem) -> LpOutcome {
         let tol = self.options.tolerance;
         // Phase 1: minimize the sum of artificials, when any exist.
         if self.artificial_start < self.n {
@@ -332,9 +355,15 @@ impl Tableau {
                 PhaseResult::Unbounded => {
                     // Phase-1 objective is bounded below by 0; unbounded
                     // here indicates numerical trouble. Report as limit.
-                    return LpOutcome::IterationLimit;
+                    return LpOutcome::IterationLimit {
+                        iterations: self.iterations_used,
+                    };
                 }
-                PhaseResult::IterationLimit => return LpOutcome::IterationLimit,
+                PhaseResult::IterationLimit => {
+                    return LpOutcome::IterationLimit {
+                        iterations: self.iterations_used,
+                    }
+                }
             }
             let phase1_obj = self.current_objective();
             if phase1_obj > tol.max(1e-7) {
@@ -364,24 +393,78 @@ impl Tableau {
         self.phase_cost = Some(phase2);
         match self.optimize(true) {
             PhaseResult::Optimal => {
-                let mut solution = vec![0.0; problem.num_variables()];
-                for (row, &var) in self.basis.iter().enumerate() {
-                    if var < solution.len() {
-                        solution[var] = self.b[row].max(0.0);
-                    }
-                }
+                let solution = self.extract_solution(problem.num_variables());
                 LpOutcome::Optimal {
                     objective: problem.objective_value(&solution),
                     solution,
                 }
             }
             PhaseResult::Unbounded => LpOutcome::Unbounded,
-            PhaseResult::IterationLimit => LpOutcome::IterationLimit,
+            PhaseResult::IterationLimit => LpOutcome::IterationLimit {
+                iterations: self.iterations_used,
+            },
+        }
+    }
+
+    /// Read the current basic solution off the tableau (non-basic
+    /// variables are zero).
+    pub(crate) fn extract_solution(&self, num_variables: usize) -> Vec<f64> {
+        let mut solution = vec![0.0; num_variables];
+        for (row, &var) in self.basis.iter().enumerate() {
+            if var < solution.len() {
+                solution[var] = self.b[row].max(0.0);
+            }
+        }
+        solution
+    }
+
+    /// Dual-simplex pivoting from a dual-feasible basis (`d >= 0` on the
+    /// non-artificial columns) towards primal feasibility (`b >= 0`):
+    /// leave on the most negative `b` row, enter on the column minimizing
+    /// `d_j / -a_rj` over negative pivot candidates. Artificial columns
+    /// never enter. Returns `false` when blocked (no eligible entering
+    /// column — a dual ray — or the pivot budget ran out); the caller is
+    /// expected to fall back to a cold start in that case.
+    pub(crate) fn dual_optimize(&mut self, max_pivots: usize) -> bool {
+        let tol = self.options.tolerance;
+        let mut pivots = 0usize;
+        loop {
+            // Leaving row: most negative b.
+            let mut row: Option<(usize, f64)> = None;
+            for (i, &bi) in self.b.iter().enumerate() {
+                if bi < -tol && row.is_none_or(|(_, best)| bi < best) {
+                    row = Some((i, bi));
+                }
+            }
+            let Some((row, _)) = row else {
+                return true;
+            };
+            if pivots >= max_pivots {
+                return false;
+            }
+            // Entering column: dual ratio test over negative entries.
+            let base = row * self.n;
+            let mut col: Option<(usize, f64)> = None;
+            for j in 0..self.artificial_start {
+                let arj = self.a[base + j];
+                if arj < -tol {
+                    let ratio = self.d[j] / -arj;
+                    if col.is_none_or(|(_, best)| ratio < best - tol) {
+                        col = Some((j, ratio));
+                    }
+                }
+            }
+            let Some((col, _)) = col else {
+                return false;
+            };
+            self.pivot(row, col);
+            self.iterations_used += 1;
+            pivots += 1;
         }
     }
 }
 
-enum PhaseResult {
+pub(crate) enum PhaseResult {
     Optimal,
     Unbounded,
     IterationLimit,

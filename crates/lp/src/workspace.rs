@@ -1,0 +1,463 @@
+//! Warm-started solving: a reusable [`SimplexWorkspace`].
+//!
+//! The failure-scenario sweeps solve long runs of LPs that share one
+//! constraint skeleton and differ only in their right-hand sides
+//! (`baselines::BandwidthLp` patches residuals and conservation targets
+//! per scenario). Cold-starting the two-phase simplex on every member of
+//! such a run wastes almost all of its work: phase 1 re-derives a basic
+//! feasible solution from scratch and phase 2 re-walks to an optimum the
+//! previous solve already sat next to.
+//!
+//! A [`SimplexWorkspace`] keeps the **final tableau** of the last
+//! successful solve. When the next problem has the *same structure* —
+//! identical objective, constraint operators and coefficients; only rhs
+//! values changed — the workspace re-enters the simplex from the saved
+//! optimal basis:
+//!
+//! 1. The new `b = B^{-1} b̃` is recomputed in `O(m^2)` from the unit
+//!    columns the tableau carries anyway (each row's slack or artificial
+//!    column starts as `e_r`, and row operations preserve
+//!    `column == B^{-1} e_r`, so those columns *are* the basis inverse).
+//! 2. The saved basis is still **dual feasible** (reduced costs do not
+//!    depend on `b`), so primal infeasibility is repaired with
+//!    **dual-simplex** pivots — typically a handful, each reflecting one
+//!    constraint whose rhs change actually moved the optimum.
+//! 3. A primal phase-2 pass polishes to optimality (usually zero
+//!    pivots), and the solution is verified against the *problem itself*
+//!    (`is_feasible`) before being returned.
+//!
+//! Any mismatch or trouble — different structure, a stale/singular
+//! basis, a blocked dual pivot, a budget overrun, a solution that fails
+//! verification — falls back to the ordinary cold start, so a warm solve
+//! can never return anything a cold solve would not. Structure matching
+//! is by content (an FNV-1a hash over the objective and every row's
+//! operator and coefficients), not by pointer, so callers may rebuild
+//! problems freely.
+//!
+//! Accumulated float drift is bounded two ways: reduced costs are
+//! recomputed from the tableau on every warm entry, and
+//! [`SimplexOptions::tolerance`]-scaled verification rejects drifted
+//! solutions, forcing a refresh from a cold factorization.
+
+use crate::problem::{ConstraintOp, LpProblem};
+use crate::simplex::{LpOutcome, PhaseResult, SimplexOptions, Tableau};
+
+/// Counters describing how a [`SimplexWorkspace`] resolved its solves.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmStats {
+    /// Solves that ran the full two-phase cold path.
+    pub cold_solves: usize,
+    /// Solves answered from the saved basis (dual repair + polish).
+    pub warm_solves: usize,
+    /// Warm attempts that had to fall back to a cold start (stale or
+    /// infeasible-at-basis); each also counts as a cold solve.
+    pub warm_fallbacks: usize,
+}
+
+/// A reusable simplex solver that warm-starts structurally-identical
+/// problems from the previous solve's final basis. See the module docs
+/// for the algorithm and the fallback rules.
+pub struct SimplexWorkspace {
+    options: SimplexOptions,
+    saved: Option<Saved>,
+    stats: WarmStats,
+    /// Scratch for the sign-normalized rhs and the recomputed `b`.
+    rhs_scratch: Vec<f64>,
+}
+
+struct Saved {
+    signature: u64,
+    tableau: Tableau,
+}
+
+impl Default for SimplexWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimplexWorkspace {
+    /// A workspace with default [`SimplexOptions`].
+    pub fn new() -> Self {
+        Self::with_options(SimplexOptions::default())
+    }
+
+    /// A workspace with explicit solver options.
+    pub fn with_options(options: SimplexOptions) -> Self {
+        Self {
+            options,
+            saved: None,
+            stats: WarmStats::default(),
+            rhs_scratch: Vec::new(),
+        }
+    }
+
+    /// How the workspace resolved its solves so far.
+    pub fn stats(&self) -> WarmStats {
+        self.stats
+    }
+
+    /// Drop the saved basis: the next solve is forced cold. Useful when
+    /// the caller knows the upcoming problem is unrelated, and for
+    /// benchmarking the cold path through the same interface.
+    pub fn invalidate(&mut self) {
+        self.saved = None;
+    }
+
+    /// Solve, warm-starting from the previous solve's basis when the
+    /// problem differs from it only in right-hand sides. Outcomes are
+    /// identical to [`crate::solve_with`] up to the solver tolerance
+    /// (degenerate optima may pick a different optimal vertex).
+    pub fn solve(&mut self, problem: &LpProblem) -> LpOutcome {
+        let signature = structure_signature(problem);
+        if let Some(saved) = &mut self.saved {
+            if saved.signature == signature {
+                if let Some(outcome) = try_warm(
+                    &mut saved.tableau,
+                    problem,
+                    self.options,
+                    &mut self.rhs_scratch,
+                ) {
+                    self.stats.warm_solves += 1;
+                    return outcome;
+                }
+                self.saved = None;
+                self.stats.warm_fallbacks += 1;
+            } else {
+                self.saved = None;
+            }
+        }
+
+        self.stats.cold_solves += 1;
+        let mut tableau = Tableau::build(problem, self.options);
+        let outcome = tableau.run(problem);
+        if matches!(outcome, LpOutcome::Optimal { .. }) {
+            self.saved = Some(Saved { signature, tableau });
+        }
+        outcome
+    }
+}
+
+/// Re-enter the simplex from the saved final tableau. `None` means the
+/// basis could not be reused (the caller falls back to a cold start).
+fn try_warm(
+    tableau: &mut Tableau,
+    problem: &LpProblem,
+    options: SimplexOptions,
+    scratch: &mut Vec<f64>,
+) -> Option<LpOutcome> {
+    let (m, n) = (tableau.m, tableau.n);
+    let nv = problem.num_variables();
+    debug_assert_eq!(m, problem.num_constraints());
+    let tol = options.tolerance;
+    let feas_tol = tol.max(1e-7);
+
+    // New tableau rhs: b = B^{-1} (sign ∘ rhs), reading B^{-1} off the
+    // unit columns.
+    scratch.clear();
+    scratch.extend(
+        problem
+            .constraints()
+            .iter()
+            .zip(&tableau.signs)
+            .map(|(c, sign)| sign * c.rhs),
+    );
+    let mut new_b = vec![0.0; m];
+    for (r, &srhs) in scratch.iter().enumerate() {
+        if srhs != 0.0 {
+            let unit = tableau.unit_cols[r];
+            for (i, bi) in new_b.iter_mut().enumerate() {
+                *bi += tableau.a[i * n + unit] * srhs;
+            }
+        }
+    }
+    tableau.b.copy_from_slice(&new_b);
+
+    // Fresh phase-2 reduced costs from the current tableau (removes any
+    // drift accumulated over previous warm solves).
+    let mut phase2 = vec![0.0; n];
+    phase2[..nv].copy_from_slice(problem.objective());
+    tableau.reset_costs(&phase2);
+    tableau.phase_cost = Some(phase2);
+    tableau.iterations_used = 0;
+
+    // Repair primal feasibility with dual-simplex pivots, then polish
+    // with an (almost always trivial) primal phase-2 pass.
+    if !tableau.dual_optimize(4 * m + 64) {
+        return None;
+    }
+    match tableau.optimize(true) {
+        PhaseResult::Optimal => {}
+        PhaseResult::Unbounded | PhaseResult::IterationLimit => return None,
+    }
+
+    // An artificial still basic at a meaningfully positive value means
+    // the saved basis cannot represent the patched problem.
+    for (row, &var) in tableau.basis.iter().enumerate() {
+        if var >= tableau.artificial_start && tableau.b[row] > feas_tol {
+            return None;
+        }
+    }
+
+    // Trust, but verify: the warm path must never return a point the
+    // problem itself rejects.
+    let solution = tableau.extract_solution(nv);
+    if !problem.is_feasible(&solution, 1e-6) {
+        return None;
+    }
+    Some(LpOutcome::Optimal {
+        objective: problem.objective_value(&solution),
+        solution,
+    })
+}
+
+/// Content hash of everything except right-hand sides: variable count,
+/// objective, and each constraint's operator and coefficient list.
+/// Problems with equal signatures share a standard-form column layout,
+/// so a saved basis from one is meaningful for the other.
+fn structure_signature(problem: &LpProblem) -> u64 {
+    let mut h = Fnv::new();
+    h.write_usize(problem.num_variables());
+    h.write_usize(problem.num_constraints());
+    for &c in problem.objective() {
+        h.write_u64(c.to_bits());
+    }
+    for constraint in problem.constraints() {
+        h.write_usize(match constraint.op {
+            ConstraintOp::Le => 1,
+            ConstraintOp::Ge => 2,
+            ConstraintOp::Eq => 3,
+        });
+        h.write_usize(constraint.coeffs.len());
+        for &(var, coeff) in &constraint.coeffs {
+            h.write_usize(var);
+            h.write_u64(coeff.to_bits());
+        }
+    }
+    h.finish()
+}
+
+/// Minimal FNV-1a, enough for structure fingerprints.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+    fn write_u64(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{ConstraintOp, LpProblem};
+    use crate::solve;
+
+    fn objective(outcome: &LpOutcome) -> f64 {
+        match outcome {
+            LpOutcome::Optimal { objective, .. } => *objective,
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    /// The min-max-ratio shape the bandwidth optimum uses, with
+    /// patchable capacity residuals.
+    fn min_max_problem(residuals: &[f64; 2]) -> LpProblem {
+        // min t  s.t. x1 + x2 == 1, 5 x1 - 10 t <= -r1, 5 x2 - 2 t <= -r2.
+        let mut p = LpProblem::new();
+        let t = p.add_variable(1.0);
+        let x1 = p.add_variable(0.0);
+        let x2 = p.add_variable(0.0);
+        p.add_constraint(vec![(x1, 1.0), (x2, 1.0)], ConstraintOp::Eq, 1.0);
+        p.add_constraint(vec![(x1, 5.0), (t, -10.0)], ConstraintOp::Le, -residuals[0]);
+        p.add_constraint(vec![(x2, 5.0), (t, -2.0)], ConstraintOp::Le, -residuals[1]);
+        p
+    }
+
+    #[test]
+    fn warm_rhs_patch_matches_cold() {
+        let mut ws = SimplexWorkspace::new();
+        let mut p = min_max_problem(&[0.0, 0.0]);
+        let first = objective(&ws.solve(&p));
+        assert!((first - 5.0 / 12.0).abs() < 1e-9);
+        assert_eq!(ws.stats().cold_solves, 1);
+
+        // Patch the residuals (rhs only) and re-solve warm.
+        for (r1, r2) in [(1.0, 0.5), (3.0, 0.0), (0.0, 1.5), (2.0, 2.0)] {
+            p.set_rhs(1, -r1);
+            p.set_rhs(2, -r2);
+            let warm = objective(&ws.solve(&p));
+            let cold = objective(&solve(&p));
+            assert!(
+                (warm - cold).abs() < 1e-9,
+                "warm {warm} != cold {cold} for residuals ({r1}, {r2})"
+            );
+        }
+        let stats = ws.stats();
+        assert!(stats.warm_solves >= 3, "stats = {stats:?}");
+        assert_eq!(stats.cold_solves + stats.warm_solves, 5);
+    }
+
+    #[test]
+    fn structural_change_falls_back_cold() {
+        let mut ws = SimplexWorkspace::new();
+        let p = min_max_problem(&[0.0, 0.0]);
+        ws.solve(&p);
+        // New coefficient => different signature => cold, not a fallback.
+        let mut q = min_max_problem(&[0.0, 0.0]);
+        q.add_constraint(vec![(1, 1.0)], ConstraintOp::Le, 0.9);
+        let warm = objective(&ws.solve(&q));
+        let cold = objective(&solve(&q));
+        assert!((warm - cold).abs() < 1e-9);
+        assert_eq!(ws.stats().cold_solves, 2);
+        assert_eq!(ws.stats().warm_solves, 0);
+        assert_eq!(ws.stats().warm_fallbacks, 0);
+    }
+
+    #[test]
+    fn infeasible_after_patch_detected() {
+        let mut p = LpProblem::new();
+        let x = p.add_variable(1.0);
+        p.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 5.0);
+        p.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 1.0);
+        let mut ws = SimplexWorkspace::new();
+        assert!((objective(&ws.solve(&p)) - 1.0).abs() < 1e-9);
+        // x <= 5 becomes x <= 0.5 while x >= 1 stays: infeasible.
+        p.set_rhs(0, 0.5);
+        assert_eq!(ws.solve(&p), LpOutcome::Infeasible);
+        // And feasible again after widening.
+        p.set_rhs(0, 2.0);
+        assert!((objective(&ws.solve(&p)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalidate_forces_cold() {
+        let mut ws = SimplexWorkspace::new();
+        let mut p = min_max_problem(&[0.0, 0.0]);
+        ws.solve(&p);
+        p.set_rhs(1, -1.0);
+        ws.invalidate();
+        ws.solve(&p);
+        assert_eq!(ws.stats().cold_solves, 2);
+        assert_eq!(ws.stats().warm_solves, 0);
+    }
+
+    #[test]
+    fn rhs_sign_flip_still_warm_and_correct() {
+        // The cold build flips rows with negative rhs; a warm re-solve
+        // keeps the old signs. Crossing zero must still be handled.
+        let mut p = LpProblem::new();
+        let x = p.add_variable(1.0);
+        let y = p.add_variable(2.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 2.0);
+        p.add_constraint(vec![(x, -1.0)], ConstraintOp::Le, -1.0); // x >= 1
+        let mut ws = SimplexWorkspace::new();
+        assert!((objective(&ws.solve(&p)) - 2.0).abs() < 1e-9);
+        // Flip the second row's rhs sign: x >= -3 (vacuous).
+        p.set_rhs(1, 3.0);
+        let warm = objective(&ws.solve(&p));
+        let cold = objective(&solve(&p));
+        assert!((warm - cold).abs() < 1e-9, "warm {warm} cold {cold}");
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        // Randomized feasible-by-construction LPs with a sequence of rhs
+        // patches: every warm solve must match a fresh cold solve's
+        // objective to 1e-9 and return a feasible point.
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+            #[test]
+            fn warm_matches_cold_across_rhs_patches(
+                nv in 1usize..5,
+                seed_rows in proptest::collection::vec(
+                    (proptest::collection::vec(-5.0f64..5.0, 5), 0.0f64..3.0), 1..6),
+                cost in proptest::collection::vec(0.0f64..4.0, 5),
+                x0 in proptest::collection::vec(0.0f64..3.0, 5),
+                patches in proptest::collection::vec(
+                    (0usize..6, 0.0f64..4.0), 1..8),
+            ) {
+                let mut p = LpProblem::new();
+                for &c in cost.iter().take(nv) {
+                    p.add_variable(c);
+                }
+                for (coeffs, slack) in &seed_rows {
+                    let row: Vec<(usize, f64)> =
+                        (0..nv).map(|i| (i, coeffs[i])).collect();
+                    let rhs: f64 =
+                        (0..nv).map(|i| coeffs[i] * x0[i]).sum::<f64>() + slack;
+                    p.add_constraint(row, ConstraintOp::Le, rhs);
+                }
+                let mut ws = SimplexWorkspace::new();
+                ws.solve(&p);
+                for &(row, extra) in &patches {
+                    let row = row % seed_rows.len();
+                    // Keep the problem feasible: rhs >= the known point's
+                    // row value.
+                    let base: f64 = (0..nv)
+                        .map(|i| seed_rows[row].0[i] * x0[i])
+                        .sum();
+                    p.set_rhs(row, base + extra);
+                    let warm = ws.solve(&p);
+                    let cold = solve(&p);
+                    match (warm, cold) {
+                        (
+                            LpOutcome::Optimal { objective: w, solution },
+                            LpOutcome::Optimal { objective: c, .. },
+                        ) => {
+                            prop_assert!((w - c).abs() < 1e-9,
+                                "warm {w} != cold {c}");
+                            prop_assert!(p.is_feasible(&solution, 1e-6));
+                        }
+                        (w, c) => prop_assert!(
+                            false, "outcome mismatch: warm {w:?} cold {c:?}"),
+                    }
+                }
+                // The sequence must actually exercise the warm path.
+                prop_assert!(ws.stats().warm_solves + ws.stats().warm_fallbacks
+                    + ws.stats().cold_solves >= patches.len());
+            }
+
+            // Coefficient patches change the structure signature: the
+            // workspace must transparently cold-start and still agree.
+            #[test]
+            fn coefficient_patch_falls_back_and_agrees(
+                c0 in 0.5f64..4.0,
+                c1 in 0.5f64..4.0,
+            ) {
+                let build = |coeff: f64| {
+                    let mut p = LpProblem::new();
+                    let x = p.add_variable(1.0);
+                    let y = p.add_variable(1.5);
+                    p.add_constraint(
+                        vec![(x, coeff), (y, 1.0)], ConstraintOp::Ge, 3.0);
+                    p
+                };
+                let mut ws = SimplexWorkspace::new();
+                let a = ws.solve(&build(c0));
+                let b = ws.solve(&build(c1));
+                match (a, b, solve(&build(c1))) {
+                    (
+                        LpOutcome::Optimal { .. },
+                        LpOutcome::Optimal { objective: w, .. },
+                        LpOutcome::Optimal { objective: c, .. },
+                    ) => prop_assert!((w - c).abs() < 1e-9),
+                    other => prop_assert!(false, "unexpected: {other:?}"),
+                }
+            }
+        }
+    }
+}

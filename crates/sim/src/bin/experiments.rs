@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! experiments [all|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fraction|prange|groups|modes|models|dest]
+//! experiments [all|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fraction|prange|groups|modes|models|dest|growth]
 //!             [--smoke] [--pairs N] [--seed N] [--threads N]
 //! ```
 //!
@@ -18,7 +18,7 @@ use nexit_topology::{GeneratorConfig, TopologyGenerator, Universe};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [all|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fraction|prange|groups|modes|models|dest] [--smoke] [--pairs N] [--seed N] [--threads N]"
+        "usage: experiments [all|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fraction|prange|groups|modes|models|dest|growth] [--smoke] [--pairs N] [--seed N] [--threads N]"
     );
     std::process::exit(2);
 }
@@ -71,7 +71,7 @@ fn main() {
 
     const TARGETS: &[&str] = &[
         "all", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fraction",
-        "prange", "groups", "modes", "models", "dest",
+        "prange", "groups", "modes", "models", "dest", "growth",
     ];
     if !TARGETS.contains(&target.as_str()) {
         eprintln!("unknown target `{target}`");
@@ -157,6 +157,12 @@ fn main() {
         eprintln!("running alternate-model grid ...");
         let rows = ablation::model_grid(&universe, &cfg);
         ablation::report_models(&rows);
+        println!();
+    }
+    if want("growth") {
+        eprintln!("running background-growth sweep (warm-started LP ladder) ...");
+        let results = bandwidth::run_growth(&universe, &cfg, &[1.1, 1.25, 1.5, 2.0]);
+        bandwidth::report_growth(&results);
         println!();
     }
 }

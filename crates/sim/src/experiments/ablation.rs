@@ -9,13 +9,13 @@
 //!   power-of-two capacities, max/average backup rules — the results
 //!   should stay qualitatively similar.
 
-use crate::experiments::bandwidth::failure_scenarios;
+use crate::experiments::bandwidth::PairFailureSweep;
 use crate::experiments::distance::build_pair_run;
 use crate::pairdata::ExpConfig;
-use crate::parallel::par_map;
+use crate::parallel::{par_map, par_map_with};
 use crate::twoway::{twoway_total_distance, TwoWayDistanceMapper};
 use nexit_baselines::negotiate_in_groups;
-use nexit_core::{negotiate, NexitConfig, Party, Side};
+use nexit_core::{negotiate, NexitConfig, Party, Side, TableArena};
 use nexit_metrics::percent_gain;
 use nexit_topology::Universe;
 use nexit_workload::{BackupRule, CapacityModel, WorkloadModel};
@@ -174,25 +174,29 @@ pub fn model_grid(universe: &Universe, cfg: &ExpConfig) -> Vec<ModelRow> {
             let mut eligible = universe.eligible_pairs(3, false);
             eligible.truncate(sub_cfg.max_pairs.unwrap());
             // Per pair: (default ratios, negotiated ratios), in scenario
-            // order.
-            let per_pair = par_map(cfg.threads, eligible.len(), |i| {
-                let mut def = Vec::new();
-                let mut neg = Vec::new();
-                for scenario in failure_scenarios(universe, eligible[i], &sub_cfg, capacity) {
-                    let Some(opt) = scenario.optimum(sub_cfg.max_lp_variables) else {
-                        continue;
-                    };
-                    let opt_up = opt.side_mel(&scenario.caps_up, true);
-                    if opt_up < 1e-9 {
-                        continue;
+            // order. The LP session is pair-scoped (warm starts), the
+            // arena worker-scoped (buffer reuse).
+            let per_pair =
+                par_map_with(cfg.threads, eligible.len(), TableArena::new, |arena, i| {
+                    let mut def = Vec::new();
+                    let mut neg = Vec::new();
+                    let sweep = PairFailureSweep::build(universe, eligible[i], &sub_cfg, capacity);
+                    let mut session = sweep.lp_session(sub_cfg.max_lp_variables);
+                    for scenario in &sweep.scenarios {
+                        let Ok(opt) = scenario.optimum_in(&mut session) else {
+                            continue;
+                        };
+                        let opt_up = opt.side_mel(&scenario.caps_up, true);
+                        if opt_up < 1e-9 {
+                            continue;
+                        }
+                        def.push(scenario.default_mels.0 / opt_up);
+                        let negotiated = scenario.negotiate_bandwidth_in(arena);
+                        let (nu, _) = scenario.mels(&negotiated);
+                        neg.push(nu / opt_up);
                     }
-                    def.push(scenario.default_mels.0 / opt_up);
-                    let negotiated = scenario.negotiate_bandwidth();
-                    let (nu, _) = scenario.mels(&negotiated);
-                    neg.push(nu / opt_up);
-                }
-                (def, neg)
-            });
+                    (def, neg)
+                });
             let mut def = Vec::new();
             let mut neg = Vec::new();
             for (d, n) in per_pair {

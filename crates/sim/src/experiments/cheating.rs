@@ -5,12 +5,15 @@
 //! distance experiment with ISP-B cheating; Figure 11 repeats the
 //! bandwidth experiment with the upstream ISP cheating.
 
-use crate::experiments::bandwidth::failure_scenarios;
+use crate::experiments::bandwidth::PairFailureSweep;
 use crate::experiments::distance::build_pair_run;
 use crate::pairdata::ExpConfig;
-use crate::parallel::par_map;
+use crate::parallel::{par_map, par_map_with};
 use crate::twoway::{twoway_side_distance, twoway_total_distance, TwoWayDistanceMapper};
-use nexit_core::{negotiate, BandwidthMapper, DisclosurePolicy, NexitConfig, Party, Side};
+use nexit_core::{
+    negotiate, negotiate_in, BandwidthMapper, DisclosurePolicy, NexitConfig, Party, Side,
+    TableArena,
+};
 use nexit_metrics::percent_gain;
 use nexit_topology::Universe;
 use nexit_workload::CapacityModel;
@@ -135,8 +138,8 @@ pub fn run_bandwidth(universe: &Universe, cfg: &ExpConfig) -> CheatBandwidthResu
     }
     let capacity_model = CapacityModel::default();
     let config = NexitConfig::win_win_bandwidth();
-    let per_pair = par_map(cfg.threads, eligible.len(), |i| {
-        run_bandwidth_pair(universe, eligible[i], cfg, &capacity_model, &config)
+    let per_pair = par_map_with(cfg.threads, eligible.len(), TableArena::new, |arena, i| {
+        run_bandwidth_pair(universe, eligible[i], cfg, &capacity_model, &config, arena)
     });
     let mut out = CheatBandwidthResults::default();
     for p in per_pair {
@@ -150,17 +153,21 @@ pub fn run_bandwidth(universe: &Universe, cfg: &ExpConfig) -> CheatBandwidthResu
     out
 }
 
-/// Evaluate every failure scenario of one Figure-11 pair.
+/// Evaluate every failure scenario of one Figure-11 pair, with the
+/// pair-scoped warm LP session and the worker's negotiation arena.
 fn run_bandwidth_pair(
     universe: &Universe,
     idx: usize,
     cfg: &ExpConfig,
     capacity_model: &CapacityModel,
     config: &NexitConfig,
+    arena: &mut TableArena,
 ) -> CheatBandwidthResults {
     let mut out = CheatBandwidthResults::default();
-    for scenario in failure_scenarios(universe, idx, cfg, capacity_model) {
-        let Some(opt) = scenario.optimum(cfg.max_lp_variables) else {
+    let sweep = PairFailureSweep::build(universe, idx, cfg, capacity_model);
+    let mut session = sweep.lp_session(cfg.max_lp_variables);
+    for scenario in &sweep.scenarios {
+        let Ok(opt) = scenario.optimum_in(&mut session) else {
             continue;
         };
         let opt_up = opt.side_mel(&scenario.caps_up, true);
@@ -188,12 +195,26 @@ fn run_bandwidth_pair(
 
         let mut a = Party::honest("up", up_mapper());
         let mut b = Party::honest("down", down_mapper());
-        let truthful = negotiate(&input, &scenario.data.default, &mut a, &mut b, config);
+        let truthful = negotiate_in(
+            arena,
+            &input,
+            &scenario.data.default,
+            &mut a,
+            &mut b,
+            config,
+        );
         let (tu, td) = scenario.mels(&truthful.assignment);
 
         let mut a = Party::cheating("up", up_mapper(), DisclosurePolicy::InflateBest);
         let mut b = Party::honest("down", down_mapper());
-        let cheated = negotiate(&input, &scenario.data.default, &mut a, &mut b, config);
+        let cheated = negotiate_in(
+            arena,
+            &input,
+            &scenario.data.default,
+            &mut a,
+            &mut b,
+            config,
+        );
         let (cu, cd) = scenario.mels(&cheated.assignment);
 
         let (du, dd) = scenario.default_mels;

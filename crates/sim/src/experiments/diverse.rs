@@ -6,10 +6,12 @@
 //! the right graph the downstream's distance reduction over the impacted
 //! flows relative to default routing.
 
-use crate::experiments::bandwidth::failure_scenarios;
+use crate::experiments::bandwidth::PairFailureSweep;
 use crate::pairdata::ExpConfig;
-use crate::parallel::par_map;
-use nexit_core::{negotiate, BandwidthMapper, DistanceMapper, NexitConfig, Party, Side};
+use crate::parallel::par_map_with;
+use nexit_core::{
+    negotiate_in, BandwidthMapper, DistanceMapper, NexitConfig, Party, Side, TableArena,
+};
 use nexit_metrics::percent_gain;
 use nexit_routing::Assignment;
 use nexit_topology::Universe;
@@ -45,16 +47,17 @@ fn downstream_impacted_km(
         .sum()
 }
 
-/// Run Figure 9. Pairs are swept on `cfg.threads` workers and merged in
-/// pair order (thread-count independent output).
+/// Run Figure 9. Pairs are swept on `cfg.threads` workers (each with a
+/// worker-local [`TableArena`]) and merged in pair order (thread-count
+/// independent output).
 pub fn run(universe: &Universe, cfg: &ExpConfig) -> DiverseResults {
     let mut eligible = universe.eligible_pairs(3, false);
     if let Some(cap) = cfg.max_pairs {
         eligible.truncate(cap);
     }
     let capacity_model = CapacityModel::default();
-    let per_pair = par_map(cfg.threads, eligible.len(), |i| {
-        run_pair(universe, eligible[i], cfg, &capacity_model)
+    let per_pair = par_map_with(cfg.threads, eligible.len(), TableArena::new, |arena, i| {
+        run_pair(universe, eligible[i], cfg, &capacity_model, arena)
     });
     let mut out = DiverseResults::default();
     for p in per_pair {
@@ -66,16 +69,21 @@ pub fn run(universe: &Universe, cfg: &ExpConfig) -> DiverseResults {
     out
 }
 
-/// Evaluate every failure scenario of one Figure-9 pair.
+/// Evaluate every failure scenario of one Figure-9 pair, drawing the
+/// scenario optima from the pair's warm LP session and the negotiation
+/// buffers from the worker's arena.
 fn run_pair(
     universe: &Universe,
     idx: usize,
     cfg: &ExpConfig,
     capacity_model: &CapacityModel,
+    arena: &mut TableArena,
 ) -> DiverseResults {
     let mut out = DiverseResults::default();
-    for scenario in failure_scenarios(universe, idx, cfg, capacity_model) {
-        let Some(opt) = scenario.optimum(cfg.max_lp_variables) else {
+    let sweep = PairFailureSweep::build(universe, idx, cfg, capacity_model);
+    let mut session = sweep.lp_session(cfg.max_lp_variables);
+    for scenario in &sweep.scenarios {
+        let Ok(opt) = scenario.optimum_in(&mut session) else {
             continue;
         };
         let opt_up = opt.side_mel(&scenario.caps_up, true);
@@ -98,7 +106,8 @@ fn run_pair(
             "down-distance",
             DistanceMapper::new(Side::B, &scenario.data.flows),
         );
-        let outcome = negotiate(
+        let outcome = negotiate_in(
+            arena,
             &input,
             &scenario.data.default,
             &mut party_a,
@@ -111,8 +120,8 @@ fn run_pair(
         out.up_default.push(def_up / opt_up);
         out.up_negotiated.push(neg_up / opt_up);
 
-        let d_km = downstream_impacted_km(&scenario, &scenario.data.default);
-        let n_km = downstream_impacted_km(&scenario, &outcome.assignment);
+        let d_km = downstream_impacted_km(scenario, &scenario.data.default);
+        let n_km = downstream_impacted_km(scenario, &outcome.assignment);
         out.down_distance_gain.push(percent_gain(d_km, n_km));
     }
     out

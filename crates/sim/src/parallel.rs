@@ -30,9 +30,26 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    par_map_with(threads, num_items, || (), |(), i| f(i))
+}
+
+/// [`par_map`] with **worker-local state**: every worker calls `init`
+/// once and hands the state to each of its items. The state is the
+/// mechanism by which the experiment sweeps thread one
+/// [`nexit_core::TableArena`] (and similar recycled scratch) through all
+/// the items a worker processes — buffer reuse that affects allocation
+/// only, never values, so the by-index collection keeps the output
+/// byte-identical to the serial loop for any thread count.
+pub fn par_map_with<S, R, I, F>(threads: usize, num_items: usize, init: I, f: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
     let threads = resolve_threads(threads).min(num_items);
     if threads <= 1 {
-        return (0..num_items).map(f).collect();
+        let mut state = init();
+        return (0..num_items).map(|i| f(&mut state, i)).collect();
     }
     let next = AtomicUsize::new(0);
     let (tx, rx) = crossbeam::channel::unbounded();
@@ -41,13 +58,18 @@ where
         for _ in 0..threads {
             let tx = tx.clone();
             let next = &next;
+            let init = &init;
             let f = &f;
-            workers.push(s.spawn(move |_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= num_items {
-                    break;
+            workers.push(s.spawn(move |_| {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= num_items {
+                        break;
+                    }
+                    tx.send((i, f(&mut state, i)))
+                        .expect("result collector dropped");
                 }
-                tx.send((i, f(i))).expect("result collector dropped");
             }));
         }
         drop(tx);
@@ -141,6 +163,27 @@ mod tests {
     #[test]
     fn more_threads_than_items() {
         assert_eq!(par_map(64, 3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn worker_state_is_reused_within_a_worker() {
+        // Each worker's state counts the items it processed; the counts
+        // must partition the item set, and results stay in item order.
+        let results = par_map_with(
+            3,
+            30,
+            || 0usize,
+            |seen, i| {
+                *seen += 1;
+                (i, *seen)
+            },
+        );
+        let items: Vec<usize> = results.iter().map(|&(i, _)| i).collect();
+        assert_eq!(items, (0..30).collect::<Vec<_>>());
+        // Every item was someone's k-th (k >= 1), and at least one
+        // worker processed more than one item.
+        assert!(results.iter().all(|&(_, k)| k >= 1));
+        assert!(results.iter().any(|&(_, k)| k > 1));
     }
 
     #[test]

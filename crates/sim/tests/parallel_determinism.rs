@@ -39,10 +39,31 @@ fn distance_results_are_thread_count_independent() {
 
 #[test]
 fn bandwidth_results_are_thread_count_independent() {
+    // The arena-threaded, warm-started sweep must stay byte-identical
+    // for threads = 1, 2 and 4: the LP session is pair-scoped (warm
+    // state never crosses pairs, so scheduling cannot perturb it) and
+    // the worker arenas only recycle buffers, never values.
     let u = small_universe();
     let serial = bandwidth::run(&u, &cfg(1));
-    let parallel = bandwidth::run(&u, &cfg(4));
+    for threads in [2, 4] {
+        let parallel = bandwidth::run(&u, &cfg(threads));
+        assert_eq!(serial, parallel, "threads = {threads}");
+    }
+    assert!(serial.scenarios > 0, "sweep must evaluate scenarios");
+}
+
+#[test]
+fn growth_sweep_is_thread_count_independent_and_monotone() {
+    let u = small_universe();
+    let factors = [1.1, 1.5];
+    let serial = bandwidth::run_growth(&u, &cfg(1), &factors);
+    let parallel = bandwidth::run_growth(&u, &cfg(4), &factors);
     assert_eq!(serial, parallel);
+    assert!(serial.scenarios > 0);
+    // Growing the background load can never shrink the optimal MEL.
+    for samples in &serial.degradation {
+        assert!(samples.iter().all(|&r| r >= 1.0 - 1e-9));
+    }
 }
 
 #[test]

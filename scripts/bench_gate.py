@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for the CI perf trajectory.
+
+Compares a freshly generated bench report (the JSON array of
+``{"name", "mean_ns", "iters"}`` rows that the vendored criterion
+substitute writes via ``NEXIT_BENCH_JSON``) against the committed
+baseline ``BENCH_engine.json`` and fails when any tracked row regresses
+by more than a configurable threshold.
+
+Because the committed baseline and the CI runner are different
+machines, the comparison is **normalized** by default: every row's
+current/baseline ratio is divided by the median ratio across all shared
+rows, so a uniform machine-speed difference cancels out and only rows
+that regressed *relative to the rest of the suite* trip the gate. Pass
+``--absolute`` to compare raw ratios instead (same-machine trend
+tracking). A uniform slowdown of the entire suite is invisible to the
+normalized mode by construction — that is the price of
+machine-portability, and the per-push artifacts still record absolute
+numbers for offline inspection.
+
+Exit codes: 0 = ok, 1 = regression (or baseline row missing from the
+current report), 2 = usage/IO error.
+
+Usage:
+    bench_gate.py --baseline BENCH_engine.json --current fresh.json \
+                  [--threshold 25] [--absolute]
+    bench_gate.py --self-test
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+
+
+def load_rows(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    rows = {}
+    for row in data:
+        name, mean = row.get("name"), row.get("mean_ns")
+        if not isinstance(name, str) or not isinstance(mean, (int, float)) or mean <= 0:
+            raise ValueError(f"{path}: malformed row {row!r}")
+        rows[name] = float(mean)
+    if not rows:
+        raise ValueError(f"{path}: empty report")
+    return rows
+
+
+def compare(baseline, current, threshold_pct, normalize):
+    """Return (regressions, report_lines). A regression is
+    (name, normalized_ratio); missing baseline rows are reported as
+    regressions with ratio None."""
+    shared = sorted(set(baseline) & set(current))
+    missing = sorted(set(baseline) - set(current))
+    new = sorted(set(current) - set(baseline))
+
+    lines = []
+    regressions = [(name, None) for name in missing]
+    for name in missing:
+        lines.append(f"MISSING  {name}: in baseline but not in current report")
+    for name in new:
+        lines.append(f"new      {name}: {current[name]:.0f} ns (no baseline yet)")
+
+    if shared:
+        ratios = {name: current[name] / baseline[name] for name in shared}
+        scale = statistics.median(ratios.values()) if normalize else 1.0
+        if normalize:
+            lines.append(f"machine-speed normalization: median ratio {scale:.3f}")
+        limit = 1.0 + threshold_pct / 100.0
+        for name in shared:
+            norm = ratios[name] / scale
+            verdict = "ok"
+            if norm > limit:
+                verdict = "REGRESSED"
+                regressions.append((name, norm))
+            lines.append(
+                f"{verdict:9}{name}: {baseline[name]:.0f} -> {current[name]:.0f} ns"
+                f" ({'+' if norm >= 1 else ''}{100.0 * (norm - 1.0):.1f}% vs suite)"
+            )
+    return regressions, lines
+
+
+def self_test():
+    base = {"a": 100.0, "b": 200.0, "c": 1000.0}
+
+    # Uniform 3x machine slowdown: normalized gate stays green.
+    cur = {k: v * 3.0 for k, v in base.items()}
+    regs, _ = compare(base, cur, 25.0, normalize=True)
+    assert not regs, f"uniform slowdown tripped the gate: {regs}"
+
+    # One row regresses 2x beyond the others: gate fires.
+    cur = {"a": 100.0, "b": 200.0, "c": 2000.0}
+    regs, _ = compare(base, cur, 25.0, normalize=True)
+    assert [r[0] for r in regs] == ["c"], f"expected c to regress: {regs}"
+
+    # Inside the threshold: green.
+    cur = {"a": 110.0, "b": 200.0, "c": 1000.0}
+    regs, _ = compare(base, cur, 25.0, normalize=True)
+    assert not regs, f"noise tripped the gate: {regs}"
+
+    # A deleted row is a failure (silent bench removal hides regressions).
+    cur = {"a": 100.0, "b": 200.0}
+    regs, _ = compare(base, cur, 25.0, normalize=True)
+    assert [r[0] for r in regs] == ["c"], f"missing row not flagged: {regs}"
+
+    # Absolute mode flags a uniform slowdown.
+    cur = {k: v * 2.0 for k, v in base.items()}
+    regs, _ = compare(base, cur, 25.0, normalize=False)
+    assert len(regs) == 3, f"absolute mode missed the slowdown: {regs}"
+
+    print("bench_gate self-test: ok")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", help="committed baseline JSON")
+    parser.add_argument("--current", help="freshly generated JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=float(os.environ.get("NEXIT_BENCH_GATE_PCT", "25")),
+        help="allowed per-row regression in percent (default 25, "
+        "or NEXIT_BENCH_GATE_PCT)",
+    )
+    parser.add_argument(
+        "--absolute",
+        action="store_true",
+        help="compare raw ratios instead of normalizing by the median "
+        "(use when baseline and current ran on the same machine)",
+    )
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        self_test()
+        return 0
+    if not args.baseline or not args.current:
+        parser.error("--baseline and --current are required (or --self-test)")
+
+    try:
+        baseline = load_rows(args.baseline)
+        current = load_rows(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"bench_gate: {exc}", file=sys.stderr)
+        return 2
+
+    regressions, lines = compare(baseline, current, args.threshold, not args.absolute)
+    for line in lines:
+        print(line)
+    if regressions:
+        print(
+            f"bench_gate: {len(regressions)} row(s) regressed beyond "
+            f"{args.threshold:.0f}% (or went missing)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"bench_gate: all rows within {args.threshold:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

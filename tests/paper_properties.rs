@@ -120,7 +120,7 @@ fn negotiated_mel_close_to_optimal() {
     let mut def_ratios = Vec::new();
     for &idx in u.eligible_pairs(3, false).iter().take(4) {
         for scenario in bandwidth::failure_scenarios(&u, idx, &cfg, &CapacityModel::default()) {
-            let Some(opt) = scenario.optimum(cfg.max_lp_variables) else {
+            let Ok(opt) = scenario.optimum(cfg.max_lp_variables) else {
                 continue;
             };
             let opt_up = opt.side_mel(&scenario.caps_up, true);
