@@ -25,14 +25,22 @@
 //!
 //! [`BandwidthLp`] is the per-pair session the failure sweeps use: it
 //! builds each scenario's constraint skeleton **once** and re-solves it
-//! with patched right-hand sides through a retained
-//! [`nexit_lp::SimplexWorkspace`], so every re-solve after the first
-//! warm-starts from the previous optimal basis instead of cold-starting
-//! the two-phase simplex. Only the capacity residuals change between
-//! re-solves of a scenario (e.g. under scaled background traffic —
-//! [`BandwidthLp::solve_failure_scaled`]), which is exactly the rhs-only
-//! pattern the workspace's dual-simplex re-entry repairs in a handful of
-//! pivots.
+//! through a retained [`nexit_lp::SimplexWorkspace`], so every re-solve
+//! after the first warm-starts from the previous optimal basis instead
+//! of cold-starting the two-phase simplex. Two patch shapes re-enter
+//! warm:
+//!
+//! * **rhs-only** — scaled background traffic
+//!   ([`BandwidthLp::solve_failure_scaled`]) changes only the capacity
+//!   rows' residual rhs, which the workspace's dual-simplex re-entry
+//!   repairs in a handful of pivots;
+//! * **coefficient patches** — a different capacity model
+//!   ([`BandwidthLp::solve_with_model`]) rewrites the `-capacity`
+//!   column, and a different workload model
+//!   ([`BandwidthLp::update_scenario`]) rewrites the volume
+//!   coefficients; both keep the skeleton's sparsity pattern, so the
+//!   workspace refreshes the changed columns against its retained basis
+//!   factorization and skips phase 1 entirely.
 //!
 //! A note on scope, from measurement: *different* failure scenarios of a
 //! pair do **not** share enough structure to warm-start across — their
@@ -116,16 +124,36 @@ fn solver_options() -> SimplexOptions {
     }
 }
 
-/// One scenario's built program: the patchable LP, its capacity rows'
-/// unscaled residuals, and the residual loads for reconstructing the
-/// optimum's link loads.
+/// The LP variable index of the objective `t` (max load-to-capacity
+/// ratio); every capacity row carries `-capacity` in this column.
+const T_VAR: usize = 0;
+
+/// One scenario's built program: the patchable LP, its retained capacity
+/// rows, and the residual loads for reconstructing the optimum's link
+/// loads.
 struct Program {
     problem: LpProblem,
-    /// `(problem row, residual)` per retained capacity row; re-solving at
-    /// `residual_scale = s` sets the row's rhs to `-residual * s`.
-    cap_rows: Vec<(usize, f64)>,
+    /// The retained capacity rows; see [`CapRow`].
+    cap_rows: Vec<CapRow>,
     /// Residual loads (non-impacted flows on their defaults), unscaled.
     residual: LinkLoads,
+}
+
+/// One retained capacity row of a scenario's program: enough to re-point
+/// the row at a scaled background load (rhs patch —
+/// [`BandwidthLp::solve_failure_scaled`]) or at a different capacity
+/// model (`t`-coefficient patch — [`BandwidthLp::solve_with_model`])
+/// without rebuilding the skeleton.
+struct CapRow {
+    /// Constraint row index in the problem.
+    row: usize,
+    /// Unscaled residual load on the link; re-solving at
+    /// `residual_scale = s` sets the row's rhs to `-residual * s`.
+    residual: f64,
+    /// Whether the link belongs to the upstream ISP.
+    upstream: bool,
+    /// Link index within its side's capacity vector.
+    link: usize,
 }
 
 /// Build one scenario's program. Variable 0 is `t`; `x[j][i]` follows in
@@ -155,6 +183,7 @@ fn build_program(
     // Build the LP. Variable 0 is t; x[j][i] follows in row-major order.
     let mut lp = LpProblem::new();
     let t_var = lp.add_variable(1.0);
+    debug_assert_eq!(t_var, T_VAR);
     let x_var = |j: usize, i: usize| 1 + j * k + i;
     for _ in 0..impacted.len() * k {
         lp.add_variable(0.0);
@@ -200,7 +229,12 @@ fn build_program(
         }
         let mut row: Vec<(usize, f64)> = merged.into_iter().collect();
         row.push((t_var, -cap));
-        cap_rows.push((lp.num_constraints(), res));
+        cap_rows.push(CapRow {
+            row: lp.num_constraints(),
+            residual: res,
+            upstream: lkey < num_up,
+            link: if lkey < num_up { lkey } else { lkey - num_up },
+        });
         lp.add_constraint(row, ConstraintOp::Le, -res);
     }
 
@@ -386,6 +420,98 @@ impl<'a> BandwidthLp<'a> {
         });
     }
 
+    /// Replace a registered scenario's program in place — new pair data
+    /// (flows, volumes, residuals) and/or capacities — while
+    /// **retaining the scenario's simplex workspace**. The rebuilt
+    /// skeleton shares the old one's sparsity pattern whenever the
+    /// topology and impacted set are unchanged, so the next solve
+    /// re-enters through the workspace's coefficient-refresh path
+    /// (column reload against the retained basis factorization) instead
+    /// of cold-starting. The capacity-model grids call this once per
+    /// grid cell; for an unregistered failure id this is exactly
+    /// [`BandwidthLp::add_scenario`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn update_scenario(
+        &mut self,
+        failed: IcxId,
+        view: &PairView<'a>,
+        paths: &'a PathTable,
+        flows: &'a PairFlows,
+        impacted: &[FlowId],
+        default_assignment: &Assignment,
+        up_capacities: &[f64],
+        down_capacities: &[f64],
+    ) {
+        let program = build_program(
+            view,
+            paths,
+            flows,
+            impacted,
+            default_assignment,
+            up_capacities,
+            down_capacities,
+        );
+        if let Some(s) = self.scenarios.iter_mut().find(|s| s.failed == failed) {
+            s.impacted = impacted.to_vec();
+            s.k = view.num_interconnections();
+            s.paths = paths;
+            s.flows = flows;
+            s.program = program;
+        } else {
+            self.scenarios.push(ScenarioLp {
+                failed,
+                impacted: impacted.to_vec(),
+                k: view.num_interconnections(),
+                paths,
+                flows,
+                program,
+                workspace: SimplexWorkspace::with_options(solver_options()),
+            });
+        }
+    }
+
+    /// Re-solve a registered scenario under a different capacity model:
+    /// the `-capacity` coefficient of every retained capacity row is
+    /// patched in place (the skeleton's sparsity pattern is untouched)
+    /// and the solve goes through the retained workspace — a
+    /// coefficient-patch warm start that refreshes the changed columns
+    /// against the retained basis factorization instead of re-running
+    /// phase 1. The rhs is reset to the unscaled residuals.
+    pub fn solve_with_model(
+        &mut self,
+        failed: IcxId,
+        up_capacities: &[f64],
+        down_capacities: &[f64],
+    ) -> Result<BandwidthOptimum, OptimalBandwidthError> {
+        let scenario = self
+            .scenarios
+            .iter_mut()
+            .find(|s| s.failed == failed)
+            .unwrap_or_else(|| panic!("no scenario registered for failed {failed:?}"));
+        for cr in &scenario.program.cap_rows {
+            let cap = if cr.upstream {
+                up_capacities[cr.link]
+            } else {
+                down_capacities[cr.link]
+            };
+            scenario
+                .program
+                .problem
+                .set_coefficient(cr.row, T_VAR, -cap);
+            scenario.program.problem.set_rhs(cr.row, -cr.residual);
+        }
+        let outcome = scenario.workspace.solve(&scenario.program.problem);
+        finish_solve(
+            outcome,
+            &scenario.impacted,
+            scenario.k,
+            scenario.paths,
+            scenario.flows,
+            &scenario.program.residual,
+            1.0,
+        )
+    }
+
     /// Number of registered scenarios.
     pub fn num_scenarios(&self) -> usize {
         self.scenarios.len()
@@ -404,14 +530,12 @@ impl<'a> BandwidthLp<'a> {
             .map(|s| s.program.problem.num_variables())
     }
 
-    /// Aggregate warm/cold counters across all scenario workspaces.
+    /// Aggregate warm/cold/refresh counters across all scenario
+    /// workspaces.
     pub fn warm_stats(&self) -> WarmStats {
         let mut total = WarmStats::default();
         for s in &self.scenarios {
-            let w = s.workspace.stats();
-            total.cold_solves += w.cold_solves;
-            total.warm_solves += w.warm_solves;
-            total.warm_fallbacks += w.warm_fallbacks;
+            total.absorb(s.workspace.stats());
         }
         total
     }
@@ -454,8 +578,11 @@ impl<'a> BandwidthLp<'a> {
             .iter_mut()
             .find(|s| s.failed == failed)
             .unwrap_or_else(|| panic!("no scenario registered for failed {failed:?}"));
-        for &(row, res) in &scenario.program.cap_rows {
-            scenario.program.problem.set_rhs(row, -res * residual_scale);
+        for cr in &scenario.program.cap_rows {
+            scenario
+                .program
+                .problem
+                .set_rhs(cr.row, -cr.residual * residual_scale);
         }
         let outcome = scenario.workspace.solve(&scenario.program.problem);
         finish_solve(
@@ -744,6 +871,133 @@ mod tests {
         let stats = warm.warm_stats();
         assert!(stats.warm_solves >= 4, "warm stats: {stats:?}");
         assert_eq!(cold.warm_stats().warm_solves, 0);
+    }
+
+    /// Capacity-model re-solves through `solve_with_model` must agree
+    /// with a fresh standalone build under the same capacities, and must
+    /// actually take the coefficient-refresh path.
+    #[test]
+    fn capacity_model_resolves_run_warm_and_match_cold() {
+        let fx = fixture();
+        let view = PairView::new(&fx.a, &fx.b, &fx.pair);
+        let sp_a = ShortestPaths::compute(&fx.a);
+        let sp_b = ShortestPaths::compute(&fx.b);
+        let flows = PairFlows::build(&view, &sp_a, &sp_b, |s, d| {
+            1.0 + (s.index() * 2 + d.index()) as f64
+        });
+        let paths = PathTable::build(&view, &sp_a, &sp_b, &flows);
+        let base_caps_a = vec![5.0; fx.a.num_links()];
+        let base_caps_b = vec![5.0; fx.b.num_links()];
+        let default = Assignment::uniform(flows.len(), IcxId(0));
+        let impacted: Vec<FlowId> = (0..flows.len())
+            .filter(|f| f % 3 != 0)
+            .map(FlowId::new)
+            .collect();
+
+        let mut session = BandwidthLp::new();
+        session.add_scenario(
+            IcxId(0),
+            &view,
+            &paths,
+            &flows,
+            &impacted,
+            &default,
+            &base_caps_a,
+            &base_caps_b,
+        );
+        session.solve_failure(IcxId(0)).unwrap();
+
+        // A grid of capacity models: power-of-two-ish scalings and an
+        // asymmetric one.
+        for (sa, sb) in [(2.0, 1.0), (1.0, 2.0), (0.5, 1.5), (4.0, 4.0)] {
+            let caps_a: Vec<f64> = base_caps_a.iter().map(|c| c * sa).collect();
+            let caps_b: Vec<f64> = base_caps_b.iter().map(|c| c * sb).collect();
+            let warm = session
+                .solve_with_model(IcxId(0), &caps_a, &caps_b)
+                .unwrap();
+            let cold =
+                optimal_bandwidth(&view, &paths, &flows, &impacted, &default, &caps_a, &caps_b)
+                    .unwrap();
+            assert!(
+                (warm.t - cold.t).abs() < 1e-9,
+                "caps ({sa}, {sb}): warm t {} != cold t {}",
+                warm.t,
+                cold.t
+            );
+            // The warm optimum realizes its own objective on the new
+            // capacities.
+            let realized = mel(&warm.loads.up, &caps_a).max(mel(&warm.loads.down, &caps_b));
+            assert!((realized - warm.t).abs() < 1e-6);
+        }
+        let stats = session.warm_stats();
+        assert_eq!(stats.cold_solves, 1, "stats: {stats:?}");
+        assert!(
+            stats.refresh_solves >= 3,
+            "capacity patches must refresh, not fall back: {stats:?}"
+        );
+    }
+
+    /// `update_scenario` keeps the workspace: re-registering the same
+    /// scenario with different volumes (a workload change) re-solves
+    /// through the refresh path and matches the standalone build.
+    #[test]
+    fn update_scenario_retains_the_workspace() {
+        let fx = fixture();
+        let view = PairView::new(&fx.a, &fx.b, &fx.pair);
+        let sp_a = ShortestPaths::compute(&fx.a);
+        let sp_b = ShortestPaths::compute(&fx.b);
+        let flows_1 = PairFlows::build(&view, &sp_a, &sp_b, |_, _| 1.0);
+        let flows_2 = PairFlows::build(&view, &sp_a, &sp_b, |s, d| {
+            2.0 + (s.index() + d.index()) as f64
+        });
+        let paths_1 = PathTable::build(&view, &sp_a, &sp_b, &flows_1);
+        let paths_2 = PathTable::build(&view, &sp_a, &sp_b, &flows_2);
+        let caps_a = vec![4.0; fx.a.num_links()];
+        let caps_b = vec![4.0; fx.b.num_links()];
+        let default = Assignment::uniform(flows_1.len(), IcxId(0));
+        let impacted: Vec<FlowId> = (0..flows_1.len()).map(FlowId::new).collect();
+
+        let mut session = BandwidthLp::new();
+        session.update_scenario(
+            IcxId(0),
+            &view,
+            &paths_1,
+            &flows_1,
+            &impacted,
+            &default,
+            &caps_a,
+            &caps_b,
+        );
+        session.solve_failure(IcxId(0)).unwrap();
+        assert_eq!(session.num_scenarios(), 1);
+
+        // Same structure, new volumes: the update must not discard the
+        // retained basis.
+        session.update_scenario(
+            IcxId(0),
+            &view,
+            &paths_2,
+            &flows_2,
+            &impacted,
+            &default,
+            &caps_a,
+            &caps_b,
+        );
+        assert_eq!(session.num_scenarios(), 1);
+        let warm = session.solve_failure(IcxId(0)).unwrap();
+        let cold = optimal_bandwidth(
+            &view, &paths_2, &flows_2, &impacted, &default, &caps_a, &caps_b,
+        )
+        .unwrap();
+        assert!(
+            (warm.t - cold.t).abs() < 1e-9,
+            "warm {} cold {}",
+            warm.t,
+            cold.t
+        );
+        let stats = session.warm_stats();
+        assert_eq!(stats.cold_solves, 1, "stats: {stats:?}");
+        assert_eq!(stats.refresh_solves + stats.refresh_fallbacks, 1);
     }
 
     /// Per-scenario workspaces: solving different failures in

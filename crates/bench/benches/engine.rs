@@ -9,7 +9,7 @@ use nexit_routing::{Assignment, FlowId};
 use nexit_sim::experiments::bandwidth::PairFailureSweep;
 use nexit_sim::ExpConfig;
 use nexit_topology::{GeneratorConfig, IcxId, TopologyGenerator};
-use nexit_workload::CapacityModel;
+use nexit_workload::{assign_capacities, BackupRule, CapacityModel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -226,5 +226,172 @@ fn bench_scenario_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine, bench_scenario_sweep);
+/// One pair, all failure scenarios, re-solved across the capacity-model
+/// grid (the §5.2 alternate-model ablation): the `-capacity`
+/// coefficients of every skeleton are patched per model and re-solved
+/// warm (column refresh against each scenario's retained basis
+/// factorization) versus cold (the identical formulation with the basis
+/// invalidated before every solve). The warm/cold ratio is this PR's
+/// tentpole number in the CI bench gate — coefficient patches must
+/// re-enter at >= 2x over cold.
+fn bench_model_grid(c: &mut Criterion) {
+    let universe = TopologyGenerator::new(GeneratorConfig {
+        num_isps: 16,
+        num_mesh_isps: 1,
+        seed: 11,
+        ..GeneratorConfig::default()
+    })
+    .generate();
+    let cfg = ExpConfig {
+        max_failures_per_pair: 5,
+        threads: 1,
+        ..ExpConfig::default()
+    };
+    let sweep = universe
+        .eligible_pairs(3, false)
+        .into_iter()
+        .map(|idx| PairFailureSweep::build(&universe, idx, &cfg, &CapacityModel::default()))
+        .max_by_key(|s| s.scenarios.len())
+        .expect("universe yields an eligible pair");
+    assert!(sweep.scenarios.len() >= 3, "sweep too small");
+    // The ablation's capacity grid: per-model capacities assigned from
+    // the shared pre-failure loads (coefficient-only patches of the one
+    // skeleton per scenario).
+    let models = [
+        CapacityModel::default(),
+        CapacityModel {
+            power_of_two: true,
+            ..CapacityModel::default()
+        },
+        CapacityModel {
+            backup: BackupRule::Max,
+            ..CapacityModel::default()
+        },
+        CapacityModel {
+            backup: BackupRule::Average,
+            ..CapacityModel::default()
+        },
+    ];
+    let caps: Vec<(Vec<f64>, Vec<f64>)> = models
+        .iter()
+        .map(|m| {
+            (
+                assign_capacities(m, &sweep.pre_loads.up),
+                assign_capacities(m, &sweep.pre_loads.down),
+            )
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("model_grid");
+    group.sample_size(10);
+    group.bench_function("warm", |b| {
+        b.iter(|| {
+            let mut lp = sweep.lp_session(usize::MAX);
+            let mut acc = 0.0;
+            for (caps_up, caps_down) in &caps {
+                for s in &sweep.scenarios {
+                    acc += lp
+                        .solve_with_model(s.failed, caps_up, caps_down)
+                        .expect("solvable")
+                        .t;
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            let mut lp = sweep.lp_session(usize::MAX);
+            let mut acc = 0.0;
+            for (caps_up, caps_down) in &caps {
+                for s in &sweep.scenarios {
+                    lp.invalidate_warm();
+                    acc += lp
+                        .solve_with_model(s.failed, caps_up, caps_down)
+                        .expect("solvable")
+                        .t;
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+/// Synthetic min-max-ratio programs (the bandwidth-optimum shape) with
+/// coefficient patches: one solved program, then runs of capacity-column
+/// perturbations re-entered through the workspace's column-refresh path.
+/// Complements the rhs-patch rows in the `lp` bench; this row lands in
+/// `BENCH_engine.json` so the gate tracks the refresh path itself.
+fn bench_simplex_warm_coeff(c: &mut Criterion) {
+    use nexit_lp::{ConstraintOp, LpProblem, SimplexWorkspace};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let (flows, k, links) = (60usize, 3usize, 40usize);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut p = LpProblem::new();
+    let t = p.add_variable(1.0);
+    let x = |f: usize, i: usize| 1 + f * k + i;
+    for _ in 0..flows * k {
+        p.add_variable(0.0);
+    }
+    for f in 0..flows {
+        p.add_constraint(
+            (0..k).map(|i| (x(f, i), 1.0)).collect(),
+            ConstraintOp::Eq,
+            1.0,
+        );
+    }
+    let mut cap_rows: Vec<(usize, f64)> = Vec::new();
+    for _ in 0..links {
+        let mut row: Vec<(usize, f64)> = Vec::new();
+        for f in 0..flows {
+            for i in 0..k {
+                if rng.gen_bool(0.3) {
+                    row.push((x(f, i), rng.gen_range(0.1..2.0)));
+                }
+            }
+        }
+        if row.is_empty() {
+            continue;
+        }
+        let cap = rng.gen_range(1.0..10.0);
+        row.push((t, -cap));
+        cap_rows.push((p.num_constraints(), cap));
+        p.add_constraint(row, ConstraintOp::Le, 0.0);
+    }
+
+    let mut group = c.benchmark_group("simplex");
+    group.sample_size(10);
+    group.bench_function("warm_coeff", |bencher| {
+        let mut ws = SimplexWorkspace::new();
+        ws.solve(&p);
+        bencher.iter(|| {
+            let mut acc = 0.0;
+            for step in 0..8u64 {
+                // Perturb a deterministic spread of capacity coefficients
+                // (the t column of rows past the conservation block).
+                for j in 0..4 {
+                    let (row, cap) = cap_rows[(step as usize * 7 + j * 13) % cap_rows.len()];
+                    let scale = 1.0 + 0.05 * ((step + j as u64) % 5) as f64;
+                    p.set_coefficient(row, 0, -cap * scale);
+                }
+                if let nexit_lp::LpOutcome::Optimal { objective, .. } = ws.solve(&p) {
+                    acc += objective;
+                }
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine,
+    bench_scenario_sweep,
+    bench_model_grid,
+    bench_simplex_warm_coeff
+);
 criterion_main!(benches);

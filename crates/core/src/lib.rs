@@ -37,6 +37,7 @@ pub mod index;
 pub mod machine;
 pub mod mapping;
 pub mod outcome;
+pub mod parallel;
 pub mod policies;
 pub mod prefs;
 pub mod selection;
@@ -48,5 +49,6 @@ pub use index::CandidateIndex;
 pub use machine::{Action, Event, MachineError, MachineOutcome, NegotiationMachine};
 pub use mapping::{BandwidthMapper, DistanceMapper, FortzMapper, PreferenceMapper};
 pub use outcome::{NegotiationOutcome, RoundRecord, Side, Termination};
+pub use parallel::par_flows;
 pub use policies::{AcceptRule, NexitConfig, ProposalRule, StopPolicy, TurnPolicy};
 pub use prefs::{quantize, PrefTable};

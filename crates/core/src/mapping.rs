@@ -22,8 +22,10 @@
 //! additive-composition requirement. Writing into the caller's table —
 //! instead of returning a fresh nest of per-flow vectors — lets the
 //! machine reuse one backing buffer across every reassignment of a
-//! session, and lets drivers fan independent per-flow fills across
-//! threads over disjoint row ranges.
+//! session, and lets per-flow fills fan across threads over disjoint row
+//! ranges: the bandwidth and Fortz mappers snapshot their shared load
+//! vector once and then split the row loop over [`crate::par_flows`]
+//! workers (`with_threads`), byte-identical for any thread count.
 
 use crate::arena::GainTable;
 use crate::engine::SessionInput;
@@ -97,6 +99,8 @@ pub struct BandwidthMapper<'a> {
     paths: &'a PathTable,
     /// Capacity of every link on this ISP's side.
     capacities: &'a [f64],
+    /// Worker threads for the per-flow cost loop (1 = serial).
+    threads: usize,
 }
 
 impl<'a> BandwidthMapper<'a> {
@@ -113,7 +117,18 @@ impl<'a> BandwidthMapper<'a> {
             flows,
             paths,
             capacities,
+            threads: 1,
         }
+    }
+
+    /// Fan the per-flow cost loop across `threads` workers
+    /// (0 = every available core). The shared load vector is snapshotted
+    /// before the fan-out and each worker writes a disjoint row range,
+    /// so the table is byte-identical to the serial fill for any thread
+    /// count — and therefore so is every negotiation decision.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     fn side_links(&self, flow: nexit_routing::FlowId, alt: IcxId) -> &'a [nexit_topology::LinkId] {
@@ -137,16 +152,21 @@ impl<'a> BandwidthMapper<'a> {
 
 impl PreferenceMapper for BandwidthMapper<'_> {
     fn gains(&mut self, input: &SessionInput, current: &Assignment, out: &mut GainTable) {
+        // Snapshot the shared load vector once; the per-flow rows then
+        // read only immutable state and fill disjoint table rows.
         let loads = self.loads(current);
-        for (i, (&fid, &default)) in input.flow_ids.iter().zip(&input.defaults).enumerate() {
-            let volume = self.flows.flows[fid.index()].volume;
+        let this = *self;
+        crate::parallel::par_flows(self.threads, out, |i, row| {
+            let fid = input.flow_ids[i];
+            let default = input.defaults[i];
+            let volume = this.flows.flows[fid.index()].volume;
             let cur = current.choice(fid);
             // Path-max excess ratio after moving the flow from `cur`
             // to `alt`. Links are adjusted for the flow's departure
             // from its current path and arrival on the candidate path.
             let cost = |alt: IcxId| -> f64 {
-                let cur_links = self.side_links(fid, cur);
-                self.side_links(fid, alt)
+                let cur_links = this.side_links(fid, cur);
+                this.side_links(fid, alt)
                     .iter()
                     .map(|&l| {
                         let mut load = loads[l.index()];
@@ -154,15 +174,15 @@ impl PreferenceMapper for BandwidthMapper<'_> {
                             load += volume;
                         }
                         // When alt == cur the flow already contributes.
-                        load / self.capacities[l.index()]
+                        load / this.capacities[l.index()]
                     })
                     .fold(0.0_f64, f64::max)
             };
             let base = cost(default);
-            for (alt, cell) in out.row_mut(i).iter_mut().enumerate() {
+            for (alt, cell) in row.iter_mut().enumerate() {
                 *cell = base - cost(IcxId::new(alt));
             }
-        }
+        });
     }
 }
 
@@ -174,6 +194,8 @@ pub struct FortzMapper<'a> {
     flows: &'a PairFlows,
     paths: &'a PathTable,
     capacities: &'a [f64],
+    /// Worker threads for the per-flow cost loop (1 = serial).
+    threads: usize,
 }
 
 impl<'a> FortzMapper<'a> {
@@ -189,7 +211,16 @@ impl<'a> FortzMapper<'a> {
             flows,
             paths,
             capacities,
+            threads: 1,
         }
+    }
+
+    /// Fan the per-flow cost-delta loop across `threads` workers
+    /// (0 = every available core); byte-identical to the serial fill for
+    /// any thread count (see [`BandwidthMapper::with_threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     fn side_links(&self, flow: nexit_routing::FlowId, alt: IcxId) -> &'a [nexit_topology::LinkId] {
@@ -202,15 +233,20 @@ impl<'a> FortzMapper<'a> {
 
 impl PreferenceMapper for FortzMapper<'_> {
     fn gains(&mut self, input: &SessionInput, current: &Assignment, out: &mut GainTable) {
-        // Base loads under `current`.
+        // Snapshot the base loads under `current` once, then fan the
+        // per-flow rows out over disjoint slices of the flat table.
         let mut loads = vec![0.0; self.capacities.len()];
         for (fid, flow, _) in self.flows.iter() {
             for &l in self.side_links(fid, current.choice(fid)) {
                 loads[l.index()] += flow.volume;
             }
         }
-        for (i, (&fid, &default)) in input.flow_ids.iter().zip(&input.defaults).enumerate() {
-            let volume = self.flows.flows[fid.index()].volume;
+        let this = *self;
+        let loads = &loads;
+        crate::parallel::par_flows(self.threads, out, |i, row| {
+            let fid = input.flow_ids[i];
+            let default = input.defaults[i];
+            let volume = this.flows.flows[fid.index()].volume;
             let cur = current.choice(fid);
             // Total-cost delta of moving the flow from `cur` to `alt`,
             // computed over affected links only.
@@ -219,18 +255,18 @@ impl PreferenceMapper for FortzMapper<'_> {
                     return 0.0;
                 }
                 let mut delta = 0.0;
-                let cur_links = self.side_links(fid, cur);
-                let alt_links = self.side_links(fid, alt);
+                let cur_links = this.side_links(fid, cur);
+                let alt_links = this.side_links(fid, alt);
                 for &l in alt_links {
                     if !cur_links.contains(&l) {
-                        let cap = self.capacities[l.index()];
+                        let cap = this.capacities[l.index()];
                         let load = loads[l.index()];
                         delta += fortz_link_cost(load + volume, cap) - fortz_link_cost(load, cap);
                     }
                 }
                 for &l in cur_links {
                     if !alt_links.contains(&l) {
-                        let cap = self.capacities[l.index()];
+                        let cap = this.capacities[l.index()];
                         let load = loads[l.index()];
                         delta += fortz_link_cost((load - volume).max(0.0), cap)
                             - fortz_link_cost(load, cap);
@@ -239,10 +275,10 @@ impl PreferenceMapper for FortzMapper<'_> {
                 delta
             };
             let base = cost_delta(default);
-            for (alt, cell) in out.row_mut(i).iter_mut().enumerate() {
+            for (alt, cell) in row.iter_mut().enumerate() {
                 *cell = base - cost_delta(IcxId::new(alt));
             }
-        }
+        });
     }
 }
 

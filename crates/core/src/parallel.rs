@@ -1,0 +1,117 @@
+//! Flow-level parallel fills for the flat gain tables.
+//!
+//! The preference mappers spend their time in per-flow cost loops that
+//! are independent of each other once the shared state (the load
+//! vector) is snapshotted. Because a [`GainTable`] is one flat buffer
+//! whose rows are contiguous `num_alternatives()`-sized chunks, it
+//! splits into disjoint sub-slices of whole rows — each worker writes
+//! its own range and nothing else, so the result is **byte-identical**
+//! to the serial fill for any thread count (each cell is computed once,
+//! by the same arithmetic, from shared read-only state).
+//!
+//! This lives in the core crate so the mappers themselves
+//! ([`crate::BandwidthMapper::with_threads`],
+//! [`crate::FortzMapper::with_threads`], and the simulation harness's
+//! destination mapper) can fan out; the experiment harness re-exports
+//! it next to its pair-level `par_map`.
+
+use crate::arena::GainTable;
+
+/// How many worker threads a fill should use: an explicit request, or
+/// every available core when `requested` is 0 (the auto setting).
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
+    }
+}
+
+/// Fill the rows of one flat [`GainTable`] in parallel: `fill(flow, row)`
+/// computes flow `flow`'s gain row in place. `threads <= 1` runs the
+/// plain serial loop; any other count produces bitwise-identical output.
+pub fn par_flows<F>(threads: usize, table: &mut GainTable, fill: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    let num_flows = table.num_flows();
+    let k = table.num_alternatives();
+    if num_flows == 0 || k == 0 {
+        return;
+    }
+    let threads = resolve_threads(threads).min(num_flows);
+    if threads <= 1 {
+        for flow in 0..num_flows {
+            fill(flow, table.row_mut(flow));
+        }
+        return;
+    }
+    let rows_per = num_flows.div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        let fill = &fill;
+        let mut rest = table.values_mut();
+        let mut start = 0;
+        while start < num_flows {
+            let take = rows_per.min(num_flows - start);
+            let (chunk, tail) = rest.split_at_mut(take * k);
+            rest = tail;
+            let base = start;
+            s.spawn(move |_| {
+                for (i, row) in chunk.chunks_mut(k).enumerate() {
+                    fill(base + i, row);
+                }
+            });
+            start += take;
+        }
+    })
+    .expect("par_flows worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deliberately order-sensitive fill: each cell mixes the flow and
+    /// alternative index through float math that would drift if a cell
+    /// were computed twice or from the wrong indices.
+    fn reference_fill(flow: usize, row: &mut [f64]) {
+        for (alt, cell) in row.iter_mut().enumerate() {
+            *cell = (flow as f64 + 1.0).sqrt() * (alt as f64 - 1.5) / 3.0;
+        }
+    }
+
+    #[test]
+    fn par_flows_is_byte_identical_across_thread_counts() {
+        let mut serial = GainTable::new(37, 5);
+        par_flows(1, &mut serial, reference_fill);
+        for threads in [2, 4] {
+            let mut parallel = GainTable::new(37, 5);
+            par_flows(threads, &mut parallel, reference_fill);
+            assert!(
+                serial
+                    .values()
+                    .iter()
+                    .zip(parallel.values())
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "thread count {threads} changed the table"
+            );
+        }
+    }
+
+    #[test]
+    fn par_flows_handles_empty_and_tiny_tables() {
+        let mut empty = GainTable::new(0, 4);
+        par_flows(4, &mut empty, |_, _| panic!("no rows to fill"));
+        let mut one = GainTable::new(1, 2);
+        par_flows(8, &mut one, reference_fill);
+        let mut expect = GainTable::new(1, 2);
+        reference_fill(0, expect.row_mut(0));
+        assert_eq!(one, expect);
+    }
+
+    #[test]
+    fn auto_resolves_to_at_least_one() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

@@ -1,4 +1,5 @@
-//! A dense two-phase primal simplex LP solver.
+//! An LP solver stack built around a revised simplex with a maintained
+//! basis factorization.
 //!
 //! Built from scratch as the substrate for the paper's *globally optimal*
 //! bandwidth routing: "computed by solving an optimization problem that
@@ -8,22 +9,40 @@
 //! offline crate set does not include.
 //!
 //! Scope: minimize `c·x` subject to mixed `<=` / `>=` / `==` constraints
-//! and `x >= 0`. Problems in this workspace are small and dense-ish
-//! (hundreds of rows, a few thousand columns), so a dense tableau with
-//! Bland's anti-cycling rule is simple, robust, and fast enough. Dantzig
-//! pricing is used until degeneracy stalls are detected, then the solver
-//! falls back to Bland's rule, which guarantees termination.
+//! and `x >= 0`. Two engines share one standard form:
 //!
-//! Sweeps that re-solve one program with patched right-hand sides
-//! (failure-scenario ladders) should hold a [`SimplexWorkspace`]: it
-//! retains the final tableau and re-enters via dual simplex instead of
-//! cold-starting, falling back transparently whenever the structure
-//! changed or the saved basis is unusable.
+//! * [`revised`] — the production path: column-sparse constraint matrix,
+//!   dense LU of the basis with product-form (eta) updates and periodic
+//!   refactorization, Dantzig pricing with a Bland's-rule anti-cycling
+//!   fallback. [`solve`] / [`solve_with`] run it cold.
+//! * [`simplex`] — the dense full-tableau method, kept as the
+//!   independently implemented **oracle** ([`solve_dense`]) that the
+//!   revised path is property-tested against.
+//!
+//! # Warm starts
+//!
+//! Sweeps that re-solve one program with patches should hold a
+//! [`SimplexWorkspace`]: it retains the revised engine — the basis and
+//! its factorization — between solves and re-enters it instead of
+//! cold-starting. What is reused depends on what changed:
+//!
+//! | patch                                   | re-entry                                              |
+//! |-----------------------------------------|-------------------------------------------------------|
+//! | rhs only                                | `x_B = B⁻¹b` + dual-simplex repair (retained basis)   |
+//! | coefficients / objective (same pattern) | column refresh against the retained factorization     |
+//! | new structure (rows/sparsity/operators) | cold two-phase solve                                  |
+//!
+//! Every warm outcome is verified against the problem itself and falls
+//! back to a cold start transparently, so a warm solve can never return
+//! anything a cold solve would not ([`WarmStats`] counts which path each
+//! solve actually took).
 
 pub mod problem;
+pub mod revised;
 pub mod simplex;
 pub mod workspace;
 
 pub use problem::{Constraint, ConstraintOp, LpProblem};
-pub use simplex::{solve, solve_with, LpOutcome, SimplexOptions};
+pub use revised::{solve, solve_with};
+pub use simplex::{solve_dense, solve_dense_with, LpOutcome, SimplexOptions};
 pub use workspace::{SimplexWorkspace, WarmStats};

@@ -1,0 +1,1154 @@
+//! Revised simplex with a maintained basis factorization.
+//!
+//! The production engine behind [`crate::solve`] and
+//! [`crate::SimplexWorkspace`]. Where the dense tableau
+//! ([`crate::simplex`], kept as the property-tested oracle) rewrites the
+//! whole `m x n` matrix on every pivot, the revised method keeps the
+//! constraint matrix **immutable and column-sparse** and works through a
+//! factorization of the current basis `B`:
+//!
+//! * an **LU factorization** (dense, partial pivoting) of the basis is
+//!   computed at build time and rebuilt periodically,
+//! * each pivot appends a **product-form eta vector** instead of touching
+//!   the factorization — `FTRAN` (solve `B w = v`) and `BTRAN` (solve
+//!   `B^T y = v`) apply the LU base and then the eta file,
+//! * after a dimension-scaled number of etas (or numerical trouble) the basis is
+//!   **refactorized** from scratch, which also re-derives the basic
+//!   solution from the raw right-hand side and so bounds drift,
+//! * pricing recomputes reduced costs from `y = B^{-T} c_B` every
+//!   iteration — nothing stale survives a pivot.
+//!
+//! The payoff is warm restarts: the basis is a *set of column indices*
+//! plus a factorization, so a patched problem can re-enter without any
+//! saved tableau. Right-hand-side patches re-solve `x_B = B^{-1} b` and
+//! repair primal feasibility with dual-simplex pivots; **coefficient
+//! patches reload only the column values, refactorize the retained basis
+//! and re-optimize from it** — no phase 1, no rebuild (see
+//! [`RevisedSimplex::reload_values`] and [`RevisedSimplex::reoptimize`]).
+//! When a patch leaves the basis neither primal- nor dual-feasible, an
+//! **rhs homotopy** bridges: solve the (primal-feasible by construction)
+//! problem with `b' = B max(x_B, 0)`, then walk `b' -> b` with dual
+//! pivots from the now dual-feasible optimum.
+//!
+//! Pivot rules mirror the dense oracle: Dantzig pricing until a stall,
+//! then Bland's rule (termination on degenerate/cycling programs),
+//! lowest-basic-index tie-breaking in the ratio test, and the same
+//! two-phase structure with artificials banned from re-entering in
+//! phase 2.
+
+use crate::problem::{ConstraintOp, LpProblem};
+use crate::simplex::{LpOutcome, PhaseResult, SimplexOptions};
+
+/// Eta vectors tolerated before the basis is refactorized. Balances the
+/// `O(m^3)` refactorization against the `O(m)`-per-eta FTRAN/BTRAN
+/// overhead: the sweet spot grows with the basis dimension.
+fn refactor_limit(m: usize) -> usize {
+    (m / 2).clamp(32, 240)
+}
+
+/// Absolute floor for an acceptable LU pivot; below this the basis is
+/// treated as singular and the caller falls back.
+const PIVOT_MIN: f64 = 1e-11;
+
+/// Solve with default options on the revised engine.
+pub fn solve(problem: &LpProblem) -> LpOutcome {
+    solve_with(problem, SimplexOptions::default())
+}
+
+/// Solve with explicit options on the revised engine.
+pub fn solve_with(problem: &LpProblem, options: SimplexOptions) -> LpOutcome {
+    match RevisedSimplex::build(problem, options) {
+        Some(mut engine) => engine.run(problem),
+        // A singular *initial* basis cannot happen (it is a permuted
+        // identity), so this is unreachable in practice; report as a
+        // numerical iteration-limit rather than panicking.
+        None => LpOutcome::IterationLimit { iterations: 0 },
+    }
+}
+
+/// Dense LU factorization with partial pivoting (LAPACK-style `ipiv`).
+struct Lu {
+    /// Packed `m x m` row-major factors: unit-`L` strictly below the
+    /// diagonal, `U` on and above.
+    f: Vec<f64>,
+    /// Column-major copy of `f`: the FTRAN runs column-oriented with
+    /// zero-skips (the basis of these LPs is hyper-sparse, so most
+    /// right-hand sides stay mostly zero through the solves — skipping
+    /// zero multipliers turns the nominal `O(m^2)` into `O(m * nnz)`),
+    /// and the column-major layout keeps those passes contiguous.
+    fc: Vec<f64>,
+    /// `ipiv[k]` = row swapped with `k` at elimination step `k`.
+    ipiv: Vec<usize>,
+    m: usize,
+}
+
+impl Lu {
+    /// Factor a dense row-major `m x m` matrix. `None` when a pivot
+    /// column has no entry above [`PIVOT_MIN`] (singular basis).
+    fn factor(mut f: Vec<f64>, m: usize) -> Option<Self> {
+        let mut ipiv = Vec::with_capacity(m);
+        for k in 0..m {
+            // Partial pivoting: largest magnitude in column k at/below k.
+            let mut p = k;
+            let mut best = f[k * m + k].abs();
+            for i in k + 1..m {
+                let v = f[i * m + k].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best < PIVOT_MIN {
+                return None;
+            }
+            if p != k {
+                for j in 0..m {
+                    f.swap(k * m + j, p * m + j);
+                }
+            }
+            ipiv.push(p);
+            let pivot = f[k * m + k];
+            for i in k + 1..m {
+                let l = f[i * m + k] / pivot;
+                f[i * m + k] = l;
+                if l != 0.0 {
+                    for j in k + 1..m {
+                        f[i * m + j] -= l * f[k * m + j];
+                    }
+                }
+            }
+        }
+        let mut fc = vec![0.0; m * m];
+        for i in 0..m {
+            for j in 0..m {
+                fc[j * m + i] = f[i * m + j];
+            }
+        }
+        Some(Self { f, fc, ipiv, m })
+    }
+
+    /// Solve `B w = v` in place (`P B = L U`). Both triangular passes
+    /// run column-oriented over the column-major copy: contiguous, and
+    /// an entirely-skipped column per zero multiplier (hyper-sparse
+    /// right-hand sides touch only a handful of columns).
+    fn solve(&self, v: &mut [f64]) {
+        let m = self.m;
+        for (k, &p) in self.ipiv.iter().enumerate() {
+            if p != k {
+                v.swap(k, p);
+            }
+        }
+        // Forward: L y = P v (unit diagonal).
+        for j in 0..m {
+            let vj = v[j];
+            if vj != 0.0 {
+                let col = &self.fc[j * m..j * m + m];
+                for (vi, &lij) in v[j + 1..].iter_mut().zip(&col[j + 1..]) {
+                    *vi -= lij * vj;
+                }
+            }
+        }
+        // Backward: U w = y.
+        for j in (0..m).rev() {
+            let col = &self.fc[j * m..j * m + m];
+            let wj = v[j] / col[j];
+            v[j] = wj;
+            if wj != 0.0 {
+                for (vi, &uij) in v[..j].iter_mut().zip(&col[..j]) {
+                    *vi -= uij * wj;
+                }
+            }
+        }
+    }
+
+    /// Solve `B^T y = v` in place (`B^T = U^T L^T P`). Both triangular
+    /// passes run column-oriented so every inner loop walks one
+    /// contiguous row of the packed factor (the row-oriented form would
+    /// stride by `m` per element — cache-hostile on every BTRAN).
+    fn solve_transpose(&self, v: &mut [f64]) {
+        let m = self.m;
+        // Forward: U^T z = v. After fixing z_j, eliminate it from the
+        // remaining equations using row j of U (contiguous).
+        for j in 0..m {
+            let zj = v[j] / self.f[j * m + j];
+            v[j] = zj;
+            if zj != 0.0 {
+                let row = &self.f[j * m..j * m + m];
+                for (vi, &uji) in v[j + 1..].iter_mut().zip(&row[j + 1..]) {
+                    *vi -= uji * zj;
+                }
+            }
+        }
+        // Backward: L^T u = z (unit diagonal), same column-oriented
+        // shape over the strictly-lower rows of L.
+        for j in (1..m).rev() {
+            let uj = v[j];
+            if uj != 0.0 {
+                let row = &self.f[j * m..j * m + j];
+                for (vi, &lji) in v[..j].iter_mut().zip(row) {
+                    *vi -= lji * uj;
+                }
+            }
+        }
+        // y = P^T u: undo the swaps in reverse.
+        for (k, &p) in self.ipiv.iter().enumerate().rev() {
+            if p != k {
+                v.swap(k, p);
+            }
+        }
+    }
+}
+
+/// One product-form update: basis column `row` was replaced, and
+/// `col = B_old^{-1} a_entering` is the eta vector.
+struct Eta {
+    row: usize,
+    col: Vec<f64>,
+}
+
+/// The revised-simplex engine over one problem's standard form. See the
+/// module docs for the algorithm; [`crate::SimplexWorkspace`] keeps one
+/// of these alive between solves as the retained basis.
+pub(crate) struct RevisedSimplex {
+    /// Column-sparse equality-form matrix: `cols[j]` lists the non-zero
+    /// `(row, value)` entries of column `j`, rows ascending.
+    cols: Vec<Vec<(u32, f64)>>,
+    /// Sign-normalized right-hand side.
+    b: Vec<f64>,
+    m: usize,
+    n: usize,
+    /// Structural (original) variable count; columns `nv..` are slack,
+    /// surplus and artificial.
+    nv: usize,
+    /// First artificial column.
+    pub(crate) artificial_start: usize,
+    /// Row normalization signs fixed at the cold build (`-1.0` for rows
+    /// flipped to make the original rhs non-negative); value patches are
+    /// re-signed with these so the retained layout stays valid.
+    signs: Vec<f64>,
+    /// Basic variable of each row; `B`'s column `i` is `cols[basis[i]]`.
+    pub(crate) basis: Vec<usize>,
+    /// Column -> basis row, `usize::MAX` when nonbasic.
+    position: Vec<usize>,
+    /// Current basic values `x_B = B^{-1} b`, updated per pivot and
+    /// recomputed from scratch at every refactorization.
+    pub(crate) xb: Vec<f64>,
+    lu: Lu,
+    etas: Vec<Eta>,
+    /// Cost vector of the phase currently optimized (length `n`).
+    phase_cost: Vec<f64>,
+    pub(crate) options: SimplexOptions,
+    pub(crate) iterations_used: usize,
+    /// Recycled length-`m` buffers (retired eta columns, pricing
+    /// multipliers): the solve loop allocates nothing in steady state.
+    scratch: Vec<Vec<f64>>,
+}
+
+impl RevisedSimplex {
+    /// Build the standard form and the initial (unit) basis. The column
+    /// layout, row signs and initial basis match the dense oracle's
+    /// tableau build exactly. `None` only on a singular initial basis,
+    /// which cannot occur (it is a permuted identity).
+    pub(crate) fn build(problem: &LpProblem, options: SimplexOptions) -> Option<Self> {
+        let m = problem.num_constraints();
+        let nv = problem.num_variables();
+
+        struct RowPlan {
+            flip: bool,
+            op: ConstraintOp,
+        }
+        let plans: Vec<RowPlan> = problem
+            .constraints()
+            .iter()
+            .map(|c| {
+                let flip = c.rhs < 0.0;
+                let op = match (c.op, flip) {
+                    (ConstraintOp::Le, true) => ConstraintOp::Ge,
+                    (ConstraintOp::Ge, true) => ConstraintOp::Le,
+                    (op, _) => op,
+                };
+                RowPlan { flip, op }
+            })
+            .collect();
+        let num_slack = problem
+            .constraints()
+            .iter()
+            .filter(|c| c.op != ConstraintOp::Eq)
+            .count();
+        let num_artificial = plans.iter().filter(|p| p.op != ConstraintOp::Le).count();
+        let n = nv + num_slack + num_artificial;
+
+        let mut cols: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+        let mut b = vec![0.0; m];
+        let mut basis = vec![usize::MAX; m];
+        let mut signs = Vec::with_capacity(m);
+        let mut slack_col = nv;
+        let mut art_col = nv + num_slack;
+        for (i, (c, plan)) in problem.constraints().iter().zip(&plans).enumerate() {
+            let sign = if plan.flip { -1.0 } else { 1.0 };
+            signs.push(sign);
+            for &(var, coeff) in &c.coeffs {
+                cols[var].push((i as u32, sign * coeff));
+            }
+            b[i] = sign * c.rhs;
+            match plan.op {
+                ConstraintOp::Le => {
+                    cols[slack_col].push((i as u32, 1.0));
+                    basis[i] = slack_col;
+                    slack_col += 1;
+                }
+                ConstraintOp::Ge => {
+                    cols[slack_col].push((i as u32, -1.0)); // surplus
+                    slack_col += 1;
+                    cols[art_col].push((i as u32, 1.0));
+                    basis[i] = art_col;
+                    art_col += 1;
+                }
+                ConstraintOp::Eq => {
+                    cols[art_col].push((i as u32, 1.0));
+                    basis[i] = art_col;
+                    art_col += 1;
+                }
+            }
+        }
+        debug_assert_eq!(slack_col, nv + num_slack);
+        debug_assert_eq!(art_col, n);
+
+        let mut position = vec![usize::MAX; n];
+        for (row, &var) in basis.iter().enumerate() {
+            position[var] = row;
+        }
+        let mut engine = Self {
+            cols,
+            b,
+            m,
+            n,
+            nv,
+            artificial_start: nv + num_slack,
+            signs,
+            basis,
+            position,
+            xb: Vec::new(),
+            lu: Lu {
+                f: Vec::new(),
+                fc: Vec::new(),
+                ipiv: Vec::new(),
+                m: 0,
+            },
+            etas: Vec::new(),
+            phase_cost: vec![0.0; n],
+            options,
+            iterations_used: 0,
+            scratch: Vec::new(),
+        };
+        if !engine.refactor() {
+            return None;
+        }
+        Some(engine)
+    }
+
+    /// Rebuild the LU factorization from the current basis columns, drop
+    /// the eta file, and re-derive `x_B` from the raw rhs (bounding
+    /// accumulated drift). `false` when the basis matrix is singular.
+    fn refactor(&mut self) -> bool {
+        let m = self.m;
+        let mut dense = vec![0.0; m * m];
+        for (j, &var) in self.basis.iter().enumerate() {
+            for &(r, v) in &self.cols[var] {
+                dense[r as usize * m + j] = v;
+            }
+        }
+        let Some(lu) = Lu::factor(dense, m) else {
+            return false;
+        };
+        self.lu = lu;
+        let retired: Vec<Eta> = self.etas.drain(..).collect();
+        self.scratch.extend(retired.into_iter().map(|e| e.col));
+        self.xb = self.ftran_b();
+        true
+    }
+
+    /// A zeroed length-`m` buffer from the recycle pool.
+    fn take_buffer(&mut self) -> Vec<f64> {
+        let mut v = self.scratch.pop().unwrap_or_default();
+        v.clear();
+        v.resize(self.m, 0.0);
+        v
+    }
+
+    /// `B^{-1} b` for the current rhs.
+    fn ftran_b(&self) -> Vec<f64> {
+        let mut w = self.b.clone();
+        self.apply_ftran(&mut w);
+        w
+    }
+
+    /// FTRAN: overwrite `v` with `B^{-1} v` (LU base, then etas in
+    /// application order). The eta pass is a branch-free saxpy over the
+    /// whole column; the pivot row is patched afterwards.
+    fn apply_ftran(&self, v: &mut [f64]) {
+        self.lu.solve(v);
+        for eta in &self.etas {
+            let r = eta.row;
+            let wr = v[r] / eta.col[r];
+            if wr != 0.0 {
+                for (vi, &ei) in v.iter_mut().zip(&eta.col) {
+                    *vi -= ei * wr;
+                }
+            }
+            v[r] = wr;
+        }
+    }
+
+    /// BTRAN: overwrite `v` with `B^{-T} v` (etas in reverse, then the
+    /// LU base transposed). The eta dot product runs branch-free over
+    /// the whole column, correcting for the pivot-row term afterwards.
+    fn apply_btran(&self, v: &mut [f64]) {
+        for eta in self.etas.iter().rev() {
+            let r = eta.row;
+            let dot: f64 = eta.col.iter().zip(v.iter()).map(|(&e, &x)| e * x).sum();
+            v[r] = (v[r] - (dot - eta.col[r] * v[r])) / eta.col[r];
+        }
+        self.lu.solve_transpose(v);
+    }
+
+    /// `B^{-1} a_j` for one column (buffer drawn from the pool).
+    fn ftran_col(&mut self, j: usize) -> Vec<f64> {
+        let mut w = self.take_buffer();
+        for &(r, v) in &self.cols[j] {
+            w[r as usize] = v;
+        }
+        self.apply_ftran(&mut w);
+        w
+    }
+
+    /// Simplex multipliers `y = B^{-T} c_B` for the current phase cost
+    /// (buffer drawn from the pool; return it with `retire_buffer`).
+    fn multipliers(&mut self) -> Vec<f64> {
+        let mut y = self.take_buffer();
+        for (yi, &var) in y.iter_mut().zip(&self.basis) {
+            *yi = self.phase_cost[var];
+        }
+        self.apply_btran(&mut y);
+        y
+    }
+
+    /// Return a pooled buffer.
+    fn retire_buffer(&mut self, v: Vec<f64>) {
+        self.scratch.push(v);
+    }
+
+    /// Reduced cost `d_j = c_j - y · a_j` of one column.
+    fn reduced_cost(&self, j: usize, y: &[f64]) -> f64 {
+        let mut d = self.phase_cost[j];
+        for &(r, v) in &self.cols[j] {
+            d -= y[r as usize] * v;
+        }
+        d
+    }
+
+    /// Execute one basis change: entering column `q` replaces the basic
+    /// variable of row `r`, with `w = B^{-1} a_q` already computed.
+    /// Updates `x_B`, the basis maps and the eta file, and refactorizes
+    /// on schedule. `false` on a numerically unusable pivot.
+    fn pivot(&mut self, r: usize, q: usize, w: Vec<f64>) -> bool {
+        if w[r].abs() <= PIVOT_MIN {
+            return false;
+        }
+        let theta = self.xb[r] / w[r];
+        for (i, (xi, &wi)) in self.xb.iter_mut().zip(&w).enumerate() {
+            if i != r {
+                *xi -= theta * wi;
+            }
+        }
+        self.xb[r] = theta;
+        self.position[self.basis[r]] = usize::MAX;
+        self.basis[r] = q;
+        self.position[q] = r;
+        self.etas.push(Eta { row: r, col: w });
+        if self.etas.len() >= refactor_limit(self.m) && !self.refactor() {
+            return false;
+        }
+        true
+    }
+
+    /// Current phase objective `c_B · x_B`.
+    fn current_objective(&self) -> f64 {
+        self.basis
+            .iter()
+            .zip(&self.xb)
+            .map(|(&var, &x)| self.phase_cost[var] * x)
+            .sum()
+    }
+
+    /// One primal phase: pivot until optimal, unbounded or the budget
+    /// runs out. Dantzig pricing with a Bland fallback after a stall;
+    /// ratio-test ties break on the lowest basic index — the same rules
+    /// as the dense oracle. `ban_artificials` excludes artificial
+    /// columns from entering (phase 2 and every warm path).
+    pub(crate) fn optimize(&mut self, ban_artificials: bool) -> PhaseResult {
+        let tol = self.options.tolerance;
+        let limit = if ban_artificials {
+            self.artificial_start
+        } else {
+            self.n
+        };
+        let mut stall = 0usize;
+        let mut bland = false;
+        let mut last_obj = f64::INFINITY;
+        loop {
+            if self.iterations_used >= self.options.max_iterations {
+                return PhaseResult::IterationLimit;
+            }
+            // Entering column.
+            let y = self.multipliers();
+            let mut entering: Option<(usize, f64)> = None;
+            for j in 0..limit {
+                if self.position[j] != usize::MAX {
+                    continue;
+                }
+                let dj = self.reduced_cost(j, &y);
+                if dj < -tol {
+                    if bland {
+                        entering = Some((j, dj));
+                        break;
+                    }
+                    if entering.is_none_or(|(_, best)| dj < best) {
+                        entering = Some((j, dj));
+                    }
+                }
+            }
+            self.retire_buffer(y);
+            let Some((q, _)) = entering else {
+                return PhaseResult::Optimal;
+            };
+            // Ratio test.
+            let w = self.ftran_col(q);
+            let mut pivot_row: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for (i, &wi) in w.iter().enumerate() {
+                if wi > tol {
+                    let ratio = self.xb[i] / wi;
+                    let better = ratio < best_ratio - tol
+                        || (ratio < best_ratio + tol
+                            && pivot_row.is_none_or(|r| self.basis[i] < self.basis[r]));
+                    if better {
+                        best_ratio = ratio;
+                        pivot_row = Some(i);
+                    }
+                }
+            }
+            let Some(r) = pivot_row else {
+                return PhaseResult::Unbounded;
+            };
+            if !self.pivot(r, q, w) {
+                return PhaseResult::IterationLimit;
+            }
+            self.iterations_used += 1;
+
+            let current = self.current_objective();
+            if current < last_obj - tol {
+                stall = 0;
+                last_obj = current;
+            } else {
+                stall += 1;
+                if stall >= self.options.stall_threshold {
+                    bland = true;
+                }
+            }
+        }
+    }
+
+    /// Dual-simplex pivoting from a dual-feasible basis towards primal
+    /// feasibility: leave on the most negative `x_B` row, enter on the
+    /// column minimizing `d_j / -alpha_j` over negative pivot
+    /// candidates (`alpha = row r of B^{-1} A`, obtained via BTRAN).
+    /// Artificials never enter. `false` when blocked (dual ray, bad
+    /// pivot, or the pivot budget ran out) — the caller falls back.
+    pub(crate) fn dual_optimize(&mut self, max_pivots: usize) -> bool {
+        let tol = self.options.tolerance;
+        // Primal-feasibility threshold for the leaving test: looser than
+        // the pivot tolerance, like every practical dual simplex — after
+        // an aggressive coefficient patch, roundoff alone can push a
+        // genuinely-tight basic value a few 1e-9 below zero, and trying
+        // to "repair" that phantom infeasibility dead-ends in a spurious
+        // dual ray (no eligible pivot). End-of-solve verification still
+        // checks the solution against the problem at 1e-6.
+        let feas = tol.max(1e-7);
+        let mut pivots = 0usize;
+        loop {
+            // Leaving row: most negative basic value.
+            let mut leaving: Option<(usize, f64)> = None;
+            for (i, &xi) in self.xb.iter().enumerate() {
+                if xi < -feas && leaving.is_none_or(|(_, best)| xi < best) {
+                    leaving = Some((i, xi));
+                }
+            }
+            let Some((r, _)) = leaving else {
+                return true;
+            };
+            if pivots >= max_pivots {
+                return false;
+            }
+            // Row r of B^{-1} A: rho = B^{-T} e_r, alpha_j = rho · a_j.
+            let mut rho = self.take_buffer();
+            rho[r] = 1.0;
+            self.apply_btran(&mut rho);
+            let y = self.multipliers();
+            let mut entering: Option<(usize, f64)> = None;
+            for j in 0..self.artificial_start {
+                if self.position[j] != usize::MAX {
+                    continue;
+                }
+                let mut alpha = 0.0;
+                for &(row, v) in &self.cols[j] {
+                    alpha += rho[row as usize] * v;
+                }
+                if alpha < -tol {
+                    let ratio = self.reduced_cost(j, &y) / -alpha;
+                    if entering.is_none_or(|(_, best)| ratio < best - tol) {
+                        entering = Some((j, ratio));
+                    }
+                }
+            }
+            self.retire_buffer(rho);
+            self.retire_buffer(y);
+            let Some((q, _)) = entering else {
+                return false;
+            };
+            let w = self.ftran_col(q);
+            if !self.pivot(r, q, w) {
+                return false;
+            }
+            self.iterations_used += 1;
+            pivots += 1;
+        }
+    }
+
+    /// Install a phase cost vector: zero everywhere except `values` on
+    /// the leading columns.
+    fn set_phase_cost(&mut self, values: &[f64]) {
+        self.phase_cost.iter_mut().for_each(|c| *c = 0.0);
+        self.phase_cost[..values.len()].copy_from_slice(values);
+    }
+
+    /// Install the phase-1 cost (1 on artificials).
+    fn set_phase1_cost(&mut self) {
+        for (j, c) in self.phase_cost.iter_mut().enumerate() {
+            *c = if j >= self.artificial_start { 1.0 } else { 0.0 };
+        }
+    }
+
+    /// Full two-phase cold solve, mirroring the dense oracle's `run`.
+    pub(crate) fn run(&mut self, problem: &LpProblem) -> LpOutcome {
+        let tol = self.options.tolerance;
+        if self.artificial_start < self.n {
+            self.set_phase1_cost();
+            match self.optimize(false) {
+                PhaseResult::Optimal => {}
+                // Phase 1 is bounded below by 0; "unbounded" means
+                // numerical trouble. Report as an iteration limit.
+                PhaseResult::Unbounded | PhaseResult::IterationLimit => {
+                    return LpOutcome::IterationLimit {
+                        iterations: self.iterations_used,
+                    }
+                }
+            }
+            if self.current_objective() > tol.max(1e-7) {
+                return LpOutcome::Infeasible;
+            }
+            self.drive_out_artificials();
+        }
+
+        self.set_phase_cost(problem.objective());
+        match self.optimize(true) {
+            PhaseResult::Optimal => {
+                let solution = self.extract_solution(problem.num_variables());
+                LpOutcome::Optimal {
+                    objective: problem.objective_value(&solution),
+                    solution,
+                }
+            }
+            PhaseResult::Unbounded => LpOutcome::Unbounded,
+            PhaseResult::IterationLimit => LpOutcome::IterationLimit {
+                iterations: self.iterations_used,
+            },
+        }
+    }
+
+    /// Pivot any artificial still basic (at value ~0) out of the basis
+    /// when a structural/slack pivot exists in its row; rows without one
+    /// are redundant and the artificial stays harmlessly basic at 0
+    /// (phase 2 bans artificial entering columns).
+    fn drive_out_artificials(&mut self) {
+        let tol = self.options.tolerance;
+        for r in 0..self.m {
+            if self.basis[r] < self.artificial_start {
+                continue;
+            }
+            let mut rho = self.take_buffer();
+            rho[r] = 1.0;
+            self.apply_btran(&mut rho);
+            let candidate = (0..self.artificial_start)
+                .filter(|&j| self.position[j] == usize::MAX)
+                .find(|&j| {
+                    let mut alpha = 0.0;
+                    for &(row, v) in &self.cols[j] {
+                        alpha += rho[row as usize] * v;
+                    }
+                    alpha.abs() > tol
+                });
+            self.retire_buffer(rho);
+            if let Some(q) = candidate {
+                let w = self.ftran_col(q);
+                // The pivot element may still be tiny after drift; leave
+                // the artificial in place in that case (harmless at 0).
+                if w[r].abs() > tol {
+                    self.pivot(r, q, w);
+                }
+            }
+        }
+    }
+
+    /// Read the current basic solution (non-basic variables are zero).
+    pub(crate) fn extract_solution(&self, num_variables: usize) -> Vec<f64> {
+        let mut solution = vec![0.0; num_variables];
+        for (row, &var) in self.basis.iter().enumerate() {
+            if var < solution.len() {
+                solution[var] = self.xb[row].max(0.0);
+            }
+        }
+        solution
+    }
+
+    /// Install a patched rhs (re-signed with the retained row signs) and
+    /// recompute `x_B`. Used by the rhs-only warm path; the basis and
+    /// column values are untouched.
+    pub(crate) fn install_rhs(&mut self, problem: &LpProblem) {
+        for (i, c) in problem.constraints().iter().enumerate() {
+            self.b[i] = self.signs[i] * c.rhs;
+        }
+        self.xb = self.ftran_b();
+    }
+
+    /// Reload the structural column values and rhs from a
+    /// pattern-identical problem (the coefficient-patch warm path),
+    /// keeping the basis. The factorization only stale-dates where a
+    /// **basic** column's values changed; when few did (a capacity-model
+    /// patch touches one shared column), each is absorbed as a rank-1
+    /// **product-form update** — one FTRAN per changed basic column —
+    /// instead of an `O(m^3)` refactorization. `false` when the retained
+    /// basis went singular under the new values (the caller falls back
+    /// to a cold start).
+    pub(crate) fn reload_values(&mut self, problem: &LpProblem) -> bool {
+        debug_assert_eq!(problem.num_constraints(), self.m);
+        debug_assert_eq!(problem.num_variables(), self.nv);
+        // Stream the new values over the retained sparsity pattern,
+        // tracking which basic columns actually changed.
+        let mut cursor = vec![0usize; self.nv];
+        let mut changed_basic: Vec<usize> = Vec::new();
+        for (i, c) in problem.constraints().iter().enumerate() {
+            let sign = self.signs[i];
+            for &(var, coeff) in &c.coeffs {
+                let entry = &mut self.cols[var][cursor[var]];
+                debug_assert_eq!(entry.0 as usize, i, "pattern mismatch");
+                cursor[var] += 1;
+                let value = sign * coeff;
+                if entry.1.to_bits() != value.to_bits() {
+                    entry.1 = value;
+                    if self.position[var] != usize::MAX {
+                        changed_basic.push(var);
+                    }
+                }
+            }
+            self.b[i] = sign * c.rhs;
+        }
+        changed_basic.sort_unstable();
+        changed_basic.dedup();
+        // Few changed basic columns: absorb each as an eta update
+        // (`B_new = B_old * E`, `E`'s column `position[var]` being
+        // `B_old^{-1} a_var_new`). Many (a workload patch rewrites every
+        // volume): a fresh factorization is cheaper.
+        let budget = refactor_limit(self.m).saturating_sub(self.etas.len());
+        if changed_basic.len() <= 8.min(budget) {
+            for var in changed_basic {
+                let pos = self.position[var];
+                let w = self.ftran_col(var);
+                if w[pos].abs() <= PIVOT_MIN {
+                    self.scratch.push(w);
+                    return self.refactor();
+                }
+                self.etas.push(Eta { row: pos, col: w });
+            }
+            self.xb = self.ftran_b();
+            true
+        } else {
+            self.refactor()
+        }
+    }
+
+    /// Re-optimize from the current basis with the phase-2 objective
+    /// installed, choosing the cheapest repair that applies:
+    ///
+    /// 1. primal feasible — a plain primal polish,
+    /// 2. dual feasible — dual-simplex repair, then the polish,
+    /// 3. neither — the rhs homotopy: solve with `b' = B max(x_B, 0)`
+    ///    (primal feasible at the current basis by construction), then
+    ///    walk back to the true `b` with dual pivots from the bridge
+    ///    optimum, which *is* dual feasible.
+    ///
+    /// `false` means the basis could not be reused (the caller falls
+    /// back to a cold start, so no outcome is ever lost).
+    pub(crate) fn reoptimize(&mut self, objective: &[f64]) -> bool {
+        let tol = self.options.tolerance;
+        self.set_phase_cost(objective);
+        self.iterations_used = 0;
+        let dual_budget = 4 * self.m + 64;
+
+        if self.xb.iter().all(|&x| x >= -tol) {
+            return matches!(self.optimize(true), PhaseResult::Optimal);
+        }
+        if self.dual_feasible() {
+            // A blocked dual repair (budget burnt with large
+            // infeasibility left — measured on workload-model switches,
+            // whose patches move the whole residual vector) is a basis
+            // that is genuinely far from re-usable: the homotopy's
+            // walk-back would burn the same budget again, so fall back
+            // to a cold start instead.
+            return self.dual_optimize(dual_budget)
+                && matches!(self.optimize(true), PhaseResult::Optimal);
+        }
+
+        // Homotopy bridge.
+        let true_b = self.b.clone();
+        let target: Vec<f64> = self.xb.iter().map(|&x| x.max(0.0)).collect();
+        let mut bridge = vec![0.0; self.m];
+        for (i, &var) in self.basis.iter().enumerate() {
+            let x = target[i];
+            if x != 0.0 {
+                for &(r, v) in &self.cols[var] {
+                    bridge[r as usize] += v * x;
+                }
+            }
+        }
+        self.b = bridge;
+        self.xb = target;
+        let bridged = matches!(self.optimize(true), PhaseResult::Optimal);
+        self.b = true_b;
+        self.xb = self.ftran_b();
+        if !bridged {
+            return false;
+        }
+        self.dual_optimize(dual_budget) && matches!(self.optimize(true), PhaseResult::Optimal)
+    }
+
+    /// Whether every non-artificial nonbasic column prices out
+    /// non-negative under the current phase cost.
+    fn dual_feasible(&mut self) -> bool {
+        let tol = self.options.tolerance;
+        let y = self.multipliers();
+        let ok = (0..self.artificial_start)
+            .filter(|&j| self.position[j] == usize::MAX)
+            .all(|j| self.reduced_cost(j, &y) >= -tol);
+        self.retire_buffer(y);
+        ok
+    }
+
+    /// Whether an artificial variable is basic at a meaningfully
+    /// positive level — the retained basis cannot represent the patched
+    /// problem, and the warm result must be discarded.
+    pub(crate) fn artificial_still_basic(&self) -> bool {
+        let feas_tol = self.options.tolerance.max(1e-7);
+        self.basis
+            .iter()
+            .zip(&self.xb)
+            .any(|(&var, &x)| var >= self.artificial_start && x > feas_tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{ConstraintOp, LpProblem};
+
+    fn assert_optimal(outcome: &LpOutcome, expect_obj: f64, tol: f64) -> Vec<f64> {
+        match outcome {
+            LpOutcome::Optimal {
+                objective,
+                solution,
+            } => {
+                assert!(
+                    (objective - expect_obj).abs() < tol,
+                    "objective {objective} != {expect_obj}"
+                );
+                solution.clone()
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_le_problem() {
+        let mut p = LpProblem::new();
+        let x = p.add_variable(-1.0);
+        let y = p.add_variable(-2.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Le, 4.0);
+        p.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 2.0);
+        let sol = assert_optimal(&solve(&p), -8.0, 1e-7);
+        assert!((sol[0] - 0.0).abs() < 1e-7);
+        assert!((sol[1] - 4.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn equality_and_ge() {
+        let mut p = LpProblem::new();
+        let x = p.add_variable(1.0);
+        let y = p.add_variable(1.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Eq, 3.0);
+        p.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 1.0);
+        let sol = assert_optimal(&solve(&p), 3.0, 1e-7);
+        assert!(p.is_feasible(&sol, 1e-7));
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = LpProblem::new();
+        let x = p.add_variable(1.0);
+        p.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 1.0);
+        p.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 2.0);
+        assert_eq!(solve(&p), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut p = LpProblem::new();
+        let x = p.add_variable(-1.0);
+        p.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 1.0);
+        assert_eq!(solve(&p), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        let mut p = LpProblem::new();
+        let x = p.add_variable(1.0);
+        p.add_constraint(vec![(x, -1.0)], ConstraintOp::Le, -3.0);
+        let sol = assert_optimal(&solve(&p), 3.0, 1e-7);
+        assert!((sol[0] - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn min_max_ratio_shape() {
+        let mut p = LpProblem::new();
+        let t = p.add_variable(1.0);
+        let x1 = p.add_variable(0.0);
+        let x2 = p.add_variable(0.0);
+        p.add_constraint(vec![(x1, 1.0), (x2, 1.0)], ConstraintOp::Eq, 1.0);
+        p.add_constraint(vec![(x1, 5.0), (t, -10.0)], ConstraintOp::Le, 0.0);
+        p.add_constraint(vec![(x2, 5.0), (t, -2.0)], ConstraintOp::Le, 0.0);
+        let sol = assert_optimal(&solve(&p), 5.0 / 12.0, 1e-7);
+        assert!((sol[1] - 5.0 / 6.0).abs() < 1e-6);
+        assert!((sol[2] - 1.0 / 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn redundant_equalities_ok() {
+        let mut p = LpProblem::new();
+        let x = p.add_variable(1.0);
+        let y = p.add_variable(3.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Eq, 2.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Eq, 2.0);
+        let sol = assert_optimal(&solve(&p), 2.0, 1e-7);
+        assert!((sol[0] - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn zero_constraint_problem() {
+        let mut p = LpProblem::new();
+        let _x = p.add_variable(1.0);
+        let sol = assert_optimal(&solve(&p), 0.0, 1e-9);
+        assert_eq!(sol.len(), 1);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        let mut p = LpProblem::new();
+        let x = p.add_variable(-1.0);
+        let y = p.add_variable(-1.0);
+        p.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 0.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Le, 0.0);
+        p.add_constraint(vec![(x, 2.0), (y, 1.0)], ConstraintOp::Le, 0.0);
+        let sol = assert_optimal(&solve(&p), 0.0, 1e-7);
+        assert!(p.is_feasible(&sol, 1e-7));
+    }
+
+    /// Beale's classic cycling example: pure Dantzig pricing with naive
+    /// tie-breaking loops forever at the degenerate origin. The stall
+    /// detector must hand over to Bland's rule and terminate at the true
+    /// optimum (-1/20).
+    #[test]
+    fn beale_cycling_example_terminates() {
+        let mut p = LpProblem::new();
+        let x1 = p.add_variable(-0.75);
+        let x2 = p.add_variable(150.0);
+        let x3 = p.add_variable(-0.02);
+        let x4 = p.add_variable(6.0);
+        p.add_constraint(
+            vec![(x1, 0.25), (x2, -60.0), (x3, -1.0 / 25.0), (x4, 9.0)],
+            ConstraintOp::Le,
+            0.0,
+        );
+        p.add_constraint(
+            vec![(x1, 0.5), (x2, -90.0), (x3, -1.0 / 50.0), (x4, 3.0)],
+            ConstraintOp::Le,
+            0.0,
+        );
+        p.add_constraint(vec![(x3, 1.0)], ConstraintOp::Le, 1.0);
+        let sol = assert_optimal(&solve(&p), -0.05, 1e-9);
+        assert!(p.is_feasible(&sol, 1e-9));
+    }
+
+    /// A degenerate program forced through an aggressive stall threshold
+    /// so Bland's rule engages almost immediately — termination and the
+    /// optimum must be unaffected.
+    #[test]
+    fn blands_rule_engages_on_degenerate_program() {
+        // x = y is forced by two opposing rows both active at the
+        // degenerate origin; the optimum sits at (1, 1).
+        let mut p = LpProblem::new();
+        let x = p.add_variable(-1.0);
+        let y = p.add_variable(-1.0);
+        p.add_constraint(vec![(x, 1.0), (y, -1.0)], ConstraintOp::Le, 0.0);
+        p.add_constraint(vec![(x, -1.0), (y, 1.0)], ConstraintOp::Le, 0.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Le, 2.0);
+        let options = SimplexOptions {
+            stall_threshold: 1,
+            ..SimplexOptions::default()
+        };
+        let outcome = solve_with(&p, options);
+        let sol = assert_optimal(&outcome, -2.0, 1e-7);
+        assert!(p.is_feasible(&sol, 1e-7));
+    }
+
+    /// Long pivot chains cross the eta-file refactorization limit; the
+    /// result must be unaffected.
+    #[test]
+    fn refactorization_preserves_results() {
+        // A transport-like chain with enough pivots to trip REFACTOR_LIMIT.
+        let stages = 60usize;
+        let mut p = LpProblem::new();
+        let vars: Vec<usize> = (0..stages)
+            .map(|s| p.add_variable(1.0 + (s % 7) as f64 * 0.25))
+            .collect();
+        for s in 0..stages {
+            p.add_constraint(
+                if s == 0 {
+                    vec![(vars[0], 1.0)]
+                } else {
+                    vec![(vars[s - 1], 0.5), (vars[s], 1.0)]
+                },
+                ConstraintOp::Ge,
+                1.0 + (s % 3) as f64,
+            );
+        }
+        let revised = solve(&p);
+        let dense = crate::simplex::solve_dense(&p);
+        match (&revised, &dense) {
+            (
+                LpOutcome::Optimal {
+                    objective: r,
+                    solution,
+                },
+                LpOutcome::Optimal { objective: d, .. },
+            ) => {
+                assert!((r - d).abs() < 1e-9, "revised {r} != dense {d}");
+                assert!(p.is_feasible(solution, 1e-6));
+            }
+            other => panic!("expected both optimal, got {other:?}"),
+        }
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        // Revised vs dense on random feasible-by-construction LPs: the
+        // dense tableau is the oracle; objectives must agree to 1e-9.
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn revised_matches_dense_oracle(
+                nv in 1usize..5,
+                seed_rows in proptest::collection::vec(
+                    (proptest::collection::vec(-5.0f64..5.0, 5), 0.0f64..3.0), 1..6),
+                cost in proptest::collection::vec(0.0f64..4.0, 5),
+                x0 in proptest::collection::vec(0.0f64..3.0, 5),
+            ) {
+                let mut p = LpProblem::new();
+                for &c in cost.iter().take(nv) {
+                    p.add_variable(c);
+                }
+                for (coeffs, slack) in &seed_rows {
+                    let row: Vec<(usize, f64)> =
+                        (0..nv).map(|i| (i, coeffs[i])).collect();
+                    let rhs: f64 =
+                        (0..nv).map(|i| coeffs[i] * x0[i]).sum::<f64>() + slack;
+                    p.add_constraint(row, ConstraintOp::Le, rhs);
+                }
+                match (solve(&p), crate::simplex::solve_dense(&p)) {
+                    (
+                        LpOutcome::Optimal { objective: r, solution },
+                        LpOutcome::Optimal { objective: d, .. },
+                    ) => {
+                        prop_assert!((r - d).abs() < 1e-9,
+                            "revised {r} != dense {d}");
+                        prop_assert!(p.is_feasible(&solution, 1e-6));
+                    }
+                    other => prop_assert!(false, "outcome mismatch: {other:?}"),
+                }
+            }
+
+            // Mixed-operator programs around a known interior point: the
+            // two engines must agree on the outcome class and, when
+            // optimal, on the objective.
+            #[test]
+            fn revised_matches_dense_on_mixed_ops(
+                nv in 1usize..4,
+                rows in proptest::collection::vec(
+                    (proptest::collection::vec(-3.0f64..3.0, 4), 0usize..3, 0.0f64..2.0),
+                    1..5),
+                cost in proptest::collection::vec(0.0f64..3.0, 4),
+                x0 in proptest::collection::vec(0.2f64..2.0, 4),
+            ) {
+                let mut p = LpProblem::new();
+                for &c in cost.iter().take(nv) {
+                    p.add_variable(c);
+                }
+                for (coeffs, op, slack) in &rows {
+                    let row: Vec<(usize, f64)> =
+                        (0..nv).map(|i| (i, coeffs[i])).collect();
+                    let at_x0: f64 = (0..nv).map(|i| coeffs[i] * x0[i]).sum();
+                    // Keep x0 feasible under every operator choice.
+                    let (op, rhs) = match op {
+                        0 => (ConstraintOp::Le, at_x0 + slack),
+                        1 => (ConstraintOp::Ge, at_x0 - slack),
+                        _ => (ConstraintOp::Eq, at_x0),
+                    };
+                    p.add_constraint(row, op, rhs);
+                }
+                match (solve(&p), crate::simplex::solve_dense(&p)) {
+                    (
+                        LpOutcome::Optimal { objective: r, solution },
+                        LpOutcome::Optimal { objective: d, .. },
+                    ) => {
+                        prop_assert!((r - d).abs() < 1e-9,
+                            "revised {r} != dense {d}");
+                        prop_assert!(p.is_feasible(&solution, 1e-6));
+                    }
+                    (LpOutcome::Infeasible, LpOutcome::Infeasible)
+                    | (LpOutcome::Unbounded, LpOutcome::Unbounded) => {}
+                    other => prop_assert!(false, "outcome mismatch: {other:?}"),
+                }
+            }
+        }
+    }
+}

@@ -1,7 +1,11 @@
-//! Two-phase dense primal simplex.
+//! Two-phase dense primal simplex — the property-tested **oracle**.
 //!
-//! Textbook tableau implementation hardened for the problems this
-//! workspace generates:
+//! The production engine is the revised simplex in [`crate::revised`]
+//! (maintained basis factorization, warm restarts); this module keeps
+//! the textbook full-tableau method as an independent reference
+//! implementation that the revised path is proptested against
+//! ([`solve_dense`]). Hardened for the problems this workspace
+//! generates:
 //!
 //! * rows are normalized so every right-hand side is non-negative,
 //! * phase 1 minimizes the sum of artificial variables to find a basic
@@ -57,13 +61,13 @@ pub enum LpOutcome {
     },
 }
 
-/// Solve with default options.
-pub fn solve(problem: &LpProblem) -> LpOutcome {
-    solve_with(problem, SimplexOptions::default())
+/// Solve with default options on the dense oracle path.
+pub fn solve_dense(problem: &LpProblem) -> LpOutcome {
+    solve_dense_with(problem, SimplexOptions::default())
 }
 
-/// Solve with explicit options.
-pub fn solve_with(problem: &LpProblem, options: SimplexOptions) -> LpOutcome {
+/// Solve with explicit options on the dense oracle path.
+pub fn solve_dense_with(problem: &LpProblem, options: SimplexOptions) -> LpOutcome {
     let mut tableau = Tableau::build(problem, options);
     tableau.run(problem)
 }
@@ -71,8 +75,7 @@ pub fn solve_with(problem: &LpProblem, options: SimplexOptions) -> LpOutcome {
 pub(crate) struct Tableau {
     /// Constraint matrix, row-major, `m x n`.
     pub(crate) a: Vec<f64>,
-    /// Right-hand sides (kept non-negative by the cold build; a warm
-    /// restart may install negative entries before dual pivoting).
+    /// Right-hand sides (kept non-negative by the build).
     pub(crate) b: Vec<f64>,
     /// Reduced-cost row for the current phase.
     pub(crate) d: Vec<f64>,
@@ -88,16 +91,6 @@ pub(crate) struct Tableau {
     pub(crate) phase_cost: Option<Vec<f64>>,
     pub(crate) options: SimplexOptions,
     pub(crate) iterations_used: usize,
-    /// Per-row normalization sign applied at build time (`-1.0` for rows
-    /// flipped to make the original rhs non-negative). The equality-form
-    /// encoding stays valid for *any* new rhs under the same signs, which
-    /// is what lets a warm restart patch `b` without rebuilding.
-    pub(crate) signs: Vec<f64>,
-    /// Column that started as the unit vector `e_r` of each row (the Le
-    /// slack, or the Ge/Eq artificial). Row operations preserve
-    /// `column == B^{-1} e_r`, so these columns always hold the current
-    /// basis inverse — free of charge.
-    pub(crate) unit_cols: Vec<usize>,
 }
 
 impl Tableau {
@@ -143,13 +136,10 @@ impl Tableau {
         let mut b = vec![0.0; m];
         let mut basis = vec![usize::MAX; m];
 
-        let mut signs = Vec::with_capacity(m);
-        let mut unit_cols = Vec::with_capacity(m);
         let mut slack_col = nv;
         let mut art_col = nv + num_slack;
         for (i, (c, plan)) in problem.constraints().iter().zip(&plans).enumerate() {
             let sign = if plan.flip { -1.0 } else { 1.0 };
-            signs.push(sign);
             for &(var, coeff) in &c.coeffs {
                 a[i * n + var] = sign * coeff;
             }
@@ -158,7 +148,6 @@ impl Tableau {
                 ConstraintOp::Le => {
                     a[i * n + slack_col] = 1.0;
                     basis[i] = slack_col;
-                    unit_cols.push(slack_col);
                     slack_col += 1;
                 }
                 ConstraintOp::Ge => {
@@ -166,13 +155,11 @@ impl Tableau {
                     slack_col += 1;
                     a[i * n + art_col] = 1.0;
                     basis[i] = art_col;
-                    unit_cols.push(art_col);
                     art_col += 1;
                 }
                 ConstraintOp::Eq => {
                     a[i * n + art_col] = 1.0;
                     basis[i] = art_col;
-                    unit_cols.push(art_col);
                     art_col += 1;
                 }
             }
@@ -191,8 +178,6 @@ impl Tableau {
             phase_cost: None,
             options,
             iterations_used: 0,
-            signs,
-            unit_cols,
         }
     }
 
@@ -417,51 +402,6 @@ impl Tableau {
         }
         solution
     }
-
-    /// Dual-simplex pivoting from a dual-feasible basis (`d >= 0` on the
-    /// non-artificial columns) towards primal feasibility (`b >= 0`):
-    /// leave on the most negative `b` row, enter on the column minimizing
-    /// `d_j / -a_rj` over negative pivot candidates. Artificial columns
-    /// never enter. Returns `false` when blocked (no eligible entering
-    /// column — a dual ray — or the pivot budget ran out); the caller is
-    /// expected to fall back to a cold start in that case.
-    pub(crate) fn dual_optimize(&mut self, max_pivots: usize) -> bool {
-        let tol = self.options.tolerance;
-        let mut pivots = 0usize;
-        loop {
-            // Leaving row: most negative b.
-            let mut row: Option<(usize, f64)> = None;
-            for (i, &bi) in self.b.iter().enumerate() {
-                if bi < -tol && row.is_none_or(|(_, best)| bi < best) {
-                    row = Some((i, bi));
-                }
-            }
-            let Some((row, _)) = row else {
-                return true;
-            };
-            if pivots >= max_pivots {
-                return false;
-            }
-            // Entering column: dual ratio test over negative entries.
-            let base = row * self.n;
-            let mut col: Option<(usize, f64)> = None;
-            for j in 0..self.artificial_start {
-                let arj = self.a[base + j];
-                if arj < -tol {
-                    let ratio = self.d[j] / -arj;
-                    if col.is_none_or(|(_, best)| ratio < best - tol) {
-                        col = Some((j, ratio));
-                    }
-                }
-            }
-            let Some((col, _)) = col else {
-                return false;
-            };
-            self.pivot(row, col);
-            self.iterations_used += 1;
-            pivots += 1;
-        }
-    }
 }
 
 pub(crate) enum PhaseResult {
@@ -499,7 +439,7 @@ mod tests {
         let y = p.add_variable(-2.0);
         p.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Le, 4.0);
         p.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 2.0);
-        let sol = assert_optimal(&solve(&p), -8.0, 1e-7);
+        let sol = assert_optimal(&solve_dense(&p), -8.0, 1e-7);
         assert!((sol[0] - 0.0).abs() < 1e-7);
         assert!((sol[1] - 4.0).abs() < 1e-7);
     }
@@ -512,7 +452,7 @@ mod tests {
         let y = p.add_variable(1.0);
         p.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Eq, 3.0);
         p.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 1.0);
-        let sol = assert_optimal(&solve(&p), 3.0, 1e-7);
+        let sol = assert_optimal(&solve_dense(&p), 3.0, 1e-7);
         assert!(p.is_feasible(&sol, 1e-7));
     }
 
@@ -523,7 +463,7 @@ mod tests {
         let x = p.add_variable(1.0);
         p.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 1.0);
         p.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 2.0);
-        assert_eq!(solve(&p), LpOutcome::Infeasible);
+        assert_eq!(solve_dense(&p), LpOutcome::Infeasible);
     }
 
     #[test]
@@ -532,7 +472,7 @@ mod tests {
         let mut p = LpProblem::new();
         let x = p.add_variable(-1.0);
         p.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 1.0);
-        assert_eq!(solve(&p), LpOutcome::Unbounded);
+        assert_eq!(solve_dense(&p), LpOutcome::Unbounded);
     }
 
     #[test]
@@ -541,7 +481,7 @@ mod tests {
         let mut p = LpProblem::new();
         let x = p.add_variable(1.0);
         p.add_constraint(vec![(x, -1.0)], ConstraintOp::Le, -3.0);
-        let sol = assert_optimal(&solve(&p), 3.0, 1e-7);
+        let sol = assert_optimal(&solve_dense(&p), 3.0, 1e-7);
         assert!((sol[0] - 3.0).abs() < 1e-7);
     }
 
@@ -554,7 +494,7 @@ mod tests {
         p.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 0.0);
         p.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Le, 0.0);
         p.add_constraint(vec![(x, 2.0), (y, 1.0)], ConstraintOp::Le, 0.0);
-        let sol = assert_optimal(&solve(&p), 0.0, 1e-7);
+        let sol = assert_optimal(&solve_dense(&p), 0.0, 1e-7);
         assert!(p.is_feasible(&sol, 1e-7));
     }
 
@@ -571,7 +511,7 @@ mod tests {
         p.add_constraint(vec![(x1, 1.0), (x2, 1.0)], ConstraintOp::Eq, 1.0);
         p.add_constraint(vec![(x1, 5.0), (t, -10.0)], ConstraintOp::Le, 0.0);
         p.add_constraint(vec![(x2, 5.0), (t, -2.0)], ConstraintOp::Le, 0.0);
-        let sol = assert_optimal(&solve(&p), 5.0 / 12.0, 1e-7);
+        let sol = assert_optimal(&solve_dense(&p), 5.0 / 12.0, 1e-7);
         assert!((sol[1] - 5.0 / 6.0).abs() < 1e-6);
         assert!((sol[2] - 1.0 / 6.0).abs() < 1e-6);
     }
@@ -584,7 +524,7 @@ mod tests {
         let y = p.add_variable(3.0);
         p.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Eq, 2.0);
         p.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Eq, 2.0);
-        let sol = assert_optimal(&solve(&p), 2.0, 1e-7);
+        let sol = assert_optimal(&solve_dense(&p), 2.0, 1e-7);
         assert!((sol[0] - 2.0).abs() < 1e-7);
     }
 
@@ -593,7 +533,7 @@ mod tests {
         // min x with no constraints: optimum x = 0.
         let mut p = LpProblem::new();
         let _x = p.add_variable(1.0);
-        let sol = assert_optimal(&solve(&p), 0.0, 1e-9);
+        let sol = assert_optimal(&solve_dense(&p), 0.0, 1e-9);
         assert_eq!(sol.len(), 1);
     }
 
@@ -626,7 +566,7 @@ mod tests {
                         (0..nv).map(|i| coeffs[i] * x0[i]).sum::<f64>() + slack;
                     p.add_constraint(row, ConstraintOp::Le, rhs);
                 }
-                match solve(&p) {
+                match solve_dense(&p) {
                     LpOutcome::Optimal { objective, solution } => {
                         prop_assert!(p.is_feasible(&solution, 1e-6));
                         let known: f64 = (0..nv).map(|i| cost[i] * x0[i]).sum();

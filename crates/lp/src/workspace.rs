@@ -1,73 +1,104 @@
 //! Warm-started solving: a reusable [`SimplexWorkspace`].
 //!
-//! The failure-scenario sweeps solve long runs of LPs that share one
-//! constraint skeleton and differ only in their right-hand sides
-//! (`baselines::BandwidthLp` patches residuals and conservation targets
-//! per scenario). Cold-starting the two-phase simplex on every member of
-//! such a run wastes almost all of its work: phase 1 re-derives a basic
-//! feasible solution from scratch and phase 2 re-walks to an optimum the
-//! previous solve already sat next to.
+//! The what-if sweeps solve long runs of LPs that share one constraint
+//! skeleton: failure-scenario ladders patch right-hand sides
+//! (`baselines::BandwidthLp` scales residuals per scenario), and the
+//! capacity-model grids patch constraint *coefficients* (every capacity
+//! model rewrites the `-cap` column of the same rows). Cold-starting the
+//! two-phase simplex on every member of such a run wastes almost all of
+//! its work: phase 1 re-derives a basic feasible solution from scratch
+//! and phase 2 re-walks to an optimum the previous solve already sat
+//! next to.
 //!
-//! A [`SimplexWorkspace`] keeps the **final tableau** of the last
-//! successful solve. When the next problem has the *same structure* —
-//! identical objective, constraint operators and coefficients; only rhs
-//! values changed — the workspace re-enters the simplex from the saved
-//! optimal basis:
+//! A [`SimplexWorkspace`] keeps the **revised-simplex engine** of the
+//! last successful solve — the basis (a set of column indices), its LU
+//! factorization and the standard-form layout. Re-entry depends on what
+//! changed relative to the saved problem:
 //!
-//! 1. The new `b = B^{-1} b̃` is recomputed in `O(m^2)` from the unit
-//!    columns the tableau carries anyway (each row's slack or artificial
-//!    column starts as `e_r`, and row operations preserve
-//!    `column == B^{-1} e_r`, so those columns *are* the basis inverse).
-//! 2. The saved basis is still **dual feasible** (reduced costs do not
-//!    depend on `b`), so primal infeasibility is repaired with
-//!    **dual-simplex** pivots — typically a handful, each reflecting one
-//!    constraint whose rhs change actually moved the optimum.
-//! 3. A primal phase-2 pass polishes to optimality (usually zero
-//!    pivots), and the solution is verified against the *problem itself*
-//!    (`is_feasible`) before being returned.
+//! * **rhs-only patch** (identical objective and coefficients): the new
+//!   `x_B = B^{-1} b̃` is one FTRAN against the retained factorization;
+//!   the saved basis is still dual feasible, so primal feasibility is
+//!   repaired with **dual-simplex** pivots and polished with an (almost
+//!   always trivial) primal pass.
+//! * **coefficient patch** (same sparsity pattern and operators,
+//!   different values — capacity-model and volume grids): the engine
+//!   **reloads only the column values and refactorizes the retained
+//!   basis** — no rebuild, no phase 1. From that basis the cheapest
+//!   applicable repair runs: a primal polish when still primal feasible,
+//!   dual-simplex repair when still dual feasible, or an rhs-homotopy
+//!   bridge when neither survives the patch.
+//! * **structural change** (rows, operators or sparsity differ): cold.
 //!
-//! Any mismatch or trouble — different structure, a stale/singular
-//! basis, a blocked dual pivot, a budget overrun, a solution that fails
-//! verification — falls back to the ordinary cold start, so a warm solve
-//! can never return anything a cold solve would not. Structure matching
-//! is by content (an FNV-1a hash over the objective and every row's
-//! operator and coefficients), not by pointer, so callers may rebuild
-//! problems freely.
+//! Any trouble — a stale/singular basis, a blocked pivot, a budget
+//! overrun, a solution that fails verification — falls back to the
+//! ordinary cold start, so a warm solve can never return anything a cold
+//! solve would not. Matching is by content (FNV-1a hashes of the
+//! sparsity pattern and of the value vector), not by pointer, so callers
+//! may rebuild problems freely.
 //!
-//! Accumulated float drift is bounded two ways: reduced costs are
-//! recomputed from the tableau on every warm entry, and
-//! [`SimplexOptions::tolerance`]-scaled verification rejects drifted
-//! solutions, forcing a refresh from a cold factorization.
+//! Accumulated float drift is bounded three ways: reduced costs are
+//! recomputed from scratch on every pricing pass, the factorization is
+//! rebuilt periodically (re-deriving `x_B` from the raw rhs), and
+//! solutions are verified against the problem itself before being
+//! returned, forcing a cold refresh when drift ever won.
 
 use crate::problem::{ConstraintOp, LpProblem};
-use crate::simplex::{LpOutcome, PhaseResult, SimplexOptions, Tableau};
+use crate::revised::RevisedSimplex;
+use crate::simplex::{LpOutcome, SimplexOptions};
 
 /// Counters describing how a [`SimplexWorkspace`] resolved its solves.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WarmStats {
     /// Solves that ran the full two-phase cold path.
     pub cold_solves: usize,
-    /// Solves answered from the saved basis (dual repair + polish).
+    /// Rhs-only solves answered from the saved basis (dual repair +
+    /// polish).
     pub warm_solves: usize,
     /// Warm attempts that had to fall back to a cold start (stale or
     /// infeasible-at-basis); each also counts as a cold solve.
     pub warm_fallbacks: usize,
+    /// Coefficient-patched solves answered by refreshing the changed
+    /// columns against the retained basis factorization.
+    pub refresh_solves: usize,
+    /// Column-refresh attempts that had to fall back to a cold start
+    /// (singular refreshed basis, blocked repair, failed verification);
+    /// each also counts as a cold solve.
+    pub refresh_fallbacks: usize,
 }
 
-/// A reusable simplex solver that warm-starts structurally-identical
-/// problems from the previous solve's final basis. See the module docs
-/// for the algorithm and the fallback rules.
+impl WarmStats {
+    /// Accumulate another workspace's counters (sweep-level reporting).
+    pub fn absorb(&mut self, other: WarmStats) {
+        self.cold_solves += other.cold_solves;
+        self.warm_solves += other.warm_solves;
+        self.warm_fallbacks += other.warm_fallbacks;
+        self.refresh_solves += other.refresh_solves;
+        self.refresh_fallbacks += other.refresh_fallbacks;
+    }
+
+    /// Total solves recorded.
+    pub fn total_solves(&self) -> usize {
+        self.cold_solves + self.warm_solves + self.refresh_solves
+    }
+}
+
+/// A reusable simplex solver that warm-starts patched problems from the
+/// previous solve's retained basis factorization. See the module docs
+/// for the re-entry matrix and the fallback rules.
 pub struct SimplexWorkspace {
     options: SimplexOptions,
     saved: Option<Saved>,
     stats: WarmStats,
-    /// Scratch for the sign-normalized rhs and the recomputed `b`.
-    rhs_scratch: Vec<f64>,
 }
 
 struct Saved {
-    signature: u64,
-    tableau: Tableau,
+    /// Hash of the sparsity pattern: variable/constraint counts, row
+    /// operators and per-row variable indices. Must match for any reuse.
+    pattern: u64,
+    /// Hash of the objective and coefficient values. Equal values mean
+    /// an rhs-only patch; differing values mean a column refresh.
+    values: u64,
+    engine: RevisedSimplex,
 }
 
 impl Default for SimplexWorkspace {
@@ -88,7 +119,6 @@ impl SimplexWorkspace {
             options,
             saved: None,
             stats: WarmStats::default(),
-            rhs_scratch: Vec::new(),
         }
     }
 
@@ -104,104 +134,79 @@ impl SimplexWorkspace {
         self.saved = None;
     }
 
-    /// Solve, warm-starting from the previous solve's basis when the
-    /// problem differs from it only in right-hand sides. Outcomes are
-    /// identical to [`crate::solve_with`] up to the solver tolerance
-    /// (degenerate optima may pick a different optimal vertex).
+    /// Solve, re-entering from the previous solve's basis when the
+    /// problem shares its constraint pattern: rhs-only patches repair
+    /// via dual simplex, coefficient patches refresh the changed columns
+    /// against the retained factorization. Outcomes are identical to
+    /// [`crate::solve_with`] up to the solver tolerance (degenerate
+    /// optima may pick a different optimal vertex).
     pub fn solve(&mut self, problem: &LpProblem) -> LpOutcome {
-        let signature = structure_signature(problem);
+        let pattern = pattern_signature(problem);
+        let values = value_signature(problem);
         if let Some(saved) = &mut self.saved {
-            if saved.signature == signature {
-                if let Some(outcome) = try_warm(
-                    &mut saved.tableau,
-                    problem,
-                    self.options,
-                    &mut self.rhs_scratch,
-                ) {
-                    self.stats.warm_solves += 1;
+            if saved.pattern == pattern {
+                let rhs_only = saved.values == values;
+                let attempt = if rhs_only {
+                    saved.engine.install_rhs(problem);
+                    Some(&mut saved.engine)
+                } else if saved.engine.reload_values(problem) {
+                    Some(&mut saved.engine)
+                } else {
+                    None
+                };
+                if let Some(outcome) = attempt.and_then(|e| finish_warm(e, problem)) {
+                    saved.values = values;
+                    if rhs_only {
+                        self.stats.warm_solves += 1;
+                    } else {
+                        self.stats.refresh_solves += 1;
+                    }
                     return outcome;
                 }
                 self.saved = None;
-                self.stats.warm_fallbacks += 1;
+                if rhs_only {
+                    self.stats.warm_fallbacks += 1;
+                } else {
+                    self.stats.refresh_fallbacks += 1;
+                }
             } else {
                 self.saved = None;
             }
         }
 
         self.stats.cold_solves += 1;
-        let mut tableau = Tableau::build(problem, self.options);
-        let outcome = tableau.run(problem);
+        let Some(mut engine) = RevisedSimplex::build(problem, self.options) else {
+            // Unreachable in practice (the initial basis is a permuted
+            // identity); classify like any other numerical failure.
+            return LpOutcome::IterationLimit { iterations: 0 };
+        };
+        let outcome = engine.run(problem);
         if matches!(outcome, LpOutcome::Optimal { .. }) {
-            self.saved = Some(Saved { signature, tableau });
+            self.saved = Some(Saved {
+                pattern,
+                values,
+                engine,
+            });
         }
         outcome
     }
 }
 
-/// Re-enter the simplex from the saved final tableau. `None` means the
-/// basis could not be reused (the caller falls back to a cold start).
-fn try_warm(
-    tableau: &mut Tableau,
-    problem: &LpProblem,
-    options: SimplexOptions,
-    scratch: &mut Vec<f64>,
-) -> Option<LpOutcome> {
-    let (m, n) = (tableau.m, tableau.n);
-    let nv = problem.num_variables();
-    debug_assert_eq!(m, problem.num_constraints());
-    let tol = options.tolerance;
-    let feas_tol = tol.max(1e-7);
-
-    // New tableau rhs: b = B^{-1} (sign ∘ rhs), reading B^{-1} off the
-    // unit columns.
-    scratch.clear();
-    scratch.extend(
-        problem
-            .constraints()
-            .iter()
-            .zip(&tableau.signs)
-            .map(|(c, sign)| sign * c.rhs),
-    );
-    let mut new_b = vec![0.0; m];
-    for (r, &srhs) in scratch.iter().enumerate() {
-        if srhs != 0.0 {
-            let unit = tableau.unit_cols[r];
-            for (i, bi) in new_b.iter_mut().enumerate() {
-                *bi += tableau.a[i * n + unit] * srhs;
-            }
-        }
-    }
-    tableau.b.copy_from_slice(&new_b);
-
-    // Fresh phase-2 reduced costs from the current tableau (removes any
-    // drift accumulated over previous warm solves).
-    let mut phase2 = vec![0.0; n];
-    phase2[..nv].copy_from_slice(problem.objective());
-    tableau.reset_costs(&phase2);
-    tableau.phase_cost = Some(phase2);
-    tableau.iterations_used = 0;
-
-    // Repair primal feasibility with dual-simplex pivots, then polish
-    // with an (almost always trivial) primal phase-2 pass.
-    if !tableau.dual_optimize(4 * m + 64) {
+/// Run the warm re-optimization on a re-entered engine and verify the
+/// result. `None` means the basis could not be reused (the caller falls
+/// back to a cold start).
+fn finish_warm(engine: &mut RevisedSimplex, problem: &LpProblem) -> Option<LpOutcome> {
+    if !engine.reoptimize(problem.objective()) {
         return None;
     }
-    match tableau.optimize(true) {
-        PhaseResult::Optimal => {}
-        PhaseResult::Unbounded | PhaseResult::IterationLimit => return None,
-    }
-
     // An artificial still basic at a meaningfully positive value means
     // the saved basis cannot represent the patched problem.
-    for (row, &var) in tableau.basis.iter().enumerate() {
-        if var >= tableau.artificial_start && tableau.b[row] > feas_tol {
-            return None;
-        }
+    if engine.artificial_still_basic() {
+        return None;
     }
-
     // Trust, but verify: the warm path must never return a point the
     // problem itself rejects.
-    let solution = tableau.extract_solution(nv);
+    let solution = engine.extract_solution(problem.num_variables());
     if !problem.is_feasible(&solution, 1e-6) {
         return None;
     }
@@ -211,17 +216,15 @@ fn try_warm(
     })
 }
 
-/// Content hash of everything except right-hand sides: variable count,
-/// objective, and each constraint's operator and coefficient list.
-/// Problems with equal signatures share a standard-form column layout,
-/// so a saved basis from one is meaningful for the other.
-fn structure_signature(problem: &LpProblem) -> u64 {
+/// Content hash of the constraint *pattern*: variable and constraint
+/// counts, each row's operator and the variable indices it touches.
+/// Problems with equal patterns share a standard-form column layout, so
+/// a saved basis from one is meaningful for the other (values are
+/// refreshed separately).
+fn pattern_signature(problem: &LpProblem) -> u64 {
     let mut h = Fnv::new();
     h.write_usize(problem.num_variables());
     h.write_usize(problem.num_constraints());
-    for &c in problem.objective() {
-        h.write_u64(c.to_bits());
-    }
     for constraint in problem.constraints() {
         h.write_usize(match constraint.op {
             ConstraintOp::Le => 1,
@@ -229,8 +232,23 @@ fn structure_signature(problem: &LpProblem) -> u64 {
             ConstraintOp::Eq => 3,
         });
         h.write_usize(constraint.coeffs.len());
-        for &(var, coeff) in &constraint.coeffs {
+        for &(var, _) in &constraint.coeffs {
             h.write_usize(var);
+        }
+    }
+    h.finish()
+}
+
+/// Content hash of everything except right-hand sides: the objective and
+/// every coefficient value. Together with an equal pattern this certifies
+/// an rhs-only patch (the dual-simplex fast path).
+fn value_signature(problem: &LpProblem) -> u64 {
+    let mut h = Fnv::new();
+    for &c in problem.objective() {
+        h.write_u64(c.to_bits());
+    }
+    for constraint in problem.constraints() {
+        for &(_, coeff) in &constraint.coeffs {
             h.write_u64(coeff.to_bits());
         }
     }
@@ -307,6 +325,58 @@ mod tests {
         let stats = ws.stats();
         assert!(stats.warm_solves >= 3, "stats = {stats:?}");
         assert_eq!(stats.cold_solves + stats.warm_solves, 5);
+        assert_eq!(stats.refresh_solves, 0, "no coefficient changed");
+    }
+
+    #[test]
+    fn coefficient_patch_refreshes_the_basis() {
+        // Capacity-model style patch: the t-column coefficients change,
+        // the pattern does not. Must run as a refresh, not a cold start.
+        let mut ws = SimplexWorkspace::new();
+        let mut p = min_max_problem(&[1.0, 0.5]);
+        ws.solve(&p);
+        for (c1, c2) in [(-8.0, -3.0), (-16.0, -1.0), (-6.0, -6.0), (-9.0, -2.5)] {
+            p.set_coefficient(1, 0, c1);
+            p.set_coefficient(2, 0, c2);
+            let warm = objective(&ws.solve(&p));
+            let cold = objective(&solve(&p));
+            assert!(
+                (warm - cold).abs() < 1e-9,
+                "refresh {warm} != cold {cold} for caps ({c1}, {c2})"
+            );
+        }
+        let stats = ws.stats();
+        assert_eq!(stats.cold_solves, 1, "stats = {stats:?}");
+        assert_eq!(stats.refresh_solves + stats.refresh_fallbacks, 4);
+        assert!(stats.refresh_solves >= 3, "stats = {stats:?}");
+    }
+
+    #[test]
+    fn mixed_rhs_and_coefficient_patches_agree() {
+        let mut ws = SimplexWorkspace::new();
+        let mut p = min_max_problem(&[0.5, 0.5]);
+        ws.solve(&p);
+        // Alternate rhs-only and coefficient patches; every solve must
+        // match a fresh cold solve.
+        for step in 0..6 {
+            if step % 2 == 0 {
+                p.set_rhs(1, -(step as f64) * 0.4);
+            } else {
+                p.set_coefficient(1, 0, -10.0 - step as f64);
+                p.set_coefficient(0, 1, 1.0 + 0.1 * step as f64);
+            }
+            let warm = objective(&ws.solve(&p));
+            let cold = objective(&solve(&p));
+            assert!(
+                (warm - cold).abs() < 1e-9,
+                "step {step}: warm {warm} != cold {cold}"
+            );
+        }
+        let stats = ws.stats();
+        assert!(
+            stats.warm_solves + stats.refresh_solves >= 4,
+            "patch chain barely warm: {stats:?}"
+        );
     }
 
     #[test]
@@ -314,7 +384,7 @@ mod tests {
         let mut ws = SimplexWorkspace::new();
         let p = min_max_problem(&[0.0, 0.0]);
         ws.solve(&p);
-        // New coefficient => different signature => cold, not a fallback.
+        // New constraint => different pattern => cold, not a fallback.
         let mut q = min_max_problem(&[0.0, 0.0]);
         q.add_constraint(vec![(1, 1.0)], ConstraintOp::Le, 0.9);
         let warm = objective(&ws.solve(&q));
@@ -323,6 +393,7 @@ mod tests {
         assert_eq!(ws.stats().cold_solves, 2);
         assert_eq!(ws.stats().warm_solves, 0);
         assert_eq!(ws.stats().warm_fallbacks, 0);
+        assert_eq!(ws.stats().refresh_solves, 0);
     }
 
     #[test]
@@ -338,6 +409,22 @@ mod tests {
         assert_eq!(ws.solve(&p), LpOutcome::Infeasible);
         // And feasible again after widening.
         p.set_rhs(0, 2.0);
+        assert!((objective(&ws.solve(&p)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_after_coefficient_patch_detected() {
+        let mut p = LpProblem::new();
+        let x = p.add_variable(1.0);
+        p.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 2.0);
+        p.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 1.0);
+        let mut ws = SimplexWorkspace::new();
+        assert!((objective(&ws.solve(&p)) - 1.0).abs() < 1e-9);
+        // x <= 2 becomes 5x <= 2 while x >= 1 stays: infeasible.
+        p.set_coefficient(0, x, 5.0);
+        assert_eq!(ws.solve(&p), LpOutcome::Infeasible);
+        // Relax back: feasible again.
+        p.set_coefficient(0, x, 0.5);
         assert!((objective(&ws.solve(&p)) - 1.0).abs() < 1e-9);
     }
 
@@ -369,6 +456,28 @@ mod tests {
         let warm = objective(&ws.solve(&p));
         let cold = objective(&solve(&p));
         assert!((warm - cold).abs() < 1e-9, "warm {warm} cold {cold}");
+    }
+
+    #[test]
+    fn absorb_accumulates_counters() {
+        let mut total = WarmStats::default();
+        total.absorb(WarmStats {
+            cold_solves: 1,
+            warm_solves: 2,
+            warm_fallbacks: 3,
+            refresh_solves: 4,
+            refresh_fallbacks: 5,
+        });
+        total.absorb(WarmStats {
+            cold_solves: 10,
+            ..WarmStats::default()
+        });
+        assert_eq!(total.cold_solves, 11);
+        assert_eq!(total.warm_solves, 2);
+        assert_eq!(total.warm_fallbacks, 3);
+        assert_eq!(total.refresh_solves, 4);
+        assert_eq!(total.refresh_fallbacks, 5);
+        assert_eq!(total.total_solves(), 17);
     }
 
     mod proptests {
@@ -431,32 +540,73 @@ mod tests {
                     + ws.stats().cold_solves >= patches.len());
             }
 
-            // Coefficient patches change the structure signature: the
-            // workspace must transparently cold-start and still agree.
+            // Randomized *rhs and coefficient* patch chains: the revised
+            // warm/refresh paths must match both a fresh revised cold
+            // solve and the dense oracle to 1e-9, on every step.
             #[test]
-            fn coefficient_patch_falls_back_and_agrees(
-                c0 in 0.5f64..4.0,
-                c1 in 0.5f64..4.0,
+            fn warm_matches_cold_and_dense_across_mixed_patches(
+                nv in 1usize..5,
+                seed_rows in proptest::collection::vec(
+                    (proptest::collection::vec(-5.0f64..5.0, 5), 0.2f64..3.0), 1..6),
+                cost in proptest::collection::vec(0.0f64..4.0, 5),
+                x0 in proptest::collection::vec(0.0f64..3.0, 5),
+                // `var >= 5` encodes "patch a coefficient too" (the
+                // vendored proptest tuples stop at four elements).
+                patches in proptest::collection::vec(
+                    (0usize..6, 0usize..10, -4.0f64..4.0, 0.0f64..4.0),
+                    1..8),
             ) {
-                let build = |coeff: f64| {
-                    let mut p = LpProblem::new();
-                    let x = p.add_variable(1.0);
-                    let y = p.add_variable(1.5);
-                    p.add_constraint(
-                        vec![(x, coeff), (y, 1.0)], ConstraintOp::Ge, 3.0);
-                    p
-                };
-                let mut ws = SimplexWorkspace::new();
-                let a = ws.solve(&build(c0));
-                let b = ws.solve(&build(c1));
-                match (a, b, solve(&build(c1))) {
-                    (
-                        LpOutcome::Optimal { .. },
-                        LpOutcome::Optimal { objective: w, .. },
-                        LpOutcome::Optimal { objective: c, .. },
-                    ) => prop_assert!((w - c).abs() < 1e-9),
-                    other => prop_assert!(false, "unexpected: {other:?}"),
+                let mut p = LpProblem::new();
+                for &c in cost.iter().take(nv) {
+                    p.add_variable(c);
                 }
+                for (coeffs, slack) in &seed_rows {
+                    let row: Vec<(usize, f64)> =
+                        (0..nv).map(|i| (i, coeffs[i])).collect();
+                    let rhs: f64 =
+                        (0..nv).map(|i| coeffs[i] * x0[i]).sum::<f64>() + slack;
+                    p.add_constraint(row, ConstraintOp::Le, rhs);
+                }
+                let mut ws = SimplexWorkspace::new();
+                ws.solve(&p);
+                for &(row, var, coeff, extra) in &patches {
+                    let row = row % seed_rows.len();
+                    let coeff_patch = var >= 5;
+                    let var = var % nv;
+                    if coeff_patch {
+                        p.set_coefficient(row, var, coeff);
+                    }
+                    // Re-derive a feasible rhs for the (possibly patched)
+                    // row so the program stays feasible at x0.
+                    let base: f64 = p.constraints()[row]
+                        .coeffs
+                        .iter()
+                        .map(|&(i, a)| a * x0[i])
+                        .sum();
+                    p.set_rhs(row, base + extra);
+                    let warm = ws.solve(&p);
+                    let cold = solve(&p);
+                    let dense = crate::simplex::solve_dense(&p);
+                    match (warm, cold, dense) {
+                        (
+                            LpOutcome::Optimal { objective: w, solution },
+                            LpOutcome::Optimal { objective: c, .. },
+                            LpOutcome::Optimal { objective: d, .. },
+                        ) => {
+                            prop_assert!((w - c).abs() < 1e-9,
+                                "warm {w} != cold {c}");
+                            prop_assert!((w - d).abs() < 1e-9,
+                                "warm {w} != dense oracle {d}");
+                            prop_assert!(p.is_feasible(&solution, 1e-6));
+                        }
+                        (w, c, d) => prop_assert!(
+                            false,
+                            "outcome mismatch: warm {w:?} cold {c:?} dense {d:?}"),
+                    }
+                }
+                // Every solve lands in exactly one terminal bucket
+                // (fallbacks re-run cold and are counted there).
+                prop_assert_eq!(ws.stats().total_solves(), patches.len() + 1);
             }
         }
     }

@@ -14,11 +14,12 @@ use crate::experiments::distance::build_pair_run;
 use crate::pairdata::ExpConfig;
 use crate::parallel::{par_map, par_map_with};
 use crate::twoway::{twoway_total_distance, TwoWayDistanceMapper};
-use nexit_baselines::negotiate_in_groups;
+use nexit_baselines::{negotiate_in_groups, BandwidthLp};
 use nexit_core::{negotiate, NexitConfig, Party, Side, TableArena};
+use nexit_lp::WarmStats;
 use nexit_metrics::percent_gain;
 use nexit_topology::Universe;
-use nexit_workload::{BackupRule, CapacityModel, WorkloadModel};
+use nexit_workload::{assign_capacities, BackupRule, CapacityModel, WorkloadModel};
 
 /// Preference-range sweep: median per-pair total distance gain for each P.
 pub fn preference_range_sweep(
@@ -127,7 +128,7 @@ pub fn group_sweep(
 
 /// One row of the alternate-models grid: median upstream MEL ratios for
 /// default and negotiated routing.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelRow {
     /// Human-readable model description.
     pub label: String,
@@ -139,8 +140,31 @@ pub struct ModelRow {
     pub scenarios: usize,
 }
 
+/// The alternate-model grid's results: one row per (workload, capacity)
+/// cell plus the LP session counters recording how often the
+/// coefficient-patch warm path held across the grid.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ModelGridResults {
+    /// One row per grid cell, workloads outer, capacity models inner.
+    pub rows: Vec<ModelRow>,
+    /// Aggregate warm/cold/refresh counters of the per-pair LP sessions.
+    pub lp_stats: WarmStats,
+}
+
 /// The §5.2 alternate-model grid.
-pub fn model_grid(universe: &Universe, cfg: &ExpConfig) -> Vec<ModelRow> {
+///
+/// The grid re-solves near-identical LPs for every (workload, capacity)
+/// cell: for one pair, every cell shares the scenario skeletons'
+/// sparsity pattern — only volumes (workload) and capacities (capacity
+/// model) change. Each pair therefore keeps **one** [`BandwidthLp`]
+/// session across the whole grid: the first cell registers each
+/// scenario's skeleton ([`BandwidthLp::update_scenario`]), capacity
+/// cells re-solve through [`BandwidthLp::solve_with_model`]
+/// (`-capacity` coefficient patch), and workload changes re-register
+/// the skeleton while retaining the simplex workspace — so every
+/// re-solve after each scenario's first enters the revised simplex's
+/// coefficient-refresh warm path instead of cold-starting.
+pub fn model_grid(universe: &Universe, cfg: &ExpConfig) -> ModelGridResults {
     let workloads = [
         ("gravity", WorkloadModel::Gravity),
         ("identical", WorkloadModel::Identical),
@@ -163,58 +187,104 @@ pub fn model_grid(universe: &Universe, cfg: &ExpConfig) -> Vec<ModelRow> {
             },
         ),
     ];
-    let mut rows = Vec::new();
-    for (wname, workload) in workloads {
-        for (cname, capacity) in &capacities {
-            let sub_cfg = ExpConfig {
-                workload,
-                max_pairs: Some(cfg.max_pairs.unwrap_or(20).min(20)),
-                ..cfg.clone()
-            };
-            let mut eligible = universe.eligible_pairs(3, false);
-            eligible.truncate(sub_cfg.max_pairs.unwrap());
-            // Per pair: (default ratios, negotiated ratios), in scenario
-            // order. The LP session is pair-scoped (warm starts), the
-            // arena worker-scoped (buffer reuse).
-            let per_pair =
-                par_map_with(cfg.threads, eligible.len(), TableArena::new, |arena, i| {
-                    let mut def = Vec::new();
-                    let mut neg = Vec::new();
-                    let sweep = PairFailureSweep::build(universe, eligible[i], &sub_cfg, capacity);
-                    let mut session = sweep.lp_session(sub_cfg.max_lp_variables);
-                    for scenario in &sweep.scenarios {
-                        let Ok(opt) = scenario.optimum_in(&mut session) else {
-                            continue;
-                        };
-                        let opt_up = opt.side_mel(&scenario.caps_up, true);
-                        if opt_up < 1e-9 {
-                            continue;
-                        }
-                        def.push(scenario.default_mels.0 / opt_up);
-                        let negotiated = scenario.negotiate_bandwidth_in(arena);
-                        let (nu, _) = scenario.mels(&negotiated);
-                        neg.push(nu / opt_up);
+    let num_cells = workloads.len() * capacities.len();
+    let mut eligible = universe.eligible_pairs(3, false);
+    eligible.truncate(cfg.max_pairs.unwrap_or(20).min(20));
+
+    // Per pair: per-cell (default ratios, negotiated ratios) in scenario
+    // order, plus the pair's LP counters. The LP session is pair-scoped
+    // and spans the whole grid (warm starts), the arena worker-scoped
+    // (buffer reuse) — collected by pair index, so the output is
+    // thread-count independent.
+    let per_pair = par_map_with(cfg.threads, eligible.len(), TableArena::new, |arena, i| {
+        let mut cells: Vec<(Vec<f64>, Vec<f64>)> = vec![(Vec::new(), Vec::new()); num_cells];
+        // One sweep per workload; all stay alive so the LP session can
+        // borrow each one's pair data across the capacity cells.
+        let sweeps: Vec<PairFailureSweep<'_>> = workloads
+            .iter()
+            .map(|&(_, workload)| {
+                let sub_cfg = ExpConfig {
+                    workload,
+                    ..cfg.clone()
+                };
+                PairFailureSweep::build(universe, eligible[i], &sub_cfg, &CapacityModel::default())
+            })
+            .collect();
+        let mut session = BandwidthLp::new();
+        for (wi, sweep) in sweeps.iter().enumerate() {
+            for (ci, (_, capacity)) in capacities.iter().enumerate() {
+                let caps_up = assign_capacities(capacity, &sweep.pre_loads.up);
+                let caps_down = assign_capacities(capacity, &sweep.pre_loads.down);
+                let (def, neg) = &mut cells[wi * capacities.len() + ci];
+                for scenario in &sweep.scenarios {
+                    let vars =
+                        scenario.impacted.len() * scenario.data.pair.num_interconnections() + 1;
+                    if vars > cfg.max_lp_variables {
+                        continue;
                     }
-                    (def, neg)
-                });
-            let mut def = Vec::new();
-            let mut neg = Vec::new();
-            for (d, n) in per_pair {
-                def.extend(d);
-                neg.extend(n);
+                    let opt = if ci == 0 {
+                        // New workload: re-register the skeleton (new
+                        // volumes/residuals), keeping the workspace.
+                        let view = scenario.data.view();
+                        session.update_scenario(
+                            scenario.failed,
+                            &view,
+                            &scenario.data.paths,
+                            &scenario.data.flows,
+                            &scenario.impacted,
+                            &scenario.data.default,
+                            &caps_up,
+                            &caps_down,
+                        );
+                        session.solve_failure(scenario.failed)
+                    } else {
+                        // Same workload, new capacity model: patch the
+                        // `-capacity` coefficients in place.
+                        session.solve_with_model(scenario.failed, &caps_up, &caps_down)
+                    };
+                    let Ok(opt) = opt else {
+                        continue;
+                    };
+                    let opt_up = opt.side_mel(&caps_up, true);
+                    if opt_up < 1e-9 {
+                        continue;
+                    }
+                    let (def_up, _) =
+                        scenario.mels_with_caps(&scenario.data.default, &caps_up, &caps_down);
+                    def.push(def_up / opt_up);
+                    let negotiated = scenario.negotiate_bandwidth_with(arena, &caps_up, &caps_down);
+                    let (neg_up, _) = scenario.mels_with_caps(&negotiated, &caps_up, &caps_down);
+                    neg.push(neg_up / opt_up);
+                }
             }
+        }
+        (cells, session.warm_stats())
+    });
+
+    let mut merged: Vec<(Vec<f64>, Vec<f64>)> = vec![(Vec::new(), Vec::new()); num_cells];
+    let mut out = ModelGridResults::default();
+    for (cells, stats) in per_pair {
+        for (slot, (def, neg)) in merged.iter_mut().zip(cells) {
+            slot.0.extend(def);
+            slot.1.extend(neg);
+        }
+        out.lp_stats.absorb(stats);
+    }
+    for (wi, (wname, _)) in workloads.iter().enumerate() {
+        for (ci, (cname, _)) in capacities.iter().enumerate() {
+            let (def, neg) = &merged[wi * capacities.len() + ci];
             if def.is_empty() {
                 continue;
             }
-            rows.push(ModelRow {
+            out.rows.push(ModelRow {
                 label: format!("{wname} + {cname}"),
                 median_default_ratio: crate::cdf::Cdf::new(def.clone()).median(),
-                median_negotiated_ratio: crate::cdf::Cdf::new(neg).median(),
+                median_negotiated_ratio: crate::cdf::Cdf::new(neg.clone()).median(),
                 scenarios: def.len(),
             });
         }
     }
-    rows
+    out
 }
 
 /// Protocol-mode comparison (why the experiments use the credit mode):
@@ -329,13 +399,14 @@ pub fn report_groups(rows: &[(usize, f64)]) {
 }
 
 /// Print the model grid.
-pub fn report_models(rows: &[ModelRow]) {
+pub fn report_models(results: &ModelGridResults) {
     println!("== Alternate workload/capacity models (upstream MEL vs optimal) ==");
+    crate::experiments::bandwidth::print_lp_stats(&results.lp_stats);
     println!(
         "  {:26} {:>9} {:>11} {:>10}",
         "model", "default", "negotiated", "scenarios"
     );
-    for r in rows {
+    for r in &results.rows {
         println!(
             "  {:26} {:>9.3} {:>11.3} {:>10}",
             r.label, r.median_default_ratio, r.median_negotiated_ratio, r.scenarios

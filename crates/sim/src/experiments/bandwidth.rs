@@ -13,6 +13,7 @@ use nexit_baselines::{
     optimal_bandwidth, unilateral_upstream, BandwidthLp, BandwidthOptimum, OptimalBandwidthError,
 };
 use nexit_core::{negotiate_in, BandwidthMapper, NexitConfig, Party, Side, TableArena};
+use nexit_lp::WarmStats;
 use nexit_routing::{Assignment, FlowId};
 use nexit_topology::{IcxId, Universe};
 use nexit_workload::{assign_capacities, link_loads, CapacityModel, LinkLoads};
@@ -200,13 +201,25 @@ impl FailureScenario<'_> {
 
     /// MELs `(up, down)` of an assignment over the reduced pair.
     pub fn mels(&self, assignment: &Assignment) -> (f64, f64) {
+        self.mels_with_caps(assignment, &self.caps_up, &self.caps_down)
+    }
+
+    /// [`FailureScenario::mels`] against explicit capacity vectors — the
+    /// capacity-model grid evaluates one scenario under several models
+    /// without rebuilding it.
+    pub fn mels_with_caps(
+        &self,
+        assignment: &Assignment,
+        caps_up: &[f64],
+        caps_down: &[f64],
+    ) -> (f64, f64) {
         let loads = link_loads(
             &self.data.view(),
             &self.data.paths,
             &self.data.flows,
             assignment,
         );
-        nexit_metrics::side_mels(&loads, &self.caps_up, &self.caps_down)
+        nexit_metrics::side_mels(&loads, caps_up, caps_down)
     }
 
     /// Negotiated routing with both ISPs on the bandwidth objective.
@@ -214,14 +227,25 @@ impl FailureScenario<'_> {
     /// sweep threading one arena through its scenarios allocates the
     /// backing tables once.
     pub fn negotiate_bandwidth_in(&self, arena: &mut TableArena) -> Assignment {
+        self.negotiate_bandwidth_with(arena, &self.caps_up, &self.caps_down)
+    }
+
+    /// [`FailureScenario::negotiate_bandwidth_in`] against explicit
+    /// capacity vectors (the capacity-model grid's per-cell capacities).
+    pub fn negotiate_bandwidth_with(
+        &self,
+        arena: &mut TableArena,
+        caps_up: &[f64],
+        caps_down: &[f64],
+    ) -> Assignment {
         let input = self.session_input();
         let mut party_a = Party::honest(
             "up",
-            BandwidthMapper::new(Side::A, &self.data.flows, &self.data.paths, &self.caps_up),
+            BandwidthMapper::new(Side::A, &self.data.flows, &self.data.paths, caps_up),
         );
         let mut party_b = Party::honest(
             "down",
-            BandwidthMapper::new(Side::B, &self.data.flows, &self.data.paths, &self.caps_down),
+            BandwidthMapper::new(Side::B, &self.data.flows, &self.data.paths, caps_down),
         );
         negotiate_in(
             arena,
@@ -285,6 +309,10 @@ pub struct BandwidthResults {
     pub failed_lp: usize,
     /// Scenarios evaluated.
     pub scenarios: usize,
+    /// How the pair-scoped LP sessions resolved their solves
+    /// (cold / warm rhs re-entry / coefficient refresh, plus fallbacks)
+    /// — the sweep-level record of how often the warm path held.
+    pub lp_stats: WarmStats,
 }
 
 /// Run Figures 7 and 8. Pairs are swept on `cfg.threads` workers (each
@@ -313,6 +341,7 @@ pub fn run(universe: &Universe, cfg: &ExpConfig) -> BandwidthResults {
         out.skipped_lp_size += p.skipped_lp_size;
         out.failed_lp += p.failed_lp;
         out.scenarios += p.scenarios;
+        out.lp_stats.absorb(p.lp_stats);
     }
     out
 }
@@ -373,6 +402,7 @@ fn run_pair_into(
             out.fig8_down_ratio.push(uni_down / def_down);
         }
     }
+    out.lp_stats.absorb(session.warm_stats());
 }
 
 /// Results of the background-growth sweep: per growth factor, the
@@ -389,6 +419,10 @@ pub struct GrowthResults {
     /// Scaled re-solves that failed (iteration cap / numerical trouble);
     /// their samples are missing from `degradation`.
     pub failed_resolves: usize,
+    /// How the ladder's LP sessions resolved their solves — at paper
+    /// scale almost everything after each scenario's first solve should
+    /// land in `warm_solves`.
+    pub lp_stats: WarmStats,
 }
 
 /// What-if sweep over background traffic growth: for every failure
@@ -411,8 +445,7 @@ pub fn run_growth(universe: &Universe, cfg: &ExpConfig, factors: &[f64]) -> Grow
             let mut out = GrowthResults {
                 factors: factors.to_vec(),
                 degradation: vec![Vec::new(); factors.len()],
-                scenarios: 0,
-                failed_resolves: 0,
+                ..GrowthResults::default()
             };
             let sweep = PairFailureSweep::build(universe, eligible[i], cfg, &capacity_model);
             let mut session = sweep.lp_session(cfg.max_lp_variables);
@@ -431,14 +464,14 @@ pub fn run_growth(universe: &Universe, cfg: &ExpConfig, factors: &[f64]) -> Grow
                     }
                 }
             }
+            out.lp_stats.absorb(session.warm_stats());
             out
         },
     );
     let mut out = GrowthResults {
         factors: factors.to_vec(),
         degradation: vec![Vec::new(); factors.len()],
-        scenarios: 0,
-        failed_resolves: 0,
+        ..GrowthResults::default()
     };
     for p in per_pair {
         for (fi, samples) in p.degradation.into_iter().enumerate() {
@@ -446,8 +479,23 @@ pub fn run_growth(universe: &Universe, cfg: &ExpConfig, factors: &[f64]) -> Grow
         }
         out.scenarios += p.scenarios;
         out.failed_resolves += p.failed_resolves;
+        out.lp_stats.absorb(p.lp_stats);
     }
     out
+}
+
+/// Print one sweep's LP warm/cold/refresh counters: how often the warm
+/// path actually held across the sweep's re-solves.
+pub fn print_lp_stats(stats: &WarmStats) {
+    println!(
+        "   LP solves: {} cold, {} warm (rhs re-entry, {} fell back), \
+         {} refreshed (coefficient patch, {} fell back)",
+        stats.cold_solves,
+        stats.warm_solves,
+        stats.warm_fallbacks,
+        stats.refresh_solves,
+        stats.refresh_fallbacks
+    );
 }
 
 /// Print the growth-sweep report.
@@ -457,6 +505,7 @@ pub fn report_growth(results: &GrowthResults) {
         "== Background growth: optimal MEL degradation ({} scenarios, {} failed re-solves) ==",
         results.scenarios, results.failed_resolves
     );
+    print_lp_stats(&results.lp_stats);
     for (factor, samples) in results.factors.iter().zip(&results.degradation) {
         Cdf::new(samples.clone()).print(&format!("x{factor:.2} background"));
     }
@@ -469,6 +518,7 @@ pub fn report(results: &BandwidthResults) {
         "== Figure 7: MEL relative to optimal ({} failure scenarios, {} size-skipped, {} solver-failed) ==",
         results.scenarios, results.skipped_lp_size, results.failed_lp
     );
+    print_lp_stats(&results.lp_stats);
     println!("-- upstream ISP --");
     Cdf::new(results.up_negotiated.clone()).print("negotiated");
     Cdf::new(results.up_default.clone()).print("default");

@@ -5,6 +5,7 @@
 //! distance experiment with ISP-B cheating; Figure 11 repeats the
 //! bandwidth experiment with the upstream ISP cheating.
 
+use crate::cdf::StreamingCdf;
 use crate::experiments::bandwidth::PairFailureSweep;
 use crate::experiments::distance::build_pair_run;
 use crate::pairdata::ExpConfig;
@@ -14,11 +15,15 @@ use nexit_core::{
     negotiate, negotiate_in, BandwidthMapper, DisclosurePolicy, NexitConfig, Party, Side,
     TableArena,
 };
+use nexit_lp::WarmStats;
 use nexit_metrics::percent_gain;
 use nexit_topology::Universe;
 use nexit_workload::CapacityModel;
 
-/// Figure 10 results (distance, ISP-B cheats).
+/// Figure 10 results (distance, ISP-B cheats). The per-ISP gain series
+/// (Fig. 10b) stream through bounded-memory sketches — they are the
+/// flow-scaled half of this experiment's output, and the report only
+/// reads quantiles.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CheatDistanceResults {
     /// Total gain per pair, both truthful.
@@ -26,11 +31,11 @@ pub struct CheatDistanceResults {
     /// Total gain per pair, one cheater.
     pub total_cheater: Vec<f64>,
     /// Individual gains with both truthful (two samples per pair).
-    pub individual_truthful: Vec<f64>,
+    pub individual_truthful: StreamingCdf,
     /// The cheater's individual gain per pair.
-    pub cheater_gain: Vec<f64>,
+    pub cheater_gain: StreamingCdf,
     /// The truthful ISP's individual gain per pair (cheater run).
-    pub truthful_gain: Vec<f64>,
+    pub truthful_gain: StreamingCdf,
 }
 
 /// Run Figure 10. Pairs are swept on `cfg.threads` workers and merged
@@ -47,6 +52,8 @@ pub fn run_distance(universe: &Universe, cfg: &ExpConfig) -> CheatDistanceResult
         run_distance_pair(universe, eligible[i], &config)
     });
     let mut out = CheatDistanceResults::default();
+    // Streamed in pair order, so the sketches are independent of the
+    // worker count.
     for (t_total, (t_a, t_b), c_total, c_a, c_b) in per_pair {
         out.total_truthful.push(t_total);
         out.individual_truthful.push(t_a);
@@ -127,6 +134,8 @@ pub struct CheatBandwidthResults {
     pub down_cheater: Vec<f64>,
     /// Downstream MEL ratio, default routing.
     pub down_default: Vec<f64>,
+    /// How the pair-scoped LP sessions resolved their solves.
+    pub lp_stats: WarmStats,
 }
 
 /// Run Figure 11. Pairs are swept on `cfg.threads` workers and merged
@@ -149,6 +158,7 @@ pub fn run_bandwidth(universe: &Universe, cfg: &ExpConfig) -> CheatBandwidthResu
         out.down_truthful.extend(p.down_truthful);
         out.down_cheater.extend(p.down_cheater);
         out.down_default.extend(p.down_default);
+        out.lp_stats.absorb(p.lp_stats);
     }
     out
 }
@@ -225,6 +235,7 @@ fn run_bandwidth_pair(
         out.down_cheater.push(cd / opt_down);
         out.down_default.push(dd / opt_down);
     }
+    out.lp_stats.absorb(session.warm_stats());
     out
 }
 
@@ -236,15 +247,16 @@ pub fn report_distance(results: &CheatDistanceResults) {
     Cdf::new(results.total_cheater.clone()).print("one cheater");
     println!();
     println!("== Figure 10b: individual gains ==");
-    Cdf::new(results.individual_truthful.clone()).print("both truthful");
-    Cdf::new(results.cheater_gain.clone()).print("cheater");
-    Cdf::new(results.truthful_gain.clone()).print("truthful");
+    results.individual_truthful.print("both truthful");
+    results.cheater_gain.print("cheater");
+    results.truthful_gain.print("truthful");
 }
 
 /// Print the Figure 11 report.
 pub fn report_bandwidth(results: &CheatBandwidthResults) {
     use crate::cdf::Cdf;
     println!("== Figure 11: bandwidth cheating (upstream cheats), MEL vs optimal ==");
+    crate::experiments::bandwidth::print_lp_stats(&results.lp_stats);
     println!("-- upstream ISP --");
     Cdf::new(results.up_truthful.clone()).print("both truthful");
     Cdf::new(results.up_cheater.clone()).print("one cheater");

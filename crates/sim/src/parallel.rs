@@ -8,18 +8,12 @@
 //! is byte-identical to the serial loop regardless of thread count or
 //! scheduling: parallelism changes wall-clock time, never results.
 
-use nexit_core::GainTable;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// How many worker threads a sweep should use: an explicit request, or
-/// every available core when `requested` is 0 (the auto setting).
-pub fn resolve_threads(requested: usize) -> usize {
-    if requested == 0 {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    } else {
-        requested
-    }
-}
+// The flow-level fill lives in the core crate (the preference mappers
+// fan out through it directly); the harness re-exports it next to the
+// pair-level `par_map` so experiment code has one import site.
+pub use nexit_core::parallel::{par_flows, resolve_threads};
 
 /// Map `f` over `0..num_items` with `threads` workers, returning results
 /// in item order. `threads <= 1` runs the plain serial loop; any other
@@ -92,56 +86,6 @@ where
     .expect("sweep worker panicked")
 }
 
-/// Fill the rows of one flat [`GainTable`] in parallel: `fill(flow, row)`
-/// computes flow `flow`'s gain row in place.
-///
-/// This is the flow-level complement to [`par_map`]'s pair-level fan-out:
-/// one huge session (destination-granularity negotiation puts every
-/// destination PoP of a big ISP on one table) spends most of its mapper
-/// time in per-flow computations that are independent of each other.
-/// Because the table is one flat buffer whose rows are contiguous
-/// `num_alternatives()`-sized chunks, it splits into `threads` disjoint
-/// sub-slices of whole rows — each worker writes its own range and
-/// nothing else, so the result is **byte-identical** to the serial fill
-/// for any thread count (each cell is computed once, by the same
-/// arithmetic, from shared read-only state).
-pub fn par_flows<F>(threads: usize, table: &mut GainTable, fill: F)
-where
-    F: Fn(usize, &mut [f64]) + Sync,
-{
-    let num_flows = table.num_flows();
-    let k = table.num_alternatives();
-    if num_flows == 0 || k == 0 {
-        return;
-    }
-    let threads = resolve_threads(threads).min(num_flows);
-    if threads <= 1 {
-        for flow in 0..num_flows {
-            fill(flow, table.row_mut(flow));
-        }
-        return;
-    }
-    let rows_per = num_flows.div_ceil(threads);
-    crossbeam::thread::scope(|s| {
-        let fill = &fill;
-        let mut rest = table.values_mut();
-        let mut start = 0;
-        while start < num_flows {
-            let take = rows_per.min(num_flows - start);
-            let (chunk, tail) = rest.split_at_mut(take * k);
-            rest = tail;
-            let base = start;
-            s.spawn(move |_| {
-                for (i, row) in chunk.chunks_mut(k).enumerate() {
-                    fill(base + i, row);
-                }
-            });
-            start += take;
-        }
-    })
-    .expect("par_flows worker panicked");
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,57 +131,11 @@ mod tests {
     }
 
     #[test]
-    fn auto_resolves_to_at_least_one() {
-        assert!(resolve_threads(0) >= 1);
-        assert_eq!(resolve_threads(3), 3);
-    }
-
-    #[test]
     #[should_panic(expected = "item 7 exploded")]
     fn worker_panics_surface_with_their_payload() {
         par_map(4, 16, |i| {
             assert!(i != 7, "item {i} exploded");
             i
         });
-    }
-
-    /// A deliberately order-sensitive fill: each cell mixes the flow and
-    /// alternative index through float math that would drift if a cell
-    /// were computed twice or from the wrong indices.
-    fn reference_fill(flow: usize, row: &mut [f64]) {
-        for (alt, cell) in row.iter_mut().enumerate() {
-            *cell = (flow as f64 + 1.0).sqrt() * (alt as f64 - 1.5) / 3.0;
-        }
-    }
-
-    #[test]
-    fn par_flows_is_byte_identical_across_thread_counts() {
-        let mut serial = GainTable::new(37, 5);
-        par_flows(1, &mut serial, reference_fill);
-        for threads in [2, 4] {
-            let mut parallel = GainTable::new(37, 5);
-            par_flows(threads, &mut parallel, reference_fill);
-            // Bitwise equality, not approximate: same cells, same math,
-            // same results regardless of which worker ran which row.
-            assert!(
-                serial
-                    .values()
-                    .iter()
-                    .zip(parallel.values())
-                    .all(|(a, b)| a.to_bits() == b.to_bits()),
-                "thread count {threads} changed the table"
-            );
-        }
-    }
-
-    #[test]
-    fn par_flows_handles_empty_and_tiny_tables() {
-        let mut empty = GainTable::new(0, 4);
-        par_flows(4, &mut empty, |_, _| panic!("no rows to fill"));
-        let mut one = GainTable::new(1, 2);
-        par_flows(8, &mut one, reference_fill);
-        let mut expect = GainTable::new(1, 2);
-        reference_fill(0, expect.row_mut(0));
-        assert_eq!(one, expect);
     }
 }

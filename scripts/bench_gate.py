@@ -21,9 +21,18 @@ numbers for offline inspection.
 Exit codes: 0 = ok, 1 = regression (or baseline row missing from the
 current report), 2 = usage/IO error.
 
+Beyond per-row regressions, ``--require-ratio NUM:DEN:MIN`` (repeatable)
+asserts structural speedups *within* the current report: the row named
+``NUM`` must be at least ``MIN`` times the row named ``DEN`` — e.g.
+``model_grid/cold:model_grid/warm:2.0`` enforces that the warm-started
+coefficient-patch re-solves stay at least twice as fast as cold ones.
+Ratios are machine-independent (both rows come from the same run), so
+they hold absolutely, not merely relative to the suite.
+
 Usage:
     bench_gate.py --baseline BENCH_engine.json --current fresh.json \
-                  [--threshold 25] [--absolute]
+                  [--threshold 25] [--absolute] \
+                  [--require-ratio num:den:min ...]
     bench_gate.py --self-test
 """
 
@@ -82,6 +91,33 @@ def compare(baseline, current, threshold_pct, normalize):
     return regressions, lines
 
 
+def check_ratios(current, specs):
+    """Return (failures, lines) for ``num:den:min`` ratio requirements
+    evaluated against the current report (same machine, same run)."""
+    failures = []
+    lines = []
+    for spec in specs:
+        try:
+            num, den, minimum = spec.rsplit(":", 2)
+            minimum = float(minimum)
+        except ValueError as exc:
+            raise ValueError(f"bad --require-ratio {spec!r}: {exc}") from exc
+        if num not in current or den not in current:
+            missing = [r for r in (num, den) if r not in current]
+            failures.append((spec, None))
+            lines.append(f"RATIO    {spec}: missing row(s) {', '.join(missing)}")
+            continue
+        ratio = current[num] / current[den]
+        ok = ratio >= minimum
+        verdict = "ratio ok" if ok else "RATIO"
+        lines.append(
+            f"{verdict:9}{num} / {den} = {ratio:.2f}x (required >= {minimum:.2f}x)"
+        )
+        if not ok:
+            failures.append((spec, ratio))
+    return failures, lines
+
+
 def self_test():
     base = {"a": 100.0, "b": 200.0, "c": 1000.0}
 
@@ -110,6 +146,17 @@ def self_test():
     regs, _ = compare(base, cur, 25.0, normalize=False)
     assert len(regs) == 3, f"absolute mode missed the slowdown: {regs}"
 
+    # Ratio requirements: cold/warm >= 2 holds, fires, and flags missing
+    # rows.
+    cur = {"grid/cold": 300.0, "grid/warm": 100.0}
+    fails, _ = check_ratios(cur, ["grid/cold:grid/warm:2.0"])
+    assert not fails, f"satisfied ratio tripped the gate: {fails}"
+    cur = {"grid/cold": 150.0, "grid/warm": 100.0}
+    fails, _ = check_ratios(cur, ["grid/cold:grid/warm:2.0"])
+    assert len(fails) == 1, f"violated ratio not flagged: {fails}"
+    fails, _ = check_ratios(cur, ["grid/cold:grid/missing:2.0"])
+    assert len(fails) == 1, f"missing ratio row not flagged: {fails}"
+
     print("bench_gate self-test: ok")
 
 
@@ -130,6 +177,14 @@ def main():
         help="compare raw ratios instead of normalizing by the median "
         "(use when baseline and current ran on the same machine)",
     )
+    parser.add_argument(
+        "--require-ratio",
+        action="append",
+        default=[],
+        metavar="NUM:DEN:MIN",
+        help="require current[NUM] / current[DEN] >= MIN (repeatable; "
+        "evaluated within the current report, so machine-independent)",
+    )
     parser.add_argument("--self-test", action="store_true")
     args = parser.parse_args()
 
@@ -147,16 +202,31 @@ def main():
         return 2
 
     regressions, lines = compare(baseline, current, args.threshold, not args.absolute)
-    for line in lines:
+    try:
+        ratio_failures, ratio_lines = check_ratios(current, args.require_ratio)
+    except ValueError as exc:
+        print(f"bench_gate: {exc}", file=sys.stderr)
+        return 2
+    for line in lines + ratio_lines:
         print(line)
-    if regressions:
-        print(
-            f"bench_gate: {len(regressions)} row(s) regressed beyond "
-            f"{args.threshold:.0f}% (or went missing)",
-            file=sys.stderr,
-        )
+    if regressions or ratio_failures:
+        if regressions:
+            print(
+                f"bench_gate: {len(regressions)} row(s) regressed beyond "
+                f"{args.threshold:.0f}% (or went missing)",
+                file=sys.stderr,
+            )
+        if ratio_failures:
+            print(
+                f"bench_gate: {len(ratio_failures)} required speedup "
+                "ratio(s) not met",
+                file=sys.stderr,
+            )
         return 1
-    print(f"bench_gate: all rows within {args.threshold:.0f}%")
+    verdict = f"bench_gate: all rows within {args.threshold:.0f}%"
+    if args.require_ratio:
+        verdict += f"; {len(args.require_ratio)} ratio requirement(s) ok"
+    print(verdict)
     return 0
 
 

@@ -88,7 +88,20 @@ impl Bencher {
             }
             let elapsed = start.elapsed();
             if elapsed >= window || iters >= 1 << 20 {
-                self.mean_ns = elapsed.as_nanos() as f64 / iters as f64;
+                // Benchmarks that hit the window on their very first
+                // attempt were measured cold (no calibration pass warmed
+                // the caches), and even calibrated rows carry scheduler
+                // noise in one sample. Measure once more at the settled
+                // count and keep the faster run — interference only ever
+                // inflates timings, so the minimum is the stable
+                // estimator (this is what keeps the 1-iteration rows of
+                // the CI bench gate from flapping).
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(routine());
+                }
+                let second = start.elapsed();
+                self.mean_ns = elapsed.min(second).as_nanos() as f64 / iters as f64;
                 self.iters_done = iters;
                 return;
             }
