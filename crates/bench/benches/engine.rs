@@ -387,11 +387,38 @@ fn bench_simplex_warm_coeff(c: &mut Criterion) {
     group.finish();
 }
 
+/// The session broker serving whole batches of wire negotiations: the
+/// tentpole numbers for `nexit-broker` (sessions/sec at 1k and 10k
+/// pairs). The synthetic workload is `experiments broker`'s
+/// ([`nexit_sim::experiments::broker::synthetic_specs`]), so the bench
+/// rows, the CLI's sessions/sec and the CI gate all describe the same
+/// sessions. Worker count is fixed at 1 so the rows measure broker
+/// overhead (framing, queueing, arena recycling), not host parallelism.
+fn bench_broker(c: &mut Criterion) {
+    use nexit_broker::{Broker, BrokerConfig};
+    use nexit_sim::experiments::broker::{synthetic_specs, ALTS, FLOWS};
+
+    let mut group = c.benchmark_group("broker");
+    group.sample_size(10);
+    for &(label, pairs) in &[("1k_pairs", 1_000usize), ("10k_pairs", 10_000)] {
+        group.bench_function(label, |bencher| {
+            let broker = Broker::new(BrokerConfig::with_workers(1));
+            bencher.iter(|| {
+                let run = broker.run_pairs(synthetic_specs(pairs, FLOWS, ALTS, 1));
+                assert_eq!(run.stats.completed, pairs);
+                run.stats.frames
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_engine,
     bench_scenario_sweep,
     bench_model_grid,
-    bench_simplex_warm_coeff
+    bench_simplex_warm_coeff,
+    bench_broker
 );
 criterion_main!(benches);

@@ -1,0 +1,818 @@
+//! A multiplexed session broker: thousands of concurrent wire
+//! negotiations over framed in-memory transports, on M worker threads.
+//!
+//! `nexit-proto`'s [`Agent`] is sans-IO by design, but until this crate
+//! nothing drove more than one wire session at a time
+//! ([`nexit_proto::driver`] is a single-pair pump). The [`Broker`] is the
+//! datacenter-scale shell around the same machinery: it owns per-session
+//! state keyed by **pair id** (the index of the session's
+//! [`SessionSpec`] in the submitted batch), shards the sessions
+//! round-robin across workers, and runs each worker as a
+//! readiness-polled event loop:
+//!
+//! * **Admission control** — each worker keeps at most
+//!   [`BrokerConfig::max_active`] sessions live; the rest wait in the
+//!   worker's pending queue. Retired sessions return their table and
+//!   index buffers to a per-worker [`TableArena`], so a worker serving
+//!   thousands of sessions allocates each backing buffer only once.
+//! * **Poll ticks with batched encode/decode** — one tick drains every
+//!   outgoing frame an agent can produce into its link (batched encode)
+//!   and delivers queued frames to the peer as one concatenated byte run
+//!   fed to the codec in a single call (batched decode).
+//! * **Bounded queues with backpressure** — a link holds at most
+//!   [`BrokerConfig::queue_capacity`] frames in flight and a peer
+//!   consumes at most [`BrokerConfig::deliver_budget`] frames per tick.
+//!   When a queue is full the sender is parked in
+//!   [`PollState::Transmitting`] — its remaining frames stay in the
+//!   agent's outbox — and the worker moves on to the next session: a
+//!   stalled peer never blocks its worker.
+//! * **Fault isolation** — a corrupted or dropped frame (injected via
+//!   each spec's [`FaultConfig`]) fails only its own session, which
+//!   surfaces as a [`SessionFailure`] in that pair's result slot;
+//!   sibling sessions on the same worker complete with unchanged
+//!   outcomes. A session that stops making progress for
+//!   [`BrokerConfig::stall_ticks`] consecutive ticks is failed with
+//!   [`ProtoError::Stalled`], carrying both links' in-flight counts.
+//!
+//! Outcomes are **byte-identical to the in-process engine**
+//! ([`nexit_core::negotiate`]) for every pair at any worker count: a
+//! session's two agents advance in lock step regardless of how ticks
+//! interleave with other sessions, the per-worker arena recycles
+//! allocations but never values, and results are collected by pair id.
+//! `crates/sim/tests/broker_determinism.rs` pins exactly this.
+
+use nexit_core::parallel::resolve_threads;
+use nexit_core::{DisclosurePolicy, NexitConfig, PreferenceMapper, SessionInput, Side, TableArena};
+use nexit_proto::agent::{Agent, AgentOutcome, ProtoError};
+use nexit_proto::channel::{FaultConfig, FaultyLink};
+use nexit_routing::Assignment;
+use std::collections::VecDeque;
+
+/// Everything the broker needs to serve one negotiation pair: the shared
+/// session parameters plus each side's private objective and disclosure
+/// policy, and the (possibly faulty) link characteristics.
+///
+/// The pair's **id** is its index in the batch passed to
+/// [`Broker::run_pairs`]; results come back in the same order.
+pub struct SessionSpec<'a> {
+    /// The negotiated flow set (identical on both sides).
+    pub input: SessionInput,
+    /// The pre-negotiation assignment of all pair flows.
+    pub default_assignment: Assignment,
+    /// The A-side (upstream) ISP's private objective.
+    pub mapper_a: Box<dyn PreferenceMapper + Send + 'a>,
+    /// The B-side (downstream) ISP's private objective.
+    pub mapper_b: Box<dyn PreferenceMapper + Send + 'a>,
+    /// A's disclosure policy (truthful, or a §5.4 cheater).
+    pub disclosure_a: DisclosurePolicy,
+    /// B's disclosure policy.
+    pub disclosure_b: DisclosurePolicy,
+    /// The contractually agreed protocol configuration.
+    pub config: NexitConfig,
+    /// Fault injection on the A→B link.
+    pub faults_ab: FaultConfig,
+    /// Fault injection on the B→A link.
+    pub faults_ba: FaultConfig,
+    /// Seed for the links' fault randomness (per session, so fault
+    /// patterns are independent of scheduling).
+    pub link_seed: u64,
+}
+
+impl<'a> SessionSpec<'a> {
+    /// A spec for two honest parties over reliable links.
+    pub fn honest(
+        input: SessionInput,
+        default_assignment: Assignment,
+        mapper_a: impl PreferenceMapper + Send + 'a,
+        mapper_b: impl PreferenceMapper + Send + 'a,
+        config: NexitConfig,
+    ) -> Self {
+        Self {
+            input,
+            default_assignment,
+            mapper_a: Box::new(mapper_a),
+            mapper_b: Box::new(mapper_b),
+            disclosure_a: DisclosurePolicy::Truthful,
+            disclosure_b: DisclosurePolicy::Truthful,
+            config,
+            faults_ab: FaultConfig::RELIABLE,
+            faults_ba: FaultConfig::RELIABLE,
+            link_seed: 0,
+        }
+    }
+
+    /// Replace both links' fault configuration.
+    pub fn with_faults(mut self, faults: FaultConfig, link_seed: u64) -> Self {
+        self.faults_ab = faults;
+        self.faults_ba = faults;
+        self.link_seed = link_seed;
+        self
+    }
+}
+
+/// Broker tuning knobs. The defaults serve well-behaved sessions without
+/// ever parking; shrink `queue_capacity` / `deliver_budget` to model slow
+/// peers and exercise backpressure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BrokerConfig {
+    /// Worker threads: 0 = one per available core, 1 = serial, N = N.
+    /// Results are byte-identical for every setting.
+    pub workers: usize,
+    /// Concurrent sessions per worker (admission control). Pending
+    /// sessions wait, and retired sessions' buffers are recycled into
+    /// the slots they free.
+    pub max_active: usize,
+    /// Per-direction bound on frames in flight. A full queue parks the
+    /// sending session until deliveries drain it.
+    pub queue_capacity: usize,
+    /// Frames delivered to a peer per direction per tick (models peer
+    /// consumption rate; the batched decode feeds them as one byte run).
+    pub deliver_budget: usize,
+    /// Consecutive no-progress ticks before a session is failed with
+    /// [`ProtoError::Stalled`].
+    pub stall_ticks: usize,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            max_active: 512,
+            queue_capacity: 64,
+            deliver_budget: 64,
+            stall_ticks: 16,
+        }
+    }
+}
+
+impl BrokerConfig {
+    /// Default configuration with an explicit worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            workers,
+            ..Self::default()
+        }
+    }
+}
+
+/// Readiness of one session inside its worker's poll loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PollState {
+    /// Admitted but not yet polled.
+    Idle,
+    /// Frames queued in flight (or parked on a full queue).
+    Transmitting,
+    /// Quiescent: both queues empty, waiting for the peer's next frame
+    /// (which the next tick's poll will produce — or never arrives, in
+    /// which case the stall detector fires).
+    AwaitingPeer,
+    /// Both sides finished successfully.
+    Done,
+    /// The session failed (protocol error or stall).
+    Failed,
+}
+
+/// Both sides' outcomes for one completed pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairOutcome {
+    /// A's machine outcome.
+    pub a: AgentOutcome,
+    /// B's machine outcome.
+    pub b: AgentOutcome,
+}
+
+/// Why a pair's session failed. Failure is always clean and isolated:
+/// the error names the offending session only, and sibling sessions are
+/// unaffected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionFailure {
+    /// The protocol error that killed the session.
+    pub error: ProtoError,
+    /// The side whose agent rejected a frame, when the failure was a
+    /// decode/protocol error (`None` for stalls and admission errors).
+    pub side: Option<Side>,
+}
+
+/// Aggregate counters across all workers of one [`Broker::run_pairs`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BrokerStats {
+    /// Sessions submitted.
+    pub sessions: usize,
+    /// Sessions that completed with outcomes.
+    pub completed: usize,
+    /// Sessions that failed (admission, protocol error or stall).
+    pub failed: usize,
+    /// Wire frames moved.
+    pub frames: u64,
+    /// Wire bytes moved.
+    pub bytes: u64,
+    /// Poll-loop iterations, summed over workers.
+    pub ticks: u64,
+    /// Session-ticks spent parked on a full frame queue (backpressure).
+    pub parked: u64,
+    /// Highest concurrent session count observed on any worker.
+    pub peak_active: usize,
+}
+
+impl BrokerStats {
+    fn absorb(&mut self, other: &BrokerStats) {
+        self.completed += other.completed;
+        self.failed += other.failed;
+        self.frames += other.frames;
+        self.bytes += other.bytes;
+        self.ticks += other.ticks;
+        self.parked += other.parked;
+        self.peak_active = self.peak_active.max(other.peak_active);
+    }
+}
+
+/// Result of one [`Broker::run_pairs`] batch: per-pair results in
+/// submission order, plus the aggregate counters.
+#[derive(Debug)]
+pub struct BrokerRun {
+    /// One slot per submitted spec, in order (slot `i` = pair id `i`).
+    pub results: Vec<Result<PairOutcome, SessionFailure>>,
+    /// Aggregate counters across all workers.
+    pub stats: BrokerStats,
+}
+
+/// The session broker. See the crate docs for the event-loop shape.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Broker {
+    config: BrokerConfig,
+}
+
+impl Broker {
+    /// A broker with the given configuration.
+    pub fn new(config: BrokerConfig) -> Self {
+        Self { config }
+    }
+
+    /// This broker's configuration.
+    pub fn config(&self) -> &BrokerConfig {
+        &self.config
+    }
+
+    /// Serve every spec'd pair to completion and return per-pair results
+    /// in submission order. Sessions are sharded round-robin across
+    /// workers; outcomes are byte-identical for any worker count.
+    pub fn run_pairs<'a>(&self, specs: Vec<SessionSpec<'a>>) -> BrokerRun {
+        let n = specs.len();
+        let mut stats = BrokerStats {
+            sessions: n,
+            ..BrokerStats::default()
+        };
+        if n == 0 {
+            return BrokerRun {
+                results: Vec::new(),
+                stats,
+            };
+        }
+        let workers = resolve_threads(self.config.workers).min(n).max(1);
+        let mut slots: Vec<Option<Result<PairOutcome, SessionFailure>>> =
+            (0..n).map(|_| None).collect();
+
+        if workers <= 1 {
+            let (results, shard_stats) =
+                run_shard(&self.config, specs.into_iter().enumerate().collect());
+            stats.absorb(&shard_stats);
+            for (id, result) in results {
+                slots[id] = Some(result);
+            }
+        } else {
+            // Round-robin sharding: session i belongs to worker i % W.
+            // Any partition yields identical results (sessions are
+            // independent); this one balances mixed-size batches.
+            let mut shards: Vec<Vec<(usize, SessionSpec<'a>)>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (i, spec) in specs.into_iter().enumerate() {
+                shards[i % workers].push((i, spec));
+            }
+            let config = &self.config;
+            let worker_outputs = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .into_iter()
+                    .map(|shard| scope.spawn(move |_| run_shard(config, shard)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("broker worker panicked"))
+                    .collect::<Vec<_>>()
+            })
+            .expect("broker worker pool panicked");
+            for (results, shard_stats) in worker_outputs {
+                stats.absorb(&shard_stats);
+                for (id, result) in results {
+                    slots[id] = Some(result);
+                }
+            }
+        }
+
+        BrokerRun {
+            results: slots
+                .into_iter()
+                .map(|slot| slot.expect("every session reports exactly once"))
+                .collect(),
+            stats,
+        }
+    }
+}
+
+/// One live session inside a worker: two agents, two bounded links, and
+/// the session's poll state.
+struct ActiveSession<'a> {
+    id: usize,
+    agent_a: Agent<'a>,
+    agent_b: Agent<'a>,
+    link_ab: FaultyLink,
+    link_ba: FaultyLink,
+    state: PollState,
+    idle_ticks: usize,
+    result: Option<Result<PairOutcome, SessionFailure>>,
+}
+
+/// A worker's output: `(pair id, result)` in retirement order, plus the
+/// worker's counters.
+type ShardOutput = (
+    Vec<(usize, Result<PairOutcome, SessionFailure>)>,
+    BrokerStats,
+);
+
+/// One worker: admit from the pending queue up to the active cap, poll
+/// every active session once per tick, retire terminal sessions into the
+/// arena, repeat until the shard is drained.
+fn run_shard<'a>(config: &BrokerConfig, specs: Vec<(usize, SessionSpec<'a>)>) -> ShardOutput {
+    let mut results = Vec::with_capacity(specs.len());
+    let mut pending: VecDeque<(usize, SessionSpec<'a>)> = specs.into();
+    let mut active: Vec<ActiveSession<'a>> = Vec::new();
+    let mut arena = TableArena::new();
+    let mut scratch: Vec<u8> = Vec::new();
+    let mut stats = BrokerStats::default();
+
+    while !pending.is_empty() || !active.is_empty() {
+        stats.ticks += 1;
+        // Admission: fill freed slots from the pending queue.
+        while active.len() < config.max_active.max(1) {
+            let Some((id, spec)) = pending.pop_front() else {
+                break;
+            };
+            match admit(&mut arena, id, spec) {
+                Ok(session) => active.push(session),
+                Err(failure) => {
+                    stats.failed += 1;
+                    results.push((id, Err(failure)));
+                }
+            }
+        }
+        stats.peak_active = stats.peak_active.max(active.len());
+
+        // Poll every active session once; retire terminal ones in place.
+        let mut i = 0;
+        while i < active.len() {
+            tick(config, &mut active[i], &mut scratch, &mut stats);
+            if matches!(active[i].state, PollState::Done | PollState::Failed) {
+                let session = active.swap_remove(i);
+                let result = session
+                    .result
+                    .expect("terminal session must carry a result");
+                match &result {
+                    Ok(_) => stats.completed += 1,
+                    Err(_) => stats.failed += 1,
+                }
+                results.push((session.id, result));
+                session.agent_a.recycle(&mut arena);
+                session.agent_b.recycle(&mut arena);
+            } else {
+                i += 1;
+            }
+        }
+    }
+    (results, stats)
+}
+
+/// Construct a session's two agents from its spec, drawing buffers from
+/// the worker's arena.
+fn admit<'a>(
+    arena: &mut TableArena,
+    id: usize,
+    spec: SessionSpec<'a>,
+) -> Result<ActiveSession<'a>, SessionFailure> {
+    let agent_a = Agent::new_in(
+        arena,
+        Side::A,
+        format!("pair{id}-A"),
+        spec.input.clone(),
+        spec.default_assignment.clone(),
+        spec.mapper_a,
+        spec.disclosure_a,
+        spec.config,
+    )
+    .map_err(|error| SessionFailure {
+        error,
+        side: Some(Side::A),
+    })?;
+    let agent_b = match Agent::new_in(
+        arena,
+        Side::B,
+        format!("pair{id}-B"),
+        spec.input,
+        spec.default_assignment,
+        spec.mapper_b,
+        spec.disclosure_b,
+        spec.config,
+    ) {
+        Ok(agent) => agent,
+        Err(error) => {
+            agent_a.recycle(arena);
+            return Err(SessionFailure {
+                error,
+                side: Some(Side::B),
+            });
+        }
+    };
+    Ok(ActiveSession {
+        id,
+        agent_a,
+        agent_b,
+        link_ab: FaultyLink::new(spec.faults_ab, spec.link_seed),
+        link_ba: FaultyLink::new(spec.faults_ba, spec.link_seed ^ 0x9e37_79b9_7f4a_7c15),
+        state: PollState::Idle,
+        idle_ticks: 0,
+        result: None,
+    })
+}
+
+/// One poll tick for one session: batched encode into the bounded links,
+/// batched decode out of them, then completion / stall bookkeeping.
+fn tick(
+    config: &BrokerConfig,
+    session: &mut ActiveSession<'_>,
+    scratch: &mut Vec<u8>,
+    stats: &mut BrokerStats,
+) {
+    if matches!(session.state, PollState::Done | PollState::Failed) {
+        return;
+    }
+    let mut moved = false;
+    let mut parked = false;
+
+    // Batched encode: drain each agent's outgoing frames while its link
+    // has queue room. A full queue parks the sender — remaining frames
+    // stay in the agent's outbox until deliveries free capacity.
+    loop {
+        if session.link_ab.in_flight() >= config.queue_capacity {
+            parked = true;
+            break;
+        }
+        let Some(frame) = session.agent_a.poll_transmit() else {
+            break;
+        };
+        stats.frames += 1;
+        stats.bytes += frame.len() as u64;
+        session.link_ab.send(frame);
+        moved = true;
+    }
+    loop {
+        if session.link_ba.in_flight() >= config.queue_capacity {
+            parked = true;
+            break;
+        }
+        let Some(frame) = session.agent_b.poll_transmit() else {
+            break;
+        };
+        stats.frames += 1;
+        stats.bytes += frame.len() as u64;
+        session.link_ba.send(frame);
+        moved = true;
+    }
+
+    // Batched decode: up to `deliver_budget` frames per direction,
+    // concatenated into one byte run and fed to the codec in one call.
+    for direction in [Side::A, Side::B] {
+        let (link, receiver, sender_side) = match direction {
+            Side::A => (&mut session.link_ab, &mut session.agent_b, Side::B),
+            Side::B => (&mut session.link_ba, &mut session.agent_a, Side::A),
+        };
+        scratch.clear();
+        let mut delivered = 0usize;
+        while delivered < config.deliver_budget {
+            let Some(frame) = link.recv() else {
+                break;
+            };
+            scratch.extend_from_slice(&frame);
+            delivered += 1;
+        }
+        if delivered > 0 {
+            moved = true;
+            if let Err(error) = receiver.handle_bytes(scratch) {
+                session.state = PollState::Failed;
+                session.result = Some(Err(SessionFailure {
+                    error,
+                    side: Some(sender_side),
+                }));
+                return;
+            }
+        }
+    }
+
+    // Completion: both agents terminal and both queues drained.
+    if session.agent_a.is_done()
+        && session.agent_b.is_done()
+        && session.link_ab.in_flight() == 0
+        && session.link_ba.in_flight() == 0
+    {
+        match (session.agent_a.outcome(), session.agent_b.outcome()) {
+            (Some(a), Some(b)) => {
+                session.state = PollState::Done;
+                session.result = Some(Ok(PairOutcome { a, b }));
+            }
+            // An agent terminal without an outcome failed its handshake.
+            _ => {
+                session.state = PollState::Failed;
+                session.result = Some(Err(SessionFailure {
+                    error: ProtoError::Closed,
+                    side: None,
+                }));
+            }
+        }
+        return;
+    }
+
+    if parked {
+        stats.parked += 1;
+    }
+    session.state = if parked || session.link_ab.in_flight() + session.link_ba.in_flight() > 0 {
+        PollState::Transmitting
+    } else {
+        PollState::AwaitingPeer
+    };
+    if moved {
+        session.idle_ticks = 0;
+    } else {
+        // Nothing to send, nothing to deliver, nobody finished: a lost
+        // frame stalled the lock-step exchange. Give it `stall_ticks`
+        // grace (cheap insurance against future multi-tick shapes), then
+        // fail this session alone — with both queues' state, so a
+        // dropped-frame stall is diagnosable.
+        session.idle_ticks += 1;
+        if session.idle_ticks >= config.stall_ticks.max(1) {
+            session.state = PollState::Failed;
+            session.result = Some(Err(SessionFailure {
+                error: ProtoError::Stalled {
+                    in_flight_ab: session.link_ab.in_flight(),
+                    in_flight_ba: session.link_ba.in_flight(),
+                },
+                side: None,
+            }));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexit_core::{negotiate, GainTable, Party};
+    use nexit_routing::FlowId;
+    use nexit_topology::IcxId;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A fixed-table mapper (the broker test workload).
+    #[derive(Clone)]
+    struct TableMapper {
+        gains: GainTable,
+    }
+
+    impl PreferenceMapper for TableMapper {
+        fn gains(&mut self, _i: &SessionInput, _c: &Assignment, out: &mut GainTable) {
+            out.copy_from(&self.gains);
+        }
+    }
+
+    fn synthetic_gains(n: usize, k: usize, seed: u64) -> GainTable {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gains = GainTable::new(n, k);
+        for f in 0..n {
+            let row = gains.row_mut(f);
+            for cell in row.iter_mut() {
+                *cell = rng.gen_range(-50.0..50.0);
+            }
+            row[0] = 0.0;
+        }
+        gains
+    }
+
+    fn input(n: usize, k: usize) -> SessionInput {
+        SessionInput {
+            flow_ids: (0..n).map(FlowId::new).collect(),
+            defaults: vec![IcxId(0); n],
+            volumes: vec![1.0; n],
+            num_alternatives: k,
+        }
+    }
+
+    fn spec(pair: u64, n: usize, k: usize) -> SessionSpec<'static> {
+        SessionSpec::honest(
+            input(n, k),
+            Assignment::uniform(n, IcxId(0)),
+            TableMapper {
+                gains: synthetic_gains(n, k, 2 * pair),
+            },
+            TableMapper {
+                gains: synthetic_gains(n, k, 2 * pair + 1),
+            },
+            NexitConfig::win_win(),
+        )
+    }
+
+    fn engine_reference(pair: u64, n: usize, k: usize) -> nexit_core::NegotiationOutcome {
+        let mut a = Party::honest(
+            "A",
+            TableMapper {
+                gains: synthetic_gains(n, k, 2 * pair),
+            },
+        );
+        let mut b = Party::honest(
+            "B",
+            TableMapper {
+                gains: synthetic_gains(n, k, 2 * pair + 1),
+            },
+        );
+        negotiate(
+            &input(n, k),
+            &Assignment::uniform(n, IcxId(0)),
+            &mut a,
+            &mut b,
+            &NexitConfig::win_win(),
+        )
+    }
+
+    fn assert_matches_engine(pair: u64, n: usize, k: usize, out: &PairOutcome) {
+        let reference = engine_reference(pair, n, k);
+        assert_eq!(
+            reference.assignment.choices(),
+            out.a.assignment.choices(),
+            "pair {pair}: broker assignment diverged from engine"
+        );
+        assert_eq!(out.a.assignment, out.b.assignment);
+        assert_eq!(reference.gain_a, out.a.my_gain);
+        assert_eq!(reference.gain_b, out.b.my_gain);
+        assert_eq!(reference.termination, out.a.termination);
+        assert_eq!(reference.reassignments, out.a.reassignments);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let run = Broker::default().run_pairs(Vec::new());
+        assert!(run.results.is_empty());
+        assert_eq!(run.stats, BrokerStats::default());
+    }
+
+    #[test]
+    fn batch_matches_engine_for_every_worker_count() {
+        let (pairs, n, k) = (96u64, 8, 3);
+        for workers in [1usize, 2, 4] {
+            let specs: Vec<_> = (0..pairs).map(|p| spec(p, n, k)).collect();
+            let run = Broker::new(BrokerConfig::with_workers(workers)).run_pairs(specs);
+            assert_eq!(run.stats.completed, pairs as usize, "workers={workers}");
+            assert_eq!(run.stats.failed, 0);
+            for (p, result) in run.results.iter().enumerate() {
+                let out = result.as_ref().expect("session completed");
+                assert_matches_engine(p as u64, n, k, out);
+            }
+        }
+    }
+
+    #[test]
+    fn admission_control_bounds_active_sessions() {
+        let specs: Vec<_> = (0..64).map(|p| spec(p, 6, 3)).collect();
+        let config = BrokerConfig {
+            workers: 1,
+            max_active: 8,
+            ..BrokerConfig::default()
+        };
+        let run = Broker::new(config).run_pairs(specs);
+        assert_eq!(run.stats.completed, 64);
+        assert!(
+            run.stats.peak_active <= 8,
+            "active sessions exceeded the admission cap: {}",
+            run.stats.peak_active
+        );
+    }
+
+    #[test]
+    fn backpressure_parks_sessions_but_all_complete() {
+        // Tiny queues and a one-frame-per-tick consumer: the handshake
+        // burst alone (Hello + FlowAnnounce + PrefList) overflows the
+        // A→B queue, so sessions must park and resume.
+        let specs: Vec<_> = (0..24).map(|p| spec(p, 10, 3)).collect();
+        let config = BrokerConfig {
+            workers: 1,
+            max_active: 6,
+            queue_capacity: 1,
+            deliver_budget: 1,
+            ..BrokerConfig::default()
+        };
+        let run = Broker::new(config).run_pairs(specs);
+        assert_eq!(run.stats.completed, 24, "parked sessions must finish");
+        assert!(
+            run.stats.parked > 0,
+            "queue_capacity=1 must trigger backpressure parking"
+        );
+        for (p, result) in run.results.iter().enumerate() {
+            assert_matches_engine(p as u64, 10, 3, result.as_ref().unwrap());
+        }
+    }
+
+    #[test]
+    fn corrupted_session_fails_alone_with_unchanged_siblings() {
+        let (pairs, n, k) = (12u64, 8, 3);
+        let victim = 5usize;
+        let specs: Vec<_> = (0..pairs)
+            .map(|p| {
+                let s = spec(p, n, k);
+                if p as usize == victim {
+                    s.with_faults(
+                        FaultConfig {
+                            corrupt_chance: 1.0,
+                            ..FaultConfig::RELIABLE
+                        },
+                        9,
+                    )
+                } else {
+                    s
+                }
+            })
+            .collect();
+        let run = Broker::new(BrokerConfig::with_workers(1)).run_pairs(specs);
+        assert_eq!(run.stats.failed, 1);
+        assert_eq!(run.stats.completed, pairs as usize - 1);
+        let failure = run.results[victim].as_ref().unwrap_err();
+        assert!(
+            matches!(failure.error, ProtoError::Frame(_) | ProtoError::Message(_)),
+            "corruption must surface via the CRC or message validation, got {:?}",
+            failure.error
+        );
+        for (p, result) in run.results.iter().enumerate() {
+            if p != victim {
+                assert_matches_engine(p as u64, n, k, result.as_ref().unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_frames_stall_cleanly_with_queue_state() {
+        let specs = vec![
+            spec(0, 6, 3),
+            spec(1, 6, 3).with_faults(
+                FaultConfig {
+                    drop_chance: 1.0,
+                    ..FaultConfig::RELIABLE
+                },
+                3,
+            ),
+        ];
+        let run = Broker::new(BrokerConfig::with_workers(1)).run_pairs(specs);
+        assert_matches_engine(0, 6, 3, run.results[0].as_ref().unwrap());
+        let failure = run.results[1].as_ref().unwrap_err();
+        match failure.error {
+            ProtoError::Stalled {
+                in_flight_ab,
+                in_flight_ba,
+            } => {
+                // Every frame was dropped outright: the stall reports
+                // empty queues, distinguishing loss from backlog.
+                assert_eq!(in_flight_ab, 0);
+                assert_eq!(in_flight_ba, 0);
+            }
+            ref other => panic!("expected a stall, got {other:?}"),
+        }
+        assert!(failure.side.is_none(), "stalls blame no side");
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected_at_admission_without_poisoning_the_shard() {
+        // InflateBest on side A is rejected by the wire protocol (A must
+        // disclose first). The admission failure lands in that pair's
+        // slot; the sibling completes normally.
+        let mut bad = spec(0, 4, 2);
+        bad.disclosure_a = DisclosurePolicy::InflateBest;
+        let specs = vec![bad, spec(1, 4, 2)];
+        let run = Broker::new(BrokerConfig::with_workers(1)).run_pairs(specs);
+        let failure = run.results[0].as_ref().unwrap_err();
+        assert!(matches!(failure.error, ProtoError::UnsupportedDisclosure));
+        assert_eq!(failure.side, Some(Side::A));
+        assert_matches_engine(1, 4, 2, run.results[1].as_ref().unwrap());
+    }
+
+    #[test]
+    fn stats_count_frames_and_bytes() {
+        let run = Broker::new(BrokerConfig::with_workers(1)).run_pairs(vec![spec(0, 6, 3)]);
+        assert_eq!(run.stats.sessions, 1);
+        assert_eq!(run.stats.completed, 1);
+        // At minimum: 2 Hellos, FlowAnnounce, 2 PrefLists, Stop/Bye.
+        assert!(run.stats.frames >= 6, "frames = {}", run.stats.frames);
+        assert!(run.stats.bytes > run.stats.frames, "frames carry payload");
+        assert!(run.stats.ticks > 0);
+    }
+}

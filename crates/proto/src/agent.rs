@@ -38,7 +38,7 @@ use crate::frame::{FrameCodec, FrameError};
 use crate::messages::{FlowEntry, Message, MessageError};
 use nexit_core::machine::{Action, Event, MachineError, NegotiationMachine};
 use nexit_core::prefs::PrefTable;
-use nexit_core::{DisclosurePolicy, NexitConfig, PreferenceMapper, SessionInput, Side};
+use nexit_core::{DisclosurePolicy, NexitConfig, PreferenceMapper, SessionInput, Side, TableArena};
 use nexit_routing::Assignment;
 use std::collections::VecDeque;
 
@@ -72,6 +72,17 @@ pub enum ProtoError {
     /// `InflateBest` cheating needs the peer's list first, which only the
     /// second discloser (side B) has in this protocol.
     UnsupportedDisclosure,
+    /// The lock-step exchange stopped making progress before both sides
+    /// finished — a lost frame stalled the protocol. Carries the number
+    /// of frames still queued in each direction when the stall was
+    /// detected, so a dropped-frame stall (both queues empty) is
+    /// distinguishable from an undelivered backlog.
+    Stalled {
+        /// Frames in flight from A to B at stall detection.
+        in_flight_ab: usize,
+        /// Frames in flight from B to A at stall detection.
+        in_flight_ba: usize,
+    },
     /// The session already failed or closed.
     Closed,
 }
@@ -95,6 +106,14 @@ impl std::fmt::Display for ProtoError {
                     "InflateBest disclosure requires disclosing second (side B)"
                 )
             }
+            ProtoError::Stalled {
+                in_flight_ab,
+                in_flight_ba,
+            } => write!(
+                f,
+                "session stalled without terminating \
+                 ({in_flight_ab} frame(s) in flight A->B, {in_flight_ba} B->A)"
+            ),
             ProtoError::Closed => write!(f, "session closed"),
         }
     }
@@ -172,7 +191,35 @@ impl<'a> Agent<'a> {
         disclosure: DisclosurePolicy,
         config: NexitConfig,
     ) -> Result<Self, ProtoError> {
-        let machine = NegotiationMachine::new(
+        Self::new_in(
+            &mut TableArena::new(),
+            side,
+            name,
+            input,
+            default_assignment,
+            mapper,
+            disclosure,
+            config,
+        )
+    }
+
+    /// [`Agent::new`] drawing the machine's tables and index buffers from
+    /// `arena`. Pair with [`Agent::recycle`]: a driver that serves many
+    /// sessions back to back (the `nexit-broker` workers) allocates each
+    /// backing buffer exactly once per worker.
+    #[allow(clippy::too_many_arguments)] // mirrors `new` plus the arena
+    pub fn new_in(
+        arena: &mut TableArena,
+        side: Side,
+        name: impl Into<String>,
+        input: SessionInput,
+        default_assignment: Assignment,
+        mapper: impl PreferenceMapper + Send + 'a,
+        disclosure: DisclosurePolicy,
+        config: NexitConfig,
+    ) -> Result<Self, ProtoError> {
+        let machine = NegotiationMachine::new_in(
+            arena,
             side,
             // The wire protocol fixes the disclosure order: A discloses
             // first, so only B may run a peer-list-dependent cheater.
@@ -202,6 +249,12 @@ impl<'a> Agent<'a> {
             });
         }
         Ok(agent)
+    }
+
+    /// Retire the agent, returning its machine's table and index buffers
+    /// to `arena` for the next [`Agent::new_in`].
+    pub fn recycle(self, arena: &mut TableArena) {
+        self.machine.recycle(arena);
     }
 
     fn send(&mut self, msg: Message) {

@@ -47,11 +47,20 @@ pub fn run_session(
         }
         if !progressed {
             // No frames moved and nobody finished: a lost frame (fault
-            // injection) stalled the lock-step protocol. Surface it.
-            return Err(ProtoError::Closed);
+            // injection) stalled the lock-step protocol. Surface it with
+            // both queues' in-flight counts — empty queues mean the
+            // missing frame was dropped outright, non-empty ones mean a
+            // delivery backlog — so the stall is diagnosable.
+            return Err(ProtoError::Stalled {
+                in_flight_ab: link_ab.in_flight(),
+                in_flight_ba: link_ba.in_flight(),
+            });
         }
     }
-    Err(ProtoError::Closed)
+    Err(ProtoError::Stalled {
+        in_flight_ab: link_ab.in_flight(),
+        in_flight_ba: link_ba.in_flight(),
+    })
 }
 
 // The driver needs a step bound proportional to session size; agents do

@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! experiments [all|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fraction|prange|groups|modes|models|dest|growth]
+//! experiments [all|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fraction|prange|groups|modes|models|dest|growth|broker]
 //!             [--smoke] [--pairs N] [--seed N] [--threads N]
 //! ```
 //!
@@ -12,13 +12,13 @@
 //! default: all available cores). Results are byte-identical for every
 //! thread count — parallelism only changes wall-clock time.
 
-use nexit_sim::experiments::{ablation, bandwidth, cheating, distance, diverse, filters};
+use nexit_sim::experiments::{ablation, bandwidth, broker, cheating, distance, diverse, filters};
 use nexit_sim::ExpConfig;
 use nexit_topology::{GeneratorConfig, TopologyGenerator, Universe};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [all|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fraction|prange|groups|modes|models|dest|growth] [--smoke] [--pairs N] [--seed N] [--threads N]"
+        "usage: experiments [all|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fraction|prange|groups|modes|models|dest|growth|broker] [--smoke] [--pairs N] [--seed N] [--threads N]"
     );
     std::process::exit(2);
 }
@@ -71,11 +71,33 @@ fn main() {
 
     const TARGETS: &[&str] = &[
         "all", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fraction",
-        "prange", "groups", "modes", "models", "dest", "growth",
+        "prange", "groups", "modes", "models", "dest", "growth", "broker",
     ];
     if !TARGETS.contains(&target.as_str()) {
         eprintln!("unknown target `{target}`");
         usage();
+    }
+
+    // The broker target uses a synthetic session workload (no universe)
+    // and runs only when named explicitly — not under `all`.
+    if target == "broker" {
+        let sizes: Vec<usize> = match cfg.max_pairs {
+            Some(n) => vec![n],
+            None => vec![1_000, 10_000],
+        };
+        for pairs in sizes {
+            eprintln!(
+                "running broker throughput + engine-equivalence ({pairs} pairs, {} worker(s)) ...",
+                nexit_sim::parallel::resolve_threads(cfg.threads),
+            );
+            let r = broker::run(pairs, cfg.threads, cfg.seed);
+            broker::report(&r);
+            if r.mismatches > 0 {
+                eprintln!("broker outcomes diverged from the engine!");
+                std::process::exit(1);
+            }
+        }
+        return;
     }
 
     eprintln!(

@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod bandwidth;
+pub mod broker;
 pub mod cheating;
 pub mod distance;
 pub mod diverse;

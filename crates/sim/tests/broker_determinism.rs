@@ -1,0 +1,208 @@
+//! The broker is a scheduler, not a second implementation: every pair it
+//! serves must reach outcomes byte-identical to the in-process engine
+//! ([`nexit_core::negotiate`]) run sequentially on the same session,
+//! regardless of worker count. This suite pins that on real
+//! topology-derived pairs (distance objective, borrowed mappers), and
+//! checks fault isolation on the same workload: one faulty session fails
+//! alone while its shard siblings still match the engine exactly.
+
+use nexit_broker::{Broker, BrokerConfig, PairOutcome, SessionSpec};
+use nexit_core::{
+    negotiate, DistanceMapper, NegotiationOutcome, NexitConfig, Party, SessionInput, Side,
+};
+use nexit_proto::channel::FaultConfig;
+use nexit_proto::ProtoError;
+use nexit_routing::{Assignment, FlowId, PairFlows};
+use nexit_sim::PairData;
+use nexit_topology::{GeneratorConfig, TopologyGenerator, Universe};
+use nexit_workload::WorkloadModel;
+
+fn universe() -> Universe {
+    TopologyGenerator::new(GeneratorConfig {
+        num_isps: 12,
+        num_mesh_isps: 0,
+        seed: 11,
+        ..GeneratorConfig::default()
+    })
+    .generate()
+}
+
+fn session_input(flows: &PairFlows, default: &Assignment, alts: usize) -> SessionInput {
+    SessionInput {
+        flow_ids: (0..flows.len()).map(FlowId::new).collect(),
+        defaults: default.choices().to_vec(),
+        volumes: flows.flows.iter().map(|f| f.volume).collect(),
+        num_alternatives: alts,
+    }
+}
+
+/// All distance-eligible pairs of the test universe, fully built.
+fn build_pairs(u: &Universe) -> Vec<PairData<'_>> {
+    u.eligible_pairs(2, true)
+        .into_iter()
+        .map(|idx| {
+            let pair = &u.pairs[idx];
+            let a = &u.isps[pair.isp_a.index()];
+            let b = &u.isps[pair.isp_b.index()];
+            PairData::build(a, b, pair.clone(), WorkloadModel::Identical)
+        })
+        .collect()
+}
+
+fn spec_for<'a>(data: &'a PairData<'_>) -> SessionSpec<'a> {
+    let alts = data.pair.num_interconnections();
+    SessionSpec::honest(
+        session_input(&data.flows, &data.default, alts),
+        data.default.clone(),
+        DistanceMapper::new(Side::A, &data.flows),
+        DistanceMapper::new(Side::B, &data.flows),
+        NexitConfig::win_win(),
+    )
+}
+
+fn engine_reference(data: &PairData<'_>) -> NegotiationOutcome {
+    let alts = data.pair.num_interconnections();
+    let mut pa = Party::honest("A", DistanceMapper::new(Side::A, &data.flows));
+    let mut pb = Party::honest("B", DistanceMapper::new(Side::B, &data.flows));
+    negotiate(
+        &session_input(&data.flows, &data.default, alts),
+        &data.default,
+        &mut pa,
+        &mut pb,
+        &NexitConfig::win_win(),
+    )
+}
+
+fn assert_pair_matches(reference: &NegotiationOutcome, out: &PairOutcome, label: &str) {
+    assert_eq!(
+        reference.assignment.choices(),
+        out.a.assignment.choices(),
+        "{label}: broker assignment diverged from engine"
+    );
+    assert_eq!(
+        out.a.assignment, out.b.assignment,
+        "{label}: sides disagree"
+    );
+    assert_eq!(reference.gain_a, out.a.my_gain, "{label}: A gain");
+    assert_eq!(reference.gain_b, out.b.my_gain, "{label}: B gain");
+    assert_eq!(
+        reference.termination, out.a.termination,
+        "{label}: termination"
+    );
+    assert_eq!(
+        reference.reassignments, out.a.reassignments,
+        "{label}: reassignments"
+    );
+}
+
+#[test]
+fn broker_matches_engine_at_every_worker_count() {
+    let u = universe();
+    let pairs = build_pairs(&u);
+    assert!(pairs.len() >= 4, "universe too small for a meaningful test");
+    let references: Vec<_> = pairs.iter().map(engine_reference).collect();
+
+    for workers in [1usize, 2, 4] {
+        let specs: Vec<_> = pairs.iter().map(spec_for).collect();
+        let run = Broker::new(BrokerConfig::with_workers(workers)).run_pairs(specs);
+        assert_eq!(run.stats.completed, pairs.len(), "workers={workers}");
+        assert_eq!(run.stats.failed, 0, "workers={workers}");
+        for (i, result) in run.results.iter().enumerate() {
+            let out = result
+                .as_ref()
+                .unwrap_or_else(|e| panic!("pair {i} failed under {workers} workers: {e:?}"));
+            assert_pair_matches(&references[i], out, &format!("pair {i}, workers={workers}"));
+        }
+    }
+}
+
+#[test]
+fn faulty_session_fails_alone_siblings_match_engine() {
+    let u = universe();
+    let pairs = build_pairs(&u);
+    let references: Vec<_> = pairs.iter().map(engine_reference).collect();
+    // Corrupt every frame of one victim pair; its shard siblings (all
+    // pairs — single worker) must be byte-identical to the engine.
+    let victim = pairs.len() / 2;
+    let specs: Vec<_> = pairs
+        .iter()
+        .enumerate()
+        .map(|(i, data)| {
+            let spec = spec_for(data);
+            if i == victim {
+                spec.with_faults(
+                    FaultConfig {
+                        corrupt_chance: 1.0,
+                        ..FaultConfig::RELIABLE
+                    },
+                    41,
+                )
+            } else {
+                spec
+            }
+        })
+        .collect();
+    let run = Broker::new(BrokerConfig::with_workers(1)).run_pairs(specs);
+    assert_eq!(run.stats.failed, 1, "exactly the victim fails");
+    assert_eq!(run.stats.completed, pairs.len() - 1);
+    let failure = run.results[victim].as_ref().unwrap_err();
+    assert!(
+        matches!(failure.error, ProtoError::Frame(_) | ProtoError::Message(_)),
+        "corruption must fail via CRC/validation, got {:?}",
+        failure.error
+    );
+    for (i, result) in run.results.iter().enumerate() {
+        if i == victim {
+            continue;
+        }
+        assert_pair_matches(
+            &references[i],
+            result.as_ref().expect("sibling completed"),
+            &format!("sibling pair {i}"),
+        );
+    }
+}
+
+#[test]
+fn dropped_frames_stall_only_their_session() {
+    let u = universe();
+    let pairs = build_pairs(&u);
+    let references: Vec<_> = pairs.iter().map(engine_reference).collect();
+    let victim = 0usize;
+    let specs: Vec<_> = pairs
+        .iter()
+        .enumerate()
+        .map(|(i, data)| {
+            let spec = spec_for(data);
+            if i == victim {
+                spec.with_faults(
+                    FaultConfig {
+                        drop_chance: 1.0,
+                        ..FaultConfig::RELIABLE
+                    },
+                    17,
+                )
+            } else {
+                spec
+            }
+        })
+        .collect();
+    let run = Broker::new(BrokerConfig::with_workers(2)).run_pairs(specs);
+    assert_eq!(run.stats.failed, 1);
+    let failure = run.results[victim].as_ref().unwrap_err();
+    assert!(
+        matches!(failure.error, ProtoError::Stalled { .. }),
+        "total frame loss must surface as a stall, got {:?}",
+        failure.error
+    );
+    for (i, result) in run.results.iter().enumerate() {
+        if i == victim {
+            continue;
+        }
+        assert_pair_matches(
+            &references[i],
+            result.as_ref().expect("sibling completed"),
+            &format!("sibling pair {i}"),
+        );
+    }
+}

@@ -18,6 +18,7 @@
 //! | [`baselines`] | global optima, flow filters, grouped & unilateral strategies |
 //! | [`core`] | **the Nexit negotiation core**: the sans-IO `NegotiationMachine`, the in-process driver, preferences, policies, cheating |
 //! | [`proto`] | wire protocol + sans-io negotiation agents (codec shells around the same machine) |
+//! | [`broker`] | multiplexed session broker: thousands of concurrent wire negotiations on M workers |
 //! | [`sim`] | the full experiment harness reproducing every paper figure |
 //!
 //! Every turn/propose/accept/stop decision lives in exactly one place —
@@ -74,6 +75,7 @@
 //! ```
 
 pub use nexit_baselines as baselines;
+pub use nexit_broker as broker;
 pub use nexit_core as core;
 pub use nexit_lp as lp;
 pub use nexit_metrics as metrics;

@@ -313,6 +313,7 @@ fn check_faulty_session(
                     | ProtoError::BadPrefList(_)
                     | ProtoError::ConfigMismatch(_)
                     | ProtoError::FlowMismatch(_)
+                    | ProtoError::Stalled { .. }
                     | ProtoError::Closed
             );
             prop_assert!(clean, "unclean failure: {e}");
