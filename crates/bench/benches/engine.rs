@@ -395,7 +395,8 @@ fn bench_simplex_warm_coeff(c: &mut Criterion) {
 /// sessions. Worker count is fixed at 1 so the rows measure broker
 /// overhead (framing, queueing, arena recycling), not host parallelism.
 fn bench_broker(c: &mut Criterion) {
-    use nexit_broker::{Broker, BrokerConfig};
+    use nexit_broker::{Broker, BrokerConfig, ReliableConfig};
+    use nexit_proto::channel::FaultConfig;
     use nexit_sim::experiments::broker::{synthetic_specs, ALTS, FLOWS};
 
     let mut group = c.benchmark_group("broker");
@@ -410,6 +411,35 @@ fn bench_broker(c: &mut Criterion) {
             });
         });
     }
+    // The 1k batch again, but over links dropping and corrupting 5% of
+    // frames each (10% faulted overall) with the ARQ layer healing them:
+    // the row prices retransmission + dedup overhead against the clean
+    // broker/1k_pairs baseline. Degradation is on, so the batch always
+    // lands (completed + degraded); at the default retry budget every
+    // session in practice recovers outright.
+    group.bench_function("faulty_10pct", |bencher| {
+        let faults = FaultConfig {
+            drop_chance: 0.05,
+            corrupt_chance: 0.05,
+            ..FaultConfig::RELIABLE
+        };
+        let config = BrokerConfig::with_workers(1)
+            .with_reliability(ReliableConfig::default())
+            .with_degradation();
+        let broker = Broker::new(config);
+        bencher.iter(|| {
+            let pairs = 1_000usize;
+            let specs: Vec<_> = synthetic_specs(pairs, FLOWS, ALTS, 1)
+                .into_iter()
+                .enumerate()
+                .map(|(i, spec)| spec.with_faults(faults, 1 + i as u64))
+                .collect();
+            let run = broker.run_pairs(specs);
+            assert_eq!(run.stats.completed + run.stats.degraded, pairs);
+            assert_eq!(run.stats.failed, 0);
+            run.stats.retransmits
+        });
+    });
     group.finish();
 }
 

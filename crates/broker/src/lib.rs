@@ -33,20 +33,41 @@
 //!   outcomes. A session that stops making progress for
 //!   [`BrokerConfig::stall_ticks`] consecutive ticks is failed with
 //!   [`ProtoError::Stalled`], carrying both links' in-flight counts.
+//! * **Fault recovery** — with [`BrokerConfig::reliability`] set, each
+//!   session runs through a pair of [`ReliableEndpoint`]s
+//!   ([`nexit_proto::reliable`]): dropped and corrupted frames are
+//!   retransmitted on deterministic tick timeouts, duplicates and
+//!   reordered frames are absorbed by the dedup window, and only a
+//!   persistently dead link (retry budget exhausted) or a blown
+//!   [`BrokerConfig::session_deadline`] terminates the session. A
+//!   session with retransmissions outstanding polls as
+//!   [`PollState::Retrying`] and is exempt from the stall detector
+//!   (its progress is scheduled by the retransmit timers).
+//! * **Graceful degradation** — with
+//!   [`BrokerConfig::degrade_to_default`] set, a terminally-failed
+//!   session falls back to the paper's status quo: its result is
+//!   [`PairResult::Degraded`], carrying the spec's default early-exit
+//!   assignment plus the underlying failure, so every batch yields a
+//!   usable routing table for every pair.
 //!
 //! Outcomes are **byte-identical to the in-process engine**
 //! ([`nexit_core::negotiate`]) for every pair at any worker count: a
 //! session's two agents advance in lock step regardless of how ticks
 //! interleave with other sessions, the per-worker arena recycles
-//! allocations but never values, and results are collected by pair id.
-//! `crates/sim/tests/broker_determinism.rs` pins exactly this.
+//! allocations but never values, per-session fault and retransmission
+//! timing is derived from the session's own seed and tick counters (not
+//! from wall clocks or scheduling), and results are collected by pair
+//! id. `crates/sim/tests/broker_determinism.rs` pins exactly this.
 
 use nexit_core::parallel::resolve_threads;
 use nexit_core::{DisclosurePolicy, NexitConfig, PreferenceMapper, SessionInput, Side, TableArena};
 use nexit_proto::agent::{Agent, AgentOutcome, ProtoError};
 use nexit_proto::channel::{FaultConfig, FaultyLink};
+use nexit_proto::reliable::ReliableEndpoint;
 use nexit_routing::Assignment;
 use std::collections::VecDeque;
+
+pub use nexit_proto::reliable::ReliableConfig;
 
 /// Everything the broker needs to serve one negotiation pair: the shared
 /// session parameters plus each side's private objective and disclosure
@@ -129,8 +150,23 @@ pub struct BrokerConfig {
     /// consumption rate; the batched decode feeds them as one byte run).
     pub deliver_budget: usize,
     /// Consecutive no-progress ticks before a session is failed with
-    /// [`ProtoError::Stalled`].
+    /// [`ProtoError::Stalled`]. Sessions with ARQ retransmissions
+    /// outstanding are exempt — their progress is scheduled by the
+    /// retransmit timers, and termination is bounded by the retry
+    /// budget and `session_deadline` instead.
     pub stall_ticks: usize,
+    /// Run every session through the [`nexit_proto::reliable`] ARQ
+    /// layer with these knobs. `None` (the default) keeps the raw
+    /// fail-fast wire path: any injected fault kills its session.
+    pub reliability: Option<ReliableConfig>,
+    /// Tick budget per session; a session still unfinished after this
+    /// many of its own poll ticks fails with
+    /// [`ProtoError::DeadlineExceeded`]. `0` = unlimited.
+    pub session_deadline: u64,
+    /// Fall back to the spec's default early-exit assignment when a
+    /// session terminally fails ([`PairResult::Degraded`]), instead of
+    /// reporting only the failure.
+    pub degrade_to_default: bool,
 }
 
 impl Default for BrokerConfig {
@@ -141,6 +177,9 @@ impl Default for BrokerConfig {
             queue_capacity: 64,
             deliver_budget: 64,
             stall_ticks: 16,
+            reliability: None,
+            session_deadline: 0,
+            degrade_to_default: false,
         }
     }
 }
@@ -153,6 +192,24 @@ impl BrokerConfig {
             ..Self::default()
         }
     }
+
+    /// Enable the ARQ reliability layer for every session.
+    pub fn with_reliability(mut self, arq: ReliableConfig) -> Self {
+        self.reliability = Some(arq);
+        self
+    }
+
+    /// Set the per-session tick deadline (`0` = unlimited).
+    pub fn with_deadline(mut self, ticks: u64) -> Self {
+        self.session_deadline = ticks;
+        self
+    }
+
+    /// Enable graceful degradation to the default assignment.
+    pub fn with_degradation(mut self) -> Self {
+        self.degrade_to_default = true;
+        self
+    }
 }
 
 /// Readiness of one session inside its worker's poll loop.
@@ -162,6 +219,10 @@ pub enum PollState {
     Idle,
     /// Frames queued in flight (or parked on a full queue).
     Transmitting,
+    /// ARQ retransmissions have occurred and unacked frames are still
+    /// outstanding: the session is recovering from link faults, with
+    /// its next progress scheduled by a retransmit timer.
+    Retrying,
     /// Quiescent: both queues empty, waiting for the peer's next frame
     /// (which the next tick's poll will produce — or never arrives, in
     /// which case the stall detector fires).
@@ -188,9 +249,75 @@ pub struct PairOutcome {
 pub struct SessionFailure {
     /// The protocol error that killed the session.
     pub error: ProtoError,
-    /// The side whose agent rejected a frame, when the failure was a
-    /// decode/protocol error (`None` for stalls and admission errors).
+    /// The side whose agent rejected a frame (decode/protocol errors)
+    /// or whose transmissions went unacked (retry exhaustion); `None`
+    /// for stalls, deadlines and admission errors.
     pub side: Option<Side>,
+}
+
+/// One pair's result: the negotiated outcome, the degraded fallback, or
+/// a bare failure. `Degraded` only appears with
+/// [`BrokerConfig::degrade_to_default`] set; it is the paper's status
+/// quo — when negotiation is unavailable, traffic keeps flowing on the
+/// default early-exit routes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PairResult {
+    /// The session completed; both sides' machine outcomes.
+    Negotiated(PairOutcome),
+    /// The session terminally failed but the broker fell back to the
+    /// spec's default assignment: the pair still has usable routing.
+    Degraded {
+        /// The default early-exit assignment from the session's spec.
+        assignment: Assignment,
+        /// Why negotiation was abandoned.
+        failure: SessionFailure,
+    },
+    /// The session terminally failed with no fallback.
+    Failed(SessionFailure),
+}
+
+impl PairResult {
+    /// The negotiated outcome, if the session completed.
+    pub fn outcome(&self) -> Option<&PairOutcome> {
+        match self {
+            PairResult::Negotiated(out) => Some(out),
+            _ => None,
+        }
+    }
+
+    /// The usable assignment, if any: the negotiated one, or the
+    /// degraded fallback. `None` only for `Failed`.
+    pub fn assignment(&self) -> Option<&Assignment> {
+        match self {
+            PairResult::Negotiated(out) => Some(&out.a.assignment),
+            PairResult::Degraded { assignment, .. } => Some(assignment),
+            PairResult::Failed(_) => None,
+        }
+    }
+
+    /// The underlying failure, for `Degraded` and `Failed`.
+    pub fn failure(&self) -> Option<&SessionFailure> {
+        match self {
+            PairResult::Negotiated(_) => None,
+            PairResult::Degraded { failure, .. } => Some(failure),
+            PairResult::Failed(failure) => Some(failure),
+        }
+    }
+
+    /// Whether the session completed with a negotiated outcome.
+    pub fn is_negotiated(&self) -> bool {
+        matches!(self, PairResult::Negotiated(_))
+    }
+
+    /// Whether the session fell back to the default assignment.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, PairResult::Degraded { .. })
+    }
+
+    /// Whether the session failed with no usable assignment.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, PairResult::Failed(_))
+    }
 }
 
 /// Aggregate counters across all workers of one [`Broker::run_pairs`].
@@ -198,10 +325,21 @@ pub struct SessionFailure {
 pub struct BrokerStats {
     /// Sessions submitted.
     pub sessions: usize,
-    /// Sessions that completed with outcomes.
+    /// Sessions that completed with negotiated outcomes.
     pub completed: usize,
-    /// Sessions that failed (admission, protocol error or stall).
+    /// Sessions that failed with no usable result (admission, protocol
+    /// error, stall, retry exhaustion or deadline — and degradation
+    /// off).
     pub failed: usize,
+    /// Completed sessions that recovered from at least one injected
+    /// link fault (a subset of `completed`; only nonzero with the ARQ
+    /// layer on).
+    pub recovered: usize,
+    /// Sessions that terminally failed but fell back to the default
+    /// assignment ([`PairResult::Degraded`]).
+    pub degraded: usize,
+    /// ARQ frames retransmitted across all sessions.
+    pub retransmits: u64,
     /// Wire frames moved.
     pub frames: u64,
     /// Wire bytes moved.
@@ -218,6 +356,9 @@ impl BrokerStats {
     fn absorb(&mut self, other: &BrokerStats) {
         self.completed += other.completed;
         self.failed += other.failed;
+        self.recovered += other.recovered;
+        self.degraded += other.degraded;
+        self.retransmits += other.retransmits;
         self.frames += other.frames;
         self.bytes += other.bytes;
         self.ticks += other.ticks;
@@ -231,7 +372,7 @@ impl BrokerStats {
 #[derive(Debug)]
 pub struct BrokerRun {
     /// One slot per submitted spec, in order (slot `i` = pair id `i`).
-    pub results: Vec<Result<PairOutcome, SessionFailure>>,
+    pub results: Vec<PairResult>,
     /// Aggregate counters across all workers.
     pub stats: BrokerStats,
 }
@@ -269,8 +410,7 @@ impl Broker {
             };
         }
         let workers = resolve_threads(self.config.workers).min(n).max(1);
-        let mut slots: Vec<Option<Result<PairOutcome, SessionFailure>>> =
-            (0..n).map(|_| None).collect();
+        let mut slots: Vec<Option<PairResult>> = (0..n).map(|_| None).collect();
 
         if workers <= 1 {
             let (results, shard_stats) =
@@ -318,25 +458,43 @@ impl Broker {
     }
 }
 
-/// One live session inside a worker: two agents, two bounded links, and
-/// the session's poll state.
+/// One live session inside a worker: two agents, two bounded links,
+/// optional ARQ endpoints, and the session's poll state.
 struct ActiveSession<'a> {
     id: usize,
     agent_a: Agent<'a>,
     agent_b: Agent<'a>,
     link_ab: FaultyLink,
     link_ba: FaultyLink,
+    /// ARQ endpoints (A-side, B-side) when [`BrokerConfig::reliability`]
+    /// is set; `None` runs the raw fail-fast wire path.
+    arq: Option<(ReliableEndpoint, ReliableEndpoint)>,
+    /// The spec's default assignment, kept for graceful degradation.
+    default_assignment: Assignment,
     state: PollState,
     idle_ticks: usize,
-    result: Option<Result<PairOutcome, SessionFailure>>,
+    /// Poll ticks this session has consumed (the deadline currency).
+    ticks_used: u64,
+    result: Option<PairResult>,
 }
 
 /// A worker's output: `(pair id, result)` in retirement order, plus the
 /// worker's counters.
-type ShardOutput = (
-    Vec<(usize, Result<PairOutcome, SessionFailure>)>,
-    BrokerStats,
-);
+type ShardOutput = (Vec<(usize, PairResult)>, BrokerStats);
+
+/// Wrap a terminal failure per the degradation policy: the default
+/// assignment (the paper's status-quo routing) when degradation is on,
+/// the bare failure otherwise.
+fn resolve_failure(degrade: bool, fallback: &Assignment, failure: SessionFailure) -> PairResult {
+    if degrade {
+        PairResult::Degraded {
+            assignment: fallback.clone(),
+            failure,
+        }
+    } else {
+        PairResult::Failed(failure)
+    }
+}
 
 /// One worker: admit from the pending queue up to the active cap, poll
 /// every active session once per tick, retire terminal sessions into the
@@ -351,16 +509,22 @@ fn run_shard<'a>(config: &BrokerConfig, specs: Vec<(usize, SessionSpec<'a>)>) ->
 
     while !pending.is_empty() || !active.is_empty() {
         stats.ticks += 1;
-        // Admission: fill freed slots from the pending queue.
+        // Admission: fill freed slots from the pending queue. Admission
+        // failures obey the degradation policy like any terminal
+        // failure — the pair still gets its default assignment.
         while active.len() < config.max_active.max(1) {
             let Some((id, spec)) = pending.pop_front() else {
                 break;
             };
-            match admit(&mut arena, id, spec) {
+            match admit(&mut arena, config, id, spec) {
                 Ok(session) => active.push(session),
-                Err(failure) => {
-                    stats.failed += 1;
-                    results.push((id, Err(failure)));
+                Err((fallback, failure)) => {
+                    let result = resolve_failure(config.degrade_to_default, &fallback, failure);
+                    match &result {
+                        PairResult::Degraded { .. } => stats.degraded += 1,
+                        _ => stats.failed += 1,
+                    }
+                    results.push((id, result));
                 }
             }
         }
@@ -371,13 +535,31 @@ fn run_shard<'a>(config: &BrokerConfig, specs: Vec<(usize, SessionSpec<'a>)>) ->
         while i < active.len() {
             tick(config, &mut active[i], &mut scratch, &mut stats);
             if matches!(active[i].state, PollState::Done | PollState::Failed) {
-                let session = active.swap_remove(i);
+                let mut session = active.swap_remove(i);
+                if let Some((arq_a, arq_b)) = &session.arq {
+                    stats.retransmits += arq_a.stats().retransmits + arq_b.stats().retransmits;
+                }
+                let link_faults = session.link_ab.dropped
+                    + session.link_ab.corrupted
+                    + session.link_ab.duplicated
+                    + session.link_ab.reordered
+                    + session.link_ba.dropped
+                    + session.link_ba.corrupted
+                    + session.link_ba.duplicated
+                    + session.link_ba.reordered;
                 let result = session
                     .result
+                    .take()
                     .expect("terminal session must carry a result");
                 match &result {
-                    Ok(_) => stats.completed += 1,
-                    Err(_) => stats.failed += 1,
+                    PairResult::Negotiated(_) => {
+                        stats.completed += 1;
+                        if link_faults > 0 {
+                            stats.recovered += 1;
+                        }
+                    }
+                    PairResult::Degraded { .. } => stats.degraded += 1,
+                    PairResult::Failed(_) => stats.failed += 1,
                 }
                 results.push((session.id, result));
                 session.agent_a.recycle(&mut arena);
@@ -391,13 +573,16 @@ fn run_shard<'a>(config: &BrokerConfig, specs: Vec<(usize, SessionSpec<'a>)>) ->
 }
 
 /// Construct a session's two agents from its spec, drawing buffers from
-/// the worker's arena.
+/// the worker's arena. Failure returns the spec's default assignment
+/// alongside the error so the caller can apply the degradation policy.
 fn admit<'a>(
     arena: &mut TableArena,
+    config: &BrokerConfig,
     id: usize,
     spec: SessionSpec<'a>,
-) -> Result<ActiveSession<'a>, SessionFailure> {
-    let agent_a = Agent::new_in(
+) -> Result<ActiveSession<'a>, (Assignment, SessionFailure)> {
+    let fallback = spec.default_assignment.clone();
+    let mut agent_a = match Agent::new_in(
         arena,
         Side::A,
         format!("pair{id}-A"),
@@ -406,12 +591,19 @@ fn admit<'a>(
         spec.mapper_a,
         spec.disclosure_a,
         spec.config,
-    )
-    .map_err(|error| SessionFailure {
-        error,
-        side: Some(Side::A),
-    })?;
-    let agent_b = match Agent::new_in(
+    ) {
+        Ok(agent) => agent,
+        Err(error) => {
+            return Err((
+                fallback,
+                SessionFailure {
+                    error,
+                    side: Some(Side::A),
+                },
+            ))
+        }
+    };
+    let mut agent_b = match Agent::new_in(
         arena,
         Side::B,
         format!("pair{id}-B"),
@@ -424,26 +616,43 @@ fn admit<'a>(
         Ok(agent) => agent,
         Err(error) => {
             agent_a.recycle(arena);
-            return Err(SessionFailure {
-                error,
-                side: Some(Side::B),
-            });
+            return Err((
+                fallback,
+                SessionFailure {
+                    error,
+                    side: Some(Side::B),
+                },
+            ));
         }
     };
+    let arq = config.reliability.map(|arq_config| {
+        // Under the dedup window a replayed frame is absorbed, not a
+        // protocol violation; the raw path keeps strict semantics.
+        agent_a.set_replay_tolerance(true);
+        agent_b.set_replay_tolerance(true);
+        (
+            ReliableEndpoint::new(arq_config),
+            ReliableEndpoint::new(arq_config),
+        )
+    });
     Ok(ActiveSession {
         id,
         agent_a,
         agent_b,
         link_ab: FaultyLink::new(spec.faults_ab, spec.link_seed),
         link_ba: FaultyLink::new(spec.faults_ba, spec.link_seed ^ 0x9e37_79b9_7f4a_7c15),
+        arq,
+        default_assignment: fallback,
         state: PollState::Idle,
         idle_ticks: 0,
+        ticks_used: 0,
         result: None,
     })
 }
 
 /// One poll tick for one session: batched encode into the bounded links,
-/// batched decode out of them, then completion / stall bookkeeping.
+/// batched decode out of them, then completion / deadline / stall
+/// bookkeeping. Dispatches on whether the session runs the ARQ layer.
 fn tick(
     config: &BrokerConfig,
     session: &mut ActiveSession<'_>,
@@ -453,6 +662,32 @@ fn tick(
     if matches!(session.state, PollState::Done | PollState::Failed) {
         return;
     }
+    session.ticks_used += 1;
+    if session.arq.is_some() {
+        tick_reliable(config, session, scratch, stats);
+    } else {
+        tick_raw(config, session, scratch, stats);
+    }
+}
+
+/// Mark a session terminally failed, applying the degradation policy.
+fn fail_session(config: &BrokerConfig, session: &mut ActiveSession<'_>, failure: SessionFailure) {
+    session.state = PollState::Failed;
+    session.result = Some(resolve_failure(
+        config.degrade_to_default,
+        &session.default_assignment,
+        failure,
+    ));
+}
+
+/// The raw fail-fast wire path (no ARQ): any decode error or stall kills
+/// the session.
+fn tick_raw(
+    config: &BrokerConfig,
+    session: &mut ActiveSession<'_>,
+    scratch: &mut Vec<u8>,
+    stats: &mut BrokerStats,
+) {
     let mut moved = false;
     let mut parked = false;
 
@@ -505,11 +740,14 @@ fn tick(
         if delivered > 0 {
             moved = true;
             if let Err(error) = receiver.handle_bytes(scratch) {
-                session.state = PollState::Failed;
-                session.result = Some(Err(SessionFailure {
-                    error,
-                    side: Some(sender_side),
-                }));
+                fail_session(
+                    config,
+                    session,
+                    SessionFailure {
+                        error,
+                        side: Some(sender_side),
+                    },
+                );
                 return;
             }
         }
@@ -524,17 +762,34 @@ fn tick(
         match (session.agent_a.outcome(), session.agent_b.outcome()) {
             (Some(a), Some(b)) => {
                 session.state = PollState::Done;
-                session.result = Some(Ok(PairOutcome { a, b }));
+                session.result = Some(PairResult::Negotiated(PairOutcome { a, b }));
             }
             // An agent terminal without an outcome failed its handshake.
             _ => {
-                session.state = PollState::Failed;
-                session.result = Some(Err(SessionFailure {
-                    error: ProtoError::Closed,
-                    side: None,
-                }));
+                fail_session(
+                    config,
+                    session,
+                    SessionFailure {
+                        error: ProtoError::Closed,
+                        side: None,
+                    },
+                );
             }
         }
+        return;
+    }
+
+    if config.session_deadline > 0 && session.ticks_used >= config.session_deadline {
+        fail_session(
+            config,
+            session,
+            SessionFailure {
+                error: ProtoError::DeadlineExceeded {
+                    ticks: config.session_deadline,
+                },
+                side: None,
+            },
+        );
         return;
     }
 
@@ -556,14 +811,223 @@ fn tick(
         // dropped-frame stall is diagnosable.
         session.idle_ticks += 1;
         if session.idle_ticks >= config.stall_ticks.max(1) {
-            session.state = PollState::Failed;
-            session.result = Some(Err(SessionFailure {
+            let failure = SessionFailure {
                 error: ProtoError::Stalled {
                     in_flight_ab: session.link_ab.in_flight(),
                     in_flight_ba: session.link_ba.in_flight(),
                 },
                 side: None,
-            }));
+            };
+            fail_session(config, session, failure);
+        }
+    }
+}
+
+/// The reliable wire path: agents talk through [`ReliableEndpoint`]s, so
+/// transient link faults heal by retransmission/dedup and only retry
+/// exhaustion, a blown deadline, or a genuine protocol error terminates
+/// the session.
+fn tick_reliable(
+    config: &BrokerConfig,
+    session: &mut ActiveSession<'_>,
+    scratch: &mut Vec<u8>,
+    stats: &mut BrokerStats,
+) {
+    let mut moved = false;
+    let mut parked = false;
+    {
+        let ActiveSession {
+            agent_a,
+            agent_b,
+            link_ab,
+            link_ba,
+            arq,
+            ..
+        } = session;
+        let (arq_a, arq_b) = arq.as_mut().expect("reliable tick requires endpoints");
+
+        // Sequence fresh application frames into the endpoints.
+        while let Some(frame) = agent_a.poll_transmit() {
+            arq_a.send(frame);
+            moved = true;
+        }
+        while let Some(frame) = agent_b.poll_transmit() {
+            arq_b.send(frame);
+            moved = true;
+        }
+
+        // Batched encode: endpoint outbox → bounded link, same
+        // backpressure rules as the raw path (wire units counted).
+        loop {
+            if link_ab.in_flight() >= config.queue_capacity {
+                parked = true;
+                break;
+            }
+            let Some(unit) = arq_a.poll_transmit() else {
+                break;
+            };
+            stats.frames += 1;
+            stats.bytes += unit.len() as u64;
+            link_ab.send(unit);
+            moved = true;
+        }
+        loop {
+            if link_ba.in_flight() >= config.queue_capacity {
+                parked = true;
+                break;
+            }
+            let Some(unit) = arq_b.poll_transmit() else {
+                break;
+            };
+            stats.frames += 1;
+            stats.bytes += unit.len() as u64;
+            link_ba.send(unit);
+            moved = true;
+        }
+
+        // Receive: each wire unit is fed to the endpoint *individually*
+        // — a corrupted unit must poison only itself, and the ARQ layer
+        // has no trustworthy resync point inside a mangled byte run.
+        for (link, endpoint) in [(link_ab, &mut *arq_b), (link_ba, &mut *arq_a)] {
+            let mut delivered = 0usize;
+            while delivered < config.deliver_budget {
+                let Some(unit) = link.recv() else {
+                    break;
+                };
+                endpoint.on_datagram(&unit);
+                delivered += 1;
+            }
+            if delivered > 0 {
+                moved = true;
+            }
+        }
+    }
+
+    // Deliver recovered in-order frames: these are clean (CRC-checked at
+    // the ARQ layer), so they can be concatenated for one batched agent
+    // decode like the raw path.
+    for side in [Side::B, Side::A] {
+        scratch.clear();
+        {
+            let (arq_a, arq_b) = session.arq.as_mut().expect("endpoints present");
+            let endpoint = match side {
+                Side::B => arq_b,
+                Side::A => arq_a,
+            };
+            while let Some(inner) = endpoint.poll_deliver() {
+                scratch.extend_from_slice(&inner);
+            }
+        }
+        if !scratch.is_empty() {
+            moved = true;
+            let receiver = match side {
+                Side::B => &mut session.agent_b,
+                Side::A => &mut session.agent_a,
+            };
+            if let Err(error) = receiver.handle_bytes(scratch) {
+                fail_session(
+                    config,
+                    session,
+                    SessionFailure {
+                        error,
+                        side: Some(side.other()),
+                    },
+                );
+                return;
+            }
+        }
+    }
+
+    // Completion: both agents terminal. Unlike the raw path the links
+    // need not be drained — trailing acks and already-answered
+    // retransmissions are noise once both outcomes exist.
+    if session.agent_a.is_done() && session.agent_b.is_done() {
+        match (session.agent_a.outcome(), session.agent_b.outcome()) {
+            (Some(a), Some(b)) => {
+                session.state = PollState::Done;
+                session.result = Some(PairResult::Negotiated(PairOutcome { a, b }));
+            }
+            _ => {
+                fail_session(
+                    config,
+                    session,
+                    SessionFailure {
+                        error: ProtoError::Closed,
+                        side: None,
+                    },
+                );
+            }
+        }
+        return;
+    }
+
+    if config.session_deadline > 0 && session.ticks_used >= config.session_deadline {
+        fail_session(
+            config,
+            session,
+            SessionFailure {
+                error: ProtoError::DeadlineExceeded {
+                    ticks: config.session_deadline,
+                },
+                side: None,
+            },
+        );
+        return;
+    }
+
+    // Advance the retransmit timers; budget exhaustion is terminal,
+    // blamed on the side whose transmissions went unacked.
+    for side in [Side::A, Side::B] {
+        let err = {
+            let (arq_a, arq_b) = session.arq.as_mut().expect("endpoints present");
+            let endpoint = match side {
+                Side::A => arq_a,
+                Side::B => arq_b,
+            };
+            endpoint.on_tick().err()
+        };
+        if let Some(e) = err {
+            fail_session(
+                config,
+                session,
+                SessionFailure {
+                    error: e.into(),
+                    side: Some(side),
+                },
+            );
+            return;
+        }
+    }
+
+    if parked {
+        stats.parked += 1;
+    }
+    let (arq_a, arq_b) = session.arq.as_ref().expect("endpoints present");
+    let recovering = arq_a.has_pending() || arq_b.has_pending();
+    let retried = arq_a.stats().retransmits + arq_b.stats().retransmits > 0;
+    session.state = if retried && recovering {
+        PollState::Retrying
+    } else if parked || session.link_ab.in_flight() + session.link_ba.in_flight() > 0 {
+        PollState::Transmitting
+    } else {
+        PollState::AwaitingPeer
+    };
+    // The stall detector only watches sessions with no scheduled
+    // progress: outstanding ARQ state means a retransmit timer will
+    // fire, so termination is bounded by the retry budget instead.
+    if moved || recovering {
+        session.idle_ticks = 0;
+    } else {
+        session.idle_ticks += 1;
+        if session.idle_ticks >= config.stall_ticks.max(1) {
+            let failure = SessionFailure {
+                error: ProtoError::Stalled {
+                    in_flight_ab: session.link_ab.in_flight(),
+                    in_flight_ba: session.link_ba.in_flight(),
+                },
+                side: None,
+            };
+            fail_session(config, session, failure);
         }
     }
 }
@@ -677,7 +1141,7 @@ mod tests {
             assert_eq!(run.stats.completed, pairs as usize, "workers={workers}");
             assert_eq!(run.stats.failed, 0);
             for (p, result) in run.results.iter().enumerate() {
-                let out = result.as_ref().expect("session completed");
+                let out = result.outcome().expect("session completed");
                 assert_matches_engine(p as u64, n, k, out);
             }
         }
@@ -720,7 +1184,7 @@ mod tests {
             "queue_capacity=1 must trigger backpressure parking"
         );
         for (p, result) in run.results.iter().enumerate() {
-            assert_matches_engine(p as u64, 10, 3, result.as_ref().unwrap());
+            assert_matches_engine(p as u64, 10, 3, result.outcome().unwrap());
         }
     }
 
@@ -747,7 +1211,7 @@ mod tests {
         let run = Broker::new(BrokerConfig::with_workers(1)).run_pairs(specs);
         assert_eq!(run.stats.failed, 1);
         assert_eq!(run.stats.completed, pairs as usize - 1);
-        let failure = run.results[victim].as_ref().unwrap_err();
+        let failure = run.results[victim].failure().expect("victim failed");
         assert!(
             matches!(failure.error, ProtoError::Frame(_) | ProtoError::Message(_)),
             "corruption must surface via the CRC or message validation, got {:?}",
@@ -755,7 +1219,7 @@ mod tests {
         );
         for (p, result) in run.results.iter().enumerate() {
             if p != victim {
-                assert_matches_engine(p as u64, n, k, result.as_ref().unwrap());
+                assert_matches_engine(p as u64, n, k, result.outcome().unwrap());
             }
         }
     }
@@ -773,8 +1237,8 @@ mod tests {
             ),
         ];
         let run = Broker::new(BrokerConfig::with_workers(1)).run_pairs(specs);
-        assert_matches_engine(0, 6, 3, run.results[0].as_ref().unwrap());
-        let failure = run.results[1].as_ref().unwrap_err();
+        assert_matches_engine(0, 6, 3, run.results[0].outcome().unwrap());
+        let failure = run.results[1].failure().expect("faulty pair failed");
         match failure.error {
             ProtoError::Stalled {
                 in_flight_ab,
@@ -799,10 +1263,10 @@ mod tests {
         bad.disclosure_a = DisclosurePolicy::InflateBest;
         let specs = vec![bad, spec(1, 4, 2)];
         let run = Broker::new(BrokerConfig::with_workers(1)).run_pairs(specs);
-        let failure = run.results[0].as_ref().unwrap_err();
+        let failure = run.results[0].failure().expect("bad spec rejected");
         assert!(matches!(failure.error, ProtoError::UnsupportedDisclosure));
         assert_eq!(failure.side, Some(Side::A));
-        assert_matches_engine(1, 4, 2, run.results[1].as_ref().unwrap());
+        assert_matches_engine(1, 4, 2, run.results[1].outcome().unwrap());
     }
 
     #[test]
@@ -814,5 +1278,111 @@ mod tests {
         assert!(run.stats.frames >= 6, "frames = {}", run.stats.frames);
         assert!(run.stats.bytes > run.stats.frames, "frames carry payload");
         assert!(run.stats.ticks > 0);
+    }
+
+    #[test]
+    fn arq_recovers_faulty_sessions_byte_identical() {
+        // Every link injects all four fault kinds at 10%; with the ARQ
+        // layer on, every session must still complete with outcomes
+        // byte-identical to the fault-free engine, at any worker count.
+        let (pairs, n, k) = (24u64, 8, 3);
+        let faults = FaultConfig {
+            drop_chance: 0.1,
+            corrupt_chance: 0.1,
+            duplicate_chance: 0.1,
+            reorder_chance: 0.1,
+        };
+        for workers in [1usize, 2, 4] {
+            let specs: Vec<_> = (0..pairs)
+                .map(|p| spec(p, n, k).with_faults(faults, 100 + p))
+                .collect();
+            let config =
+                BrokerConfig::with_workers(workers).with_reliability(ReliableConfig::default());
+            let run = Broker::new(config).run_pairs(specs);
+            assert_eq!(run.stats.completed, pairs as usize, "workers={workers}");
+            assert_eq!(run.stats.failed, 0, "workers={workers}");
+            assert!(
+                run.stats.recovered > 0,
+                "10% fault rates must hit at least one session"
+            );
+            assert!(run.stats.retransmits > 0, "drops must force retransmits");
+            for (p, result) in run.results.iter().enumerate() {
+                assert_matches_engine(p as u64, n, k, result.outcome().unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn degradation_falls_back_to_the_default_assignment() {
+        // A hopeless link (every frame corrupted, ARQ off) with
+        // degradation on: the pair still yields a usable assignment —
+        // the spec's default — tagged with the underlying failure.
+        let specs = vec![
+            spec(0, 6, 3),
+            spec(1, 6, 3).with_faults(
+                FaultConfig {
+                    corrupt_chance: 1.0,
+                    ..FaultConfig::RELIABLE
+                },
+                21,
+            ),
+        ];
+        let config = BrokerConfig::with_workers(1).with_degradation();
+        let run = Broker::new(config).run_pairs(specs);
+        assert_eq!(run.stats.completed, 1);
+        assert_eq!(run.stats.degraded, 1);
+        assert_eq!(run.stats.failed, 0, "degradation replaces bare failure");
+        assert_matches_engine(0, 6, 3, run.results[0].outcome().unwrap());
+        assert!(run.results[1].is_degraded());
+        assert_eq!(
+            run.results[1].assignment().unwrap(),
+            &Assignment::uniform(6, IcxId(0)),
+            "degraded pair must carry the default early-exit assignment"
+        );
+        assert!(run.results[1].failure().is_some());
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_fails_or_degrades_dead_links() {
+        // Total frame loss with ARQ on: the retry budget, not the stall
+        // detector, terminates the session (retransmit backoff can
+        // exceed stall_ticks, so the stall path must stay out of it).
+        let dead = FaultConfig {
+            drop_chance: 1.0,
+            ..FaultConfig::RELIABLE
+        };
+        let specs = vec![spec(0, 6, 3).with_faults(dead, 5)];
+        let config = BrokerConfig::with_workers(1).with_reliability(ReliableConfig::default());
+        let run = Broker::new(config).run_pairs(specs);
+        let failure = run.results[0].failure().expect("dead link must fail");
+        assert!(
+            matches!(failure.error, ProtoError::RetryExhausted { .. }),
+            "expected retry exhaustion, got {:?}",
+            failure.error
+        );
+        // Same link with degradation: the pair keeps default routing.
+        let specs = vec![spec(0, 6, 3).with_faults(dead, 5)];
+        let run = Broker::new(config.with_degradation()).run_pairs(specs);
+        assert!(run.results[0].is_degraded());
+        assert_eq!(run.stats.degraded, 1);
+    }
+
+    #[test]
+    fn session_deadline_bounds_ticks() {
+        // An honest session needs a handful of ticks; a 2-tick deadline
+        // must cut it off with DeadlineExceeded.
+        let specs = vec![spec(0, 8, 3)];
+        let config = BrokerConfig::with_workers(1).with_deadline(2);
+        let run = Broker::new(config).run_pairs(specs);
+        let failure = run.results[0].failure().expect("deadline must fire");
+        assert!(
+            matches!(failure.error, ProtoError::DeadlineExceeded { ticks: 2 }),
+            "expected a deadline failure, got {:?}",
+            failure.error
+        );
+        // A generous deadline leaves the session untouched.
+        let specs = vec![spec(0, 8, 3)];
+        let run = Broker::new(BrokerConfig::with_workers(1).with_deadline(10_000)).run_pairs(specs);
+        assert_matches_engine(0, 8, 3, run.results[0].outcome().unwrap());
     }
 }

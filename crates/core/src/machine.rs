@@ -417,6 +417,15 @@ impl<M: PreferenceMapper> NegotiationMachine<M> {
         self.termination
     }
 
+    /// Whether the machine is waiting for the peer's preference list
+    /// (initial disclosure or a post-reassignment re-disclosure). Used
+    /// by replay-tolerant transports: while this holds, a byte-identical
+    /// `PeerPrefs` is fresh data (an honestly unchanged table encodes to
+    /// the same bytes), not a duplicate.
+    pub fn expects_prefs(&self) -> bool {
+        matches!(self.phase, Phase::Disclose | Phase::AwaitReassign)
+    }
+
     /// The evolving (or final) assignment.
     pub fn assignment(&self) -> &Assignment {
         &self.assignment

@@ -45,6 +45,9 @@ use std::collections::VecDeque;
 /// Final result of one agent's session (the machine's outcome).
 pub use nexit_core::machine::MachineOutcome as AgentOutcome;
 
+/// Wire type byte of [`Message::PrefList`] (see `messages.rs`).
+const PREF_LIST_TYPE: u8 = 3;
+
 /// Agent-level protocol failures. All are fatal to the session.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ProtoError {
@@ -83,6 +86,19 @@ pub enum ProtoError {
         /// Frames in flight from B to A at stall detection.
         in_flight_ba: usize,
     },
+    /// A frame exhausted the ARQ retransmission budget without being
+    /// acknowledged (reliable transport only; see [`crate::reliable`]).
+    RetryExhausted {
+        /// Sequence number of the abandoned frame.
+        seq: u32,
+        /// Retransmissions already attempted.
+        retries: usize,
+    },
+    /// The session did not terminate within its tick deadline.
+    DeadlineExceeded {
+        /// The deadline that elapsed, in supervisor ticks.
+        ticks: u64,
+    },
     /// The session already failed or closed.
     Closed,
 }
@@ -114,6 +130,13 @@ impl std::fmt::Display for ProtoError {
                 "session stalled without terminating \
                  ({in_flight_ab} frame(s) in flight A->B, {in_flight_ba} B->A)"
             ),
+            ProtoError::RetryExhausted { seq, retries } => write!(
+                f,
+                "frame seq {seq} unacked after {retries} retransmission(s)"
+            ),
+            ProtoError::DeadlineExceeded { ticks } => {
+                write!(f, "session exceeded its {ticks}-tick deadline")
+            }
             ProtoError::Closed => write!(f, "session closed"),
         }
     }
@@ -173,6 +196,14 @@ pub struct Agent<'a> {
     codec: FrameCodec,
     outbox: VecDeque<Vec<u8>>,
     handshake: Handshake,
+    /// Dedup-window mode (ARQ transports): a byte-identical replay of
+    /// the last handled frame is silently ignored instead of failing the
+    /// session. Off by default — on a raw link a duplicate is a protocol
+    /// violation and must stay fatal.
+    tolerate_replays: bool,
+    /// Last handled frame (`msg_type`, payload) for replay detection;
+    /// tracked only when `tolerate_replays` is set.
+    last_frame: Option<(u8, Vec<u8>)>,
 }
 
 impl<'a> Agent<'a> {
@@ -239,6 +270,8 @@ impl<'a> Agent<'a> {
             codec: FrameCodec::new(),
             outbox: VecDeque::new(),
             handshake: Handshake::AwaitHello,
+            tolerate_replays: false,
+            last_frame: None,
         };
         if side == Side::A {
             agent.send(Message::Hello {
@@ -319,6 +352,27 @@ impl<'a> Agent<'a> {
         self.side
     }
 
+    /// Enable (or disable) replay tolerance for dedup-window transports.
+    ///
+    /// The ARQ layer ([`crate::reliable`]) absorbs duplicates below the
+    /// agent, but an endpoint restart or an ack raced by a retransmit
+    /// can still re-deliver the last frame; with tolerance on, a
+    /// byte-identical replay of the most recently handled frame is
+    /// ignored instead of surfacing as
+    /// [`ProtoError::UnexpectedMessage`] / [`ProtoError::Closed`]. One
+    /// deliberate exception: an identical `PrefList` while the machine
+    /// is awaiting disclosure is *fresh data*, not a replay — honest
+    /// mappers may legitimately re-disclose an unchanged table after a
+    /// reassignment — so it is always dispatched. Raw (non-ARQ) links
+    /// must leave this off: there a duplicate is a transport-contract
+    /// violation and failing fast is correct.
+    pub fn set_replay_tolerance(&mut self, tolerate: bool) {
+        self.tolerate_replays = tolerate;
+        if !tolerate {
+            self.last_frame = None;
+        }
+    }
+
     /// Feed received transport bytes; processes every complete frame.
     pub fn handle_bytes(&mut self, data: &[u8]) -> Result<(), ProtoError> {
         if self.handshake == Handshake::Failed {
@@ -328,6 +382,16 @@ impl<'a> Agent<'a> {
         loop {
             match self.codec.next_frame() {
                 Ok(Some(frame)) => {
+                    if self.tolerate_replays {
+                        let is_replay = self
+                            .last_frame
+                            .as_ref()
+                            .is_some_and(|(t, p)| *t == frame.msg_type && *p == frame.payload);
+                        if is_replay && !self.replayed_frame_is_fresh(frame.msg_type) {
+                            continue;
+                        }
+                        self.last_frame = Some((frame.msg_type, frame.payload.clone()));
+                    }
                     let msg = match Message::decode(&frame) {
                         Ok(m) => m,
                         Err(e) => {
@@ -352,6 +416,19 @@ impl<'a> Agent<'a> {
     /// Alias for [`Agent::handle_bytes`] (smoltcp-style naming).
     pub fn handle_frame(&mut self, data: &[u8]) -> Result<(), ProtoError> {
         self.handle_bytes(data)
+    }
+
+    /// Whether a byte-identical repeat of the last frame is legitimate
+    /// new data rather than a replay: only a `PrefList` while the
+    /// machine awaits disclosure qualifies (an unchanged table honestly
+    /// re-disclosed after reassignment encodes to the same bytes). No
+    /// other message can lawfully repeat verbatim — Hello/FlowAnnounce
+    /// happen once, Propose/Response embed their round number, and
+    /// Stop/Bye terminate.
+    fn replayed_frame_is_fresh(&self, msg_type: u8) -> bool {
+        msg_type == PREF_LIST_TYPE
+            && self.handshake == Handshake::Running
+            && self.machine.expects_prefs()
     }
 
     fn handle_message(&mut self, msg: Message) -> Result<(), ProtoError> {

@@ -1,12 +1,14 @@
 //! In-memory duplex link with fault injection.
 //!
 //! Models the byte pipe between two negotiation agents. Faults — drop,
-//! corrupt (single-byte flip), duplicate — are injected per *frame* with
-//! seeded probabilities, in the spirit of the fault-injection options of
-//! event-driven stack examples. The protocol assumes a reliable transport,
-//! so injected faults are expected to surface as clean session errors
-//! (e.g. [`crate::frame::FrameError::BadCrc`]), never as silent
-//! corruption; the tests assert exactly that.
+//! corrupt (single-byte flip), duplicate, reorder (hold one frame back a
+//! slot) — are injected per *frame* with seeded probabilities, in the
+//! spirit of the fault-injection options of event-driven stack examples.
+//! The raw protocol assumes a reliable transport, so on the bare link
+//! injected faults surface as clean session errors (e.g.
+//! [`crate::frame::FrameError::BadCrc`]), never as silent corruption;
+//! under the [`crate::reliable`] ARQ layer the same faults are absorbed
+//! and the session completes unchanged. The tests assert both.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -21,6 +23,11 @@ pub struct FaultConfig {
     pub corrupt_chance: f64,
     /// Probability of delivering a frame twice.
     pub duplicate_chance: f64,
+    /// Probability of holding a frame back one slot: the frame waits
+    /// until the *next* frame is sent and is delivered after it (a
+    /// one-slot reordering). A held frame is never lost — if no
+    /// successor arrives it is released on the next receive.
+    pub reorder_chance: f64,
 }
 
 impl FaultConfig {
@@ -29,6 +36,7 @@ impl FaultConfig {
         drop_chance: 0.0,
         corrupt_chance: 0.0,
         duplicate_chance: 0.0,
+        reorder_chance: 0.0,
     };
 }
 
@@ -45,12 +53,17 @@ pub struct FaultyLink {
     config: FaultConfig,
     rng: StdRng,
     queue: VecDeque<Vec<u8>>,
+    /// A frame held back one slot by `reorder_chance`, awaiting its
+    /// successor.
+    held: Option<Vec<u8>>,
     /// Statistics: frames dropped.
     pub dropped: usize,
     /// Statistics: frames corrupted.
     pub corrupted: usize,
     /// Statistics: frames duplicated.
     pub duplicated: usize,
+    /// Statistics: frames delivered out of order.
+    pub reordered: usize,
 }
 
 impl FaultyLink {
@@ -59,13 +72,16 @@ impl FaultyLink {
         assert!((0.0..=1.0).contains(&config.drop_chance));
         assert!((0.0..=1.0).contains(&config.corrupt_chance));
         assert!((0.0..=1.0).contains(&config.duplicate_chance));
+        assert!((0.0..=1.0).contains(&config.reorder_chance));
         Self {
             config,
             rng: StdRng::seed_from_u64(seed),
             queue: VecDeque::new(),
+            held: None,
             dropped: 0,
             corrupted: 0,
             duplicated: 0,
+            reordered: 0,
         }
     }
 
@@ -91,17 +107,40 @@ impl FaultyLink {
             self.queue.push_back(frame.clone());
             self.duplicated += 1;
         }
-        self.queue.push_back(frame);
+        self.enqueue(frame);
     }
 
-    /// Receive the next frame, if any.
+    /// Final delivery stage: a previously held frame trails the current
+    /// one (the one-slot reorder); the current frame may itself be held
+    /// back to trail its successor.
+    fn enqueue(&mut self, frame: Vec<u8>) {
+        if let Some(held) = self.held.take() {
+            self.queue.push_back(frame);
+            self.queue.push_back(held);
+            self.reordered += 1;
+            return;
+        }
+        if self.rng.gen_bool(self.config.reorder_chance) {
+            self.held = Some(frame);
+        } else {
+            self.queue.push_back(frame);
+        }
+    }
+
+    /// Receive the next frame, if any. A held frame with no successor is
+    /// released here (delayed, but never lost).
     pub fn recv(&mut self) -> Option<Vec<u8>> {
+        if self.queue.is_empty() {
+            if let Some(held) = self.held.take() {
+                return Some(held);
+            }
+        }
         self.queue.pop_front()
     }
 
-    /// Frames currently in flight.
+    /// Frames currently in flight (including a held frame).
     pub fn in_flight(&self) -> usize {
-        self.queue.len()
+        self.queue.len() + usize::from(self.held.is_some())
     }
 }
 
@@ -172,6 +211,40 @@ mod tests {
     }
 
     #[test]
+    fn reorder_holds_one_frame_back_a_slot() {
+        let mut link = FaultyLink::new(
+            FaultConfig {
+                reorder_chance: 1.0,
+                ..FaultConfig::RELIABLE
+            },
+            4,
+        );
+        link.send(vec![1]);
+        link.send(vec![2]);
+        // Frame 1 was held; frame 2 went first, frame 1 trails it.
+        assert_eq!(link.recv(), Some(vec![2]));
+        assert_eq!(link.recv(), Some(vec![1]));
+        assert_eq!(link.recv(), None);
+        assert_eq!(link.reordered, 1);
+    }
+
+    #[test]
+    fn held_frame_without_successor_is_released_not_lost() {
+        let mut link = FaultyLink::new(
+            FaultConfig {
+                reorder_chance: 1.0,
+                ..FaultConfig::RELIABLE
+            },
+            5,
+        );
+        link.send(vec![9]);
+        assert_eq!(link.in_flight(), 1, "held frame still counts in flight");
+        assert_eq!(link.recv(), Some(vec![9]), "held frame must not vanish");
+        assert_eq!(link.recv(), None);
+        assert_eq!(link.reordered, 0, "delayed in order is not a reorder");
+    }
+
+    #[test]
     fn faults_are_seed_deterministic() {
         let run = |seed| {
             let mut link = FaultyLink::new(
@@ -179,6 +252,7 @@ mod tests {
                     drop_chance: 0.3,
                     corrupt_chance: 0.3,
                     duplicate_chance: 0.3,
+                    reorder_chance: 0.3,
                 },
                 seed,
             );

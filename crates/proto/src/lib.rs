@@ -17,13 +17,20 @@
 //!   [`agent::Agent::handle_frame`], drain outgoing frames with
 //!   [`agent::Agent::poll_transmit`],
 //! * [`channel`] — an in-memory duplex link with fault injection (drop /
-//!   corrupt / duplicate) for exercising the agent's error handling,
-//! * [`driver`] — synchronous and threaded (crossbeam) session drivers.
+//!   corrupt / duplicate / reorder) for exercising the agent's error
+//!   handling and the ARQ layer's recovery,
+//! * [`driver`] — synchronous and threaded (crossbeam) session drivers,
+//! * [`reliable`] — a sans-IO ARQ layer (sequence numbers, cumulative
+//!   acks, deterministic tick-based retransmission, dedup/reorder
+//!   window) supplying the reliable-transport assumption over a lossy
+//!   link.
 //!
-//! The protocol assumes a reliable, ordered transport (deployments would
-//! run it over TCP/TLS between the two agents). Fault injection exists to
-//! verify that the framing layer *detects* corruption and that agents
-//! fail cleanly on protocol violations — not to implement retransmission.
+//! The negotiation protocol itself assumes a reliable, ordered transport
+//! (deployments would run it over TCP/TLS between the two agents). On a
+//! *raw* link, fault injection verifies that the framing layer *detects*
+//! corruption and that agents fail cleanly on protocol violations; under
+//! [`reliable`], the same faults are absorbed by retransmission and
+//! deduplication so transient loss never becomes a lost outcome.
 //!
 //! The decision logic is not shared with the in-process engine — it is
 //! the *same object*: both drive a [`nexit_core::machine::NegotiationMachine`],
@@ -37,9 +44,13 @@ pub mod crc;
 pub mod driver;
 pub mod frame;
 pub mod messages;
+pub mod reliable;
 
 pub use agent::{Agent, AgentOutcome, ProtoError};
 pub use channel::{FaultConfig, FaultyLink};
 pub use driver::{run_session, run_session_threaded};
 pub use frame::{FrameCodec, FrameError, MAX_FRAME_PAYLOAD};
 pub use messages::Message;
+pub use reliable::{
+    run_reliable_session, ReliableConfig, ReliableEndpoint, ReliableError, ReliableStats,
+};

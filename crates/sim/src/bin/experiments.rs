@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! experiments [all|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fraction|prange|groups|modes|models|dest|growth|broker]
+//! experiments [all|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fraction|prange|groups|modes|models|dest|growth|broker|faults]
 //!             [--smoke] [--pairs N] [--seed N] [--threads N]
 //! ```
 //!
@@ -12,13 +12,15 @@
 //! default: all available cores). Results are byte-identical for every
 //! thread count — parallelism only changes wall-clock time.
 
-use nexit_sim::experiments::{ablation, bandwidth, broker, cheating, distance, diverse, filters};
+use nexit_sim::experiments::{
+    ablation, bandwidth, broker, cheating, distance, diverse, faults, filters,
+};
 use nexit_sim::ExpConfig;
 use nexit_topology::{GeneratorConfig, TopologyGenerator, Universe};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [all|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fraction|prange|groups|modes|models|dest|growth|broker] [--smoke] [--pairs N] [--seed N] [--threads N]"
+        "usage: experiments [all|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fraction|prange|groups|modes|models|dest|growth|broker|faults] [--smoke] [--pairs N] [--seed N] [--threads N]"
     );
     std::process::exit(2);
 }
@@ -71,7 +73,7 @@ fn main() {
 
     const TARGETS: &[&str] = &[
         "all", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fraction",
-        "prange", "groups", "modes", "models", "dest", "growth", "broker",
+        "prange", "groups", "modes", "models", "dest", "growth", "broker", "faults",
     ];
     if !TARGETS.contains(&target.as_str()) {
         eprintln!("unknown target `{target}`");
@@ -96,6 +98,26 @@ fn main() {
                 eprintln!("broker outcomes diverged from the engine!");
                 std::process::exit(1);
             }
+        }
+        return;
+    }
+
+    // The faults target sweeps the broker's ARQ + degradation layer over
+    // lossy links on real topology pairs; like `broker`, it runs only
+    // when named explicitly and exits non-zero on any acceptance
+    // violation (mismatched outcome, lost session, headline recovery
+    // below 99%, or worker-count nondeterminism).
+    if target == "faults" {
+        let sessions = cfg.max_pairs.unwrap_or(1_000);
+        eprintln!(
+            "running fault-tolerance sweep ({sessions} headline sessions, {} worker(s)) ...",
+            nexit_sim::parallel::resolve_threads(cfg.threads),
+        );
+        let r = faults::run(sessions, cfg.threads, cfg.seed);
+        faults::report(&r);
+        if !r.violations.is_empty() {
+            eprintln!("fault-tolerance acceptance violated!");
+            std::process::exit(1);
         }
         return;
     }

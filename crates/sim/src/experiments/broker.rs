@@ -142,8 +142,8 @@ pub fn run(pairs: usize, workers: usize, seed: u64) -> BrokerReport {
 
     let mut mismatches = 0usize;
     for (p, result) in run.results.iter().enumerate() {
-        match result {
-            Ok(out) if matches_engine(p, FLOWS, ALTS, seed, out) => {}
+        match result.outcome() {
+            Some(out) if matches_engine(p, FLOWS, ALTS, seed, out) => {}
             _ => mismatches += 1,
         }
     }
@@ -200,7 +200,7 @@ mod tests {
         let a = broker.run_pairs(synthetic_specs(8, FLOWS, ALTS, 3));
         let b = broker.run_pairs(synthetic_specs(8, FLOWS, ALTS, 3));
         for (x, y) in a.results.iter().zip(b.results.iter()) {
-            let (x, y) = (x.as_ref().unwrap(), y.as_ref().unwrap());
+            let (x, y) = (x.outcome().unwrap(), y.outcome().unwrap());
             assert_eq!(x.a.assignment, y.a.assignment);
             assert_eq!(x.a.my_gain, y.a.my_gain);
         }

@@ -6,4 +6,5 @@ pub mod broker;
 pub mod cheating;
 pub mod distance;
 pub mod diverse;
+pub mod faults;
 pub mod filters;

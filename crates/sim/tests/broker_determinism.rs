@@ -4,9 +4,13 @@
 //! regardless of worker count. This suite pins that on real
 //! topology-derived pairs (distance objective, borrowed mappers), and
 //! checks fault isolation on the same workload: one faulty session fails
-//! alone while its shard siblings still match the engine exactly.
+//! alone while its shard siblings still match the engine exactly. With
+//! the ARQ reliability layer on, the same faulty workload must instead
+//! *recover*: every session completes byte-identical to the engine at
+//! any worker count, and a terminally dead link degrades to the default
+//! assignment rather than losing the pair.
 
-use nexit_broker::{Broker, BrokerConfig, PairOutcome, SessionSpec};
+use nexit_broker::{Broker, BrokerConfig, PairOutcome, ReliableConfig, SessionSpec};
 use nexit_core::{
     negotiate, DistanceMapper, NegotiationOutcome, NexitConfig, Party, SessionInput, Side,
 };
@@ -108,9 +112,12 @@ fn broker_matches_engine_at_every_worker_count() {
         assert_eq!(run.stats.completed, pairs.len(), "workers={workers}");
         assert_eq!(run.stats.failed, 0, "workers={workers}");
         for (i, result) in run.results.iter().enumerate() {
-            let out = result
-                .as_ref()
-                .unwrap_or_else(|e| panic!("pair {i} failed under {workers} workers: {e:?}"));
+            let out = result.outcome().unwrap_or_else(|| {
+                panic!(
+                    "pair {i} failed under {workers} workers: {:?}",
+                    result.failure()
+                )
+            });
             assert_pair_matches(&references[i], out, &format!("pair {i}, workers={workers}"));
         }
     }
@@ -145,7 +152,7 @@ fn faulty_session_fails_alone_siblings_match_engine() {
     let run = Broker::new(BrokerConfig::with_workers(1)).run_pairs(specs);
     assert_eq!(run.stats.failed, 1, "exactly the victim fails");
     assert_eq!(run.stats.completed, pairs.len() - 1);
-    let failure = run.results[victim].as_ref().unwrap_err();
+    let failure = run.results[victim].failure().expect("victim failed");
     assert!(
         matches!(failure.error, ProtoError::Frame(_) | ProtoError::Message(_)),
         "corruption must fail via CRC/validation, got {:?}",
@@ -157,7 +164,7 @@ fn faulty_session_fails_alone_siblings_match_engine() {
         }
         assert_pair_matches(
             &references[i],
-            result.as_ref().expect("sibling completed"),
+            result.outcome().expect("sibling completed"),
             &format!("sibling pair {i}"),
         );
     }
@@ -189,7 +196,7 @@ fn dropped_frames_stall_only_their_session() {
         .collect();
     let run = Broker::new(BrokerConfig::with_workers(2)).run_pairs(specs);
     assert_eq!(run.stats.failed, 1);
-    let failure = run.results[victim].as_ref().unwrap_err();
+    let failure = run.results[victim].failure().expect("victim failed");
     assert!(
         matches!(failure.error, ProtoError::Stalled { .. }),
         "total frame loss must surface as a stall, got {:?}",
@@ -201,7 +208,119 @@ fn dropped_frames_stall_only_their_session() {
         }
         assert_pair_matches(
             &references[i],
-            result.as_ref().expect("sibling completed"),
+            result.outcome().expect("sibling completed"),
+            &format!("sibling pair {i}"),
+        );
+    }
+}
+
+#[test]
+fn arq_recovers_every_faulty_pair_at_every_worker_count() {
+    // Real topology pairs, every link injecting all four fault kinds at
+    // 5%: with the ARQ layer on, every session must complete with
+    // outcomes byte-identical to the fault-free engine reference, and
+    // identically at 1, 2 and 4 workers.
+    let u = universe();
+    let pairs = build_pairs(&u);
+    let references: Vec<_> = pairs.iter().map(engine_reference).collect();
+    let faults = FaultConfig {
+        drop_chance: 0.05,
+        corrupt_chance: 0.05,
+        duplicate_chance: 0.05,
+        reorder_chance: 0.05,
+    };
+    let mut recovered_counts = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let specs: Vec<_> = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, data)| spec_for(data).with_faults(faults, 7000 + i as u64))
+            .collect();
+        let config =
+            BrokerConfig::with_workers(workers).with_reliability(ReliableConfig::default());
+        let run = Broker::new(config).run_pairs(specs);
+        assert_eq!(run.stats.completed, pairs.len(), "workers={workers}");
+        assert_eq!(run.stats.failed, 0, "workers={workers}");
+        for (i, result) in run.results.iter().enumerate() {
+            let out = result.outcome().unwrap_or_else(|| {
+                panic!(
+                    "pair {i} not recovered under {workers} workers: {:?}",
+                    result.failure()
+                )
+            });
+            assert_pair_matches(
+                &references[i],
+                out,
+                &format!("recovered pair {i}, workers={workers}"),
+            );
+        }
+        recovered_counts.push((run.stats.recovered, run.stats.retransmits));
+    }
+    // Fault patterns and recovery work are per-session seeded, so the
+    // counters must not depend on scheduling either.
+    assert_eq!(recovered_counts[0], recovered_counts[1]);
+    assert_eq!(recovered_counts[0], recovered_counts[2]);
+    assert!(
+        recovered_counts[0].0 > 0,
+        "5% fault rates must hit sessions"
+    );
+}
+
+#[test]
+fn dead_link_degrades_to_default_assignment_with_siblings_intact() {
+    // One pair's links drop everything; with ARQ + degradation on, that
+    // pair falls back to its default early-exit assignment while every
+    // sibling still negotiates byte-identical to the engine. No pair is
+    // ever lost: negotiated + degraded accounts for the whole batch.
+    let u = universe();
+    let pairs = build_pairs(&u);
+    let references: Vec<_> = pairs.iter().map(engine_reference).collect();
+    let victim = pairs.len() / 2;
+    let specs: Vec<_> = pairs
+        .iter()
+        .enumerate()
+        .map(|(i, data)| {
+            let spec = spec_for(data);
+            if i == victim {
+                spec.with_faults(
+                    FaultConfig {
+                        drop_chance: 1.0,
+                        ..FaultConfig::RELIABLE
+                    },
+                    83,
+                )
+            } else {
+                spec
+            }
+        })
+        .collect();
+    let config = BrokerConfig::with_workers(2)
+        .with_reliability(ReliableConfig::default())
+        .with_degradation();
+    let run = Broker::new(config).run_pairs(specs);
+    assert_eq!(run.stats.completed, pairs.len() - 1);
+    assert_eq!(run.stats.degraded, 1);
+    assert_eq!(run.stats.failed, 0);
+    assert!(run.results[victim].is_degraded());
+    assert_eq!(
+        run.results[victim].assignment().unwrap(),
+        &pairs[victim].default,
+        "degraded pair must carry its default assignment"
+    );
+    assert!(
+        matches!(
+            run.results[victim].failure().unwrap().error,
+            ProtoError::RetryExhausted { .. }
+        ),
+        "a fully dead link should exhaust the retry budget"
+    );
+    for (i, result) in run.results.iter().enumerate() {
+        if i == victim {
+            continue;
+        }
+        assert_pair_matches(
+            &references[i],
+            result.outcome().expect("sibling negotiated"),
             &format!("sibling pair {i}"),
         );
     }

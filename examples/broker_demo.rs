@@ -1,14 +1,15 @@
 //! Serve a whole batch of wire negotiations through the session broker:
 //! thousands of independent pairs multiplexed over framed in-memory
 //! transports on a handful of worker threads — with one deliberately
-//! corrupted session to show fault isolation, and a rerun on a
-//! different worker count to show the outcomes don't move.
+//! corrupted session to show fault isolation, a rerun on a different
+//! worker count to show the outcomes don't move, and a lossy rerun
+//! under the ARQ reliability layer to show transient faults healing.
 //!
 //! ```sh
 //! cargo run --release --example broker_demo
 //! ```
 
-use nexit::broker::{Broker, BrokerConfig, SessionSpec};
+use nexit::broker::{Broker, BrokerConfig, ReliableConfig, SessionSpec};
 use nexit::core::NexitConfig;
 use nexit::proto::FaultConfig;
 use nexit::sim::experiments::broker::{synthetic_specs, SeededTableMapper, ALTS, FLOWS};
@@ -40,11 +41,7 @@ fn main() {
         .results
         .iter()
         .zip(serial.results.iter())
-        .all(|(x, y)| match (x, y) {
-            (Ok(a), Ok(b)) => a == b,
-            (Err(a), Err(b)) => a == b,
-            _ => false,
-        });
+        .all(|(x, y)| x == y);
     println!("serial rerun produced identical outcomes: {identical}");
 
     // Fault isolation: corrupt every frame of one session; it fails
@@ -72,9 +69,9 @@ fn main() {
         7,
     );
     let faulty = Broker::new(BrokerConfig::with_workers(2)).run_pairs(specs);
-    match &faulty.results[victim] {
-        Err(failure) => println!("victim session failed alone -> {}", failure.error),
-        Ok(_) => println!("victim session survived (unexpected)"),
+    match faulty.results[victim].failure() {
+        Some(failure) => println!("victim session failed alone -> {}", failure.error),
+        None => println!("victim session survived (unexpected)"),
     }
     let siblings_unchanged = faulty
         .results
@@ -82,10 +79,44 @@ fn main() {
         .zip(run.results.iter())
         .enumerate()
         .filter(|(i, _)| *i != victim)
-        .all(|(_, (f, r))| matches!((f, r), (Ok(a), Ok(b)) if a == b));
+        .all(|(_, (f, r))| f.is_negotiated() && f == r);
     println!(
         "remaining {} sessions completed with unchanged outcomes: {}",
         pairs - 1,
         siblings_unchanged
+    );
+
+    // Fault recovery: the same batch over links dropping, corrupting,
+    // duplicating and reordering 5% of frames each — but through the
+    // ARQ layer, so every session heals and outcomes still match the
+    // fault-free run exactly.
+    let lossy = FaultConfig {
+        drop_chance: 0.05,
+        corrupt_chance: 0.05,
+        duplicate_chance: 0.05,
+        reorder_chance: 0.05,
+    };
+    let specs: Vec<_> = batch(pairs)
+        .into_iter()
+        .enumerate()
+        .map(|(i, spec)| spec.with_faults(lossy, 1000 + i as u64))
+        .collect();
+    let reliable_config = BrokerConfig::default()
+        .with_reliability(ReliableConfig::default())
+        .with_degradation();
+    let recovered = Broker::new(reliable_config).run_pairs(specs);
+    let outcomes_unchanged = recovered
+        .results
+        .iter()
+        .zip(run.results.iter())
+        .all(|(f, r)| f == r);
+    println!(
+        "lossy rerun under ARQ: {} negotiated ({} recovered from faults, {} degraded, \
+         {} retransmits); outcomes identical to fault-free run: {}",
+        recovered.stats.completed,
+        recovered.stats.recovered,
+        recovered.stats.degraded,
+        recovered.stats.retransmits,
+        outcomes_unchanged
     );
 }

@@ -11,7 +11,9 @@ use nexit::core::{
     negotiate, DisclosurePolicy, DistanceMapper, GainTable, NexitConfig, Party, PreferenceMapper,
     SessionInput, Side,
 };
-use nexit::proto::{run_session, Agent, FaultConfig, FaultyLink, ProtoError};
+use nexit::proto::{
+    run_reliable_session, run_session, Agent, FaultConfig, FaultyLink, ProtoError, ReliableConfig,
+};
 use nexit::routing::{Assignment, FlowId, PairFlows, ShortestPaths};
 use nexit::topology::{GeneratorConfig, IcxId, PairView, TopologyGenerator};
 use nexit::workload::WorkloadModel;
@@ -393,7 +395,21 @@ proptest! {
         check_faulty_session(ga, gb, NexitConfig::win_win(), faults, link_seed)?;
     }
 
-    /// All three fault classes at once.
+    /// Reordered frames arrive in a state that no longer expects them;
+    /// on the raw link the state validation must reject them cleanly
+    /// (or, where the exchange happens to tolerate the swap, match).
+    #[test]
+    fn reordered_frames_fail_cleanly_or_match(
+        ga in arb_gains(5, 3),
+        gb in arb_gains(5, 3),
+        reorder_chance in 0.05f64..0.6,
+        link_seed in 0u64..1_000,
+    ) {
+        let faults = FaultConfig { reorder_chance, ..FaultConfig::RELIABLE };
+        check_faulty_session(ga, gb, NexitConfig::win_win(), faults, link_seed)?;
+    }
+
+    /// All four fault classes at once.
     #[test]
     fn mixed_faults_fail_cleanly_or_match(
         ga in arb_gains(4, 3),
@@ -401,9 +417,246 @@ proptest! {
         drop_chance in 0.0f64..0.3,
         corrupt_chance in 0.0f64..0.3,
         duplicate_chance in 0.0f64..0.3,
+        reorder_chance in 0.0f64..0.3,
         link_seed in 0u64..1_000,
     ) {
-        let faults = FaultConfig { drop_chance, corrupt_chance, duplicate_chance };
+        let faults = FaultConfig { drop_chance, corrupt_chance, duplicate_chance, reorder_chance };
         check_faulty_session(ga, gb, NexitConfig::win_win(), faults, link_seed)?;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ARQ recovery property cases: the same faulty sessions driven through
+// `run_reliable_session`. Below saturation with a sufficient retry
+// budget the session must *recover* — byte-identical to the fault-free
+// reference — and at any rate the outcome is never silently wrong.
+// ---------------------------------------------------------------------------
+
+/// Run the same session through the engine and through replay-tolerant
+/// agents over ARQ endpoints on the given faulty links. With `strict`,
+/// the session must recover and match the reference exactly; otherwise a
+/// terminal ARQ error (retry exhaustion / deadline) is also acceptable —
+/// but a diverging outcome or a raw protocol error never is.
+fn check_reliable_session(
+    gains_a: Vec<Vec<f64>>,
+    gains_b: Vec<Vec<f64>>,
+    config: NexitConfig,
+    faults: FaultConfig,
+    link_seed: u64,
+    arq: ReliableConfig,
+    strict: bool,
+) -> Result<(), TestCaseError> {
+    let n = gains_a.len();
+    let k = gains_a[0].len();
+    let (input, default) = synthetic_session(n, k);
+    let gains_a = GainTable::from_rows(&gains_a);
+    let gains_b = GainTable::from_rows(&gains_b);
+
+    let mut pa = Party::honest(
+        "A",
+        TableMapper {
+            gains: gains_a.clone(),
+        },
+    );
+    let mut pb = Party::honest(
+        "B",
+        TableMapper {
+            gains: gains_b.clone(),
+        },
+    );
+    let reference = negotiate(&input, &default, &mut pa, &mut pb, &config);
+
+    let mut agent_a = Agent::new(
+        Side::A,
+        "A",
+        input.clone(),
+        default.clone(),
+        TableMapper { gains: gains_a },
+        DisclosurePolicy::Truthful,
+        config,
+    )
+    .unwrap();
+    let mut agent_b = Agent::new(
+        Side::B,
+        "B",
+        input,
+        default,
+        TableMapper { gains: gains_b },
+        DisclosurePolicy::Truthful,
+        config,
+    )
+    .unwrap();
+    agent_a.set_replay_tolerance(true);
+    agent_b.set_replay_tolerance(true);
+    let mut ab = FaultyLink::new(faults, link_seed);
+    let mut ba = FaultyLink::new(faults, link_seed.wrapping_add(1));
+    match run_reliable_session(&mut agent_a, &mut agent_b, &mut ab, &mut ba, arq, 50_000) {
+        Ok((out_a, out_b)) => {
+            prop_assert_eq!(
+                reference.assignment.choices(),
+                out_a.assignment.choices(),
+                "ARQ recovery changed the outcome (seed {})",
+                link_seed
+            );
+            prop_assert_eq!(out_a.assignment, out_b.assignment);
+            prop_assert_eq!(reference.gain_a, out_a.my_gain);
+            prop_assert_eq!(reference.gain_b, out_b.my_gain);
+            prop_assert_eq!(reference.termination, out_a.termination);
+            prop_assert_eq!(reference.reassignments, out_a.reassignments);
+        }
+        Err(e) => {
+            prop_assert!(
+                !strict,
+                "below saturation the session must recover, got: {} (seed {})",
+                e,
+                link_seed
+            );
+            // Past saturation the only acceptable failures are the ARQ
+            // layer's own terminal errors: transient faults must never
+            // leak through as protocol violations or wrong outcomes.
+            prop_assert!(
+                matches!(
+                    e,
+                    ProtoError::RetryExhausted { .. } | ProtoError::DeadlineExceeded { .. }
+                ),
+                "unclean ARQ failure: {}",
+                e
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Below saturation (≤12% per fault class) with a generous retry
+    /// budget, every faulted session recovers byte-identical to the
+    /// fault-free reference — loss, corruption, duplication and
+    /// reordering together.
+    #[test]
+    fn arq_recovers_below_saturation(
+        ga in arb_gains(5, 3),
+        gb in arb_gains(5, 3),
+        drop_chance in 0.0f64..0.12,
+        corrupt_chance in 0.0f64..0.12,
+        duplicate_chance in 0.0f64..0.12,
+        reorder_chance in 0.0f64..0.12,
+        link_seed in 0u64..1_000,
+    ) {
+        let faults = FaultConfig { drop_chance, corrupt_chance, duplicate_chance, reorder_chance };
+        let arq = ReliableConfig { retry_budget: 16, ..ReliableConfig::default() };
+        check_reliable_session(ga, gb, NexitConfig::win_win(), faults, link_seed, arq, true)?;
+    }
+
+    /// At arbitrary fault rates (up to half of all frames mangled per
+    /// class) the ARQ layer either recovers exactly or fails with its
+    /// own terminal error — never a wrong outcome, never a raw protocol
+    /// violation.
+    #[test]
+    fn arq_never_corrupts_at_any_rate(
+        ga in arb_gains(4, 3),
+        gb in arb_gains(4, 3),
+        drop_chance in 0.0f64..0.5,
+        corrupt_chance in 0.0f64..0.5,
+        duplicate_chance in 0.0f64..0.5,
+        reorder_chance in 0.0f64..0.5,
+        link_seed in 0u64..1_000,
+    ) {
+        let faults = FaultConfig { drop_chance, corrupt_chance, duplicate_chance, reorder_chance };
+        let arq = ReliableConfig::default();
+        check_reliable_session(ga, gb, NexitConfig::win_win(), faults, link_seed, arq, false)?;
+    }
+}
+
+/// Deterministic gain tables for the non-proptest ARQ cases.
+fn fixed_gains(n: usize, k: usize, salt: u64) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|f| {
+            (0..k)
+                .map(|a| {
+                    if a == 0 {
+                        0.0
+                    } else {
+                        ((f as f64 * 7.3 + a as f64 * 3.1 + salt as f64 * 1.7) % 19.0) - 9.0
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The headline robustness claim at the deployment-realistic rate: 1%
+/// drop + 1% corruption per frame, default retry budget, across many
+/// link seeds — every session recovers byte-identical to the fault-free
+/// reference.
+#[test]
+fn arq_recovers_one_percent_faults_with_default_budget() {
+    let faults = FaultConfig {
+        drop_chance: 0.01,
+        corrupt_chance: 0.01,
+        ..FaultConfig::RELIABLE
+    };
+    for seed in 0..100u64 {
+        check_reliable_session(
+            fixed_gains(6, 3, seed),
+            fixed_gains(6, 3, seed ^ 0xff),
+            NexitConfig::win_win(),
+            faults,
+            seed,
+            ReliableConfig::default(),
+            true,
+        )
+        .unwrap();
+    }
+}
+
+/// The dedup-window satellite, both halves: with replay tolerance on, a
+/// byte-identical replay of the last frame is silently ignored; on the
+/// raw strict path the same replay is a fatal protocol violation.
+#[test]
+fn replayed_frame_ignored_with_tolerance_fatal_without() {
+    for tolerate in [false, true] {
+        let (input, default) = synthetic_session(4, 3);
+        let gains = GainTable::from_rows(&fixed_gains(4, 3, 1));
+        let mut agent_a = Agent::new(
+            Side::A,
+            "A",
+            input.clone(),
+            default.clone(),
+            TableMapper {
+                gains: gains.clone(),
+            },
+            DisclosurePolicy::Truthful,
+            NexitConfig::win_win(),
+        )
+        .unwrap();
+        let mut agent_b = Agent::new(
+            Side::B,
+            "B",
+            input,
+            default,
+            TableMapper { gains },
+            DisclosurePolicy::Truthful,
+            NexitConfig::win_win(),
+        )
+        .unwrap();
+        agent_b.set_replay_tolerance(tolerate);
+        let hello = agent_a.poll_transmit().expect("A opens with Hello");
+        agent_b.handle_bytes(&hello).expect("first Hello is fine");
+        let replay = agent_b.handle_bytes(&hello);
+        if tolerate {
+            assert!(
+                replay.is_ok(),
+                "dedup window must absorb the replay, got {:?}",
+                replay
+            );
+        } else {
+            assert!(
+                matches!(replay, Err(ProtoError::UnexpectedMessage { .. })),
+                "raw path must reject the replay, got {:?}",
+                replay
+            );
+        }
     }
 }
