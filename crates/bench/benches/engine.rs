@@ -318,18 +318,23 @@ fn bench_model_grid(c: &mut Criterion) {
     group.finish();
 }
 
-/// Synthetic min-max-ratio programs (the bandwidth-optimum shape) with
-/// coefficient patches: one solved program, then runs of capacity-column
-/// perturbations re-entered through the workspace's column-refresh path.
-/// Complements the rhs-patch rows in the `lp` bench; this row lands in
-/// `BENCH_engine.json` so the gate tracks the refresh path itself.
-fn bench_simplex_warm_coeff(c: &mut Criterion) {
-    use nexit_lp::{ConstraintOp, LpProblem, SimplexWorkspace};
+/// Build a min-max load-ratio LP (the bandwidth-optimum shape): `flows`
+/// flows split over `k` choices, `links` capacity rows with random
+/// coefficients. Returns the capacity rows as `(row index, capacity)`
+/// for the patch benches. Mirrors the `lp` bench's generator so the
+/// gated rows here and the exploratory rows there describe the same
+/// programs.
+fn min_max_program(
+    flows: usize,
+    k: usize,
+    links: usize,
+    seed: u64,
+) -> (nexit_lp::LpProblem, Vec<(usize, f64)>) {
+    use nexit_lp::{ConstraintOp, LpProblem};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    let (flows, k, links) = (60usize, 3usize, 40usize);
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = StdRng::seed_from_u64(seed);
     let mut p = LpProblem::new();
     let t = p.add_variable(1.0);
     let x = |f: usize, i: usize| 1 + f * k + i;
@@ -361,10 +366,59 @@ fn bench_simplex_warm_coeff(c: &mut Criterion) {
         cap_rows.push((p.num_constraints(), cap));
         p.add_constraint(row, ConstraintOp::Le, 0.0);
     }
+    (p, cap_rows)
+}
+
+/// Synthetic min-max-ratio programs, cold and warm: the gated
+/// `BENCH_engine.json` rows for the simplex engine itself.
+///
+/// * `cold` — one full two-phase solve of the paper-scale 120-flow /
+///   80-link program per iteration: the first-solve price every new
+///   skeleton (broker batch, churn event, mesh hop) pays, and the row
+///   the sparse-LU + devex engine is gated on (parity vs the old dense
+///   tableau).
+/// * `warm_rhs` — 8 runs of rhs-only patches re-entered through the
+///   workspace's dual-simplex path (the failure-sweep access pattern).
+/// * `warm_coeff` — 8 runs of capacity-column perturbations re-entered
+///   through the column-refresh path (the model-grid access pattern).
+fn bench_simplex(c: &mut Criterion) {
+    use nexit_lp::SimplexWorkspace;
 
     let mut group = c.benchmark_group("simplex");
     group.sample_size(10);
+
+    group.bench_function("cold", |bencher| {
+        let (p, _) = min_max_program(120, 3, 80, 7);
+        bencher.iter(|| match nexit_lp::solve(&p) {
+            nexit_lp::LpOutcome::Optimal { objective, .. } => objective,
+            other => panic!("bench program must be solvable, got {other:?}"),
+        });
+    });
+
+    group.bench_function("warm_rhs", |bencher| {
+        let (mut p, cap_rows) = min_max_program(120, 3, 80, 7);
+        let mut ws = SimplexWorkspace::new();
+        ws.solve(&p);
+        bencher.iter(|| {
+            let mut acc = 0.0;
+            for step in 0..8u64 {
+                // Tighten a deterministic spread of capacity rows
+                // (rows past the flow-conservation block).
+                for j in 0..4 {
+                    let (row, _) = cap_rows[(step as usize * 7 + j * 13) % cap_rows.len()];
+                    let rhs = p.rhs(row);
+                    p.set_rhs(row, rhs - 0.01 * ((step + 1) as f64));
+                }
+                if let nexit_lp::LpOutcome::Optimal { objective, .. } = ws.solve(&p) {
+                    acc += objective;
+                }
+            }
+            acc
+        });
+    });
+
     group.bench_function("warm_coeff", |bencher| {
+        let (mut p, cap_rows) = min_max_program(60, 3, 40, 7);
         let mut ws = SimplexWorkspace::new();
         ws.solve(&p);
         bencher.iter(|| {
@@ -448,7 +502,7 @@ criterion_group!(
     bench_engine,
     bench_scenario_sweep,
     bench_model_grid,
-    bench_simplex_warm_coeff,
+    bench_simplex,
     bench_broker
 );
 criterion_main!(benches);

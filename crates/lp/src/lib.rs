@@ -12,9 +12,11 @@
 //! and `x >= 0`. Two engines share one standard form:
 //!
 //! * [`revised`] — the production path: column-sparse constraint matrix,
-//!   dense LU of the basis with product-form (eta) updates and periodic
-//!   refactorization, Dantzig pricing with a Bland's-rule anti-cycling
-//!   fallback. [`solve`] / [`solve_with`] run it cold.
+//!   sparse Markowitz-ordered LU of the basis (`lu`, column-compressed
+//!   factors with fill-aware pivoting) with sparse product-form (eta)
+//!   updates and periodic refactorization, devex pricing with a
+//!   Bland's-rule anti-cycling fallback. [`solve`] / [`solve_with`] run
+//!   it cold.
 //! * [`simplex`] — the dense full-tableau method, kept as the
 //!   independently implemented **oracle** ([`solve_dense`]) that the
 //!   revised path is property-tested against.
@@ -36,7 +38,26 @@
 //! back to a cold start transparently, so a warm solve can never return
 //! anything a cold solve would not ([`WarmStats`] counts which path each
 //! solve actually took).
+//!
+//! # Pricing and refactorization policy
+//!
+//! Primal phases price with **devex** (approximate steepest edge):
+//! reference-framework weights start at the unit framework per phase,
+//! grow monotonically via the Forrest–Goldfarb pivot-row recurrence,
+//! survive refactorization, and re-anchor if they overflow the
+//! contrast ceiling. After `SimplexOptions::stall_threshold`
+//! consecutive non-improving pivots the phase hands over to **Bland's
+//! rule** for guaranteed termination on degenerate programs
+//! (`WarmStats::pricing_fallbacks` counts the hand-overs); the first
+//! strictly improving pivot hands control back to devex, so one
+//! degenerate plateau does not slow the rest of the solve. The basis is
+//! **refactorized** every `(m/6).clamp(12, 48)` eta updates, on
+//! numerically unusable pivots, and whenever a coefficient patch
+//! touches more basic columns than the eta budget absorbs;
+//! `WarmStats::refactorizations`, `max_eta_chain` and `lu_fill_nnz`
+//! expose that machinery per solve.
 
+mod lu;
 pub mod problem;
 pub mod revised;
 pub mod simplex;

@@ -7,11 +7,14 @@
 //! constraint matrix **immutable and column-sparse** and works through a
 //! factorization of the current basis `B`:
 //!
-//! * an **LU factorization** (dense, partial pivoting) of the basis is
-//!   computed at build time and rebuilt periodically,
-//! * each pivot appends a **product-form eta vector** instead of touching
-//!   the factorization — `FTRAN` (solve `B w = v`) and `BTRAN` (solve
-//!   `B^T y = v`) apply the LU base and then the eta file,
+//! * a **sparse LU factorization** ([`crate::lu::SparseLu`]: threshold-
+//!   Markowitz fill-aware pivoting over column-compressed factors) of
+//!   the basis is computed at build time and rebuilt periodically,
+//! * each pivot appends a **sparse product-form eta vector** instead of
+//!   touching the factorization — `FTRAN` (solve `B w = v`) and `BTRAN`
+//!   (solve `B^T y = v`) apply the LU base and then the eta file, with
+//!   zero-skips end to end so hyper-sparse right-hand sides and eta
+//!   columns cost only their stored nonzeros,
 //! * after a dimension-scaled number of etas (or numerical trouble) the basis is
 //!   **refactorized** from scratch, which also re-derives the basic
 //!   solution from the raw right-hand side and so bounds drift,
@@ -30,25 +33,63 @@
 //! problem with `b' = B max(x_B, 0)`, then walk `b' -> b` with dual
 //! pivots from the now dual-feasible optimum.
 //!
-//! Pivot rules mirror the dense oracle: Dantzig pricing until a stall,
-//! then Bland's rule (termination on degenerate/cycling programs),
-//! lowest-basic-index tie-breaking in the ratio test, and the same
-//! two-phase structure with artificials banned from re-entering in
-//! phase 2.
+//! Pricing is **devex** (Forrest's approximate steepest edge): the
+//! entering column maximizes `d_j^2 / w_j` over reference-framework
+//! weights `w_j` that are updated from the pivot row after every basis
+//! change, so the engine steers by expected objective progress per unit
+//! step instead of raw reduced cost. The weights survive
+//! refactorization (they depend only on the pivot history, not the
+//! factorization), are reset to the unit framework at every phase
+//! boundary, and hand over to **Bland's rule** after a
+//! `stall_threshold`-long run of non-improving pivots (termination on
+//! degenerate/cycling programs; counted in
+//! [`EngineCounters::pricing_fallbacks`]). The hand-over is
+//! *non-sticky*: the first strictly improving pivot returns control to
+//! devex, so one degenerate plateau does not condemn the rest of the
+//! solve to Bland's slow crawl — each Bland stretch either terminates
+//! the phase or improves the objective, and an improved objective can
+//! never revisit a vertex, so termination is preserved. Ratio-test
+//! near-ties break on the largest pivot magnitude (numerically safest,
+//! and a Harris-style escape hatch out of degenerate plateaus) except
+//! under Bland's rule, whose termination proof needs the lowest basic
+//! index. The two-phase structure bans artificials from re-entering in
+//! phase 2, exactly like the dense oracle.
 
+use crate::lu::{SparseLu, PIVOT_MIN};
 use crate::problem::{ConstraintOp, LpProblem};
 use crate::simplex::{LpOutcome, PhaseResult, SimplexOptions};
 
-/// Eta vectors tolerated before the basis is refactorized. Balances the
-/// `O(m^3)` refactorization against the `O(m)`-per-eta FTRAN/BTRAN
-/// overhead: the sweet spot grows with the basis dimension.
+/// Eta vectors tolerated before the basis is refactorized. The sparse
+/// Markowitz factorization is cheap (near-linear in basis nnz on these
+/// programs), so the balance tilts toward frequent refactorization:
+/// short eta chains keep every FTRAN/BTRAN hyper-sparse, which is where
+/// cold-solve time goes. Swept empirically on the bench min-max
+/// programs (limits 8..100): 12–48 is flat-optimal, long chains lose.
 fn refactor_limit(m: usize) -> usize {
-    (m / 2).clamp(32, 240)
+    (m / 6).clamp(12, 48)
 }
 
-/// Absolute floor for an acceptable LU pivot; below this the basis is
-/// treated as singular and the caller falls back.
-const PIVOT_MIN: f64 = 1e-11;
+/// Devex weights are approximate; long pivot chains can inflate them
+/// until the ratio `d_j^2 / w_j` loses all contrast. Past this bound
+/// the reference framework is reset to the unit weights.
+const DEVEX_WEIGHT_CEILING: f64 = 1e12;
+
+/// Factorization and pricing telemetry accumulated by one engine across
+/// its lifetime (cold build, warm re-entries, everything). Drained by
+/// [`RevisedSimplex::take_counters`] into
+/// [`crate::WarmStats`] so sweep reports can tell *why* a solve was
+/// slow: `refactorizations` and `eta_pivots` measure basis churn,
+/// `max_eta_chain` the longest product-form file any FTRAN had to walk,
+/// `lu_fill_nnz` the worst fill-in a factorization produced, and
+/// `pricing_fallbacks` how often devex handed over to Bland's rule.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct EngineCounters {
+    pub(crate) refactorizations: usize,
+    pub(crate) eta_pivots: usize,
+    pub(crate) max_eta_chain: usize,
+    pub(crate) lu_fill_nnz: usize,
+    pub(crate) pricing_fallbacks: usize,
+}
 
 /// Solve with default options on the revised engine.
 pub fn solve(problem: &LpProblem) -> LpOutcome {
@@ -66,144 +107,16 @@ pub fn solve_with(problem: &LpProblem, options: SimplexOptions) -> LpOutcome {
     }
 }
 
-/// Dense LU factorization with partial pivoting (LAPACK-style `ipiv`).
-struct Lu {
-    /// Packed `m x m` row-major factors: unit-`L` strictly below the
-    /// diagonal, `U` on and above.
-    f: Vec<f64>,
-    /// Column-major copy of `f`: the FTRAN runs column-oriented with
-    /// zero-skips (the basis of these LPs is hyper-sparse, so most
-    /// right-hand sides stay mostly zero through the solves — skipping
-    /// zero multipliers turns the nominal `O(m^2)` into `O(m * nnz)`),
-    /// and the column-major layout keeps those passes contiguous.
-    fc: Vec<f64>,
-    /// `ipiv[k]` = row swapped with `k` at elimination step `k`.
-    ipiv: Vec<usize>,
-    m: usize,
-}
-
-impl Lu {
-    /// Factor a dense row-major `m x m` matrix. `None` when a pivot
-    /// column has no entry above [`PIVOT_MIN`] (singular basis).
-    fn factor(mut f: Vec<f64>, m: usize) -> Option<Self> {
-        let mut ipiv = Vec::with_capacity(m);
-        for k in 0..m {
-            // Partial pivoting: largest magnitude in column k at/below k.
-            let mut p = k;
-            let mut best = f[k * m + k].abs();
-            for i in k + 1..m {
-                let v = f[i * m + k].abs();
-                if v > best {
-                    best = v;
-                    p = i;
-                }
-            }
-            if best < PIVOT_MIN {
-                return None;
-            }
-            if p != k {
-                for j in 0..m {
-                    f.swap(k * m + j, p * m + j);
-                }
-            }
-            ipiv.push(p);
-            let pivot = f[k * m + k];
-            for i in k + 1..m {
-                let l = f[i * m + k] / pivot;
-                f[i * m + k] = l;
-                if l != 0.0 {
-                    for j in k + 1..m {
-                        f[i * m + j] -= l * f[k * m + j];
-                    }
-                }
-            }
-        }
-        let mut fc = vec![0.0; m * m];
-        for i in 0..m {
-            for j in 0..m {
-                fc[j * m + i] = f[i * m + j];
-            }
-        }
-        Some(Self { f, fc, ipiv, m })
-    }
-
-    /// Solve `B w = v` in place (`P B = L U`). Both triangular passes
-    /// run column-oriented over the column-major copy: contiguous, and
-    /// an entirely-skipped column per zero multiplier (hyper-sparse
-    /// right-hand sides touch only a handful of columns).
-    fn solve(&self, v: &mut [f64]) {
-        let m = self.m;
-        for (k, &p) in self.ipiv.iter().enumerate() {
-            if p != k {
-                v.swap(k, p);
-            }
-        }
-        // Forward: L y = P v (unit diagonal).
-        for j in 0..m {
-            let vj = v[j];
-            if vj != 0.0 {
-                let col = &self.fc[j * m..j * m + m];
-                for (vi, &lij) in v[j + 1..].iter_mut().zip(&col[j + 1..]) {
-                    *vi -= lij * vj;
-                }
-            }
-        }
-        // Backward: U w = y.
-        for j in (0..m).rev() {
-            let col = &self.fc[j * m..j * m + m];
-            let wj = v[j] / col[j];
-            v[j] = wj;
-            if wj != 0.0 {
-                for (vi, &uij) in v[..j].iter_mut().zip(&col[..j]) {
-                    *vi -= uij * wj;
-                }
-            }
-        }
-    }
-
-    /// Solve `B^T y = v` in place (`B^T = U^T L^T P`). Both triangular
-    /// passes run column-oriented so every inner loop walks one
-    /// contiguous row of the packed factor (the row-oriented form would
-    /// stride by `m` per element — cache-hostile on every BTRAN).
-    fn solve_transpose(&self, v: &mut [f64]) {
-        let m = self.m;
-        // Forward: U^T z = v. After fixing z_j, eliminate it from the
-        // remaining equations using row j of U (contiguous).
-        for j in 0..m {
-            let zj = v[j] / self.f[j * m + j];
-            v[j] = zj;
-            if zj != 0.0 {
-                let row = &self.f[j * m..j * m + m];
-                for (vi, &uji) in v[j + 1..].iter_mut().zip(&row[j + 1..]) {
-                    *vi -= uji * zj;
-                }
-            }
-        }
-        // Backward: L^T u = z (unit diagonal), same column-oriented
-        // shape over the strictly-lower rows of L.
-        for j in (1..m).rev() {
-            let uj = v[j];
-            if uj != 0.0 {
-                let row = &self.f[j * m..j * m + j];
-                for (vi, &lji) in v[..j].iter_mut().zip(row) {
-                    *vi -= lji * uj;
-                }
-            }
-        }
-        // y = P^T u: undo the swaps in reverse.
-        for (k, &p) in self.ipiv.iter().enumerate().rev() {
-            if p != k {
-                v.swap(k, p);
-            }
-        }
-    }
-}
-
 /// One product-form update: basis column `row` was replaced, and
-/// `col = B_old^{-1} a_entering` is the eta vector.
+/// `B_old^{-1} a_entering` is the eta vector — stored sparse as its
+/// pivot-row entry plus the off-pivot nonzeros `nz` (rows ascending).
+/// The eta columns of these LPs are as hyper-sparse as the basis
+/// itself, so FTRAN/BTRAN walk `nz` instead of a dense length-`m`
+/// column.
 struct Eta {
     row: usize,
-    col: Vec<f64>,
+    pivot: f64,
+    nz: Vec<(u32, f64)>,
 }
 
 /// The revised-simplex engine over one problem's standard form. See the
@@ -233,15 +146,23 @@ pub(crate) struct RevisedSimplex {
     /// Current basic values `x_B = B^{-1} b`, updated per pivot and
     /// recomputed from scratch at every refactorization.
     pub(crate) xb: Vec<f64>,
-    lu: Lu,
+    lu: SparseLu,
     etas: Vec<Eta>,
     /// Cost vector of the phase currently optimized (length `n`).
     phase_cost: Vec<f64>,
+    /// Devex reference-framework weights, one per column. Reset to the
+    /// unit framework at each phase boundary, updated per pivot.
+    devex: Vec<f64>,
     pub(crate) options: SimplexOptions,
     pub(crate) iterations_used: usize,
-    /// Recycled length-`m` buffers (retired eta columns, pricing
-    /// multipliers): the solve loop allocates nothing in steady state.
+    /// Recycled length-`m` buffers (pricing multipliers, pivot
+    /// columns): the solve loop allocates nothing in steady state.
     scratch: Vec<Vec<f64>>,
+    /// Permutation staging for the sparse LU solves (length `m`).
+    ptmp: Vec<f64>,
+    /// Recycled sparse eta payloads (retired at refactorization).
+    eta_pool: Vec<Vec<(u32, f64)>>,
+    counters: EngineCounters,
 }
 
 impl RevisedSimplex {
@@ -329,17 +250,16 @@ impl RevisedSimplex {
             basis,
             position,
             xb: Vec::new(),
-            lu: Lu {
-                f: Vec::new(),
-                fc: Vec::new(),
-                ipiv: Vec::new(),
-                m: 0,
-            },
+            lu: SparseLu::empty(),
             etas: Vec::new(),
             phase_cost: vec![0.0; n],
+            devex: vec![1.0; n],
             options,
             iterations_used: 0,
             scratch: Vec::new(),
+            ptmp: vec![0.0; m],
+            eta_pool: Vec::new(),
+            counters: EngineCounters::default(),
         };
         if !engine.refactor() {
             return None;
@@ -351,21 +271,22 @@ impl RevisedSimplex {
     /// the eta file, and re-derive `x_B` from the raw rhs (bounding
     /// accumulated drift). `false` when the basis matrix is singular.
     fn refactor(&mut self) -> bool {
-        let m = self.m;
-        let mut dense = vec![0.0; m * m];
-        for (j, &var) in self.basis.iter().enumerate() {
-            for &(r, v) in &self.cols[var] {
-                dense[r as usize * m + j] = v;
-            }
-        }
-        let Some(lu) = Lu::factor(dense, m) else {
+        let Some(lu) = SparseLu::factor(&self.cols, &self.basis) else {
             return false;
         };
+        self.counters.refactorizations += 1;
+        self.counters.lu_fill_nnz = self.counters.lu_fill_nnz.max(lu.fill_nnz());
         self.lu = lu;
         let retired: Vec<Eta> = self.etas.drain(..).collect();
-        self.scratch.extend(retired.into_iter().map(|e| e.col));
+        self.eta_pool.extend(retired.into_iter().map(|e| e.nz));
         self.xb = self.ftran_b();
         true
+    }
+
+    /// Drain the accumulated factorization/pricing telemetry (resets the
+    /// counters — callers absorb the delta per solve).
+    pub(crate) fn take_counters(&mut self) -> EngineCounters {
+        std::mem::take(&mut self.counters)
     }
 
     /// A zeroed length-`m` buffer from the recycle pool.
@@ -377,23 +298,23 @@ impl RevisedSimplex {
     }
 
     /// `B^{-1} b` for the current rhs.
-    fn ftran_b(&self) -> Vec<f64> {
+    fn ftran_b(&mut self) -> Vec<f64> {
         let mut w = self.b.clone();
         self.apply_ftran(&mut w);
         w
     }
 
-    /// FTRAN: overwrite `v` with `B^{-1} v` (LU base, then etas in
-    /// application order). The eta pass is a branch-free saxpy over the
-    /// whole column; the pivot row is patched afterwards.
-    fn apply_ftran(&self, v: &mut [f64]) {
-        self.lu.solve(v);
+    /// FTRAN: overwrite `v` with `B^{-1} v` (sparse LU base, then etas
+    /// in application order). Each eta pass walks only the stored
+    /// off-pivot nonzeros and skips entirely on a zero pivot-row value.
+    fn apply_ftran(&mut self, v: &mut [f64]) {
+        self.lu.solve(v, &mut self.ptmp);
         for eta in &self.etas {
             let r = eta.row;
-            let wr = v[r] / eta.col[r];
+            let wr = v[r] / eta.pivot;
             if wr != 0.0 {
-                for (vi, &ei) in v.iter_mut().zip(&eta.col) {
-                    *vi -= ei * wr;
+                for &(i, e) in &eta.nz {
+                    v[i as usize] -= e * wr;
                 }
             }
             v[r] = wr;
@@ -401,15 +322,15 @@ impl RevisedSimplex {
     }
 
     /// BTRAN: overwrite `v` with `B^{-T} v` (etas in reverse, then the
-    /// LU base transposed). The eta dot product runs branch-free over
-    /// the whole column, correcting for the pivot-row term afterwards.
-    fn apply_btran(&self, v: &mut [f64]) {
+    /// sparse LU base transposed). Each eta contributes one sparse dot
+    /// product over its stored nonzeros.
+    fn apply_btran(&mut self, v: &mut [f64]) {
         for eta in self.etas.iter().rev() {
             let r = eta.row;
-            let dot: f64 = eta.col.iter().zip(v.iter()).map(|(&e, &x)| e * x).sum();
-            v[r] = (v[r] - (dot - eta.col[r] * v[r])) / eta.col[r];
+            let dot: f64 = eta.nz.iter().map(|&(i, e)| e * v[i as usize]).sum();
+            v[r] = (v[r] - dot) / eta.pivot;
         }
-        self.lu.solve_transpose(v);
+        self.lu.solve_transpose(v, &mut self.ptmp);
     }
 
     /// `B^{-1} a_j` for one column (buffer drawn from the pool).
@@ -465,11 +386,32 @@ impl RevisedSimplex {
         self.position[self.basis[r]] = usize::MAX;
         self.basis[r] = q;
         self.position[q] = r;
-        self.etas.push(Eta { row: r, col: w });
+        self.push_eta(r, w);
+        self.counters.eta_pivots += 1;
+        self.counters.max_eta_chain = self.counters.max_eta_chain.max(self.etas.len());
         if self.etas.len() >= refactor_limit(self.m) && !self.refactor() {
             return false;
         }
         true
+    }
+
+    /// Compress the dense pivot column `w = B^{-1} a_entering` into a
+    /// sparse eta (payload recycled through the pool) and retire the
+    /// dense buffer back to scratch.
+    fn push_eta(&mut self, r: usize, w: Vec<f64>) {
+        let mut nz = self.eta_pool.pop().unwrap_or_default();
+        nz.clear();
+        for (i, &wi) in w.iter().enumerate() {
+            if i != r && wi != 0.0 {
+                nz.push((i as u32, wi));
+            }
+        }
+        self.etas.push(Eta {
+            row: r,
+            pivot: w[r],
+            nz,
+        });
+        self.scratch.push(w);
     }
 
     /// Current phase objective `c_B · x_B`.
@@ -482,10 +424,13 @@ impl RevisedSimplex {
     }
 
     /// One primal phase: pivot until optimal, unbounded or the budget
-    /// runs out. Dantzig pricing with a Bland fallback after a stall;
-    /// ratio-test ties break on the lowest basic index — the same rules
-    /// as the dense oracle. `ban_artificials` excludes artificial
-    /// columns from entering (phase 2 and every warm path).
+    /// runs out. Devex pricing (entering column maximizes `d_j^2 / w_j`
+    /// over the reference-framework weights, reset to the unit
+    /// framework at the start of the phase) with a non-sticky Bland
+    /// fallback after a stall; ratio-test near-ties break on the
+    /// largest pivot magnitude, or the lowest basic index while Bland
+    /// is engaged. `ban_artificials` excludes artificial columns from
+    /// entering (phase 2 and every warm path).
     pub(crate) fn optimize(&mut self, ban_artificials: bool) -> PhaseResult {
         let tol = self.options.tolerance;
         let limit = if ban_artificials {
@@ -493,6 +438,7 @@ impl RevisedSimplex {
         } else {
             self.n
         };
+        self.reset_devex();
         let mut stall = 0usize;
         let mut bland = false;
         let mut last_obj = f64::INFINITY;
@@ -500,9 +446,12 @@ impl RevisedSimplex {
             if self.iterations_used >= self.options.max_iterations {
                 return PhaseResult::IterationLimit;
             }
-            // Entering column.
+            // Entering column: lowest eligible index under Bland,
+            // otherwise the devex winner (ties to the lowest index,
+            // keeping the pick deterministic).
             let y = self.multipliers();
-            let mut entering: Option<(usize, f64)> = None;
+            let mut entering: Option<usize> = None;
+            let mut best_score = 0.0f64;
             for j in 0..limit {
                 if self.position[j] != usize::MAX {
                     continue;
@@ -510,19 +459,24 @@ impl RevisedSimplex {
                 let dj = self.reduced_cost(j, &y);
                 if dj < -tol {
                     if bland {
-                        entering = Some((j, dj));
+                        entering = Some(j);
                         break;
                     }
-                    if entering.is_none_or(|(_, best)| dj < best) {
-                        entering = Some((j, dj));
+                    let score = dj * dj / self.devex[j];
+                    if score > best_score {
+                        best_score = score;
+                        entering = Some(j);
                     }
                 }
             }
             self.retire_buffer(y);
-            let Some((q, _)) = entering else {
+            let Some(q) = entering else {
                 return PhaseResult::Optimal;
             };
-            // Ratio test.
+            // Ratio test. Near-tied ratios break on the largest pivot
+            // magnitude (numerically safest and the escape hatch out of
+            // degenerate plateaus), except under Bland's rule, whose
+            // termination proof needs the lowest basic index.
             let w = self.ftran_col(q);
             let mut pivot_row: Option<usize> = None;
             let mut best_ratio = f64::INFINITY;
@@ -531,7 +485,13 @@ impl RevisedSimplex {
                     let ratio = self.xb[i] / wi;
                     let better = ratio < best_ratio - tol
                         || (ratio < best_ratio + tol
-                            && pivot_row.is_none_or(|r| self.basis[i] < self.basis[r]));
+                            && pivot_row.is_none_or(|r| {
+                                if bland {
+                                    self.basis[i] < self.basis[r]
+                                } else {
+                                    wi > w[r]
+                                }
+                            }));
                     if better {
                         best_ratio = ratio;
                         pivot_row = Some(i);
@@ -541,6 +501,9 @@ impl RevisedSimplex {
             let Some(r) = pivot_row else {
                 return PhaseResult::Unbounded;
             };
+            if !bland {
+                self.update_devex(r, q, &w, limit);
+            }
             if !self.pivot(r, q, w) {
                 return PhaseResult::IterationLimit;
             }
@@ -550,12 +513,66 @@ impl RevisedSimplex {
             if current < last_obj - tol {
                 stall = 0;
                 last_obj = current;
+                bland = false;
             } else {
                 stall += 1;
-                if stall >= self.options.stall_threshold {
+                if stall >= self.options.stall_threshold && !bland {
                     bland = true;
+                    self.counters.pricing_fallbacks += 1;
                 }
             }
+        }
+    }
+
+    /// Reset the devex reference framework to unit weights (every column
+    /// is its own reference). Done at each phase boundary: the weights
+    /// approximate steepest-edge norms relative to the basis the
+    /// framework was anchored at, and a phase switch re-anchors.
+    fn reset_devex(&mut self) {
+        self.devex.iter_mut().for_each(|w| *w = 1.0);
+    }
+
+    /// Devex weight update for the pivot `(r, q)` with pivot column
+    /// `w = B^{-1} a_q` (pre-pivot basis). Using the pivot row
+    /// `rho = B^{-T} e_r`, every nonbasic column's weight becomes
+    /// `max(w_j, (alpha_j / alpha_q)^2 w_q)` where `alpha_j = rho · a_j`
+    /// (Forrest–Goldfarb reference-framework recurrence), and the
+    /// leaving variable re-enters the nonbasic pool with
+    /// `max(w_q / alpha_q^2, 1)`. Weights only ever grow within a
+    /// framework; past [`DEVEX_WEIGHT_CEILING`] the framework is
+    /// re-anchored to unit weights.
+    fn update_devex(&mut self, r: usize, q: usize, w: &[f64], limit: usize) {
+        let alpha_q = w[r];
+        if alpha_q.abs() <= PIVOT_MIN {
+            return;
+        }
+        let wq = self.devex[q].max(1.0);
+        let scale = wq / (alpha_q * alpha_q);
+        let mut rho = self.take_buffer();
+        rho[r] = 1.0;
+        self.apply_btran(&mut rho);
+        let mut peak = 0.0f64;
+        for j in 0..limit {
+            if self.position[j] != usize::MAX || j == q {
+                continue;
+            }
+            let mut alpha = 0.0;
+            for &(row, v) in &self.cols[j] {
+                alpha += rho[row as usize] * v;
+            }
+            if alpha != 0.0 {
+                let candidate = alpha * alpha * scale;
+                if candidate > self.devex[j] {
+                    self.devex[j] = candidate;
+                }
+            }
+            peak = peak.max(self.devex[j]);
+        }
+        self.retire_buffer(rho);
+        // The leaving variable joins the nonbasic pool.
+        self.devex[self.basis[r]] = scale.max(1.0);
+        if peak > DEVEX_WEIGHT_CEILING {
+            self.reset_devex();
         }
     }
 
@@ -778,7 +795,7 @@ impl RevisedSimplex {
                     self.scratch.push(w);
                     return self.refactor();
                 }
-                self.etas.push(Eta { row: pos, col: w });
+                self.push_eta(pos, w);
             }
             self.xb = self.ftran_b();
             true
@@ -1136,6 +1153,106 @@ mod tests {
                     p.add_constraint(row, op, rhs);
                 }
                 match (solve(&p), crate::simplex::solve_dense(&p)) {
+                    (
+                        LpOutcome::Optimal { objective: r, solution },
+                        LpOutcome::Optimal { objective: d, .. },
+                    ) => {
+                        prop_assert!((r - d).abs() < 1e-9,
+                            "revised {r} != dense {d}");
+                        prop_assert!(p.is_feasible(&solution, 1e-6));
+                    }
+                    (LpOutcome::Infeasible, LpOutcome::Infeasible)
+                    | (LpOutcome::Unbounded, LpOutcome::Unbounded) => {}
+                    other => prop_assert!(false, "outcome mismatch: {other:?}"),
+                }
+            }
+
+            // Degenerate-vertex programs: every constraint is active at
+            // the origin (rhs 0), so the first vertex is maximally
+            // degenerate and ties riddle the ratio test — exactly where
+            // devex-era cycling bugs would live. The engine must
+            // terminate and agree with the dense oracle. Bounding rows
+            // keep the program from being unbounded in most draws;
+            // when it is anyway, the engines must agree on that too.
+            #[test]
+            fn devex_terminates_on_degenerate_vertices(
+                nv in 2usize..5,
+                zero_rows in proptest::collection::vec(
+                    (proptest::collection::vec(-3.0f64..3.0, 5), 0usize..2), 2..7),
+                cost in proptest::collection::vec(-2.0f64..2.0, 5),
+                bound in 0.5f64..4.0,
+            ) {
+                let mut p = LpProblem::new();
+                for &c in cost.iter().take(nv) {
+                    p.add_variable(c);
+                }
+                // Active-at-origin rows: `a·x <= 0` or `a·x >= 0`.
+                for (coeffs, op) in &zero_rows {
+                    let row: Vec<(usize, f64)> =
+                        (0..nv).map(|i| (i, coeffs[i])).collect();
+                    let op = if *op == 0 {
+                        ConstraintOp::Le
+                    } else {
+                        ConstraintOp::Ge
+                    };
+                    p.add_constraint(row, op, 0.0);
+                }
+                // A box keeps the feasible cone bounded.
+                p.add_constraint(
+                    (0..nv).map(|i| (i, 1.0)).collect::<Vec<_>>(),
+                    ConstraintOp::Le,
+                    bound,
+                );
+                match (solve(&p), crate::simplex::solve_dense(&p)) {
+                    (
+                        LpOutcome::Optimal { objective: r, solution },
+                        LpOutcome::Optimal { objective: d, .. },
+                    ) => {
+                        prop_assert!((r - d).abs() < 1e-9,
+                            "revised {r} != dense {d}");
+                        prop_assert!(p.is_feasible(&solution, 1e-6));
+                    }
+                    (LpOutcome::Infeasible, LpOutcome::Infeasible)
+                    | (LpOutcome::Unbounded, LpOutcome::Unbounded) => {}
+                    other => prop_assert!(false, "outcome mismatch: {other:?}"),
+                }
+            }
+
+            // The same degenerate family with `stall_threshold: 1`, so
+            // the devex-to-Bland hand-over fires on the very first
+            // non-improving pivot: the fallback path itself must
+            // terminate at the oracle's optimum.
+            #[test]
+            fn bland_fallback_matches_dense_on_degenerate_vertices(
+                nv in 2usize..4,
+                zero_rows in proptest::collection::vec(
+                    (proptest::collection::vec(-2.0f64..2.0, 4), 0usize..2), 2..6),
+                cost in proptest::collection::vec(-2.0f64..2.0, 4),
+            ) {
+                let mut p = LpProblem::new();
+                for &c in cost.iter().take(nv) {
+                    p.add_variable(c);
+                }
+                for (coeffs, op) in &zero_rows {
+                    let row: Vec<(usize, f64)> =
+                        (0..nv).map(|i| (i, coeffs[i])).collect();
+                    let op = if *op == 0 {
+                        ConstraintOp::Le
+                    } else {
+                        ConstraintOp::Ge
+                    };
+                    p.add_constraint(row, op, 0.0);
+                }
+                p.add_constraint(
+                    (0..nv).map(|i| (i, 1.0)).collect::<Vec<_>>(),
+                    ConstraintOp::Le,
+                    1.0,
+                );
+                let options = SimplexOptions {
+                    stall_threshold: 1,
+                    ..SimplexOptions::default()
+                };
+                match (solve_with(&p, options), crate::simplex::solve_dense(&p)) {
                     (
                         LpOutcome::Optimal { objective: r, solution },
                         LpOutcome::Optimal { objective: d, .. },

@@ -43,10 +43,13 @@
 //! returned, forcing a cold refresh when drift ever won.
 
 use crate::problem::{ConstraintOp, LpProblem};
-use crate::revised::RevisedSimplex;
+use crate::revised::{EngineCounters, RevisedSimplex};
 use crate::simplex::{LpOutcome, SimplexOptions};
 
-/// Counters describing how a [`SimplexWorkspace`] resolved its solves.
+/// Counters describing how a [`SimplexWorkspace`] resolved its solves,
+/// plus the engine's factorization/pricing telemetry: path counters
+/// (`*_solves`, `*_fallbacks`) say *which* re-entry each solve took,
+/// the engine counters say what the basis machinery did along the way.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WarmStats {
     /// Solves that ran the full two-phase cold path.
@@ -64,16 +67,44 @@ pub struct WarmStats {
     /// (singular refreshed basis, blocked repair, failed verification);
     /// each also counts as a cold solve.
     pub refresh_fallbacks: usize,
+    /// Sparse-LU basis refactorizations (scheduled eta-limit rebuilds,
+    /// cold builds, and coefficient patches too broad to absorb).
+    pub refactorizations: usize,
+    /// Basis changes recorded as product-form eta updates.
+    pub eta_pivots: usize,
+    /// Longest eta file any FTRAN/BTRAN had to walk (peak, not a sum).
+    pub max_eta_chain: usize,
+    /// Worst L+U fill-in (stored nonzeros) any factorization produced
+    /// (peak, not a sum).
+    pub lu_fill_nnz: usize,
+    /// Devex-to-Bland pricing hand-overs (anti-cycling stalls).
+    pub pricing_fallbacks: usize,
 }
 
 impl WarmStats {
     /// Accumulate another workspace's counters (sweep-level reporting).
+    /// Count fields add; the two peak fields (`max_eta_chain`,
+    /// `lu_fill_nnz`) take the maximum.
     pub fn absorb(&mut self, other: WarmStats) {
         self.cold_solves += other.cold_solves;
         self.warm_solves += other.warm_solves;
         self.warm_fallbacks += other.warm_fallbacks;
         self.refresh_solves += other.refresh_solves;
         self.refresh_fallbacks += other.refresh_fallbacks;
+        self.refactorizations += other.refactorizations;
+        self.eta_pivots += other.eta_pivots;
+        self.max_eta_chain = self.max_eta_chain.max(other.max_eta_chain);
+        self.lu_fill_nnz = self.lu_fill_nnz.max(other.lu_fill_nnz);
+        self.pricing_fallbacks += other.pricing_fallbacks;
+    }
+
+    /// Fold one engine's drained telemetry into the totals.
+    pub(crate) fn absorb_engine(&mut self, c: EngineCounters) {
+        self.refactorizations += c.refactorizations;
+        self.eta_pivots += c.eta_pivots;
+        self.max_eta_chain = self.max_eta_chain.max(c.max_eta_chain);
+        self.lu_fill_nnz = self.lu_fill_nnz.max(c.lu_fill_nnz);
+        self.pricing_fallbacks += c.pricing_fallbacks;
     }
 
     /// Total solves recorded.
@@ -154,7 +185,12 @@ impl SimplexWorkspace {
                 } else {
                     None
                 };
-                if let Some(outcome) = attempt.and_then(|e| finish_warm(e, problem)) {
+                let outcome = attempt.and_then(|e| finish_warm(e, problem));
+                // Telemetry accrues even on a failed attempt (partial
+                // repairs still refactorize and push etas).
+                let drained = saved.engine.take_counters();
+                self.stats.absorb_engine(drained);
+                if let Some(outcome) = outcome {
                     saved.values = values;
                     if rhs_only {
                         self.stats.warm_solves += 1;
@@ -181,6 +217,8 @@ impl SimplexWorkspace {
             return LpOutcome::IterationLimit { iterations: 0 };
         };
         let outcome = engine.run(problem);
+        let drained = engine.take_counters();
+        self.stats.absorb_engine(drained);
         if matches!(outcome, LpOutcome::Optimal { .. }) {
             self.saved = Some(Saved {
                 pattern,
@@ -467,9 +505,18 @@ mod tests {
             warm_fallbacks: 3,
             refresh_solves: 4,
             refresh_fallbacks: 5,
+            refactorizations: 6,
+            eta_pivots: 7,
+            max_eta_chain: 8,
+            lu_fill_nnz: 90,
+            pricing_fallbacks: 1,
         });
         total.absorb(WarmStats {
             cold_solves: 10,
+            refactorizations: 2,
+            eta_pivots: 3,
+            max_eta_chain: 4,
+            lu_fill_nnz: 120,
             ..WarmStats::default()
         });
         assert_eq!(total.cold_solves, 11);
@@ -477,7 +524,35 @@ mod tests {
         assert_eq!(total.warm_fallbacks, 3);
         assert_eq!(total.refresh_solves, 4);
         assert_eq!(total.refresh_fallbacks, 5);
+        // Counts sum; the two peak fields take the max.
+        assert_eq!(total.refactorizations, 8);
+        assert_eq!(total.eta_pivots, 10);
+        assert_eq!(total.max_eta_chain, 8);
+        assert_eq!(total.lu_fill_nnz, 120);
+        assert_eq!(total.pricing_fallbacks, 1);
         assert_eq!(total.total_solves(), 17);
+    }
+
+    #[test]
+    fn engine_counters_reach_warm_stats() {
+        // A cold solve must record at least the build factorization and
+        // its fill-in; a warm rhs patch keeps accruing on the same
+        // workspace.
+        let mut ws = SimplexWorkspace::new();
+        let mut p = min_max_problem(&[0.0, 0.0]);
+        ws.solve(&p);
+        let after_cold = ws.stats();
+        assert!(after_cold.refactorizations >= 1, "{after_cold:?}");
+        assert!(after_cold.lu_fill_nnz >= 3, "{after_cold:?}");
+        assert!(after_cold.eta_pivots >= 1, "{after_cold:?}");
+        p.set_rhs(1, -1.5);
+        ws.solve(&p);
+        let after_warm = ws.stats();
+        assert!(
+            after_warm.refactorizations >= after_cold.refactorizations,
+            "{after_warm:?}"
+        );
+        assert!(after_warm.max_eta_chain >= 1, "{after_warm:?}");
     }
 
     mod proptests {

@@ -484,8 +484,11 @@ pub fn run_growth(universe: &Universe, cfg: &ExpConfig, factors: &[f64]) -> Grow
     out
 }
 
-/// Print one sweep's LP warm/cold/refresh counters: how often the warm
-/// path actually held across the sweep's re-solves.
+/// Print one sweep's LP warm/cold/refresh counters — how often the warm
+/// path actually held across the sweep's re-solves — plus the engine's
+/// factorization/pricing telemetry, so a slow-looking sweep is
+/// diagnosable from its output (basis churn vs fill-in vs anti-cycling
+/// stalls).
 pub fn print_lp_stats(stats: &WarmStats) {
     println!(
         "   LP solves: {} cold, {} warm (rhs re-entry, {} fell back), \
@@ -495,6 +498,15 @@ pub fn print_lp_stats(stats: &WarmStats) {
         stats.warm_fallbacks,
         stats.refresh_solves,
         stats.refresh_fallbacks
+    );
+    println!(
+        "   LP engine: {} refactorizations, {} eta pivots \
+         (longest chain {}), peak LU fill {} nnz, {} Bland fallbacks",
+        stats.refactorizations,
+        stats.eta_pivots,
+        stats.max_eta_chain,
+        stats.lu_fill_nnz,
+        stats.pricing_fallbacks
     );
 }
 

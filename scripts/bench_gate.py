@@ -29,10 +29,19 @@ coefficient-patch re-solves stay at least twice as fast as cold ones.
 Ratios are machine-independent (both rows come from the same run), so
 they hold absolutely, not merely relative to the suite.
 
+``--require-row NAME`` (repeatable) asserts that the current report
+contains a row named ``NAME``. The per-row comparison already flags
+rows that exist in the baseline but vanished from the current run;
+``--require-row`` is stronger — it pins the contract in the CI
+invocation itself, so a row silently dropped from *both* the bench
+suite and the regenerated baseline (the failure mode that cost us the
+``simplex/warm_rhs`` row) still fails the gate.
+
 Usage:
     bench_gate.py --baseline BENCH_engine.json --current fresh.json \
                   [--threshold 25] [--absolute] \
-                  [--require-ratio num:den:min ...]
+                  [--require-ratio num:den:min ...] \
+                  [--require-row name ...]
     bench_gate.py --self-test
 """
 
@@ -118,6 +127,20 @@ def check_ratios(current, specs):
     return failures, lines
 
 
+def check_required_rows(current, names):
+    """Return (failures, lines): every name must be a row of the
+    current report."""
+    failures = []
+    lines = []
+    for name in names:
+        if name in current:
+            lines.append(f"row ok   {name}: {current[name]:.0f} ns")
+        else:
+            failures.append(name)
+            lines.append(f"ROW      {name}: required row missing from current report")
+    return failures, lines
+
+
 def self_test():
     base = {"a": 100.0, "b": 200.0, "c": 1000.0}
 
@@ -157,6 +180,23 @@ def self_test():
     fails, _ = check_ratios(cur, ["grid/cold:grid/missing:2.0"])
     assert len(fails) == 1, f"missing ratio row not flagged: {fails}"
 
+    # Required rows: present rows pass, a row dropped from the bench
+    # suite (and hence from a regenerated baseline) still fails.
+    cur = {
+        "simplex/cold": 20000.0,
+        "simplex/warm_rhs": 4000.0,
+        "simplex/warm_coeff": 1400.0,
+    }
+    fails, _ = check_required_rows(
+        cur, ["simplex/cold", "simplex/warm_rhs", "simplex/warm_coeff"]
+    )
+    assert not fails, f"present required rows tripped the gate: {fails}"
+    del cur["simplex/warm_rhs"]
+    fails, _ = check_required_rows(
+        cur, ["simplex/cold", "simplex/warm_rhs", "simplex/warm_coeff"]
+    )
+    assert fails == ["simplex/warm_rhs"], f"dropped row not flagged: {fails}"
+
     print("bench_gate self-test: ok")
 
 
@@ -185,6 +225,14 @@ def main():
         help="require current[NUM] / current[DEN] >= MIN (repeatable; "
         "evaluated within the current report, so machine-independent)",
     )
+    parser.add_argument(
+        "--require-row",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="require the current report to contain a row named NAME "
+        "(repeatable; catches rows silently dropped from the bench suite)",
+    )
     parser.add_argument("--self-test", action="store_true")
     args = parser.parse_args()
 
@@ -207,9 +255,10 @@ def main():
     except ValueError as exc:
         print(f"bench_gate: {exc}", file=sys.stderr)
         return 2
-    for line in lines + ratio_lines:
+    row_failures, row_lines = check_required_rows(current, args.require_row)
+    for line in lines + ratio_lines + row_lines:
         print(line)
-    if regressions or ratio_failures:
+    if regressions or ratio_failures or row_failures:
         if regressions:
             print(
                 f"bench_gate: {len(regressions)} row(s) regressed beyond "
@@ -222,10 +271,18 @@ def main():
                 "ratio(s) not met",
                 file=sys.stderr,
             )
+        if row_failures:
+            print(
+                f"bench_gate: {len(row_failures)} required row(s) missing "
+                "from the current report",
+                file=sys.stderr,
+            )
         return 1
     verdict = f"bench_gate: all rows within {args.threshold:.0f}%"
     if args.require_ratio:
         verdict += f"; {len(args.require_ratio)} ratio requirement(s) ok"
+    if args.require_row:
+        verdict += f"; {len(args.require_row)} required row(s) present"
     print(verdict)
     return 0
 
