@@ -497,12 +497,73 @@ fn bench_broker(c: &mut Criterion) {
     group.finish();
 }
 
+/// The churn driver's steady-state feed, replayed incrementally versus
+/// rebuilt from scratch after every event. `replay` drives one pair's
+/// seeded 60-event feed (load drift + flow churn, no topology flaps)
+/// through [`nexit_sim::churn::ChurnDriver`] — cached gain rows,
+/// recycled arenas, warm LP re-entry; `cold_replay` applies the same
+/// feed to the logical state only and pays a full cold rebuild (fresh
+/// mappers, fresh negotiation, cold LP) per event. Their ratio is the
+/// delta path's whole-feed win, gated at >= 2x in CI; per-event
+/// percentiles live in `experiments churn`.
+fn bench_churn(c: &mut Criterion) {
+    use nexit_sim::churn::{self, ChurnConfig, ChurnDriver, ChurnPair, LogicalState};
+
+    let universe = churn::universe();
+    let cfg = ChurnConfig::default();
+    // Deterministically pick the smallest eligible pair with enough
+    // flows that single-flow events stay under the impact threshold:
+    // the delta path (not the cold fallback) is what the row prices,
+    // and a compact LP keeps per-iteration time CI-friendly.
+    let flows_of = |i: usize| {
+        let p = &universe.pairs[i];
+        universe.isps[p.isp_a.index()].num_pops() * universe.isps[p.isp_b.index()].num_pops()
+    };
+    let idx = universe
+        .eligible_pairs(3, false)
+        .into_iter()
+        .filter(|&i| flows_of(i) >= 48)
+        .min_by_key(|&i| flows_of(i))
+        .expect("universe yields an eligible pair with 48+ flows");
+    let pair = ChurnPair::build(&universe, idx, 0);
+    let initial = churn::initial_active(&pair, 42);
+    let trace = churn::generate_trace(&pair, &initial, 60, 42);
+
+    let mut group = c.benchmark_group("churn");
+    group.sample_size(10);
+    group.bench_function("replay", |bencher| {
+        bencher.iter(|| {
+            let mut driver = ChurnDriver::new(&pair, initial.clone(), cfg);
+            let mut acc = 0u64;
+            for event in &trace {
+                driver.apply(event);
+                acc += driver.last_work();
+            }
+            acc
+        });
+    });
+    group.bench_function("cold_replay", |bencher| {
+        bencher.iter(|| {
+            let mut state = LogicalState::new(initial.clone());
+            let mut acc = 0u64;
+            for event in &trace {
+                state.apply(&pair, event.kind);
+                let (_, work) = churn::cold_rebuild(&pair, &state, &cfg);
+                acc += work;
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_engine,
     bench_scenario_sweep,
     bench_model_grid,
     bench_simplex,
-    bench_broker
+    bench_broker,
+    bench_churn
 );
 criterion_main!(benches);

@@ -1,0 +1,330 @@
+//! Delta hooks for incremental re-negotiation under churn.
+//!
+//! A batch sweep computes every preference row from scratch for every
+//! session; a streaming driver processing one churn event at a time
+//! cannot afford that — a single flow arrival invalidates exactly one
+//! row of the pair's gain table, and recomputing the other thousands is
+//! pure waste. [`GainCache`] is the memo layer that makes the delta
+//! path work: it holds one full-pair gain table per (topology variant,
+//! side), tracks per-row validity, and serves session fills by copying
+//! cached rows bit-identically — so a negotiation run against the cache
+//! is byte-for-byte the negotiation a cold session would produce, while
+//! touching only the rows an event actually invalidated.
+//!
+//! [`CachedDistanceMapper`] is the [`PreferenceMapper`] that plugs the
+//! cache into the machine: the §5.1 distance objective's gains depend
+//! only on the flow, its default, and the interconnection geometry —
+//! never on other flows' routing — so a row, once computed for a
+//! topology variant, stays valid across arbitrary flow add/remove and
+//! load churn. Drivers invalidate rows explicitly (or wholesale via
+//! [`GainCache::invalidate_all`] on a cold fallback); the cache never
+//! guesses.
+//!
+//! The backing table participates in [`TableArena`] recycling
+//! ([`GainCache::new_in`] / [`GainCache::recycle`]), so a driver that
+//! rebuilds caches on topology flaps allocates each buffer once.
+
+use crate::arena::{GainTable, TableArena};
+use crate::engine::SessionInput;
+use crate::mapping::PreferenceMapper;
+use crate::outcome::Side;
+use nexit_routing::{Assignment, PairFlows};
+
+/// Per-row memo of one side's full-pair gain table, with explicit
+/// invalidation. Rows are keyed by **pair** flow index (not session
+/// index), so any session over a subset of the pair's flows can be
+/// served from the same cache.
+#[derive(Debug)]
+pub struct GainCache {
+    /// Cached rows, `num_flows x num_alternatives` (flat, arena-backed).
+    table: GainTable,
+    /// Whether each row holds a current value.
+    valid: Vec<bool>,
+    /// The default alternative each cached row was computed against
+    /// (a row's gains are relative to its default, so a default change
+    /// must invalidate it).
+    row_default: Vec<usize>,
+    /// Rows recomputed since construction (the delta path's work meter).
+    refreshed: u64,
+    /// Rows served straight from the cache.
+    served: u64,
+}
+
+impl GainCache {
+    /// An empty cache for `num_flows` pair flows with `num_alts`
+    /// alternatives each; every row starts invalid.
+    pub fn new(num_flows: usize, num_alts: usize) -> Self {
+        Self::new_in(&mut TableArena::new(), num_flows, num_alts)
+    }
+
+    /// [`GainCache::new`] drawing the backing table from `arena`.
+    pub fn new_in(arena: &mut TableArena, num_flows: usize, num_alts: usize) -> Self {
+        Self {
+            table: arena.gain_table(num_flows, num_alts),
+            valid: vec![false; num_flows],
+            row_default: vec![usize::MAX; num_flows],
+            refreshed: 0,
+            served: 0,
+        }
+    }
+
+    /// Retire the cache, returning its backing table to `arena`.
+    pub fn recycle(self, arena: &mut TableArena) {
+        arena.recycle_gain(self.table);
+    }
+
+    /// Rows the cache covers.
+    pub fn num_flows(&self) -> usize {
+        self.valid.len()
+    }
+
+    /// Alternatives per row.
+    pub fn num_alternatives(&self) -> usize {
+        self.table.num_alternatives()
+    }
+
+    /// Rows recomputed since construction.
+    pub fn refreshed(&self) -> u64 {
+        self.refreshed
+    }
+
+    /// Rows served from the cache since construction.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Drop one row's cached value (e.g. the flow an event touched).
+    pub fn invalidate(&mut self, flow: usize) {
+        self.valid[flow] = false;
+    }
+
+    /// Drop every cached row — the cold-fallback reset. Counters are
+    /// preserved (they meter cumulative work, not cache contents).
+    pub fn invalidate_all(&mut self) {
+        self.valid.iter_mut().for_each(|v| *v = false);
+    }
+
+    /// Number of currently valid rows.
+    pub fn valid_rows(&self) -> usize {
+        self.valid.iter().filter(|&&v| v).count()
+    }
+
+    /// Serve one row: if the cached value is current for `default`,
+    /// return it; otherwise run `fill` into the row, record the refresh,
+    /// and return the fresh value. The returned slice is bit-identical
+    /// to what `fill` would write — caching never perturbs a value.
+    pub fn row_or_fill(
+        &mut self,
+        flow: usize,
+        default: usize,
+        fill: impl FnOnce(&mut [f64]),
+    ) -> &[f64] {
+        if !self.valid[flow] || self.row_default[flow] != default {
+            fill(self.table.row_mut(flow));
+            self.valid[flow] = true;
+            self.row_default[flow] = default;
+            self.refreshed += 1;
+        } else {
+            self.served += 1;
+        }
+        self.table.row(flow)
+    }
+}
+
+/// The §5.1 distance objective served through a [`GainCache`]: rows for
+/// flows the cache already holds are copied bit-identically; only
+/// invalidated (or never-computed) rows touch the metric. One cache
+/// must be keyed to one (side, topology variant) — distance gains are
+/// static within a variant, so validity survives any amount of flow and
+/// load churn until the driver invalidates.
+pub struct CachedDistanceMapper<'a> {
+    side: Side,
+    flows: &'a PairFlows,
+    cache: &'a mut GainCache,
+}
+
+impl<'a> CachedDistanceMapper<'a> {
+    /// Mapper for one side of the pair, memoized through `cache` (whose
+    /// shape must match the pair: one row per pair flow, one column per
+    /// interconnection of this topology variant).
+    pub fn new(side: Side, flows: &'a PairFlows, cache: &'a mut GainCache) -> Self {
+        debug_assert_eq!(cache.num_flows(), flows.len(), "cache shaped for the pair");
+        Self { side, flows, cache }
+    }
+}
+
+impl PreferenceMapper for CachedDistanceMapper<'_> {
+    fn gains(&mut self, input: &SessionInput, _current: &Assignment, out: &mut GainTable) {
+        for (i, (&fid, &default)) in input.flow_ids.iter().zip(&input.defaults).enumerate() {
+            let m = &self.flows.metrics[fid.index()];
+            let side = self.side;
+            let row = self.cache.row_or_fill(fid.index(), default.index(), |row| {
+                let km = |alt: usize| match side {
+                    Side::A => m.up_km[alt],
+                    Side::B => m.down_km[alt],
+                };
+                let base = km(default.index());
+                for (alt, cell) in row.iter_mut().enumerate() {
+                    *cell = base - km(alt);
+                }
+            });
+            out.row_mut(i).copy_from_slice(row);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::DistanceMapper;
+    use nexit_routing::{Assignment, FlowId, PairFlows, ShortestPaths};
+    use nexit_topology::{
+        GeoPoint, IcxId, Interconnection, IspId, IspPair, IspTopology, Link, PairView, Pop, PopId,
+    };
+
+    fn pop(city: &str, lon: f64) -> Pop {
+        Pop {
+            city: city.into(),
+            geo: GeoPoint::new(0.0, lon),
+            weight: 1.0,
+        }
+    }
+
+    fn line(id: u32, n: usize) -> IspTopology {
+        let pops = (0..n).map(|i| pop(&format!("c{i}"), i as f64)).collect();
+        let links = (0..n - 1)
+            .map(|i| Link {
+                a: PopId::new(i),
+                b: PopId::new(i + 1),
+                weight: 100.0,
+                length_km: 100.0,
+            })
+            .collect();
+        IspTopology::new(IspId(id), format!("L{id}"), pops, links, false).unwrap()
+    }
+
+    fn fixture() -> (IspTopology, IspTopology, IspPair) {
+        let a = line(0, 3);
+        let b = line(1, 3);
+        let pair = IspPair::new(
+            &a,
+            &b,
+            vec![
+                Interconnection {
+                    pop_a: PopId(0),
+                    pop_b: PopId(0),
+                    length_km: 0.0,
+                },
+                Interconnection {
+                    pop_a: PopId(2),
+                    pop_b: PopId(2),
+                    length_km: 0.0,
+                },
+            ],
+        )
+        .unwrap();
+        (a, b, pair)
+    }
+
+    fn session(flows: &PairFlows, ids: &[usize], k: usize) -> SessionInput {
+        SessionInput {
+            flow_ids: ids.iter().map(|&i| FlowId::new(i)).collect(),
+            defaults: vec![IcxId(0); ids.len()],
+            volumes: ids.iter().map(|&i| flows.flows[i].volume).collect(),
+            num_alternatives: k,
+        }
+    }
+
+    #[test]
+    fn cached_rows_are_bit_identical_to_fresh() {
+        let (a, b, pair) = fixture();
+        let view = PairView::new(&a, &b, &pair);
+        let sp_a = ShortestPaths::compute(&a);
+        let sp_b = ShortestPaths::compute(&b);
+        let flows = PairFlows::build(&view, &sp_a, &sp_b, |_, _| 1.0);
+        let k = view.num_interconnections();
+        let ids: Vec<usize> = (0..flows.len()).collect();
+        let input = session(&flows, &ids, k);
+        let current = Assignment::uniform(flows.len(), IcxId(0));
+
+        let mut fresh = GainTable::new(ids.len(), k);
+        DistanceMapper::new(Side::A, &flows).gains(&input, &current, &mut fresh);
+
+        let mut cache = GainCache::new(flows.len(), k);
+        let mut cached = GainTable::new(ids.len(), k);
+        // First pass fills, second serves; both must equal the fresh fill.
+        for _ in 0..2 {
+            cached.reset(ids.len(), k);
+            CachedDistanceMapper::new(Side::A, &flows, &mut cache).gains(
+                &input,
+                &current,
+                &mut cached,
+            );
+            assert_eq!(fresh.values(), cached.values());
+        }
+        assert_eq!(cache.refreshed(), ids.len() as u64);
+        assert_eq!(cache.served(), ids.len() as u64);
+    }
+
+    #[test]
+    fn invalidation_is_per_row() {
+        let (a, b, pair) = fixture();
+        let view = PairView::new(&a, &b, &pair);
+        let sp_a = ShortestPaths::compute(&a);
+        let sp_b = ShortestPaths::compute(&b);
+        let flows = PairFlows::build(&view, &sp_a, &sp_b, |_, _| 1.0);
+        let k = view.num_interconnections();
+        let ids: Vec<usize> = (0..flows.len()).collect();
+        let input = session(&flows, &ids, k);
+        let current = Assignment::uniform(flows.len(), IcxId(0));
+
+        let mut cache = GainCache::new(flows.len(), k);
+        let mut out = GainTable::new(ids.len(), k);
+        CachedDistanceMapper::new(Side::B, &flows, &mut cache).gains(&input, &current, &mut out);
+        assert_eq!(cache.valid_rows(), flows.len());
+
+        cache.invalidate(3);
+        assert_eq!(cache.valid_rows(), flows.len() - 1);
+        let before = cache.refreshed();
+        out.reset(ids.len(), k);
+        CachedDistanceMapper::new(Side::B, &flows, &mut cache).gains(&input, &current, &mut out);
+        assert_eq!(cache.refreshed(), before + 1, "only row 3 recomputes");
+
+        cache.invalidate_all();
+        assert_eq!(cache.valid_rows(), 0);
+    }
+
+    #[test]
+    fn subset_sessions_share_the_cache() {
+        let (a, b, pair) = fixture();
+        let view = PairView::new(&a, &b, &pair);
+        let sp_a = ShortestPaths::compute(&a);
+        let sp_b = ShortestPaths::compute(&b);
+        let flows = PairFlows::build(&view, &sp_a, &sp_b, |_, _| 1.0);
+        let k = view.num_interconnections();
+        let current = Assignment::uniform(flows.len(), IcxId(0));
+
+        let mut cache = GainCache::new(flows.len(), k);
+        let first = session(&flows, &[0, 2, 4], k);
+        let mut out = GainTable::new(3, k);
+        CachedDistanceMapper::new(Side::A, &flows, &mut cache).gains(&first, &current, &mut out);
+        assert_eq!(cache.refreshed(), 3);
+
+        // An overlapping session refreshes only the unseen rows.
+        let second = session(&flows, &[0, 2, 3, 4], k);
+        let mut out = GainTable::new(4, k);
+        CachedDistanceMapper::new(Side::A, &flows, &mut cache).gains(&second, &current, &mut out);
+        assert_eq!(cache.refreshed(), 4);
+        assert_eq!(cache.served(), 3);
+    }
+
+    #[test]
+    fn recycling_reuses_the_backing_table() {
+        let mut arena = TableArena::new();
+        let cache = GainCache::new_in(&mut arena, 8, 3);
+        cache.recycle(&mut arena);
+        let again = GainCache::new_in(&mut arena, 8, 3);
+        assert_eq!(again.num_flows(), 8);
+        assert_eq!(again.valid_rows(), 0);
+    }
+}

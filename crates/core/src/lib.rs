@@ -32,6 +32,7 @@
 
 pub mod arena;
 pub mod cheating;
+pub mod delta;
 pub mod engine;
 pub mod index;
 pub mod machine;
@@ -44,6 +45,7 @@ pub mod selection;
 
 pub use arena::{FlowRange, GainTable, TableArena};
 pub use cheating::DisclosurePolicy;
+pub use delta::{CachedDistanceMapper, GainCache};
 pub use engine::{negotiate, negotiate_in, Party, SessionBuilder, SessionError, SessionInput};
 pub use index::CandidateIndex;
 pub use machine::{Action, Event, MachineError, MachineOutcome, NegotiationMachine};

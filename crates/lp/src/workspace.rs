@@ -111,6 +111,24 @@ impl WarmStats {
     pub fn total_solves(&self) -> usize {
         self.cold_solves + self.warm_solves + self.refresh_solves
     }
+
+    /// Solves answered without a cold two-phase start: rhs re-entries
+    /// through the saved basis plus coefficient-patch column refreshes.
+    /// Streaming drivers report this to show their event loop actually
+    /// re-enters warm instead of silently falling back.
+    pub fn warm_reentries(&self) -> usize {
+        self.warm_solves + self.refresh_solves
+    }
+
+    /// Fraction of all solves answered warm (0 when nothing solved).
+    pub fn warm_fraction(&self) -> f64 {
+        let total = self.total_solves();
+        if total == 0 {
+            0.0
+        } else {
+            self.warm_reentries() as f64 / total as f64
+        }
+    }
 }
 
 /// A reusable simplex solver that warm-starts patched problems from the

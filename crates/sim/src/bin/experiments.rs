@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! experiments [all|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fraction|prange|groups|modes|models|dest|growth|broker|faults]
+//! experiments [all|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fraction|prange|groups|modes|models|dest|growth|broker|faults|churn]
 //!             [--smoke] [--pairs N] [--seed N] [--threads N]
 //! ```
 //!
@@ -12,6 +12,7 @@
 //! default: all available cores). Results are byte-identical for every
 //! thread count — parallelism only changes wall-clock time.
 
+use nexit_sim::churn;
 use nexit_sim::experiments::{
     ablation, bandwidth, broker, cheating, distance, diverse, faults, filters,
 };
@@ -20,7 +21,7 @@ use nexit_topology::{GeneratorConfig, TopologyGenerator, Universe};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [all|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fraction|prange|groups|modes|models|dest|growth|broker|faults] [--smoke] [--pairs N] [--seed N] [--threads N]"
+        "usage: experiments [all|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fraction|prange|groups|modes|models|dest|growth|broker|faults|churn] [--smoke] [--pairs N] [--seed N] [--threads N]"
     );
     std::process::exit(2);
 }
@@ -73,8 +74,11 @@ fn main() {
 
     const TARGETS: &[&str] = &[
         "all", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fraction",
-        "prange", "groups", "modes", "models", "dest", "growth", "broker", "faults",
+        "prange", "groups", "modes", "models", "dest", "growth", "broker", "faults", "churn",
     ];
+    // Targets `all` does NOT cover: they pin their own workloads or
+    // universes and run only when named (see below).
+    const NAMED_ONLY: &[&str] = &["broker", "faults", "churn"];
     if !TARGETS.contains(&target.as_str()) {
         eprintln!("unknown target `{target}`");
         usage();
@@ -120,6 +124,35 @@ fn main() {
             std::process::exit(1);
         }
         return;
+    }
+
+    // The churn target replays seeded event feeds through the
+    // incremental re-negotiation driver on its own pinned universe;
+    // like `broker` and `faults` it runs only when named explicitly and
+    // exits non-zero on any divergence from the per-prefix cold
+    // rebuild, nondeterminism across worker counts, or an
+    // incremental-vs-cold latency-ratio regression.
+    if target == "churn" {
+        let pairs = cfg.max_pairs.unwrap_or(24);
+        let events = if cfg.max_pairs.is_some() { 60 } else { 250 };
+        eprintln!(
+            "running churn sweep ({pairs} pairs x {events} events, {} worker(s)) ...",
+            nexit_sim::parallel::resolve_threads(cfg.threads),
+        );
+        let r = churn::run(pairs, events, cfg.threads, cfg.seed);
+        churn::report(&r);
+        if !r.violations.is_empty() {
+            eprintln!("churn acceptance violated!");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    if target == "all" {
+        eprintln!(
+            "note: `all` skips the named-only targets: {} (run each explicitly to cover it)",
+            NAMED_ONLY.join(", ")
+        );
     }
 
     eprintln!(

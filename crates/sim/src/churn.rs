@@ -1,0 +1,1020 @@
+//! Streaming churn driver (`experiments churn`): incremental
+//! re-negotiation under live traffic.
+//!
+//! Every other experiment is batch — build a universe, negotiate once,
+//! sweep. This module is the online path: a deterministic, seeded feed
+//! of timestamped [`ChurnEvent`]s (flow arrivals/departures, background
+//! load drift, interconnection failures and restorations) drives a
+//! [`ChurnDriver`] that keeps one live negotiated state per pair and
+//! re-derives, per event, **only what the event invalidated**:
+//!
+//! * the flow set defines the negotiation table: active flows are
+//!   negotiated, inactive flows ride their defaults as background
+//!   traffic — exactly the impacted/residual split of the optimal-MEL
+//!   LP, so the two layers share one state model;
+//! * gain rows live in per-(variant, side) [`GainCache`]s (arena-backed
+//!   memo tables from `nexit_core::delta`): a flow event refreshes one
+//!   row, everything else is served bit-identically from the cache, so
+//!   the re-entered negotiation machine is byte-for-byte the session a
+//!   cold build would run;
+//! * the optimal-MEL baseline re-solves through the retained
+//!   [`BandwidthLp`] workspaces: a load delta is an rhs-only patch
+//!   (dual-simplex re-entry — the growth sweep's ladder, folded in as
+//!   batched load events), a flow event a coefficient refresh, and a
+//!   topology flap re-enters the flapped variant's own retained basis;
+//! * when an event's impacted set exceeds the driver's impact threshold
+//!   (default 5%, the `reassignment_5pct` pacing generalized), the
+//!   driver falls back to a full cold session: caches invalidated
+//!   wholesale, every row recomputed. Interconnection failures always
+//!   take this path — they change every row's alternative set.
+//!
+//! Correctness is replay-checked: after every event the driver's state
+//! is compared against a from-scratch cold negotiation of the same
+//! prefix state (fresh mappers, fresh tables, fresh machines, cold LP).
+//! Assignments must be **byte-identical** — the cache layer may never
+//! perturb a negotiation decision — and any divergence is a hard
+//! violation that exits the binary non-zero, making `churn --smoke` a
+//! CI gate. Determinism is pinned the same way: the sweep reruns at
+//! 1/2/4 workers and must reproduce identical assignments and
+//! identical per-event work series.
+//!
+//! Latency is reported two ways: wall-clock per-event re-negotiation
+//! latency (p50/p99 [`StreamingCdf`]s, incremental vs cold twin — the
+//! headline claim) and a deterministic *work* meter (gain rows
+//! refreshed + negotiation rounds + LP pivots) whose series is
+//! reproducible across runs and thread counts, used by the determinism
+//! tests where wall-clock cannot be.
+
+use crate::cdf::StreamingCdf;
+use crate::pairdata::PairData;
+use crate::parallel::par_map;
+use nexit_baselines::{BandwidthLp, OptimalBandwidthError};
+use nexit_core::{
+    negotiate, negotiate_in, CachedDistanceMapper, DistanceMapper, GainCache, NexitConfig, Party,
+    Side, TableArena, Termination,
+};
+use nexit_lp::WarmStats;
+use nexit_routing::{Assignment, FlowId};
+use nexit_topology::{GeneratorConfig, IcxId, TopologyGenerator, Universe};
+use nexit_workload::{assign_capacities, link_loads, CapacityModel, WorkloadModel};
+use std::time::Instant;
+
+/// What one churn event does to a pair's live state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChurnKind {
+    /// A flow joins the negotiation table (it was background traffic).
+    FlowAdd(FlowId),
+    /// A flow leaves the table and reverts to its default route.
+    FlowRemove(FlowId),
+    /// Background (non-negotiated) traffic drifts to `factor` times its
+    /// nominal volume — one step of the growth sweep's ladder, applied
+    /// online as an rhs-only warm LP re-solve.
+    LoadDelta {
+        /// New absolute background scale.
+        factor: f64,
+    },
+    /// An interconnection fails: negotiation moves to the reduced pair.
+    LinkFail(IcxId),
+    /// The failed interconnection heals: back to the full pair.
+    LinkRestore,
+}
+
+/// One timestamped event of a pair's feed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnEvent {
+    /// Event time in ticks (strictly increasing within a feed).
+    pub tick: u64,
+    /// What happened.
+    pub kind: ChurnKind,
+}
+
+/// Driver knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnConfig {
+    /// Impacted fraction of the active set above which the driver runs
+    /// a full cold session instead of the delta path.
+    pub impact_threshold: f64,
+    /// Skip the optimal-MEL baseline for pairs whose LP would exceed
+    /// this many variables.
+    pub max_lp_variables: usize,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        Self {
+            impact_threshold: 0.05,
+            max_lp_variables: 6_000,
+        }
+    }
+}
+
+/// Static per-pair data the churn state machine switches between: the
+/// full pair plus one reduced variant per failable interconnection,
+/// and the capacity model fixed from pre-churn loads.
+pub struct ChurnPair<'u> {
+    /// Topology variants; index 0 is the full pair, the rest reduced.
+    pub variants: Vec<PairData<'u>>,
+    /// Which interconnection each variant lacks (`None` for the full
+    /// pair), parallel to `variants`.
+    pub variant_failed: Vec<Option<IcxId>>,
+    /// Upstream link capacities (assigned from pre-churn default loads).
+    pub caps_up: Vec<f64>,
+    /// Downstream link capacities.
+    pub caps_down: Vec<f64>,
+}
+
+impl<'u> ChurnPair<'u> {
+    /// Prepare one pair: build the full dataset, capacitate its links
+    /// from the default (pre-churn) loads, and prebuild up to
+    /// `max_failures` reduced variants (reusing the full pair's
+    /// shortest-path matrices).
+    pub fn build(universe: &'u Universe, pair_idx: usize, max_failures: usize) -> Self {
+        let pair = &universe.pairs[pair_idx];
+        let a = &universe.isps[pair.isp_a.index()];
+        let b = &universe.isps[pair.isp_b.index()];
+        let full = PairData::build(a, b, pair.clone(), WorkloadModel::Identical);
+
+        let pre_loads = link_loads(&full.view(), &full.paths, &full.flows, &full.default);
+        let caps_up = assign_capacities(&CapacityModel::default(), &pre_loads.up);
+        let caps_down = assign_capacities(&CapacityModel::default(), &pre_loads.down);
+
+        let mut variants = vec![];
+        let mut variant_failed = vec![None];
+        let mut reduced = Vec::new();
+        for failed in 0..full.pair.num_interconnections() {
+            if reduced.len() >= max_failures {
+                break;
+            }
+            let failed_icx = IcxId::new(failed);
+            let (reduced_pair, _mapping) = full.pair.without_interconnection(failed_icx);
+            if reduced_pair.num_interconnections() < 2 {
+                continue; // nothing left to negotiate over
+            }
+            reduced.push(full.build_reduced(reduced_pair, WorkloadModel::Identical));
+            variant_failed.push(Some(failed_icx));
+        }
+        variants.push(full);
+        variants.extend(reduced);
+        Self {
+            variants,
+            variant_failed,
+            caps_up,
+            caps_down,
+        }
+    }
+
+    /// Flows of the pair (identical across variants).
+    pub fn num_flows(&self) -> usize {
+        self.variants[0].flows.len()
+    }
+
+    /// Interconnections that can fail (those with a prepared variant).
+    pub fn failable(&self) -> Vec<IcxId> {
+        self.variant_failed.iter().filter_map(|f| *f).collect()
+    }
+
+    /// Variant index for a failure state.
+    fn variant_for(&self, failed: Option<IcxId>) -> usize {
+        self.variant_failed
+            .iter()
+            .position(|f| *f == failed)
+            .expect("failure state has a prepared variant")
+    }
+}
+
+/// The logical (pre-negotiation) state an event feed evolves: which
+/// flows are on the table, the background scale, and the topology
+/// variant. Shared by the incremental driver, the cold replayer and
+/// the trace generator so all three agree on event semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogicalState {
+    /// Table membership per pair flow.
+    pub active: Vec<bool>,
+    /// Number of active flows.
+    pub num_active: usize,
+    /// Background traffic scale (1.0 = nominal).
+    pub scale: f64,
+    /// Current topology variant (index into [`ChurnPair::variants`]).
+    pub variant: usize,
+}
+
+impl LogicalState {
+    /// Initial state: the given table membership, nominal load, full
+    /// topology.
+    pub fn new(active: Vec<bool>) -> Self {
+        let num_active = active.iter().filter(|&&on| on).count();
+        Self {
+            active,
+            num_active,
+            scale: 1.0,
+            variant: 0,
+        }
+    }
+
+    /// Apply one event, returning the size of the impacted flow set for
+    /// the negotiation layer (0 = negotiated state untouched).
+    pub fn apply(&mut self, pair: &ChurnPair<'_>, kind: ChurnKind) -> usize {
+        match kind {
+            ChurnKind::LoadDelta { factor } => {
+                self.scale = factor;
+                0
+            }
+            ChurnKind::FlowAdd(f) => {
+                assert!(!self.active[f.index()], "FlowAdd of an active flow");
+                self.active[f.index()] = true;
+                self.num_active += 1;
+                1
+            }
+            ChurnKind::FlowRemove(f) => {
+                assert!(self.active[f.index()], "FlowRemove of an inactive flow");
+                self.active[f.index()] = false;
+                self.num_active -= 1;
+                1
+            }
+            ChurnKind::LinkFail(icx) => {
+                assert_eq!(self.variant, 0, "LinkFail while already failed");
+                self.variant = pair.variant_for(Some(icx));
+                self.num_active
+            }
+            ChurnKind::LinkRestore => {
+                assert_ne!(self.variant, 0, "LinkRestore without a failure");
+                self.variant = 0;
+                self.num_active
+            }
+        }
+    }
+}
+
+/// Negotiated state snapshot, for incremental-vs-cold comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NegotiatedState {
+    /// Full-pair assignment (active flows negotiated, the rest on the
+    /// current variant's defaults).
+    pub assignment: Assignment,
+    /// Side A's true cumulative gain.
+    pub gain_a: i64,
+    /// Side B's true cumulative gain.
+    pub gain_b: i64,
+    /// How the session ended.
+    pub termination: Termination,
+    /// Reassignments performed in the session.
+    pub reassignments: usize,
+    /// Optimal-MEL baseline objective (`None` when the LP is skipped
+    /// for size).
+    pub opt_t: Option<f64>,
+}
+
+/// The session-input projection of a logical state on one variant.
+fn session_input(data: &PairData<'_>, active: &[bool]) -> nexit_core::SessionInput {
+    let mut flow_ids = Vec::new();
+    let mut defaults = Vec::new();
+    let mut volumes = Vec::new();
+    for (i, &on) in active.iter().enumerate() {
+        if on {
+            let fid = FlowId::new(i);
+            flow_ids.push(fid);
+            defaults.push(data.default.choice(fid));
+            volumes.push(data.flows.flows[i].volume);
+        }
+    }
+    nexit_core::SessionInput {
+        flow_ids,
+        defaults,
+        volumes,
+        num_alternatives: data.pair.num_interconnections(),
+    }
+}
+
+/// The live incremental state machine for one pair.
+pub struct ChurnDriver<'u> {
+    pair: &'u ChurnPair<'u>,
+    cfg: ChurnConfig,
+    state: LogicalState,
+    negotiated: NegotiatedState,
+    /// Per-variant (side A, side B) gain-row memo tables, built lazily.
+    caches: Vec<Option<(GainCache, GainCache)>>,
+    /// Table/index buffers recycled across every re-entered session.
+    arena: TableArena,
+    /// One retained LP scenario per variant, keyed by variant index.
+    lp: BandwidthLp<'u>,
+    /// Whether the baseline LP fits the size budget for this pair.
+    lp_enabled: bool,
+    /// Bumps when the active set changes; variants re-skeleton lazily.
+    lp_epoch: u64,
+    lp_variant_epoch: Vec<u64>,
+    /// Events where the negotiated state was provably untouched.
+    pub cached_outcomes: u64,
+    /// Re-negotiations on the delta path (cache-served rows).
+    pub incremental_sessions: u64,
+    /// Full cold sessions forced by the impact threshold.
+    pub fallback_sessions: u64,
+    /// Deterministic work units spent by the last event.
+    last_work: u64,
+    /// LP failures (iteration cap / numerical trouble) — hard errors.
+    pub lp_errors: Vec<String>,
+}
+
+impl<'u> ChurnDriver<'u> {
+    /// Bring a pair live: one initial cold session plus the baseline
+    /// LP's first (cold) solve.
+    pub fn new(pair: &'u ChurnPair<'u>, initial_active: Vec<bool>, cfg: ChurnConfig) -> Self {
+        assert_eq!(initial_active.len(), pair.num_flows());
+        let state = LogicalState::new(initial_active);
+        let lp_enabled =
+            state.num_active * pair.variants[0].pair.num_interconnections() <= cfg.max_lp_variables;
+        let mut driver = Self {
+            pair,
+            cfg,
+            state,
+            negotiated: NegotiatedState {
+                assignment: pair.variants[0].default.clone(),
+                gain_a: 0,
+                gain_b: 0,
+                termination: Termination::Exhausted,
+                reassignments: 0,
+                opt_t: None,
+            },
+            caches: pair.variants.iter().map(|_| None).collect(),
+            arena: TableArena::new(),
+            lp: BandwidthLp::new(),
+            lp_enabled,
+            lp_epoch: 0,
+            lp_variant_epoch: vec![u64::MAX; pair.variants.len()],
+            cached_outcomes: 0,
+            incremental_sessions: 0,
+            fallback_sessions: 0,
+            last_work: 0,
+            lp_errors: Vec::new(),
+        };
+        driver.renegotiate(true);
+        driver.resolve_baseline();
+        driver.fallback_sessions = 0; // the bring-up session is not churn
+        driver
+    }
+
+    /// The live logical state.
+    pub fn state(&self) -> &LogicalState {
+        &self.state
+    }
+
+    /// The live negotiated state.
+    pub fn negotiated(&self) -> &NegotiatedState {
+        &self.negotiated
+    }
+
+    /// Deterministic work units (rows refreshed + rounds + LP pivots)
+    /// spent by the most recent [`ChurnDriver::apply`].
+    pub fn last_work(&self) -> u64 {
+        self.last_work
+    }
+
+    /// Aggregate warm/cold counters across the retained LP workspaces.
+    pub fn lp_stats(&self) -> WarmStats {
+        self.lp.warm_stats()
+    }
+
+    /// Process one event incrementally.
+    pub fn apply(&mut self, event: &ChurnEvent) {
+        let impacted = self.state.apply(self.pair, event.kind);
+        let lp_structural = !matches!(event.kind, ChurnKind::LoadDelta { .. });
+        let mut work = 0u64;
+        if impacted == 0 {
+            // Negotiation inputs untouched: the outcome is provably
+            // current; only the baseline needs an (rhs-only) re-solve.
+            self.cached_outcomes += 1;
+        } else {
+            let fraction = impacted as f64 / self.state.num_active.max(1) as f64;
+            let fallback = fraction > self.cfg.impact_threshold;
+            if fallback {
+                self.fallback_sessions += 1;
+            } else {
+                self.incremental_sessions += 1;
+            }
+            work += self.renegotiate(fallback);
+        }
+        if lp_structural {
+            self.lp_epoch += 1;
+        }
+        work += self.resolve_baseline();
+        self.last_work = work + 1;
+    }
+
+    /// Re-enter the negotiation machine on the current variant. With
+    /// `fallback` the variant's caches are invalidated wholesale (a
+    /// full cold session); otherwise rows are served from the memo and
+    /// only missing/invalidated rows recompute. Either way the machine
+    /// sees bit-identical inputs to a from-scratch build, so the
+    /// outcome is byte-identical by construction.
+    fn renegotiate(&mut self, fallback: bool) -> u64 {
+        let pair = self.pair;
+        let data = &pair.variants[self.state.variant];
+        let k = data.pair.num_interconnections();
+        if self.caches[self.state.variant].is_none() {
+            let a = GainCache::new_in(&mut self.arena, data.flows.len(), k);
+            let b = GainCache::new_in(&mut self.arena, data.flows.len(), k);
+            self.caches[self.state.variant] = Some((a, b));
+        }
+        let input = session_input(data, &self.state.active);
+        let caches = self.caches[self.state.variant]
+            .as_mut()
+            .expect("caches built above");
+        if fallback {
+            caches.0.invalidate_all();
+            caches.1.invalidate_all();
+        }
+        let rows_before = caches.0.refreshed() + caches.1.refreshed();
+        let outcome = {
+            let (cache_a, cache_b) = caches;
+            let mut party_a = Party::honest(
+                "A",
+                CachedDistanceMapper::new(Side::A, &data.flows, cache_a),
+            );
+            let mut party_b = Party::honest(
+                "B",
+                CachedDistanceMapper::new(Side::B, &data.flows, cache_b),
+            );
+            negotiate_in(
+                &mut self.arena,
+                &input,
+                &data.default,
+                &mut party_a,
+                &mut party_b,
+                &NexitConfig::win_win(),
+            )
+        };
+        let rounds = outcome.transcript.len() as u64;
+        self.negotiated.assignment = outcome.assignment;
+        self.negotiated.gain_a = outcome.gain_a;
+        self.negotiated.gain_b = outcome.gain_b;
+        self.negotiated.termination = outcome.termination;
+        self.negotiated.reassignments = outcome.reassignments;
+        let caches = self.caches[self.state.variant]
+            .as_ref()
+            .expect("caches built above");
+        let rows = caches.0.refreshed() + caches.1.refreshed() - rows_before;
+        rows * k as u64 + rounds
+    }
+
+    /// Re-solve the optimal-MEL baseline through the retained
+    /// workspaces: load drift re-enters via the rhs (dual simplex),
+    /// flow-set changes re-skeleton the current variant in place
+    /// (column refresh against the retained basis), and a variant
+    /// switch re-enters that variant's own retained basis.
+    fn resolve_baseline(&mut self) -> u64 {
+        if !self.lp_enabled {
+            self.negotiated.opt_t = None;
+            return 0;
+        }
+        let pair = self.pair;
+        let variant = self.state.variant;
+        let data = &pair.variants[variant];
+        let key = IcxId::new(variant);
+        let before = self.lp.warm_stats();
+        if self.lp_variant_epoch[variant] != self.lp_epoch {
+            let impacted: Vec<FlowId> = self
+                .state
+                .active
+                .iter()
+                .enumerate()
+                .filter(|(_, &on)| on)
+                .map(|(i, _)| FlowId::new(i))
+                .collect();
+            let view = data.view();
+            self.lp.update_scenario(
+                key,
+                &view,
+                &data.paths,
+                &data.flows,
+                &impacted,
+                &data.default,
+                &pair.caps_up,
+                &pair.caps_down,
+            );
+            self.lp_variant_epoch[variant] = self.lp_epoch;
+        }
+        match self.lp.solve_failure_scaled(key, self.state.scale) {
+            Ok(opt) => self.negotiated.opt_t = Some(opt.t),
+            Err(e) => {
+                self.negotiated.opt_t = None;
+                self.lp_errors.push(format!("baseline LP failed: {e}"));
+            }
+        }
+        let after = self.lp.warm_stats();
+        (after.eta_pivots - before.eta_pivots + after.refactorizations - before.refactorizations)
+            as u64
+    }
+}
+
+/// From-scratch rebuild of the negotiated state for a logical state:
+/// fresh mappers, fresh tables, fresh machines, fresh LP skeleton, cold
+/// solve. This is the reference every event prefix is replayed against,
+/// and the cold twin the latency CDFs compare to. Returns the state and
+/// the deterministic work units spent.
+pub fn cold_rebuild(
+    pair: &ChurnPair<'_>,
+    state: &LogicalState,
+    cfg: &ChurnConfig,
+) -> (NegotiatedState, u64) {
+    let data = &pair.variants[state.variant];
+    let k = data.pair.num_interconnections();
+    let input = session_input(data, &state.active);
+    let mut party_a = Party::honest("A", DistanceMapper::new(Side::A, &data.flows));
+    let mut party_b = Party::honest("B", DistanceMapper::new(Side::B, &data.flows));
+    let outcome = negotiate(
+        &input,
+        &data.default,
+        &mut party_a,
+        &mut party_b,
+        &NexitConfig::win_win(),
+    );
+    let mut work = 2 * input.flow_ids.len() as u64 * k as u64 + outcome.transcript.len() as u64;
+
+    let mut opt_t = None;
+    if state.num_active * k <= cfg.max_lp_variables {
+        let mut lp = BandwidthLp::new();
+        let view = data.view();
+        lp.add_scenario(
+            IcxId::new(state.variant),
+            &view,
+            &data.paths,
+            &data.flows,
+            &input.flow_ids,
+            &data.default,
+            &pair.caps_up,
+            &pair.caps_down,
+        );
+        let solved: Result<_, OptimalBandwidthError> =
+            lp.solve_failure_scaled(IcxId::new(state.variant), state.scale);
+        if let Ok(opt) = solved {
+            opt_t = Some(opt.t);
+        }
+        let stats = lp.warm_stats();
+        work += (stats.eta_pivots + stats.refactorizations) as u64;
+    }
+    (
+        NegotiatedState {
+            assignment: outcome.assignment,
+            gain_a: outcome.gain_a,
+            gain_b: outcome.gain_b,
+            termination: outcome.termination,
+            reassignments: outcome.reassignments,
+            opt_t,
+        },
+        work + 1,
+    )
+}
+
+// --- deterministic feed generation ------------------------------------
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seeded initial table membership: roughly 60% of flows active, never
+/// fewer than two.
+pub fn initial_active(pair: &ChurnPair<'_>, seed: u64) -> Vec<bool> {
+    let mut rng = seed ^ 0xA076_1D64_78BD_642F;
+    let mut active: Vec<bool> = (0..pair.num_flows())
+        .map(|_| splitmix64(&mut rng) % 100 < 60)
+        .collect();
+    if active.iter().filter(|&&on| on).count() < 2 {
+        let second = 1 % active.len();
+        active[0] = true;
+        active[second] = true;
+    }
+    active
+}
+
+/// Generate a deterministic event feed for one pair: dominated by load
+/// drift (~3/4, the growth ladder batched into online steps — traffic
+/// shifts far more often than the flow set does), with flow
+/// arrivals/departures (~20%) and rare interconnection failures that
+/// heal within a few events. Every emitted event is valid for the state
+/// it arrives in.
+pub fn generate_trace(
+    pair: &ChurnPair<'_>,
+    initial: &[bool],
+    num_events: usize,
+    seed: u64,
+) -> Vec<ChurnEvent> {
+    let failable = pair.failable();
+    let mut rng = seed ^ 0x9E6C_63D0_876A_3F6B;
+    let mut state = LogicalState::new(initial.to_vec());
+    let mut tick = 0u64;
+    let mut trace = Vec::with_capacity(num_events);
+    for _ in 0..num_events {
+        tick += 1 + splitmix64(&mut rng) % 3;
+        let roll = splitmix64(&mut rng) % 100;
+        let n = state.active.len();
+        let kind = if state.variant != 0 && roll < 25 {
+            ChurnKind::LinkRestore
+        } else if state.variant == 0 && !failable.is_empty() && roll < 4 {
+            ChurnKind::LinkFail(failable[(splitmix64(&mut rng) as usize) % failable.len()])
+        } else if roll < 80 {
+            // 0.70..=1.49 × nominal background.
+            ChurnKind::LoadDelta {
+                factor: 0.70 + (splitmix64(&mut rng) % 80) as f64 / 100.0,
+            }
+        } else if roll < 90 {
+            // Add a random inactive flow (fall back to drift if full).
+            let start = (splitmix64(&mut rng) as usize) % n;
+            match (0..n).map(|o| (start + o) % n).find(|&i| !state.active[i]) {
+                Some(i) => ChurnKind::FlowAdd(FlowId::new(i)),
+                None => ChurnKind::LoadDelta { factor: 1.0 },
+            }
+        } else {
+            // Remove a random active flow, keeping at least two live.
+            let start = (splitmix64(&mut rng) as usize) % n;
+            match (0..n)
+                .map(|o| (start + o) % n)
+                .find(|&i| state.active[i])
+                .filter(|_| state.num_active > 2)
+            {
+                Some(i) => ChurnKind::FlowRemove(FlowId::new(i)),
+                None => ChurnKind::LoadDelta { factor: 1.0 },
+            }
+        };
+        state.apply(pair, kind);
+        trace.push(ChurnEvent { tick, kind });
+    }
+    trace
+}
+
+// --- the sweep ---------------------------------------------------------
+
+/// The sweep's universe: the same 12-ISP topology the fault sweep and
+/// the broker determinism suite pin, restricted to pairs with three or
+/// more interconnections so failures leave a negotiable pair behind.
+pub fn universe() -> Universe {
+    TopologyGenerator::new(GeneratorConfig {
+        num_isps: 12,
+        num_mesh_isps: 0,
+        seed: 11,
+        ..GeneratorConfig::default()
+    })
+    .generate()
+}
+
+/// One pair's replay results.
+struct PairRun {
+    latency_ns: Vec<f64>,
+    cold_latency_ns: Vec<f64>,
+    work: Vec<f64>,
+    cold_work: Vec<f64>,
+    divergences: usize,
+    violations: Vec<String>,
+    cached_outcomes: u64,
+    incremental_sessions: u64,
+    fallback_sessions: u64,
+    final_choices: Vec<IcxId>,
+    lp_stats: WarmStats,
+    lp_skipped: bool,
+}
+
+/// Replay one pair's feed through the incremental driver; with
+/// `with_cold`, also rebuild every event prefix from scratch and
+/// compare (the correctness replay + the cold latency twin).
+fn replay_pair(
+    pair: &ChurnPair<'_>,
+    initial: &[bool],
+    trace: &[ChurnEvent],
+    cfg: &ChurnConfig,
+    with_cold: bool,
+) -> PairRun {
+    let mut driver = ChurnDriver::new(pair, initial.to_vec(), *cfg);
+    let mut run = PairRun {
+        latency_ns: Vec::with_capacity(trace.len()),
+        cold_latency_ns: Vec::new(),
+        work: Vec::with_capacity(trace.len()),
+        cold_work: Vec::new(),
+        divergences: 0,
+        violations: Vec::new(),
+        cached_outcomes: 0,
+        incremental_sessions: 0,
+        fallback_sessions: 0,
+        final_choices: Vec::new(),
+        lp_stats: WarmStats::default(),
+        lp_skipped: !driver.lp_enabled,
+    };
+    for (idx, event) in trace.iter().enumerate() {
+        let start = Instant::now();
+        driver.apply(event);
+        run.latency_ns.push(start.elapsed().as_nanos() as f64);
+        run.work.push(driver.last_work() as f64);
+        if with_cold {
+            let start = Instant::now();
+            let (cold, cold_work) = cold_rebuild(pair, driver.state(), cfg);
+            run.cold_latency_ns.push(start.elapsed().as_nanos() as f64);
+            run.cold_work.push(cold_work as f64);
+            if let Some(diff) = divergence(driver.negotiated(), &cold) {
+                run.divergences += 1;
+                if run.violations.len() < 3 {
+                    run.violations
+                        .push(format!("event {idx} ({:?}): {diff}", event.kind));
+                }
+            }
+        }
+    }
+    run.violations.extend(driver.lp_errors.iter().cloned());
+    run.cached_outcomes = driver.cached_outcomes;
+    run.incremental_sessions = driver.incremental_sessions;
+    run.fallback_sessions = driver.fallback_sessions;
+    run.final_choices = driver.negotiated().assignment.choices().to_vec();
+    run.lp_stats = driver.lp_stats();
+    run
+}
+
+/// Compare incremental and cold states; `None` means identical.
+fn divergence(incremental: &NegotiatedState, cold: &NegotiatedState) -> Option<String> {
+    if incremental.assignment.choices() != cold.assignment.choices() {
+        let first = incremental
+            .assignment
+            .choices()
+            .iter()
+            .zip(cold.assignment.choices())
+            .position(|(a, b)| a != b)
+            .unwrap_or(0);
+        return Some(format!("assignment diverged (first at flow {first})"));
+    }
+    if (incremental.gain_a, incremental.gain_b) != (cold.gain_a, cold.gain_b) {
+        return Some("gains diverged".into());
+    }
+    if incremental.termination != cold.termination
+        || incremental.reassignments != cold.reassignments
+    {
+        return Some("termination/reassignment bookkeeping diverged".into());
+    }
+    match (incremental.opt_t, cold.opt_t) {
+        (Some(w), Some(c)) if (w - c).abs() > 1e-6 => {
+            Some(format!("warm LP t {w} vs cold {c} beyond 1e-6"))
+        }
+        (Some(_), None) | (None, Some(_)) => Some("LP evaluated on one path only".into()),
+        _ => None,
+    }
+}
+
+/// Everything `experiments churn` measures.
+pub struct ChurnReport {
+    /// Pairs replayed.
+    pub pairs: usize,
+    /// Total events across all feeds.
+    pub events: usize,
+    /// Events where the negotiated outcome was provably untouched.
+    pub cached_outcomes: u64,
+    /// Delta-path re-negotiations (cache-served rows).
+    pub incremental_sessions: u64,
+    /// Threshold-forced full cold sessions.
+    pub fallback_sessions: u64,
+    /// Prefix replays that did not match the cold rebuild (must be 0).
+    pub divergences: usize,
+    /// Per-event incremental latency (wall-clock, ns).
+    pub latency: StreamingCdf,
+    /// Per-event cold-rebuild latency (wall-clock, ns).
+    pub cold_latency: StreamingCdf,
+    /// Per-event incremental work units (deterministic).
+    pub work: StreamingCdf,
+    /// Per-event cold work units (deterministic).
+    pub cold_work: StreamingCdf,
+    /// Aggregate LP warm/cold counters across all retained workspaces.
+    pub lp_stats: WarmStats,
+    /// Pairs whose baseline LP exceeded the size budget.
+    pub lp_skipped_pairs: usize,
+    /// Whether 1/2/4-worker reruns were byte-identical.
+    pub deterministic: bool,
+    /// Final per-pair assignments (for the determinism suite).
+    pub final_assignments: Vec<Vec<IcxId>>,
+    /// Hard failures; the binary exits non-zero when non-empty.
+    pub violations: Vec<String>,
+}
+
+/// Run the churn sweep: replay every pair's seeded feed incrementally,
+/// verify every event prefix against a from-scratch cold rebuild, then
+/// rerun the incremental path at 1, 2 and 4 workers and require
+/// byte-identical assignments and work series.
+pub fn run(max_pairs: usize, events_per_pair: usize, threads: usize, seed: u64) -> ChurnReport {
+    let u = universe();
+    let cfg = ChurnConfig::default();
+    let eligible = u.eligible_pairs(3, false);
+    assert!(
+        !eligible.is_empty(),
+        "universe has no 3+-interconnection pairs"
+    );
+    let take = eligible.len().min(max_pairs.max(1));
+    let pairs: Vec<ChurnPair<'_>> = eligible[..take]
+        .iter()
+        .map(|&idx| ChurnPair::build(&u, idx, 2))
+        .collect();
+    let feeds: Vec<(Vec<bool>, Vec<ChurnEvent>)> = pairs
+        .iter()
+        .enumerate()
+        .map(|(i, pair)| {
+            let pair_seed = seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let initial = initial_active(pair, pair_seed);
+            let trace = generate_trace(pair, &initial, events_per_pair, pair_seed);
+            (initial, trace)
+        })
+        .collect();
+
+    let sweep = |workers: usize, with_cold: bool| -> Vec<PairRun> {
+        par_map(workers, pairs.len(), |i| {
+            replay_pair(&pairs[i], &feeds[i].0, &feeds[i].1, &cfg, with_cold)
+        })
+    };
+
+    // Main sweep: incremental replay + per-prefix cold verification.
+    let main = sweep(threads, true);
+
+    let mut report = ChurnReport {
+        pairs: pairs.len(),
+        events: feeds.iter().map(|(_, t)| t.len()).sum(),
+        cached_outcomes: 0,
+        incremental_sessions: 0,
+        fallback_sessions: 0,
+        divergences: 0,
+        latency: StreamingCdf::default(),
+        cold_latency: StreamingCdf::default(),
+        work: StreamingCdf::default(),
+        cold_work: StreamingCdf::default(),
+        lp_stats: WarmStats::default(),
+        lp_skipped_pairs: 0,
+        deterministic: true,
+        final_assignments: Vec::new(),
+        violations: Vec::new(),
+    };
+    for run in &main {
+        report.cached_outcomes += run.cached_outcomes;
+        report.incremental_sessions += run.incremental_sessions;
+        report.fallback_sessions += run.fallback_sessions;
+        report.divergences += run.divergences;
+        report.latency.extend(run.latency_ns.iter().copied());
+        report
+            .cold_latency
+            .extend(run.cold_latency_ns.iter().copied());
+        report.work.extend(run.work.iter().copied());
+        report.cold_work.extend(run.cold_work.iter().copied());
+        report.lp_stats.absorb(run.lp_stats);
+        report.lp_skipped_pairs += usize::from(run.lp_skipped);
+        report.final_assignments.push(run.final_choices.clone());
+        report.violations.extend(run.violations.iter().cloned());
+    }
+    if report.divergences > 0 {
+        report.violations.push(format!(
+            "{} event prefix(es) diverged from the cold rebuild",
+            report.divergences
+        ));
+    }
+
+    // Worker-count determinism: the incremental path must reproduce
+    // identical assignments, work series and path counters at 1/2/4.
+    for workers in [1usize, 2, 4] {
+        let rerun = sweep(workers, false);
+        let identical = rerun.iter().zip(&main).all(|(r, m)| {
+            r.final_choices == m.final_choices
+                && r.work == m.work
+                && r.cached_outcomes == m.cached_outcomes
+                && r.incremental_sessions == m.incremental_sessions
+                && r.fallback_sessions == m.fallback_sessions
+        });
+        if !identical {
+            report.deterministic = false;
+            report.violations.push(format!(
+                "sweep diverged between the main run and {workers} worker(s)"
+            ));
+        }
+    }
+
+    // The headline latency claim, gated conservatively: the steady-state
+    // incremental median must sit at least 2x under the cold twin's.
+    if !report.latency.is_empty() && !report.cold_latency.is_empty() {
+        let (p50, cold_p50) = (report.latency.median(), report.cold_latency.median());
+        if cold_p50 < 2.0 * p50 {
+            report.violations.push(format!(
+                "incremental p50 {:.0} ns not >= 2x under cold p50 {:.0} ns",
+                p50, cold_p50
+            ));
+        }
+    }
+
+    report
+}
+
+/// Print the sweep.
+pub fn report(r: &ChurnReport) {
+    println!(
+        "churn: {} pairs, {} events ({} outcome-cached, {} incremental sessions, {} cold fallbacks)",
+        r.pairs, r.events, r.cached_outcomes, r.incremental_sessions, r.fallback_sessions
+    );
+    println!(
+        "prefix replays vs cold rebuild: {} divergence(s); 1/2/4-worker reruns identical: {}",
+        r.divergences, r.deterministic
+    );
+    r.latency.print("per-event incremental latency (ns)");
+    r.cold_latency.print("per-event cold-rebuild latency (ns)");
+    if !r.latency.is_empty() && !r.cold_latency.is_empty() {
+        println!(
+            "latency p50: incremental {:.0} ns vs cold {:.0} ns ({:.1}x); p99: {:.0} vs {:.0} ns ({:.1}x)",
+            r.latency.median(),
+            r.cold_latency.median(),
+            r.cold_latency.median() / r.latency.median().max(1.0),
+            r.latency.percentile(99.0),
+            r.cold_latency.percentile(99.0),
+            r.cold_latency.percentile(99.0) / r.latency.percentile(99.0).max(1.0),
+        );
+    }
+    r.work
+        .print("per-event incremental work units (deterministic)");
+    crate::experiments::bandwidth::print_lp_stats(&r.lp_stats);
+    println!(
+        "lp warm re-entry: {} of {} solves warm ({:.1}%), {} pair(s) size-skipped",
+        r.lp_stats.warm_reentries(),
+        r.lp_stats.total_solves(),
+        100.0 * r.lp_stats.warm_fraction(),
+        r.lp_skipped_pairs
+    );
+    for v in &r.violations {
+        println!("VIOLATION: {v}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_has_no_violations() {
+        let r = run(2, 30, 2, 7);
+        assert!(r.violations.is_empty(), "violations: {:?}", r.violations);
+        assert_eq!(r.divergences, 0);
+        assert!(r.deterministic);
+        assert!(r.cached_outcomes > 0, "load events must cache the outcome");
+        assert!(
+            r.incremental_sessions > 0,
+            "flow events must take the delta path"
+        );
+        assert!(
+            r.lp_stats.warm_reentries() > 0,
+            "baseline must re-enter warm"
+        );
+    }
+
+    #[test]
+    fn link_failures_force_the_cold_fallback() {
+        let u = universe();
+        let idx = u.eligible_pairs(3, false)[0];
+        let pair = ChurnPair::build(&u, idx, 2);
+        let failable = pair.failable();
+        assert!(!failable.is_empty());
+        let initial = initial_active(&pair, 3);
+        let mut driver = ChurnDriver::new(&pair, initial, ChurnConfig::default());
+        let before = driver.fallback_sessions;
+        driver.apply(&ChurnEvent {
+            tick: 1,
+            kind: ChurnKind::LinkFail(failable[0]),
+        });
+        assert_eq!(driver.fallback_sessions, before + 1);
+        assert_ne!(driver.state().variant, 0);
+        driver.apply(&ChurnEvent {
+            tick: 2,
+            kind: ChurnKind::LinkRestore,
+        });
+        assert_eq!(driver.state().variant, 0);
+    }
+
+    #[test]
+    fn every_prefix_matches_the_cold_rebuild() {
+        let u = universe();
+        let idx = u.eligible_pairs(3, false)[0];
+        let pair = ChurnPair::build(&u, idx, 2);
+        let initial = initial_active(&pair, 21);
+        let trace = generate_trace(&pair, &initial, 25, 21);
+        let cfg = ChurnConfig::default();
+        let mut driver = ChurnDriver::new(&pair, initial, cfg);
+        for event in &trace {
+            driver.apply(event);
+            let (cold, _) = cold_rebuild(&pair, driver.state(), &cfg);
+            assert_eq!(
+                divergence(driver.negotiated(), &cold),
+                None,
+                "prefix diverged at {event:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn traces_are_seed_deterministic() {
+        let u = universe();
+        let idx = u.eligible_pairs(3, false)[0];
+        let pair = ChurnPair::build(&u, idx, 2);
+        let initial = initial_active(&pair, 5);
+        let t1 = generate_trace(&pair, &initial, 40, 5);
+        let t2 = generate_trace(&pair, &initial, 40, 5);
+        assert_eq!(t1, t2);
+        let t3 = generate_trace(&pair, &initial, 40, 6);
+        assert_ne!(t1, t3, "different seeds should differ");
+        assert!(t1.windows(2).all(|w| w[0].tick < w[1].tick));
+    }
+}

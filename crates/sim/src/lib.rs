@@ -10,12 +10,14 @@
 //! | [`experiments::ablation`] | §5 robustness: preference-range sweep, group sweep, workload/capacity models |
 //! | [`scenarios`] | Fig. 1 / Fig. 2 motivating topologies, Fig. 3 walk-through |
 //! | [`destination`] | footnote-2 extension: destination-granularity negotiation |
+//! | [`churn`] | beyond the paper: incremental re-negotiation under a live event feed |
 //!
 //! The `experiments` binary (`cargo run --release -p nexit-sim --bin
 //! experiments -- all`) regenerates everything and prints the CDF series
 //! the paper plots; `EXPERIMENTS.md` records paper-vs-measured.
 
 pub mod cdf;
+pub mod churn;
 pub mod destination;
 pub mod experiments;
 pub mod pairdata;

@@ -1,0 +1,113 @@
+//! Determinism suite for the churn driver: the same seed and event feed
+//! must produce byte-identical results at every worker count, and any
+//! event-prefix replay must equal a from-scratch cold rebuild.
+//!
+//! Wall-clock latency samples are inherently run-dependent, so the
+//! cross-thread identity is asserted on the deterministic work series
+//! (gain rows refreshed + negotiation rounds + LP pivots per event) —
+//! the same sequence `ChurnReport` meters — plus the final assignments
+//! and every path counter. The wall-clock CDFs are only checked for
+//! shape (one sample per event).
+
+use nexit_sim::churn::{
+    self, ChurnConfig, ChurnDriver, ChurnEvent, ChurnPair, LogicalState, NegotiatedState,
+};
+
+/// Same seed + feed ⇒ byte-identical final assignments, work series and
+/// path counters at 1, 2 and 4 worker threads.
+#[test]
+fn sweep_is_identical_across_thread_counts() {
+    let runs: Vec<_> = [1usize, 2, 4]
+        .iter()
+        .map(|&threads| churn::run(3, 40, threads, 9))
+        .collect();
+    let reference = &runs[0];
+    assert!(
+        reference.violations.is_empty(),
+        "violations: {:?}",
+        reference.violations
+    );
+    assert_eq!(reference.divergences, 0);
+    for run in &runs[1..] {
+        assert_eq!(run.final_assignments, reference.final_assignments);
+        assert_eq!(run.work, reference.work, "work series must be identical");
+        assert_eq!(run.work.series(), reference.work.series());
+        assert_eq!(run.cached_outcomes, reference.cached_outcomes);
+        assert_eq!(run.incremental_sessions, reference.incremental_sessions);
+        assert_eq!(run.fallback_sessions, reference.fallback_sessions);
+        assert_eq!(run.lp_stats, reference.lp_stats);
+        // Wall-clock values differ; the sample count may not.
+        assert_eq!(run.latency.len(), reference.latency.len());
+        assert!(
+            run.violations.is_empty(),
+            "violations: {:?}",
+            run.violations
+        );
+        assert!(run.deterministic);
+    }
+}
+
+/// Same seed ⇒ the identical feed, twice in a row.
+#[test]
+fn feeds_are_reproducible() {
+    let u = churn::universe();
+    let idx = u.eligible_pairs(3, false)[0];
+    let pair = ChurnPair::build(&u, idx, 2);
+    let initial = churn::initial_active(&pair, 17);
+    assert_eq!(initial, churn::initial_active(&pair, 17));
+    let a = churn::generate_trace(&pair, &initial, 50, 17);
+    let b = churn::generate_trace(&pair, &initial, 50, 17);
+    assert_eq!(a, b);
+}
+
+/// Replay a prefix of `trace` through a fresh driver and return its
+/// final negotiated state plus the logical state it ended in.
+fn replay_prefix(
+    pair: &ChurnPair<'_>,
+    initial: &[bool],
+    prefix: &[ChurnEvent],
+    cfg: ChurnConfig,
+) -> (NegotiatedState, LogicalState) {
+    let mut driver = ChurnDriver::new(pair, initial.to_vec(), cfg);
+    for event in prefix {
+        driver.apply(event);
+    }
+    (driver.negotiated().clone(), driver.state().clone())
+}
+
+/// The property the whole module rests on: for every event prefix, the
+/// incrementally maintained state equals the state a cold from-scratch
+/// negotiation of the same logical state produces — byte-identical
+/// assignments, identical gains and bookkeeping, LP objective within
+/// 1e-6.
+#[test]
+fn every_prefix_replay_equals_the_cold_rebuild() {
+    let u = churn::universe();
+    let idx = u.eligible_pairs(3, false)[0];
+    let pair = ChurnPair::build(&u, idx, 2);
+    let cfg = ChurnConfig::default();
+    let initial = churn::initial_active(&pair, 33);
+    let trace = churn::generate_trace(&pair, &initial, 18, 33);
+    for len in 0..=trace.len() {
+        let (incremental, state) = replay_prefix(&pair, &initial, &trace[..len], cfg);
+        let (cold, _work) = churn::cold_rebuild(&pair, &state, &cfg);
+        assert_eq!(
+            incremental.assignment.choices(),
+            cold.assignment.choices(),
+            "assignment diverged after {len} event(s)"
+        );
+        assert_eq!(
+            (incremental.gain_a, incremental.gain_b),
+            (cold.gain_a, cold.gain_b)
+        );
+        assert_eq!(incremental.termination, cold.termination);
+        assert_eq!(incremental.reassignments, cold.reassignments);
+        match (incremental.opt_t, cold.opt_t) {
+            (Some(w), Some(c)) => assert!(
+                (w - c).abs() <= 1e-6,
+                "LP objective diverged after {len} event(s): warm {w} vs cold {c}"
+            ),
+            (w, c) => assert_eq!(w.is_some(), c.is_some(), "LP evaluated on one path only"),
+        }
+    }
+}

@@ -197,6 +197,28 @@ def self_test():
     )
     assert fails == ["simplex/warm_rhs"], f"dropped row not flagged: {fails}"
 
+    # The churn wiring: bench-smoke pins both feed-replay rows with
+    # --require-row AND gates the incremental replay >= 2x under the
+    # per-event cold rebuild with --require-ratio; exercise the exact
+    # row names and spec the job passes.
+    cur = {"churn/replay": 27_000_000.0, "churn/cold_replay": 91_000_000.0}
+    fails, _ = check_ratios(cur, ["churn/cold_replay:churn/replay:2.0"])
+    assert not fails, f"healthy churn ratio tripped the gate: {fails}"
+    fails, _ = check_required_rows(cur, ["churn/replay", "churn/cold_replay"])
+    assert not fails, f"present churn rows tripped the gate: {fails}"
+    # A delta-path regression dragging the incremental replay within 2x
+    # of cold fires the ratio gate even with both rows still present.
+    cur = {"churn/replay": 60_000_000.0, "churn/cold_replay": 91_000_000.0}
+    fails, _ = check_ratios(cur, ["churn/cold_replay:churn/replay:2.0"])
+    assert len(fails) == 1, f"churn ratio regression not flagged: {fails}"
+    # Dropping the incremental row (e.g. a bench refactor losing the
+    # group) is caught by the row pin, not just the ratio's missing-row
+    # path.
+    fails, _ = check_required_rows(
+        {"churn/cold_replay": 91_000_000.0}, ["churn/replay", "churn/cold_replay"]
+    )
+    assert fails == ["churn/replay"], f"dropped churn row not flagged: {fails}"
+
     print("bench_gate self-test: ok")
 
 
