@@ -503,11 +503,15 @@ fn bench_broker(c: &mut Criterion) {
 /// through [`nexit_sim::churn::ChurnDriver`] — cached gain rows,
 /// recycled arenas, warm LP re-entry; `cold_replay` applies the same
 /// feed to the logical state only and pays a full cold rebuild (fresh
-/// mappers, fresh negotiation, cold LP) per event. Their ratio is the
-/// delta path's whole-feed win, gated at >= 2x in CI; per-event
-/// percentiles live in `experiments churn`.
+/// mappers, fresh negotiation, cold LP) per event. `bw_replay` /
+/// `bw_cold_replay` are the same pair and feed under the bandwidth
+/// objective, where the delta path's win additionally rests on
+/// footprint-keyed invalidation (only rows whose links changed
+/// utilization class recompute). Both ratios are the delta path's
+/// whole-feed win, gated at >= 2x in CI; per-event percentiles live in
+/// `experiments churn`.
 fn bench_churn(c: &mut Criterion) {
-    use nexit_sim::churn::{self, ChurnConfig, ChurnDriver, ChurnPair, LogicalState};
+    use nexit_sim::churn::{self, ChurnConfig, ChurnDriver, ChurnPair, LogicalState, Objective};
 
     let universe = churn::universe();
     let cfg = ChurnConfig::default();
@@ -549,6 +553,33 @@ fn bench_churn(c: &mut Criterion) {
             for event in &trace {
                 state.apply(&pair, event.kind);
                 let (_, work) = churn::cold_rebuild(&pair, &state, &cfg);
+                acc += work;
+            }
+            acc
+        });
+    });
+    let bw_cfg = ChurnConfig {
+        objective: Objective::Bandwidth,
+        ..ChurnConfig::default()
+    };
+    group.bench_function("bw_replay", |bencher| {
+        bencher.iter(|| {
+            let mut driver = ChurnDriver::new(&pair, initial.clone(), bw_cfg);
+            let mut acc = 0u64;
+            for event in &trace {
+                driver.apply(event);
+                acc += driver.last_work();
+            }
+            acc
+        });
+    });
+    group.bench_function("bw_cold_replay", |bencher| {
+        bencher.iter(|| {
+            let mut state = LogicalState::new(initial.clone());
+            let mut acc = 0u64;
+            for event in &trace {
+                state.apply(&pair, event.kind);
+                let (_, work) = churn::cold_rebuild(&pair, &state, &bw_cfg);
                 acc += work;
             }
             acc

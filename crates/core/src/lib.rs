@@ -45,11 +45,14 @@ pub mod selection;
 
 pub use arena::{FlowRange, GainTable, TableArena};
 pub use cheating::DisclosurePolicy;
-pub use delta::{CachedDistanceMapper, GainCache};
+pub use delta::{CachedBandwidthMapper, CachedDistanceMapper, GainCache, LinkSet, RowFootprint};
 pub use engine::{negotiate, negotiate_in, Party, SessionBuilder, SessionError, SessionInput};
 pub use index::CandidateIndex;
 pub use machine::{Action, Event, MachineError, MachineOutcome, NegotiationMachine};
-pub use mapping::{BandwidthMapper, DistanceMapper, FortzMapper, PreferenceMapper};
+pub use mapping::{
+    utilization_classes, BandwidthMapper, DistanceMapper, FortzMapper, PreferenceMapper, SideLoads,
+    UTIL_CLASS_WIDTH,
+};
 pub use outcome::{NegotiationOutcome, RoundRecord, Side, Termination};
 pub use parallel::par_flows;
 pub use policies::{AcceptRule, NexitConfig, ProposalRule, StopPolicy, TurnPolicy};

@@ -31,9 +31,119 @@ use crate::arena::GainTable;
 use crate::engine::SessionInput;
 use crate::outcome::Side;
 use nexit_metrics::fortz_link_cost;
-use nexit_routing::{Assignment, PairFlows};
-use nexit_topology::IcxId;
+use nexit_routing::{Assignment, FlowId, PairFlows};
+use nexit_topology::{IcxId, LinkId};
 use nexit_workload::PathTable;
+
+/// Width of one utilization class for the quantized bandwidth objective:
+/// load-to-capacity ratios are bucketed into steps of 1/16. A power of
+/// two keeps `class / 16` exact in f64, so a gain row is a *pure
+/// function* of the per-link class vector — the invariant the churn
+/// driver's footprint invalidation rests on: a load move that leaves
+/// every class unchanged provably leaves every cached row bit-identical.
+pub const UTIL_CLASS_WIDTH: f64 = 1.0 / 16.0;
+
+/// Quantize per-link utilization (`load / capacity`) into classes of
+/// [`UTIL_CLASS_WIDTH`], written into `out` (cleared first).
+pub fn utilization_classes(loads: &[f64], capacities: &[f64], out: &mut Vec<u32>) {
+    debug_assert_eq!(loads.len(), capacities.len());
+    out.clear();
+    out.extend(
+        loads
+            .iter()
+            .zip(capacities)
+            .map(|(&load, &cap)| (load / cap / UTIL_CLASS_WIDTH) as u32),
+    );
+}
+
+/// Per-link load accumulator for one side of a pair, maintained
+/// incrementally: [`SideLoads::add_path`] moves a volume onto the links
+/// of one path (off, with a negative volume) in O(links touched),
+/// versus the O(flows × path length) full re-aggregation of
+/// [`BandwidthMapper`]'s internal `loads()`. A churn driver keeps one
+/// accumulator per (side, traffic layer) and feeds the snapshot into
+/// [`BandwidthMapper::with_loads`] / [`utilization_classes`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SideLoads {
+    loads: Vec<f64>,
+}
+
+impl SideLoads {
+    /// All-zero loads over `num_links` links.
+    pub fn zero(num_links: usize) -> Self {
+        Self {
+            loads: vec![0.0; num_links],
+        }
+    }
+
+    /// Links covered.
+    pub fn num_links(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// The current per-link loads.
+    pub fn loads(&self) -> &[f64] {
+        &self.loads
+    }
+
+    /// Add `volume` on every link of `links` (negative to remove).
+    pub fn add_path(&mut self, links: &[LinkId], volume: f64) {
+        for &l in links {
+            self.loads[l.index()] += volume;
+        }
+    }
+
+    /// Zero every link in place.
+    pub fn reset(&mut self) {
+        self.loads.iter_mut().for_each(|l| *l = 0.0);
+    }
+}
+
+/// This side's link sequence for one (flow, alternative).
+#[inline]
+pub(crate) fn side_links(side: Side, paths: &PathTable, flow: FlowId, alt: IcxId) -> &[LinkId] {
+    match side {
+        Side::A => paths.up_links(flow, alt),
+        Side::B => paths.down_links(flow, alt),
+    }
+}
+
+/// One flow's gain row under the quantized bandwidth objective: path-max
+/// utilization read through [`utilization_classes`] buckets, plus the
+/// (unquantized) `volume / capacity` the flow itself would add on links
+/// it moves onto. Shared verbatim by [`BandwidthMapper::with_classes`]
+/// and the cached mapper in [`crate::delta`], so the two compute
+/// bit-identical values by construction.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn quantized_bandwidth_row(
+    side: Side,
+    paths: &PathTable,
+    capacities: &[f64],
+    classes: &[u32],
+    fid: FlowId,
+    cur: IcxId,
+    default: IcxId,
+    volume: f64,
+    row: &mut [f64],
+) {
+    let cur_links = side_links(side, paths, fid, cur);
+    let cost = |alt: IcxId| -> f64 {
+        side_links(side, paths, fid, alt)
+            .iter()
+            .map(|&l| {
+                let mut util = classes[l.index()] as f64 * UTIL_CLASS_WIDTH;
+                if alt != cur && !cur_links.contains(&l) {
+                    util += volume / capacities[l.index()];
+                }
+                util
+            })
+            .fold(0.0_f64, f64::max)
+    };
+    let base = cost(default);
+    for (alt, cell) in row.iter_mut().enumerate() {
+        *cell = base - cost(IcxId::new(alt));
+    }
+}
 
 /// An ISP-internal objective that scores the session's alternatives.
 pub trait PreferenceMapper {
@@ -99,6 +209,12 @@ pub struct BandwidthMapper<'a> {
     paths: &'a PathTable,
     /// Capacity of every link on this ISP's side.
     capacities: &'a [f64],
+    /// Externally maintained load snapshot (skips the O(flows × links)
+    /// internal re-aggregation when set).
+    loads_override: Option<&'a [f64]>,
+    /// Quantized utilization classes; when set, rows come from
+    /// [`quantized_bandwidth_row`] (the churn objective).
+    classes: Option<&'a [u32]>,
     /// Worker threads for the per-flow cost loop (1 = serial).
     threads: usize,
 }
@@ -117,8 +233,29 @@ impl<'a> BandwidthMapper<'a> {
             flows,
             paths,
             capacities,
+            loads_override: None,
+            classes: None,
             threads: 1,
         }
+    }
+
+    /// Read this side's loads from an externally maintained snapshot
+    /// (e.g. a [`SideLoads`] accumulator updated in O(links touched) per
+    /// event) instead of re-aggregating all flows per fill. The snapshot
+    /// must equal what the internal aggregation over `current` would
+    /// produce for the fill to stay bit-identical.
+    pub fn with_loads(mut self, loads: &'a [f64]) -> Self {
+        self.loads_override = Some(loads);
+        self
+    }
+
+    /// Score alternatives against quantized utilization classes (see
+    /// [`utilization_classes`]) instead of exact loads — the churn
+    /// driver's bandwidth objective, whose rows are a pure function of
+    /// the class vector and therefore footprint-invalidatable.
+    pub fn with_classes(mut self, classes: &'a [u32]) -> Self {
+        self.classes = Some(classes);
+        self
     }
 
     /// Fan the per-flow cost loop across `threads` workers
@@ -152,9 +289,34 @@ impl<'a> BandwidthMapper<'a> {
 
 impl PreferenceMapper for BandwidthMapper<'_> {
     fn gains(&mut self, input: &SessionInput, current: &Assignment, out: &mut GainTable) {
+        if let Some(classes) = self.classes {
+            let this = *self;
+            crate::parallel::par_flows(self.threads, out, |i, row| {
+                let fid = input.flow_ids[i];
+                quantized_bandwidth_row(
+                    this.side,
+                    this.paths,
+                    this.capacities,
+                    classes,
+                    fid,
+                    current.choice(fid),
+                    input.defaults[i],
+                    this.flows.flows[fid.index()].volume,
+                    row,
+                );
+            });
+            return;
+        }
         // Snapshot the shared load vector once; the per-flow rows then
         // read only immutable state and fill disjoint table rows.
-        let loads = self.loads(current);
+        let owned;
+        let loads: &[f64] = match self.loads_override {
+            Some(snapshot) => snapshot,
+            None => {
+                owned = self.loads(current);
+                &owned
+            }
+        };
         let this = *self;
         crate::parallel::par_flows(self.threads, out, |i, row| {
             let fid = input.flow_ids[i];

@@ -72,6 +72,10 @@ impl ShortestPaths {
         let mut dist = vec![f64::INFINITY; n * n];
         let mut length_km = vec![f64::INFINITY; n * n];
         let mut pred = vec![NO_LINK; n * n];
+        // One settled-marker vec and one heap shared across the n
+        // sources, cleared in place per source.
+        let mut done = vec![false; n];
+        let mut heap = BinaryHeap::with_capacity(n);
         for s in 0..n {
             Self::single_source(
                 isp,
@@ -79,6 +83,8 @@ impl ShortestPaths {
                 &mut dist[s * n..(s + 1) * n],
                 &mut length_km[s * n..(s + 1) * n],
                 &mut pred[s * n..(s + 1) * n],
+                &mut done,
+                &mut heap,
             );
         }
         Self {
@@ -95,15 +101,17 @@ impl ShortestPaths {
         dist: &mut [f64],
         length_km: &mut [f64],
         pred: &mut [LinkId],
+        done: &mut [bool],
+        heap: &mut BinaryHeap<HeapEntry>,
     ) {
         dist[source.index()] = 0.0;
         length_km[source.index()] = 0.0;
-        let mut heap = BinaryHeap::new();
+        done.fill(false);
+        heap.clear();
         heap.push(HeapEntry {
             dist: 0.0,
             pop: source,
         });
-        let mut done = vec![false; dist.len()];
         while let Some(HeapEntry { dist: d, pop: u }) = heap.pop() {
             if done[u.index()] {
                 continue;
@@ -148,18 +156,28 @@ impl ShortestPaths {
     /// Empty when `s == t`.
     pub fn path_links(&self, isp: &IspTopology, s: PopId, t: PopId) -> Vec<LinkId> {
         let mut links = Vec::new();
+        self.path_links_into(isp, s, t, &mut links);
+        links
+    }
+
+    /// [`ShortestPaths::path_links`] into a caller-provided buffer:
+    /// **appends** the path's links in travel order (nothing for
+    /// `s == t`), so hot per-flow loops can extract many paths into one
+    /// reused (or flat, offset-indexed) buffer without allocating per
+    /// query.
+    pub fn path_links_into(&self, isp: &IspTopology, s: PopId, t: PopId, out: &mut Vec<LinkId>) {
+        let start = out.len();
         let mut cur = t;
         while cur != s {
             let lid = self.pred[s.index() * self.n + cur.index()];
             assert_ne!(lid, NO_LINK, "no path from {s} to {t}");
-            links.push(lid);
+            out.push(lid);
             cur = isp
                 .link(lid)
                 .opposite(cur)
                 .expect("predecessor link does not touch node");
         }
-        links.reverse();
-        links
+        out[start..].reverse();
     }
 
     /// Number of PoPs this matrix covers.

@@ -174,11 +174,26 @@ pub fn flow_links(
     flow: &Flow,
     icx: IcxId,
 ) -> (Vec<LinkId>, Vec<LinkId>) {
+    let (mut up, mut down) = (Vec::new(), Vec::new());
+    flow_links_into(view, sp_up, sp_down, flow, icx, &mut up, &mut down);
+    (up, down)
+}
+
+/// [`flow_links`] into caller-provided buffers: **appends** the upstream
+/// and downstream link sequences, so per-(flow, alternative) loops can
+/// build flat path tables without a `Vec` allocation per query.
+pub fn flow_links_into(
+    view: &PairView<'_>,
+    sp_up: &ShortestPaths,
+    sp_down: &ShortestPaths,
+    flow: &Flow,
+    icx: IcxId,
+    up: &mut Vec<LinkId>,
+    down: &mut Vec<LinkId>,
+) {
     let x = view.pair.interconnection(icx);
-    (
-        sp_up.path_links(view.a, flow.src, x.pop_a),
-        sp_down.path_links(view.b, x.pop_b, flow.dst),
-    )
+    sp_up.path_links_into(view.a, flow.src, x.pop_a, up);
+    sp_down.path_links_into(view.b, x.pop_b, flow.dst, down);
 }
 
 #[cfg(test)]

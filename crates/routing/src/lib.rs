@@ -30,4 +30,6 @@ pub mod flowpath;
 pub use assignment::Assignment;
 pub use dijkstra::ShortestPaths;
 pub use exits::{early_exit, late_exit};
-pub use flowpath::{flow_links, flow_metrics, Flow, FlowId, FlowMetrics, PairFlows};
+pub use flowpath::{
+    flow_links, flow_links_into, flow_metrics, Flow, FlowId, FlowMetrics, PairFlows,
+};

@@ -3,7 +3,12 @@
 //! ```text
 //! experiments [all|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fraction|prange|groups|modes|models|dest|growth|broker|faults|churn]
 //!             [--smoke] [--pairs N] [--seed N] [--threads N]
+//!             [--objective distance|bandwidth|both]
 //! ```
+//!
+//! `--objective` selects the negotiation objective of the `churn`
+//! target (default `both`: the distance sweep then the bandwidth
+//! sweep).
 //!
 //! `--smoke` runs a small subset for quick verification; the default runs
 //! the full paper-scale universe (65 ISPs). Run with `--release`.
@@ -21,7 +26,7 @@ use nexit_topology::{GeneratorConfig, TopologyGenerator, Universe};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [all|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fraction|prange|groups|modes|models|dest|growth|broker|faults|churn] [--smoke] [--pairs N] [--seed N] [--threads N]"
+        "usage: experiments [all|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fraction|prange|groups|modes|models|dest|growth|broker|faults|churn] [--smoke] [--pairs N] [--seed N] [--threads N] [--objective distance|bandwidth|both]"
     );
     std::process::exit(2);
 }
@@ -35,6 +40,9 @@ fn main() {
     let mut threads: Option<usize> = std::env::var("NEXIT_THREADS")
         .ok()
         .and_then(|v| v.parse().ok());
+    // Churn objectives: default runs the distance sweep then the
+    // bandwidth sweep.
+    let mut objectives = vec![churn::Objective::Distance, churn::Objective::Bandwidth];
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -65,6 +73,16 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
                 threads = Some(n);
+            }
+            "--objective" => {
+                objectives = match it.next().map(String::as_str) {
+                    Some("distance") => vec![churn::Objective::Distance],
+                    Some("bandwidth") => vec![churn::Objective::Bandwidth],
+                    Some("both") => {
+                        vec![churn::Objective::Distance, churn::Objective::Bandwidth]
+                    }
+                    _ => usage(),
+                };
             }
             name if !name.starts_with('-') => target = name.to_string(),
             _ => usage(),
@@ -135,14 +153,24 @@ fn main() {
     if target == "churn" {
         let pairs = cfg.max_pairs.unwrap_or(24);
         let events = if cfg.max_pairs.is_some() { 60 } else { 250 };
-        eprintln!(
-            "running churn sweep ({pairs} pairs x {events} events, {} worker(s)) ...",
-            nexit_sim::parallel::resolve_threads(cfg.threads),
-        );
-        let r = churn::run(pairs, events, cfg.threads, cfg.seed);
-        churn::report(&r);
-        if !r.violations.is_empty() {
-            eprintln!("churn acceptance violated!");
+        let mut failed = false;
+        for (i, &objective) in objectives.iter().enumerate() {
+            eprintln!(
+                "running churn sweep [{}] ({pairs} pairs x {events} events, {} worker(s)) ...",
+                objective.name(),
+                nexit_sim::parallel::resolve_threads(cfg.threads),
+            );
+            let r = churn::run(pairs, events, cfg.threads, cfg.seed, objective);
+            churn::report(&r);
+            if !r.violations.is_empty() {
+                eprintln!("churn acceptance violated under {}!", objective.name());
+                failed = true;
+            }
+            if i + 1 < objectives.len() {
+                println!();
+            }
+        }
+        if failed {
             std::process::exit(1);
         }
         return;
@@ -150,7 +178,8 @@ fn main() {
 
     if target == "all" {
         eprintln!(
-            "note: `all` skips the named-only targets: {} (run each explicitly to cover it)",
+            "note: `all` skips the named-only targets: {} (run each explicitly to cover it; \
+             `churn` takes --objective distance|bandwidth|both)",
             NAMED_ONLY.join(", ")
         );
     }

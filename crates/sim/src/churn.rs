@@ -17,6 +17,21 @@
 //!   row, everything else is served bit-identically from the cache, so
 //!   the re-entered negotiation machine is byte-for-byte the session a
 //!   cold build would run;
+//! * the driver negotiates with either [`Objective`]: **distance** gains
+//!   are geometry-static per variant (caching is pure memoization), while
+//!   **bandwidth** gains read the shared link loads. The bandwidth
+//!   objective scores quantized utilization classes
+//!   (`nexit_core::utilization_classes`, width 1/16), making every gain
+//!   row a pure function of the per-link class vector; each cached row
+//!   carries the *load footprint* of links it read, and a `LoadDelta`
+//!   invalidates exactly the rows whose footprint intersects links whose
+//!   class moved ([`GainCache::bump_load_epoch`]) — the outcome-cache key
+//!   is effectively (flow set, variant, footprint-restricted class
+//!   signature): a factor that leaves every footprint bucket unchanged
+//!   is a provable hit, a class move misses precisely the touched rows.
+//!   Per-link loads are maintained incrementally (`nexit_core::SideLoads`
+//!   accumulators per traffic layer, O(links touched) per flow event),
+//!   never re-aggregated;
 //! * the optimal-MEL baseline re-solves through the retained
 //!   [`BandwidthLp`] workspaces: a load delta is an rhs-only patch
 //!   (dual-simplex re-entry — the growth sweep's ladder, folded in as
@@ -50,12 +65,13 @@ use crate::pairdata::PairData;
 use crate::parallel::par_map;
 use nexit_baselines::{BandwidthLp, OptimalBandwidthError};
 use nexit_core::{
-    negotiate, negotiate_in, CachedDistanceMapper, DistanceMapper, GainCache, NexitConfig, Party,
-    Side, TableArena, Termination,
+    negotiate, negotiate_in, utilization_classes, BandwidthMapper, CachedBandwidthMapper,
+    CachedDistanceMapper, DistanceMapper, GainCache, LinkSet, NexitConfig, Party, Side, SideLoads,
+    TableArena, Termination,
 };
 use nexit_lp::WarmStats;
 use nexit_routing::{Assignment, FlowId};
-use nexit_topology::{GeneratorConfig, IcxId, TopologyGenerator, Universe};
+use nexit_topology::{GeneratorConfig, IcxId, LinkId, TopologyGenerator, Universe};
 use nexit_workload::{assign_capacities, link_loads, CapacityModel, WorkloadModel};
 use std::time::Instant;
 
@@ -88,6 +104,28 @@ pub struct ChurnEvent {
     pub kind: ChurnKind,
 }
 
+/// Which ISP-internal objective the churn driver negotiates with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// §5.1 distance gains — geometry-static per variant, so a cached
+    /// row survives any amount of flow and load churn.
+    #[default]
+    Distance,
+    /// §5.2 overload avoidance over quantized utilization classes —
+    /// load-dependent, served through footprint-keyed invalidation.
+    Bandwidth,
+}
+
+impl Objective {
+    /// Lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Objective::Distance => "distance",
+            Objective::Bandwidth => "bandwidth",
+        }
+    }
+}
+
 /// Driver knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct ChurnConfig {
@@ -97,6 +135,8 @@ pub struct ChurnConfig {
     /// Skip the optimal-MEL baseline for pairs whose LP would exceed
     /// this many variables.
     pub max_lp_variables: usize,
+    /// The negotiation objective.
+    pub objective: Objective,
 }
 
 impl Default for ChurnConfig {
@@ -104,6 +144,7 @@ impl Default for ChurnConfig {
         Self {
             impact_threshold: 0.05,
             max_lp_variables: 6_000,
+            objective: Objective::Distance,
         }
     }
 }
@@ -285,6 +326,48 @@ fn session_input(data: &PairData<'_>, active: &[bool]) -> nexit_core::SessionInp
     }
 }
 
+/// Incrementally maintained per-link load state for one variant under
+/// the bandwidth objective: active and background volumes accumulated
+/// separately per side (effective load on link `l` is
+/// `active[l] + scale * background[l]`), plus the utilization classes
+/// of the current load epoch. Flow events move a flow's volume between
+/// the two layers along its default paths in O(links touched); load
+/// deltas change only `scale` and re-quantize.
+struct BwVariant {
+    /// Active flows' volumes on their default upstream paths.
+    active_up: SideLoads,
+    /// Active flows' volumes on their default downstream paths.
+    active_down: SideLoads,
+    /// Background (inactive) volumes, at nominal scale, upstream.
+    background_up: SideLoads,
+    /// Background volumes downstream.
+    background_down: SideLoads,
+    /// Utilization classes of the current epoch, upstream links.
+    classes_up: Vec<u32>,
+    /// Utilization classes downstream.
+    classes_down: Vec<u32>,
+}
+
+impl BwVariant {
+    fn zero(num_up: usize, num_down: usize) -> Self {
+        Self {
+            active_up: SideLoads::zero(num_up),
+            active_down: SideLoads::zero(num_down),
+            background_up: SideLoads::zero(num_up),
+            background_down: SideLoads::zero(num_down),
+            classes_up: vec![0; num_up],
+            classes_down: vec![0; num_down],
+        }
+    }
+
+    fn reset(&mut self) {
+        self.active_up.reset();
+        self.active_down.reset();
+        self.background_up.reset();
+        self.background_down.reset();
+    }
+}
+
 /// The live incremental state machine for one pair.
 pub struct ChurnDriver<'u> {
     pair: &'u ChurnPair<'u>,
@@ -293,6 +376,17 @@ pub struct ChurnDriver<'u> {
     negotiated: NegotiatedState,
     /// Per-variant (side A, side B) gain-row memo tables, built lazily.
     caches: Vec<Option<(GainCache, GainCache)>>,
+    /// Per-variant incremental load state (bandwidth objective only).
+    bw: Vec<Option<BwVariant>>,
+    /// Scratch: links whose utilization class the last snapshot moved.
+    moved_up: LinkSet,
+    moved_down: LinkSet,
+    /// Scratch: effective loads and fresh classes of one side.
+    eff: Vec<f64>,
+    new_classes: Vec<u32>,
+    /// Scratch: distinct-flow marks for impact counting.
+    touched: Vec<bool>,
+    touched_list: Vec<usize>,
     /// Table/index buffers recycled across every re-entered session.
     arena: TableArena,
     /// One retained LP scenario per variant, keyed by variant index.
@@ -308,6 +402,11 @@ pub struct ChurnDriver<'u> {
     pub incremental_sessions: u64,
     /// Full cold sessions forced by the impact threshold.
     pub fallback_sessions: u64,
+    /// Load events whose quantized class signature was unchanged on
+    /// every cached footprint (provable outcome-cache hit).
+    pub signature_hits: u64,
+    /// Load events that moved at least one cached row's class bucket.
+    pub signature_misses: u64,
     /// Deterministic work units spent by the last event.
     last_work: u64,
     /// LP failures (iteration cap / numerical trouble) — hard errors.
@@ -322,6 +421,7 @@ impl<'u> ChurnDriver<'u> {
         let state = LogicalState::new(initial_active);
         let lp_enabled =
             state.num_active * pair.variants[0].pair.num_interconnections() <= cfg.max_lp_variables;
+        let num_flows = pair.num_flows();
         let mut driver = Self {
             pair,
             cfg,
@@ -335,6 +435,13 @@ impl<'u> ChurnDriver<'u> {
                 opt_t: None,
             },
             caches: pair.variants.iter().map(|_| None).collect(),
+            bw: pair.variants.iter().map(|_| None).collect(),
+            moved_up: LinkSet::new(pair.caps_up.len()),
+            moved_down: LinkSet::new(pair.caps_down.len()),
+            eff: Vec::new(),
+            new_classes: Vec::new(),
+            touched: vec![false; num_flows],
+            touched_list: Vec::new(),
             arena: TableArena::new(),
             lp: BandwidthLp::new(),
             lp_enabled,
@@ -343,9 +450,14 @@ impl<'u> ChurnDriver<'u> {
             cached_outcomes: 0,
             incremental_sessions: 0,
             fallback_sessions: 0,
+            signature_hits: 0,
+            signature_misses: 0,
             last_work: 0,
             lp_errors: Vec::new(),
         };
+        if cfg.objective == Objective::Bandwidth {
+            driver.rebuild_bw(0);
+        }
         driver.renegotiate(true);
         driver.resolve_baseline();
         driver.fallback_sessions = 0; // the bring-up session is not churn
@@ -373,8 +485,33 @@ impl<'u> ChurnDriver<'u> {
         self.lp.warm_stats()
     }
 
+    /// Aggregate gain-cache counters across all variant caches:
+    /// `(rows refreshed, rows served, rows footprint-invalidated)`.
+    pub fn cache_stats(&self) -> (u64, u64, u64) {
+        self.caches
+            .iter()
+            .flatten()
+            .fold((0, 0, 0), |(r, s, i), (a, b)| {
+                (
+                    r + a.refreshed() + b.refreshed(),
+                    s + a.served() + b.served(),
+                    i + a.load_invalidated() + b.load_invalidated(),
+                )
+            })
+    }
+
     /// Process one event incrementally.
     pub fn apply(&mut self, event: &ChurnEvent) {
+        match self.cfg.objective {
+            Objective::Distance => self.apply_distance(event),
+            Objective::Bandwidth => self.apply_bandwidth(event),
+        }
+    }
+
+    /// The distance delta path: rows are geometry-static per variant, so
+    /// a load delta provably leaves the whole gain table (and hence the
+    /// outcome) untouched, and a flow event impacts exactly one row.
+    fn apply_distance(&mut self, event: &ChurnEvent) {
         let impacted = self.state.apply(self.pair, event.kind);
         let lp_structural = !matches!(event.kind, ChurnKind::LoadDelta { .. });
         let mut work = 0u64;
@@ -399,6 +536,234 @@ impl<'u> ChurnDriver<'u> {
         self.last_work = work + 1;
     }
 
+    /// The bandwidth delta path. Flow events first move the flow's
+    /// volume between the active and background load layers (O(links
+    /// touched)); then the utilization-class snapshot is refreshed and
+    /// every cached row whose footprint intersects a moved class is
+    /// invalidated. The impacted set is the distinct *active* flows
+    /// those invalidations touched (plus the churned flow itself for
+    /// membership changes); zero impacted rows is a provable
+    /// outcome-cache hit — the session's gain tables are bit-identical
+    /// to a fresh fill against the new snapshot.
+    fn apply_bandwidth(&mut self, event: &ChurnEvent) {
+        self.state.apply(self.pair, event.kind);
+        let lp_structural = !matches!(event.kind, ChurnKind::LoadDelta { .. });
+        let mut work = 0u64;
+        match event.kind {
+            ChurnKind::LinkFail(_) | ChurnKind::LinkRestore => {
+                // Variant switch: every row's alternative set (and the
+                // defaults the load layers accumulate over) changed.
+                self.rebuild_bw(self.state.variant);
+                self.fallback_sessions += 1;
+                work += self.renegotiate(true);
+            }
+            ChurnKind::LoadDelta { .. } | ChurnKind::FlowAdd(_) | ChurnKind::FlowRemove(_) => {
+                match event.kind {
+                    ChurnKind::FlowAdd(f) => self.shift_flow_layer(f, true),
+                    ChurnKind::FlowRemove(f) => self.shift_flow_layer(f, false),
+                    _ => {}
+                }
+                self.refresh_classes(self.state.variant);
+                let invalidated_active = self.invalidate_moved();
+                let impacted = match event.kind {
+                    ChurnKind::LoadDelta { .. } => invalidated_active,
+                    // The churned flow impacts the session through its
+                    // table membership even when no class moved; count
+                    // it once.
+                    ChurnKind::FlowAdd(f) => {
+                        invalidated_active + usize::from(!self.touched[f.index()])
+                    }
+                    ChurnKind::FlowRemove(_) => invalidated_active + 1,
+                    _ => unreachable!(),
+                };
+                if impacted == 0 {
+                    self.cached_outcomes += 1;
+                    self.signature_hits += 1;
+                } else {
+                    if matches!(event.kind, ChurnKind::LoadDelta { .. }) {
+                        self.signature_misses += 1;
+                    }
+                    let fraction = impacted as f64 / self.state.num_active.max(1) as f64;
+                    let fallback = fraction > self.cfg.impact_threshold;
+                    if fallback {
+                        self.fallback_sessions += 1;
+                    } else {
+                        self.incremental_sessions += 1;
+                    }
+                    work += self.renegotiate(fallback);
+                }
+            }
+        }
+        if lp_structural {
+            self.lp_epoch += 1;
+        }
+        work += self.resolve_baseline();
+        self.last_work = work + 1;
+    }
+
+    /// Rebuild the bandwidth load state for `variant` from scratch (the
+    /// bring-up and topology-flap path): re-aggregate both layers over
+    /// the variant's own defaults in flow order — the same order a cold
+    /// rebuild sums in, so the accumulators are bit-identical to a fresh
+    /// aggregation — and quantize the effective loads.
+    fn rebuild_bw(&mut self, variant: usize) {
+        let pair = self.pair;
+        let data = &pair.variants[variant];
+        let bw = self.bw[variant]
+            .get_or_insert_with(|| BwVariant::zero(pair.caps_up.len(), pair.caps_down.len()));
+        bw.reset();
+        for (i, &on) in self.state.active.iter().enumerate() {
+            let f = FlowId::new(i);
+            let d = data.default.choice(f);
+            let volume = data.flows.flows[i].volume;
+            let (up, down) = if on {
+                (&mut bw.active_up, &mut bw.active_down)
+            } else {
+                (&mut bw.background_up, &mut bw.background_down)
+            };
+            up.add_path(data.paths.up_links(f, d), volume);
+            down.add_path(data.paths.down_links(f, d), volume);
+        }
+        let scale = self.state.scale;
+        self.eff.clear();
+        self.eff.extend(
+            bw.active_up
+                .loads()
+                .iter()
+                .zip(bw.background_up.loads())
+                .map(|(&a, &b)| a + scale * b),
+        );
+        utilization_classes(&self.eff, &pair.caps_up, &mut self.new_classes);
+        bw.classes_up.copy_from_slice(&self.new_classes);
+        self.eff.clear();
+        self.eff.extend(
+            bw.active_down
+                .loads()
+                .iter()
+                .zip(bw.background_down.loads())
+                .map(|(&a, &b)| a + scale * b),
+        );
+        utilization_classes(&self.eff, &pair.caps_down, &mut self.new_classes);
+        bw.classes_down.copy_from_slice(&self.new_classes);
+    }
+
+    /// Move flow `f`'s volume between the background and active load
+    /// layers along its default paths on the current variant — the
+    /// O(links touched) accumulator maintenance a flow event needs.
+    fn shift_flow_layer(&mut self, f: FlowId, becoming_active: bool) {
+        let data = &self.pair.variants[self.state.variant];
+        let d = data.default.choice(f);
+        let volume = data.flows.flows[f.index()].volume;
+        let bw = self.bw[self.state.variant]
+            .as_mut()
+            .expect("bandwidth state built for the live variant");
+        let up = data.paths.up_links(f, d);
+        let down = data.paths.down_links(f, d);
+        let (from_up, to_up, from_down, to_down) = if becoming_active {
+            (
+                &mut bw.background_up,
+                &mut bw.active_up,
+                &mut bw.background_down,
+                &mut bw.active_down,
+            )
+        } else {
+            (
+                &mut bw.active_up,
+                &mut bw.background_up,
+                &mut bw.active_down,
+                &mut bw.background_down,
+            )
+        };
+        from_up.add_path(up, -volume);
+        to_up.add_path(up, volume);
+        from_down.add_path(down, -volume);
+        to_down.add_path(down, volume);
+    }
+
+    /// Re-quantize the effective loads of `variant` and collect the
+    /// links whose utilization class moved into the per-side scratch
+    /// [`LinkSet`]s.
+    fn refresh_classes(&mut self, variant: usize) {
+        let pair = self.pair;
+        let scale = self.state.scale;
+        let bw = self.bw[variant]
+            .as_mut()
+            .expect("bandwidth state built for the live variant");
+        self.moved_up.clear();
+        self.moved_down.clear();
+        self.eff.clear();
+        self.eff.extend(
+            bw.active_up
+                .loads()
+                .iter()
+                .zip(bw.background_up.loads())
+                .map(|(&a, &b)| a + scale * b),
+        );
+        utilization_classes(&self.eff, &pair.caps_up, &mut self.new_classes);
+        for (l, (&new, old)) in self
+            .new_classes
+            .iter()
+            .zip(bw.classes_up.iter_mut())
+            .enumerate()
+        {
+            if new != *old {
+                *old = new;
+                self.moved_up.insert(LinkId::new(l));
+            }
+        }
+        self.eff.clear();
+        self.eff.extend(
+            bw.active_down
+                .loads()
+                .iter()
+                .zip(bw.background_down.loads())
+                .map(|(&a, &b)| a + scale * b),
+        );
+        utilization_classes(&self.eff, &pair.caps_down, &mut self.new_classes);
+        for (l, (&new, old)) in self
+            .new_classes
+            .iter()
+            .zip(bw.classes_down.iter_mut())
+            .enumerate()
+        {
+            if new != *old {
+                *old = new;
+                self.moved_down.insert(LinkId::new(l));
+            }
+        }
+    }
+
+    /// Footprint invalidation against the scratch moved-link sets:
+    /// advance both side caches' load epochs, drop every cached row
+    /// whose footprint intersects a moved link, and return the number of
+    /// **distinct active** flows among the dropped rows (inactive rows
+    /// are invalidated too but do not impact the session).
+    fn invalidate_moved(&mut self) -> usize {
+        for &f in &self.touched_list {
+            self.touched[f] = false;
+        }
+        self.touched_list.clear();
+        let caches = self.caches[self.state.variant]
+            .as_mut()
+            .expect("caches built at bring-up");
+        let touched = &mut self.touched;
+        let touched_list = &mut self.touched_list;
+        let active = &self.state.active;
+        let mut count = 0usize;
+        let mut mark = |f: usize| {
+            if !touched[f] {
+                touched[f] = true;
+                touched_list.push(f);
+                if active[f] {
+                    count += 1;
+                }
+            }
+        };
+        caches.0.bump_load_epoch(&self.moved_up, &mut mark);
+        caches.1.bump_load_epoch(&self.moved_down, &mut mark);
+        count
+    }
+
     /// Re-enter the negotiation machine on the current variant. With
     /// `fallback` the variant's caches are invalidated wholesale (a
     /// full cold session); otherwise rows are served from the memo and
@@ -410,8 +775,12 @@ impl<'u> ChurnDriver<'u> {
         let data = &pair.variants[self.state.variant];
         let k = data.pair.num_interconnections();
         if self.caches[self.state.variant].is_none() {
-            let a = GainCache::new_in(&mut self.arena, data.flows.len(), k);
-            let b = GainCache::new_in(&mut self.arena, data.flows.len(), k);
+            let mut a = GainCache::new_in(&mut self.arena, data.flows.len(), k);
+            let mut b = GainCache::new_in(&mut self.arena, data.flows.len(), k);
+            if self.cfg.objective == Objective::Bandwidth {
+                a = a.with_footprints(pair.caps_up.len());
+                b = b.with_footprints(pair.caps_down.len());
+            }
             self.caches[self.state.variant] = Some((a, b));
         }
         let input = session_input(data, &self.state.active);
@@ -425,14 +794,47 @@ impl<'u> ChurnDriver<'u> {
         let rows_before = caches.0.refreshed() + caches.1.refreshed();
         let outcome = {
             let (cache_a, cache_b) = caches;
-            let mut party_a = Party::honest(
-                "A",
-                CachedDistanceMapper::new(Side::A, &data.flows, cache_a),
-            );
-            let mut party_b = Party::honest(
-                "B",
-                CachedDistanceMapper::new(Side::B, &data.flows, cache_b),
-            );
+            let (mut party_a, mut party_b) = match self.cfg.objective {
+                Objective::Distance => (
+                    Party::honest(
+                        "A",
+                        CachedDistanceMapper::new(Side::A, &data.flows, cache_a),
+                    ),
+                    Party::honest(
+                        "B",
+                        CachedDistanceMapper::new(Side::B, &data.flows, cache_b),
+                    ),
+                ),
+                Objective::Bandwidth => {
+                    let bw = self.bw[self.state.variant]
+                        .as_ref()
+                        .expect("bandwidth state built for the live variant");
+                    (
+                        Party::honest(
+                            "A",
+                            CachedBandwidthMapper::new(
+                                Side::A,
+                                &data.flows,
+                                &data.paths,
+                                &pair.caps_up,
+                                &bw.classes_up,
+                                cache_a,
+                            ),
+                        ),
+                        Party::honest(
+                            "B",
+                            CachedBandwidthMapper::new(
+                                Side::B,
+                                &data.flows,
+                                &data.paths,
+                                &pair.caps_down,
+                                &bw.classes_down,
+                                cache_b,
+                            ),
+                        ),
+                    )
+                }
+            };
             negotiate_in(
                 &mut self.arena,
                 &input,
@@ -518,8 +920,62 @@ pub fn cold_rebuild(
     let data = &pair.variants[state.variant];
     let k = data.pair.num_interconnections();
     let input = session_input(data, &state.active);
-    let mut party_a = Party::honest("A", DistanceMapper::new(Side::A, &data.flows));
-    let mut party_b = Party::honest("B", DistanceMapper::new(Side::B, &data.flows));
+    // Bandwidth only: fresh two-layer load aggregation in flow order
+    // (the same order the driver's rebuild path sums in) and a fresh
+    // class snapshot — the reference the incremental snapshot must
+    // reproduce bit-for-bit.
+    let mut classes_up = Vec::new();
+    let mut classes_down = Vec::new();
+    if cfg.objective == Objective::Bandwidth {
+        let mut active_up = SideLoads::zero(pair.caps_up.len());
+        let mut active_down = SideLoads::zero(pair.caps_down.len());
+        let mut background_up = SideLoads::zero(pair.caps_up.len());
+        let mut background_down = SideLoads::zero(pair.caps_down.len());
+        for (i, &on) in state.active.iter().enumerate() {
+            let f = FlowId::new(i);
+            let d = data.default.choice(f);
+            let volume = data.flows.flows[i].volume;
+            let (up, down) = if on {
+                (&mut active_up, &mut active_down)
+            } else {
+                (&mut background_up, &mut background_down)
+            };
+            up.add_path(data.paths.up_links(f, d), volume);
+            down.add_path(data.paths.down_links(f, d), volume);
+        }
+        let eff_up: Vec<f64> = active_up
+            .loads()
+            .iter()
+            .zip(background_up.loads())
+            .map(|(&a, &b)| a + state.scale * b)
+            .collect();
+        utilization_classes(&eff_up, &pair.caps_up, &mut classes_up);
+        let eff_down: Vec<f64> = active_down
+            .loads()
+            .iter()
+            .zip(background_down.loads())
+            .map(|(&a, &b)| a + state.scale * b)
+            .collect();
+        utilization_classes(&eff_down, &pair.caps_down, &mut classes_down);
+    }
+    let (mut party_a, mut party_b) = match cfg.objective {
+        Objective::Distance => (
+            Party::honest("A", DistanceMapper::new(Side::A, &data.flows)),
+            Party::honest("B", DistanceMapper::new(Side::B, &data.flows)),
+        ),
+        Objective::Bandwidth => (
+            Party::honest(
+                "A",
+                BandwidthMapper::new(Side::A, &data.flows, &data.paths, &pair.caps_up)
+                    .with_classes(&classes_up),
+            ),
+            Party::honest(
+                "B",
+                BandwidthMapper::new(Side::B, &data.flows, &data.paths, &pair.caps_down)
+                    .with_classes(&classes_down),
+            ),
+        ),
+    };
     let outcome = negotiate(
         &input,
         &data.default,
@@ -670,6 +1126,11 @@ struct PairRun {
     cached_outcomes: u64,
     incremental_sessions: u64,
     fallback_sessions: u64,
+    signature_hits: u64,
+    signature_misses: u64,
+    rows_refreshed: u64,
+    rows_served: u64,
+    rows_load_invalidated: u64,
     final_choices: Vec<IcxId>,
     lp_stats: WarmStats,
     lp_skipped: bool,
@@ -696,6 +1157,11 @@ fn replay_pair(
         cached_outcomes: 0,
         incremental_sessions: 0,
         fallback_sessions: 0,
+        signature_hits: 0,
+        signature_misses: 0,
+        rows_refreshed: 0,
+        rows_served: 0,
+        rows_load_invalidated: 0,
         final_choices: Vec::new(),
         lp_stats: WarmStats::default(),
         lp_skipped: !driver.lp_enabled,
@@ -723,6 +1189,12 @@ fn replay_pair(
     run.cached_outcomes = driver.cached_outcomes;
     run.incremental_sessions = driver.incremental_sessions;
     run.fallback_sessions = driver.fallback_sessions;
+    run.signature_hits = driver.signature_hits;
+    run.signature_misses = driver.signature_misses;
+    let (refreshed, served, load_invalidated) = driver.cache_stats();
+    run.rows_refreshed = refreshed;
+    run.rows_served = served;
+    run.rows_load_invalidated = load_invalidated;
     run.final_choices = driver.negotiated().assignment.choices().to_vec();
     run.lp_stats = driver.lp_stats();
     run
@@ -759,6 +1231,8 @@ fn divergence(incremental: &NegotiatedState, cold: &NegotiatedState) -> Option<S
 
 /// Everything `experiments churn` measures.
 pub struct ChurnReport {
+    /// The objective the sweep negotiated under.
+    pub objective: Objective,
     /// Pairs replayed.
     pub pairs: usize,
     /// Total events across all feeds.
@@ -769,6 +1243,16 @@ pub struct ChurnReport {
     pub incremental_sessions: u64,
     /// Threshold-forced full cold sessions.
     pub fallback_sessions: u64,
+    /// Load-signature checks that left every cached row valid.
+    pub signature_hits: u64,
+    /// Load deltas whose moved classes invalidated at least one row.
+    pub signature_misses: u64,
+    /// Gain rows (re)computed across all caches.
+    pub rows_refreshed: u64,
+    /// Gain rows served from the memo without recomputation.
+    pub rows_served: u64,
+    /// Gain rows dropped by footprint-keyed load invalidation.
+    pub rows_load_invalidated: u64,
     /// Prefix replays that did not match the cold rebuild (must be 0).
     pub divergences: usize,
     /// Per-event incremental latency (wall-clock, ns).
@@ -795,9 +1279,18 @@ pub struct ChurnReport {
 /// verify every event prefix against a from-scratch cold rebuild, then
 /// rerun the incremental path at 1, 2 and 4 workers and require
 /// byte-identical assignments and work series.
-pub fn run(max_pairs: usize, events_per_pair: usize, threads: usize, seed: u64) -> ChurnReport {
+pub fn run(
+    max_pairs: usize,
+    events_per_pair: usize,
+    threads: usize,
+    seed: u64,
+    objective: Objective,
+) -> ChurnReport {
     let u = universe();
-    let cfg = ChurnConfig::default();
+    let cfg = ChurnConfig {
+        objective,
+        ..ChurnConfig::default()
+    };
     let eligible = u.eligible_pairs(3, false);
     assert!(
         !eligible.is_empty(),
@@ -829,11 +1322,17 @@ pub fn run(max_pairs: usize, events_per_pair: usize, threads: usize, seed: u64) 
     let main = sweep(threads, true);
 
     let mut report = ChurnReport {
+        objective,
         pairs: pairs.len(),
         events: feeds.iter().map(|(_, t)| t.len()).sum(),
         cached_outcomes: 0,
         incremental_sessions: 0,
         fallback_sessions: 0,
+        signature_hits: 0,
+        signature_misses: 0,
+        rows_refreshed: 0,
+        rows_served: 0,
+        rows_load_invalidated: 0,
         divergences: 0,
         latency: StreamingCdf::default(),
         cold_latency: StreamingCdf::default(),
@@ -849,6 +1348,11 @@ pub fn run(max_pairs: usize, events_per_pair: usize, threads: usize, seed: u64) 
         report.cached_outcomes += run.cached_outcomes;
         report.incremental_sessions += run.incremental_sessions;
         report.fallback_sessions += run.fallback_sessions;
+        report.signature_hits += run.signature_hits;
+        report.signature_misses += run.signature_misses;
+        report.rows_refreshed += run.rows_refreshed;
+        report.rows_served += run.rows_served;
+        report.rows_load_invalidated += run.rows_load_invalidated;
         report.divergences += run.divergences;
         report.latency.extend(run.latency_ns.iter().copied());
         report
@@ -878,6 +1382,11 @@ pub fn run(max_pairs: usize, events_per_pair: usize, threads: usize, seed: u64) 
                 && r.cached_outcomes == m.cached_outcomes
                 && r.incremental_sessions == m.incremental_sessions
                 && r.fallback_sessions == m.fallback_sessions
+                && r.signature_hits == m.signature_hits
+                && r.signature_misses == m.signature_misses
+                && r.rows_refreshed == m.rows_refreshed
+                && r.rows_served == m.rows_served
+                && r.rows_load_invalidated == m.rows_load_invalidated
         });
         if !identical {
             report.deterministic = false;
@@ -905,8 +1414,26 @@ pub fn run(max_pairs: usize, events_per_pair: usize, threads: usize, seed: u64) 
 /// Print the sweep.
 pub fn report(r: &ChurnReport) {
     println!(
-        "churn: {} pairs, {} events ({} outcome-cached, {} incremental sessions, {} cold fallbacks)",
-        r.pairs, r.events, r.cached_outcomes, r.incremental_sessions, r.fallback_sessions
+        "churn [{}]: {} pairs, {} events ({} outcome-cached, {} incremental sessions, {} cold fallbacks)",
+        r.objective.name(),
+        r.pairs,
+        r.events,
+        r.cached_outcomes,
+        r.incremental_sessions,
+        r.fallback_sessions
+    );
+    let signature_checks = r.signature_hits + r.signature_misses;
+    if signature_checks > 0 {
+        println!(
+            "load-signature checks: {} hits / {} misses ({:.1}% hit rate)",
+            r.signature_hits,
+            r.signature_misses,
+            100.0 * r.signature_hits as f64 / signature_checks as f64
+        );
+    }
+    println!(
+        "gain cache: {} rows refreshed, {} served from memo, {} footprint-invalidated",
+        r.rows_refreshed, r.rows_served, r.rows_load_invalidated
     );
     println!(
         "prefix replays vs cold rebuild: {} divergence(s); 1/2/4-worker reruns identical: {}",
@@ -946,7 +1473,7 @@ mod tests {
 
     #[test]
     fn small_sweep_has_no_violations() {
-        let r = run(2, 30, 2, 7);
+        let r = run(2, 30, 2, 7, Objective::Distance);
         assert!(r.violations.is_empty(), "violations: {:?}", r.violations);
         assert_eq!(r.divergences, 0);
         assert!(r.deterministic);
@@ -959,6 +1486,51 @@ mod tests {
             r.lp_stats.warm_reentries() > 0,
             "baseline must re-enter warm"
         );
+    }
+
+    #[test]
+    fn small_bandwidth_sweep_has_no_violations() {
+        let r = run(2, 30, 2, 7, Objective::Bandwidth);
+        assert!(r.violations.is_empty(), "violations: {:?}", r.violations);
+        assert_eq!(r.divergences, 0);
+        assert!(r.deterministic);
+        assert!(
+            r.signature_hits + r.signature_misses > 0,
+            "load deltas must consult the signature"
+        );
+        assert!(
+            r.rows_served > 0,
+            "footprint invalidation must leave rows to serve from the memo"
+        );
+        assert!(
+            r.rows_load_invalidated > 0,
+            "moved classes must invalidate footprint-intersecting rows"
+        );
+    }
+
+    #[test]
+    fn unmoved_classes_are_a_signature_hit() {
+        let u = universe();
+        let idx = u.eligible_pairs(3, false)[0];
+        let pair = ChurnPair::build(&u, idx, 2);
+        let initial = initial_active(&pair, 3);
+        let cfg = ChurnConfig {
+            objective: Objective::Bandwidth,
+            ..ChurnConfig::default()
+        };
+        let mut driver = ChurnDriver::new(&pair, initial, cfg);
+        // Re-asserting the current background scale moves no effective
+        // load, so no utilization class moves, no row is invalidated,
+        // and the outcome cache answers without renegotiating.
+        driver.apply(&ChurnEvent {
+            tick: 1,
+            kind: ChurnKind::LoadDelta { factor: 1.0 },
+        });
+        assert_eq!(driver.signature_hits, 1);
+        assert_eq!(driver.signature_misses, 0);
+        assert_eq!(driver.cached_outcomes, 1);
+        let (_, _, load_invalidated) = driver.cache_stats();
+        assert_eq!(load_invalidated, 0);
     }
 
     #[test]
@@ -986,21 +1558,27 @@ mod tests {
 
     #[test]
     fn every_prefix_matches_the_cold_rebuild() {
-        let u = universe();
-        let idx = u.eligible_pairs(3, false)[0];
-        let pair = ChurnPair::build(&u, idx, 2);
-        let initial = initial_active(&pair, 21);
-        let trace = generate_trace(&pair, &initial, 25, 21);
-        let cfg = ChurnConfig::default();
-        let mut driver = ChurnDriver::new(&pair, initial, cfg);
-        for event in &trace {
-            driver.apply(event);
-            let (cold, _) = cold_rebuild(&pair, driver.state(), &cfg);
-            assert_eq!(
-                divergence(driver.negotiated(), &cold),
-                None,
-                "prefix diverged at {event:?}"
-            );
+        for objective in [Objective::Distance, Objective::Bandwidth] {
+            let u = universe();
+            let idx = u.eligible_pairs(3, false)[0];
+            let pair = ChurnPair::build(&u, idx, 2);
+            let initial = initial_active(&pair, 21);
+            let trace = generate_trace(&pair, &initial, 25, 21);
+            let cfg = ChurnConfig {
+                objective,
+                ..ChurnConfig::default()
+            };
+            let mut driver = ChurnDriver::new(&pair, initial, cfg);
+            for event in &trace {
+                driver.apply(event);
+                let (cold, _) = cold_rebuild(&pair, driver.state(), &cfg);
+                assert_eq!(
+                    divergence(driver.negotiated(), &cold),
+                    None,
+                    "[{}] prefix diverged at {event:?}",
+                    objective.name()
+                );
+            }
         }
     }
 

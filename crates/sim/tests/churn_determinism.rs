@@ -10,40 +10,49 @@
 //! shape (one sample per event).
 
 use nexit_sim::churn::{
-    self, ChurnConfig, ChurnDriver, ChurnEvent, ChurnPair, LogicalState, NegotiatedState,
+    self, ChurnConfig, ChurnDriver, ChurnEvent, ChurnPair, LogicalState, NegotiatedState, Objective,
 };
 
 /// Same seed + feed ⇒ byte-identical final assignments, work series and
-/// path counters at 1, 2 and 4 worker threads.
+/// path counters at 1, 2 and 4 worker threads — under both objectives.
 #[test]
 fn sweep_is_identical_across_thread_counts() {
-    let runs: Vec<_> = [1usize, 2, 4]
-        .iter()
-        .map(|&threads| churn::run(3, 40, threads, 9))
-        .collect();
-    let reference = &runs[0];
-    assert!(
-        reference.violations.is_empty(),
-        "violations: {:?}",
-        reference.violations
-    );
-    assert_eq!(reference.divergences, 0);
-    for run in &runs[1..] {
-        assert_eq!(run.final_assignments, reference.final_assignments);
-        assert_eq!(run.work, reference.work, "work series must be identical");
-        assert_eq!(run.work.series(), reference.work.series());
-        assert_eq!(run.cached_outcomes, reference.cached_outcomes);
-        assert_eq!(run.incremental_sessions, reference.incremental_sessions);
-        assert_eq!(run.fallback_sessions, reference.fallback_sessions);
-        assert_eq!(run.lp_stats, reference.lp_stats);
-        // Wall-clock values differ; the sample count may not.
-        assert_eq!(run.latency.len(), reference.latency.len());
+    for objective in [Objective::Distance, Objective::Bandwidth] {
+        let runs: Vec<_> = [1usize, 2, 4]
+            .iter()
+            .map(|&threads| churn::run(3, 40, threads, 9, objective))
+            .collect();
+        let reference = &runs[0];
         assert!(
-            run.violations.is_empty(),
-            "violations: {:?}",
-            run.violations
+            reference.violations.is_empty(),
+            "[{}] violations: {:?}",
+            objective.name(),
+            reference.violations
         );
-        assert!(run.deterministic);
+        assert_eq!(reference.divergences, 0);
+        for run in &runs[1..] {
+            assert_eq!(run.final_assignments, reference.final_assignments);
+            assert_eq!(run.work, reference.work, "work series must be identical");
+            assert_eq!(run.work.series(), reference.work.series());
+            assert_eq!(run.cached_outcomes, reference.cached_outcomes);
+            assert_eq!(run.incremental_sessions, reference.incremental_sessions);
+            assert_eq!(run.fallback_sessions, reference.fallback_sessions);
+            assert_eq!(run.signature_hits, reference.signature_hits);
+            assert_eq!(run.signature_misses, reference.signature_misses);
+            assert_eq!(run.rows_refreshed, reference.rows_refreshed);
+            assert_eq!(run.rows_served, reference.rows_served);
+            assert_eq!(run.rows_load_invalidated, reference.rows_load_invalidated);
+            assert_eq!(run.lp_stats, reference.lp_stats);
+            // Wall-clock values differ; the sample count may not.
+            assert_eq!(run.latency.len(), reference.latency.len());
+            assert!(
+                run.violations.is_empty(),
+                "[{}] violations: {:?}",
+                objective.name(),
+                run.violations
+            );
+            assert!(run.deterministic);
+        }
     }
 }
 
@@ -82,32 +91,38 @@ fn replay_prefix(
 /// 1e-6.
 #[test]
 fn every_prefix_replay_equals_the_cold_rebuild() {
-    let u = churn::universe();
-    let idx = u.eligible_pairs(3, false)[0];
-    let pair = ChurnPair::build(&u, idx, 2);
-    let cfg = ChurnConfig::default();
-    let initial = churn::initial_active(&pair, 33);
-    let trace = churn::generate_trace(&pair, &initial, 18, 33);
-    for len in 0..=trace.len() {
-        let (incremental, state) = replay_prefix(&pair, &initial, &trace[..len], cfg);
-        let (cold, _work) = churn::cold_rebuild(&pair, &state, &cfg);
-        assert_eq!(
-            incremental.assignment.choices(),
-            cold.assignment.choices(),
-            "assignment diverged after {len} event(s)"
-        );
-        assert_eq!(
-            (incremental.gain_a, incremental.gain_b),
-            (cold.gain_a, cold.gain_b)
-        );
-        assert_eq!(incremental.termination, cold.termination);
-        assert_eq!(incremental.reassignments, cold.reassignments);
-        match (incremental.opt_t, cold.opt_t) {
-            (Some(w), Some(c)) => assert!(
-                (w - c).abs() <= 1e-6,
-                "LP objective diverged after {len} event(s): warm {w} vs cold {c}"
-            ),
-            (w, c) => assert_eq!(w.is_some(), c.is_some(), "LP evaluated on one path only"),
+    for objective in [Objective::Distance, Objective::Bandwidth] {
+        let u = churn::universe();
+        let idx = u.eligible_pairs(3, false)[0];
+        let pair = ChurnPair::build(&u, idx, 2);
+        let cfg = ChurnConfig {
+            objective,
+            ..ChurnConfig::default()
+        };
+        let initial = churn::initial_active(&pair, 33);
+        let trace = churn::generate_trace(&pair, &initial, 18, 33);
+        for len in 0..=trace.len() {
+            let (incremental, state) = replay_prefix(&pair, &initial, &trace[..len], cfg);
+            let (cold, _work) = churn::cold_rebuild(&pair, &state, &cfg);
+            assert_eq!(
+                incremental.assignment.choices(),
+                cold.assignment.choices(),
+                "[{}] assignment diverged after {len} event(s)",
+                objective.name()
+            );
+            assert_eq!(
+                (incremental.gain_a, incremental.gain_b),
+                (cold.gain_a, cold.gain_b)
+            );
+            assert_eq!(incremental.termination, cold.termination);
+            assert_eq!(incremental.reassignments, cold.reassignments);
+            match (incremental.opt_t, cold.opt_t) {
+                (Some(w), Some(c)) => assert!(
+                    (w - c).abs() <= 1e-6,
+                    "LP objective diverged after {len} event(s): warm {w} vs cold {c}"
+                ),
+                (w, c) => assert_eq!(w.is_some(), c.is_some(), "LP evaluated on one path only"),
+            }
         }
     }
 }

@@ -9,17 +9,28 @@
 //! link sequences inside both ISPs, so load accumulation and incremental
 //! what-if queries are cheap inner loops.
 
-use nexit_routing::{flow_links, PairFlows, ShortestPaths};
+use nexit_routing::{flow_links_into, PairFlows, ShortestPaths};
 use nexit_routing::{Assignment, FlowId};
 use nexit_topology::{IcxId, LinkId, PairView};
 
-/// Precomputed link paths for every (flow, alternative) combination.
+/// Precomputed link paths for every (flow, alternative) combination,
+/// stored CSR-style: one flat link buffer per side plus `flows × k + 1`
+/// offsets, so building the table is two allocations per side instead
+/// of a `Vec` per (flow, alternative) and lookups stay cache-dense.
 #[derive(Debug, Clone)]
 pub struct PathTable {
-    /// `up[flow][icx]` = links inside the upstream ISP.
-    up: Vec<Vec<Vec<LinkId>>>,
-    /// `down[flow][icx]` = links inside the downstream ISP.
-    down: Vec<Vec<Vec<LinkId>>>,
+    /// Alternatives per flow.
+    k: usize,
+    /// Flows covered.
+    num_flows: usize,
+    /// Concatenated upstream link sequences, segment `flow * k + icx`.
+    up: Vec<LinkId>,
+    /// `up_bounds[i]..up_bounds[i + 1]` bounds segment `i` of `up`.
+    up_bounds: Vec<u32>,
+    /// Concatenated downstream link sequences.
+    down: Vec<LinkId>,
+    /// Segment bounds of `down`.
+    down_bounds: Vec<u32>,
 }
 
 impl PathTable {
@@ -31,44 +42,61 @@ impl PathTable {
         flows: &PairFlows,
     ) -> Self {
         let k = view.num_interconnections();
-        let mut up = Vec::with_capacity(flows.len());
-        let mut down = Vec::with_capacity(flows.len());
+        let mut up = Vec::new();
+        let mut down = Vec::new();
+        let mut up_bounds = Vec::with_capacity(flows.len() * k + 1);
+        let mut down_bounds = Vec::with_capacity(flows.len() * k + 1);
+        up_bounds.push(0);
+        down_bounds.push(0);
         for (_, flow, _) in flows.iter() {
-            let mut fu = Vec::with_capacity(k);
-            let mut fd = Vec::with_capacity(k);
             for i in 0..k {
-                let (u, d) = flow_links(view, sp_up, sp_down, flow, IcxId::new(i));
-                fu.push(u);
-                fd.push(d);
+                flow_links_into(
+                    view,
+                    sp_up,
+                    sp_down,
+                    flow,
+                    IcxId::new(i),
+                    &mut up,
+                    &mut down,
+                );
+                up_bounds.push(u32::try_from(up.len()).expect("path table under 4G links"));
+                down_bounds.push(u32::try_from(down.len()).expect("path table under 4G links"));
             }
-            up.push(fu);
-            down.push(fd);
         }
-        Self { up, down }
+        Self {
+            k,
+            num_flows: flows.len(),
+            up,
+            up_bounds,
+            down,
+            down_bounds,
+        }
     }
 
     /// Upstream links for one (flow, alternative).
     #[inline]
     pub fn up_links(&self, flow: FlowId, icx: IcxId) -> &[LinkId] {
-        &self.up[flow.index()][icx.index()]
+        let i = flow.index() * self.k + icx.index();
+        &self.up[self.up_bounds[i] as usize..self.up_bounds[i + 1] as usize]
     }
 
     /// Downstream links for one (flow, alternative).
     #[inline]
     pub fn down_links(&self, flow: FlowId, icx: IcxId) -> &[LinkId] {
-        &self.down[flow.index()][icx.index()]
+        let i = flow.index() * self.k + icx.index();
+        &self.down[self.down_bounds[i] as usize..self.down_bounds[i + 1] as usize]
     }
 
     /// Number of flows covered.
     #[inline]
     pub fn len(&self) -> usize {
-        self.up.len()
+        self.num_flows
     }
 
     /// True when no flows are covered.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.up.is_empty()
+        self.num_flows == 0
     }
 }
 

@@ -219,6 +219,23 @@ def self_test():
     )
     assert fails == ["churn/replay"], f"dropped churn row not flagged: {fails}"
 
+    # The bandwidth-objective churn rows ride the same wiring: both
+    # pinned with --require-row, incremental >= 2x under cold via
+    # --require-ratio; exercise the exact row names the job passes.
+    cur = {"churn/bw_replay": 150_000_000.0, "churn/bw_cold_replay": 900_000_000.0}
+    fails, _ = check_ratios(cur, ["churn/bw_cold_replay:churn/bw_replay:2.0"])
+    assert not fails, f"healthy bw churn ratio tripped the gate: {fails}"
+    fails, _ = check_required_rows(cur, ["churn/bw_replay", "churn/bw_cold_replay"])
+    assert not fails, f"present bw churn rows tripped the gate: {fails}"
+    cur = {"churn/bw_replay": 500_000_000.0, "churn/bw_cold_replay": 900_000_000.0}
+    fails, _ = check_ratios(cur, ["churn/bw_cold_replay:churn/bw_replay:2.0"])
+    assert len(fails) == 1, f"bw churn ratio regression not flagged: {fails}"
+    fails, _ = check_required_rows(
+        {"churn/bw_cold_replay": 900_000_000.0},
+        ["churn/bw_replay", "churn/bw_cold_replay"],
+    )
+    assert fails == ["churn/bw_replay"], f"dropped bw churn row not flagged: {fails}"
+
     print("bench_gate self-test: ok")
 
 
